@@ -1,0 +1,158 @@
+//! Ablation benches for the implementation's design choices:
+//!
+//! * **lazy vs. eager `findHom`** — the paper's §3.3 contrast between the
+//!   relational path (DB2 cursors, one assignment at a time) and the XML
+//!   path (Saxon, all assignments at once). Laziness is what makes
+//!   `ComputeOneRoute` cheap when anchors are unselective.
+//! * **`prove_rhs_siblings`** — the §3.3 optimization that marks every
+//!   tuple of `RHS(h(σ))` proven after a successful step, skipping
+//!   redundant `findHom` calls for siblings.
+//! * **standard (`Fresh`) vs. Skolemized chase** — solution materialization
+//!   cost: the standard chase pays an RHS-existence query per match.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use routes_chase::{chase, ChaseOptions};
+use routes_model::{Atom, Instance, Schema, Term, Value, Var};
+use routes_query::{Bindings, EvalOptions, MatchIter};
+use routes_core::{compute_one_route_with, OneRouteOptions, RouteEnv};
+use routes_gen::hierarchy::{deep_scenario, DeepRows};
+use routes_gen::relational::relational_scenario;
+use routes_gen::TpchRows;
+
+fn bench_lazy_vs_eager_findhom(c: &mut Criterion) {
+    // Deep hierarchy, shallow selection: the case where eagerness hurts
+    // most (a depth-2 anchor leaves three levels of variables free).
+    let rows = DeepRows {
+        regions: 4,
+        nations_per: 4,
+        customers_per: 4,
+        orders_per: 3,
+        lineitems_per: 3,
+    };
+    let mut sc = deep_scenario(&rows, 31);
+    let solution = sc.scenario.solution().unwrap().target;
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+    let selection = sc.select_at_depth(&solution, 2, 4, 32);
+
+    let mut group = c.benchmark_group("ablation_findhom_mode");
+    group.sample_size(20);
+    for (name, eager) in [("lazy", false), ("eager", true)] {
+        let options = OneRouteOptions {
+            eager_findhom: eager,
+            ..OneRouteOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| compute_one_route_with(env, &selection, &options).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sibling_proving(c: &mut Criterion) {
+    // Wide RHS (the copying tgds witness a whole join group per step):
+    // sibling proving should pay off when several selected tuples share
+    // witnessing steps.
+    let mut sc = relational_scenario(1, &TpchRows::scale(0.002), 33);
+    let solution = sc.scenario.solution().unwrap().target;
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+    let selection = sc.select_from_group(&solution, 4, 15, 34);
+
+    let mut group = c.benchmark_group("ablation_prove_rhs_siblings");
+    group.sample_size(20);
+    for (name, on) in [("on", true), ("off", false)] {
+        let options = OneRouteOptions {
+            prove_rhs_siblings: on,
+            ..OneRouteOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| compute_one_route_with(env, &selection, &options).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_chase_modes(c: &mut Criterion) {
+    let sc = relational_scenario(1, &TpchRows::scale(0.001), 35);
+    let mut group = c.benchmark_group("ablation_chase_mode");
+    group.sample_size(10);
+    for (name, options) in [
+        ("fresh_standard", ChaseOptions::fresh()),
+        ("skolem_oblivious", ChaseOptions::skolem()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut pool = sc.scenario.pool.clone();
+                chase(&sc.scenario.mapping, &sc.scenario.source, &mut pool, options).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_composite_indexes(c: &mut Criterion) {
+    // Skewed relation: both columns individually unselective (10 distinct
+    // values each over 100k rows), the pair selective (~1k rows per pair).
+    let mut schema = Schema::new();
+    let rel = schema.rel("R", &["a", "b", "payload"]);
+    let mut inst = Instance::new(&schema);
+    for k in 0..100_000i64 {
+        inst.insert_ok(rel, &[Value::Int(k % 10), Value::Int((k / 10) % 10), Value::Int(k)]);
+    }
+    let atoms = vec![Atom::new(
+        rel,
+        vec![Term::Var(Var(0)), Term::Var(Var(1)), Term::Var(Var(2))],
+    )];
+    let mut init = Bindings::new(3);
+    init.set(Var(0), Value::Int(3));
+    init.set(Var(1), Value::Int(7));
+
+    let mut group = c.benchmark_group("ablation_composite_index");
+    group.sample_size(20);
+    for (name, threshold) in [("composite", 64usize), ("single_column_only", usize::MAX)] {
+        let options = EvalOptions { composite_threshold: threshold };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut it = MatchIter::with_options(&inst, &atoms, init.clone(), options);
+                let mut n = 0usize;
+                while it.next_match().is_some() {
+                    n += 1;
+                }
+                n
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chase_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_scaling");
+    group.sample_size(10);
+    for (label, sf) in [("sf_0.0005", 0.0005), ("sf_0.001", 0.001), ("sf_0.002", 0.002)] {
+        let sc = relational_scenario(1, &TpchRows::scale(sf), 36);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut pool = sc.scenario.pool.clone();
+                chase(
+                    &sc.scenario.mapping,
+                    &sc.scenario.source,
+                    &mut pool,
+                    ChaseOptions::skolem(),
+                )
+                .unwrap()
+                .target
+                .total_tuples()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lazy_vs_eager_findhom,
+    bench_sibling_proving,
+    bench_chase_modes,
+    bench_composite_indexes,
+    bench_chase_scaling
+);
+criterion_main!(benches);

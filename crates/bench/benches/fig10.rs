@@ -1,0 +1,79 @@
+//! Criterion benches for the paper's Figure 10 family (relational
+//! scenarios): one-route vs. parameters, and one-route vs. all-routes.
+//!
+//! These run at a small fixed scale so `cargo bench` completes quickly; the
+//! full parameter sweeps live in the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routes_core::{compute_all_routes, compute_one_route, RouteEnv};
+use routes_gen::relational::relational_scenario;
+use routes_gen::TpchRows;
+
+const BENCH_SF: f64 = 0.002;
+
+fn bench_fig10a_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10a_one_route_by_size");
+    for (label, sf) in [("small", 0.001), ("medium", 0.002), ("large", 0.005)] {
+        let mut sc = relational_scenario(1, &TpchRows::scale(sf), 1);
+        let solution = sc.scenario.solution().unwrap().target;
+        let selection = sc.select_from_group(&solution, 3, 5, 42);
+        let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| compute_one_route(env, &selection).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10b_mt_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10b_one_route_by_mt");
+    let mut sc = relational_scenario(3, &TpchRows::scale(BENCH_SF), 2);
+    let solution = sc.scenario.solution().unwrap().target;
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+    for mt in [1usize, 3, 6] {
+        let selection = sc.select_from_group(&solution, mt, 5, 43);
+        group.bench_with_input(BenchmarkId::from_parameter(mt), &(), |b, ()| {
+            b.iter(|| compute_one_route(env, &selection).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10c_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10c_one_route_by_joins");
+    for joins in 0..=3usize {
+        let mut sc = relational_scenario(joins, &TpchRows::scale(BENCH_SF), 3);
+        let solution = sc.scenario.solution().unwrap().target;
+        let selection = sc.select_from_group(&solution, 3, 5, 44);
+        let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+        group.bench_with_input(BenchmarkId::from_parameter(joins), &(), |b, ()| {
+            b.iter(|| compute_one_route(env, &selection).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10d_one_vs_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10d_one_vs_all");
+    let mut sc = relational_scenario(1, &TpchRows::scale(BENCH_SF), 4);
+    let solution = sc.scenario.solution().unwrap().target;
+    let selection = sc.select_from_group(&solution, 3, 5, 45);
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+    group.bench_function("computeOneRoute", |b| {
+        b.iter(|| compute_one_route(env, &selection).unwrap());
+    });
+    group.sample_size(10);
+    group.bench_function("computeAllRoutes", |b| {
+        b.iter(|| compute_all_routes(env, &selection));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig10a_sizes,
+    bench_fig10b_mt_factor,
+    bench_fig10c_joins,
+    bench_fig10d_one_vs_all
+);
+criterion_main!(benches);

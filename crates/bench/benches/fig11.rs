@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 11: one-route time vs. the nesting depth of
+//! the selected element in the deep-hierarchy scenario. The paper's result
+//! is that time *decreases* with depth (deeper anchors pre-bind more of the
+//! copying tgd's variables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routes_core::{compute_one_route_with, OneRouteOptions, RouteEnv};
+use routes_gen::hierarchy::{deep_scenario, DeepRows};
+
+fn bench_fig11_depths(c: &mut Criterion) {
+    let rows = DeepRows {
+        regions: 5,
+        nations_per: 4,
+        customers_per: 4,
+        orders_per: 3,
+        lineitems_per: 3,
+    };
+    let mut sc = deep_scenario(&rows, 7);
+    let solution = sc.scenario.solution().unwrap().target;
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+    // XML mode: all findHom assignments fetched eagerly (paper §3.3).
+    let options = OneRouteOptions {
+        eager_findhom: true,
+        ..OneRouteOptions::default()
+    };
+
+    let mut group = c.benchmark_group("fig11_one_route_by_depth");
+    group.sample_size(10);
+    for depth in 1..=5usize {
+        let selection = sc.select_at_depth(&solution, depth, 3, 46);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &(), |b, ()| {
+            b.iter(|| compute_one_route_with(env, &selection, &options).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11_depths);
+criterion_main!(benches);

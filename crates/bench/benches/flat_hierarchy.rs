@@ -1,0 +1,50 @@
+//! Criterion bench for the flat-hierarchy scenario (§4.1): one-route time
+//! on depth-1 nested schemas, by size and by join count, in XML mode
+//! (eager `findHom`, paper §3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routes_core::{compute_one_route_with, OneRouteOptions, RouteEnv};
+use routes_gen::hierarchy::flat_scenario;
+use routes_gen::TpchRows;
+
+fn xml_options() -> OneRouteOptions {
+    OneRouteOptions {
+        eager_findhom: true,
+        ..OneRouteOptions::default()
+    }
+}
+
+fn bench_flat_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_one_route_by_size");
+    group.sample_size(10);
+    for (label, sf) in [("500KB", 0.0005), ("1MB", 0.001), ("5MB", 0.005)] {
+        let mut sc = flat_scenario(1, &TpchRows::scale(sf), 8);
+        let solution = sc.scenario.solution().unwrap().target;
+        let selection = sc.select_from_group(&solution, 3, 5, 47);
+        let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+        let options = xml_options();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| compute_one_route_with(env, &selection, &options).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_flat_by_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_one_route_by_joins");
+    group.sample_size(10);
+    for joins in 0..=3usize {
+        let mut sc = flat_scenario(joins, &TpchRows::scale(0.001), 9);
+        let solution = sc.scenario.solution().unwrap().target;
+        let selection = sc.select_from_group(&solution, 3, 5, 48);
+        let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+        let options = xml_options();
+        group.bench_with_input(BenchmarkId::from_parameter(joins), &(), |b, ()| {
+            b.iter(|| compute_one_route_with(env, &selection, &options).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_by_size, bench_flat_by_joins);
+criterion_main!(benches);

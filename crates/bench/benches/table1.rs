@@ -1,0 +1,64 @@
+//! Criterion bench for the §4.2 real-dataset scenarios (Table 1): one route
+//! vs. all routes on the DBLP→Amalgam and Mondial scenarios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use routes_chase::ChaseOptions;
+use routes_core::{compute_all_routes, compute_one_route, RouteEnv};
+use routes_gen::real::{dblp_scenario, mondial_scenario, RealScenario};
+use routes_gen::scenario::random_tuples;
+use routes_model::{Instance, TupleId};
+
+fn routable_selection(
+    env: RouteEnv<'_>,
+    solution: &Instance,
+    n: usize,
+    seed: u64,
+) -> Vec<TupleId> {
+    let rels: Vec<_> = env
+        .mapping
+        .target()
+        .iter()
+        .filter(|(r, _)| solution.rel_len(*r) > 0)
+        .map(|(r, _)| r)
+        .collect();
+    let mut out = Vec::new();
+    let mut attempt = 0;
+    while out.len() < n && attempt < 50 {
+        for t in random_tuples(solution, &rels, n - out.len(), seed + attempt) {
+            if !out.contains(&t) && compute_one_route(env, &[t]).is_ok() {
+                out.push(t);
+            }
+        }
+        attempt += 1;
+    }
+    out
+}
+
+fn bench_scenario(c: &mut Criterion, name: &str, mut sc: RealScenario) {
+    let solution = sc
+        .scenario
+        .solution_with(ChaseOptions::fresh())
+        .unwrap()
+        .target;
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+    let selection = routable_selection(env, &solution, 5, 50);
+    assert!(!selection.is_empty());
+
+    let mut group = c.benchmark_group(format!("table1_{name}"));
+    group.sample_size(10);
+    group.bench_function("one_route_5_tuples", |b| {
+        b.iter(|| compute_one_route(env, &selection).unwrap());
+    });
+    group.bench_function("all_routes_5_tuples", |b| {
+        b.iter(|| compute_all_routes(env, &selection));
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    bench_scenario(c, "dblp", dblp_scenario(0.02, 51));
+    bench_scenario(c, "mondial", mondial_scenario(0.02, 52));
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Reproduce the paper's evaluation: prints each figure/table's series and
+//! writes CSVs under `bench_results/`.
+//!
+//! ```text
+//! repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1] [--factor F]
+//! ```
+//!
+//! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
+//! 1.0 for full paper-scale instances — slow).
+
+use std::path::Path;
+
+use routes_bench::{fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, table1, Sizing, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_owned();
+    let mut sizing = Sizing::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--factor" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .unwrap_or_else(|| usage("--factor requires a number"));
+                sizing.factor = v;
+            }
+            name if !name.starts_with('-') => which = name.to_owned(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let out_dir = Path::new("bench_results");
+    let run = |name: &str| which == "all" || which == name;
+    let mut ran = false;
+
+    let emit = |name: &str, tables: Vec<Table>| {
+        for (i, t) in tables.iter().enumerate() {
+            println!("{}", t.to_text());
+            let suffix = if tables.len() > 1 {
+                format!("{name}_{i}")
+            } else {
+                name.to_owned()
+            };
+            if let Err(e) = t.save_csv(out_dir, &suffix) {
+                eprintln!("warning: could not write {suffix}.csv: {e}");
+            }
+        }
+    };
+
+    println!(
+        "Reproducing 'Debugging Schema Mappings with Routes' (VLDB 2006) — size factor {}\n",
+        sizing.factor
+    );
+    if run("fig10a") {
+        eprintln!("running fig10a ...");
+        emit("fig10a", vec![fig10a(&sizing)]);
+        ran = true;
+    }
+    if run("fig10b") {
+        eprintln!("running fig10b ...");
+        emit("fig10b", vec![fig10b(&sizing)]);
+        ran = true;
+    }
+    if run("fig10c") {
+        eprintln!("running fig10c ...");
+        emit("fig10c", vec![fig10c(&sizing)]);
+        ran = true;
+    }
+    if run("fig10d") {
+        eprintln!("running fig10d ...");
+        emit("fig10d", vec![fig10d(&sizing)]);
+        ran = true;
+    }
+    if run("flat") {
+        eprintln!("running flat-hierarchy ...");
+        emit("flat", flat_hierarchy(&sizing));
+        ran = true;
+    }
+    if run("fig11") {
+        eprintln!("running fig11 ...");
+        emit("fig11", vec![fig11(&sizing)]);
+        ran = true;
+    }
+    if run("table1") {
+        eprintln!("running table1 ...");
+        emit("table1", table1(&sizing));
+        ran = true;
+    }
+    if !ran {
+        usage(&format!("unknown experiment `{which}`"));
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1] [--factor F]");
+    std::process::exit(2);
+}

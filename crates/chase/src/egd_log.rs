@@ -1,0 +1,102 @@
+//! Egd provenance: a log of the value merges egds performed during the
+//! chase, with history queries.
+//!
+//! The paper's routes deliberately contain no egd steps (if `K` satisfies an
+//! egd, so does every subinstance — §3), but its future work asks for
+//! "definitions and algorithms for computing routes that take into account
+//! egds". This module supplies the raw material: every time an egd equates
+//! two values during solution construction, the chase records it, and
+//! [`merges_affecting`] reconstructs the merge tree behind any value —
+//! answering the debugger question *"why is this account number 2252 and
+//! not a null?"* with *"egd m6 equated N1 with 2252"*.
+
+use routes_model::{Value, ValuePool};
+
+/// One value merge performed by an egd.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EgdMerge {
+    /// Name of the egd that fired.
+    pub egd: String,
+    /// The two (pre-merge) values it equated.
+    pub equated: (Value, Value),
+    /// The class representative the pair resolved to, at the end of the
+    /// egd pass that performed this merge.
+    pub resolved: Value,
+}
+
+/// The full sequence of merges, in application order.
+pub type EgdLog = Vec<EgdMerge>;
+
+/// The subset of the log that (transitively) contributed to `value`:
+/// merges whose resolution is `value`, plus merges that produced either
+/// side of those, and so on.
+pub fn merges_affecting(log: &[EgdMerge], value: Value) -> Vec<&EgdMerge> {
+    let mut frontier = vec![value];
+    let mut involved: Vec<&EgdMerge> = Vec::new();
+    let mut seen_values = std::collections::HashSet::new();
+    while let Some(v) = frontier.pop() {
+        if !seen_values.insert(v) {
+            continue;
+        }
+        for merge in log {
+            if merge.resolved == v && !involved.iter().any(|m| std::ptr::eq(*m, merge)) {
+                involved.push(merge);
+                frontier.push(merge.equated.0);
+                frontier.push(merge.equated.1);
+            }
+        }
+    }
+    involved
+}
+
+/// Render the merge history of a value as indented text.
+pub fn history_to_string(pool: &ValuePool, log: &[EgdMerge], value: Value) -> String {
+    let merges = merges_affecting(log, value);
+    if merges.is_empty() {
+        return format!("{} was never touched by an egd\n", pool.value_to_string(value));
+    }
+    let mut out = String::new();
+    for m in merges {
+        out.push_str(&format!(
+            "egd {} equated {} with {} (resolved to {})\n",
+            m.egd,
+            pool.value_to_string(m.equated.0),
+            pool.value_to_string(m.equated.1),
+            pool.value_to_string(m.resolved),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn merge(egd: &str, a: Value, b: Value, r: Value) -> EgdMerge {
+        EgdMerge {
+            egd: egd.into(),
+            equated: (a, b),
+            resolved: r,
+        }
+    }
+
+    #[test]
+    fn transitive_history() {
+        let mut pool = ValuePool::new();
+        let n1 = pool.named_null("N1");
+        let n2 = pool.named_null("N2");
+        let c = Value::Int(5);
+        // Pass 1: N1 = N2 (resolved to N1); pass 2: N1 = 5 (resolved to 5).
+        let log = vec![merge("e1", n1, n2, n1), merge("e2", n1, c, c)];
+        let hist = merges_affecting(&log, c);
+        assert_eq!(hist.len(), 2);
+        // A value never merged has empty history.
+        assert!(merges_affecting(&log, Value::Int(99)).is_empty());
+        // N1's own history (as a pass-1 representative) is just the first
+        // merge.
+        assert_eq!(merges_affecting(&log, n1).len(), 1);
+        let text = history_to_string(&pool, &log, c);
+        assert!(text.contains("e1") && text.contains("e2"));
+        assert!(history_to_string(&pool, &log, Value::Int(99)).contains("never touched"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Chase outcomes.
+
+use std::fmt;
+
+use routes_model::{Instance, Value};
+
+use crate::egd_log::EgdLog;
+
+/// A successful chase run.
+#[derive(Debug)]
+pub struct ChaseResult {
+    /// The produced target instance `J`.
+    pub target: Instance,
+    /// Number of tgd rounds executed (s-t application counts as round 1).
+    pub rounds: usize,
+    /// Number of distinct target tuples created across the run (before egd
+    /// merging).
+    pub tuples_created: usize,
+    /// Number of egd fixpoint passes that changed the instance.
+    pub egd_rewrites: usize,
+    /// Every value merge egds performed, in order (egd provenance — see
+    /// [`crate::egd_log`]).
+    pub egd_log: EgdLog,
+}
+
+/// Why a chase run did not produce a solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseError {
+    /// An egd equated two distinct constants: no solution exists.
+    Failed {
+        /// The offending egd's name.
+        egd: String,
+        /// The two constants that would have to be equal.
+        values: (Value, Value),
+    },
+    /// The round limit was reached before a fixpoint (the dependency set is
+    /// probably not terminating, e.g. not weakly acyclic).
+    RoundLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The tuple budget was exhausted.
+    TupleLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::Failed { egd, values } => {
+                write!(
+                    f,
+                    "chase failed: egd `{egd}` equates distinct constants {:?} and {:?}",
+                    values.0, values.1
+                )
+            }
+            ChaseError::RoundLimit { limit } => {
+                write!(f, "chase did not terminate within {limit} rounds")
+            }
+            ChaseError::TupleLimit { limit } => {
+                write!(f, "chase exceeded the tuple budget of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = ChaseError::Failed {
+            egd: "m6".into(),
+            values: (Value::Int(1), Value::Int(2)),
+        };
+        assert!(e.to_string().contains("m6"));
+        assert!(ChaseError::RoundLimit { limit: 5 }.to_string().contains('5'));
+        assert!(ChaseError::TupleLimit { limit: 9 }.to_string().contains('9'));
+    }
+}

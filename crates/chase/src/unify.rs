@@ -1,0 +1,137 @@
+//! Value unification for egd application: a union-find over values in which
+//! constants are always representatives and two distinct constants refuse to
+//! merge (chase failure).
+
+use std::collections::HashMap;
+
+use routes_model::Value;
+
+/// Union-find over values with constant-preference and failure on
+/// constant/constant conflicts.
+#[derive(Debug, Default)]
+pub struct ValueUnifier {
+    parent: HashMap<Value, Value>,
+}
+
+impl ValueUnifier {
+    /// Create an empty unifier (every value is its own class).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Representative of `v`'s class (with path compression).
+    pub fn find(&mut self, v: Value) -> Value {
+        let mut root = v;
+        while let Some(&p) = self.parent.get(&root) {
+            root = p;
+        }
+        // Path compression.
+        let mut cur = v;
+        while let Some(&p) = self.parent.get(&cur) {
+            if p == root {
+                break;
+            }
+            self.parent.insert(cur, root);
+            cur = p;
+        }
+        root
+    }
+
+    /// Merge the classes of `a` and `b`. Returns `Ok(true)` if the two
+    /// classes were distinct and are now merged, `Ok(false)` if they were
+    /// already one class.
+    ///
+    /// Constants win representative elections (so substitution maps nulls to
+    /// constants whenever possible); merging two distinct constants returns
+    /// them as `Err` — the chase must fail.
+    pub fn union(&mut self, a: Value, b: Value) -> Result<bool, (Value, Value)> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(false);
+        }
+        match (ra.is_constant(), rb.is_constant()) {
+            (true, true) => Err((ra, rb)),
+            (true, false) => {
+                self.parent.insert(rb, ra);
+                Ok(true)
+            }
+            (false, true) => {
+                self.parent.insert(ra, rb);
+                Ok(true)
+            }
+            (false, false) => {
+                // Deterministic tie-break: smaller null id is representative.
+                if ra < rb {
+                    self.parent.insert(rb, ra);
+                } else {
+                    self.parent.insert(ra, rb);
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Whether any merge has been recorded.
+    pub fn is_trivial(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Resolve a value to its representative without mutation-visible
+    /// side effects (path compression still applies internally).
+    pub fn resolve(&mut self, v: Value) -> Value {
+        self.find(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_model::ValuePool;
+
+    #[test]
+    fn constants_become_representatives() {
+        let mut pool = ValuePool::new();
+        let n1 = pool.named_null("N1");
+        let n2 = pool.named_null("N2");
+        let c = Value::Int(7);
+        let mut u = ValueUnifier::new();
+        u.union(n1, n2).unwrap();
+        u.union(n2, c).unwrap();
+        assert_eq!(u.find(n1), c);
+        assert_eq!(u.find(n2), c);
+        assert_eq!(u.find(c), c);
+        assert!(!u.is_trivial());
+    }
+
+    #[test]
+    fn distinct_constants_conflict() {
+        let mut u = ValueUnifier::new();
+        assert!(u.union(Value::Int(1), Value::Int(2)).is_err());
+        // Transitive conflict through a null.
+        let mut pool = ValuePool::new();
+        let n = pool.named_null("N");
+        let mut u = ValueUnifier::new();
+        u.union(n, Value::Int(1)).unwrap();
+        let err = u.union(n, Value::Int(2)).unwrap_err();
+        assert!(err == (Value::Int(1), Value::Int(2)) || err == (Value::Int(2), Value::Int(1)));
+    }
+
+    #[test]
+    fn null_null_merge_is_deterministic() {
+        let mut pool = ValuePool::new();
+        let n1 = pool.named_null("N1");
+        let n2 = pool.named_null("N2");
+        let mut u = ValueUnifier::new();
+        u.union(n2, n1).unwrap();
+        assert_eq!(u.find(n2), n1);
+        assert_eq!(u.find(n1), n1);
+    }
+
+    #[test]
+    fn idempotent_unions_are_trivia_free() {
+        let mut u = ValueUnifier::new();
+        u.union(Value::Int(1), Value::Int(1)).unwrap();
+        assert!(u.is_trivial());
+    }
+}

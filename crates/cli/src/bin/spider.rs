@@ -1,0 +1,107 @@
+//! `spider` — interactive schema-mapping debugger.
+//!
+//! ```text
+//! spider <scenario-file> [-c <command>]...
+//! ```
+//!
+//! With `-c` flags the commands run in order and the program exits
+//! (scriptable mode); otherwise an interactive prompt reads from stdin.
+
+use std::io::{BufRead, Write};
+
+use routes_cli::{load_scenario_str, Repl};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut commands: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-c" | "--command" => match it.next() {
+                Some(cmd) => commands.push(cmd),
+                None => usage("-c requires a command"),
+            },
+            "-h" | "--help" => usage(""),
+            other if file.is_none() => file = Some(other.to_owned()),
+            other => usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(file) = file else {
+        usage("a scenario file is required");
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let loaded = match load_scenario_str(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let had_target = loaded.target.is_some();
+    let mut repl = match Repl::new(loaded) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !had_target {
+        println!("(no target data in scenario — materialized a solution with the chase)");
+    }
+
+    if !commands.is_empty() {
+        for cmd in commands {
+            if cmd.trim() == "quit" {
+                break;
+            }
+            println!("spider> {cmd}");
+            match repl.execute(&cmd) {
+                Ok(out) => print!("{out}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        return;
+    }
+
+    println!("spider — schema-mapping debugger (type `help`)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("spider> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                break;
+            }
+        }
+        let cmd = line.trim();
+        if cmd.is_empty() {
+            continue;
+        }
+        if cmd == "quit" || cmd == "exit" {
+            break;
+        }
+        match repl.execute(cmd) {
+            Ok(out) => print!("{out}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: spider <scenario-file> [-c <command>]...");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

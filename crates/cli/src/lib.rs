@@ -1,0 +1,17 @@
+//! `spider` — a command-line schema-mapping debugger in the spirit of the
+//! paper's companion demo (Alexe, Chiticariu & Tan, *SPIDER: a Schema
+//! mapPIng DEbuggeR*, VLDB 2006 demo).
+//!
+//! A *scenario file* declares the schemas, the dependencies (in the paper's
+//! tgd/egd syntax), the source instance, and optionally a target instance
+//! (otherwise the chase materializes one). The REPL then supports probing
+//! tuples for one route, all routes, alternatives, stratification, forward
+//! (source-side) routes, single-step tracing, egd history, and mapping-edit
+//! impact analysis. Every command is line-oriented, so the debugger is
+//! scriptable (`spider scenario.sdl -c "probe t5" -c quit`).
+
+pub mod loader;
+pub mod repl;
+
+pub use loader::{load_scenario_str, LoadedScenario, LoaderError};
+pub use repl::Repl;

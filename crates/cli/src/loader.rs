@@ -1,0 +1,570 @@
+//! The scenario file format.
+//!
+//! ```text
+//! # The paper's Figure 1/2 scenario.
+//! source schema:
+//!   Cards(cardNo, limit, ssn, name, maidenName, salary, location)
+//! target schema:
+//!   Accounts(accNo, limit, accHolder)
+//! dependencies:
+//!   m1: Cards(cn, l, s, n, m, sal, loc) -> exists A: Accounts(cn, l, s)
+//! source data:
+//!   Cards(6689, '15K', 434, 'J. Long', 'Smith', '50K', 'Seattle')
+//! target data:            # optional; omit to chase instead
+//!   Accounts(6689, '15K', 434)
+//! ```
+//!
+//! Value syntax in data sections: integers are numeric literals, string
+//! constants are quoted, and **bare identifiers are labeled nulls** (`N1`,
+//! `A1` — exactly how the paper writes Figure 2's solution).
+
+use std::fmt;
+
+use routes_mapping::{parse_dependency, MappingError, SchemaMapping};
+use routes_model::{Instance, ModelError, Schema, Value, ValuePool};
+use routes_nested::{encode_instance, encode_schema, NestedInstance, NestedSchema};
+
+/// A parsed scenario: mapping, source instance, and optional explicit
+/// target instance.
+#[derive(Debug)]
+pub struct LoadedScenario {
+    /// The shared value pool.
+    pub pool: ValuePool,
+    /// The schema mapping.
+    pub mapping: SchemaMapping,
+    /// The source instance.
+    pub source: Instance,
+    /// The target instance, if the file supplied one (otherwise the caller
+    /// chases).
+    pub target: Option<Instance>,
+    /// The nested source schema, when the file used `source xml schema:`
+    /// (its record relations appear in the flat source schema with leading
+    /// `self`/`parent` columns).
+    pub nested_source: Option<NestedSchema>,
+    /// The nested target schema, when the file used `target xml schema:`.
+    pub nested_target: Option<NestedSchema>,
+}
+
+/// Loader failures, with 1-based line numbers.
+#[derive(Debug)]
+pub enum LoaderError {
+    /// A line outside any section, or an unknown section header.
+    Structure {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A dependency failed to parse or validate.
+    Dependency {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying error.
+        source: MappingError,
+    },
+    /// A data row failed to parse or insert.
+    Data {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for LoaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoaderError::Structure { line, message } => write!(f, "line {line}: {message}"),
+            LoaderError::Dependency { line, source } => write!(f, "line {line}: {source}"),
+            LoaderError::Data { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LoaderError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    SourceSchema,
+    TargetSchema,
+    SourceXmlSchema,
+    TargetXmlSchema,
+    Dependencies,
+    SourceData,
+    SourceXmlData,
+    TargetData,
+}
+
+/// Parse a scenario from text.
+pub fn load_scenario_str(text: &str) -> Result<LoadedScenario, LoaderError> {
+    let mut pool = ValuePool::new();
+    let mut source_schema = Schema::new();
+    let mut target_schema = Schema::new();
+    let mut dep_lines: Vec<(usize, String)> = Vec::new();
+    let mut source_rows: Vec<(usize, String)> = Vec::new();
+    let mut target_rows: Vec<(usize, String)> = Vec::new();
+    // XML sections keep their indentation (it encodes nesting).
+    let mut src_xml_schema_lines: Vec<(usize, usize, String)> = Vec::new();
+    let mut dst_xml_schema_lines: Vec<(usize, usize, String)> = Vec::new();
+    let mut src_xml_data_lines: Vec<(usize, usize, String)> = Vec::new();
+    let mut section = Section::None;
+    let mut saw_target_data = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let stripped = strip_comment(raw);
+        let line = stripped.trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        let indent = stripped.len() - stripped.trim_start().len();
+        if let Some(new_section) = section_header(&line) {
+            section = new_section;
+            if section == Section::TargetData {
+                saw_target_data = true;
+            }
+            continue;
+        }
+        match section {
+            Section::None => {
+                return Err(LoaderError::Structure {
+                    line: line_no,
+                    message: format!("content before any section header: `{line}`"),
+                })
+            }
+            Section::SourceSchema => {
+                add_relation(&mut source_schema, &line, line_no)?;
+            }
+            Section::TargetSchema => {
+                add_relation(&mut target_schema, &line, line_no)?;
+            }
+            Section::SourceXmlSchema => src_xml_schema_lines.push((line_no, indent, line)),
+            Section::TargetXmlSchema => dst_xml_schema_lines.push((line_no, indent, line)),
+            Section::Dependencies => {
+                // Multi-line dependencies: a line continues the previous one
+                // when it starts with a connective, or when the previous
+                // line is not yet a complete implication.
+                let starts_continuation = line.starts_with("->")
+                    || line.starts_with('→')
+                    || line.starts_with('&')
+                    || line.starts_with('∧');
+                let prev_incomplete = dep_lines.last().is_some_and(|(_, prev): &(usize, String)| {
+                    let no_arrow = !prev.contains("->") && !prev.contains('→');
+                    no_arrow
+                        || prev.trim_end().ends_with('&')
+                        || prev.trim_end().ends_with('∧')
+                        || prev.trim_end().ends_with("->")
+                        || prev.trim_end().ends_with('→')
+                        || prev.trim_end().ends_with(',')
+                });
+                match dep_lines.last_mut() {
+                    Some((_, prev)) if starts_continuation || prev_incomplete => {
+                        prev.push(' ');
+                        prev.push_str(&line);
+                    }
+                    _ => dep_lines.push((line_no, line)),
+                }
+            }
+            Section::SourceData => source_rows.push((line_no, line)),
+            Section::SourceXmlData => src_xml_data_lines.push((line_no, indent, line)),
+            Section::TargetData => target_rows.push((line_no, line)),
+        }
+    }
+
+    // XML schemas: nesting from indentation; their relational encodings are
+    // merged into the flat schemas (dependencies then reference relations
+    // whose first two columns are `self` and `parent`).
+    let nested_source = if src_xml_schema_lines.is_empty() {
+        None
+    } else {
+        Some(parse_nested_schema(&src_xml_schema_lines)?)
+    };
+    if let Some(ns) = &nested_source {
+        merge_encoded_schema(ns, &mut source_schema)?;
+    }
+    let nested_target = if dst_xml_schema_lines.is_empty() {
+        None
+    } else {
+        Some(parse_nested_schema(&dst_xml_schema_lines)?)
+    };
+    if let Some(nt) = &nested_target {
+        merge_encoded_schema(nt, &mut target_schema)?;
+    }
+
+    let mut mapping = SchemaMapping::new(source_schema.clone(), target_schema.clone());
+    for (line, text) in dep_lines {
+        let dep = parse_dependency(&source_schema, &target_schema, &mut pool, &text)
+            .map_err(|source| LoaderError::Dependency { line, source })?;
+        mapping
+            .add_dependency(dep)
+            .map_err(|source| LoaderError::Dependency { line, source })?;
+    }
+
+    let mut source = Instance::new(&source_schema);
+    for (line, text) in source_rows {
+        insert_row(&mut source, &source_schema, &mut pool, &text, line)?;
+    }
+    if let Some(ns) = &nested_source {
+        let tree = parse_nested_data(ns, &mut pool, &src_xml_data_lines)?;
+        let enc_schema = encode_schema(ns);
+        let encoded = encode_instance(ns, &enc_schema, &tree);
+        for (rel_id, rel) in enc_schema.schema.iter() {
+            let dst = source_schema
+                .rel_id(rel.name())
+                .expect("encoded relations were merged into the source schema");
+            for (_, values) in encoded.instance.rel_tuples(rel_id) {
+                source.insert(dst, values).expect("same arity");
+            }
+        }
+    } else if !src_xml_data_lines.is_empty() {
+        return Err(LoaderError::Structure {
+            line: src_xml_data_lines[0].0,
+            message: "`source xml data:` requires a `source xml schema:` section".into(),
+        });
+    }
+    let target = if saw_target_data {
+        let mut t = Instance::new(&target_schema);
+        for (line, text) in target_rows {
+            insert_row(&mut t, &target_schema, &mut pool, &text, line)?;
+        }
+        Some(t)
+    } else {
+        None
+    };
+
+    Ok(LoadedScenario {
+        pool,
+        mapping,
+        source,
+        target,
+        nested_source,
+        nested_target,
+    })
+}
+
+/// Parse an indentation-nested schema section:
+///
+/// ```text
+/// Conference(name, acronym)
+///   Edition(year, location)
+///     Paper(title, pages)
+/// ```
+fn parse_nested_schema(lines: &[(usize, usize, String)]) -> Result<NestedSchema, LoaderError> {
+    let mut schema = NestedSchema::new();
+    // Stack of (indent, type id).
+    let mut stack: Vec<(usize, routes_nested::NodeTypeId)> = Vec::new();
+    for (line_no, indent, line) in lines {
+        let (name, inner) = split_call(line).ok_or_else(|| LoaderError::Structure {
+            line: *line_no,
+            message: format!("expected `Record(attr, ...)`, found `{line}`"),
+        })?;
+        let attrs: Vec<&str> = if inner.trim().is_empty() {
+            Vec::new()
+        } else {
+            inner.split(',').map(str::trim).collect()
+        };
+        if attrs.iter().any(|a| a.is_empty()) {
+            return Err(LoaderError::Structure {
+                line: *line_no,
+                message: "empty attribute name".into(),
+            });
+        }
+        if schema.type_by_name(name).is_some() {
+            return Err(LoaderError::Structure {
+                line: *line_no,
+                message: format!("duplicate record type `{name}`"),
+            });
+        }
+        while stack.last().is_some_and(|&(i, _)| i >= *indent) {
+            stack.pop();
+        }
+        let ty = match stack.last() {
+            Some(&(_, parent)) => schema.add_child(parent, name, &attrs),
+            None => schema.add_root(name, &attrs),
+        };
+        stack.push((*indent, ty));
+    }
+    Ok(schema)
+}
+
+/// Merge a nested schema's relational encoding into a flat schema.
+fn merge_encoded_schema(nested: &NestedSchema, flat: &mut Schema) -> Result<(), LoaderError> {
+    let encoded = encode_schema(nested);
+    for (_, rel) in encoded.schema.iter() {
+        let attrs: Vec<&str> = rel.attrs().iter().map(String::as_str).collect();
+        flat.add_relation(routes_model::Relation::new(rel.name(), &attrs))
+            .map_err(|e| LoaderError::Structure {
+                line: 0,
+                message: format!("xml schema conflicts with flat schema: {e}"),
+            })?;
+    }
+    Ok(())
+}
+
+/// Parse an indentation-nested data section into a tree.
+fn parse_nested_data(
+    schema: &NestedSchema,
+    pool: &mut ValuePool,
+    lines: &[(usize, usize, String)],
+) -> Result<NestedInstance, LoaderError> {
+    let mut tree = NestedInstance::new();
+    let mut stack: Vec<(usize, routes_nested::NodeId)> = Vec::new();
+    for (line_no, indent, line) in lines {
+        let (name, inner) = split_call(line).ok_or_else(|| LoaderError::Data {
+            line: *line_no,
+            message: format!("expected `Record(v, ...)`, found `{line}`"),
+        })?;
+        let ty = schema.type_by_name(name).ok_or_else(|| LoaderError::Data {
+            line: *line_no,
+            message: format!("unknown record type `{name}`"),
+        })?;
+        let values = if inner.trim().is_empty() {
+            Vec::new()
+        } else {
+            split_values(inner)
+                .into_iter()
+                .map(|v| parse_value(pool, v.trim(), *line_no))
+                .collect::<Result<Vec<Value>, LoaderError>>()?
+        };
+        if values.len() != schema.node_type(ty).attrs().len() {
+            return Err(LoaderError::Data {
+                line: *line_no,
+                message: format!(
+                    "record `{name}` has {} attribute(s), found {} value(s)",
+                    schema.node_type(ty).attrs().len(),
+                    values.len()
+                ),
+            });
+        }
+        while stack.last().is_some_and(|&(i, _)| i >= *indent) {
+            stack.pop();
+        }
+        let node = match (stack.last(), schema.node_type(ty).parent()) {
+            (Some(&(_, parent)), Some(expected)) if tree.node(parent).ty == expected => {
+                tree.add_child(schema, parent, ty, &values)
+            }
+            (None, None) => tree.add_root(schema, ty, &values),
+            _ => {
+                return Err(LoaderError::Data {
+                    line: *line_no,
+                    message: format!(
+                        "record `{name}` is nested under the wrong parent type"
+                    ),
+                })
+            }
+        };
+        stack.push((*indent, node));
+    }
+    Ok(tree)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match (in_quote, c) {
+            (Some(q), c) if c == q => in_quote = None,
+            (None, '\'') | (None, '"') => in_quote = Some(c),
+            (None, '#') => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn section_header(line: &str) -> Option<Section> {
+    let lowered = line.to_ascii_lowercase();
+    match lowered.trim_end_matches(':') {
+        "source schema" if lowered.ends_with(':') => Some(Section::SourceSchema),
+        "target schema" if lowered.ends_with(':') => Some(Section::TargetSchema),
+        "source xml schema" if lowered.ends_with(':') => Some(Section::SourceXmlSchema),
+        "target xml schema" if lowered.ends_with(':') => Some(Section::TargetXmlSchema),
+        "dependencies" if lowered.ends_with(':') => Some(Section::Dependencies),
+        "source data" if lowered.ends_with(':') => Some(Section::SourceData),
+        "source xml data" if lowered.ends_with(':') => Some(Section::SourceXmlData),
+        "target data" if lowered.ends_with(':') => Some(Section::TargetData),
+        _ => None,
+    }
+}
+
+/// `Name(attr, attr, ...)`.
+fn add_relation(schema: &mut Schema, line: &str, line_no: usize) -> Result<(), LoaderError> {
+    let (name, inner) = split_call(line).ok_or_else(|| LoaderError::Structure {
+        line: line_no,
+        message: format!("expected `Relation(attr, ...)`, found `{line}`"),
+    })?;
+    let attrs: Vec<&str> = inner.split(',').map(str::trim).collect();
+    if attrs.iter().any(|a| a.is_empty()) {
+        return Err(LoaderError::Structure {
+            line: line_no,
+            message: "empty attribute name".into(),
+        });
+    }
+    schema
+        .add_relation(routes_model::Relation::new(name, &attrs))
+        .map_err(|e| LoaderError::Structure {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+    Ok(())
+}
+
+/// `Name(value, value, ...)` — values per the data syntax.
+fn insert_row(
+    inst: &mut Instance,
+    schema: &Schema,
+    pool: &mut ValuePool,
+    line: &str,
+    line_no: usize,
+) -> Result<(), LoaderError> {
+    let (name, inner) = split_call(line).ok_or_else(|| LoaderError::Data {
+        line: line_no,
+        message: format!("expected `Relation(v, ...)`, found `{line}`"),
+    })?;
+    let rel = schema.rel_id(name).ok_or_else(|| LoaderError::Data {
+        line: line_no,
+        message: format!("unknown relation `{name}`"),
+    })?;
+    let values = split_values(inner)
+        .into_iter()
+        .map(|v| parse_value(pool, v.trim(), line_no))
+        .collect::<Result<Vec<Value>, LoaderError>>()?;
+    inst.insert(rel, &values)
+        .map(|_| ())
+        .map_err(|e: ModelError| LoaderError::Data {
+            line: line_no,
+            message: e.to_string(),
+        })
+}
+
+/// Split `Name( inner )`, tolerating nothing after the closing paren.
+fn split_call(line: &str) -> Option<(&str, &str)> {
+    let open = line.find('(')?;
+    let close = line.rfind(')')?;
+    if close < open || !line[close + 1..].trim().is_empty() {
+        return None;
+    }
+    let name = line[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some((name, &line[open + 1..close]))
+}
+
+/// Split on commas outside quotes.
+fn split_values(inner: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_quote: Option<char> = None;
+    for (i, c) in inner.char_indices() {
+        match (in_quote, c) {
+            (Some(q), c) if c == q => in_quote = None,
+            (None, '\'') | (None, '"') => in_quote = Some(c),
+            (None, ',') => {
+                out.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&inner[start..]);
+    out
+}
+
+fn parse_value(pool: &mut ValuePool, token: &str, line_no: usize) -> Result<Value, LoaderError> {
+    if token.is_empty() {
+        return Err(LoaderError::Data {
+            line: line_no,
+            message: "empty value".into(),
+        });
+    }
+    if let Ok(n) = token.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    let bytes: Vec<char> = token.chars().collect();
+    if bytes.len() >= 2 && (bytes[0] == '\'' || bytes[0] == '"') && bytes[bytes.len() - 1] == bytes[0]
+    {
+        let inner: String = bytes[1..bytes.len() - 1].iter().collect();
+        return Ok(pool.str(&inner));
+    }
+    if bytes[0].is_alphabetic() || bytes[0] == '_' {
+        // Bare identifier: a labeled null (Figure 2's N1, M1, A1 ...).
+        return Ok(pool.named_null(token));
+    }
+    Err(LoaderError::Data {
+        line: line_no,
+        message: format!("cannot parse value `{token}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCENARIO: &str = r#"
+# comment line
+source schema:
+  S(a, b)
+target schema:
+  T(a, b)
+dependencies:
+  m1: S(x, y) -> exists Z: T(x, Z)
+source data:
+  S(1, 'hello')   # trailing comment
+  S(2, 'a#b')
+target data:
+  T(1, N1)
+  T(2, N2)
+"#;
+
+    #[test]
+    fn loads_a_full_scenario() {
+        let loaded = load_scenario_str(SCENARIO).unwrap();
+        assert_eq!(loaded.mapping.st_tgds().len(), 1);
+        assert_eq!(loaded.source.total_tuples(), 2);
+        let target = loaded.target.expect("target section present");
+        assert_eq!(target.total_tuples(), 2);
+        // Bare identifiers in data are labeled nulls.
+        let t = loaded.mapping.target().rel_id("T").unwrap();
+        let row = target.tuple(routes_model::TupleId { rel: t, row: 0 });
+        assert!(row[1].is_null());
+        // Quoted '#' is not a comment.
+        let s = loaded.mapping.source().rel_id("S").unwrap();
+        let row = loaded.source.tuple(routes_model::TupleId { rel: s, row: 1 });
+        assert_eq!(loaded.pool.value_to_string(row[1]), "a#b");
+    }
+
+    #[test]
+    fn missing_target_section_means_chase() {
+        let text = "source schema:\n S(a)\ntarget schema:\n T(a)\ndependencies:\n m: S(x) -> T(x)\nsource data:\n S(1)\n";
+        let loaded = load_scenario_str(text).unwrap();
+        assert!(loaded.target.is_none());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad_dep = "source schema:\n S(a)\ntarget schema:\n T(a)\ndependencies:\n m: Nope(x) -> T(x)\n";
+        let err = load_scenario_str(bad_dep).unwrap_err();
+        assert!(matches!(err, LoaderError::Dependency { line: 6, .. }), "{err}");
+
+        let bad_row = "source schema:\n S(a)\ntarget schema:\n T(a)\nsource data:\n S(1, 2)\n";
+        let err = load_scenario_str(bad_row).unwrap_err();
+        assert!(matches!(err, LoaderError::Data { line: 6, .. }), "{err}");
+
+        let stray = "S(a)\n";
+        let err = load_scenario_str(stray).unwrap_err();
+        assert!(matches!(err, LoaderError::Structure { line: 1, .. }));
+    }
+
+    #[test]
+    fn egds_and_target_tgds_load() {
+        let text = "source schema:\n S(a)\ntarget schema:\n T(a, b)\n U(a)\ndependencies:\n \
+                    m1: S(x) -> exists Y: T(x, Y)\n m2: T(x, y) -> U(x)\n \
+                    k: T(x, y) & T(x, z) -> y = z\nsource data:\n S(1)\n";
+        let loaded = load_scenario_str(text).unwrap();
+        assert_eq!(loaded.mapping.st_tgds().len(), 1);
+        assert_eq!(loaded.mapping.target_tgds().len(), 1);
+        assert_eq!(loaded.mapping.egds().len(), 1);
+    }
+}

@@ -1,0 +1,655 @@
+//! The interactive command loop.
+//!
+//! Commands take tuple labels of the form `s<k>` (source) and `t<k>`
+//! (target) assigned in listing order, mirroring how the paper labels
+//! Figure 2 (`s1..s6`, `t1..t10`).
+
+use std::fmt::Write as _;
+
+use routes_chase::{chase, ChaseOptions, EgdLog};
+use routes_core::{
+    alternative_routes, compute_all_routes, compute_one_route, compute_source_routes,
+    enumerate_routes, is_minimal, minimize_route, route_to_string, step_to_string, stratify,
+    DebugSession, RouteEnv,
+};
+use routes_mapping::{egd_to_string, tgd_to_string, SchemaMapping};
+use routes_model::{tuple_to_string, Instance, TupleId, Value, ValuePool};
+
+use crate::loader::LoadedScenario;
+
+/// The debugger state.
+pub struct Repl {
+    pool: ValuePool,
+    mapping: SchemaMapping,
+    source: Instance,
+    target: Instance,
+    egd_log: EgdLog,
+    nested_target: Option<routes_nested::NestedSchema>,
+    source_labels: Vec<TupleId>,
+    target_labels: Vec<TupleId>,
+}
+
+impl Repl {
+    /// Build a session from a loaded scenario, chasing a solution when the
+    /// file did not supply one.
+    pub fn new(loaded: LoadedScenario) -> Result<Self, String> {
+        let LoadedScenario {
+            mut pool,
+            mapping,
+            source,
+            target,
+            nested_source: _,
+            nested_target,
+        } = loaded;
+        let (target, egd_log) = match target {
+            Some(t) => (t, EgdLog::new()),
+            None => {
+                let result = chase(&mapping, &source, &mut pool, ChaseOptions::fresh())
+                    .map_err(|e| format!("chase failed: {e}"))?;
+                (result.target, result.egd_log)
+            }
+        };
+        if !routes_mapping::is_weakly_acyclic(&mapping) {
+            eprintln!(
+                "warning: the target tgds are not weakly acyclic — the chase may not terminate"
+            );
+        }
+        let mut repl = Repl {
+            pool,
+            mapping,
+            source,
+            target,
+            egd_log,
+            nested_target,
+            source_labels: Vec::new(),
+            target_labels: Vec::new(),
+        };
+        repl.relabel();
+        Ok(repl)
+    }
+
+    fn relabel(&mut self) {
+        self.source_labels = self.source.all_rows().collect();
+        self.target_labels = self.target.all_rows().collect();
+    }
+
+    fn env(&self) -> RouteEnv<'_> {
+        RouteEnv::new(&self.mapping, &self.source, &self.target)
+    }
+
+    fn resolve_target(&self, label: &str) -> Result<TupleId, String> {
+        let idx: usize = label
+            .strip_prefix('t')
+            .and_then(|k| k.parse().ok())
+            .ok_or_else(|| format!("expected a target label like t3, found `{label}`"))?;
+        self.target_labels
+            .get(idx.wrapping_sub(1))
+            .copied()
+            .ok_or_else(|| format!("no target tuple `{label}` (see `target`)"))
+    }
+
+    fn resolve_source(&self, label: &str) -> Result<TupleId, String> {
+        let idx: usize = label
+            .strip_prefix('s')
+            .and_then(|k| k.parse().ok())
+            .ok_or_else(|| format!("expected a source label like s2, found `{label}`"))?;
+        self.source_labels
+            .get(idx.wrapping_sub(1))
+            .copied()
+            .ok_or_else(|| format!("no source tuple `{label}` (see `source`)"))
+    }
+
+    fn resolve_targets(&self, labels: &[&str]) -> Result<Vec<TupleId>, String> {
+        labels.iter().map(|l| self.resolve_target(l)).collect()
+    }
+
+    fn target_label_of(&self, id: TupleId) -> String {
+        self.target_labels
+            .iter()
+            .position(|&t| t == id)
+            .map_or_else(|| "t?".into(), |k| format!("t{}", k + 1))
+    }
+
+    /// Execute one command, returning its output (or a user-facing error).
+    pub fn execute(&mut self, command: &str) -> Result<String, String> {
+        let parts: Vec<&str> = command.split_whitespace().collect();
+        let Some(&verb) = parts.first() else {
+            return Ok(String::new());
+        };
+        match verb {
+            "help" => Ok(HELP.to_owned()),
+            "schema" => Ok(self.show_schemas()),
+            "mapping" => Ok(self.show_mapping()),
+            "source" => Ok(self.list(true, parts.get(1).copied())),
+            "target" => Ok(self.list(false, parts.get(1).copied())),
+            "probe" => {
+                let tuples = self.resolve_targets(&parts[1..])?;
+                if tuples.is_empty() {
+                    return Err("probe needs at least one target label".into());
+                }
+                let env = self.env();
+                match compute_one_route(env, &tuples) {
+                    Ok(route) => Ok(route_to_string(&self.pool, &env, &route)),
+                    Err(e) => {
+                        let labels: Vec<String> =
+                            e.no_route.iter().map(|&t| self.target_label_of(t)).collect();
+                        Ok(format!("no route exists for {}\n", labels.join(", ")))
+                    }
+                }
+            }
+            "routes" => {
+                let tuple = self.resolve_target(parts.get(1).ok_or("routes needs a label")?)?;
+                let limit: usize = parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+                let env = self.env();
+                let forest = compute_all_routes(env, &[tuple]);
+                let routes = enumerate_routes(env, &forest, &[tuple], limit);
+                if routes.is_empty() {
+                    return Ok("no routes\n".into());
+                }
+                let mut out = match routes_core::count_routes(&forest, &[tuple]) {
+                    Some(total) => format!("{total} route(s) in total\n"),
+                    None => format!(
+                        "showing {} route(s); the forest is cyclic, total count not closed-form\n",
+                        routes.len()
+                    ),
+                };
+                for (k, route) in routes.iter().enumerate() {
+                    let min = if is_minimal(&env, route, &[tuple]) {
+                        " (minimal)"
+                    } else {
+                        ""
+                    };
+                    let _ = writeln!(out, "route #{}{min}:", k + 1);
+                    out.push_str(&route_to_string(&self.pool, &env, route));
+                }
+                Ok(out)
+            }
+            "forest" => {
+                let tuples = self.resolve_targets(&parts[1..])?;
+                let env = self.env();
+                let forest = compute_all_routes(env, &tuples);
+                let mut out = routes_core::display::forest_to_string(&self.pool, &env, &forest);
+                let _ = writeln!(
+                    out,
+                    "({} nodes, {} branches)",
+                    forest.num_nodes(),
+                    forest.num_branches()
+                );
+                Ok(out)
+            }
+            "alt" => {
+                let tuple = self.resolve_target(parts.get(1).ok_or("alt needs a label")?)?;
+                let count: usize = parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+                let env = self.env();
+                let routes = alternative_routes(env, &[tuple], count);
+                let mut out = String::new();
+                for (k, route) in routes.iter().enumerate() {
+                    let _ = writeln!(out, "route #{}:", k + 1);
+                    out.push_str(&route_to_string(&self.pool, &env, route));
+                }
+                if routes.is_empty() {
+                    out.push_str("no routes\n");
+                }
+                Ok(out)
+            }
+            "minimal" => {
+                let tuple = self.resolve_target(parts.get(1).ok_or("minimal needs a label")?)?;
+                let env = self.env();
+                let route = compute_one_route(env, &[tuple]).map_err(|e| e.to_string())?;
+                let minimal = minimize_route(&env, &route, &[tuple]);
+                Ok(route_to_string(&self.pool, &env, &minimal))
+            }
+            "strat" => {
+                let tuple = self.resolve_target(parts.get(1).ok_or("strat needs a label")?)?;
+                let env = self.env();
+                let route = compute_one_route(env, &[tuple]).map_err(|e| e.to_string())?;
+                let strat = stratify(&env, &route);
+                let mut out = format!("rank {}\n", strat.rank());
+                for (k, block) in strat.blocks().iter().enumerate() {
+                    let _ = writeln!(out, "rank {}:", k + 1);
+                    for step in block {
+                        let _ = writeln!(out, "  {}", step_to_string(&self.pool, &env, step));
+                    }
+                }
+                Ok(out)
+            }
+            "trace" => {
+                let tuple = self.resolve_target(parts.get(1).ok_or("trace needs a label")?)?;
+                let env = self.env();
+                let route = compute_one_route(env, &[tuple]).map_err(|e| e.to_string())?;
+                let mut session = DebugSession::new(env, route);
+                if let Some(&bp) = parts.get(3) {
+                    if parts.get(2) == Some(&"break") && !session.add_breakpoint_by_name(bp) {
+                        return Err(format!("unknown tgd `{bp}`"));
+                    }
+                }
+                let mut out = String::new();
+                while let Some(event) = session.step() {
+                    let _ = writeln!(
+                        out,
+                        "step {}: {}{}",
+                        event.index + 1,
+                        step_to_string(&self.pool, &env, &event.step),
+                        if event.hit_breakpoint { "   *** breakpoint" } else { "" }
+                    );
+                }
+                let _ = writeln!(out, "watch: {} tuple(s) produced", session.watch().len());
+                Ok(out)
+            }
+            "exports" => {
+                let tuple = self.resolve_source(parts.get(1).ok_or("exports needs a label")?)?;
+                let depth: usize = parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+                let env = self.env();
+                let forward = compute_source_routes(env, &[tuple], depth);
+                let mut names: Vec<&str> = forward
+                    .exporting_tgds()
+                    .into_iter()
+                    .map(|id| self.mapping.tgd(id).name())
+                    .collect();
+                names.sort();
+                let mut out = format!("exported by: {}\n", names.join(", "));
+                let mut reached: Vec<String> = forward
+                    .reached_targets()
+                    .into_iter()
+                    .map(|t| self.target_label_of(t))
+                    .collect();
+                reached.sort();
+                let _ = writeln!(out, "reaches (within {depth} steps): {}", reached.join(", "));
+                Ok(out)
+            }
+            "history" => {
+                let token = parts.get(1).ok_or("history needs a value")?;
+                let value = self.parse_value_token(token)?;
+                Ok(routes_chase::history_to_string(
+                    &self.pool,
+                    &self.egd_log,
+                    value,
+                ))
+            }
+            "why" => {
+                let tuple = self.resolve_target(parts.get(1).ok_or("why needs a label")?)?;
+                let env = self.env();
+                let (result, trace) = routes_core::compute_one_route_traced(
+                    env,
+                    &[tuple],
+                    &routes_core::OneRouteOptions::default(),
+                );
+                let mut out = trace.to_text(&self.pool, &env);
+                match result {
+                    Ok(route) => {
+                        let _ = writeln!(out, "=> route with {} step(s)", route.len());
+                    }
+                    Err(_) => out.push_str("=> no route\n"),
+                }
+                Ok(out)
+            }
+            "save" => {
+                let path = parts.get(1).ok_or("save needs a file path")?;
+                let text = self.to_scenario_text();
+                std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                Ok(format!("wrote {} byte(s) to {path}\n", text.len()))
+            }
+            "plan" => {
+                let name = parts.get(1).ok_or("plan needs a tgd name")?;
+                let id = self
+                    .mapping
+                    .tgd_by_name(name)
+                    .ok_or_else(|| format!("unknown tgd `{name}`"))?;
+                let tgd = self.mapping.tgd(id);
+                let env = self.env();
+                let lhs_instance = env.lhs_instance(id);
+                let init = routes_query::Bindings::new(tgd.var_count());
+                let lhs_schema = match id.kind() {
+                    routes_mapping::TgdKind::SourceToTarget => self.mapping.source(),
+                    routes_mapping::TgdKind::Target => self.mapping.target(),
+                };
+                let mut out = format!("LHS evaluation plan for {name} (no anchor bindings):\n");
+                out.push_str(&routes_query::plan_to_string(
+                    lhs_instance,
+                    tgd.lhs(),
+                    &init,
+                    |rel| lhs_schema.relation(rel).name().to_owned(),
+                    |v| tgd.var_name(v).to_owned(),
+                ));
+                Ok(out)
+            }
+            "xml" => {
+                let nested = self
+                    .nested_target
+                    .as_ref()
+                    .ok_or("the target schema is not hierarchical")?;
+                let enc = routes_nested::encode_schema(nested);
+                let tree = routes_nested::decode_instance(nested, &enc, &self.target);
+                Ok(routes_nested::to_xmlish(nested, &tree, &self.pool))
+            }
+            "dot" => {
+                let tuples = self.resolve_targets(&parts[1..])?;
+                if tuples.is_empty() {
+                    return Err("dot needs at least one target label".into());
+                }
+                let env = self.env();
+                let forest = compute_all_routes(env, &tuples);
+                Ok(routes_core::forest_to_dot(&self.pool, &env, &forest))
+            }
+            "impact" => {
+                let path = parts.get(1).ok_or("impact needs a scenario file with the edited mapping")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                self.impact_from_text(&text)
+            }
+            "chase" => {
+                let result = chase(
+                    &self.mapping,
+                    &self.source,
+                    &mut self.pool,
+                    ChaseOptions::fresh(),
+                )
+                .map_err(|e| format!("chase failed: {e}"))?;
+                self.target = result.target;
+                self.egd_log = result.egd_log;
+                self.relabel();
+                Ok(format!(
+                    "chased: {} target tuple(s), {} round(s), {} egd merge(s)\n",
+                    self.target.total_tuples(),
+                    result.rounds,
+                    self.egd_log.len()
+                ))
+            }
+            other => Err(format!("unknown command `{other}` (try `help`)")),
+        }
+    }
+
+    /// Compare the current mapping against an edited one (given as scenario
+    /// text; only its `dependencies:` section matters — the schemas must
+    /// match) by chasing both and diffing the solutions. This is the
+    /// paper's Scenario 1 future-work feature ("demonstrate how the
+    /// modification of m1 to m1' affects tuples in J").
+    pub fn impact_from_text(&mut self, text: &str) -> Result<String, String> {
+        let edited = crate::loader::load_scenario_str(text).map_err(|e| e.to_string())?;
+        if edited.mapping.target().len() != self.mapping.target().len() {
+            return Err("edited scenario has a different target schema".into());
+        }
+        let report = routes_chase::mapping_impact(
+            &self.mapping,
+            &edited.mapping,
+            &self.source,
+            &mut self.pool,
+            ChaseOptions::fresh(),
+        )
+        .map_err(|e| format!("chase failed: {e}"))?;
+        Ok(routes_chase::impact_to_string(
+            &self.pool,
+            self.mapping.target(),
+            &report,
+            20,
+        ))
+    }
+
+    /// Serialize the session back into scenario-file text (flat sections
+    /// only — hierarchical schemas round-trip through their encodings). The
+    /// current target instance is written as explicit `target data`, so a
+    /// reloaded session sees the same solution.
+    pub fn to_scenario_text(&self) -> String {
+        let mut out = String::new();
+        let render_schema = |out: &mut String, schema: &routes_model::Schema| {
+            for (_, rel) in schema.iter() {
+                let _ = writeln!(out, "  {}({})", rel.name(), rel.attrs().join(", "));
+            }
+        };
+        out.push_str("source schema:\n");
+        render_schema(&mut out, self.mapping.source());
+        out.push_str("target schema:\n");
+        render_schema(&mut out, self.mapping.target());
+        out.push_str("dependencies:\n");
+        for tgd in self.mapping.st_tgds() {
+            let _ = writeln!(
+                out,
+                "  {}",
+                tgd_to_string(&self.pool, self.mapping.source(), self.mapping.target(), tgd)
+            );
+        }
+        for tgd in self.mapping.target_tgds() {
+            let _ = writeln!(
+                out,
+                "  {}",
+                tgd_to_string(&self.pool, self.mapping.target(), self.mapping.target(), tgd)
+            );
+        }
+        for egd in self.mapping.egds() {
+            let _ = writeln!(out, "  {}", egd_to_string(&self.pool, self.mapping.target(), egd));
+        }
+        let render_data = |out: &mut String,
+                           schema: &routes_model::Schema,
+                           inst: &Instance,
+                           pool: &ValuePool| {
+            for (rel_id, rel) in schema.iter() {
+                for (_, values) in inst.rel_tuples(rel_id) {
+                    let rendered: Vec<String> = values
+                        .iter()
+                        .map(|v| match v {
+                            Value::Int(n) => n.to_string(),
+                            Value::Str(s) => format!("'{}'", pool.resolve(*s).replace('\'', " ")),
+                            Value::Null(n) => pool.null_label(*n).to_owned(),
+                        })
+                        .collect();
+                    let _ = writeln!(out, "  {}({})", rel.name(), rendered.join(", "));
+                }
+            }
+        };
+        out.push_str("source data:\n");
+        render_data(&mut out, self.mapping.source(), &self.source, &self.pool);
+        out.push_str("target data:\n");
+        render_data(&mut out, self.mapping.target(), &self.target, &self.pool);
+        out
+    }
+
+    fn parse_value_token(&self, token: &str) -> Result<Value, String> {
+        if let Ok(n) = token.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+        if let Some(sym) = self.pool.lookup(token) {
+            return Ok(Value::Str(sym));
+        }
+        // Null labels are registered in the pool; search them.
+        for k in 0..self.pool.num_nulls() as u32 {
+            if self.pool.null_label(routes_model::NullId(k)) == token {
+                return Ok(Value::Null(routes_model::NullId(k)));
+            }
+        }
+        Err(format!("unknown value `{token}`"))
+    }
+
+    fn show_schemas(&self) -> String {
+        let mut out = String::from("source schema:\n");
+        for (_, rel) in self.mapping.source().iter() {
+            let _ = writeln!(out, "  {}({})", rel.name(), rel.attrs().join(", "));
+        }
+        out.push_str("target schema:\n");
+        for (_, rel) in self.mapping.target().iter() {
+            let _ = writeln!(out, "  {}({})", rel.name(), rel.attrs().join(", "));
+        }
+        out
+    }
+
+    fn show_mapping(&self) -> String {
+        let mut out = String::new();
+        for tgd in self.mapping.st_tgds() {
+            let _ = writeln!(
+                out,
+                "  {}",
+                tgd_to_string(&self.pool, self.mapping.source(), self.mapping.target(), tgd)
+            );
+        }
+        for tgd in self.mapping.target_tgds() {
+            let _ = writeln!(
+                out,
+                "  {}",
+                tgd_to_string(&self.pool, self.mapping.target(), self.mapping.target(), tgd)
+            );
+        }
+        for egd in self.mapping.egds() {
+            let _ = writeln!(out, "  {}", egd_to_string(&self.pool, self.mapping.target(), egd));
+        }
+        out
+    }
+
+    fn list(&self, source_side: bool, rel_filter: Option<&str>) -> String {
+        let (schema, inst, labels, prefix) = if source_side {
+            (self.mapping.source(), &self.source, &self.source_labels, 's')
+        } else {
+            (self.mapping.target(), &self.target, &self.target_labels, 't')
+        };
+        let filter = rel_filter.and_then(|name| schema.rel_id(name));
+        let mut out = String::new();
+        for (k, &id) in labels.iter().enumerate() {
+            if let Some(rel) = filter {
+                if id.rel != rel {
+                    continue;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  {prefix}{}: {}",
+                k + 1,
+                tuple_to_string(&self.pool, schema, inst, id)
+            );
+        }
+        if out.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        out
+    }
+}
+
+const HELP: &str = "commands:
+  schema                     show both schemas
+  mapping                    show the dependencies
+  source [Rel]               list source tuples (labels s1, s2, ...)
+  target [Rel]               list target tuples (labels t1, t2, ...)
+  probe t<k> [t<k> ...]      one route for the selected tuples
+  routes t<k> [limit]        all routes (NaivePrint, capped)
+  forest t<k> [t<k> ...]     print the route forest
+  alt t<k> [count]           alternative routes, one per witness
+  minimal t<k>               a minimal route
+  strat t<k>                 stratified interpretation of a route
+  trace t<k> [break <tgd>]   single-step a route (optional breakpoint)
+  why t<k>                   trace the *computation* of the route
+  plan <tgd>                 EXPLAIN the tgd's LHS evaluation plan
+  save <file>                write the session back out as a scenario file
+  exports s<k> [depth]       which tgds export a source tuple, and where to
+  history <value>            egd merge history of a value (after chase)
+  xml                        render a hierarchical target as XML
+  dot t<k> [t<k> ...]        route forest as Graphviz DOT
+  impact <file>              diff the solution against an edited mapping
+  chase                      (re)materialize the target with the chase
+  help                       this text
+  quit                       exit
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::load_scenario_str;
+
+    const TOY: &str = "source schema:\n S(a)\ntarget schema:\n T(a)\n U(a)\ndependencies:\n \
+                       m1: S(x) -> T(x)\n m2: T(x) -> U(x)\nsource data:\n S(1)\n S(2)\n";
+
+    fn repl() -> Repl {
+        Repl::new(load_scenario_str(TOY).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn listing_and_probing() {
+        let mut r = repl();
+        let targets = r.execute("target").unwrap();
+        assert!(targets.contains("t1: T(1)"));
+        assert!(targets.contains("U(1)"));
+        let filtered = r.execute("target U").unwrap();
+        assert!(filtered.contains("U(") && !filtered.contains("T(1)"));
+
+        // U(1) is t3 (T-tuples list first).
+        let probe = r.execute("probe t3").unwrap();
+        assert!(probe.contains("--m1-->"));
+        assert!(probe.contains("--m2-->"));
+    }
+
+    #[test]
+    fn routes_forest_strat_trace() {
+        let mut r = repl();
+        let routes = r.execute("routes t3").unwrap();
+        assert!(routes.contains("route #1 (minimal):"));
+        let dot = r.execute("dot t3").unwrap();
+        assert!(dot.starts_with("digraph route_forest"));
+        let forest = r.execute("forest t3").unwrap();
+        assert!(forest.contains("[m2]") && forest.contains("(source)"));
+        let strat = r.execute("strat t3").unwrap();
+        assert!(strat.starts_with("rank 2"));
+        let plan = r.execute("plan m2").unwrap();
+        assert!(plan.contains("scan") || plan.contains("index probe"), "{plan}");
+        assert!(r.execute("plan nope").is_err());
+        let why = r.execute("why t3").unwrap();
+        assert!(why.contains("explore"));
+        assert!(why.contains("=> route with"));
+        let trace = r.execute("trace t3 break m2").unwrap();
+        assert!(trace.contains("*** breakpoint"));
+        assert!(trace.contains("watch: 2 tuple(s) produced"));
+        let minimal = r.execute("minimal t1").unwrap();
+        assert_eq!(minimal.lines().count(), 1);
+    }
+
+    #[test]
+    fn exports_and_errors() {
+        let mut r = repl();
+        let exports = r.execute("exports s1").unwrap();
+        assert!(exports.contains("exported by: m1"));
+        assert!(exports.contains("t1"));
+        assert!(r.execute("probe t99").is_err());
+        assert!(r.execute("probe s1").is_err());
+        assert!(r.execute("bogus").is_err());
+        assert!(r.execute("help").unwrap().contains("probe"));
+        assert!(r.execute("schema").unwrap().contains("source schema"));
+        assert!(r.execute("mapping").unwrap().contains("m1:"));
+    }
+
+    #[test]
+    fn explicit_target_with_orphan() {
+        let text = "source schema:\n S(a)\ntarget schema:\n T(a)\ndependencies:\n \
+                    m1: S(x) -> T(x)\nsource data:\n S(1)\ntarget data:\n T(1)\n T(99)\n";
+        let mut r = Repl::new(load_scenario_str(text).unwrap()).unwrap();
+        let out = r.execute("probe t2").unwrap();
+        assert!(out.contains("no route exists for t2"));
+        // Re-chasing replaces the hand-crafted target.
+        let out = r.execute("chase").unwrap();
+        assert!(out.contains("1 target tuple(s)"));
+        assert!(r.execute("probe t2").is_err()); // t2 no longer exists
+    }
+
+    #[test]
+    fn impact_of_an_edited_mapping() {
+        let mut r = repl();
+        // Edited mapping: m2 removed — all U tuples disappear.
+        let edited = "source schema:\n S(a)\ntarget schema:\n T(a)\n U(a)\ndependencies:\n \
+                      m1: S(x) -> T(x)\nsource data:\n";
+        let out = r.impact_from_text(edited).unwrap();
+        assert!(out.contains("2 removed"), "{out}");
+        assert!(out.contains("- U(1)"));
+        assert!(out.contains("- U(2)"));
+        // Identical mapping: no-op.
+        let same = "source schema:\n S(a)\ntarget schema:\n T(a)\n U(a)\ndependencies:\n \
+                    m1: S(x) -> T(x)\n m2: T(x) -> U(x)\nsource data:\n";
+        let out = r.impact_from_text(same).unwrap();
+        assert!(out.contains("0 removed, 0 added"), "{out}");
+    }
+
+    #[test]
+    fn egd_history_through_chase() {
+        let text = "source schema:\n S(a, b)\n S2(a, b)\ntarget schema:\n T(a, b)\ndependencies:\n \
+                    m1: S(x, y) -> exists Z: T(x, Z)\n m2: S2(x, y) -> T(x, y)\n \
+                    k: T(x, y) & T(x, z) -> y = z\nsource data:\n S(1, 0)\n S2(1, 9)\n";
+        let mut r = Repl::new(load_scenario_str(text).unwrap()).unwrap();
+        let out = r.execute("history 9").unwrap();
+        assert!(out.contains("egd k equated"), "{out}");
+        let out = r.execute("history 12345").unwrap();
+        assert!(out.contains("never touched"));
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end tests of the `spider` debugger over the shipped Fargo
+//! scenario file, driving the same command sequences as the paper's §2.1
+//! walkthrough.
+
+use routes_cli::{load_scenario_str, Repl};
+
+fn fargo_repl() -> Repl {
+    let text = include_str!("../scenarios/fargo.sdl");
+    Repl::new(load_scenario_str(text).unwrap()).unwrap()
+}
+
+#[test]
+fn scenario_file_reproduces_figure_2_labels() {
+    let mut repl = fargo_repl();
+    let sources = repl.execute("source").unwrap();
+    assert!(sources.contains("s1: Cards(6689, 15K, 434, J. Long, Smith, 50K, Seattle)"));
+    assert!(sources.contains("s6: CreditCards(5539, 40K, 153)"));
+    let targets = repl.execute("target").unwrap();
+    assert!(targets.contains("t2: Accounts(N1, 2K, 234)"));
+    assert!(targets.contains("t10: Clients(234, C. Don, M5, 900K, New York)"));
+}
+
+#[test]
+fn scenario_1_probe_t5() {
+    let mut repl = fargo_repl();
+    let out = repl.execute("probe t5").unwrap();
+    assert!(out.contains("--m1-->"));
+    assert!(out.contains("loc -> Seattle"));
+    assert!(out.contains("A -> A1"));
+}
+
+#[test]
+fn scenario_2_alternatives_for_t4() {
+    let mut repl = fargo_repl();
+    let out = repl.execute("alt t4 5").unwrap();
+    assert!(out.contains("route #1"));
+    assert!(out.contains("route #2"));
+    assert!(!out.contains("route #3"));
+    assert!(out.contains("FBAccounts(1001"));
+    assert!(out.contains("FBAccounts(4341"));
+}
+
+#[test]
+fn scenario_3_probe_and_trace_t2() {
+    let mut repl = fargo_repl();
+    let out = repl.execute("probe t2").unwrap();
+    assert!(out.contains("--m2-->"));
+    assert!(out.contains("--m5-->"));
+    let trace = repl.execute("trace t2 break m5").unwrap();
+    assert!(trace.contains("*** breakpoint"));
+    let strat = repl.execute("strat t2").unwrap();
+    assert!(strat.starts_with("rank 2"));
+}
+
+#[test]
+fn exports_and_forest() {
+    let mut repl = fargo_repl();
+    let exports = repl.execute("exports s2").unwrap();
+    assert!(exports.contains("exported by: m2"));
+    let forest = repl.execute("forest t4").unwrap();
+    assert!(forest.contains("[m3]"));
+    assert!(forest.contains("branches)"));
+}
+
+#[test]
+fn rechasing_replaces_the_figure_2_solution() {
+    let mut repl = fargo_repl();
+    let out = repl.execute("chase").unwrap();
+    assert!(out.contains("chased:"));
+    // The chased solution satisfies m6 without hand-tuning and still has
+    // routable tuples.
+    let targets = repl.execute("target Accounts").unwrap();
+    assert!(targets.contains("Accounts("));
+    let first_label = targets
+        .lines()
+        .next()
+        .and_then(|l| l.trim().split(':').next())
+        .unwrap()
+        .to_owned();
+    let out = repl.execute(&format!("probe {first_label}")).unwrap();
+    assert!(out.contains("-->"));
+}
+
+#[test]
+fn nested_xml_scenario_loads_and_routes() {
+    let text = include_str!("../scenarios/dblp_nested.sdl");
+    let loaded = load_scenario_str(text).unwrap();
+    assert!(loaded.nested_source.is_some());
+    assert!(loaded.nested_target.is_some());
+    // 2 conferences + 3 editions + 4 papers.
+    assert_eq!(loaded.source.total_tuples(), 9);
+    let mut repl = Repl::new(loaded).unwrap();
+    let targets = repl.execute("target").unwrap();
+    assert!(targets.contains("Venue("));
+    assert!(targets.contains("Debugging Schema Mappings with Routes"));
+    // Probe the first publication: one route through the `pub` tgd.
+    let pub_label = targets
+        .lines()
+        .find(|l| l.contains("Publication("))
+        .and_then(|l| l.trim().split(':').next())
+        .unwrap()
+        .to_owned();
+    let out = repl.execute(&format!("probe {pub_label}")).unwrap();
+    assert!(out.contains("--pub-->"), "{out}");
+    // The decoded XML view groups publications under their venues.
+    let xml = repl.execute("xml").unwrap();
+    assert!(xml.contains("<Venue name=\"VLDB\">"), "{xml}");
+    assert!(xml.contains("<Publication title=\"Peer Data Exchange\" year=\"2005\"/>"), "{xml}");
+    // The vkey egd merged the per-paper venue nulls: exactly one VLDB node.
+    assert_eq!(xml.matches("<Venue name=\"VLDB\">").count(), 1, "{xml}");
+}
+
+#[test]
+fn nested_loader_rejects_bad_structure() {
+    // Data without an xml schema.
+    let text = "source schema:\n S(a)\ntarget schema:\n T(a)\nsource xml data:\n X(1)\n";
+    assert!(load_scenario_str(text).is_err());
+    // A record nested under the wrong parent.
+    let text = "source xml schema:\n A(x)\n  B(y)\ntarget schema:\n T(a)\n\
+                dependencies:\n m: A(s, p, x) -> T(x)\nsource xml data:\n B(1)\n";
+    let err = load_scenario_str(text).unwrap_err();
+    assert!(err.to_string().contains("wrong parent"), "{err}");
+    // Arity mismatch in nested data.
+    let text = "source xml schema:\n A(x)\ntarget schema:\n T(a)\n\
+                dependencies:\n m: A(s, p, x) -> T(x)\nsource xml data:\n A(1, 2)\n";
+    let err = load_scenario_str(text).unwrap_err();
+    assert!(err.to_string().contains("value(s)"), "{err}");
+}
+
+#[test]
+fn scenario_roundtrips_through_save() {
+    let repl = fargo_repl();
+    let text = repl.to_scenario_text();
+    let reloaded = load_scenario_str(&text)
+        .unwrap_or_else(|e| panic!("saved scenario must reload: {e}\n{text}"));
+    assert_eq!(reloaded.source.total_tuples(), 6);
+    assert_eq!(
+        reloaded.target.as_ref().map(routes_model::Instance::total_tuples),
+        Some(10)
+    );
+    assert_eq!(reloaded.mapping.st_tgds().len(), 3);
+    assert_eq!(reloaded.mapping.target_tgds().len(), 2);
+    assert_eq!(reloaded.mapping.egds().len(), 1);
+    // A reloaded session answers the same probes.
+    let mut repl2 = Repl::new(reloaded).unwrap();
+    let out = repl2.execute("probe t2").unwrap();
+    assert!(out.contains("--m2-->") && out.contains("--m5-->"), "{out}");
+}
+
+#[test]
+fn example_3_5_scenario_file() {
+    let text = include_str!("../scenarios/example_3_5.sdl");
+    let mut repl = Repl::new(load_scenario_str(text).unwrap()).unwrap();
+    // T7 is t7 (targets list in declaration order, one tuple each).
+    let routes = repl.execute("routes t7 20").unwrap();
+    // The single NaivePrint route is the paper's R3 (10 steps).
+    assert_eq!(routes.matches("route #").count(), 1, "{routes}");
+    assert_eq!(routes.matches("--s").count(), 10, "{routes}");
+    let why = repl.execute("why t7").unwrap();
+    assert!(why.contains("park (T7(a), s6, h)"), "{why}");
+    let dot = repl.execute("dot t7").unwrap();
+    assert!(dot.contains("label=\"s7\""));
+}

@@ -1,0 +1,195 @@
+//! `ComputeAllRoutes` (paper Figure 3).
+//!
+//! For every tuple first encountered during construction, *all* `(σ, h)`
+//! branches are computed (via `findHom`) exactly once — the `ACTIVETUPLES`
+//! memoization — and target-tgd branches enqueue their LHS tuples for
+//! exploration. The result is a [`RouteForest`] whose size is polynomial in
+//! `|I| + |J| + |Js|` (Proposition 3.6) and which represents every minimal
+//! route up to stratified interpretation (Theorem 3.7).
+
+use std::collections::HashSet;
+
+use routes_mapping::TgdId;
+use routes_model::{Fact, TupleId, Value};
+
+use crate::env::RouteEnv;
+use crate::findhom::{AnchorSide, FindHom};
+use crate::forest::{Branch, RouteForest};
+
+/// Build the route forest for the selected target tuples.
+///
+/// Works for **any** solution `J`: selected tuples with no witnessing
+/// assignment simply get an empty branch list (and
+/// [`RouteForest::all_roots_provable`] reports the gap).
+pub fn compute_all_routes(env: RouteEnv<'_>, selected: &[TupleId]) -> RouteForest {
+    let mut forest = RouteForest {
+        roots: selected.to_vec(),
+        ..RouteForest::default()
+    };
+    let mut active: HashSet<TupleId> = HashSet::new();
+    // Explicit worklist rather than recursion: route chains can be as long
+    // as |J| (e.g. transitive-closure mappings).
+    let mut stack: Vec<TupleId> = selected.iter().rev().copied().collect();
+
+    while let Some(t) = stack.pop() {
+        if !active.insert(t) {
+            continue;
+        }
+        forest.order.push(t);
+        let mut branches: Vec<Branch> = Vec::new();
+        let mut seen: HashSet<(TgdId, Box<[Value]>)> = HashSet::new();
+        // Steps 2 and 3 of Figure 3: every s-t tgd, then every target tgd.
+        for tgd_id in env.mapping.tgd_ids() {
+            let mut fh = FindHom::new(env, tgd_id, AnchorSide::Rhs, Fact::target(t));
+            while let Some(hom) = fh.next_hom() {
+                if !seen.insert((tgd_id, hom.clone())) {
+                    continue;
+                }
+                let lhs_facts = env
+                    .lhs_facts(tgd_id, &hom)
+                    .expect("findHom assignments map the LHS into its instance");
+                let rhs_tuples = env
+                    .rhs_tuples(tgd_id, &hom)
+                    .expect("findHom assignments map the RHS into the solution");
+                // Deduplicate children while preserving atom order.
+                let mut lhs_dedup: Vec<Fact> = Vec::with_capacity(lhs_facts.len());
+                for f in lhs_facts {
+                    if !lhs_dedup.contains(&f) {
+                        lhs_dedup.push(f);
+                    }
+                }
+                let branch = Branch {
+                    tgd: tgd_id,
+                    hom,
+                    lhs_facts: lhs_dedup,
+                    rhs_tuples,
+                };
+                // Step 3(b): explore the LHS tuples of target-tgd branches.
+                for child in branch.target_children() {
+                    stack.push(child);
+                }
+                branches.push(branch);
+            }
+        }
+        forest.branches.insert(t, branches);
+    }
+    forest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::example_3_5;
+    use routes_chase::{chase, ChaseOptions};
+    use routes_mapping::{parse_st_tgd, SchemaMapping};
+    use routes_model::{Instance, Schema, ValuePool};
+    use routes_model::Value;
+
+    fn t_of(m: &SchemaMapping, j: &Instance, rel: &str) -> TupleId {
+        let r = m.target().rel_id(rel).unwrap();
+        j.rel_rows(r).next().unwrap()
+    }
+
+    #[test]
+    fn figure_5_forest_structure() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7 = t_of(&m, &j, "T7");
+        let forest = compute_all_routes(env, &[t7]);
+
+        // Every tuple T1..T7 is explored (Figure 5 reaches them all).
+        assert_eq!(forest.num_nodes(), 7);
+
+        // Branch counts per node, per Figure 5:
+        // T7: {σ6}; T4: {σ4}; T6: {σ8}; T3: {σ7, σ3}; T5: {σ5}; T2: {σ2}; T1: {σ1}.
+        let expect = [
+            ("T7", vec!["s6"]),
+            ("T4", vec!["s4"]),
+            ("T6", vec!["s8"]),
+            ("T3", vec!["s3", "s7"]),
+            ("T5", vec!["s5"]),
+            ("T2", vec!["s2"]),
+            ("T1", vec!["s1"]),
+        ];
+        for (rel, mut tgds) in expect {
+            let t = t_of(&m, &j, rel);
+            let mut got: Vec<String> = forest
+                .branches_of(t)
+                .iter()
+                .map(|b| m.tgd(b.tgd).name().to_owned())
+                .collect();
+            got.sort();
+            tgds.sort();
+            assert_eq!(got, tgds, "branches under {rel}");
+        }
+        assert!(forest.all_roots_provable());
+    }
+
+    #[test]
+    fn unjustifiable_tuple_has_empty_branches() {
+        // J contains a tuple no tgd can witness.
+        let mut s = Schema::new();
+        s.rel("S", &["a"]);
+        let mut t = Schema::new();
+        t.rel("T", &["a"]);
+        let mut pool = ValuePool::new();
+        let mut m = SchemaMapping::new(s.clone(), t.clone());
+        m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m: S(x) -> T(x)").unwrap())
+            .unwrap();
+        let i = Instance::new(&s); // empty source
+        let mut j = Instance::new(&t);
+        let orphan = j.insert_ok(t.rel_id("T").unwrap(), &[Value::Int(5)]);
+        let env = RouteEnv::new(&m, &i, &j);
+        let forest = compute_all_routes(env, &[orphan]);
+        assert!(forest.branches_of(orphan).is_empty());
+        assert!(!forest.all_roots_provable());
+    }
+
+    #[test]
+    fn forest_over_chased_solution_is_fully_provable() {
+        let (m, _i, _j, mut pool) = example_3_5();
+        // Rebuild I and chase it; every chase tuple must be provable.
+        let mut i = Instance::new(m.source());
+        let a = pool.str("a");
+        let b = pool.str("b");
+        i.insert_ok(m.source().rel_id("S1").unwrap(), &[a]);
+        i.insert_ok(m.source().rel_id("S2").unwrap(), &[a]);
+        i.insert_ok(m.source().rel_id("S2").unwrap(), &[b]);
+        let r = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap();
+        let env = RouteEnv::new(&m, &i, &r.target);
+        let all: Vec<TupleId> = r.target.all_rows().collect();
+        let forest = compute_all_routes(env, &all);
+        let provable = forest.provable_set();
+        for t in all {
+            assert!(provable.contains(&t), "chased tuple {t:?} must have a route");
+        }
+    }
+
+    #[test]
+    fn dotted_branch_extension_of_figure_5() {
+        // Add σ9: S3(x) -> T5(x) and the source tuple S3(a): T5 gains a
+        // second branch (the paper's leftmost dotted branch).
+        let (mut m, mut i, j, mut pool) = example_3_5();
+        let s9 = parse_st_tgd(
+            m.source(),
+            m.target(),
+            &mut pool,
+            "s9: S3(x) -> T5(x)",
+        )
+        .unwrap();
+        m.add_st_tgd(s9).unwrap();
+        let a = pool.str("a");
+        i.insert_ok(m.source().rel_id("S3").unwrap(), &[a]);
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7 = t_of(&m, &j, "T7");
+        let forest = compute_all_routes(env, &[t7]);
+        let t5 = t_of(&m, &j, "T5");
+        let mut tgds: Vec<String> = forest
+            .branches_of(t5)
+            .iter()
+            .map(|b| m.tgd(b.tgd).name().to_owned())
+            .collect();
+        tgds.sort();
+        assert_eq!(tgds, ["s5", "s9"]);
+    }
+}

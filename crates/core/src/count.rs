@@ -1,0 +1,147 @@
+//! Exact route counting over route forests.
+//!
+//! The paper observes that a selection can have exponentially many (minimal)
+//! routes while the forest stays polynomial. When the forest is *acyclic*,
+//! the exact count is computable in polynomial time by dynamic programming:
+//!
+//! ```text
+//! count(t)   = Σ over branches b of t:  1                        if b is s-t
+//!                                       Π over children c of b: count(c)
+//! count(set) = Π over tuples t in set: count(t)
+//! ```
+//!
+//! On cyclic forests `NaivePrint`'s `ANCESTORS` pruning makes the route set
+//! context-dependent, so the DP is not well-defined and [`count_routes`]
+//! returns `None` — fall back to capped enumeration
+//! ([`crate::enumerate_routes`]) there.
+
+use std::collections::HashMap;
+
+use routes_model::TupleId;
+
+use crate::forest::RouteForest;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    InProgress,
+    Done(u128),
+}
+
+/// Exact number of routes `NaivePrint` would produce for `selected`, when
+/// the forest is acyclic; `None` if a cycle (or a u128 overflow) makes the
+/// count ill-defined.
+pub fn count_routes(forest: &RouteForest, selected: &[TupleId]) -> Option<u128> {
+    let mut memo: HashMap<TupleId, State> = HashMap::new();
+    let mut product: u128 = 1;
+    // Deduplicate selection (as NaivePrint does).
+    let mut seen = Vec::new();
+    for &t in selected {
+        if !seen.contains(&t) {
+            seen.push(t);
+        }
+    }
+    for t in seen {
+        let c = count_tuple(forest, t, &mut memo)?;
+        product = product.checked_mul(c)?;
+    }
+    Some(product)
+}
+
+fn count_tuple(
+    forest: &RouteForest,
+    t: TupleId,
+    memo: &mut HashMap<TupleId, State>,
+) -> Option<u128> {
+    match memo.get(&t) {
+        Some(State::Done(c)) => return Some(*c),
+        Some(State::InProgress) => return None, // cycle
+        None => {}
+    }
+    memo.insert(t, State::InProgress);
+    let mut total: u128 = 0;
+    for branch in forest.branches_of(t) {
+        let branch_count = if branch.is_st() {
+            1u128
+        } else {
+            let mut product: u128 = 1;
+            for child in branch.target_children() {
+                let c = count_tuple(forest, child, memo)?;
+                product = product.checked_mul(c)?;
+            }
+            product
+        };
+        total = total.checked_add(branch_count)?;
+    }
+    memo.insert(t, State::Done(total));
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_routes::compute_all_routes;
+    use crate::env::RouteEnv;
+    use crate::print::enumerate_routes;
+    use routes_chase::{chase, ChaseOptions};
+    use routes_mapping::{parse_st_tgd, SchemaMapping};
+    use routes_model::{Instance, Schema, Value, ValuePool};
+
+    #[test]
+    fn count_matches_enumeration_on_a_fanout_scenario() {
+        // S1(x) -> T(x), S2(x) -> T(x): every T tuple derivable two ways;
+        // selecting k tuples gives 2^k routes.
+        let mut s = Schema::new();
+        s.rel("S1", &["a"]);
+        s.rel("S2", &["a"]);
+        let mut t = Schema::new();
+        t.rel("T", &["a"]);
+        let mut pool = ValuePool::new();
+        let mut m = SchemaMapping::new(s.clone(), t.clone());
+        m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "a: S1(x) -> T(x)").unwrap())
+            .unwrap();
+        m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "b: S2(x) -> T(x)").unwrap())
+            .unwrap();
+        let mut i = Instance::new(&s);
+        for k in 0..8 {
+            i.insert_ok(s.rel_id("S1").unwrap(), &[Value::Int(k)]);
+            i.insert_ok(s.rel_id("S2").unwrap(), &[Value::Int(k)]);
+        }
+        let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+        let env = RouteEnv::new(&m, &i, &j);
+        let all: Vec<_> = j.all_rows().collect();
+        let forest = compute_all_routes(env, &all);
+        assert_eq!(count_routes(&forest, &all), Some(1 << 8));
+        // Spot-check against enumeration for a 3-tuple selection: 8 routes.
+        let sel = &all[..3];
+        let forest3 = compute_all_routes(env, sel);
+        assert_eq!(count_routes(&forest3, sel), Some(8));
+        assert_eq!(enumerate_routes(env, &forest3, sel, 100).len(), 8);
+    }
+
+    #[test]
+    fn cyclic_forest_returns_none() {
+        use crate::testkit::example_3_5;
+        // Example 3.5's forest contains the σ7 back-edge T3 → T5 → ... → T3.
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7_rel = m.target().rel_id("T7").unwrap();
+        let t7 = routes_model::TupleId { rel: t7_rel, row: 0 };
+        let forest = compute_all_routes(env, &[t7]);
+        assert_eq!(count_routes(&forest, &[t7]), None);
+    }
+
+    #[test]
+    fn empty_branch_tuples_count_zero() {
+        let mut forest = RouteForest::default();
+        let t = routes_model::TupleId {
+            rel: routes_model::RelId(0),
+            row: 0,
+        };
+        forest.branches.insert(t, vec![]);
+        assert_eq!(count_routes(&forest, &[t]), Some(0));
+        // And a multi-selection with a zero factor is zero overall.
+        assert_eq!(count_routes(&forest, &[t, t]), Some(0));
+        // Empty selection: the empty product.
+        assert_eq!(count_routes(&forest, &[]), Some(1));
+    }
+}

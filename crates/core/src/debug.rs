@@ -1,0 +1,211 @@
+//! The interactive debugger session (paper §3.4): breakpoints on tgds,
+//! single-stepping the computation of a route, and a watch window showing
+//! how the (replayed) target instance grows and which variable assignment
+//! each step uses.
+
+use std::collections::HashSet;
+
+use routes_mapping::TgdId;
+use routes_model::{TupleId, Value, ValuePool, Var};
+
+use crate::display::step_to_string;
+use crate::env::RouteEnv;
+use crate::route::Route;
+use crate::step::SatisfactionStep;
+
+/// What happened on one `step()` of the session.
+#[derive(Debug, Clone)]
+pub struct StepEvent {
+    /// Index of the executed step within the route.
+    pub index: usize,
+    /// The executed step.
+    pub step: SatisfactionStep,
+    /// Target tuples newly added to the watch window by this step.
+    pub new_tuples: Vec<TupleId>,
+    /// The step's variable assignment as `(name, value)` pairs.
+    pub assignment: Vec<(String, Value)>,
+    /// Whether a breakpoint on this step's tgd fired.
+    pub hit_breakpoint: bool,
+}
+
+/// A single-stepping session over a computed route.
+///
+/// The session replays the route one satisfaction step at a time,
+/// maintaining the produced-tuple set (“watch window”) and honouring
+/// breakpoints on tgds.
+pub struct DebugSession<'a> {
+    env: RouteEnv<'a>,
+    route: Route,
+    position: usize,
+    breakpoints: HashSet<TgdId>,
+    produced: HashSet<TupleId>,
+}
+
+impl<'a> DebugSession<'a> {
+    /// Start a session over a route.
+    pub fn new(env: RouteEnv<'a>, route: Route) -> Self {
+        DebugSession {
+            env,
+            route,
+            position: 0,
+            breakpoints: HashSet::new(),
+            produced: HashSet::new(),
+        }
+    }
+
+    /// Set a breakpoint on a tgd.
+    pub fn add_breakpoint(&mut self, tgd: TgdId) {
+        self.breakpoints.insert(tgd);
+    }
+
+    /// Set a breakpoint by tgd name; returns whether the name resolved.
+    pub fn add_breakpoint_by_name(&mut self, name: &str) -> bool {
+        match self.env.mapping.tgd_by_name(name) {
+            Some(id) => {
+                self.breakpoints.insert(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a breakpoint.
+    pub fn remove_breakpoint(&mut self, tgd: TgdId) {
+        self.breakpoints.remove(&tgd);
+    }
+
+    /// The current step index (next to execute).
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Whether the route has been fully replayed.
+    pub fn finished(&self) -> bool {
+        self.position >= self.route.len()
+    }
+
+    /// The watch window: target tuples produced so far.
+    pub fn watch(&self) -> &HashSet<TupleId> {
+        &self.produced
+    }
+
+    /// Execute one step; `None` when finished.
+    pub fn step(&mut self) -> Option<StepEvent> {
+        let step = self.route.steps().get(self.position)?.clone();
+        let index = self.position;
+        self.position += 1;
+
+        let rhs = step.rhs_tuples(&self.env).unwrap_or_default();
+        let new_tuples: Vec<TupleId> = rhs
+            .into_iter()
+            .filter(|t| self.produced.insert(*t))
+            .collect();
+        let tgd = self.env.mapping.tgd(step.tgd);
+        let assignment = (0..tgd.var_count() as u32)
+            .map(|v| {
+                (
+                    tgd.var_name(Var(v)).to_owned(),
+                    step.hom[v as usize],
+                )
+            })
+            .collect();
+        Some(StepEvent {
+            index,
+            step: step.clone(),
+            new_tuples,
+            assignment,
+            hit_breakpoint: self.breakpoints.contains(&step.tgd),
+        })
+    }
+
+    /// Run until a breakpoint fires or the route ends; returns the event
+    /// that hit the breakpoint, if any.
+    pub fn run_to_breakpoint(&mut self) -> Option<StepEvent> {
+        while let Some(event) = self.step() {
+            if event.hit_breakpoint {
+                return Some(event);
+            }
+        }
+        None
+    }
+
+    /// Render the next step without executing it (the “source line” view).
+    pub fn peek(&self, pool: &ValuePool) -> Option<String> {
+        self.route
+            .steps()
+            .get(self.position)
+            .map(|s| step_to_string(pool, &self.env, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::example_3_5;
+    use crate::one_route::compute_one_route;
+
+    #[test]
+    fn stepping_replays_the_route() {
+        let (m, i, j, pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7_rel = m.target().rel_id("T7").unwrap();
+        let t7 = j.rel_rows(t7_rel).next().unwrap();
+        let route = compute_one_route(env, &[t7]).unwrap();
+        let total = route.len();
+        let mut session = DebugSession::new(env, route);
+
+        assert!(session.peek(&pool).is_some());
+        let mut events = 0;
+        while let Some(event) = session.step() {
+            assert_eq!(event.index, events);
+            assert!(!event.assignment.is_empty());
+            events += 1;
+        }
+        assert_eq!(events, total);
+        assert!(session.finished());
+        assert!(session.watch().contains(&t7));
+        assert!(session.step().is_none());
+        assert!(session.peek(&pool).is_none());
+    }
+
+    #[test]
+    fn breakpoints_fire_on_their_tgd() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7_rel = m.target().rel_id("T7").unwrap();
+        let t7 = j.rel_rows(t7_rel).next().unwrap();
+        let route = compute_one_route(env, &[t7]).unwrap();
+        let mut session = DebugSession::new(env, route);
+        assert!(session.add_breakpoint_by_name("s5"));
+        assert!(!session.add_breakpoint_by_name("nonexistent"));
+
+        let event = session.run_to_breakpoint().expect("σ5 occurs in the route");
+        assert_eq!(m.tgd(event.step.tgd).name(), "s5");
+        // Watch window already contains σ5's premises T4 and T1 and now T5.
+        let t5_rel = m.target().rel_id("T5").unwrap();
+        let t5 = j.rel_rows(t5_rel).next().unwrap();
+        assert!(session.watch().contains(&t5));
+
+        // Removing the breakpoint lets the rest run through.
+        let tgd = event.step.tgd;
+        session.remove_breakpoint(tgd);
+        assert!(session.run_to_breakpoint().is_none());
+        assert!(session.finished());
+    }
+
+    #[test]
+    fn new_tuples_are_reported_once() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7_rel = m.target().rel_id("T7").unwrap();
+        let t7 = j.rel_rows(t7_rel).next().unwrap();
+        let route = compute_one_route(env, &[t7]).unwrap();
+        let mut session = DebugSession::new(env, route);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(event) = session.step() {
+            for t in &event.new_tuples {
+                assert!(seen.insert(*t), "tuple reported as new twice");
+            }
+        }
+    }
+}

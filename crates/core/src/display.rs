@@ -1,0 +1,132 @@
+//! Rendering routes, steps, and forests for the debugger UI (and examples).
+
+use routes_model::{tuple_to_string, Side, TupleId, ValuePool, Var};
+
+use crate::env::RouteEnv;
+use crate::forest::RouteForest;
+use crate::route::Route;
+use crate::step::SatisfactionStep;
+
+/// Render one satisfaction step as
+/// `s2 --m2,h--> t6   where h = {an -> 6689, s -> 234, ...}`.
+pub fn step_to_string(pool: &ValuePool, env: &RouteEnv<'_>, step: &SatisfactionStep) -> String {
+    let tgd = env.mapping.tgd(step.tgd);
+    let lhs = step
+        .lhs_facts(env)
+        .map(|facts| {
+            facts
+                .iter()
+                .map(|f| match f.side {
+                    Side::Source => tuple_to_string(pool, env.mapping.source(), env.source, f.id),
+                    Side::Target => tuple_to_string(pool, env.mapping.target(), env.target, f.id),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .unwrap_or_else(|| "<unresolvable LHS>".into());
+    let rhs = step
+        .rhs_tuples(env)
+        .map(|ts| {
+            ts.iter()
+                .map(|&t| tuple_to_string(pool, env.mapping.target(), env.target, t))
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .unwrap_or_else(|| "<unresolvable RHS>".into());
+    let hom = (0..tgd.var_count() as u32)
+        .map(|v| {
+            format!(
+                "{} -> {}",
+                tgd.var_name(Var(v)),
+                pool.value_to_string(step.hom[v as usize])
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{} --{}--> {}   with h = {{{}}}", lhs, tgd.name(), rhs, hom)
+}
+
+/// Render a route as a numbered list of steps.
+pub fn route_to_string(pool: &ValuePool, env: &RouteEnv<'_>, route: &Route) -> String {
+    let mut out = String::new();
+    for (i, step) in route.steps().iter().enumerate() {
+        out.push_str(&format!("  {}. {}\n", i + 1, step_to_string(pool, env, step)));
+    }
+    out
+}
+
+/// Render a route forest as an indented tree rooted at each selected tuple
+/// (repeated occurrences are shown as references, like the paper's Figure 5
+/// back-links).
+pub fn forest_to_string(pool: &ValuePool, env: &RouteEnv<'_>, forest: &RouteForest) -> String {
+    let mut out = String::new();
+    for &root in &forest.roots {
+        let mut path: Vec<TupleId> = Vec::new();
+        render_node(pool, env, forest, root, 0, &mut path, &mut out);
+    }
+    out
+}
+
+fn render_node(
+    pool: &ValuePool,
+    env: &RouteEnv<'_>,
+    forest: &RouteForest,
+    t: TupleId,
+    indent: usize,
+    path: &mut Vec<TupleId>,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(indent);
+    let label = tuple_to_string(pool, env.mapping.target(), env.target, t);
+    if path.contains(&t) {
+        out.push_str(&format!("{pad}{label} (see above)\n"));
+        return;
+    }
+    out.push_str(&format!("{pad}{label}\n"));
+    path.push(t);
+    for branch in forest.branches_of(t) {
+        let tgd = env.mapping.tgd(branch.tgd);
+        out.push_str(&format!("{pad}  [{}]\n", tgd.name()));
+        for fact in &branch.lhs_facts {
+            match fact.side {
+                Side::Source => {
+                    let s = tuple_to_string(pool, env.mapping.source(), env.source, fact.id);
+                    out.push_str(&format!("{pad}    {s} (source)\n"));
+                }
+                Side::Target => {
+                    render_node(pool, env, forest, fact.id, indent + 2, path, out);
+                }
+            }
+        }
+    }
+    path.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_routes::compute_all_routes;
+    use crate::testkit::example_3_5;
+    use crate::one_route::compute_one_route;
+
+    #[test]
+    fn renders_route_and_forest() {
+        let (m, i, j, pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7_rel = m.target().rel_id("T7").unwrap();
+        let t7 = j.rel_rows(t7_rel).next().unwrap();
+        let route = compute_one_route(env, &[t7]).unwrap();
+        let text = route_to_string(&pool, &env, &route);
+        assert!(text.contains("T7(a)"));
+        assert!(text.contains("--s6-->"));
+        assert!(text.contains("x -> a"));
+
+        let forest = compute_all_routes(env, &[t7]);
+        let tree = forest_to_string(&pool, &env, &forest);
+        assert!(tree.contains("T7(a)"));
+        assert!(tree.contains("[s6]"));
+        assert!(tree.contains("(source)"));
+        // The T4 under σ5 is a back-reference.
+        assert!(tree.contains("(see above)"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Graphviz (DOT) export of route forests — the visual the paper's SPIDER
+//! demo renders interactively (Figure 5 is exactly such a drawing).
+//!
+//! Tuple nodes are boxes; `(σ, h)` branches are small circles labeled with
+//! the tgd name; source facts are grey boxes. Repeated tuple occurrences
+//! share one node, so the drawing shows the forest's factoring of common
+//! steps.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use routes_model::{tuple_to_string, Fact, Side, ValuePool};
+
+use crate::env::RouteEnv;
+use crate::forest::RouteForest;
+use crate::route::Route;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render a route forest as a DOT digraph.
+pub fn forest_to_dot(pool: &ValuePool, env: &RouteEnv<'_>, forest: &RouteForest) -> String {
+    let mut out = String::from("digraph route_forest {\n  rankdir=BT;\n  node [fontsize=10];\n");
+    let mut tuple_nodes: HashMap<Fact, String> = HashMap::new();
+    let mut next_id = 0usize;
+
+    let mut node_for = |fact: Fact, out: &mut String, pool: &ValuePool, env: &RouteEnv<'_>| {
+        if let Some(id) = tuple_nodes.get(&fact) {
+            return id.clone();
+        }
+        let id = format!("n{next_id}");
+        next_id += 1;
+        let (label, style) = match fact.side {
+            Side::Target => (
+                tuple_to_string(pool, env.mapping.target(), env.target, fact.id),
+                "shape=box",
+            ),
+            Side::Source => (
+                tuple_to_string(pool, env.mapping.source(), env.source, fact.id),
+                "shape=box, style=filled, fillcolor=lightgrey",
+            ),
+        };
+        let _ = writeln!(out, "  {id} [label=\"{}\", {style}];", escape(&label));
+        tuple_nodes.insert(fact, id.clone());
+        id
+    };
+
+    // Roots first so they render prominently.
+    for &root in &forest.roots {
+        let id = node_for(Fact::target(root), &mut out, pool, env);
+        let _ = writeln!(out, "  {id} [penwidth=2];");
+    }
+
+    let mut branch_id = 0usize;
+    for &t in &forest.order {
+        let tuple_node = node_for(Fact::target(t), &mut out, pool, env);
+        for branch in forest.branches_of(t) {
+            let bid = format!("b{branch_id}");
+            branch_id += 1;
+            let tgd = env.mapping.tgd(branch.tgd);
+            let _ = writeln!(
+                out,
+                "  {bid} [label=\"{}\", shape=circle, fontsize=9];",
+                escape(tgd.name())
+            );
+            let _ = writeln!(out, "  {bid} -> {tuple_node};");
+            for &child in &branch.lhs_facts {
+                let child_node = node_for(child, &mut out, pool, env);
+                let _ = writeln!(out, "  {child_node} -> {bid};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render one route as a DOT digraph: steps as numbered circles connected
+/// premise → step → conclusion.
+pub fn route_to_dot(pool: &ValuePool, env: &RouteEnv<'_>, route: &Route) -> String {
+    let mut out = String::from("digraph route {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    let mut tuple_nodes: HashMap<Fact, String> = HashMap::new();
+    let mut next_id = 0usize;
+    let mut node_for = |fact: Fact, out: &mut String| {
+        if let Some(id) = tuple_nodes.get(&fact) {
+            return id.clone();
+        }
+        let id = format!("n{next_id}");
+        next_id += 1;
+        let (label, style) = match fact.side {
+            Side::Target => (
+                tuple_to_string(pool, env.mapping.target(), env.target, fact.id),
+                "shape=box",
+            ),
+            Side::Source => (
+                tuple_to_string(pool, env.mapping.source(), env.source, fact.id),
+                "shape=box, style=filled, fillcolor=lightgrey",
+            ),
+        };
+        let _ = writeln!(out, "  {id} [label=\"{}\", {style}];", escape(&label));
+        tuple_nodes.insert(fact, id.clone());
+        id
+    };
+
+    for (k, step) in route.steps().iter().enumerate() {
+        let sid = format!("s{k}");
+        let tgd = env.mapping.tgd(step.tgd);
+        let _ = writeln!(
+            out,
+            "  {sid} [label=\"{}. {}\", shape=circle, fontsize=9];",
+            k + 1,
+            escape(tgd.name())
+        );
+        if let Some(lhs) = step.lhs_facts(env) {
+            for fact in lhs {
+                let fid = node_for(fact, &mut out);
+                let _ = writeln!(out, "  {fid} -> {sid};");
+            }
+        }
+        if let Some(rhs) = step.rhs_tuples(env) {
+            for t in rhs {
+                let fid = node_for(Fact::target(t), &mut out);
+                let _ = writeln!(out, "  {sid} -> {fid};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_routes::compute_all_routes;
+    use crate::one_route::compute_one_route;
+    use crate::testkit::example_3_5;
+    use routes_model::TupleId;
+
+    #[test]
+    fn forest_dot_is_well_formed() {
+        let (m, i, j, pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7_rel = m.target().rel_id("T7").unwrap();
+        let t7 = TupleId { rel: t7_rel, row: 0 };
+        let forest = compute_all_routes(env, &[t7]);
+        let dot = forest_to_dot(&pool, &env, &forest);
+        assert!(dot.starts_with("digraph route_forest {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("T7(a)"));
+        assert!(dot.contains("lightgrey")); // source facts present
+        // Each explored tuple appears exactly once as a node label.
+        assert_eq!(dot.matches("label=\"T4(a)\"").count(), 1);
+        // Branch circles for σ3 and σ7 under T3.
+        assert!(dot.contains("label=\"s3\""));
+        assert!(dot.contains("label=\"s7\""));
+    }
+
+    #[test]
+    fn route_dot_is_well_formed() {
+        let (m, i, j, pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7_rel = m.target().rel_id("T7").unwrap();
+        let t7 = TupleId { rel: t7_rel, row: 0 };
+        let route = compute_one_route(env, &[t7]).unwrap();
+        let dot = route_to_dot(&pool, &env, &route);
+        assert!(dot.starts_with("digraph route {"));
+        assert!(dot.contains("1. s"));
+        assert!(dot.contains("-> s0"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

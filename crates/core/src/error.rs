@@ -1,0 +1,105 @@
+//! Error types for route validation and computation.
+
+use std::fmt;
+
+use routes_model::TupleId;
+
+/// Why a step sequence fails to be a route (Definition 3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A step's assignment is not a homomorphism of the tgd's LHS into the
+    /// instance its LHS ranges over.
+    LhsNotInInstance {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// A step's assignment does not map the tgd's RHS into the solution `J`.
+    RhsNotInSolution {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// A target-tgd step uses an LHS tuple that has not been produced by an
+    /// earlier step (it is not in `J_i`).
+    LhsTupleNotYetProduced {
+        /// Index of the offending step.
+        step: usize,
+        /// The premature tuple.
+        tuple: TupleId,
+    },
+    /// The sequence replays fine but does not produce all selected tuples.
+    SelectionNotProduced {
+        /// Selected tuples missing from the produced set.
+        missing: Vec<TupleId>,
+    },
+    /// Routes are non-empty sequences by definition.
+    Empty,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::LhsNotInInstance { step } => {
+                write!(f, "step {step}: assignment does not map the LHS into its instance")
+            }
+            RouteError::RhsNotInSolution { step } => {
+                write!(f, "step {step}: assignment does not map the RHS into the solution")
+            }
+            RouteError::LhsTupleNotYetProduced { step, tuple } => write!(
+                f,
+                "step {step}: LHS tuple {tuple:?} has not been produced by an earlier step"
+            ),
+            RouteError::SelectionNotProduced { missing } => {
+                write!(f, "route does not produce {} selected tuple(s)", missing.len())
+            }
+            RouteError::Empty => write!(f, "a route must contain at least one step"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// `ComputeOneRoute` failure: some selected tuples have no route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneRouteError {
+    /// The selected tuples for which no route exists.
+    pub no_route: Vec<TupleId>,
+}
+
+impl fmt::Display for OneRouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no route exists for {} selected tuple(s): {:?}",
+            self.no_route.len(),
+            self.no_route
+        )
+    }
+}
+
+impl std::error::Error for OneRouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_model::RelId;
+
+    #[test]
+    fn displays() {
+        assert!(RouteError::Empty.to_string().contains("at least one"));
+        let e = RouteError::LhsTupleNotYetProduced {
+            step: 3,
+            tuple: TupleId {
+                rel: RelId(0),
+                row: 7,
+            },
+        };
+        assert!(e.to_string().contains("step 3"));
+        let o = OneRouteError {
+            no_route: vec![TupleId {
+                rel: RelId(1),
+                row: 0,
+            }],
+        };
+        assert!(o.to_string().contains("1 selected"));
+    }
+}

@@ -1,0 +1,182 @@
+//! The route forest: the polynomial-size representation of all routes for a
+//! set of selected target tuples (paper §3.1).
+//!
+//! Every explored target tuple has a single, memoized list of branches; a
+//! branch is a pair `(σ, h)` together with its resolved LHS facts (the
+//! branch's children) and RHS tuples. Repeated occurrences of a tuple in the
+//! conceptual tree all refer to the same node — the paper's back-references
+//! ("every other occurrence of t has a link to the first t in F").
+
+use std::collections::{HashMap, HashSet};
+
+use routes_mapping::{TgdId, TgdKind};
+use routes_model::{Fact, TupleId, Value};
+
+/// One branch `(σ, h)` under a tuple node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Branch {
+    /// The tgd of this branch.
+    pub tgd: TgdId,
+    /// The total assignment.
+    pub hom: Box<[Value]>,
+    /// `LHS(h(σ))`: the branch's children — source facts for s-t tgds,
+    /// target facts for target tgds (deduplicated, in atom order).
+    pub lhs_facts: Vec<Fact>,
+    /// `RHS(h(σ))`: the target tuples this branch witnesses.
+    pub rhs_tuples: Vec<TupleId>,
+}
+
+impl Branch {
+    /// Whether this branch uses a source-to-target tgd (a leaf branch: its
+    /// children are source facts and are never expanded).
+    pub fn is_st(&self) -> bool {
+        self.tgd.kind() == TgdKind::SourceToTarget
+    }
+
+    /// The target-side children of this branch (empty for s-t branches).
+    pub fn target_children(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.lhs_facts.iter().filter_map(|f| match f.side {
+            routes_model::Side::Target => Some(f.id),
+            routes_model::Side::Source => None,
+        })
+    }
+}
+
+/// The route forest for a selection `Js` (paper Figure 3's output).
+#[derive(Debug, Clone, Default)]
+pub struct RouteForest {
+    /// The selected tuples the forest was built for.
+    pub roots: Vec<TupleId>,
+    /// Memoized branches per explored target tuple.
+    pub branches: HashMap<TupleId, Vec<Branch>>,
+    /// Exploration order (for deterministic rendering).
+    pub order: Vec<TupleId>,
+}
+
+impl RouteForest {
+    /// Branches under a tuple (empty slice if the tuple was not explored or
+    /// has no witnessing assignment at all).
+    pub fn branches_of(&self, t: TupleId) -> &[Branch] {
+        self.branches.get(&t).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of explored tuple nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Total number of branches across all nodes — the forest's size, which
+    /// Proposition 3.6 bounds polynomially in `|I| + |J| + |Js|`.
+    pub fn num_branches(&self) -> usize {
+        self.branches.values().map(Vec::len).sum()
+    }
+
+    /// Compute the set of *provable* tuples: those for which at least one
+    /// route exists within the forest. A tuple is provable iff it has an s-t
+    /// branch, or a target branch all of whose target children are provable.
+    ///
+    /// (Monotone fixpoint; terminates in at most `num_nodes` passes.)
+    pub fn provable_set(&self) -> HashSet<TupleId> {
+        let mut provable: HashSet<TupleId> = HashSet::new();
+        loop {
+            let mut changed = false;
+            for (&t, branches) in &self.branches {
+                if provable.contains(&t) {
+                    continue;
+                }
+                let ok = branches.iter().any(|b| {
+                    b.is_st() || b.target_children().all(|c| provable.contains(&c))
+                });
+                if ok {
+                    provable.insert(t);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return provable;
+            }
+        }
+    }
+
+    /// Whether every selected root has at least one route in the forest.
+    pub fn all_roots_provable(&self) -> bool {
+        let provable = self.provable_set();
+        self.roots.iter().all(|r| provable.contains(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_model::{RelId, Side};
+
+    fn tid(rel: u32, row: u32) -> TupleId {
+        TupleId {
+            rel: RelId(rel),
+            row,
+        }
+    }
+
+    fn branch(tgd: TgdId, children: &[TupleId], rhs: &[TupleId]) -> Branch {
+        Branch {
+            tgd,
+            hom: Box::from([]),
+            lhs_facts: children
+                .iter()
+                .map(|&id| Fact {
+                    side: if tgd.kind() == TgdKind::SourceToTarget {
+                        Side::Source
+                    } else {
+                        Side::Target
+                    },
+                    id,
+                })
+                .collect(),
+            rhs_tuples: rhs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn provable_set_fixpoint() {
+        // t0 <- st; t1 <- target(t0); t2 <- target(t3) where t3 unexplored
+        // (no branches): t2 not provable.
+        let mut forest = RouteForest {
+            roots: vec![tid(0, 1), tid(0, 2)],
+            ..Default::default()
+        };
+        forest
+            .branches
+            .insert(tid(0, 0), vec![branch(TgdId::St(0), &[tid(9, 0)], &[tid(0, 0)])]);
+        forest.branches.insert(
+            tid(0, 1),
+            vec![branch(TgdId::Target(0), &[tid(0, 0)], &[tid(0, 1)])],
+        );
+        forest.branches.insert(
+            tid(0, 2),
+            vec![branch(TgdId::Target(0), &[tid(0, 3)], &[tid(0, 2)])],
+        );
+        forest.branches.insert(tid(0, 3), vec![]);
+        let provable = forest.provable_set();
+        assert!(provable.contains(&tid(0, 0)));
+        assert!(provable.contains(&tid(0, 1)));
+        assert!(!provable.contains(&tid(0, 2)));
+        assert!(!forest.all_roots_provable());
+        assert_eq!(forest.num_nodes(), 4);
+        assert_eq!(forest.num_branches(), 3);
+    }
+
+    #[test]
+    fn cyclic_branches_are_not_provable_without_a_base() {
+        // t0 <- target(t1), t1 <- target(t0): a cycle with no s-t entry.
+        let mut forest = RouteForest::default();
+        forest.branches.insert(
+            tid(0, 0),
+            vec![branch(TgdId::Target(0), &[tid(0, 1)], &[tid(0, 0)])],
+        );
+        forest.branches.insert(
+            tid(0, 1),
+            vec![branch(TgdId::Target(0), &[tid(0, 0)], &[tid(0, 1)])],
+        );
+        assert!(forest.provable_set().is_empty());
+    }
+}

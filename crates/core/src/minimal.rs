@@ -1,0 +1,96 @@
+//! Minimal routes: a route is *minimal* when none of its satisfaction steps
+//! can be removed with the remainder still forming a route for the selected
+//! tuples (paper §3.1).
+
+use routes_model::TupleId;
+
+use crate::env::RouteEnv;
+use crate::route::Route;
+use crate::step::SatisfactionStep;
+
+/// Whether removing any single step breaks the route.
+pub fn is_minimal(env: &RouteEnv<'_>, route: &Route, selected: &[TupleId]) -> bool {
+    if route.validate(env, selected).is_err() {
+        return false;
+    }
+    (0..route.len()).all(|i| without(route, i).validate(env, selected).is_err())
+}
+
+/// Remove redundant steps until the route is minimal. Scans from the end
+/// (later steps are more likely to be the redundant re-derivations that
+/// `NaivePrint` introduces) and repeats to a fixpoint.
+///
+/// The input must be a valid route for `selected`; the result is a valid,
+/// minimal route for `selected`.
+pub fn minimize_route(env: &RouteEnv<'_>, route: &Route, selected: &[TupleId]) -> Route {
+    let mut current = route.clone();
+    debug_assert!(current.validate(env, selected).is_ok());
+    loop {
+        let mut removed = false;
+        let mut i = current.len();
+        while i > 0 {
+            i -= 1;
+            let candidate = without(&current, i);
+            if !candidate.is_empty() && candidate.validate(env, selected).is_ok() {
+                current = candidate;
+                removed = true;
+            }
+        }
+        if !removed {
+            return current;
+        }
+    }
+}
+
+fn without(route: &Route, idx: usize) -> Route {
+    let steps: Vec<SatisfactionStep> = route
+        .steps()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != idx)
+        .map(|(_, s)| s.clone())
+        .collect();
+    Route::new(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_routes::compute_all_routes;
+    use crate::testkit::example_3_5;
+    use crate::print::enumerate_routes;
+    use crate::strat::stratify;
+
+    #[test]
+    fn minimizing_r3_yields_r1() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7_rel = m.target().rel_id("T7").unwrap();
+        let t7 = j.rel_rows(t7_rel).next().unwrap();
+        let forest = compute_all_routes(env, &[t7]);
+        let r3 = &enumerate_routes(env, &forest, &[t7], 10)[0];
+        assert_eq!(r3.len(), 10);
+        assert!(!is_minimal(&env, r3, &[t7]));
+
+        let r1 = minimize_route(&env, r3, &[t7]);
+        assert_eq!(r1.len(), 7); // σ2 σ3 σ4 σ1 σ5 σ8 σ6 (some order)
+        assert!(is_minimal(&env, &r1, &[t7]));
+        r1.validate(&env, &[t7]).unwrap();
+        // Minimization does not change the stratified interpretation here
+        // (R1 and R3 share it, per the paper).
+        assert_eq!(stratify(&env, &r1), stratify(&env, r3));
+    }
+
+    #[test]
+    fn already_minimal_routes_are_untouched() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t2_rel = m.target().rel_id("T2").unwrap();
+        let t2 = j.rel_rows(t2_rel).next().unwrap();
+        let forest = compute_all_routes(env, &[t2]);
+        let r = &enumerate_routes(env, &forest, &[t2], 10)[0];
+        assert_eq!(r.len(), 1);
+        assert!(is_minimal(&env, r, &[t2]));
+        assert_eq!(&minimize_route(&env, r, &[t2]), r);
+    }
+}

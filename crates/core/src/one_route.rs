@@ -1,0 +1,567 @@
+//! `ComputeOneRoute` (paper Figure 7) with the `Infer` propagation procedure
+//! (paper Figure 8).
+//!
+//! The algorithm searches for **one** successful branch per tuple, trying
+//! s-t tgds before target tgds, committing to the first `findHom` assignment
+//! that pans out. Branches whose premises are not yet proven are parked in
+//! the `UNPROVEN` set; when `Infer` later proves all premises of a parked
+//! triple, its step is appended and the conclusion propagates. The
+//! `ACTIVETUPLES` set guarantees each tuple's branches are explored at most
+//! once, which gives the polynomial bound (Proposition 3.9), and `Infer` is
+//! what makes the algorithm complete despite that restriction
+//! (Theorem 3.10 — see the paper's discussion of why dropping either breaks
+//! the algorithm).
+
+use std::collections::{HashMap, HashSet};
+
+use routes_mapping::{TgdId, TgdKind};
+use routes_model::{Fact, TupleId, Value};
+
+use crate::env::RouteEnv;
+use crate::error::OneRouteError;
+use crate::findhom::{AnchorSide, FindHom};
+use crate::route::Route;
+use crate::step::SatisfactionStep;
+use crate::trace::{Trace, TraceEvent};
+
+/// Tuning knobs for `ComputeOneRoute`.
+#[derive(Debug, Clone)]
+pub struct OneRouteOptions {
+    /// §3.3 optimization: when a step for `t` succeeds, mark *all* tuples of
+    /// `RHS(h(σ))` proven, not only `t`, avoiding redundant `findHom` calls
+    /// for siblings. Default `true`.
+    pub prove_rhs_siblings: bool,
+    /// Literal paper behaviour for `Infer`: append a parked triple's step
+    /// even when its subject tuple was already proven through another
+    /// branch (the step is redundant but the sequence is still a route).
+    /// Default `false` — stale triples are dropped instead.
+    pub append_stale_triples: bool,
+    /// Fetch **all** `findHom` assignments for each `(t, σ)` pair up front
+    /// instead of lazily one at a time. This mirrors the paper's XML
+    /// implementation (§3.3: the Saxon engine's results "are fetched at
+    /// once, since the result ... is stored in memory") and is what the
+    /// nested-scenario benchmarks use; the relational path stays lazy.
+    pub eager_findhom: bool,
+    /// Steps `(σ, h)` that must not be used. Employed by
+    /// [`alternative_routes`] to force different witnesses.
+    pub banned: HashSet<(TgdId, Box<[Value]>)>,
+}
+
+impl Default for OneRouteOptions {
+    fn default() -> Self {
+        OneRouteOptions {
+            prove_rhs_siblings: true,
+            append_stale_triples: false,
+            eager_findhom: false,
+            banned: HashSet::new(),
+        }
+    }
+}
+
+/// Compute one route for the selected target tuples (paper Figure 7).
+///
+/// Complete (Theorem 3.10): if a route exists for `selected`, one is
+/// returned. Runs in polynomial time in `|I| + |J| + |Js|`
+/// (Proposition 3.9).
+///
+/// # Errors
+/// Returns the subset of `selected` that has no route.
+pub fn compute_one_route(
+    env: RouteEnv<'_>,
+    selected: &[TupleId],
+) -> Result<Route, OneRouteError> {
+    compute_one_route_with(env, selected, &OneRouteOptions::default())
+}
+
+/// [`compute_one_route`] with explicit options.
+pub fn compute_one_route_with(
+    env: RouteEnv<'_>,
+    selected: &[TupleId],
+    options: &OneRouteOptions,
+) -> Result<Route, OneRouteError> {
+    run(env, selected, options, false).0
+}
+
+/// [`compute_one_route_with`], additionally recording a [`Trace`] of the
+/// computation — the paper's "single-stepping the computation of routes"
+/// (§3.4).
+pub fn compute_one_route_traced(
+    env: RouteEnv<'_>,
+    selected: &[TupleId],
+    options: &OneRouteOptions,
+) -> (Result<Route, OneRouteError>, Trace) {
+    let (result, trace) = run(env, selected, options, true);
+    (result, trace.expect("tracing was requested"))
+}
+
+fn run(
+    env: RouteEnv<'_>,
+    selected: &[TupleId],
+    options: &OneRouteOptions,
+    tracing: bool,
+) -> (Result<Route, OneRouteError>, Option<Trace>) {
+    let mut finder = Finder {
+        env,
+        options,
+        active: HashSet::new(),
+        proven: HashSet::new(),
+        unproven: Vec::new(),
+        unresolved_by_premise: HashMap::new(),
+        g: Vec::new(),
+        trace: tracing.then(Trace::default),
+    };
+    finder.find_route(selected);
+    let no_route: Vec<TupleId> = selected
+        .iter()
+        .copied()
+        .filter(|t| !finder.proven.contains(t))
+        .collect();
+    let result = if no_route.is_empty() {
+        Ok(Route::new(finder.g))
+    } else {
+        Err(OneRouteError { no_route })
+    };
+    (result, finder.trace)
+}
+
+/// Produce up to `count` *distinct* routes for `selected`, the first being
+/// the one [`compute_one_route`] returns (paper §3.4: alternative routes on
+/// demand).
+///
+/// Each subsequent run bans the steps that previously witnessed the selected
+/// tuples, forcing a different explanation — exactly the interaction of
+/// Scenario 2, where the second route for `t4` reveals the missing join.
+pub fn alternative_routes(
+    env: RouteEnv<'_>,
+    selected: &[TupleId],
+    count: usize,
+) -> Vec<Route> {
+    let mut routes: Vec<Route> = Vec::new();
+    let mut options = OneRouteOptions::default();
+    let mut seen_step_sets: HashSet<Vec<SatisfactionStep>> = HashSet::new();
+    while routes.len() < count {
+        let Ok(route) = compute_one_route_with(env, selected, &options) else {
+            break;
+        };
+        // Ban the steps that witness the selected tuples in this route.
+        let selected_set: HashSet<TupleId> = selected.iter().copied().collect();
+        for step in route.steps() {
+            if let Some(rhs) = step.rhs_tuples(&env) {
+                if rhs.iter().any(|t| selected_set.contains(t)) {
+                    options.banned.insert((step.tgd, step.hom.clone()));
+                }
+            }
+        }
+        let mut canonical: Vec<SatisfactionStep> = route.steps().to_vec();
+        canonical.sort_by(|a, b| a.tgd.cmp(&b.tgd).then_with(|| a.hom.cmp(&b.hom)));
+        canonical.dedup();
+        if seen_step_sets.insert(canonical) {
+            routes.push(route);
+        } else {
+            // The forced alternative collapsed to a known step set; further
+            // banning can only shrink the space, so stop.
+            break;
+        }
+    }
+    routes
+}
+
+/// A parked triple `(t, σ, h)` from the `UNPROVEN` set.
+struct Triple {
+    subject: TupleId,
+    tgd: TgdId,
+    hom: Box<[Value]>,
+    /// Target-side premises still missing (source premises are free).
+    missing: HashSet<TupleId>,
+    resolved: bool,
+}
+
+struct Finder<'a, 'o> {
+    env: RouteEnv<'a>,
+    options: &'o OneRouteOptions,
+    /// ACTIVETUPLES: tuples whose branches have been (or are being) explored.
+    active: HashSet<TupleId>,
+    proven: HashSet<TupleId>,
+    /// UNPROVEN: parked triples, indexed below by missing premise.
+    unproven: Vec<Triple>,
+    unresolved_by_premise: HashMap<TupleId, Vec<usize>>,
+    /// G: the route under construction.
+    g: Vec<SatisfactionStep>,
+    /// Optional computation trace (see [`crate::trace`]).
+    trace: Option<Trace>,
+}
+
+/// Either a lazy `findHom` iterator or a fully materialized assignment list.
+/// (The lazy side is boxed: `FindHom` carries the executor state and would
+/// otherwise dominate the enum's size.)
+enum HomSource<'a> {
+    Lazy(Box<FindHom<'a>>),
+    Eager(std::vec::IntoIter<Box<[Value]>>),
+}
+
+impl HomSource<'_> {
+    fn next_hom(&mut self) -> Option<Box<[Value]>> {
+        match self {
+            HomSource::Lazy(fh) => fh.next_hom(),
+            HomSource::Eager(it) => it.next(),
+        }
+    }
+}
+
+impl Finder<'_, '_> {
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.events.push(event);
+        }
+    }
+
+    fn find_route(&mut self, tuples: &[TupleId]) {
+        for &t in tuples {
+            if self.active.contains(&t) {
+                self.emit(TraceEvent::SkipActive(t));
+                continue;
+            }
+            self.active.insert(t);
+            if self.proven.contains(&t) {
+                // Already proven as a sibling of an earlier step (§3.3
+                // optimization): nothing to do.
+                self.emit(TraceEvent::SkipActive(t));
+                continue;
+            }
+            self.emit(TraceEvent::Explore(t));
+            self.explore(t);
+            if !self.proven.contains(&t) {
+                self.emit(TraceEvent::Exhausted(t));
+            }
+        }
+    }
+
+    /// Enumerate assignments for `(t, σ)`: lazily by default, or fully
+    /// materialized when `eager` is set (the paper's XML path). Takes the
+    /// environment by value (`RouteEnv` is `Copy`) so the returned source
+    /// does not borrow the finder.
+    fn homs(env: RouteEnv<'_>, eager: bool, tgd_id: TgdId, t: TupleId) -> HomSource<'_> {
+        let fh = FindHom::new(env, tgd_id, AnchorSide::Rhs, Fact::target(t));
+        if eager {
+            HomSource::Eager(fh.collect_dedup().into_iter())
+        } else {
+            HomSource::Lazy(Box::new(fh))
+        }
+    }
+
+    /// Steps 2 and 3 of Figure 7 for one tuple.
+    fn explore(&mut self, t: TupleId) {
+        // Step 2: s-t tgds — the first assignment wins.
+        for idx in 0..self.env.mapping.st_tgds().len() as u32 {
+            let tgd_id = TgdId::St(idx);
+            let mut fh = Self::homs(self.env, self.options.eager_findhom, tgd_id, t);
+            while let Some(hom) = fh.next_hom() {
+                if self.options.banned.contains(&(tgd_id, hom.clone())) {
+                    continue;
+                }
+                self.emit(TraceEvent::FoundHom { tuple: t, tgd: tgd_id });
+                self.append_step(tgd_id, hom, t);
+                return;
+            }
+        }
+        // Step 3: target tgds.
+        for idx in 0..self.env.mapping.target_tgds().len() as u32 {
+            let tgd_id = TgdId::Target(idx);
+            let mut fh = Self::homs(self.env, self.options.eager_findhom, tgd_id, t);
+            while let Some(hom) = fh.next_hom() {
+                if self.options.banned.contains(&(tgd_id, hom.clone())) {
+                    continue;
+                }
+                self.emit(TraceEvent::FoundHom { tuple: t, tgd: tgd_id });
+                let lhs = self
+                    .env
+                    .lhs_facts(tgd_id, &hom)
+                    .expect("findHom assignments resolve");
+                let premises: Vec<TupleId> = lhs.iter().map(|f| f.id).collect();
+                let missing: HashSet<TupleId> = premises
+                    .iter()
+                    .copied()
+                    .filter(|p| !self.proven.contains(p))
+                    .collect();
+                if missing.is_empty() {
+                    // 3(a)(i-ii): premises proven — commit.
+                    self.append_step(tgd_id, hom, t);
+                    return;
+                }
+                // 3(a)(iii-iv): park the triple and recurse on the premises.
+                self.emit(TraceEvent::Park {
+                    tuple: t,
+                    tgd: tgd_id,
+                    missing: missing.iter().copied().collect(),
+                });
+                let triple_idx = self.unproven.len();
+                for &p in &missing {
+                    self.unresolved_by_premise
+                        .entry(p)
+                        .or_default()
+                        .push(triple_idx);
+                }
+                self.unproven.push(Triple {
+                    subject: t,
+                    tgd: tgd_id,
+                    hom,
+                    missing,
+                    resolved: false,
+                });
+                self.find_route(&premises);
+                // 3(a)(v): if Infer resolved the triple (or proved t through
+                // some other chain), stop; otherwise try the next assignment.
+                if self.proven.contains(&t) {
+                    return;
+                }
+            }
+        }
+        // All options exhausted: t stays unproven (it may still be proven
+        // later via Infer if a parked triple referencing it resolves — that
+        // cannot happen here because Infer runs eagerly, but a *caller's*
+        // pending triples may mention t as subject).
+    }
+
+    /// Append `(σ, h)` to G and run `Infer` (Figure 8) from the newly proven
+    /// tuples.
+    fn append_step(&mut self, tgd: TgdId, hom: Box<[Value]>, anchor: TupleId) {
+        debug_assert!(
+            tgd.kind() == TgdKind::SourceToTarget
+                || self
+                    .env
+                    .lhs_facts(tgd, &hom)
+                    .expect("resolvable")
+                    .iter()
+                    .all(|f| self.proven.contains(&f.id)),
+            "target steps are only appended once their premises are proven"
+        );
+        let step = SatisfactionStep::new(tgd, hom);
+        self.emit(TraceEvent::Append {
+            tgd,
+            hom: step.hom.clone(),
+        });
+        let newly: Vec<TupleId> = if self.options.prove_rhs_siblings {
+            step.rhs_tuples(&self.env).expect("resolvable")
+        } else {
+            vec![anchor]
+        };
+        self.g.push(step);
+        self.infer(newly);
+    }
+
+    /// `Infer` (Figure 8): mark tuples proven and drain parked triples whose
+    /// premises are now complete, appending their steps and propagating.
+    fn infer(&mut self, seeds: Vec<TupleId>) {
+        let mut frontier: Vec<TupleId> = seeds;
+        while let Some(t) = frontier.pop() {
+            if !self.proven.insert(t) {
+                continue;
+            }
+            self.emit(TraceEvent::Proven(t));
+            let Some(waiting) = self.unresolved_by_premise.remove(&t) else {
+                continue;
+            };
+            for triple_idx in waiting {
+                let triple = &mut self.unproven[triple_idx];
+                if triple.resolved {
+                    continue;
+                }
+                triple.missing.remove(&t);
+                if !triple.missing.is_empty() {
+                    continue;
+                }
+                triple.resolved = true;
+                let subject = triple.subject;
+                let subject_already_proven = self.proven.contains(&subject);
+                if subject_already_proven && !self.options.append_stale_triples {
+                    // Deviation from the literal Figure 8 (documented in
+                    // DESIGN.md): skip the redundant step.
+                    self.emit(TraceEvent::Resolved {
+                        tuple: subject,
+                        appended: false,
+                    });
+                    continue;
+                }
+                let triple = &mut self.unproven[triple_idx];
+                let step = SatisfactionStep::new(triple.tgd, triple.hom.clone());
+                let newly: Vec<TupleId> = if self.options.prove_rhs_siblings {
+                    step.rhs_tuples(&self.env).expect("resolvable")
+                } else {
+                    vec![triple.subject]
+                };
+                self.g.push(step);
+                frontier.extend(newly.into_iter().filter(|n| !self.proven.contains(n)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::example_3_5;
+    use routes_mapping::SchemaMapping;
+    use routes_model::Instance;
+
+    fn t_of(m: &SchemaMapping, j: &Instance, rel: &str) -> TupleId {
+        let r = m.target().rel_id(rel).unwrap();
+        j.rel_rows(r).next().unwrap()
+    }
+
+    #[test]
+    fn example_3_8_route_for_t7() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7 = t_of(&m, &j, "T7");
+        let route = compute_one_route(env, &[t7]).unwrap();
+        route.validate(&env, &[t7]).unwrap();
+        let names: Vec<&str> = route.steps().iter().map(|s| m.tgd(s.tgd).name()).collect();
+        // The paper's trace returns [σ1, σ2, σ3, σ4, σ5, σ7, σ8, σ6]; our
+        // branch order explores σ3 before σ7 under T3, which prunes the
+        // redundant σ7 step. Either way the route must be valid and end
+        // with σ6; check the exact deterministic output of our order.
+        assert_eq!(names.last(), Some(&"s6"));
+        assert!(names.contains(&"s1"));
+        assert!(names.contains(&"s2"));
+        assert!(names.contains(&"s5"));
+        assert!(names.contains(&"s8"));
+    }
+
+    #[test]
+    fn one_route_without_sibling_optimization_still_works() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7 = t_of(&m, &j, "T7");
+        let options = OneRouteOptions {
+            prove_rhs_siblings: false,
+            ..OneRouteOptions::default()
+        };
+        let route = compute_one_route_with(env, &[t7], &options).unwrap();
+        route.validate(&env, &[t7]).unwrap();
+    }
+
+    #[test]
+    fn literal_paper_infer_appends_stale_triples() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7 = t_of(&m, &j, "T7");
+        let options = OneRouteOptions {
+            append_stale_triples: true,
+            ..OneRouteOptions::default()
+        };
+        let route = compute_one_route_with(env, &[t7], &options).unwrap();
+        // Possibly longer, but still a route.
+        route.validate(&env, &[t7]).unwrap();
+    }
+
+    #[test]
+    fn no_route_is_reported() {
+        let (m, i, mut j, mut pool) = example_3_5();
+        // An orphan tuple in T8 (no tgd has T8 in its RHS).
+        let orphan = j.insert_ok(m.target().rel_id("T8").unwrap(), &[pool.str("zzz")]);
+        let env = RouteEnv::new(&m, &i, &j);
+        let err = compute_one_route(env, &[orphan]).unwrap_err();
+        assert_eq!(err.no_route, vec![orphan]);
+        // Mixed selection: the provable one still fails the call as a whole.
+        let t1 = t_of(&m, &j, "T1");
+        let err = compute_one_route(env, &[t1, orphan]).unwrap_err();
+        assert_eq!(err.no_route, vec![orphan]);
+    }
+
+    #[test]
+    fn multi_tuple_selection() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let ts: Vec<TupleId> = ["T1", "T5", "T7"].iter().map(|r| t_of(&m, &j, r)).collect();
+        let route = compute_one_route(env, &ts).unwrap();
+        route.validate(&env, &ts).unwrap();
+    }
+
+    #[test]
+    fn alternatives_differ_in_witnessing_steps() {
+        // With σ9 and S3(a), T5 has two witnesses (σ5 chain and σ9 direct).
+        let (mut m, mut i, j, mut pool) = example_3_5();
+        let s9 = routes_mapping::parse_st_tgd(
+            m.source(),
+            m.target(),
+            &mut pool,
+            "s9: S3(x) -> T5(x)",
+        )
+        .unwrap();
+        m.add_st_tgd(s9).unwrap();
+        let a = pool.str("a");
+        i.insert_ok(m.source().rel_id("S3").unwrap(), &[a]);
+        let env = RouteEnv::new(&m, &i, &j);
+        let t5 = t_of(&m, &j, "T5");
+        let routes = alternative_routes(env, &[t5], 5);
+        assert!(routes.len() >= 2, "expected at least 2 routes, got {}", routes.len());
+        for r in &routes {
+            r.validate(&env, &[t5]).unwrap();
+        }
+        // The first route should be the fast s-t one (σ9 is tried in step 2).
+        let first_names: Vec<&str> = routes[0]
+            .steps()
+            .iter()
+            .map(|s| m.tgd(s.tgd).name())
+            .collect();
+        assert_eq!(first_names, ["s9"]);
+        // The alternative must witness T5 differently (via σ5).
+        let second_uses_s5 = routes[1].steps().iter().any(|s| m.tgd(s.tgd).name() == "s5");
+        assert!(second_uses_s5);
+    }
+
+    #[test]
+    fn computation_trace_reflects_the_paper_walkthrough() {
+        // Example 3.8: exploring T7 parks σ6, explores T4..T2, and Infer
+        // propagates the proofs.
+        let (m, i, j, pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7 = t_of(&m, &j, "T7");
+        let (result, trace) =
+            crate::one_route::compute_one_route_traced(env, &[t7], &OneRouteOptions::default());
+        let route = result.unwrap();
+        route.validate(&env, &[t7]).unwrap();
+        // Each of T1..T7 is explored at most once (ACTIVETUPLES).
+        assert!(trace.tuples_explored() <= 7);
+        assert!(trace.parked() >= 1, "σ6 must be parked while T4/T6 resolve");
+        assert!(trace.homs_found() >= route.len());
+        // Infer proves T7 (it is never appended directly).
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, crate::trace::TraceEvent::Proven(t) if *t == t7)));
+        let text = trace.to_text(&pool, &env);
+        assert!(text.contains("explore T7(a)"));
+        assert!(text.contains("park (T7(a), s6, h)"));
+        assert!(text.contains("infer: T7(a) proven"));
+    }
+
+    #[test]
+    fn trace_records_failed_explorations() {
+        let (m, i, mut j, mut pool) = example_3_5();
+        let orphan = j.insert_ok(m.target().rel_id("T8").unwrap(), &[pool.str("zzz")]);
+        let env = RouteEnv::new(&m, &i, &j);
+        let (result, trace) =
+            crate::one_route::compute_one_route_traced(env, &[orphan], &OneRouteOptions::default());
+        assert!(result.is_err());
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, crate::trace::TraceEvent::Exhausted(t) if *t == orphan)));
+    }
+
+    #[test]
+    fn infer_is_needed_for_completeness() {
+        // The paper's argument (§3.2): while exploring T7 via σ6, the chain
+        // parks σ6 and σ4 triples; T5 is ACTIVE when σ8 needs it, so only
+        // Infer can prove it. If the route comes back valid, Infer worked.
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7 = t_of(&m, &j, "T7");
+        let route = compute_one_route(env, &[t7]).unwrap();
+        assert!(route.validate(&env, &[t7]).is_ok());
+        // Every explored tuple used at most one exploration (ACTIVETUPLES):
+        // the route has no more steps than tuples in J plus slack.
+        assert!(route.len() <= j.total_tuples());
+    }
+}

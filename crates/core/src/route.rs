@@ -1,0 +1,194 @@
+//! Routes (paper Definition 3.3) with replay validation.
+
+use std::collections::HashSet;
+
+use routes_mapping::TgdKind;
+use routes_model::{Side, TupleId};
+
+use crate::env::RouteEnv;
+use crate::error::RouteError;
+use crate::step::SatisfactionStep;
+
+/// A route: a finite, non-empty sequence of satisfaction steps
+/// `(I, ∅) --m1,h1--> (I, J1) ... --mn,hn--> (I, Jn)` with `Ji ⊆ J` and the
+/// selected tuples contained in `Jn`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    steps: Vec<SatisfactionStep>,
+}
+
+impl Route {
+    /// Build a route from steps (validity is checked separately via
+    /// [`Route::validate`]).
+    pub fn new(steps: Vec<SatisfactionStep>) -> Self {
+        Route { steps }
+    }
+
+    /// The steps, in order.
+    pub fn steps(&self) -> &[SatisfactionStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the route has no steps (never valid as a route).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Replay the route against `(I, J)` and verify Definition 3.3:
+    ///
+    /// 1. every step's LHS image lies in the right instance — and, for
+    ///    target tgds, only uses target tuples *already produced*;
+    /// 2. every step's RHS image lies in the solution `J`;
+    /// 3. the selected tuples are all produced by the end.
+    ///
+    /// Returns the produced tuple set `Jn` on success.
+    pub fn validate(
+        &self,
+        env: &RouteEnv<'_>,
+        selected: &[TupleId],
+    ) -> Result<HashSet<TupleId>, RouteError> {
+        if self.steps.is_empty() {
+            return Err(RouteError::Empty);
+        }
+        let mut produced: HashSet<TupleId> = HashSet::new();
+        for (idx, step) in self.steps.iter().enumerate() {
+            let lhs = step
+                .lhs_facts(env)
+                .ok_or(RouteError::LhsNotInInstance { step: idx })?;
+            if step.tgd.kind() == TgdKind::Target {
+                for fact in &lhs {
+                    debug_assert_eq!(fact.side, Side::Target);
+                    if !produced.contains(&fact.id) {
+                        return Err(RouteError::LhsTupleNotYetProduced {
+                            step: idx,
+                            tuple: fact.id,
+                        });
+                    }
+                }
+            }
+            let rhs = step
+                .rhs_tuples(env)
+                .ok_or(RouteError::RhsNotInSolution { step: idx })?;
+            produced.extend(rhs);
+        }
+        let missing: Vec<TupleId> = selected
+            .iter()
+            .copied()
+            .filter(|t| !produced.contains(t))
+            .collect();
+        if !missing.is_empty() {
+            return Err(RouteError::SelectionNotProduced { missing });
+        }
+        Ok(produced)
+    }
+
+    /// The set of tuples produced by the route, assuming it is valid.
+    /// (Use [`Route::validate`] when validity is in question.)
+    pub fn produced_tuples(&self, env: &RouteEnv<'_>) -> HashSet<TupleId> {
+        let mut produced = HashSet::new();
+        for step in &self.steps {
+            if let Some(rhs) = step.rhs_tuples(env) {
+                produced.extend(rhs);
+            }
+        }
+        produced
+    }
+
+    /// The multiset of step signatures as a set (two routes with the same
+    /// stratified interpretation have the same step set — paper §3.1).
+    pub fn step_set(&self) -> HashSet<&SatisfactionStep> {
+        self.steps.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_mapping::{parse_st_tgd, parse_target_tgd, SchemaMapping};
+    use routes_model::{Instance, Schema, Value, ValuePool};
+
+    /// S(x) -> T(x);  T(x) -> U(x). I = {S(1)}, J = {T(1), U(1)}.
+    fn setup() -> (SchemaMapping, Instance, Instance, ValuePool) {
+        let mut s = Schema::new();
+        s.rel("S", &["a"]);
+        let mut t = Schema::new();
+        t.rel("T", &["a"]);
+        t.rel("U", &["a"]);
+        let mut pool = ValuePool::new();
+        let mut m = SchemaMapping::new(s.clone(), t.clone());
+        m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m1: S(x) -> T(x)").unwrap())
+            .unwrap();
+        m.add_target_tgd(parse_target_tgd(&t, &mut pool, "m2: T(x) -> U(x)").unwrap())
+            .unwrap();
+        let mut i = Instance::new(&s);
+        i.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(1)]);
+        let mut j = Instance::new(&t);
+        j.insert_ok(t.rel_id("T").unwrap(), &[Value::Int(1)]);
+        j.insert_ok(t.rel_id("U").unwrap(), &[Value::Int(1)]);
+        (m, i, j, pool)
+    }
+
+    #[test]
+    fn valid_two_step_route() {
+        let (m, i, j, _pool) = setup();
+        let env = RouteEnv::new(&m, &i, &j);
+        let m1 = m.tgd_by_name("m1").unwrap();
+        let m2 = m.tgd_by_name("m2").unwrap();
+        let u = m.target().rel_id("U").unwrap();
+        let u1 = j.find(u, &[Value::Int(1)]).unwrap();
+        let route = Route::new(vec![
+            SatisfactionStep::new(m1, vec![Value::Int(1)]),
+            SatisfactionStep::new(m2, vec![Value::Int(1)]),
+        ]);
+        let produced = route.validate(&env, &[u1]).unwrap();
+        assert_eq!(produced.len(), 2);
+    }
+
+    #[test]
+    fn target_step_requires_produced_premise() {
+        let (m, i, j, _pool) = setup();
+        let env = RouteEnv::new(&m, &i, &j);
+        let m2 = m.tgd_by_name("m2").unwrap();
+        // Using m2 first: its premise T(1) is in J but not yet produced.
+        let route = Route::new(vec![SatisfactionStep::new(m2, vec![Value::Int(1)])]);
+        let err = route.validate(&env, &[]).unwrap_err();
+        assert!(matches!(err, RouteError::LhsTupleNotYetProduced { step: 0, .. }));
+    }
+
+    #[test]
+    fn selection_must_be_produced() {
+        let (m, i, j, _pool) = setup();
+        let env = RouteEnv::new(&m, &i, &j);
+        let m1 = m.tgd_by_name("m1").unwrap();
+        let u = m.target().rel_id("U").unwrap();
+        let u1 = j.find(u, &[Value::Int(1)]).unwrap();
+        let route = Route::new(vec![SatisfactionStep::new(m1, vec![Value::Int(1)])]);
+        let err = route.validate(&env, &[u1]).unwrap_err();
+        assert!(matches!(err, RouteError::SelectionNotProduced { .. }));
+    }
+
+    #[test]
+    fn empty_route_is_invalid() {
+        let (m, i, j, _pool) = setup();
+        let env = RouteEnv::new(&m, &i, &j);
+        assert_eq!(Route::new(vec![]).validate(&env, &[]), Err(RouteError::Empty));
+    }
+
+    #[test]
+    fn bogus_assignment_is_rejected() {
+        let (m, i, j, _pool) = setup();
+        let env = RouteEnv::new(&m, &i, &j);
+        let m1 = m.tgd_by_name("m1").unwrap();
+        // x = 2: S(2) not in I.
+        let route = Route::new(vec![SatisfactionStep::new(m1, vec![Value::Int(2)])]);
+        assert!(matches!(
+            route.validate(&env, &[]),
+            Err(RouteError::LhsNotInInstance { step: 0 })
+        ));
+    }
+}

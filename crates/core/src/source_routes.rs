@@ -1,0 +1,222 @@
+//! Routes for selected **source** tuples (paper §3.4): forward exploration
+//! of how a source tuple flows into the target.
+//!
+//! The probed tuple is anchored on the **LHS** of each tgd
+//! ([`crate::AnchorSide::Lhs`]); every witnessing assignment becomes a
+//! forward branch whose RHS tuples are explored next (through target tgds),
+//! up to a configurable depth. The result answers the debugging question
+//! “which target data does this source tuple contribute to, and through
+//! which tgds?” — the dual of the target-side route forest, and the basis
+//! for the paper's sensitive-data use case (identifying tgds that export a
+//! given fact).
+
+use std::collections::{HashMap, HashSet};
+
+use routes_mapping::{TgdId, TgdKind};
+use routes_model::{Fact, Side, TupleId, Value};
+
+use crate::env::RouteEnv;
+use crate::findhom::{AnchorSide, FindHom};
+use crate::route::Route;
+use crate::step::SatisfactionStep;
+
+/// One forward branch: a step `(σ, h)` whose LHS contains the explored fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardBranch {
+    /// The tgd used.
+    pub tgd: TgdId,
+    /// The total assignment.
+    pub hom: Box<[Value]>,
+    /// `LHS(h(σ))` — includes the explored fact.
+    pub lhs_facts: Vec<Fact>,
+    /// `RHS(h(σ))` — target tuples this fact helps witness.
+    pub rhs_tuples: Vec<TupleId>,
+}
+
+/// The forward forest for a set of selected source tuples.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardForest {
+    /// The selected source facts.
+    pub roots: Vec<Fact>,
+    /// Branches per explored fact (source roots and reached target tuples).
+    pub branches: HashMap<Fact, Vec<ForwardBranch>>,
+    /// Exploration order.
+    pub order: Vec<Fact>,
+}
+
+impl ForwardForest {
+    /// All target tuples reachable from the selected source tuples.
+    pub fn reached_targets(&self) -> HashSet<TupleId> {
+        self.branches
+            .values()
+            .flatten()
+            .flat_map(|b| b.rhs_tuples.iter().copied())
+            .collect()
+    }
+
+    /// The tgds that export any of the selected facts (the paper's
+    /// sensitive-information scenario).
+    pub fn exporting_tgds(&self) -> HashSet<TgdId> {
+        self.roots
+            .iter()
+            .flat_map(|r| self.branches.get(r).into_iter().flatten())
+            .map(|b| b.tgd)
+            .collect()
+    }
+}
+
+/// Explore forward from the selected source tuples, up to `max_depth` tgd
+/// applications (depth 1 = the s-t tgds touching the selection).
+pub fn compute_source_routes(
+    env: RouteEnv<'_>,
+    selected: &[TupleId],
+    max_depth: usize,
+) -> ForwardForest {
+    let mut forest = ForwardForest {
+        roots: selected.iter().map(|&id| Fact::source(id)).collect(),
+        ..ForwardForest::default()
+    };
+    let mut visited: HashSet<Fact> = HashSet::new();
+    let mut frontier: Vec<(Fact, usize)> =
+        forest.roots.iter().map(|&f| (f, 0)).collect();
+
+    while let Some((fact, depth)) = frontier.pop() {
+        if depth >= max_depth || !visited.insert(fact) {
+            continue;
+        }
+        forest.order.push(fact);
+        let mut branches: Vec<ForwardBranch> = Vec::new();
+        let mut seen: HashSet<(TgdId, Box<[Value]>)> = HashSet::new();
+        for tgd_id in env.mapping.tgd_ids() {
+            // A fact can anchor a tgd's LHS only on the matching side.
+            let lhs_side = env.lhs_side(tgd_id);
+            if lhs_side != fact.side {
+                continue;
+            }
+            let mut fh = FindHom::new(env, tgd_id, AnchorSide::Lhs, fact);
+            while let Some(hom) = fh.next_hom() {
+                if !seen.insert((tgd_id, hom.clone())) {
+                    continue;
+                }
+                let lhs_facts = env.lhs_facts(tgd_id, &hom).expect("resolvable");
+                let rhs_tuples = env.rhs_tuples(tgd_id, &hom).expect("resolvable");
+                for &t in &rhs_tuples {
+                    frontier.push((Fact::target(t), depth + 1));
+                }
+                branches.push(ForwardBranch {
+                    tgd: tgd_id,
+                    hom,
+                    lhs_facts,
+                    rhs_tuples,
+                });
+            }
+        }
+        forest.branches.insert(fact, branches);
+    }
+    forest
+}
+
+/// A one-step route witnessing the target tuples a selected source tuple
+/// directly produces: the first s-t branch anchored on the tuple (if any).
+///
+/// This is “one route for selected source data”: the returned route's first
+/// step uses the selected tuple as a premise, so the route explains the
+/// tuple's direct contribution. Use [`compute_source_routes`] for the full
+/// forward picture.
+pub fn one_route_from_source(env: RouteEnv<'_>, source_tuple: TupleId) -> Option<Route> {
+    for idx in 0..env.mapping.st_tgds().len() as u32 {
+        let tgd_id = TgdId::St(idx);
+        debug_assert_eq!(tgd_id.kind(), TgdKind::SourceToTarget);
+        let mut fh = FindHom::new(env, tgd_id, AnchorSide::Lhs, Fact::source(source_tuple));
+        if let Some(hom) = fh.next_hom() {
+            return Some(Route::new(vec![SatisfactionStep::new(tgd_id, hom)]));
+        }
+    }
+    None
+}
+
+/// Sanity helper: every LHS fact of a forward branch that is on the source
+/// side must exist in `I` (true by construction; used in tests).
+pub fn branch_sides_consistent(env: &RouteEnv<'_>, forest: &ForwardForest) -> bool {
+    forest.branches.values().flatten().all(|b| {
+        b.lhs_facts.iter().all(|f| match f.side {
+            Side::Source => (f.id.rel.0 as usize) < env.mapping.source().len(),
+            Side::Target => (f.id.rel.0 as usize) < env.mapping.target().len(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::example_3_5;
+    use routes_mapping::SchemaMapping;
+    use routes_model::Instance;
+
+    fn s_of(m: &SchemaMapping, i: &Instance, rel: &str) -> TupleId {
+        let r = m.source().rel_id(rel).unwrap();
+        i.rel_rows(r).next().unwrap()
+    }
+
+    #[test]
+    fn forward_exploration_reaches_derived_tuples() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let s2 = s_of(&m, &i, "S2");
+        let forest = compute_source_routes(env, &[s2], 10);
+        // S2(a) -> T2 -> T3 -> T4 -> {T5, T7} -> ...: everything except T1
+        // is reachable (T1 comes only from S1), though T5/T7 need T1/T6 as
+        // co-premises — reachability only asks for participation.
+        let reached = forest.reached_targets();
+        let names: Vec<&str> = ["T2", "T3", "T4", "T5", "T7"].to_vec();
+        for n in names {
+            let rel = m.target().rel_id(n).unwrap();
+            let t = j.rel_rows(rel).next().unwrap();
+            assert!(reached.contains(&t), "{n} should be reached from S2");
+        }
+        assert!(branch_sides_consistent(&env, &forest));
+        // Exactly one s-t tgd exports S2: σ2.
+        let exporting = forest.exporting_tgds();
+        assert_eq!(exporting.len(), 1);
+        assert_eq!(m.tgd(*exporting.iter().next().unwrap()).name(), "s2");
+    }
+
+    #[test]
+    fn depth_limit_bounds_exploration() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let s2 = s_of(&m, &i, "S2");
+        let shallow = compute_source_routes(env, &[s2], 1);
+        // Depth 1: only the s-t step fires; T2 reached but not explored.
+        let t2_rel = m.target().rel_id("T2").unwrap();
+        let t2 = j.rel_rows(t2_rel).next().unwrap();
+        assert!(shallow.reached_targets().contains(&t2));
+        let t3_rel = m.target().rel_id("T3").unwrap();
+        let t3 = j.rel_rows(t3_rel).next().unwrap();
+        assert!(!shallow.reached_targets().contains(&t3));
+    }
+
+    #[test]
+    fn one_route_from_source_is_valid() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let s1 = s_of(&m, &i, "S1");
+        let route = one_route_from_source(env, s1).unwrap();
+        route.validate(&env, &[]).unwrap();
+        // The route's first step must use S1 as a premise.
+        let lhs = route.steps()[0].lhs_facts(&env).unwrap();
+        assert!(lhs.contains(&Fact::source(s1)));
+    }
+
+    #[test]
+    fn source_tuple_with_no_exports() {
+        let (m, mut i, j, mut pool) = example_3_5();
+        // S3 has no tgd over it (σ9 is not part of the base mapping).
+        let z = pool.str("z");
+        let s3 = i.insert_ok(m.source().rel_id("S3").unwrap(), &[z]);
+        let env = RouteEnv::new(&m, &i, &j);
+        assert!(one_route_from_source(env, s3).is_none());
+        let forest = compute_source_routes(env, &[s3], 5);
+        assert!(forest.reached_targets().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Satisfaction steps (paper Definition 3.1).
+
+use routes_mapping::TgdId;
+use routes_model::{Fact, TupleId, Value};
+
+use crate::env::RouteEnv;
+
+/// One satisfaction step `K1 --σ,h--> K2`: a tgd `σ` together with a *total*
+/// assignment `h` of all of `σ`'s variables (universal and existential).
+///
+/// Unlike a chase step, `h` covers the existential variables too — the step
+/// asserts that `h(ψ)` is already present in the solution `J` and merely
+/// *witnesses* it (paper §3, discussion after Definition 3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SatisfactionStep {
+    /// The tgd used.
+    pub tgd: TgdId,
+    /// The total assignment, indexed densely by the tgd's variables.
+    pub hom: Box<[Value]>,
+}
+
+impl SatisfactionStep {
+    /// Create a step.
+    pub fn new(tgd: TgdId, hom: impl Into<Box<[Value]>>) -> Self {
+        SatisfactionStep {
+            tgd,
+            hom: hom.into(),
+        }
+    }
+
+    /// The facts `LHS(h(σ))` — the step's premises. `None` if the step is
+    /// not well-formed against `env` (its LHS image is not in the instance
+    /// the LHS ranges over).
+    pub fn lhs_facts(&self, env: &RouteEnv<'_>) -> Option<Vec<Fact>> {
+        env.lhs_facts(self.tgd, &self.hom)
+    }
+
+    /// The target tuples `RHS(h(σ))` — what the step produces/witnesses.
+    /// `None` if `h(ψ) ⊄ J`.
+    pub fn rhs_tuples(&self, env: &RouteEnv<'_>) -> Option<Vec<TupleId>> {
+        env.rhs_tuples(self.tgd, &self.hom)
+    }
+
+    /// A stable identity for deduplication: `(σ, h)` as a pair.
+    pub fn signature(&self) -> (TgdId, &[Value]) {
+        (self.tgd, &self.hom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_mapping::{parse_st_tgd, SchemaMapping};
+    use routes_model::{Instance, Schema, ValuePool};
+
+    #[test]
+    fn step_resolution_against_env() {
+        let mut s = Schema::new();
+        s.rel("S", &["a"]);
+        let mut t = Schema::new();
+        t.rel("T", &["a"]);
+        let mut pool = ValuePool::new();
+        let mut m = SchemaMapping::new(s.clone(), t.clone());
+        let id = m
+            .add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m: S(x) -> T(x)").unwrap())
+            .unwrap();
+        let mut i = Instance::new(&s);
+        let mut j = Instance::new(&t);
+        let sid = i.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(1)]);
+        let tid = j.insert_ok(t.rel_id("T").unwrap(), &[Value::Int(1)]);
+        let env = RouteEnv::new(&m, &i, &j);
+        let step = SatisfactionStep::new(id, vec![Value::Int(1)]);
+        assert_eq!(step.lhs_facts(&env), Some(vec![Fact::source(sid)]));
+        assert_eq!(step.rhs_tuples(&env), Some(vec![tid]));
+        assert_eq!(step.signature().0, id);
+
+        let bad = SatisfactionStep::new(id, vec![Value::Int(9)]);
+        assert_eq!(bad.lhs_facts(&env), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Stratified interpretation of routes (paper §3.1).
+//!
+//! Every tuple in a route has a *rank*: source tuples have rank 0, and a
+//! tuple has rank `k` if some step produces it whose LHS tuples have maximum
+//! rank `k - 1` — and it is not of a lower rank (ranks are minimal). A step
+//! `(σ, h)` belongs to rank `k` when the maximum rank of `LHS(h(σ))` is
+//! `k - 1`. The *stratified interpretation* `strat(R)` partitions the steps
+//! into rank blocks; the *rank of a route* is the number of blocks.
+//!
+//! Two routes with the same stratified interpretation use the same set of
+//! satisfaction steps — the equivalence under which the route forest is
+//! complete for minimal routes (Theorem 3.7).
+
+use std::collections::HashMap;
+
+use routes_model::{Side, TupleId};
+
+use crate::env::RouteEnv;
+use crate::route::Route;
+use crate::step::SatisfactionStep;
+
+/// A step resolved against `(I, J)`: its premises (with sides), its
+/// conclusions, and the step itself.
+type ResolvedStep<'r> = (Vec<(Side, TupleId)>, Vec<TupleId>, &'r SatisfactionStep);
+
+/// The stratified interpretation of a route: step blocks by rank (block 0 is
+/// rank 1, etc.). Within a block, steps are canonically sorted so that two
+/// interpretations are equal iff their blocks contain the same `(σ, h)` sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StratifiedRoute {
+    blocks: Vec<Vec<SatisfactionStep>>,
+}
+
+impl StratifiedRoute {
+    /// The blocks, rank 1 first.
+    pub fn blocks(&self) -> &[Vec<SatisfactionStep>] {
+        &self.blocks
+    }
+
+    /// The rank of the route (number of blocks).
+    pub fn rank(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Compute the stratified interpretation of a (valid) route.
+///
+/// # Panics
+/// Panics if the route does not replay against `env` (validate first).
+pub fn stratify(env: &RouteEnv<'_>, route: &Route) -> StratifiedRoute {
+    // Tuple ranks: fixpoint of rank[t] = min over steps producing t of
+    // (1 + max rank of the step's LHS tuples), source tuples having rank 0.
+    let mut rank: HashMap<TupleId, usize> = HashMap::new();
+
+    // Resolve step premises/conclusions once.
+    let resolved: Vec<ResolvedStep<'_>> = route
+        .steps()
+        .iter()
+        .map(|step| {
+            let lhs = step
+                .lhs_facts(env)
+                .expect("stratify requires a valid route")
+                .into_iter()
+                .map(|f| (f.side, f.id))
+                .collect();
+            let rhs = step
+                .rhs_tuples(env)
+                .expect("stratify requires a valid route");
+            (lhs, rhs, step)
+        })
+        .collect();
+
+    loop {
+        let mut changed = false;
+        for (lhs, rhs, _) in &resolved {
+            let mut max_lhs = 0usize;
+            let mut known = true;
+            for &(side, id) in lhs {
+                match side {
+                    Side::Source => {}
+                    Side::Target => match rank.get(&id) {
+                        Some(&r) => max_lhs = max_lhs.max(r),
+                        None => {
+                            known = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !known {
+                continue;
+            }
+            let step_rank = max_lhs + 1;
+            for &t in rhs {
+                let entry = rank.entry(t).or_insert(usize::MAX);
+                if step_rank < *entry {
+                    *entry = step_rank;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Assign each step to its block from the final tuple ranks.
+    let mut max_rank = 0usize;
+    let mut step_ranks: Vec<usize> = Vec::with_capacity(resolved.len());
+    for (lhs, _, _) in &resolved {
+        let r = 1 + lhs
+            .iter()
+            .map(|&(side, id)| match side {
+                Side::Source => 0,
+                Side::Target => rank[&id],
+            })
+            .max()
+            .unwrap_or(0);
+        step_ranks.push(r);
+        max_rank = max_rank.max(r);
+    }
+    let mut blocks: Vec<Vec<SatisfactionStep>> = vec![Vec::new(); max_rank];
+    for ((_, _, step), r) in resolved.iter().zip(step_ranks) {
+        let block = &mut blocks[r - 1];
+        // Set semantics within a block: duplicate steps collapse.
+        if !block.iter().any(|s| s == *step) {
+            block.push((*step).clone());
+        }
+    }
+    for block in &mut blocks {
+        block.sort_by(|a, b| a.tgd.cmp(&b.tgd).then_with(|| a.hom.cmp(&b.hom)));
+    }
+    StratifiedRoute { blocks }
+}
+
+/// The rank of a route: the number of blocks in its stratified
+/// interpretation.
+pub fn route_rank(env: &RouteEnv<'_>, route: &Route) -> usize {
+    stratify(env, route).rank()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_routes::compute_all_routes;
+    use crate::testkit::example_3_5;
+    use crate::print::enumerate_routes;
+    use routes_mapping::SchemaMapping;
+    use routes_model::Instance;
+
+    fn t_of(m: &SchemaMapping, j: &Instance, rel: &str) -> TupleId {
+        let r = m.target().rel_id(rel).unwrap();
+        j.rel_rows(r).next().unwrap()
+    }
+
+    #[test]
+    fn r1_and_r3_have_the_papers_stratification() {
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7 = t_of(&m, &j, "T7");
+        let forest = compute_all_routes(env, &[t7]);
+        let routes = enumerate_routes(env, &forest, &[t7], 10);
+        assert_eq!(routes.len(), 1);
+        let r3 = &routes[0]; // R3 contains redundant steps but strat(R3) = strat(R1).
+        let strat = stratify(&env, r3);
+        // Paper table: rank 1: {σ1, σ2}; 2: {σ3}; 3: {σ4}; 4: {σ5}; 5: {σ8}; 6: {σ6}.
+        assert_eq!(strat.rank(), 6);
+        let names: Vec<Vec<&str>> = strat
+            .blocks()
+            .iter()
+            .map(|b| b.iter().map(|s| m.tgd(s.tgd).name()).collect())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                vec!["s1", "s2"],
+                vec!["s3"],
+                vec!["s4"],
+                vec!["s5"],
+                vec!["s8"],
+                vec!["s6"],
+            ]
+        );
+        assert_eq!(route_rank(&env, r3), 6);
+    }
+
+    #[test]
+    fn reordered_routes_have_equal_strat() {
+        // Build R1 by hand (the paper's minimal order) and compare with R3.
+        let (m, i, j, _pool) = example_3_5();
+        let env = RouteEnv::new(&m, &i, &j);
+        let t7 = t_of(&m, &j, "T7");
+        let forest = compute_all_routes(env, &[t7]);
+        let r3 = &enumerate_routes(env, &forest, &[t7], 10)[0];
+
+        // R1: σ2 σ3 σ4 σ1 σ5 σ8 σ6 — drop the duplicated σ2 σ3 σ4 prefix.
+        let mut seen = std::collections::HashSet::new();
+        let steps: Vec<_> = r3
+            .steps()
+            .iter()
+            .filter(|s| seen.insert((*s).clone()))
+            .cloned()
+            .collect();
+        let r1 = Route::new(steps);
+        r1.validate(&env, &[t7]).unwrap();
+        assert_eq!(stratify(&env, &r1), stratify(&env, r3));
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared unit-test fixtures (compiled only under `cfg(test)`).
+
+use routes_mapping::{parse_st_tgd, parse_target_tgd, SchemaMapping};
+use routes_model::{Instance, Schema, ValuePool};
+
+/// The mapping of paper Example 3.5 (σ1..σ8, named `s1`..`s8` here) with
+/// `I = {S1(a), S2(a)}` and `J = {T1(a), ..., T7(a)}`.
+pub(crate) fn example_3_5() -> (SchemaMapping, Instance, Instance, ValuePool) {
+    let mut s = Schema::new();
+    for r in ["S1", "S2", "S3"] {
+        s.rel(r, &["x"]);
+    }
+    let mut t = Schema::new();
+    for r in ["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"] {
+        t.rel(r, &["x"]);
+    }
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    for (name, text) in [("s1", "S1(x) -> T1(x)"), ("s2", "S2(x) -> T2(x)")] {
+        let tgd = parse_st_tgd(&s, &t, &mut pool, &format!("{name}: {text}")).unwrap();
+        m.add_st_tgd(tgd).unwrap();
+    }
+    for (name, text) in [
+        ("s3", "T2(x) -> T3(x)"),
+        ("s4", "T3(x) -> T4(x)"),
+        ("s5", "T4(x) & T1(x) -> T5(x)"),
+        ("s6", "T4(x) & T6(x) -> T7(x)"),
+        ("s7", "T5(x) -> T3(x)"),
+        ("s8", "T5(x) -> T6(x)"),
+    ] {
+        let tgd = parse_target_tgd(&t, &mut pool, &format!("{name}: {text}")).unwrap();
+        m.add_target_tgd(tgd).unwrap();
+    }
+    let a = pool.str("a");
+    let mut i = Instance::new(&s);
+    i.insert_ok(s.rel_id("S1").unwrap(), &[a]);
+    i.insert_ok(s.rel_id("S2").unwrap(), &[a]);
+    let mut j = Instance::new(&t);
+    for r in ["T1", "T2", "T3", "T4", "T5", "T6", "T7"] {
+        j.insert_ok(t.rel_id(r).unwrap(), &[a]);
+    }
+    (m, i, j, pool)
+}

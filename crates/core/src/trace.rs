@@ -1,0 +1,131 @@
+//! Tracing the *computation* of a route (paper §3.4: "single-stepping the
+//! computation of routes").
+//!
+//! [`crate::DebugSession`] steps through a *finished* route; this module
+//! instead records what `ComputeOneRoute` itself does — which tuples it
+//! explores, which tgds it tries, where triples get parked in `UNPROVEN`,
+//! and what `Infer` propagates. The trace is the explanation of the
+//! explanation: it shows *why the debugger chose the route it shows you*,
+//! and it doubles as a teaching tool for the algorithm.
+
+use routes_mapping::TgdId;
+use routes_model::{TupleId, Value, ValuePool};
+
+use crate::env::RouteEnv;
+
+/// One event in the execution of `ComputeOneRoute`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A tuple entered `ACTIVETUPLES` and is being explored.
+    Explore(TupleId),
+    /// A tuple was skipped: already active or already proven.
+    SkipActive(TupleId),
+    /// `findHom` produced an assignment for `(tuple, tgd)`.
+    FoundHom {
+        /// The probed tuple.
+        tuple: TupleId,
+        /// The tgd.
+        tgd: TgdId,
+    },
+    /// A step was appended to the route under construction.
+    Append {
+        /// The tgd used.
+        tgd: TgdId,
+        /// The assignment.
+        hom: Box<[Value]>,
+    },
+    /// A triple `(tuple, tgd, h)` was parked in `UNPROVEN` pending the
+    /// given premises.
+    Park {
+        /// The subject tuple.
+        tuple: TupleId,
+        /// The tgd.
+        tgd: TgdId,
+        /// The not-yet-proven premises.
+        missing: Vec<TupleId>,
+    },
+    /// `Infer` marked a tuple proven.
+    Proven(TupleId),
+    /// `Infer` resolved a parked triple (its step was appended or dropped
+    /// as stale).
+    Resolved {
+        /// The subject tuple.
+        tuple: TupleId,
+        /// Whether the triple's step was appended (false = dropped stale).
+        appended: bool,
+    },
+    /// Exploration of a tuple ended without proving it (for now).
+    Exhausted(TupleId),
+}
+
+/// A recorded computation trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of `Explore` events (= distinct tuples whose branches were
+    /// searched; the `ACTIVETUPLES` bound of Proposition 3.9).
+    pub fn tuples_explored(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Explore(_)))
+            .count()
+    }
+
+    /// Number of `findHom` successes observed.
+    pub fn homs_found(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::FoundHom { .. }))
+            .count()
+    }
+
+    /// Number of triples parked in `UNPROVEN`.
+    pub fn parked(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Park { .. }))
+            .count()
+    }
+
+    /// Render as indented text.
+    pub fn to_text(&self, pool: &ValuePool, env: &RouteEnv<'_>) -> String {
+        let mut out = String::new();
+        let tuple = |t: TupleId| {
+            routes_model::tuple_to_string(pool, env.mapping.target(), env.target, t)
+        };
+        for event in &self.events {
+            let line = match event {
+                TraceEvent::Explore(t) => format!("explore {}", tuple(*t)),
+                TraceEvent::SkipActive(t) => format!("  skip {} (active/proven)", tuple(*t)),
+                TraceEvent::FoundHom { tuple: t, tgd } => format!(
+                    "  findHom({}, {}) succeeded",
+                    tuple(*t),
+                    env.mapping.tgd(*tgd).name()
+                ),
+                TraceEvent::Append { tgd, .. } => {
+                    format!("  append ({}, h) to G", env.mapping.tgd(*tgd).name())
+                }
+                TraceEvent::Park { tuple: t, tgd, missing } => format!(
+                    "  park ({}, {}, h) in UNPROVEN; missing {} premise(s)",
+                    tuple(*t),
+                    env.mapping.tgd(*tgd).name(),
+                    missing.len()
+                ),
+                TraceEvent::Proven(t) => format!("  infer: {} proven", tuple(*t)),
+                TraceEvent::Resolved { tuple: t, appended } => format!(
+                    "  infer: resolved parked triple for {} ({})",
+                    tuple(*t),
+                    if *appended { "appended" } else { "stale, dropped" }
+                ),
+                TraceEvent::Exhausted(t) => format!("  {} exhausted, still unproven", tuple(*t)),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}

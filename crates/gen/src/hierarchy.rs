@@ -1,0 +1,403 @@
+//! The hierarchical synthetic scenarios (paper §4.1): *flat-hierarchy*
+//! (depth-1 nesting: a root record with the eight TPC-H sets underneath)
+//! and *deep-hierarchy* (`Region/Nation/Customer/Orders/Lineitem`, Figure
+//! 11).
+//!
+//! Both scenarios run through the relational encoding of `routes-nested`:
+//! each record relation carries `(self, parent)` id columns, and the copy
+//! tgds carry those columns along — which is precisely why selection depth
+//! affects `findHom` cost in the deep scenario.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use routes_mapping::{parse_st_tgd, parse_target_tgd, SchemaMapping};
+use routes_model::{Instance, RelId, TupleId, Value, ValuePool};
+use routes_nested::{
+    copy_tree_tgd, encode_instance, encode_schema, EncodedSchema, NestedInstance, NestedSchema,
+};
+
+use crate::relational::{copy_tgd_text_nested, join_patterns, GROUPS};
+use crate::scenario::{random_tuples, Scenario};
+use crate::tpch::{table_attrs, TpchRows, TABLES};
+
+/// The flat-hierarchy scenario: depth-1 nested schemas.
+#[derive(Debug, Clone)]
+pub struct FlatScenario {
+    /// Mapping + encoded source instance.
+    pub scenario: Scenario,
+    /// Nested source schema (root + eight sets).
+    pub src_nested: NestedSchema,
+    /// Nested target schema (six copies).
+    pub dst_nested: NestedSchema,
+    /// The target encoding (for decoding solutions back to trees).
+    pub dst_encoded: EncodedSchema,
+    /// Target table relations per group (Root relations excluded).
+    pub target_groups: Vec<Vec<RelId>>,
+}
+
+impl FlatScenario {
+    /// Select `n` random elements from group `group` of a solution.
+    pub fn select_from_group(
+        &self,
+        j: &Instance,
+        group: usize,
+        n: usize,
+        seed: u64,
+    ) -> Vec<TupleId> {
+        random_tuples(j, &self.target_groups[group - 1], n, seed)
+    }
+}
+
+/// Build the flat-hierarchy scenario: nested (depth-1) version of the
+/// relational scenario with the same Figure 9 join structure.
+pub fn flat_scenario(joins: usize, rows: &TpchRows, seed: u64) -> FlatScenario {
+    // Nested source: Root0 with the eight TPC-H sets underneath.
+    let mut src_nested = NestedSchema::new();
+    let root0 = src_nested.add_root("Root0", &[]);
+    for base in TABLES {
+        src_nested.add_child(root0, &format!("{base}0"), table_attrs(base));
+    }
+    // Nested target: six copies.
+    let mut dst_nested = NestedSchema::new();
+    for g in 1..=GROUPS {
+        let root = dst_nested.add_root(&format!("Root{g}"), &[]);
+        for base in TABLES {
+            dst_nested.add_child(root, &format!("{base}{g}"), table_attrs(base));
+        }
+    }
+    let src_encoded = encode_schema(&src_nested);
+    let dst_encoded = encode_schema(&dst_nested);
+
+    // Source data: one root node, TPC-H rows as its children.
+    let mut pool = ValuePool::new();
+    let mut tree = NestedInstance::new();
+    let root = tree.add_root(&src_nested, root0, &[]);
+    populate_children(&mut tree, &src_nested, &mut pool, root, "0", rows, seed);
+    let encoded_src = encode_instance(&src_nested, &src_encoded, &tree);
+
+    // Tgds: root copy plus the per-group join-pattern copies.
+    let mut mapping = SchemaMapping::new(src_encoded.schema.clone(), dst_encoded.schema.clone());
+    let root_copy_rhs: Vec<String> = (1..=GROUPS)
+        .map(|g| format!("Root{g}(r_self, r_par)"))
+        .collect();
+    let root_copy = format!(
+        "root_copy: Root0(r_self, r_par) -> {}",
+        root_copy_rhs.join(" & ")
+    );
+    mapping
+        .add_st_tgd(
+            parse_st_tgd(&src_encoded.schema, &dst_encoded.schema, &mut pool, &root_copy)
+                .expect("root copy parses"),
+        )
+        .expect("root copy valid");
+    let patterns = join_patterns(joins);
+    for (gi, group) in patterns.iter().enumerate() {
+        let text = copy_tgd_text_nested(&format!("st{gi}"), group, 0, 1);
+        let tgd = parse_st_tgd(&src_encoded.schema, &dst_encoded.schema, &mut pool, &text)
+            .unwrap_or_else(|e| panic!("generated nested s-t tgd must parse: {e}"));
+        mapping.add_st_tgd(tgd).expect("valid");
+    }
+    for to in 2..=GROUPS {
+        for (gi, group) in patterns.iter().enumerate() {
+            let text = copy_tgd_text_nested(&format!("t{}_{gi}", to - 1), group, to - 1, to);
+            let tgd = parse_target_tgd(&dst_encoded.schema, &mut pool, &text)
+                .unwrap_or_else(|e| panic!("generated nested target tgd must parse: {e}"));
+            mapping.add_target_tgd(tgd).expect("valid");
+        }
+    }
+
+    // Group table relations (excluding roots) for selection.
+    let target_groups: Vec<Vec<RelId>> = (1..=GROUPS)
+        .map(|g| {
+            TABLES
+                .iter()
+                .map(|base| {
+                    dst_encoded
+                        .schema
+                        .rel_id(&format!("{base}{g}"))
+                        .expect("target table exists")
+                })
+                .collect()
+        })
+        .collect();
+
+    FlatScenario {
+        scenario: Scenario {
+            name: format!("flat-hierarchy-M{joins}"),
+            pool,
+            mapping,
+            source: encoded_src.instance,
+        },
+        src_nested,
+        dst_nested,
+        dst_encoded,
+        target_groups,
+    }
+}
+
+/// Populate TPC-H-shaped children under `root` in a nested instance. Mirrors
+/// [`crate::tpch::populate`] but emits tree nodes.
+fn populate_children(
+    tree: &mut NestedInstance,
+    schema: &NestedSchema,
+    pool: &mut ValuePool,
+    root: routes_nested::NodeId,
+    suffix: &str,
+    rows: &TpchRows,
+    seed: u64,
+) {
+    // Generate into a scratch flat instance, then lift tuples to children.
+    let mut scratch_schema = routes_model::Schema::new();
+    let rels = crate::tpch::add_tpch_relations(&mut scratch_schema, suffix);
+    let mut scratch = Instance::new(&scratch_schema);
+    crate::tpch::populate(&mut scratch, pool, &rels, rows, seed);
+    for (base, &rel) in TABLES.iter().zip(&rels) {
+        let ty = schema
+            .type_by_name(&format!("{base}{suffix}"))
+            .expect("set type exists");
+        for (_, values) in scratch.rel_tuples(rel) {
+            tree.add_child(schema, root, ty, values);
+        }
+    }
+}
+
+/// Row-count knobs for the deep-hierarchy scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepRows {
+    /// Number of regions (the paper's TPC-H instance has 5 — and notes that
+    /// depth-1 selections are capped at 5 for exactly this reason).
+    pub regions: usize,
+    /// Nations per region.
+    pub nations_per: usize,
+    /// Customers per nation.
+    pub customers_per: usize,
+    /// Orders per customer.
+    pub orders_per: usize,
+    /// Lineitems per order.
+    pub lineitems_per: usize,
+}
+
+impl Default for DeepRows {
+    /// Approximates the paper's 700 KB instance (~4k nodes).
+    fn default() -> Self {
+        DeepRows {
+            regions: 5,
+            nations_per: 5,
+            customers_per: 8,
+            orders_per: 5,
+            lineitems_per: 3,
+        }
+    }
+}
+
+impl DeepRows {
+    /// Total node count.
+    pub fn total_nodes(&self) -> usize {
+        let r = self.regions;
+        let n = r * self.nations_per;
+        let c = n * self.customers_per;
+        let o = c * self.orders_per;
+        let l = o * self.lineitems_per;
+        r + n + c + o + l
+    }
+}
+
+/// The deep-hierarchy scenario (paper Figure 11).
+#[derive(Debug, Clone)]
+pub struct DeepScenario {
+    /// Mapping + encoded source instance.
+    pub scenario: Scenario,
+    /// Nested source schema (the 5-level chain).
+    pub src_nested: NestedSchema,
+    /// Nested target schema (identical chain, suffix 1).
+    pub dst_nested: NestedSchema,
+    /// The target encoding.
+    pub dst_encoded: EncodedSchema,
+    /// Target relation per depth (index 0 = depth 1 = `Region1`).
+    pub depth_rels: Vec<RelId>,
+}
+
+impl DeepScenario {
+    /// Select `n` random target elements at nesting depth `depth` (1..=5).
+    pub fn select_at_depth(&self, j: &Instance, depth: usize, n: usize, seed: u64) -> Vec<TupleId> {
+        random_tuples(j, &[self.depth_rels[depth - 1]], n, seed)
+    }
+
+    /// Maximum depth (5).
+    pub fn max_depth(&self) -> usize {
+        self.depth_rels.len()
+    }
+}
+
+const DEEP_LEVELS: [(&str, &[&str]); 5] = [
+    ("Region", &["rname"]),
+    ("Nation", &["nname"]),
+    ("Customer", &["cname", "acctbal"]),
+    ("Orders", &["totalprice"]),
+    ("Lineitem", &["quantity", "extendedprice"]),
+];
+
+/// Build the deep-hierarchy scenario: identical 5-level source and target
+/// schemas, one s-t tgd copying the source into the target, no target tgds.
+pub fn deep_scenario(rows: &DeepRows, seed: u64) -> DeepScenario {
+    let build_nested = |suffix: &str| -> NestedSchema {
+        let mut s = NestedSchema::new();
+        let mut parent = None;
+        for (base, attrs) in DEEP_LEVELS {
+            let name = format!("{base}{suffix}");
+            parent = Some(match parent {
+                None => s.add_root(&name, attrs),
+                Some(p) => s.add_child(p, &name, attrs),
+            });
+        }
+        s
+    };
+    let src_nested = build_nested("0");
+    let dst_nested = build_nested("1");
+    let src_encoded = encode_schema(&src_nested);
+    let dst_encoded = encode_schema(&dst_nested);
+
+    // Source tree.
+    let mut pool = ValuePool::new();
+    let mut tree = NestedInstance::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let region_ty = src_nested.type_by_name("Region0").unwrap();
+    let nation_ty = src_nested.type_by_name("Nation0").unwrap();
+    let customer_ty = src_nested.type_by_name("Customer0").unwrap();
+    let orders_ty = src_nested.type_by_name("Orders0").unwrap();
+    let lineitem_ty = src_nested.type_by_name("Lineitem0").unwrap();
+    for r in 0..rows.regions {
+        let rname = pool.str(&format!("Region#{r}"));
+        let rnode = tree.add_root(&src_nested, region_ty, &[rname]);
+        for n in 0..rows.nations_per {
+            let nname = pool.str(&format!("Nation#{r}-{n}"));
+            let nnode = tree.add_child(&src_nested, rnode, nation_ty, &[nname]);
+            for c in 0..rows.customers_per {
+                let cname = pool.str(&format!("Cust#{r}-{n}-{c}"));
+                let bal = Value::Int(rng.gen_range(-999..9_999));
+                let cnode = tree.add_child(&src_nested, nnode, customer_ty, &[cname, bal]);
+                for _ in 0..rows.orders_per {
+                    let total = Value::Int(rng.gen_range(100..99_999));
+                    let onode = tree.add_child(&src_nested, cnode, orders_ty, &[total]);
+                    for _ in 0..rows.lineitems_per {
+                        let qty = Value::Int(rng.gen_range(1..50));
+                        let price = Value::Int(rng.gen_range(100..9_999));
+                        tree.add_child(&src_nested, onode, lineitem_ty, &[qty, price]);
+                    }
+                }
+            }
+        }
+    }
+    let encoded_src = encode_instance(&src_nested, &src_encoded, &tree);
+
+    // The single copying s-t tgd over the full path.
+    let leaf = src_nested.type_by_name("Lineitem0").unwrap();
+    let path = src_nested.path_to(leaf);
+    let dst_names: Vec<String> = DEEP_LEVELS.iter().map(|(b, _)| format!("{b}1")).collect();
+    let dst_name_refs: Vec<&str> = dst_names.iter().map(String::as_str).collect();
+    let text = copy_tree_tgd("copy", &src_nested, &path, &dst_name_refs);
+    let mut mapping = SchemaMapping::new(src_encoded.schema.clone(), dst_encoded.schema.clone());
+    mapping
+        .add_st_tgd(
+            parse_st_tgd(&src_encoded.schema, &dst_encoded.schema, &mut pool, &text)
+                .expect("copy tgd parses"),
+        )
+        .expect("copy tgd valid");
+
+    let depth_rels: Vec<RelId> = dst_names
+        .iter()
+        .map(|n| dst_encoded.schema.rel_id(n).expect("depth relation"))
+        .collect();
+
+    DeepScenario {
+        scenario: Scenario {
+            name: "deep-hierarchy".into(),
+            pool,
+            mapping,
+            source: encoded_src.instance,
+        },
+        src_nested,
+        dst_nested,
+        dst_encoded,
+        depth_rels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_mapping::satisfy::is_solution;
+
+    #[test]
+    fn flat_scenario_chases_to_a_solution() {
+        let mut sc = flat_scenario(1, &TpchRows::scale(0.0002), 5);
+        let result = sc.scenario.solution().unwrap();
+        assert!(is_solution(
+            &sc.scenario.mapping,
+            &sc.scenario.source,
+            &result.target
+        ));
+        // Every group's Root relation has the copied root.
+        for g in 1..=GROUPS {
+            let root = sc
+                .dst_encoded
+                .schema
+                .rel_id(&format!("Root{g}"))
+                .unwrap();
+            assert_eq!(result.target.rel_len(root), 1);
+        }
+        let picks = sc.select_from_group(&result.target, 2, 5, 1);
+        assert_eq!(picks.len(), 5);
+    }
+
+    #[test]
+    fn deep_scenario_preserves_tree_shape() {
+        let rows = DeepRows {
+            regions: 2,
+            nations_per: 2,
+            customers_per: 2,
+            orders_per: 2,
+            lineitems_per: 2,
+        };
+        let mut sc = deep_scenario(&rows, 5);
+        assert_eq!(sc.scenario.source.total_tuples(), rows.total_nodes());
+        let result = sc.scenario.solution().unwrap();
+        assert!(is_solution(
+            &sc.scenario.mapping,
+            &sc.scenario.source,
+            &result.target
+        ));
+        // Identity copy: the target has the same number of tuples per level.
+        for (d, &rel) in sc.depth_rels.iter().enumerate() {
+            let src_rel = sc
+                .scenario
+                .mapping
+                .source()
+                .rel_id(&format!("{}0", DEEP_LEVELS[d].0))
+                .unwrap();
+            assert_eq!(
+                result.target.rel_len(rel),
+                sc.scenario.source.rel_len(src_rel),
+                "level {d} copied 1:1"
+            );
+        }
+        // Depth selection picks from the right relation.
+        let deep = sc.select_at_depth(&result.target, 5, 3, 9);
+        assert_eq!(deep.len(), 3);
+        assert!(deep.iter().all(|t| t.rel == sc.depth_rels[4]));
+        // Decode the target back into a tree: structure intact.
+        let tree = routes_nested::decode_instance(
+            &sc.dst_nested,
+            &sc.dst_encoded,
+            &result.target,
+        );
+        assert_eq!(tree.roots().len(), rows.regions);
+        assert_eq!(tree.len(), rows.total_nodes());
+    }
+
+    #[test]
+    fn deep_rows_total() {
+        let d = DeepRows::default();
+        assert_eq!(d.total_nodes(), 5 + 25 + 200 + 1000 + 3000);
+    }
+}

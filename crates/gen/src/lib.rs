@@ -1,0 +1,32 @@
+//! Workload generators for the paper's experimental evaluation (§4).
+//!
+//! * [`tpch`] — a seeded, scale-factored generator of TPC-H-shaped data
+//!   (the paper's synthetic scenarios conform to the TPC-H schema).
+//! * [`relational`] — the four relational scenarios `M0..M3` (§4.1): a TPC-H
+//!   source, a target of six schema "copies" (groups), copying tgds whose
+//!   join structure follows paper Figure 9, giving M/T factors 1–6.
+//! * [`hierarchy`] — the flat-hierarchy (depth-1 nested) and deep-hierarchy
+//!   (`Region/Nation/Customer/Orders/Lineitem`) scenarios.
+//! * [`real`] — synthetic stand-ins for the paper's real datasets (Table 1):
+//!   DBLP₁+DBLP₂ → Amalgam₁ (10 s-t / 14 target tgds) and Mondial₁ →
+//!   Mondial₂ (13 s-t / 25 target tgds). The real data is not distributable;
+//!   these generators reproduce the *shape* (schema sizes, nesting depths,
+//!   dependency counts, instance sizes) that drives the measurements.
+//! * [`random`] — seeded random mapping/instance scenarios for property and
+//!   fuzz-style tests (Theorems 3.7 / 3.10).
+
+pub mod hierarchy;
+pub mod paper;
+pub mod random;
+pub mod real;
+pub mod relational;
+pub mod scenario;
+pub mod tpch;
+
+pub use hierarchy::{deep_scenario, flat_scenario, DeepScenario, FlatScenario};
+pub use paper::{fargo_scenario, toy_scenario_3_5, FargoScenario};
+pub use random::random_scenario;
+pub use real::{dblp_scenario, mondial_scenario, RealScenario};
+pub use relational::{relational_scenario, RelationalScenario, GROUPS};
+pub use scenario::Scenario;
+pub use tpch::TpchRows;

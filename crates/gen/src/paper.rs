@@ -1,0 +1,226 @@
+//! The paper's running examples as ready-made scenarios:
+//!
+//! * [`fargo_scenario`] — Figures 1 and 2: the Manhattan Credit / Fargo Bank
+//!   → Fargo Finance mapping with the exact source instance `I` and solution
+//!   `J` of Figure 2 (including its labeled nulls `N1`, `M1..M5`, `I1`,
+//!   `A1`). This is the playground for the §2.1 debugging scenarios.
+//! * [`toy_scenario_3_5`] — Example 3.5's mapping σ1..σ8 with
+//!   `I = {S1(a), S2(a)}` and `J = {T1(a)..T7(a)}` (Figure 5's route tree).
+
+use routes_mapping::{parse_egd, parse_st_tgd, parse_target_tgd, SchemaMapping};
+use routes_model::{Instance, Schema, TupleId, Value, ValuePool};
+
+use crate::scenario::Scenario;
+
+/// The Figure 1/2 scenario with its hand-crafted solution and the paper's
+/// tuple labels.
+#[derive(Debug, Clone)]
+pub struct FargoScenario {
+    /// Mapping and source instance `I`.
+    pub scenario: Scenario,
+    /// The solution `J` of Figure 2 (as produced by Clio in the paper —
+    /// hand-crafted here, not chased).
+    pub solution: Instance,
+    /// Source tuples `s1..s6` in paper order.
+    pub s: [TupleId; 6],
+    /// Target tuples `t1..t10` in paper order.
+    pub t: [TupleId; 10],
+}
+
+/// Build the Manhattan Credit / Fargo Bank → Fargo Finance scenario
+/// (paper Figures 1 and 2).
+pub fn fargo_scenario() -> FargoScenario {
+    let mut pool = ValuePool::new();
+    let mut s = Schema::new();
+    let cards = s.rel(
+        "Cards",
+        &["cardNo", "limit", "ssn", "name", "maidenName", "salary", "location"],
+    );
+    let supp = s.rel("SupplementaryCards", &["accNo", "ssn", "name", "address"]);
+    let fba = s.rel("FBAccounts", &["bankNo", "ssn", "name", "income", "address"]);
+    let cc = s.rel("CreditCards", &["cardNo", "creditLimit", "custSSN"]);
+    let mut t = Schema::new();
+    let accounts = t.rel("Accounts", &["accNo", "limit", "accHolder"]);
+    let clients = t.rel("Clients", &["ssn", "name", "maidenName", "income", "address"]);
+
+    let mut mapping = SchemaMapping::new(s.clone(), t.clone());
+    let st = [
+        "m1: Cards(cn, l, s, n, m, sal, loc) -> exists A: Accounts(cn, l, s) & Clients(s, m, m, sal, A)",
+        "m2: SupplementaryCards(an, s, n, a) -> exists M, I: Clients(s, n, M, I, a)",
+        "m3: FBAccounts(bn, s, n, i, a) & CreditCards(cn, cl, cs) -> \
+           exists M: Accounts(cn, cl, cs) & Clients(cs, n, M, i, a)",
+    ];
+    for text in st {
+        mapping
+            .add_st_tgd(parse_st_tgd(&s, &t, &mut pool, text).expect("paper tgd parses"))
+            .expect("paper tgd valid");
+    }
+    mapping
+        .add_target_tgd(
+            parse_target_tgd(
+                &t,
+                &mut pool,
+                "m4: Accounts(a, l, s) -> exists N, M, I, A: Clients(s, N, M, I, A)",
+            )
+            .expect("m4 parses"),
+        )
+        .expect("m4 valid");
+    mapping
+        .add_target_tgd(
+            parse_target_tgd(
+                &t,
+                &mut pool,
+                "m5: Clients(s, n, m, i, a) -> exists N, L: Accounts(N, L, s)",
+            )
+            .expect("m5 parses"),
+        )
+        .expect("m5 valid");
+    mapping
+        .add_egd(
+            parse_egd(
+                &t,
+                &mut pool,
+                "m6: Accounts(a, l, s) & Accounts(a2, l2, s) -> l = l2",
+            )
+            .expect("m6 parses"),
+        )
+        .expect("m6 valid");
+
+    // Source instance I (Figure 2). Money values are strings like "15K" to
+    // match the paper's rendering; keys and SSNs are integers.
+    let v = |pool: &mut ValuePool, text: &str| pool.str(text);
+    let (jlong, smith, seattle) = (
+        v(&mut pool, "J. Long"),
+        v(&mut pool, "Smith"),
+        v(&mut pool, "Seattle"),
+    );
+    let (along, california) = (v(&mut pool, "A. Long"), v(&mut pool, "California"));
+    let (cdon, newyork) = (v(&mut pool, "C. Don"), v(&mut pool, "New York"));
+    let (k15, k50, k30, k900, k2, k40) = (
+        v(&mut pool, "15K"),
+        v(&mut pool, "50K"),
+        v(&mut pool, "30K"),
+        v(&mut pool, "900K"),
+        v(&mut pool, "2K"),
+        v(&mut pool, "40K"),
+    );
+    let mut i = Instance::new(&s);
+    let s1 = i.insert_ok(cards, &[Value::Int(6689), k15, Value::Int(434), jlong, smith, k50, seattle]);
+    let s2 = i.insert_ok(supp, &[Value::Int(6689), Value::Int(234), along, california]);
+    let s3 = i.insert_ok(fba, &[Value::Int(1001), Value::Int(234), along, k30, california]);
+    let s4 = i.insert_ok(fba, &[Value::Int(4341), Value::Int(153), cdon, k900, newyork]);
+    let s5 = i.insert_ok(cc, &[Value::Int(2252), k2, Value::Int(234)]);
+    let s6 = i.insert_ok(cc, &[Value::Int(5539), k40, Value::Int(153)]);
+
+    // Solution J (Figure 2), with its labeled nulls.
+    let n1 = pool.named_null("N1");
+    let (m1n, m2n, m3n, m4n, m5n) = (
+        pool.named_null("M1"),
+        pool.named_null("M2"),
+        pool.named_null("M3"),
+        pool.named_null("M4"),
+        pool.named_null("M5"),
+    );
+    let i1 = pool.named_null("I1");
+    let a1 = pool.named_null("A1");
+    let mut j = Instance::new(&t);
+    let t1 = j.insert_ok(accounts, &[Value::Int(6689), k15, Value::Int(434)]);
+    let t2 = j.insert_ok(accounts, &[n1, k2, Value::Int(234)]);
+    let t3 = j.insert_ok(accounts, &[Value::Int(2252), k2, Value::Int(234)]);
+    let t4 = j.insert_ok(accounts, &[Value::Int(5539), k40, Value::Int(153)]);
+    let t5 = j.insert_ok(clients, &[Value::Int(434), smith, smith, k50, a1]);
+    let t6 = j.insert_ok(clients, &[Value::Int(234), along, m1n, i1, california]);
+    let t7 = j.insert_ok(clients, &[Value::Int(153), along, m2n, k30, california]);
+    let t8 = j.insert_ok(clients, &[Value::Int(234), along, m3n, k30, california]);
+    let t9 = j.insert_ok(clients, &[Value::Int(153), cdon, m4n, k900, newyork]);
+    let t10 = j.insert_ok(clients, &[Value::Int(234), cdon, m5n, k900, newyork]);
+
+    FargoScenario {
+        scenario: Scenario {
+            name: "fargo".into(),
+            pool,
+            mapping,
+            source: i,
+        },
+        solution: j,
+        s: [s1, s2, s3, s4, s5, s6],
+        t: [t1, t2, t3, t4, t5, t6, t7, t8, t9, t10],
+    }
+}
+
+/// The toy scenario of Example 3.5 / Figure 5, with the tuples of
+/// `J = {T1(a)..T7(a)}` returned in order.
+pub fn toy_scenario_3_5() -> (Scenario, Instance, Vec<TupleId>) {
+    let mut s = Schema::new();
+    for r in ["S1", "S2", "S3"] {
+        s.rel(r, &["x"]);
+    }
+    let mut t = Schema::new();
+    for r in ["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"] {
+        t.rel(r, &["x"]);
+    }
+    let mut pool = ValuePool::new();
+    let mut mapping = SchemaMapping::new(s.clone(), t.clone());
+    for (name, text) in [("s1", "S1(x) -> T1(x)"), ("s2", "S2(x) -> T2(x)")] {
+        let tgd = parse_st_tgd(&s, &t, &mut pool, &format!("{name}: {text}")).unwrap();
+        mapping.add_st_tgd(tgd).unwrap();
+    }
+    for (name, text) in [
+        ("s3", "T2(x) -> T3(x)"),
+        ("s4", "T3(x) -> T4(x)"),
+        ("s5", "T4(x) & T1(x) -> T5(x)"),
+        ("s6", "T4(x) & T6(x) -> T7(x)"),
+        ("s7", "T5(x) -> T3(x)"),
+        ("s8", "T5(x) -> T6(x)"),
+    ] {
+        let tgd = parse_target_tgd(&t, &mut pool, &format!("{name}: {text}")).unwrap();
+        mapping.add_target_tgd(tgd).unwrap();
+    }
+    let a = pool.str("a");
+    let mut i = Instance::new(&s);
+    i.insert_ok(s.rel_id("S1").unwrap(), &[a]);
+    i.insert_ok(s.rel_id("S2").unwrap(), &[a]);
+    let mut j = Instance::new(&t);
+    let tuples: Vec<TupleId> = ["T1", "T2", "T3", "T4", "T5", "T6", "T7"]
+        .iter()
+        .map(|r| j.insert_ok(t.rel_id(r).unwrap(), &[a]))
+        .collect();
+    (
+        Scenario {
+            name: "example-3.5".into(),
+            pool,
+            mapping,
+            source: i,
+        },
+        j,
+        tuples,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_mapping::satisfy::is_solution;
+
+    #[test]
+    fn figure_2_solution_satisfies_the_mapping() {
+        let fargo = fargo_scenario();
+        assert!(is_solution(
+            &fargo.scenario.mapping,
+            &fargo.scenario.source,
+            &fargo.solution
+        ));
+        assert_eq!(fargo.scenario.source.total_tuples(), 6);
+        assert_eq!(fargo.solution.total_tuples(), 10);
+    }
+
+    #[test]
+    fn toy_scenario_matches_example_3_5() {
+        let (sc, j, tuples) = toy_scenario_3_5();
+        assert_eq!(sc.mapping.st_tgds().len(), 2);
+        assert_eq!(sc.mapping.target_tgds().len(), 6);
+        assert_eq!(j.total_tuples(), 7);
+        assert_eq!(tuples.len(), 7);
+        assert!(is_solution(&sc.mapping, &sc.source, &j));
+    }
+}

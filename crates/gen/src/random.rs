@@ -1,0 +1,202 @@
+//! Seeded random scenarios for property and fuzz-style testing of the route
+//! algorithms (Theorems 3.7 and 3.10 are tested over these).
+//!
+//! The generated dependency sets are restricted so the standard chase
+//! terminates: target tgds never introduce existential variables (only s-t
+//! tgds may), which makes every dependency set weakly acyclic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use routes_mapping::{Tgd, SchemaMapping};
+use routes_model::{Atom, Instance, RelId, Schema, Term, Value, ValuePool, Var};
+
+use crate::scenario::Scenario;
+
+/// Remap the variables occurring in `atoms` to a dense `0..n` space,
+/// returning the rewritten atoms and the names of the surviving variables.
+fn compact_vars(atoms: Vec<Atom>, var_names: &[String]) -> (Vec<Atom>, Vec<String>) {
+    let mut remap: Vec<Option<Var>> = vec![None; var_names.len()];
+    let mut names = Vec::new();
+    let rewritten = atoms
+        .into_iter()
+        .map(|atom| {
+            let terms = atom
+                .terms
+                .iter()
+                .map(|term| match term {
+                    Term::Var(v) => {
+                        let slot = &mut remap[v.0 as usize];
+                        let nv = match slot {
+                            Some(nv) => *nv,
+                            None => {
+                                let nv = Var(names.len() as u32);
+                                names.push(var_names[v.0 as usize].clone());
+                                *slot = Some(nv);
+                                nv
+                            }
+                        };
+                        Term::Var(nv)
+                    }
+                    c => *c,
+                })
+                .collect();
+            Atom::new(atom.rel, terms)
+        })
+        .collect();
+    (rewritten, names)
+}
+
+/// Build a small random scenario. For a fixed seed the scenario is fully
+/// deterministic.
+pub fn random_scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = ValuePool::new();
+
+    let n_source = rng.gen_range(1..=3usize);
+    let n_target = rng.gen_range(2..=4usize);
+    let mut source_schema = Schema::new();
+    let source_rels: Vec<(RelId, usize)> = (0..n_source)
+        .map(|k| {
+            let arity = rng.gen_range(1..=2usize);
+            let attrs: Vec<&str> = ["a", "b"][..arity].to_vec();
+            (source_schema.rel(&format!("S{k}"), &attrs), arity)
+        })
+        .collect();
+    let mut target_schema = Schema::new();
+    let target_rels: Vec<(RelId, usize)> = (0..n_target)
+        .map(|k| {
+            let arity = rng.gen_range(1..=2usize);
+            let attrs: Vec<&str> = ["a", "b"][..arity].to_vec();
+            (target_schema.rel(&format!("T{k}"), &attrs), arity)
+        })
+        .collect();
+
+    let mut mapping = SchemaMapping::new(source_schema.clone(), target_schema.clone());
+
+    // Random atoms over a small shared variable space.
+    let var_names: Vec<String> = (0..4).map(|i| format!("v{i}")).collect();
+    let rand_atoms = |rng: &mut StdRng,
+                          rels: &[(RelId, usize)],
+                          count: usize,
+                          allow_fresh_vars: bool,
+                          used: &mut Vec<Var>|
+     -> Vec<Atom> {
+        (0..count)
+            .map(|_| {
+                let (rel, arity) = rels[rng.gen_range(0..rels.len())];
+                let terms = (0..arity)
+                    .map(|_| {
+                        // Mostly variables, occasionally a constant.
+                        if rng.gen_bool(0.15) {
+                            Term::Const(Value::Int(rng.gen_range(0..3)))
+                        } else {
+                            let v = if allow_fresh_vars || used.is_empty() {
+                                Var(rng.gen_range(0..4))
+                            } else {
+                                used[rng.gen_range(0..used.len())]
+                            };
+                            if !used.contains(&v) {
+                                used.push(v);
+                            }
+                            Term::Var(v)
+                        }
+                    })
+                    .collect();
+                Atom::new(rel, terms)
+            })
+            .collect()
+    };
+
+    // 1–3 s-t tgds (existentials allowed on the RHS).
+    for k in 0..rng.gen_range(1..=3usize) {
+        let mut used = Vec::new();
+        let lhs_n = rng.gen_range(1..=2);
+        let lhs = rand_atoms(&mut rng, &source_rels, lhs_n, true, &mut used);
+        let mut rhs_used = used.clone();
+        let rhs_n = rng.gen_range(1..=2);
+        let rhs = rand_atoms(&mut rng, &target_rels, rhs_n, true, &mut rhs_used);
+        let split = lhs.len();
+        let (mut both, names) = {
+            let mut all = lhs;
+            all.extend(rhs);
+            compact_vars(all, &var_names)
+        };
+        let rhs = both.split_off(split);
+        if let Ok(tgd) = Tgd::new(format!("st{k}"), both, rhs, names) {
+            let _ = mapping.add_st_tgd(tgd);
+        }
+    }
+    // 0–3 target tgds; RHS variables restricted to LHS variables (full tgds,
+    // no existentials) so the chase terminates.
+    for k in 0..rng.gen_range(0..=3usize) {
+        let mut used = Vec::new();
+        let lhs_n = rng.gen_range(1..=2);
+        let lhs = rand_atoms(&mut rng, &target_rels, lhs_n, true, &mut used);
+        if used.is_empty() {
+            continue;
+        }
+        let mut rhs_used = used.clone();
+        let rhs = rand_atoms(&mut rng, &target_rels, 1, false, &mut rhs_used);
+        let split = lhs.len();
+        let (mut both, names) = {
+            let mut all = lhs;
+            all.extend(rhs);
+            compact_vars(all, &var_names)
+        };
+        let rhs = both.split_off(split);
+        if let Ok(tgd) = Tgd::new(format!("tt{k}"), both, rhs, names) {
+            let _ = mapping.add_target_tgd(tgd);
+        }
+    }
+
+    // Small random source instance over domain {0, 1, 2}.
+    let mut source = Instance::new(&source_schema);
+    for &(rel, arity) in &source_rels {
+        for _ in 0..rng.gen_range(0..6usize) {
+            let values: Vec<Value> =
+                (0..arity).map(|_| Value::Int(rng.gen_range(0..3))).collect();
+            source.insert_ok(rel, &values);
+        }
+    }
+
+    Scenario {
+        name: format!("random-{seed}"),
+        pool,
+        mapping,
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_chase::{chase, ChaseOptions};
+    use routes_mapping::satisfy::is_solution;
+
+    #[test]
+    fn random_scenarios_chase_to_solutions() {
+        for seed in 0..60 {
+            let mut sc = random_scenario(seed);
+            let result = chase(
+                &sc.mapping,
+                &sc.source,
+                &mut sc.pool,
+                ChaseOptions::fresh(),
+            );
+            let result = result.unwrap_or_else(|e| panic!("seed {seed}: chase failed: {e}"));
+            assert!(
+                is_solution(&sc.mapping, &sc.source, &result.target),
+                "seed {seed}: chase output must be a solution"
+            );
+        }
+    }
+
+    #[test]
+    fn random_scenarios_are_deterministic() {
+        let a = random_scenario(123);
+        let b = random_scenario(123);
+        assert_eq!(a.source.total_tuples(), b.source.total_tuples());
+        assert_eq!(a.mapping.st_tgds().len(), b.mapping.st_tgds().len());
+        assert_eq!(a.mapping.target_tgds().len(), b.mapping.target_tgds().len());
+    }
+}

@@ -1,0 +1,357 @@
+//! The relational synthetic scenarios `M0..M3` (paper §4.1).
+//!
+//! Source: the TPC-H schema (suffix `0`). Target: six "copies" of it
+//! (suffixes `1..6`). The s-t tgds copy group 0 into group 1; a target tgd
+//! chain copies group *i* into group *i+1*, so a tuple in group *g* needs
+//! `g` satisfaction steps — the paper's **M/T factor**. Every tgd in `Mk`
+//! has *k* joins on both sides, following paper Figure 9:
+//!
+//! ```text
+//! 1 join : S ⋈ L (suppkey), O ⋈ C (custkey), PS ⋈ P (partkey), N ⋈ R (regionkey)
+//! 2 joins: S ⋈ L ⋈ O, S ⋈ PS ⋈ P, C ⋈ N ⋈ R
+//! 3 joins: S ⋈ L ⋈ PS ⋈ P (partkey+suppkey), O ⋈ C ⋈ N ⋈ R
+//! ```
+//!
+//! (The paper writes the Nation–Region join as `⋈nationkey`; the shared
+//! column between those tables is `regionkey`, which is what we join on.)
+
+use routes_mapping::{parse_st_tgd, parse_target_tgd, SchemaMapping};
+use routes_model::{Instance, RelId, Schema, TupleId, ValuePool};
+
+use crate::scenario::{random_tuples, Scenario};
+use crate::tpch::{add_tpch_relations, populate, table_attrs, TpchRows, TABLES};
+
+/// Number of target copy groups (and hence the maximum M/T factor).
+pub const GROUPS: usize = 6;
+
+/// One side of a join equality: (table index, attribute name).
+pub(crate) type JoinCol = (usize, &'static str);
+
+/// A join group: tables plus equality constraints between their columns.
+pub(crate) struct JoinGroup {
+    pub(crate) tables: &'static [&'static str],
+    /// Equalities between columns of the group's tables.
+    pub(crate) eqs: &'static [(JoinCol, JoinCol)],
+}
+
+pub(crate) fn join_patterns(joins: usize) -> Vec<JoinGroup> {
+    match joins {
+        0 => TABLES
+            .iter()
+            .map(|t| JoinGroup {
+                tables: std::slice::from_ref(t),
+                eqs: &[],
+            })
+            .collect(),
+        1 => vec![
+            JoinGroup {
+                tables: &["Supplier", "Lineitem"],
+                eqs: &[((0, "suppkey"), (1, "suppkey"))],
+            },
+            JoinGroup {
+                tables: &["Orders", "Customer"],
+                eqs: &[((0, "custkey"), (1, "custkey"))],
+            },
+            JoinGroup {
+                tables: &["Partsupp", "Part"],
+                eqs: &[((0, "partkey"), (1, "partkey"))],
+            },
+            JoinGroup {
+                tables: &["Nation", "Region"],
+                eqs: &[((0, "regionkey"), (1, "regionkey"))],
+            },
+        ],
+        2 => vec![
+            JoinGroup {
+                tables: &["Supplier", "Lineitem", "Orders"],
+                eqs: &[
+                    ((0, "suppkey"), (1, "suppkey")),
+                    ((1, "orderkey"), (2, "orderkey")),
+                ],
+            },
+            JoinGroup {
+                tables: &["Supplier", "Partsupp", "Part"],
+                eqs: &[
+                    ((0, "suppkey"), (1, "suppkey")),
+                    ((1, "partkey"), (2, "partkey")),
+                ],
+            },
+            JoinGroup {
+                tables: &["Customer", "Nation", "Region"],
+                eqs: &[
+                    ((0, "nationkey"), (1, "nationkey")),
+                    ((1, "regionkey"), (2, "regionkey")),
+                ],
+            },
+        ],
+        3 => vec![
+            JoinGroup {
+                tables: &["Supplier", "Lineitem", "Partsupp", "Part"],
+                eqs: &[
+                    ((0, "suppkey"), (1, "suppkey")),
+                    ((1, "partkey"), (2, "partkey")),
+                    ((1, "suppkey"), (2, "suppkey")),
+                    ((2, "partkey"), (3, "partkey")),
+                ],
+            },
+            JoinGroup {
+                tables: &["Orders", "Customer", "Nation", "Region"],
+                eqs: &[
+                    ((0, "custkey"), (1, "custkey")),
+                    ((1, "nationkey"), (2, "nationkey")),
+                    ((2, "regionkey"), (3, "regionkey")),
+                ],
+            },
+        ],
+        other => panic!("join count {other} not in the paper's 0..=3 range"),
+    }
+}
+
+/// Build the tgd text for copying a join group from suffix `from` to
+/// suffix `to`.
+pub(crate) fn copy_tgd_text(name: &str, group: &JoinGroup, from: usize, to: usize) -> String {
+    // Canonical variable per (table index, attr): start with `t{i}_{attr}`,
+    // then merge across equalities (smallest participant wins).
+    let canon = |i: usize, attr: &str| -> String {
+        let mut cur = (i, attr.to_owned());
+        loop {
+            let mut changed = false;
+            for ((ai, aa), (bi, ba)) in group.eqs {
+                let a = (*ai, (*aa).to_owned());
+                let b = (*bi, (*ba).to_owned());
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                if cur == hi {
+                    cur = lo;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        format!("t{}_{}", cur.0, cur.1)
+    };
+    let atoms = |suffix: usize| -> String {
+        group
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, base)| {
+                let vars: Vec<String> = table_attrs(base)
+                    .iter()
+                    .map(|attr| canon(i, attr))
+                    .collect();
+                format!("{base}{suffix}({})", vars.join(", "))
+            })
+            .collect::<Vec<_>>()
+            .join(" & ")
+    };
+    format!("{name}: {} -> {}", atoms(from), atoms(to))
+}
+
+/// Variant of [`copy_tgd_text`] for the nested encoding: every atom carries
+/// leading `(self, parent)` columns. Self ids are table-unique variables
+/// (identity-copied to the target); parents all reference the single root
+/// via the shared variable `rp`.
+pub(crate) fn copy_tgd_text_nested(
+    name: &str,
+    group: &JoinGroup,
+    from: usize,
+    to: usize,
+) -> String {
+    let canon = |i: usize, attr: &str| -> String {
+        let mut cur = (i, attr.to_owned());
+        loop {
+            let mut changed = false;
+            for ((ai, aa), (bi, ba)) in group.eqs {
+                let a = (*ai, (*aa).to_owned());
+                let b = (*bi, (*ba).to_owned());
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                if cur == hi {
+                    cur = lo;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        format!("t{}_{}", cur.0, cur.1)
+    };
+    let atoms = |suffix: usize| -> String {
+        group
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, base)| {
+                let mut vars: Vec<String> = vec![format!("t{i}_self"), "rp".to_owned()];
+                vars.extend(table_attrs(base).iter().map(|attr| canon(i, attr)));
+                format!("{base}{suffix}({})", vars.join(", "))
+            })
+            .collect::<Vec<_>>()
+            .join(" & ")
+    };
+    format!("{name}: {} -> {}", atoms(from), atoms(to))
+}
+
+/// A built relational scenario plus the metadata the benchmarks select with.
+#[derive(Debug, Clone)]
+pub struct RelationalScenario {
+    /// The mapping + source instance.
+    pub scenario: Scenario,
+    /// Joins per tgd (0..=3).
+    pub joins: usize,
+    /// Source relation ids in [`TABLES`] order.
+    pub source_rels: Vec<RelId>,
+    /// Target relation ids per group; index 0 is group 1 (M/T factor 1).
+    pub target_groups: Vec<Vec<RelId>>,
+}
+
+impl RelationalScenario {
+    /// Select `n` random tuples from group `group` (1-based, = M/T factor)
+    /// of a solution `j`.
+    pub fn select_from_group(
+        &self,
+        j: &Instance,
+        group: usize,
+        n: usize,
+        seed: u64,
+    ) -> Vec<TupleId> {
+        random_tuples(j, &self.target_groups[group - 1], n, seed)
+    }
+}
+
+/// Build scenario `M{joins}`: TPC-H source at the given size, six target
+/// copy groups, copy tgds with `joins` joins per side (paper Figure 9).
+pub fn relational_scenario(joins: usize, rows: &TpchRows, seed: u64) -> RelationalScenario {
+    let mut pool = ValuePool::new();
+    let mut source_schema = Schema::new();
+    let source_rels = add_tpch_relations(&mut source_schema, "0");
+    let mut target_schema = Schema::new();
+    let target_groups: Vec<Vec<RelId>> = (1..=GROUPS)
+        .map(|g| add_tpch_relations(&mut target_schema, &g.to_string()))
+        .collect();
+
+    let mut mapping = SchemaMapping::new(source_schema.clone(), target_schema.clone());
+    let patterns = join_patterns(joins);
+    for (gi, group) in patterns.iter().enumerate() {
+        let tgd = parse_st_tgd(
+            &source_schema,
+            &target_schema,
+            &mut pool,
+            &copy_tgd_text(&format!("st{gi}"), group, 0, 1),
+        )
+        .unwrap_or_else(|e| panic!("generated s-t tgd must parse: {e}"));
+        mapping.add_st_tgd(tgd).expect("generated s-t tgd is valid");
+    }
+    for to in 2..=GROUPS {
+        for (gi, group) in patterns.iter().enumerate() {
+            let tgd = parse_target_tgd(
+                &target_schema,
+                &mut pool,
+                &copy_tgd_text(&format!("t{}_{gi}", to - 1), group, to - 1, to),
+            )
+            .unwrap_or_else(|e| panic!("generated target tgd must parse: {e}"));
+            mapping
+                .add_target_tgd(tgd)
+                .expect("generated target tgd is valid");
+        }
+    }
+
+    let mut source = Instance::new(&source_schema);
+    populate(&mut source, &mut pool, &source_rels, rows, seed);
+
+    RelationalScenario {
+        scenario: Scenario {
+            name: format!("relational-M{joins}"),
+            pool,
+            mapping,
+            source,
+        },
+        joins,
+        source_rels,
+        target_groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_mapping::satisfy::is_solution;
+
+    #[test]
+    fn tgd_counts_match_the_construction() {
+        for joins in 0..=3 {
+            let sc = relational_scenario(joins, &TpchRows::scale(0.0001), 1);
+            let per_group = join_patterns(joins).len();
+            assert_eq!(sc.scenario.mapping.st_tgds().len(), per_group);
+            assert_eq!(
+                sc.scenario.mapping.target_tgds().len(),
+                per_group * (GROUPS - 1)
+            );
+            for tgd in sc.scenario.mapping.st_tgds() {
+                assert_eq!(tgd.join_count(), joins, "M{joins} s-t tgd join count");
+            }
+        }
+    }
+
+    #[test]
+    fn relational_scenarios_are_weakly_acyclic() {
+        for joins in 0..=3 {
+            let sc = relational_scenario(joins, &TpchRows::scale(0.0001), 1);
+            assert!(routes_mapping::is_weakly_acyclic(&sc.scenario.mapping));
+        }
+    }
+
+    #[test]
+    fn chase_produces_a_solution_with_six_groups() {
+        let mut sc = relational_scenario(1, &TpchRows::scale(0.0005), 2);
+        let result = sc.scenario.solution().unwrap();
+        assert!(is_solution(
+            &sc.scenario.mapping,
+            &sc.scenario.source,
+            &result.target
+        ));
+        // Every group has data; copying preserves per-group tuple counts
+        // for the joined relations.
+        for g in 1..=GROUPS {
+            let total: u32 = sc.target_groups[g - 1]
+                .iter()
+                .map(|&r| result.target.rel_len(r))
+                .sum();
+            assert!(total > 0, "group {g} is populated");
+        }
+        // Group sizes are equal down the chain (copying tgds).
+        let size = |g: usize| -> u32 {
+            sc.target_groups[g - 1]
+                .iter()
+                .map(|&r| result.target.rel_len(r))
+                .sum()
+        };
+        for g in 2..=GROUPS {
+            assert_eq!(size(g), size(1));
+        }
+    }
+
+    #[test]
+    fn selection_yields_group_tuples() {
+        let mut sc = relational_scenario(0, &TpchRows::scale(0.0005), 3);
+        let result = sc.scenario.solution().unwrap();
+        let picks = sc.select_from_group(&result.target, 3, 5, 11);
+        assert_eq!(picks.len(), 5);
+        for t in &picks {
+            assert!(sc.target_groups[2].contains(&t.rel));
+        }
+    }
+
+    #[test]
+    fn copy_tgd_text_shares_join_variables() {
+        let patterns = join_patterns(1);
+        let text = copy_tgd_text("x", &patterns[0], 0, 1);
+        // Supplier and Lineitem share the suppkey variable: t0_suppkey
+        // appears in all four atoms.
+        assert_eq!(text.matches("t0_suppkey").count(), 4);
+        assert!(text.contains("Supplier0("));
+        assert!(text.contains("Lineitem1("));
+    }
+}

@@ -1,0 +1,99 @@
+//! The scenario container: a mapping plus a source instance plus the value
+//! pool they share.
+
+use routes_chase::{chase, ChaseError, ChaseOptions, ChaseResult};
+use routes_mapping::SchemaMapping;
+use routes_model::{Instance, TupleId, ValuePool};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A complete debugging scenario: everything needed to chase a solution and
+/// compute routes.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (used in benchmark output).
+    pub name: String,
+    /// Shared value pool.
+    pub pool: ValuePool,
+    /// The schema mapping.
+    pub mapping: SchemaMapping,
+    /// The source instance `I`.
+    pub source: Instance,
+}
+
+impl Scenario {
+    /// Produce a solution `J` with the Skolemized chase (how the paper's
+    /// Clio-generated transforms materialize targets).
+    pub fn solution(&mut self) -> Result<ChaseResult, ChaseError> {
+        let pool = &mut self.pool;
+        chase(&self.mapping, &self.source, pool, ChaseOptions::skolem())
+    }
+
+    /// Produce a solution with explicit chase options.
+    pub fn solution_with(&mut self, options: ChaseOptions) -> Result<ChaseResult, ChaseError> {
+        chase(&self.mapping, &self.source, &mut self.pool, options)
+    }
+}
+
+/// Pick `n` distinct random tuples from the given relations of an instance
+/// (used to select probe tuples for the benchmarks). Returns fewer than `n`
+/// if the relations are too small.
+pub fn random_tuples(
+    inst: &Instance,
+    rels: &[routes_model::RelId],
+    n: usize,
+    seed: u64,
+) -> Vec<TupleId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: u64 = rels.iter().map(|&r| u64::from(inst.rel_len(r))).sum();
+    let mut picked = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let budget = (n * 20).max(100);
+    for _ in 0..budget {
+        if out.len() == n || total == 0 {
+            break;
+        }
+        let mut k = rng.gen_range(0..total);
+        for &rel in rels {
+            let len = u64::from(inst.rel_len(rel));
+            if k < len {
+                let id = TupleId {
+                    rel,
+                    row: k as u32,
+                };
+                if picked.insert(id) {
+                    out.push(id);
+                }
+                break;
+            }
+            k -= len;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_model::{Schema, Value};
+
+    #[test]
+    fn random_tuples_are_distinct_and_deterministic() {
+        let mut s = Schema::new();
+        let r = s.rel("R", &["a"]);
+        let mut inst = Instance::new(&s);
+        for i in 0..50 {
+            inst.insert_ok(r, &[Value::Int(i)]);
+        }
+        let a = random_tuples(&inst, &[r], 10, 42);
+        let b = random_tuples(&inst, &[r], 10, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 10);
+        // Asking for more than available returns what exists.
+        let all = random_tuples(&inst, &[r], 200, 7);
+        assert!(all.len() <= 50);
+    }
+}

@@ -1,0 +1,230 @@
+//! Seeded TPC-H-shaped data generation.
+//!
+//! The paper's synthetic source schemas conform to the TPC-H specification;
+//! its instance sizes (10 MB–500 MB under DB2) correspond to TPC-H scale
+//! factors ~0.01–0.5. [`TpchRows`] carries the per-relation row counts with
+//! TPC-H's 5 : 25 : 10k : 200k : 800k : 150k : 1.5M : 6M proportions, so a
+//! size sweep preserves the paper's 1 : 5 : 10 : 50 ratios.
+//!
+//! Schemas here keep each relation's join keys (the columns paper Figure 9
+//! joins on) plus representative payload columns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use routes_model::{Instance, RelId, Schema, Value, ValuePool};
+
+/// Per-relation row counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpchRows {
+    /// Rows in `Region` (fixed at 5 in TPC-H).
+    pub region: usize,
+    /// Rows in `Nation` (fixed at 25 in TPC-H).
+    pub nation: usize,
+    /// Rows in `Supplier`.
+    pub supplier: usize,
+    /// Rows in `Part`.
+    pub part: usize,
+    /// Rows in `Partsupp`.
+    pub partsupp: usize,
+    /// Rows in `Customer`.
+    pub customer: usize,
+    /// Rows in `Orders`.
+    pub orders: usize,
+    /// Rows in `Lineitem`.
+    pub lineitem: usize,
+}
+
+impl TpchRows {
+    /// Row counts for a TPC-H scale factor (SF 1 = 10k suppliers, 6M
+    /// lineitems). Every count is at least 1; Region/Nation stay at their
+    /// TPC-H constants.
+    pub fn scale(sf: f64) -> Self {
+        let n = |base: f64| ((base * sf).round() as usize).max(1);
+        TpchRows {
+            region: 5,
+            nation: 25,
+            supplier: n(10_000.0),
+            part: n(200_000.0),
+            partsupp: n(800_000.0),
+            customer: n(150_000.0),
+            orders: n(1_500_000.0),
+            lineitem: n(6_000_000.0),
+        }
+    }
+
+    /// Total rows across all eight relations.
+    pub fn total(&self) -> usize {
+        self.region
+            + self.nation
+            + self.supplier
+            + self.part
+            + self.partsupp
+            + self.customer
+            + self.orders
+            + self.lineitem
+    }
+}
+
+/// The eight TPC-H relation base names, in declaration order.
+pub const TABLES: [&str; 8] = [
+    "Region", "Nation", "Supplier", "Part", "Partsupp", "Customer", "Orders", "Lineitem",
+];
+
+/// Attribute lists per table (first columns are the Figure 9 join keys).
+pub fn table_attrs(base: &str) -> &'static [&'static str] {
+    match base {
+        "Region" => &["regionkey", "rname"],
+        "Nation" => &["nationkey", "nname", "regionkey"],
+        "Supplier" => &["suppkey", "sname", "nationkey", "sacctbal"],
+        "Part" => &["partkey", "pname", "brand", "retailprice"],
+        "Partsupp" => &["partkey", "suppkey", "availqty", "supplycost"],
+        "Customer" => &["custkey", "cname", "nationkey", "cacctbal"],
+        "Orders" => &["orderkey", "custkey", "totalprice", "odate"],
+        "Lineitem" => &["orderkey", "linenumber", "partkey", "suppkey", "quantity", "extendedprice"],
+        other => panic!("unknown TPC-H table `{other}`"),
+    }
+}
+
+/// Add the eight TPC-H relations to `schema`, each name suffixed (the
+/// paper's source uses one copy, the target six).
+pub fn add_tpch_relations(schema: &mut Schema, suffix: &str) -> Vec<RelId> {
+    TABLES
+        .iter()
+        .map(|base| schema.rel(&format!("{base}{suffix}"), table_attrs(base)))
+        .collect()
+}
+
+/// Populate a TPC-H instance: dense primary keys, uniformly random foreign
+/// keys, small-cardinality string payloads. Deterministic for a given seed.
+///
+/// `rels` must be the result of [`add_tpch_relations`] on the instance's
+/// schema.
+pub fn populate(
+    inst: &mut Instance,
+    pool: &mut ValuePool,
+    rels: &[RelId],
+    rows: &TpchRows,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let [region, nation, supplier, part, partsupp, customer, orders, lineitem] =
+        [rels[0], rels[1], rels[2], rels[3], rels[4], rels[5], rels[6], rels[7]];
+    let int = Value::Int;
+    let region_names = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+    for k in 0..rows.region {
+        let name = pool.str(region_names[k % region_names.len()]);
+        inst.insert_ok(region, &[int(k as i64 + 1), name]);
+    }
+    for k in 0..rows.nation {
+        let name = pool.str(&format!("Nation#{k:03}"));
+        let rk = rng.gen_range(1..=rows.region as i64);
+        inst.insert_ok(nation, &[int(k as i64 + 1), name, int(rk)]);
+    }
+    for k in 0..rows.supplier {
+        let name = pool.str(&format!("Supplier#{k:06}"));
+        let nk = rng.gen_range(1..=rows.nation as i64);
+        let bal = rng.gen_range(-99_999..999_999);
+        inst.insert_ok(supplier, &[int(k as i64 + 1), name, int(nk), int(bal)]);
+    }
+    let brands = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
+    for k in 0..rows.part {
+        let name = pool.str(&format!("Part#{k:06}"));
+        let brand = pool.str(brands[k % brands.len()]);
+        let price = 900 + (k as i64 % 20_000);
+        inst.insert_ok(part, &[int(k as i64 + 1), name, brand, int(price)]);
+    }
+    for k in 0..rows.partsupp {
+        // TPC-H pairs each part with 4 suppliers; approximate with a
+        // deterministic spread plus random supplier.
+        let pk = (k % rows.part) as i64 + 1;
+        let sk = rng.gen_range(1..=rows.supplier as i64);
+        let qty = rng.gen_range(1..10_000);
+        let cost = rng.gen_range(100..100_000);
+        inst.insert_ok(partsupp, &[int(pk), int(sk), int(qty), int(cost)]);
+    }
+    for k in 0..rows.customer {
+        let name = pool.str(&format!("Customer#{k:06}"));
+        let nk = rng.gen_range(1..=rows.nation as i64);
+        let bal = rng.gen_range(-99_999..999_999);
+        inst.insert_ok(customer, &[int(k as i64 + 1), name, int(nk), int(bal)]);
+    }
+    for k in 0..rows.orders {
+        let ck = rng.gen_range(1..=rows.customer as i64);
+        let total = rng.gen_range(1_000..500_000);
+        let date = 19_920_101 + rng.gen_range(0..2_555);
+        inst.insert_ok(orders, &[int(k as i64 + 1), int(ck), int(total), int(date)]);
+    }
+    for k in 0..rows.lineitem {
+        let ok = rng.gen_range(1..=rows.orders as i64);
+        let line = (k % 7) as i64 + 1;
+        let pk = rng.gen_range(1..=rows.part as i64);
+        let sk = rng.gen_range(1..=rows.supplier as i64);
+        let qty = rng.gen_range(1..50);
+        let price = rng.gen_range(900..100_000);
+        inst.insert_ok(
+            lineitem,
+            &[int(ok), int(line), int(pk), int(sk), int(qty), int(price)],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_preserves_proportions() {
+        let r = TpchRows::scale(0.01);
+        assert_eq!(r.region, 5);
+        assert_eq!(r.nation, 25);
+        assert_eq!(r.supplier, 100);
+        assert_eq!(r.lineitem, 60_000);
+        let big = TpchRows::scale(0.1);
+        assert_eq!(big.lineitem, 10 * r.lineitem);
+        // Everything at least 1 even at tiny scales.
+        let tiny = TpchRows::scale(0.000_001);
+        assert!(tiny.supplier >= 1 && tiny.lineitem >= 1);
+    }
+
+    #[test]
+    fn populate_is_deterministic_and_fk_consistent() {
+        let rows = TpchRows::scale(0.001);
+        let mut schema = Schema::new();
+        let rels = add_tpch_relations(&mut schema, "0");
+        let mut pool1 = ValuePool::new();
+        let mut inst1 = Instance::new(&schema);
+        populate(&mut inst1, &mut pool1, &rels, &rows, 7);
+        let mut pool2 = ValuePool::new();
+        let mut inst2 = Instance::new(&schema);
+        populate(&mut inst2, &mut pool2, &rels, &rows, 7);
+        assert_eq!(inst1.total_tuples(), inst2.total_tuples());
+        assert!(inst1.contained_in(&inst2) && inst2.contained_in(&inst1));
+
+        // FK check: every lineitem's orderkey exists in Orders.
+        let orders = rels[6];
+        let lineitem = rels[7];
+        let mut order_keys = std::collections::HashSet::new();
+        for (_, vals) in inst1.rel_tuples(orders) {
+            order_keys.insert(vals[0]);
+        }
+        for (_, vals) in inst1.rel_tuples(lineitem) {
+            assert!(order_keys.contains(&vals[0]));
+        }
+    }
+
+    #[test]
+    fn dedup_may_shrink_partsupp_but_core_counts_hold() {
+        let rows = TpchRows::scale(0.001);
+        let mut schema = Schema::new();
+        let rels = add_tpch_relations(&mut schema, "0");
+        let mut pool = ValuePool::new();
+        let mut inst = Instance::new(&schema);
+        populate(&mut inst, &mut pool, &rels, &rows, 3);
+        assert_eq!(inst.rel_len(rels[0]) as usize, rows.region);
+        assert_eq!(inst.rel_len(rels[2]) as usize, rows.supplier);
+        assert_eq!(inst.rel_len(rels[6]) as usize, rows.orders);
+        // Lineitems may collide (set semantics) but stay close to target.
+        assert!(inst.rel_len(rels[7]) as usize >= rows.lineitem * 9 / 10);
+    }
+}

@@ -1,0 +1,397 @@
+//! Dependencies: tuple-generating dependencies (tgds) and
+//! equality-generating dependencies (egds).
+//!
+//! A tgd `∀x φ(x) → ∃y ψ(x, y)` is stored as its LHS atoms `φ` and RHS atoms
+//! `ψ` over a shared dense variable space; the universal variables are
+//! exactly those occurring in the LHS, the existential ones those occurring
+//! only in the RHS. Variables carry user-facing names for display and for
+//! rendering homomorphisms in the debugger.
+
+use routes_model::{Atom, Schema, Term, Value, Var};
+
+use crate::error::MappingError;
+
+/// Whether a tgd is source-to-target or target-to-target.
+///
+/// This determines which instance the LHS is evaluated over in `findHom`
+/// (paper Fig. 4): `K = I` for s-t tgds, `K = J` for target tgds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TgdKind {
+    /// LHS over the source schema, RHS over the target schema.
+    SourceToTarget,
+    /// Both sides over the target schema.
+    Target,
+}
+
+/// Identity of a tgd within a [`crate::SchemaMapping`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TgdId {
+    /// Index into the mapping's s-t tgds.
+    St(u32),
+    /// Index into the mapping's target tgds.
+    Target(u32),
+}
+
+impl TgdId {
+    /// The kind of tgd this id refers to.
+    pub fn kind(self) -> TgdKind {
+        match self {
+            TgdId::St(_) => TgdKind::SourceToTarget,
+            TgdId::Target(_) => TgdKind::Target,
+        }
+    }
+}
+
+/// A tuple-generating dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tgd {
+    name: String,
+    lhs: Vec<Atom>,
+    rhs: Vec<Atom>,
+    var_names: Vec<String>,
+    /// `universal[v]` iff `Var(v)` occurs in the LHS.
+    universal: Vec<bool>,
+}
+
+impl Tgd {
+    /// Build a tgd from raw parts. Variable indices in the atoms must be
+    /// dense in `0..var_names.len()`.
+    ///
+    /// # Errors
+    /// Rejects empty sides and labeled-null constants. (Arity/relation
+    /// validation happens against schemas in [`Tgd::validate`].)
+    pub fn new(
+        name: impl Into<String>,
+        lhs: Vec<Atom>,
+        rhs: Vec<Atom>,
+        var_names: Vec<String>,
+    ) -> Result<Self, MappingError> {
+        let name = name.into();
+        if lhs.is_empty() {
+            return Err(MappingError::EmptySide {
+                dep: name,
+                side: "LHS",
+            });
+        }
+        if rhs.is_empty() {
+            return Err(MappingError::EmptySide {
+                dep: name,
+                side: "RHS",
+            });
+        }
+        for atom in lhs.iter().chain(rhs.iter()) {
+            for term in &atom.terms {
+                if let Term::Const(Value::Null(_)) = term {
+                    return Err(MappingError::NullConstant { dep: name });
+                }
+            }
+        }
+        let mut universal = vec![false; var_names.len()];
+        for atom in &lhs {
+            for v in atom.vars() {
+                universal[v.0 as usize] = true;
+            }
+        }
+        // Every declared variable must occur in some atom: findHom relies on
+        // assignments being total over the variable space.
+        let mut used = vec![false; var_names.len()];
+        for atom in lhs.iter().chain(rhs.iter()) {
+            for v in atom.vars() {
+                used[v.0 as usize] = true;
+            }
+        }
+        if let Some(idx) = used.iter().position(|u| !u) {
+            return Err(MappingError::UnusedVariable {
+                dep: name,
+                var: var_names[idx].clone(),
+            });
+        }
+        Ok(Tgd {
+            name,
+            lhs,
+            rhs,
+            var_names,
+            universal,
+        })
+    }
+
+    /// The dependency's display name (e.g. `m1`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// LHS atoms (`φ`).
+    pub fn lhs(&self) -> &[Atom] {
+        &self.lhs
+    }
+
+    /// RHS atoms (`ψ`).
+    pub fn rhs(&self) -> &[Atom] {
+        &self.rhs
+    }
+
+    /// Total number of variables (universal + existential).
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.0 as usize]
+    }
+
+    /// Whether `v` is universal (occurs in the LHS).
+    pub fn is_universal(&self, v: Var) -> bool {
+        self.universal[v.0 as usize]
+    }
+
+    /// Iterate over the existential variables (those occurring only in the
+    /// RHS), in index order.
+    pub fn existential_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.rhs
+            .iter()
+            .flat_map(Atom::vars)
+            .filter(|v| !self.is_universal(*v))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+    }
+
+    /// Number of LHS atoms minus one: the paper's "number of joins" measure
+    /// for tgd complexity (Figure 9 / Figure 10(c)).
+    pub fn join_count(&self) -> usize {
+        self.lhs.len().saturating_sub(1)
+    }
+
+    /// Validate atom arities and relation ids against the schemas the two
+    /// sides range over.
+    pub fn validate(&self, lhs_schema: &Schema, rhs_schema: &Schema) -> Result<(), MappingError> {
+        for (atoms, schema) in [(&self.lhs, lhs_schema), (&self.rhs, rhs_schema)] {
+            for atom in atoms.iter() {
+                if (atom.rel.0 as usize) >= schema.len() {
+                    return Err(MappingError::UnknownRelation {
+                        dep: self.name.clone(),
+                        relation: format!("#{}", atom.rel.0),
+                        schema: "declared".into(),
+                    });
+                }
+                let rel = schema.relation(atom.rel);
+                if rel.arity() != atom.arity() {
+                    return Err(MappingError::ArityMismatch {
+                        dep: self.name.clone(),
+                        relation: rel.name().to_owned(),
+                        expected: rel.arity(),
+                        got: atom.arity(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An equality-generating dependency `∀x φ(x) → x1 = x2` over the target
+/// schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Egd {
+    name: String,
+    lhs: Vec<Atom>,
+    eq: (Var, Var),
+    var_names: Vec<String>,
+}
+
+impl Egd {
+    /// Build an egd.
+    ///
+    /// # Errors
+    /// Rejects empty LHS, null constants, and equated variables that do not
+    /// occur in the LHS.
+    pub fn new(
+        name: impl Into<String>,
+        lhs: Vec<Atom>,
+        eq: (Var, Var),
+        var_names: Vec<String>,
+    ) -> Result<Self, MappingError> {
+        let name = name.into();
+        if lhs.is_empty() {
+            return Err(MappingError::EmptySide {
+                dep: name,
+                side: "LHS",
+            });
+        }
+        for atom in &lhs {
+            for term in &atom.terms {
+                if let Term::Const(Value::Null(_)) = term {
+                    return Err(MappingError::NullConstant { dep: name });
+                }
+            }
+        }
+        for v in [eq.0, eq.1] {
+            if !lhs.iter().any(|a| a.vars().any(|w| w == v)) {
+                let var = var_names
+                    .get(v.0 as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("v{}", v.0));
+                return Err(MappingError::EgdVarNotInLhs { dep: name, var });
+            }
+        }
+        Ok(Egd {
+            name,
+            lhs,
+            eq,
+            var_names,
+        })
+    }
+
+    /// The dependency's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// LHS atoms.
+    pub fn lhs(&self) -> &[Atom] {
+        &self.lhs
+    }
+
+    /// The pair of variables the egd equates.
+    pub fn equated(&self) -> (Var, Var) {
+        self.eq
+    }
+
+    /// Total number of variables.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.0 as usize]
+    }
+
+    /// Validate against the target schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), MappingError> {
+        for atom in &self.lhs {
+            if (atom.rel.0 as usize) >= schema.len() {
+                return Err(MappingError::UnknownRelation {
+                    dep: self.name.clone(),
+                    relation: format!("#{}", atom.rel.0),
+                    schema: "target".into(),
+                });
+            }
+            let rel = schema.relation(atom.rel);
+            if rel.arity() != atom.arity() {
+                return Err(MappingError::ArityMismatch {
+                    dep: self.name.clone(),
+                    relation: rel.name().to_owned(),
+                    expected: rel.arity(),
+                    got: atom.arity(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Either kind of dependency, as returned by the auto-detecting parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dependency {
+    /// A source-to-target tgd.
+    StTgd(Tgd),
+    /// A target tgd.
+    TargetTgd(Tgd),
+    /// A target egd.
+    Egd(Egd),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_model::RelId;
+
+    fn atom(rel: u32, vars: &[u32]) -> Atom {
+        Atom::new(
+            RelId(rel),
+            vars.iter().map(|&v| Term::Var(Var(v))).collect(),
+        )
+    }
+
+    #[test]
+    fn universal_and_existential_vars() {
+        // S(x, y) -> T(y, z): x,y universal; z existential.
+        let tgd = Tgd::new(
+            "m",
+            vec![atom(0, &[0, 1])],
+            vec![atom(0, &[1, 2])],
+            vec!["x".into(), "y".into(), "z".into()],
+        )
+        .unwrap();
+        assert!(tgd.is_universal(Var(0)));
+        assert!(tgd.is_universal(Var(1)));
+        assert!(!tgd.is_universal(Var(2)));
+        let ex: Vec<_> = tgd.existential_vars().collect();
+        assert_eq!(ex, [Var(2)]);
+        assert_eq!(tgd.join_count(), 0);
+    }
+
+    #[test]
+    fn empty_sides_rejected() {
+        let err = Tgd::new("m", vec![], vec![atom(0, &[0])], vec!["x".into()]).unwrap_err();
+        assert!(matches!(err, MappingError::EmptySide { side: "LHS", .. }));
+        let err = Tgd::new("m", vec![atom(0, &[0])], vec![], vec!["x".into()]).unwrap_err();
+        assert!(matches!(err, MappingError::EmptySide { side: "RHS", .. }));
+    }
+
+    #[test]
+    fn egd_vars_must_occur_in_lhs() {
+        let err = Egd::new(
+            "e",
+            vec![atom(0, &[0, 1])],
+            (Var(1), Var(2)),
+            vec!["x".into(), "y".into(), "z".into()],
+        )
+        .unwrap_err();
+        assert!(matches!(err, MappingError::EgdVarNotInLhs { .. }));
+
+        let ok = Egd::new(
+            "e",
+            vec![atom(0, &[0, 1]), atom(0, &[0, 2])],
+            (Var(1), Var(2)),
+            vec!["x".into(), "y".into(), "z".into()],
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn validate_checks_arity() {
+        let mut s = Schema::new();
+        s.rel("R", &["a", "b"]);
+        let tgd = Tgd::new(
+            "m",
+            vec![atom(0, &[0])], // wrong arity: R has 2 attrs
+            vec![atom(0, &[0, 0])],
+            vec!["x".into()],
+        )
+        .unwrap();
+        assert!(matches!(
+            tgd.validate(&s, &s),
+            Err(MappingError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn join_count_counts_lhs_atoms_minus_one() {
+        let tgd = Tgd::new(
+            "m",
+            vec![atom(0, &[0, 1]), atom(0, &[1, 2]), atom(0, &[2, 3])],
+            vec![atom(0, &[0, 3])],
+            (0..4).map(|i| format!("v{i}")).collect(),
+        )
+        .unwrap();
+        assert_eq!(tgd.join_count(), 2);
+    }
+
+    #[test]
+    fn tgd_id_kind() {
+        assert_eq!(TgdId::St(0).kind(), TgdKind::SourceToTarget);
+        assert_eq!(TgdId::Target(3).kind(), TgdKind::Target);
+    }
+}

@@ -1,0 +1,115 @@
+//! Rendering dependencies back to the paper's text syntax.
+
+use routes_model::{Atom, Schema, Term, ValuePool};
+
+use crate::dep::{Egd, Tgd};
+
+fn atom_to_string(pool: &ValuePool, schema: &Schema, atom: &Atom, var_name: impl Fn(u32) -> String) -> String {
+    let mut out = String::new();
+    out.push_str(schema.relation(atom.rel).name());
+    out.push('(');
+    for (i, term) in atom.terms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match term {
+            Term::Var(v) => out.push_str(&var_name(v.0)),
+            Term::Const(c) => match c {
+                routes_model::Value::Int(n) => out.push_str(&n.to_string()),
+                routes_model::Value::Str(s) => {
+                    out.push('\'');
+                    out.push_str(pool.resolve(*s));
+                    out.push('\'');
+                }
+                routes_model::Value::Null(n) => out.push_str(pool.null_label(*n)),
+            },
+        }
+    }
+    out.push(')');
+    out
+}
+
+/// Render a tgd as `name: lhs -> exists e1, e2: rhs` (existential clause
+/// omitted when there are no existential variables).
+pub fn tgd_to_string(pool: &ValuePool, lhs_schema: &Schema, rhs_schema: &Schema, tgd: &Tgd) -> String {
+    let var_name = |i: u32| tgd.var_name(routes_model::Var(i)).to_owned();
+    let lhs = tgd
+        .lhs()
+        .iter()
+        .map(|a| atom_to_string(pool, lhs_schema, a, var_name))
+        .collect::<Vec<_>>()
+        .join(" & ");
+    let rhs = tgd
+        .rhs()
+        .iter()
+        .map(|a| atom_to_string(pool, rhs_schema, a, var_name))
+        .collect::<Vec<_>>()
+        .join(" & ");
+    let existentials: Vec<String> = tgd
+        .existential_vars()
+        .map(|v| tgd.var_name(v).to_owned())
+        .collect();
+    if existentials.is_empty() {
+        format!("{}: {} -> {}", tgd.name(), lhs, rhs)
+    } else {
+        format!(
+            "{}: {} -> exists {}: {}",
+            tgd.name(),
+            lhs,
+            existentials.join(", "),
+            rhs
+        )
+    }
+}
+
+/// Render an egd as `name: lhs -> x = y`.
+pub fn egd_to_string(pool: &ValuePool, target_schema: &Schema, egd: &Egd) -> String {
+    let var_name = |i: u32| egd.var_name(routes_model::Var(i)).to_owned();
+    let lhs = egd
+        .lhs()
+        .iter()
+        .map(|a| atom_to_string(pool, target_schema, a, var_name))
+        .collect::<Vec<_>>()
+        .join(" & ");
+    let (x, y) = egd.equated();
+    format!(
+        "{}: {} -> {} = {}",
+        egd.name(),
+        lhs,
+        egd.var_name(x),
+        egd.var_name(y)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_egd, parse_st_tgd};
+    use routes_model::Schema;
+
+    #[test]
+    fn tgd_roundtrips_through_parser() {
+        let mut s = Schema::new();
+        s.rel("S", &["a", "b"]);
+        let mut t = Schema::new();
+        t.rel("T", &["a", "b", "c"]);
+        let mut pool = ValuePool::new();
+        let text = "m: S(x, y) & S(y, 3) -> exists Z: T(x, y, Z) & T(x, 'lit', Z)";
+        let tgd = parse_st_tgd(&s, &t, &mut pool, text).unwrap();
+        let rendered = tgd_to_string(&pool, &s, &t, &tgd);
+        let tgd2 = parse_st_tgd(&s, &t, &mut pool, &rendered).unwrap();
+        assert_eq!(tgd, tgd2);
+    }
+
+    #[test]
+    fn egd_roundtrips_through_parser() {
+        let mut t = Schema::new();
+        t.rel("T", &["a", "b"]);
+        let mut pool = ValuePool::new();
+        let text = "e: T(x, y) & T(x, z) -> y = z";
+        let egd = parse_egd(&t, &mut pool, text).unwrap();
+        let rendered = egd_to_string(&pool, &t, &egd);
+        let egd2 = parse_egd(&t, &mut pool, &rendered).unwrap();
+        assert_eq!(egd, egd2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Errors for dependency construction, validation, and parsing.
+
+use std::fmt;
+
+/// Errors raised while building, validating, or parsing dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// An atom's term count does not match the relation's declared arity.
+    ArityMismatch {
+        /// Dependency name (if known).
+        dep: String,
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Terms supplied.
+        got: usize,
+    },
+    /// A relation name could not be resolved in the expected schema.
+    UnknownRelation {
+        /// Dependency name (if known).
+        dep: String,
+        /// The unresolvable relation name.
+        relation: String,
+        /// Which schema was searched ("source", "target", or "source or target").
+        schema: String,
+    },
+    /// A dependency has an empty left- or right-hand side.
+    EmptySide {
+        /// Dependency name.
+        dep: String,
+        /// "LHS" or "RHS".
+        side: &'static str,
+    },
+    /// A labeled null was used as a constant inside a dependency.
+    NullConstant {
+        /// Dependency name.
+        dep: String,
+    },
+    /// An egd equates a variable that does not occur in its LHS.
+    EgdVarNotInLhs {
+        /// Dependency name.
+        dep: String,
+        /// The offending variable's name.
+        var: String,
+    },
+    /// A variable slot in the dependency's variable space occurs in no atom.
+    UnusedVariable {
+        /// Dependency name.
+        dep: String,
+        /// The unused variable's name.
+        var: String,
+    },
+    /// A declared existential variable also occurs in the LHS.
+    ExistentialInLhs {
+        /// Dependency name.
+        dep: String,
+        /// The offending variable's name.
+        var: String,
+    },
+    /// Generic parse error with a human-readable message and byte offset.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Byte offset in the input where the error was detected.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::ArityMismatch {
+                dep,
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "in dependency `{dep}`: relation `{relation}` has arity {expected}, atom has {got} terms"
+            ),
+            MappingError::UnknownRelation { dep, relation, schema } => {
+                write!(f, "in dependency `{dep}`: relation `{relation}` not found in {schema} schema")
+            }
+            MappingError::EmptySide { dep, side } => {
+                write!(f, "dependency `{dep}` has an empty {side}")
+            }
+            MappingError::NullConstant { dep } => {
+                write!(f, "dependency `{dep}` uses a labeled null as a constant")
+            }
+            MappingError::EgdVarNotInLhs { dep, var } => {
+                write!(f, "egd `{dep}` equates variable `{var}` which does not occur in its LHS")
+            }
+            MappingError::UnusedVariable { dep, var } => {
+                write!(f, "dependency `{dep}` declares variable `{var}` but never uses it")
+            }
+            MappingError::ExistentialInLhs { dep, var } => {
+                write!(f, "dependency `{dep}` declares `{var}` existential but it occurs in the LHS")
+            }
+            MappingError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_details() {
+        let e = MappingError::UnknownRelation {
+            dep: "m1".into(),
+            relation: "Cards".into(),
+            schema: "source".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("m1") && s.contains("Cards") && s.contains("source"));
+    }
+}

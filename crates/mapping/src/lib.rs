@@ -1,0 +1,31 @@
+//! Schema mappings `M = (S, T, Σst, Σt)` in the formalism of the paper:
+//! source-to-target tuple-generating dependencies (tgds), target tgds, and
+//! target equality-generating dependencies (egds).
+//!
+//! * [`Tgd`] / [`Egd`] — dependency syntax with named variables, plus
+//!   well-formedness validation against the schemas.
+//! * [`SchemaMapping`] — the full mapping; the object the debugger debugs.
+//! * [`parser`] — a text syntax mirroring the paper's notation, e.g.
+//!   `m2: SupplementaryCards(an,s,n,a) -> exists M, I: Clients(s,n,M,I,a)`.
+//!   Bare identifiers are variables; string constants are quoted, integers
+//!   are numeric literals.
+//! * [`satisfy`] — checks whether a pair `(I, J)` satisfies a dependency or
+//!   a whole mapping (the definition of *solution*, paper §2).
+
+pub mod acyclicity;
+pub mod dep;
+pub mod display;
+pub mod error;
+pub mod generate;
+pub mod mapping;
+pub mod parser;
+pub mod satisfy;
+
+pub use acyclicity::{is_weakly_acyclic, position_edges, weak_acyclicity_violations, PositionEdge};
+pub use dep::{Dependency, Egd, Tgd, TgdId, TgdKind};
+pub use display::{egd_to_string, tgd_to_string};
+pub use error::MappingError;
+pub use generate::{fk_tgds, generate_mapping, generate_st_tgds, Correspondence, ForeignKey};
+pub use mapping::SchemaMapping;
+pub use parser::{parse_dependency, parse_egd, parse_st_tgd, parse_target_tgd};
+pub use satisfy::{check_mapping, check_tgd, Violation};

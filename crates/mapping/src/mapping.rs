@@ -1,0 +1,191 @@
+//! The schema-mapping container `M = (S, T, Σst, Σt)`.
+
+use routes_model::Schema;
+
+use crate::dep::{Dependency, Egd, Tgd, TgdId};
+use crate::error::MappingError;
+
+/// A schema mapping: source and target schemas plus the dependency sets
+/// `Σst` (s-t tgds) and `Σt` (target tgds and target egds).
+///
+/// Dependencies are validated against the schemas as they are added, so a
+/// constructed mapping is always well-formed.
+#[derive(Debug, Clone)]
+pub struct SchemaMapping {
+    source: Schema,
+    target: Schema,
+    st_tgds: Vec<Tgd>,
+    target_tgds: Vec<Tgd>,
+    egds: Vec<Egd>,
+}
+
+impl SchemaMapping {
+    /// Create a mapping with no dependencies yet.
+    pub fn new(source: Schema, target: Schema) -> Self {
+        SchemaMapping {
+            source,
+            target,
+            st_tgds: Vec::new(),
+            target_tgds: Vec::new(),
+            egds: Vec::new(),
+        }
+    }
+
+    /// The source schema `S`.
+    pub fn source(&self) -> &Schema {
+        &self.source
+    }
+
+    /// The target schema `T`.
+    pub fn target(&self) -> &Schema {
+        &self.target
+    }
+
+    /// Add a source-to-target tgd (validated). Returns its id.
+    pub fn add_st_tgd(&mut self, tgd: Tgd) -> Result<TgdId, MappingError> {
+        tgd.validate(&self.source, &self.target)?;
+        self.st_tgds.push(tgd);
+        Ok(TgdId::St((self.st_tgds.len() - 1) as u32))
+    }
+
+    /// Add a target tgd (validated). Returns its id.
+    pub fn add_target_tgd(&mut self, tgd: Tgd) -> Result<TgdId, MappingError> {
+        tgd.validate(&self.target, &self.target)?;
+        self.target_tgds.push(tgd);
+        Ok(TgdId::Target((self.target_tgds.len() - 1) as u32))
+    }
+
+    /// Add a target egd (validated).
+    pub fn add_egd(&mut self, egd: Egd) -> Result<(), MappingError> {
+        egd.validate(&self.target)?;
+        self.egds.push(egd);
+        Ok(())
+    }
+
+    /// Add any parsed dependency.
+    pub fn add_dependency(&mut self, dep: Dependency) -> Result<Option<TgdId>, MappingError> {
+        match dep {
+            Dependency::StTgd(t) => self.add_st_tgd(t).map(Some),
+            Dependency::TargetTgd(t) => self.add_target_tgd(t).map(Some),
+            Dependency::Egd(e) => self.add_egd(e).map(|()| None),
+        }
+    }
+
+    /// The s-t tgds `Σst`.
+    pub fn st_tgds(&self) -> &[Tgd] {
+        &self.st_tgds
+    }
+
+    /// The target tgds (the tgd part of `Σt`).
+    pub fn target_tgds(&self) -> &[Tgd] {
+        &self.target_tgds
+    }
+
+    /// The target egds (the egd part of `Σt`).
+    pub fn egds(&self) -> &[Egd] {
+        &self.egds
+    }
+
+    /// Resolve a tgd id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range for this mapping.
+    pub fn tgd(&self, id: TgdId) -> &Tgd {
+        match id {
+            TgdId::St(i) => &self.st_tgds[i as usize],
+            TgdId::Target(i) => &self.target_tgds[i as usize],
+        }
+    }
+
+    /// Iterate over all tgd ids, s-t first (the order `ComputeOneRoute`
+    /// tries them: paper Fig. 7 considers s-t tgds before target tgds).
+    pub fn tgd_ids(&self) -> impl Iterator<Item = TgdId> {
+        let st = (0..self.st_tgds.len() as u32).map(TgdId::St);
+        let tt = (0..self.target_tgds.len() as u32).map(TgdId::Target);
+        st.chain(tt)
+    }
+
+    /// Look up a tgd by display name.
+    pub fn tgd_by_name(&self, name: &str) -> Option<TgdId> {
+        if let Some(i) = self.st_tgds.iter().position(|t| t.name() == name) {
+            return Some(TgdId::St(i as u32));
+        }
+        self.target_tgds
+            .iter()
+            .position(|t| t.name() == name)
+            .map(|i| TgdId::Target(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_model::{Atom, RelId, Term, Var};
+
+    fn var_atom(rel: RelId, vars: &[u32]) -> Atom {
+        Atom::new(rel, vars.iter().map(|&v| Term::Var(Var(v))).collect())
+    }
+
+    fn two_schemas() -> (Schema, Schema) {
+        let mut s = Schema::new();
+        s.rel("S", &["a"]);
+        let mut t = Schema::new();
+        t.rel("T", &["a"]);
+        t.rel("U", &["a"]);
+        (s, t)
+    }
+
+    #[test]
+    fn add_and_resolve_tgds() {
+        let (s, t) = two_schemas();
+        let sr = s.rel_id("S").unwrap();
+        let tr = t.rel_id("T").unwrap();
+        let ur = t.rel_id("U").unwrap();
+        let mut m = SchemaMapping::new(s, t);
+        let id1 = m
+            .add_st_tgd(
+                Tgd::new(
+                    "m1",
+                    vec![var_atom(sr, &[0])],
+                    vec![var_atom(tr, &[0])],
+                    vec!["x".into()],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let id2 = m
+            .add_target_tgd(
+                Tgd::new(
+                    "m2",
+                    vec![var_atom(tr, &[0])],
+                    vec![var_atom(ur, &[0])],
+                    vec!["x".into()],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(m.tgd(id1).name(), "m1");
+        assert_eq!(m.tgd(id2).name(), "m2");
+        assert_eq!(m.tgd_by_name("m2"), Some(id2));
+        assert_eq!(m.tgd_by_name("zzz"), None);
+        let ids: Vec<_> = m.tgd_ids().collect();
+        assert_eq!(ids, [id1, id2]);
+    }
+
+    #[test]
+    fn validation_happens_on_add() {
+        let (s, t) = two_schemas();
+        let sr = s.rel_id("S").unwrap();
+        let mut m = SchemaMapping::new(s, t);
+        // RHS relation id 5 does not exist in the target schema.
+        let bad = Tgd::new(
+            "bad",
+            vec![var_atom(sr, &[0])],
+            vec![var_atom(RelId(5), &[0])],
+            vec!["x".into()],
+        )
+        .unwrap();
+        assert!(m.add_st_tgd(bad).is_err());
+        assert!(m.st_tgds().is_empty());
+    }
+}

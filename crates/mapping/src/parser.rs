@@ -1,0 +1,726 @@
+//! Text syntax for dependencies, mirroring the paper's notation.
+//!
+//! Examples (paper Figure 1):
+//!
+//! ```text
+//! m1: Cards(cn,l,s,n,m,sal,loc) -> exists A: Accounts(cn,l,s) & Clients(s,m,m,sal,A)
+//! m4: Accounts(a,l,s) -> exists N, M, I, A: Clients(s,N,M,I,A)
+//! m6: Accounts(a,l,s) & Accounts(a2,l2,s) -> l = l2
+//! ```
+//!
+//! Lexical conventions:
+//! * **Bare identifiers are variables** (the paper's `cn`, `s`, `A`, `M1`).
+//! * **String constants are quoted** (`'Seattle'` or `"Seattle"`), integer
+//!   constants are numeric literals (`15`, `-3`).
+//! * Conjunction is `&`, `∧`, or the literal word `and`.
+//! * The implication arrow is `->` or `→`.
+//! * The existential prefix is optional — existential variables are inferred
+//!   as the RHS variables absent from the LHS — but when written (`exists
+//!   A, M:` or `∃A ∃M:`) the declared variables are checked against the LHS.
+//! * A trailing `.` is allowed; `#` starts a comment to end of line.
+
+use routes_model::{Atom, Schema, Term, Value, ValuePool, Var};
+
+use crate::dep::{Dependency, Egd, Tgd};
+use crate::error::MappingError;
+
+/// Parse a source-to-target tgd: LHS relations resolve in `source`, RHS
+/// relations in `target`.
+pub fn parse_st_tgd(
+    source: &Schema,
+    target: &Schema,
+    pool: &mut ValuePool,
+    text: &str,
+) -> Result<Tgd, MappingError> {
+    let raw = RawDep::parse(text, pool)?;
+    raw.into_tgd(source, target)
+}
+
+/// Parse a target tgd: both sides resolve in `target`.
+pub fn parse_target_tgd(
+    target: &Schema,
+    pool: &mut ValuePool,
+    text: &str,
+) -> Result<Tgd, MappingError> {
+    let raw = RawDep::parse(text, pool)?;
+    raw.into_tgd(target, target)
+}
+
+/// Parse a target egd (`φ(x) -> x1 = x2`).
+pub fn parse_egd(target: &Schema, pool: &mut ValuePool, text: &str) -> Result<Egd, MappingError> {
+    let raw = RawDep::parse(text, pool)?;
+    raw.into_egd(target)
+}
+
+/// Parse any dependency, auto-detecting its kind:
+/// * RHS of the form `x = y` ⇒ target egd;
+/// * otherwise, if every LHS relation resolves in the source schema (and the
+///   resolution is unambiguous) ⇒ s-t tgd; if every LHS relation resolves in
+///   the target ⇒ target tgd.
+pub fn parse_dependency(
+    source: &Schema,
+    target: &Schema,
+    pool: &mut ValuePool,
+    text: &str,
+) -> Result<Dependency, MappingError> {
+    let raw = RawDep::parse(text, pool)?;
+    if raw.is_egd() {
+        return raw.into_egd(target).map(Dependency::Egd);
+    }
+    let in_source = raw.lhs_resolves_in(source);
+    let in_target = raw.lhs_resolves_in(target);
+    match (in_source, in_target) {
+        (true, false) => raw.into_tgd(source, target).map(Dependency::StTgd),
+        (false, true) => raw.into_tgd(target, target).map(Dependency::TargetTgd),
+        (true, true) => Err(MappingError::Parse {
+            message: format!(
+                "dependency `{}` is ambiguous: its LHS relations exist in both schemas; \
+                 use parse_st_tgd or parse_target_tgd",
+                raw.name
+            ),
+            offset: 0,
+        }),
+        (false, false) => Err(MappingError::UnknownRelation {
+            dep: raw.name.clone(),
+            relation: raw.first_unresolvable(source, target),
+            schema: "source or target".into(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal: tokenization and raw (schema-unresolved) parse structure.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Amp,
+    Arrow,
+    Colon,
+    Eq,
+    Dot,
+    Exists,
+}
+
+fn tokenize(text: &str) -> Result<Vec<(Tok, usize)>, MappingError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    // Track byte offset approximately via char count (fine for errors).
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            '&' | '∧' => {
+                toks.push((Tok::Amp, i));
+                i += 1;
+            }
+            ':' => {
+                toks.push((Tok::Colon, i));
+                i += 1;
+            }
+            '.' => {
+                toks.push((Tok::Dot, i));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, i));
+                i += 1;
+            }
+            '→' => {
+                toks.push((Tok::Arrow, i));
+                i += 1;
+            }
+            '∃' => {
+                toks.push((Tok::Exists, i));
+                i += 1;
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    toks.push((Tok::Arrow, i));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    let start = i;
+                    i += 1;
+                    let mut num = String::from("-");
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        num.push(bytes[i]);
+                        i += 1;
+                    }
+                    toks.push((
+                        Tok::Int(num.parse().map_err(|_| MappingError::Parse {
+                            message: format!("invalid integer `{num}`"),
+                            offset: start,
+                        })?),
+                        start,
+                    ));
+                } else {
+                    return Err(MappingError::Parse {
+                        message: "unexpected `-`".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i] != quote {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                if i == bytes.len() {
+                    return Err(MappingError::Parse {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
+                }
+                i += 1; // closing quote
+                toks.push((Tok::Str(s), start));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut num = String::new();
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    num.push(bytes[i]);
+                    i += 1;
+                }
+                toks.push((
+                    Tok::Int(num.parse().map_err(|_| MappingError::Parse {
+                        message: format!("invalid integer `{num}`"),
+                        offset: start,
+                    })?),
+                    start,
+                ));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut id = String::new();
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    id.push(bytes[i]);
+                    i += 1;
+                }
+                match id.as_str() {
+                    "exists" => toks.push((Tok::Exists, start)),
+                    "and" => toks.push((Tok::Amp, start)),
+                    _ => toks.push((Tok::Ident(id), start)),
+                }
+            }
+            other => {
+                return Err(MappingError::Parse {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// A term before schema resolution.
+#[derive(Debug, Clone)]
+enum RawTerm {
+    Var(String),
+    Const(Value),
+}
+
+#[derive(Debug, Clone)]
+struct RawAtom {
+    rel_name: String,
+    terms: Vec<RawTerm>,
+}
+
+/// Conclusion of a dependency: atoms (tgd) or an equality (egd).
+#[derive(Debug, Clone)]
+enum RawRhs {
+    Atoms(Vec<RawAtom>),
+    Equality(String, String),
+}
+
+#[derive(Debug)]
+struct RawDep {
+    name: String,
+    lhs: Vec<RawAtom>,
+    rhs: RawRhs,
+    declared_existentials: Vec<String>,
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |(_, o)| *o)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), MappingError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(t) if &t == want => Ok(()),
+            other => Err(MappingError::Parse {
+                message: format!("expected {what}, found {other:?}"),
+                offset: off,
+            }),
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, MappingError> {
+        Err(MappingError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn atom(&mut self, pool: &mut ValuePool) -> Result<RawAtom, MappingError> {
+        let offset = self.offset();
+        let rel_name = match self.bump() {
+            Some(Tok::Ident(name)) => name,
+            other => {
+                return Err(MappingError::Parse {
+                    message: format!("expected relation name, found {other:?}"),
+                    offset,
+                })
+            }
+        };
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut terms = Vec::new();
+        loop {
+            let t = match self.bump() {
+                Some(Tok::Ident(v)) => RawTerm::Var(v),
+                Some(Tok::Int(n)) => RawTerm::Const(Value::Int(n)),
+                Some(Tok::Str(s)) => RawTerm::Const(pool.str(&s)),
+                other => {
+                    return self.err(format!("expected term, found {other:?}"));
+                }
+            };
+            terms.push(t);
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => return self.err(format!("expected `,` or `)`, found {other:?}")),
+            }
+        }
+        let _ = offset;
+        Ok(RawAtom { rel_name, terms })
+    }
+
+    fn conj(&mut self, pool: &mut ValuePool) -> Result<Vec<RawAtom>, MappingError> {
+        let mut atoms = vec![self.atom(pool)?];
+        while self.peek() == Some(&Tok::Amp) {
+            self.bump();
+            atoms.push(self.atom(pool)?);
+        }
+        Ok(atoms)
+    }
+}
+
+impl RawDep {
+    fn parse(text: &str, pool: &mut ValuePool) -> Result<RawDep, MappingError> {
+        let toks = tokenize(text)?;
+        let mut p = P { toks, pos: 0 };
+
+        // Optional `name :` prefix: an identifier immediately followed by a
+        // colon (and not by `(`).
+        let mut name = String::from("<anon>");
+        if p.toks.len() >= 2 {
+            if let (Tok::Ident(id), Tok::Colon) = (&p.toks[0].0, &p.toks[1].0) {
+                name = id.clone();
+                p.pos = 2;
+            }
+        }
+
+        let lhs = p.conj(pool)?;
+        p.expect(&Tok::Arrow, "`->`")?;
+
+        // Optional existential prefix: (exists|∃) idents [, idents]* [:|.]
+        let mut declared_existentials = Vec::new();
+        while p.peek() == Some(&Tok::Exists) {
+            p.bump();
+            loop {
+                match p.peek().cloned() {
+                    Some(Tok::Ident(v)) => {
+                        declared_existentials.push(v);
+                        p.bump();
+                        if p.peek() == Some(&Tok::Comma) {
+                            p.bump();
+                            continue;
+                        }
+                        break;
+                    }
+                    other => return p.err(format!("expected existential variable, found {other:?}")),
+                }
+            }
+        }
+        if !declared_existentials.is_empty()
+            && matches!(p.peek(), Some(Tok::Colon) | Some(Tok::Dot))
+        {
+            p.bump();
+        }
+
+        // Equality conclusion (egd) or atom conjunction (tgd)?
+        // Lookahead: Ident Eq ⇒ egd.
+        let rhs = if matches!(
+            (p.peek(), p.toks.get(p.pos + 1).map(|(t, _)| t)),
+            (Some(Tok::Ident(_)), Some(Tok::Eq))
+        ) {
+            let x = match p.bump() {
+                Some(Tok::Ident(v)) => v,
+                _ => unreachable!("checked by lookahead"),
+            };
+            p.bump(); // Eq
+            let y = match p.bump() {
+                Some(Tok::Ident(v)) => v,
+                other => return p.err(format!("expected variable after `=`, found {other:?}")),
+            };
+            RawRhs::Equality(x, y)
+        } else {
+            RawRhs::Atoms(p.conj(pool)?)
+        };
+
+        // Optional trailing dot, then end of input.
+        if p.peek() == Some(&Tok::Dot) {
+            p.bump();
+        }
+        if p.peek().is_some() {
+            return p.err("unexpected trailing input");
+        }
+
+        Ok(RawDep {
+            name,
+            lhs,
+            rhs,
+            declared_existentials,
+        })
+    }
+
+    fn is_egd(&self) -> bool {
+        matches!(self.rhs, RawRhs::Equality(_, _))
+    }
+
+    fn lhs_resolves_in(&self, schema: &Schema) -> bool {
+        self.lhs
+            .iter()
+            .all(|a| schema.rel_id(&a.rel_name).is_some())
+    }
+
+    fn first_unresolvable(&self, source: &Schema, target: &Schema) -> String {
+        self.lhs
+            .iter()
+            .find(|a| source.rel_id(&a.rel_name).is_none() && target.rel_id(&a.rel_name).is_none())
+            .map(|a| a.rel_name.clone())
+            .unwrap_or_default()
+    }
+
+    /// Resolve into a tgd against explicit LHS/RHS schemas.
+    fn into_tgd(self, lhs_schema: &Schema, rhs_schema: &Schema) -> Result<Tgd, MappingError> {
+        let RawRhs::Atoms(rhs_atoms) = self.rhs else {
+            return Err(MappingError::Parse {
+                message: format!("dependency `{}` is an egd, not a tgd", self.name),
+                offset: 0,
+            });
+        };
+        let mut var_names: Vec<String> = Vec::new();
+        let resolve_var = |name: &str, var_names: &mut Vec<String>| -> Var {
+            if let Some(i) = var_names.iter().position(|n| n == name) {
+                Var(i as u32)
+            } else {
+                var_names.push(name.to_owned());
+                Var((var_names.len() - 1) as u32)
+            }
+        };
+        let build = |atoms: &[RawAtom],
+                         schema: &Schema,
+                         schema_desc: &str,
+                         var_names: &mut Vec<String>|
+         -> Result<Vec<Atom>, MappingError> {
+            atoms
+                .iter()
+                .map(|a| {
+                    let rel = schema.rel_id(&a.rel_name).ok_or_else(|| {
+                        MappingError::UnknownRelation {
+                            dep: self.name.clone(),
+                            relation: a.rel_name.clone(),
+                            schema: schema_desc.into(),
+                        }
+                    })?;
+                    let terms = a
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            RawTerm::Var(v) => Term::Var(resolve_var(v, var_names)),
+                            RawTerm::Const(c) => Term::Const(*c),
+                        })
+                        .collect();
+                    Ok(Atom::new(rel, terms))
+                })
+                .collect()
+        };
+        let lhs = build(&self.lhs, lhs_schema, "LHS", &mut var_names)?;
+        let lhs_var_count = var_names.len();
+        let rhs = build(&rhs_atoms, rhs_schema, "RHS", &mut var_names)?;
+        // Check declared existentials against the (actual) LHS variables.
+        for ex in &self.declared_existentials {
+            if var_names[..lhs_var_count].iter().any(|n| n == ex) {
+                return Err(MappingError::ExistentialInLhs {
+                    dep: self.name,
+                    var: ex.clone(),
+                });
+            }
+        }
+        let tgd = Tgd::new(self.name, lhs, rhs, var_names)?;
+        tgd.validate(lhs_schema, rhs_schema)?;
+        Ok(tgd)
+    }
+
+    fn into_egd(self, target: &Schema) -> Result<Egd, MappingError> {
+        let RawRhs::Equality(x, y) = &self.rhs else {
+            return Err(MappingError::Parse {
+                message: format!("dependency `{}` is a tgd, not an egd", self.name),
+                offset: 0,
+            });
+        };
+        let mut var_names: Vec<String> = Vec::new();
+        let resolve_var = |name: &str, var_names: &mut Vec<String>| -> Var {
+            if let Some(i) = var_names.iter().position(|n| n == name) {
+                Var(i as u32)
+            } else {
+                var_names.push(name.to_owned());
+                Var((var_names.len() - 1) as u32)
+            }
+        };
+        let lhs: Vec<Atom> = self
+            .lhs
+            .iter()
+            .map(|a| {
+                let rel =
+                    target
+                        .rel_id(&a.rel_name)
+                        .ok_or_else(|| MappingError::UnknownRelation {
+                            dep: self.name.clone(),
+                            relation: a.rel_name.clone(),
+                            schema: "target".into(),
+                        })?;
+                let terms = a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        RawTerm::Var(v) => Term::Var(resolve_var(v, &mut var_names)),
+                        RawTerm::Const(c) => Term::Const(*c),
+                    })
+                    .collect();
+                Ok(Atom::new(rel, terms))
+            })
+            .collect::<Result<_, MappingError>>()?;
+        let vx = resolve_var(x, &mut var_names);
+        let vy = resolve_var(y, &mut var_names);
+        let egd = Egd::new(self.name, lhs, (vx, vy), var_names)?;
+        egd.validate(target)?;
+        Ok(egd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fargo_schemas() -> (Schema, Schema) {
+        let mut s = Schema::new();
+        s.rel(
+            "Cards",
+            &["cardNo", "limit", "ssn", "name", "maidenName", "salary", "location"],
+        );
+        s.rel("SupplementaryCards", &["accNo", "ssn", "name", "address"]);
+        let mut t = Schema::new();
+        t.rel("Accounts", &["accNo", "limit", "accHolder"]);
+        t.rel("Clients", &["ssn", "name", "maidenName", "income", "address"]);
+        (s, t)
+    }
+
+    #[test]
+    fn parses_paper_m1() {
+        let (s, t) = fargo_schemas();
+        let mut pool = ValuePool::new();
+        let tgd = parse_st_tgd(
+            &s,
+            &t,
+            &mut pool,
+            "m1: Cards(cn,l,s,n,m,sal,loc) -> exists A: Accounts(cn,l,s) & Clients(s,m,m,sal,A)",
+        )
+        .unwrap();
+        assert_eq!(tgd.name(), "m1");
+        assert_eq!(tgd.lhs().len(), 1);
+        assert_eq!(tgd.rhs().len(), 2);
+        assert_eq!(tgd.var_count(), 8);
+        let ex: Vec<_> = tgd.existential_vars().map(|v| tgd.var_name(v).to_owned()).collect();
+        assert_eq!(ex, ["A"]);
+        // Variable `m` is repeated in Clients(s, m, m, ...).
+        let clients = &tgd.rhs()[1];
+        assert_eq!(clients.terms[1], clients.terms[2]);
+    }
+
+    #[test]
+    fn parses_paper_m6_egd() {
+        let (_, t) = fargo_schemas();
+        let mut pool = ValuePool::new();
+        let egd = parse_egd(
+            &t,
+            &mut pool,
+            "m6: Accounts(a,l,s) & Accounts(a2,l2,s) -> l = l2",
+        )
+        .unwrap();
+        assert_eq!(egd.name(), "m6");
+        assert_eq!(egd.lhs().len(), 2);
+        let (x, y) = egd.equated();
+        assert_eq!(egd.var_name(x), "l");
+        assert_eq!(egd.var_name(y), "l2");
+    }
+
+    #[test]
+    fn auto_detects_kinds() {
+        let (s, t) = fargo_schemas();
+        let mut pool = ValuePool::new();
+        let st = parse_dependency(
+            &s,
+            &t,
+            &mut pool,
+            "SupplementaryCards(an,s,n,a) -> exists M, I: Clients(s,n,M,I,a)",
+        )
+        .unwrap();
+        assert!(matches!(st, Dependency::StTgd(_)));
+        let tt = parse_dependency(
+            &s,
+            &t,
+            &mut pool,
+            "m5: Clients(s,n,m,i,a) -> exists N, L: Accounts(N,L,s)",
+        )
+        .unwrap();
+        assert!(matches!(tt, Dependency::TargetTgd(_)));
+        let egd = parse_dependency(&s, &t, &mut pool, "Accounts(a,l,s) & Accounts(b,l2,s) -> l = l2")
+            .unwrap();
+        assert!(matches!(egd, Dependency::Egd(_)));
+    }
+
+    #[test]
+    fn constants_are_quoted_or_numeric() {
+        let (s, t) = fargo_schemas();
+        let mut pool = ValuePool::new();
+        let tgd = parse_st_tgd(
+            &s,
+            &t,
+            &mut pool,
+            "Cards(cn, 15, s, 'J. Long', m, sal, loc) -> Accounts(cn, 15, s)",
+        )
+        .unwrap();
+        assert_eq!(tgd.var_count(), 5); // cn, s, m, sal, loc
+        let sym = pool.lookup("J. Long").expect("string constant interned");
+        assert!(tgd.lhs()[0]
+            .terms
+            .iter()
+            .any(|t| matches!(t, Term::Const(Value::Str(sy)) if *sy == sym)));
+    }
+
+    #[test]
+    fn unicode_syntax_accepted() {
+        let (s, t) = fargo_schemas();
+        let mut pool = ValuePool::new();
+        let tgd = parse_st_tgd(
+            &s,
+            &t,
+            &mut pool,
+            "SupplementaryCards(an,s,n,a) → ∃M ∃I Clients(s,n,M,I,a)",
+        )
+        .unwrap();
+        let ex: Vec<_> = tgd
+            .existential_vars()
+            .map(|v| tgd.var_name(v).to_owned())
+            .collect();
+        // Existentials are reported in variable-index order (first occurrence).
+        assert_eq!(ex, ["M", "I"]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (s, t) = fargo_schemas();
+        let mut pool = ValuePool::new();
+        assert!(matches!(
+            parse_st_tgd(&s, &t, &mut pool, "Nope(x) -> Accounts(x, x, x)"),
+            Err(MappingError::UnknownRelation { .. })
+        ));
+        assert!(matches!(
+            parse_st_tgd(&s, &t, &mut pool, "Cards(a,b,c) -> Accounts(a,b,c)"),
+            Err(MappingError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            parse_st_tgd(
+                &s,
+                &t,
+                &mut pool,
+                "SupplementaryCards(an,s,n,a) -> exists s: Clients(s,n,s,s,a)"
+            ),
+            Err(MappingError::ExistentialInLhs { .. })
+        ));
+        assert!(matches!(
+            parse_st_tgd(&s, &t, &mut pool, "Cards(a,b,c,d,e,f,g -> Accounts(a,b,c)"),
+            Err(MappingError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_egd(&t, &mut pool, "Accounts(a,l,s) -> Accounts(a,l,s)"),
+            Err(MappingError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_trailing_dot() {
+        let (s, t) = fargo_schemas();
+        let mut pool = ValuePool::new();
+        let tgd = parse_st_tgd(
+            &s,
+            &t,
+            &mut pool,
+            "SupplementaryCards(an,s,n,a) -> Clients(s,n,n,s,a). # copy supp cards",
+        )
+        .unwrap();
+        assert_eq!(tgd.rhs().len(), 1);
+    }
+}

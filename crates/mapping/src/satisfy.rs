@@ -1,0 +1,204 @@
+//! Checking whether an instance pair `(I, J)` satisfies dependencies —
+//! the definition of `J` being a *solution* for `I` under `M` (paper §2).
+
+use routes_model::{Instance, Value, Var};
+use routes_query::{satisfiable, Bindings, MatchIter};
+
+use crate::dep::{Egd, Tgd, TgdKind};
+use crate::mapping::SchemaMapping;
+
+/// A witness that a dependency is violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A tgd's LHS matched but no RHS extension exists in the target.
+    Tgd {
+        /// The violated tgd's name.
+        dep: String,
+        /// The universal assignment (variable name, value) that has no RHS
+        /// extension.
+        assignment: Vec<(String, Value)>,
+    },
+    /// An egd's LHS matched with two different values for the equated pair.
+    Egd {
+        /// The violated egd's name.
+        dep: String,
+        /// The two unequal values.
+        values: (Value, Value),
+    },
+}
+
+/// Check a single tgd against `(I, J)`. `kind` selects which instance the
+/// LHS ranges over. Returns the first violation found, if any.
+pub fn check_tgd(
+    tgd: &Tgd,
+    kind: TgdKind,
+    source: &Instance,
+    target: &Instance,
+) -> Option<Violation> {
+    let lhs_instance = match kind {
+        TgdKind::SourceToTarget => source,
+        TgdKind::Target => target,
+    };
+    let mut lhs_matches = MatchIter::new(lhs_instance, tgd.lhs(), Bindings::new(tgd.var_count()));
+    while let Some(b) = lhs_matches.next_match() {
+        if !satisfiable(target, tgd.rhs(), b.clone()) {
+            let assignment = b
+                .iter()
+                .filter(|(v, _)| tgd.is_universal(*v))
+                .map(|(v, val)| (tgd.var_name(v).to_owned(), val))
+                .collect();
+            return Some(Violation::Tgd {
+                dep: tgd.name().to_owned(),
+                assignment,
+            });
+        }
+    }
+    None
+}
+
+/// Check a single egd against `J`. Returns the first violation found.
+pub fn check_egd(egd: &Egd, target: &Instance) -> Option<Violation> {
+    let mut matches = MatchIter::new(target, egd.lhs(), Bindings::new(egd.var_count()));
+    let (x, y) = egd.equated();
+    while let Some(b) = matches.next_match() {
+        let (vx, vy) = (bound(b, x), bound(b, y));
+        if vx != vy {
+            return Some(Violation::Egd {
+                dep: egd.name().to_owned(),
+                values: (vx, vy),
+            });
+        }
+    }
+    None
+}
+
+fn bound(b: &Bindings, v: Var) -> Value {
+    b.get(v).expect("egd equated variables occur in its LHS")
+}
+
+/// Check the whole mapping: `(I, J) ⊨ Σst ∪ Σt`. Returns every violation
+/// (one witness per violated dependency).
+pub fn check_mapping(
+    mapping: &SchemaMapping,
+    source: &Instance,
+    target: &Instance,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for tgd in mapping.st_tgds() {
+        if let Some(v) = check_tgd(tgd, TgdKind::SourceToTarget, source, target) {
+            violations.push(v);
+        }
+    }
+    for tgd in mapping.target_tgds() {
+        if let Some(v) = check_tgd(tgd, TgdKind::Target, source, target) {
+            violations.push(v);
+        }
+    }
+    for egd in mapping.egds() {
+        if let Some(v) = check_egd(egd, target) {
+            violations.push(v);
+        }
+    }
+    violations
+}
+
+/// Whether `J` is a solution for `I` under `mapping`.
+pub fn is_solution(mapping: &SchemaMapping, source: &Instance, target: &Instance) -> bool {
+    check_mapping(mapping, source, target).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_egd, parse_st_tgd, parse_target_tgd};
+    use routes_model::{Schema, ValuePool};
+
+    fn setup() -> (Schema, Schema, ValuePool) {
+        let mut s = Schema::new();
+        s.rel("S", &["a", "b"]);
+        let mut t = Schema::new();
+        t.rel("T", &["a", "b"]);
+        t.rel("U", &["a"]);
+        (s, t, ValuePool::new())
+    }
+
+    #[test]
+    fn satisfied_tgd_passes() {
+        let (s, t, mut pool) = setup();
+        let tgd = parse_st_tgd(&s, &t, &mut pool, "m: S(x,y) -> exists Z: T(x,Z)").unwrap();
+        let mut i = Instance::new(&s);
+        let mut j = Instance::new(&t);
+        let sr = s.rel_id("S").unwrap();
+        let tr = t.rel_id("T").unwrap();
+        i.insert_ok(sr, &[Value::Int(1), Value::Int(2)]);
+        j.insert_ok(tr, &[Value::Int(1), pool.named_null("Z0")]);
+        assert_eq!(check_tgd(&tgd, TgdKind::SourceToTarget, &i, &j), None);
+    }
+
+    #[test]
+    fn violated_tgd_reports_assignment() {
+        let (s, t, mut pool) = setup();
+        let tgd = parse_st_tgd(&s, &t, &mut pool, "m: S(x,y) -> T(x,y)").unwrap();
+        let mut i = Instance::new(&s);
+        let j = Instance::new(&t);
+        let sr = s.rel_id("S").unwrap();
+        i.insert_ok(sr, &[Value::Int(1), Value::Int(2)]);
+        let v = check_tgd(&tgd, TgdKind::SourceToTarget, &i, &j).unwrap();
+        match v {
+            Violation::Tgd { dep, assignment } => {
+                assert_eq!(dep, "m");
+                assert_eq!(
+                    assignment,
+                    vec![("x".to_owned(), Value::Int(1)), ("y".to_owned(), Value::Int(2))]
+                );
+            }
+            other => panic!("expected tgd violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn target_tgd_lhs_ranges_over_target() {
+        let (s, t, mut pool) = setup();
+        let tgd = parse_target_tgd(&t, &mut pool, "m: T(x,y) -> U(x)").unwrap();
+        let i = Instance::new(&s);
+        let mut j = Instance::new(&t);
+        let tr = t.rel_id("T").unwrap();
+        let ur = t.rel_id("U").unwrap();
+        j.insert_ok(tr, &[Value::Int(1), Value::Int(2)]);
+        assert!(check_tgd(&tgd, TgdKind::Target, &i, &j).is_some());
+        j.insert_ok(ur, &[Value::Int(1)]);
+        assert!(check_tgd(&tgd, TgdKind::Target, &i, &j).is_none());
+    }
+
+    #[test]
+    fn egd_check() {
+        let (_, t, mut pool) = setup();
+        let egd = parse_egd(&t, &mut pool, "e: T(x,y) & T(x,z) -> y = z").unwrap();
+        let mut j = Instance::new(&t);
+        let tr = t.rel_id("T").unwrap();
+        j.insert_ok(tr, &[Value::Int(1), Value::Int(2)]);
+        assert!(check_egd(&egd, &j).is_none());
+        j.insert_ok(tr, &[Value::Int(1), Value::Int(3)]);
+        let v = check_egd(&egd, &j).unwrap();
+        assert!(matches!(v, Violation::Egd { values: (Value::Int(2), Value::Int(3)), .. }
+            | Violation::Egd { values: (Value::Int(3), Value::Int(2)), .. }));
+    }
+
+    #[test]
+    fn whole_mapping_check() {
+        let (s, t, mut pool) = setup();
+        let mut m = SchemaMapping::new(s.clone(), t.clone());
+        m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m1: S(x,y) -> T(x,y)").unwrap())
+            .unwrap();
+        m.add_target_tgd(parse_target_tgd(&t, &mut pool, "m2: T(x,y) -> U(x)").unwrap())
+            .unwrap();
+        let mut i = Instance::new(&s);
+        let mut j = Instance::new(&t);
+        i.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(check_mapping(&m, &i, &j).len(), 1); // m1 violated; m2 vacuous
+        j.insert_ok(t.rel_id("T").unwrap(), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(check_mapping(&m, &i, &j).len(), 1); // now m2 violated
+        j.insert_ok(t.rel_id("U").unwrap(), &[Value::Int(1)]);
+        assert!(is_solution(&m, &i, &j));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property test: rendering a random well-formed dependency and re-parsing
+//! it yields the same dependency (display ∘ parse = id).
+
+use proptest::prelude::*;
+use routes_mapping::{egd_to_string, parse_egd, parse_st_tgd, tgd_to_string, Egd, Tgd};
+use routes_model::{Atom, RelId, Schema, Term, Value, ValuePool, Var};
+
+/// A random tgd description: per-atom (relation, terms), where a term is a
+/// variable index or a constant.
+#[derive(Debug, Clone)]
+struct TgdSpec {
+    lhs: Vec<(usize, Vec<TermSpec>)>,
+    rhs: Vec<(usize, Vec<TermSpec>)>,
+}
+
+#[derive(Debug, Clone)]
+enum TermSpec {
+    Var(u32),
+    Int(i64),
+    Str(u8),
+}
+
+fn term_strategy() -> impl Strategy<Value = TermSpec> {
+    prop_oneof![
+        4 => (0u32..6).prop_map(TermSpec::Var),
+        1 => (-20i64..100).prop_map(TermSpec::Int),
+        1 => (0u8..4).prop_map(TermSpec::Str),
+    ]
+}
+
+fn atoms_strategy(nrels: usize, arity: usize, count: std::ops::Range<usize>)
+    -> impl Strategy<Value = Vec<(usize, Vec<TermSpec>)>> {
+    prop::collection::vec(
+        (0..nrels, prop::collection::vec(term_strategy(), arity)),
+        count,
+    )
+}
+
+fn schemas() -> (Schema, Schema) {
+    let mut s = Schema::new();
+    for k in 0..3 {
+        s.rel(&format!("S{k}"), &["a", "b"]);
+    }
+    let mut t = Schema::new();
+    for k in 0..3 {
+        t.rel(&format!("T{k}"), &["a", "b"]);
+    }
+    (s, t)
+}
+
+/// Build a Tgd from a spec, compacting variables to a dense space.
+fn build_tgd(spec: &TgdSpec, pool: &mut ValuePool) -> Option<Tgd> {
+    let strings = ["alpha", "beta", "with space", "quo#te"];
+    let mut names: Vec<String> = Vec::new();
+    let mut remap: Vec<Option<Var>> = vec![None; 6];
+    let convert = |atoms: &[(usize, Vec<TermSpec>)],
+                       base: u32,
+                       pool: &mut ValuePool,
+                       names: &mut Vec<String>,
+                       remap: &mut Vec<Option<Var>>|
+     -> Vec<Atom> {
+        atoms
+            .iter()
+            .map(|(rel, terms)| {
+                Atom::new(
+                    RelId(*rel as u32 + base),
+                    terms
+                        .iter()
+                        .map(|t| match t {
+                            TermSpec::Var(v) => {
+                                let slot = &mut remap[*v as usize];
+                                let nv = match slot {
+                                    Some(nv) => *nv,
+                                    None => {
+                                        let nv = Var(names.len() as u32);
+                                        names.push(format!("v{v}"));
+                                        *slot = Some(nv);
+                                        nv
+                                    }
+                                };
+                                Term::Var(nv)
+                            }
+                            TermSpec::Int(n) => Term::Const(Value::Int(*n)),
+                            TermSpec::Str(k) => Term::Const(pool.str(strings[*k as usize])),
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+    let lhs = convert(&spec.lhs, 0, pool, &mut names, &mut remap);
+    let rhs = convert(&spec.rhs, 0, pool, &mut names, &mut remap);
+    Tgd::new("m", lhs, rhs, names).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tgd_display_parse_roundtrip(spec in (atoms_strategy(3, 2, 1..3), atoms_strategy(3, 2, 1..3))
+        .prop_map(|(lhs, rhs)| TgdSpec { lhs, rhs }))
+    {
+        let (s, t) = schemas();
+        let mut pool = ValuePool::new();
+        let Some(tgd) = build_tgd(&spec, &mut pool) else { return Ok(()) };
+        // Interpret LHS rels over source, RHS over target: rebuild with the
+        // correct schemas by rendering and parsing as s-t tgd.
+        let rendered = tgd_to_string(&pool, &s, &t, &tgd);
+        let reparsed = parse_st_tgd(&s, &t, &mut pool, &rendered)
+            .unwrap_or_else(|e| panic!("rendered tgd must reparse: {e}\n{rendered}"));
+        prop_assert_eq!(&tgd, &reparsed, "{}", rendered);
+        // And the rendering is a fixpoint.
+        let rendered2 = tgd_to_string(&pool, &s, &t, &reparsed);
+        prop_assert_eq!(rendered, rendered2);
+    }
+
+    #[test]
+    fn egd_display_parse_roundtrip(
+        lhs in atoms_strategy(3, 2, 1..3),
+        eq_pick in (0usize..4, 0usize..4),
+    ) {
+        let (_, t) = schemas();
+        let mut pool = ValuePool::new();
+        let spec = TgdSpec { lhs, rhs: vec![] };
+        // Build LHS atoms only (reuse the tgd builder with a fake rhs, then
+        // strip) — simpler: inline conversion via build_tgd is awkward, so
+        // construct directly.
+        let strings = ["alpha", "beta", "with space", "quo#te"];
+        let mut names: Vec<String> = Vec::new();
+        let mut remap: Vec<Option<Var>> = vec![None; 6];
+        let atoms: Vec<Atom> = spec
+            .lhs
+            .iter()
+            .map(|(rel, terms)| {
+                Atom::new(
+                    RelId(*rel as u32),
+                    terms
+                        .iter()
+                        .map(|term| match term {
+                            TermSpec::Var(v) => {
+                                let slot = &mut remap[*v as usize];
+                                let nv = match slot {
+                                    Some(nv) => *nv,
+                                    None => {
+                                        let nv = Var(names.len() as u32);
+                                        names.push(format!("v{v}"));
+                                        *slot = Some(nv);
+                                        nv
+                                    }
+                                };
+                                Term::Var(nv)
+                            }
+                            TermSpec::Int(n) => Term::Const(Value::Int(*n)),
+                            TermSpec::Str(k) => Term::Const(pool.str(strings[*k as usize])),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        if names.len() < 2 {
+            return Ok(());
+        }
+        let x = Var((eq_pick.0 % names.len()) as u32);
+        let y = Var((eq_pick.1 % names.len()) as u32);
+        let Ok(egd) = Egd::new("e", atoms, (x, y), names) else { return Ok(()) };
+        let rendered = egd_to_string(&pool, &t, &egd);
+        let reparsed = parse_egd(&t, &mut pool, &rendered)
+            .unwrap_or_else(|e| panic!("rendered egd must reparse: {e}\n{rendered}"));
+        prop_assert_eq!(&egd, &reparsed, "{}", rendered);
+    }
+}

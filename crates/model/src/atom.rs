@@ -1,0 +1,116 @@
+//! Terms and atoms: the syntactic building blocks of conjunctive queries and
+//! dependencies (tgds/egds).
+//!
+//! Variables are dense per-formula indices (`Var(0)`, `Var(1)`, ...): a tgd or
+//! query numbers its variables consecutively, and assignments are dense
+//! vectors indexed by `Var`. This keeps homomorphism manipulation allocation-
+//! free in the inner loops.
+
+use crate::schema::RelId;
+use crate::value::Value;
+
+/// A variable within one formula (query or dependency). The index is local
+/// to the formula; `Var(3)` in two different tgds are unrelated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A term in an atom: a variable or a constant value.
+///
+/// Constants in dependencies must be constants in the data-exchange sense
+/// (no labeled nulls); dependency validation enforces this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A formula variable.
+    Var(Var),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable, if this term is one.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// A relational atom `R(t1, ..., tk)` over some schema.
+///
+/// Which schema `rel` refers to is positional: the left-hand side of a
+/// source-to-target tgd speaks about the source schema, everything else about
+/// the target schema. The dependency types in `routes-mapping` track this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation this atom constrains.
+    pub rel: RelId,
+    /// Terms, one per attribute of the relation.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom from a relation id and terms.
+    pub fn new(rel: RelId, terms: Vec<Term>) -> Self {
+        Atom { rel, terms }
+    }
+
+    /// Arity of the atom (number of terms).
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterate over the variables occurring in this atom (with duplicates,
+    /// in positional order).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().filter_map(|t| t.as_var())
+    }
+
+    /// The largest variable index occurring in the atom, if any.
+    pub fn max_var(&self) -> Option<u32> {
+        self.vars().map(|v| v.0).max()
+    }
+}
+
+/// Compute the number of distinct variables needed to cover all atoms, i.e.
+/// `1 + max var index` (0 if no variables occur).
+pub fn var_space(atoms: &[Atom]) -> usize {
+    atoms
+        .iter()
+        .filter_map(Atom::max_var)
+        .max()
+        .map_or(0, |m| m as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_vars_and_arity() {
+        let a = Atom::new(
+            RelId(0),
+            vec![Term::Var(Var(0)), Term::Const(Value::Int(7)), Term::Var(Var(2))],
+        );
+        assert_eq!(a.arity(), 3);
+        let vars: Vec<_> = a.vars().collect();
+        assert_eq!(vars, [Var(0), Var(2)]);
+        assert_eq!(a.max_var(), Some(2));
+    }
+
+    #[test]
+    fn var_space_counts_max_plus_one() {
+        let a = Atom::new(RelId(0), vec![Term::Var(Var(4))]);
+        let b = Atom::new(RelId(1), vec![Term::Var(Var(1)), Term::Var(Var(0))]);
+        assert_eq!(var_space(&[a, b]), 5);
+        assert_eq!(var_space(&[]), 0);
+        let no_vars = Atom::new(RelId(0), vec![Term::Const(Value::Int(1))]);
+        assert_eq!(var_space(std::slice::from_ref(&no_vars)), 0);
+    }
+
+    #[test]
+    fn term_as_var() {
+        assert_eq!(Term::Var(Var(3)).as_var(), Some(Var(3)));
+        assert_eq!(Term::Const(Value::Int(0)).as_var(), None);
+    }
+}

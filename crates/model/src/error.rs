@@ -1,0 +1,63 @@
+//! Error type for model-layer operations.
+
+use std::fmt;
+
+/// Errors raised by schema and instance operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A relation with this name was already declared in the schema.
+    DuplicateRelation(String),
+    /// A tuple was inserted with the wrong number of values.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A relation name or id was not found in the schema.
+    UnknownRelation(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` is already declared")
+            }
+            ModelError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected}, but {got} values were supplied"
+            ),
+            ModelError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("arity 2"));
+        assert!(ModelError::UnknownRelation("X".into())
+            .to_string()
+            .contains("X"));
+        assert!(ModelError::DuplicateRelation("Y".into())
+            .to_string()
+            .contains("Y"));
+    }
+}

@@ -1,0 +1,544 @@
+//! Instances: append-only, duplicate-eliminating tuple stores with lazily
+//! built, incrementally maintained per-column hash indexes.
+//!
+//! Row positions are stable (tuples are never moved or removed), so a
+//! [`TupleId`] durably identifies a fact for the lifetime of the instance.
+//! This is the identity that routes, route forests, and the debugger use.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::error::ModelError;
+use crate::schema::{RelId, Schema};
+use crate::value::Value;
+
+/// Which instance of a data-exchange pair `(I, J)` a fact belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// The source instance `I` (over the source schema `S`).
+    Source,
+    /// The target instance `J` (over the target schema `T`).
+    Target,
+}
+
+/// Stable identity of a tuple within one instance: relation plus row index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// The relation the tuple belongs to.
+    pub rel: RelId,
+    /// Row position within the relation (insertion order).
+    pub row: u32,
+}
+
+/// Globally unique identity of a fact across a data-exchange pair `(I, J)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// Which instance the fact lives in.
+    pub side: Side,
+    /// The tuple identity within that instance.
+    pub id: TupleId,
+}
+
+impl Fact {
+    /// A fact in the source instance.
+    pub fn source(id: TupleId) -> Self {
+        Fact {
+            side: Side::Source,
+            id,
+        }
+    }
+
+    /// A fact in the target instance.
+    pub fn target(id: TupleId) -> Self {
+        Fact {
+            side: Side::Target,
+            id,
+        }
+    }
+}
+
+/// A single-column hash index, caught up lazily against the append-only
+/// relation data.
+#[derive(Debug, Default, Clone)]
+struct ColIndex {
+    map: HashMap<Value, Vec<u32>>,
+    /// Number of rows already indexed; rows `upto..len` are indexed on the
+    /// next probe.
+    upto: u32,
+}
+
+/// A composite (multi-column) hash index over an ordered column set.
+#[derive(Debug, Default, Clone)]
+struct MultiIndex {
+    map: HashMap<Box<[Value]>, Vec<u32>>,
+    upto: u32,
+}
+
+#[derive(Debug, Clone)]
+struct RelData {
+    arity: usize,
+    /// Row-major flattened tuple storage (`len * arity` values).
+    data: Vec<Value>,
+    /// Tuple-hash → candidate rows, for duplicate elimination.
+    dedup: HashMap<u64, Vec<u32>>,
+    /// Lazily built per-column indexes. Interior mutability lets read-only
+    /// query evaluation build and extend indexes on a shared reference.
+    indexes: RefCell<HashMap<u32, ColIndex>>,
+    /// Lazily built composite indexes, keyed by the ordered column set.
+    multi_indexes: RefCell<HashMap<Box<[u32]>, MultiIndex>>,
+}
+
+impl RelData {
+    fn new(arity: usize) -> Self {
+        RelData {
+            arity,
+            data: Vec::new(),
+            dedup: HashMap::new(),
+            indexes: RefCell::new(HashMap::new()),
+            multi_indexes: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn len(&self) -> u32 {
+        match self.data.len().checked_div(self.arity) {
+            Some(rows) => rows as u32,
+            // Nullary relations hold at most one (empty) tuple; we track
+            // presence via the dedup map.
+            None => u32::from(!self.dedup.is_empty()),
+        }
+    }
+
+    fn tuple(&self, row: u32) -> &[Value] {
+        let start = row as usize * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    /// Ensure the index for `col` exists and covers all current rows, then
+    /// run `f` on the row list for `value` (empty slice if absent).
+    fn with_index<R>(&self, col: u32, value: Value, f: impl FnOnce(&[u32]) -> R) -> R {
+        let mut indexes = self.indexes.borrow_mut();
+        let idx = indexes.entry(col).or_default();
+        let len = self.len();
+        while idx.upto < len {
+            let row = idx.upto;
+            let v = self.tuple(row)[col as usize];
+            idx.map.entry(v).or_default().push(row);
+            idx.upto += 1;
+        }
+        match idx.map.get(&value) {
+            Some(rows) => f(rows),
+            None => f(&[]),
+        }
+    }
+
+    /// Composite-index variant of [`RelData::with_index`]: `cols` must be
+    /// sorted and `values` aligned with it.
+    fn with_multi_index<R>(
+        &self,
+        cols: &[u32],
+        values: &[Value],
+        f: impl FnOnce(&[u32]) -> R,
+    ) -> R {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(cols.len(), values.len());
+        let mut indexes = self.multi_indexes.borrow_mut();
+        let idx = indexes.entry(Box::from(cols)).or_default();
+        let len = self.len();
+        let mut key: Vec<Value> = Vec::with_capacity(cols.len());
+        while idx.upto < len {
+            let row = idx.upto;
+            let tuple = self.tuple(row);
+            key.clear();
+            key.extend(cols.iter().map(|&c| tuple[c as usize]));
+            idx.map
+                .entry(key.as_slice().into())
+                .or_default()
+                .push(row);
+            idx.upto += 1;
+        }
+        match idx.map.get(values) {
+            Some(rows) => f(rows),
+            None => f(&[]),
+        }
+    }
+}
+
+fn hash_tuple(values: &[Value]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    values.hash(&mut h);
+    h.finish()
+}
+
+/// An instance over a fixed schema: one append-only relation store per
+/// relation, with set semantics (duplicate inserts are detected and return
+/// the existing row).
+///
+/// The instance captures the schema's arities at construction time; it does
+/// not borrow the schema, so instances are freely movable and clonable.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    rels: Vec<RelData>,
+}
+
+impl Instance {
+    /// Create an empty instance over the given schema.
+    pub fn new(schema: &Schema) -> Self {
+        Instance {
+            rels: schema
+                .iter()
+                .map(|(_, r)| RelData::new(r.arity()))
+                .collect(),
+        }
+    }
+
+    fn rel(&self, rel: RelId) -> &RelData {
+        &self.rels[rel.0 as usize]
+    }
+
+    /// Number of relations (as declared by the schema).
+    pub fn num_relations(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Declared arity of a relation.
+    pub fn arity(&self, rel: RelId) -> usize {
+        self.rel(rel).arity
+    }
+
+    /// Number of tuples currently stored in a relation.
+    pub fn rel_len(&self, rel: RelId) -> u32 {
+        self.rel(rel).len()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.iter().map(|r| r.len() as usize).sum()
+    }
+
+    /// Whether the instance contains no tuples at all.
+    pub fn is_empty(&self) -> bool {
+        self.total_tuples() == 0
+    }
+
+    /// Insert a tuple. Returns its [`TupleId`] and whether it was newly
+    /// inserted (`false` means an identical tuple already existed and its id
+    /// is returned instead).
+    ///
+    /// # Errors
+    /// Returns [`ModelError::ArityMismatch`] if the value count does not
+    /// match the relation's declared arity.
+    pub fn insert(&mut self, rel: RelId, values: &[Value]) -> Result<(TupleId, bool), ModelError> {
+        let rd = &mut self.rels[rel.0 as usize];
+        if values.len() != rd.arity {
+            return Err(ModelError::ArityMismatch {
+                relation: format!("#{}", rel.0),
+                expected: rd.arity,
+                got: values.len(),
+            });
+        }
+        let h = hash_tuple(values);
+        if let Some(rows) = rd.dedup.get(&h) {
+            for &row in rows {
+                if rd.tuple(row) == values {
+                    return Ok((TupleId { rel, row }, false));
+                }
+            }
+        }
+        let row = rd.len();
+        rd.data.extend_from_slice(values);
+        rd.dedup.entry(h).or_default().push(row);
+        Ok((TupleId { rel, row }, true))
+    }
+
+    /// Insert, panicking on arity mismatch. Convenient for tests and
+    /// generators where the schema is statically known.
+    pub fn insert_ok(&mut self, rel: RelId, values: &[Value]) -> TupleId {
+        self.insert(rel, values).unwrap_or_else(|e| panic!("{e}")).0
+    }
+
+    /// Look up the id of an existing tuple with exactly these values.
+    pub fn find(&self, rel: RelId, values: &[Value]) -> Option<TupleId> {
+        let rd = self.rel(rel);
+        if values.len() != rd.arity {
+            return None;
+        }
+        let h = hash_tuple(values);
+        let rows = rd.dedup.get(&h)?;
+        rows.iter()
+            .find(|&&row| rd.tuple(row) == values)
+            .map(|&row| TupleId { rel, row })
+    }
+
+    /// Whether a tuple with exactly these values exists.
+    pub fn contains(&self, rel: RelId, values: &[Value]) -> bool {
+        self.find(rel, values).is_some()
+    }
+
+    /// The values of a tuple.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn tuple(&self, id: TupleId) -> &[Value] {
+        self.rel(id.rel).tuple(id.row)
+    }
+
+    /// Iterate over all tuple ids of a relation, in insertion order.
+    pub fn rel_rows(&self, rel: RelId) -> impl Iterator<Item = TupleId> + '_ {
+        (0..self.rel_len(rel)).map(move |row| TupleId { rel, row })
+    }
+
+    /// Iterate over `(TupleId, values)` for a relation.
+    pub fn rel_tuples(&self, rel: RelId) -> impl Iterator<Item = (TupleId, &[Value])> {
+        self.rel_rows(rel).map(move |id| (id, self.tuple(id)))
+    }
+
+    /// Iterate over every tuple id in the instance.
+    pub fn all_rows(&self) -> impl Iterator<Item = TupleId> + '_ {
+        (0..self.rels.len() as u32).flat_map(move |r| self.rel_rows(RelId(r)))
+    }
+
+    /// Probe the hash index on `(rel, col)` for rows whose `col` equals
+    /// `value`, appending matching rows to `out`.
+    ///
+    /// The index is built on first use and caught up incrementally on later
+    /// probes (the store is append-only, so no invalidation is needed).
+    pub fn probe_into(&self, rel: RelId, col: u32, value: Value, out: &mut Vec<u32>) {
+        self.rel(rel)
+            .with_index(col, value, |rows| out.extend_from_slice(rows));
+    }
+
+    /// Number of rows that a probe on `(rel, col) = value` would return.
+    /// Used by the query planner to pick the most selective bound column.
+    pub fn probe_len(&self, rel: RelId, col: u32, value: Value) -> usize {
+        self.rel(rel).with_index(col, value, <[u32]>::len)
+    }
+
+    /// Probe a composite index on the (sorted) column set `cols` for rows
+    /// whose columns equal `values` pointwise, appending matches to `out`.
+    ///
+    /// Composite indexes are built lazily per column set and caught up
+    /// incrementally, like single-column ones. They pay off when no single
+    /// bound column is selective but the combination is (e.g. TPC-H
+    /// `Partsupp(partkey, suppkey)`).
+    ///
+    /// # Panics
+    /// Debug-asserts that `cols` is strictly sorted and aligned with
+    /// `values`.
+    pub fn probe_multi_into(&self, rel: RelId, cols: &[u32], values: &[Value], out: &mut Vec<u32>) {
+        self.rel(rel)
+            .with_multi_index(cols, values, |rows| out.extend_from_slice(rows));
+    }
+
+    /// Number of rows a composite probe would return.
+    pub fn probe_multi_len(&self, rel: RelId, cols: &[u32], values: &[Value]) -> usize {
+        self.rel(rel).with_multi_index(cols, values, <[u32]>::len)
+    }
+
+    /// Build a new instance by applying `f` to every value of every tuple
+    /// (re-deduplicating). Used by egd application, which replaces labeled
+    /// nulls wholesale.
+    ///
+    /// Note: row ids are **not** preserved across this operation.
+    pub fn map_values(&self, schema: &Schema, mut f: impl FnMut(Value) -> Value) -> Instance {
+        let mut out = Instance::new(schema);
+        let mut buf: Vec<Value> = Vec::new();
+        for (rel_idx, rd) in self.rels.iter().enumerate() {
+            let rel = RelId(rel_idx as u32);
+            for row in 0..rd.len() {
+                buf.clear();
+                buf.extend(rd.tuple(row).iter().map(|&v| f(v)));
+                out.insert(rel, &buf).expect("arity preserved by map");
+            }
+        }
+        out
+    }
+
+    /// Approximate heap footprint of the stored tuples in bytes (tuple data
+    /// plus dedup tables; lazily built indexes are *not* counted, since they
+    /// are derived state). Used by the benchmark harness to report real
+    /// sizes next to the paper's MB labels.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.rels
+            .iter()
+            .map(|r| {
+                let data = r.data.capacity() * std::mem::size_of::<Value>();
+                let dedup: usize = r
+                    .dedup.values().map(|rows| {
+                        std::mem::size_of::<u64>()
+                            + rows.capacity() * std::mem::size_of::<u32>()
+                    })
+                    .sum();
+                data + dedup
+            })
+            .sum()
+    }
+
+    /// Whether `other` contains every tuple of `self` (set containment,
+    /// relation by relation).
+    pub fn contained_in(&self, other: &Instance) -> bool {
+        self.rels.iter().enumerate().all(|(rel_idx, rd)| {
+            let rel = RelId(rel_idx as u32);
+            (0..rd.len()).all(|row| other.contains(rel, rd.tuple(row)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValuePool;
+
+    fn schema2() -> (Schema, RelId, RelId) {
+        let mut s = Schema::new();
+        let r = s.rel("R", &["a", "b"]);
+        let t = s.rel("T", &["x"]);
+        (s, r, t)
+    }
+
+    #[test]
+    fn insert_dedups_and_preserves_ids() {
+        let (s, r, _) = schema2();
+        let mut inst = Instance::new(&s);
+        let (id1, fresh1) = inst.insert(r, &[Value::Int(1), Value::Int(2)]).unwrap();
+        let (id2, fresh2) = inst.insert(r, &[Value::Int(1), Value::Int(2)]).unwrap();
+        assert!(fresh1);
+        assert!(!fresh2);
+        assert_eq!(id1, id2);
+        assert_eq!(inst.rel_len(r), 1);
+        assert_eq!(inst.tuple(id1), &[Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let (s, r, _) = schema2();
+        let mut inst = Instance::new(&s);
+        let err = inst.insert(r, &[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, ModelError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn find_and_contains() {
+        let (s, r, t) = schema2();
+        let mut inst = Instance::new(&s);
+        inst.insert_ok(r, &[Value::Int(1), Value::Int(2)]);
+        assert!(inst.contains(r, &[Value::Int(1), Value::Int(2)]));
+        assert!(!inst.contains(r, &[Value::Int(2), Value::Int(1)]));
+        assert!(!inst.contains(t, &[Value::Int(1)]));
+        // Wrong arity never matches.
+        assert!(inst.find(r, &[Value::Int(1)]).is_none());
+    }
+
+    #[test]
+    fn probe_uses_index_and_catches_up_after_inserts() {
+        let (s, r, _) = schema2();
+        let mut inst = Instance::new(&s);
+        for i in 0..10 {
+            inst.insert_ok(r, &[Value::Int(i % 3), Value::Int(i)]);
+        }
+        let mut out = Vec::new();
+        inst.probe_into(r, 0, Value::Int(0), &mut out);
+        let expected: Vec<u32> = (0..10).filter(|i| i % 3 == 0).collect();
+        assert_eq!(out, expected);
+
+        // Insert more rows after the index exists; probe must see them.
+        inst.insert_ok(r, &[Value::Int(0), Value::Int(100)]);
+        out.clear();
+        inst.probe_into(r, 0, Value::Int(0), &mut out);
+        assert_eq!(out.len(), expected.len() + 1);
+        assert_eq!(inst.probe_len(r, 0, Value::Int(0)), expected.len() + 1);
+        assert_eq!(inst.probe_len(r, 0, Value::Int(77)), 0);
+    }
+
+    #[test]
+    fn composite_probe_matches_scan_and_catches_up() {
+        let (s, r, _) = schema2();
+        let mut inst = Instance::new(&s);
+        for i in 0..30 {
+            inst.insert_ok(r, &[Value::Int(i % 3), Value::Int(i % 5)]);
+        }
+        let mut out = Vec::new();
+        inst.probe_multi_into(r, &[0, 1], &[Value::Int(1), Value::Int(2)], &mut out);
+        let expected: Vec<u32> = (0..inst.rel_len(r))
+            .filter(|&row| {
+                let t = inst.tuple(TupleId { rel: r, row });
+                t[0] == Value::Int(1) && t[1] == Value::Int(2)
+            })
+            .collect();
+        assert_eq!(out, expected);
+        assert!(!expected.is_empty());
+        // Catch-up after later inserts: a brand-new key appears in an
+        // already-built index.
+        assert_eq!(
+            inst.probe_multi_len(r, &[0, 1], &[Value::Int(9), Value::Int(9)]),
+            0
+        );
+        inst.insert_ok(r, &[Value::Int(9), Value::Int(9)]);
+        assert_eq!(
+            inst.probe_multi_len(r, &[0, 1], &[Value::Int(9), Value::Int(9)]),
+            1
+        );
+        // Existing keys are unaffected.
+        assert_eq!(
+            inst.probe_multi_len(r, &[0, 1], &[Value::Int(1), Value::Int(2)]),
+            expected.len()
+        );
+    }
+
+    #[test]
+    fn map_values_substitutes_and_dedups() {
+        let mut pool = ValuePool::new();
+        let (s, r, _) = schema2();
+        let mut inst = Instance::new(&s);
+        let n1 = pool.named_null("N1");
+        let n2 = pool.named_null("N2");
+        inst.insert_ok(r, &[n1, Value::Int(1)]);
+        inst.insert_ok(r, &[n2, Value::Int(1)]);
+        assert_eq!(inst.rel_len(r), 2);
+        // Identify N1 and N2: the two tuples collapse into one.
+        let mapped = inst.map_values(&s, |v| if v == n2 { n1 } else { v });
+        assert_eq!(mapped.rel_len(r), 1);
+        assert!(mapped.contains(r, &[n1, Value::Int(1)]));
+    }
+
+    #[test]
+    fn containment() {
+        let (s, r, _) = schema2();
+        let mut small = Instance::new(&s);
+        let mut big = Instance::new(&s);
+        small.insert_ok(r, &[Value::Int(1), Value::Int(2)]);
+        big.insert_ok(r, &[Value::Int(1), Value::Int(2)]);
+        big.insert_ok(r, &[Value::Int(3), Value::Int(4)]);
+        assert!(small.contained_in(&big));
+        assert!(!big.contained_in(&small));
+        assert!(Instance::new(&s).contained_in(&small));
+    }
+
+    #[test]
+    fn heap_accounting_grows_with_data() {
+        let (s, r, _) = schema2();
+        let mut inst = Instance::new(&s);
+        let empty = inst.approx_heap_bytes();
+        for i in 0..1000 {
+            inst.insert_ok(r, &[Value::Int(i), Value::Int(i)]);
+        }
+        let full = inst.approx_heap_bytes();
+        assert!(full > empty);
+        // At least the raw tuple payload: 1000 rows × 2 values × 12 bytes.
+        assert!(full >= 1000 * 2 * std::mem::size_of::<Value>());
+    }
+
+    #[test]
+    fn iteration_orders() {
+        let (s, r, t) = schema2();
+        let mut inst = Instance::new(&s);
+        inst.insert_ok(r, &[Value::Int(1), Value::Int(2)]);
+        inst.insert_ok(t, &[Value::Int(9)]);
+        let all: Vec<_> = inst.all_rows().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(inst.total_tuples(), 2);
+        assert!(!inst.is_empty());
+        let rel_tuples: Vec<_> = inst.rel_tuples(r).collect();
+        assert_eq!(rel_tuples.len(), 1);
+    }
+}

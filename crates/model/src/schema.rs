@@ -1,0 +1,161 @@
+//! Relational schemas: named relations with named, positional attributes.
+
+use std::collections::HashMap;
+
+use crate::error::ModelError;
+
+/// Index of a relation within a [`Schema`].
+///
+/// `RelId`s from the source and the target schema live in separate spaces;
+/// the [`crate::Side`] of a fact disambiguates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+/// A relation declaration: a name plus an ordered list of attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl Relation {
+    /// Create a relation declaration.
+    pub fn new(name: impl Into<String>, attrs: &[&str]) -> Self {
+        Relation {
+            name: name.into(),
+            attrs: attrs.iter().map(|a| (*a).to_owned()).collect(),
+        }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes (arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names, in column order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Position of the attribute with the given name, if any.
+    pub fn attr_position(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+}
+
+/// A relational schema: an ordered collection of [`Relation`]s addressable by
+/// name or by [`RelId`].
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    rels: Vec<Relation>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Create an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a relation; returns its id.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::DuplicateRelation`] if a relation with the same
+    /// name already exists.
+    pub fn add_relation(&mut self, rel: Relation) -> Result<RelId, ModelError> {
+        if self.by_name.contains_key(rel.name()) {
+            return Err(ModelError::DuplicateRelation(rel.name().to_owned()));
+        }
+        let id = RelId(u32::try_from(self.rels.len()).expect("relation space exhausted"));
+        self.by_name.insert(rel.name().to_owned(), id);
+        self.rels.push(rel);
+        Ok(id)
+    }
+
+    /// Convenience: add a relation from a name and attribute list.
+    ///
+    /// # Panics
+    /// Panics on duplicate names; use [`Schema::add_relation`] for fallible
+    /// insertion.
+    pub fn rel(&mut self, name: &str, attrs: &[&str]) -> RelId {
+        self.add_relation(Relation::new(name, attrs))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Look up a relation id by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The relation declaration for an id.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this schema.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.rels[id.0 as usize]
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Iterate over `(RelId, &Relation)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.rels
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+
+    /// Total number of attributes across all relations (the paper's “atomic
+    /// elements” count for relational schemas, Table 1).
+    pub fn total_attrs(&self) -> usize {
+        self.rels.iter().map(Relation::arity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = Schema::new();
+        let cards = s.rel("Cards", &["cardNo", "limit", "ssn"]);
+        assert_eq!(s.rel_id("Cards"), Some(cards));
+        assert_eq!(s.relation(cards).arity(), 3);
+        assert_eq!(s.relation(cards).attr_position("ssn"), Some(2));
+        assert_eq!(s.relation(cards).attr_position("bogus"), None);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut s = Schema::new();
+        s.rel("R", &["a"]);
+        let err = s.add_relation(Relation::new("R", &["b"])).unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn iteration_order_is_declaration_order() {
+        let mut s = Schema::new();
+        s.rel("A", &["x"]);
+        s.rel("B", &["x", "y"]);
+        let names: Vec<_> = s.iter().map(|(_, r)| r.name().to_owned()).collect();
+        assert_eq!(names, ["A", "B"]);
+        assert_eq!(s.total_attrs(), 3);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

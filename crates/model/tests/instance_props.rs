@@ -1,0 +1,104 @@
+//! Property tests for the instance store: set semantics, stable ids, index
+//! consistency under interleaved inserts and probes, and `map_values`
+//! correctness.
+
+use proptest::prelude::*;
+use routes_model::{Instance, Schema, TupleId, Value};
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<i64>),
+    Probe { col: usize, value: i64 },
+}
+
+fn op_strategy(arity: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => prop::collection::vec(0i64..6, arity).prop_map(Op::Insert),
+        1 => (0usize..arity, 0i64..6).prop_map(|(col, value)| Op::Probe { col, value }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn interleaved_inserts_and_probes_stay_consistent(
+        ops in prop::collection::vec(op_strategy(2), 0..60)
+    ) {
+        let mut schema = Schema::new();
+        let rel = schema.rel("R", &["a", "b"]);
+        let mut inst = Instance::new(&schema);
+        // Model: the set of tuples inserted so far.
+        let mut model: Vec<Vec<i64>> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(row) => {
+                    let values: Vec<Value> = row.iter().map(|&v| Value::Int(v)).collect();
+                    let (id, fresh) = inst.insert(rel, &values).unwrap();
+                    let existed = model.contains(&row);
+                    prop_assert_eq!(fresh, !existed, "set semantics");
+                    if !existed {
+                        model.push(row.clone());
+                    }
+                    // Stable id: the id's row indexes the value in insertion
+                    // order of distinct tuples.
+                    prop_assert_eq!(
+                        inst.tuple(id).to_vec(),
+                        values
+                    );
+                }
+                Op::Probe { col, value } => {
+                    let mut rows = Vec::new();
+                    inst.probe_into(rel, col as u32, Value::Int(value), &mut rows);
+                    let expected: Vec<u32> = model
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t[col] == value)
+                        .map(|(k, _)| k as u32)
+                        .collect();
+                    prop_assert_eq!(&rows, &expected, "index agrees with scan");
+                    prop_assert_eq!(
+                        inst.probe_len(rel, col as u32, Value::Int(value)),
+                        expected.len()
+                    );
+                }
+            }
+        }
+        // Final state: lengths and membership agree with the model.
+        prop_assert_eq!(inst.rel_len(rel) as usize, model.len());
+        for (k, row) in model.iter().enumerate() {
+            let values: Vec<Value> = row.iter().map(|&v| Value::Int(v)).collect();
+            prop_assert_eq!(
+                inst.find(rel, &values),
+                Some(TupleId { rel, row: k as u32 })
+            );
+        }
+    }
+
+    #[test]
+    fn map_values_is_a_set_image(rows in prop::collection::vec(prop::collection::vec(0i64..5, 2), 0..30)) {
+        let mut schema = Schema::new();
+        let rel = schema.rel("R", &["a", "b"]);
+        let mut inst = Instance::new(&schema);
+        for row in &rows {
+            let values: Vec<Value> = row.iter().map(|&v| Value::Int(v)).collect();
+            inst.insert(rel, &values).unwrap();
+        }
+        // Collapse all values mod 2: the image must be exactly the set image.
+        let mapped = inst.map_values(&schema, |v| match v {
+            Value::Int(n) => Value::Int(n % 2),
+            other => other,
+        });
+        let expected: HashSet<Vec<i64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|v| v % 2).collect())
+            .collect();
+        prop_assert_eq!(mapped.rel_len(rel) as usize, expected.len());
+        for row in expected {
+            let values: Vec<Value> = row.iter().map(|&v| Value::Int(v)).collect();
+            prop_assert!(mapped.contains(rel, &values));
+        }
+    }
+}

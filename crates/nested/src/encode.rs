@@ -1,0 +1,317 @@
+//! Relational encoding of nested schemas and instances.
+//!
+//! Each record type becomes a relation `Type(self, parent, attrs...)`:
+//! * `self` — the node's identity (`Int(node_id + 1)` for encoded source
+//!   data; labeled nulls or copied ids for chase-produced targets),
+//! * `parent` — the parent node's `self`, or the virtual root id `Int(0)`
+//!   for root records.
+//!
+//! The route algorithms run unchanged on the encoding; the id columns are
+//! exactly what makes deep selections cheap (paper Figure 11): an anchored
+//! deep element determines its whole ancestor chain through indexed `self`
+//! lookups.
+
+use std::collections::HashMap;
+
+use routes_model::{Instance, RelId, Schema, TupleId, Value};
+
+use crate::instance::{NestedInstance, Node, NodeId};
+use crate::schema::{NestedSchema, NodeTypeId};
+
+/// The virtual parent id used for root records.
+pub const VIRTUAL_ROOT: Value = Value::Int(0);
+
+/// A nested schema lowered to a flat schema.
+#[derive(Debug, Clone)]
+pub struct EncodedSchema {
+    /// The flat schema (one relation per record type).
+    pub schema: Schema,
+    /// Relation id per record type (indexed by `NodeTypeId`).
+    pub rel_of_type: Vec<RelId>,
+}
+
+/// Encode a nested schema: relation `T(self, parent, attrs...)` per type.
+pub fn encode_schema(nested: &NestedSchema) -> EncodedSchema {
+    let mut schema = Schema::new();
+    let mut rel_of_type = Vec::with_capacity(nested.num_types());
+    for (_, ty) in nested.iter() {
+        let mut attrs: Vec<&str> = vec!["self", "parent"];
+        attrs.extend(ty.attrs().iter().map(String::as_str));
+        rel_of_type.push(schema.rel(ty.name(), &attrs));
+    }
+    EncodedSchema { schema, rel_of_type }
+}
+
+/// A nested instance lowered to a flat instance, with identity maps.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// The flat instance.
+    pub instance: Instance,
+    /// Tuple id per node (indexed by `NodeId`).
+    pub node_to_tuple: Vec<TupleId>,
+    /// Node per tuple id.
+    pub tuple_to_node: HashMap<TupleId, NodeId>,
+}
+
+/// The encoded `self` id of a node.
+pub fn self_id(node: NodeId) -> Value {
+    Value::Int(i64::from(node.0) + 1)
+}
+
+/// Encode a nested instance against its encoded schema.
+pub fn encode_instance(
+    nested_schema: &NestedSchema,
+    encoded: &EncodedSchema,
+    inst: &NestedInstance,
+) -> Encoded {
+    let _ = nested_schema;
+    let mut out = Instance::new(&encoded.schema);
+    let mut node_to_tuple = Vec::with_capacity(inst.len());
+    let mut tuple_to_node = HashMap::with_capacity(inst.len());
+    let mut buf: Vec<Value> = Vec::new();
+    for id in inst.iter() {
+        let node = inst.node(id);
+        buf.clear();
+        buf.push(self_id(id));
+        buf.push(node.parent.map_or(VIRTUAL_ROOT, self_id));
+        buf.extend_from_slice(&node.values);
+        let rel = encoded.rel_of_type[node.ty.0 as usize];
+        let (tid, fresh) = out.insert(rel, &buf).expect("arity matches encoding");
+        debug_assert!(fresh, "node ids make encoded tuples unique");
+        node_to_tuple.push(tid);
+        tuple_to_node.insert(tid, id);
+    }
+    Encoded {
+        instance: out,
+        node_to_tuple,
+        tuple_to_node,
+    }
+}
+
+/// Decode a flat instance (over an encoded schema) back into a nested
+/// instance — used to render chase-produced targets as trees.
+///
+/// Tolerant by construction: nodes whose `parent` id cannot be resolved
+/// (e.g. a labeled null with no matching `self`) become roots.
+pub fn decode_instance(
+    nested_schema: &NestedSchema,
+    encoded: &EncodedSchema,
+    inst: &Instance,
+) -> NestedInstance {
+    // First pass: create all nodes, remembering their encoded self ids.
+    let mut out = NestedInstance::new();
+    let mut by_self: HashMap<Value, NodeId> = HashMap::new();
+    let mut decoded: Vec<(NodeId, Value)> = Vec::new(); // (node, parent self id)
+    for (ty_id, _) in nested_schema.iter() {
+        let rel = encoded.rel_of_type[ty_id.0 as usize];
+        for (_, values) in inst.rel_tuples(rel) {
+            let node = out.push_unchecked(Node {
+                ty: ty_id,
+                parent: None,
+                values: values[2..].to_vec(),
+                children: Vec::new(),
+            });
+            by_self.insert(values[0], node);
+            decoded.push((node, values[1]));
+        }
+    }
+    // Second pass: rebuild parent/child links, materializing parents before
+    // their children (children lists are built on insertion).
+    let mut relinked = NestedInstance::new();
+    let mut mapping: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut remaining = decoded;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        let mut deferred: Vec<(NodeId, Value)> = Vec::new();
+        for (node, parent_self) in remaining {
+            // Some(parent) = ready to insert; None = parent not yet placed.
+            let resolution: Option<Option<NodeId>> = if parent_self == VIRTUAL_ROOT {
+                Some(None)
+            } else {
+                match by_self.get(&parent_self) {
+                    Some(p) => mapping.get(p).map(|&mapped| Some(mapped)),
+                    None => Some(None), // unresolvable parent: orphan → root
+                }
+            };
+            match resolution {
+                Some(parent) => {
+                    let src = out.node(node);
+                    let new = relinked.push_unchecked(Node {
+                        ty: src.ty,
+                        parent,
+                        values: src.values.clone(),
+                        children: Vec::new(),
+                    });
+                    mapping.insert(node, new);
+                }
+                None => deferred.push((node, parent_self)),
+            }
+        }
+        if deferred.len() == before {
+            // Only parent cycles remain; promote them all to roots.
+            for (node, _) in deferred.drain(..) {
+                let src = out.node(node);
+                let new = relinked.push_unchecked(Node {
+                    ty: src.ty,
+                    parent: None,
+                    values: src.values.clone(),
+                    children: Vec::new(),
+                });
+                mapping.insert(node, new);
+            }
+        }
+        remaining = deferred;
+    }
+    relinked
+}
+
+/// Generate the parser text of a tgd that copies one root-to-leaf path from
+/// a source encoding to a target encoding with *identity* node ids (the
+/// target reuses the source node ids as values).
+///
+/// `src_path` is the chain of source types (root first); `dst_names` the
+/// corresponding target relation names. Attribute lists must match level by
+/// level.
+pub fn copy_tree_tgd(
+    name: &str,
+    src: &NestedSchema,
+    src_path: &[NodeTypeId],
+    dst_names: &[&str],
+) -> String {
+    assert_eq!(src_path.len(), dst_names.len());
+    assert!(!src_path.is_empty());
+    let mut lhs: Vec<String> = Vec::new();
+    let mut rhs: Vec<String> = Vec::new();
+    for (level, (&ty, dst)) in src_path.iter().zip(dst_names).enumerate() {
+        let t = src.node_type(ty);
+        let self_var = format!("n{level}_self");
+        let parent_var = if level == 0 {
+            "rp".to_owned()
+        } else {
+            format!("n{}_self", level - 1)
+        };
+        let attr_vars: Vec<String> = t
+            .attrs()
+            .iter()
+            .enumerate()
+            .map(|(k, _)| format!("n{level}_a{k}"))
+            .collect();
+        let args = |vars: &[String]| -> String {
+            let mut all = vec![self_var.clone(), parent_var.clone()];
+            all.extend(vars.iter().cloned());
+            all.join(", ")
+        };
+        lhs.push(format!("{}({})", t.name(), args(&attr_vars)));
+        rhs.push(format!("{}({})", dst, args(&attr_vars)));
+    }
+    format!("{name}: {} -> {}", lhs.join(" & "), rhs.join(" & "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_model::ValuePool;
+
+    fn two_level() -> (NestedSchema, NestedInstance) {
+        let mut s = NestedSchema::new();
+        let region = s.add_root("Region0", &["name"]);
+        let nation = s.add_child(region, "Nation0", &["name"]);
+        let mut inst = NestedInstance::new();
+        let mut pool = ValuePool::new();
+        let asia = pool.str("ASIA");
+        let japan = pool.str("JAPAN");
+        let china = pool.str("CHINA");
+        let r = inst.add_root(&s, region, &[asia]);
+        inst.add_child(&s, r, nation, &[japan]);
+        inst.add_child(&s, r, nation, &[china]);
+        (s, inst)
+    }
+
+    #[test]
+    fn encode_produces_self_parent_columns() {
+        let (s, inst) = two_level();
+        let enc_schema = encode_schema(&s);
+        assert_eq!(enc_schema.schema.len(), 2);
+        let region_rel = enc_schema.schema.rel_id("Region0").unwrap();
+        assert_eq!(
+            enc_schema.schema.relation(region_rel).attrs(),
+            &["self", "parent", "name"]
+        );
+        let enc = encode_instance(&s, &enc_schema, &inst);
+        assert_eq!(enc.instance.total_tuples(), 3);
+        // Root region has parent = VIRTUAL_ROOT; nations point at it.
+        let region_tuple = enc.instance.tuple(enc.node_to_tuple[0]);
+        assert_eq!(region_tuple[1], VIRTUAL_ROOT);
+        let nation_tuple = enc.instance.tuple(enc.node_to_tuple[1]);
+        assert_eq!(nation_tuple[1], region_tuple[0]);
+        // Identity maps are inverses.
+        for id in inst.iter() {
+            let tid = enc.node_to_tuple[id.0 as usize];
+            assert_eq!(enc.tuple_to_node[&tid], id);
+        }
+    }
+
+    #[test]
+    fn decode_roundtrips() {
+        let (s, inst) = two_level();
+        let enc_schema = encode_schema(&s);
+        let enc = encode_instance(&s, &enc_schema, &inst);
+        let back = decode_instance(&s, &enc_schema, &enc.instance);
+        assert_eq!(back.len(), inst.len());
+        assert_eq!(back.roots().len(), 1);
+        let root = back.roots()[0];
+        assert_eq!(back.node(root).children.len(), 2);
+        // Depths preserved.
+        for id in back.iter() {
+            assert!(back.depth_of(id) <= 2);
+        }
+    }
+
+    #[test]
+    fn decode_tolerates_orphans() {
+        let (s, _) = two_level();
+        let enc_schema = encode_schema(&s);
+        let mut inst = Instance::new(&enc_schema.schema);
+        let nation = enc_schema.schema.rel_id("Nation0").unwrap();
+        // A nation whose parent id (77) resolves to nothing.
+        inst.insert_ok(nation, &[Value::Int(5), Value::Int(77), Value::Int(1)]);
+        let back = decode_instance(&s, &enc_schema, &inst);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.roots().len(), 1);
+    }
+
+    #[test]
+    fn copy_tree_tgd_text_parses() {
+        let (s, inst) = two_level();
+        let enc_src = encode_schema(&s);
+        // Target: same shapes, different names.
+        let mut d = NestedSchema::new();
+        let r1 = d.add_root("Region1", &["name"]);
+        d.add_child(r1, "Nation1", &["name"]);
+        let enc_dst = encode_schema(&d);
+
+        let path = s.path_to(s.type_by_name("Nation0").unwrap());
+        let text = copy_tree_tgd("copy", &s, &path, &["Region1", "Nation1"]);
+        let mut pool = ValuePool::new();
+        let tgd = routes_mapping::parse_st_tgd(&enc_src.schema, &enc_dst.schema, &mut pool, &text)
+            .unwrap();
+        assert_eq!(tgd.lhs().len(), 2);
+        assert_eq!(tgd.rhs().len(), 2);
+        // Identity copy: no existential variables.
+        assert_eq!(tgd.existential_vars().count(), 0);
+
+        // End-to-end: chase the encoded instance and check the copy.
+        let enc = encode_instance(&s, &enc_src, &inst);
+        let mut mapping =
+            routes_mapping::SchemaMapping::new(enc_src.schema.clone(), enc_dst.schema.clone());
+        mapping.add_st_tgd(tgd).unwrap();
+        let result =
+            routes_chase::chase(&mapping, &enc.instance, &mut pool, routes_chase::ChaseOptions::skolem())
+                .unwrap();
+        assert_eq!(result.target.total_tuples(), 3);
+        let back = decode_instance(&d, &enc_dst, &result.target);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.roots().len(), 1);
+        assert_eq!(back.node(back.roots()[0]).children.len(), 2);
+    }
+}

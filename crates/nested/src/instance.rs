@@ -1,0 +1,186 @@
+//! Nested instances: concrete trees over a [`crate::NestedSchema`].
+
+use routes_model::Value;
+
+use crate::schema::{NestedSchema, NodeTypeId};
+
+/// Index of a node within a [`NestedInstance`].
+///
+/// Node id 0 is reserved for the virtual root (so encoded `self` ids, which
+/// are `node_id + 1`... see [`crate::encode`]); real nodes start at 0 here
+/// and the encoding shifts them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// One record node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node's record type.
+    pub ty: NodeTypeId,
+    /// Parent node, or `None` for roots.
+    pub parent: Option<NodeId>,
+    /// Atomic attribute values (matching the type's attrs).
+    pub values: Vec<Value>,
+    /// Child nodes, in insertion order.
+    pub children: Vec<NodeId>,
+}
+
+/// A forest of record nodes.
+#[derive(Debug, Clone, Default)]
+pub struct NestedInstance {
+    nodes: Vec<Node>,
+    roots: Vec<NodeId>,
+}
+
+impl NestedInstance {
+    /// An empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        if let Some(p) = node.parent {
+            self.nodes[p.0 as usize].children.push(id);
+        } else {
+            self.roots.push(id);
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    /// Add a root node.
+    ///
+    /// # Panics
+    /// Panics if the value count does not match the type's attribute count.
+    pub fn add_root(&mut self, schema: &NestedSchema, ty: NodeTypeId, values: &[Value]) -> NodeId {
+        assert_eq!(values.len(), schema.node_type(ty).attrs().len());
+        assert!(schema.node_type(ty).parent().is_none(), "type is not a root");
+        self.push(Node {
+            ty,
+            parent: None,
+            values: values.to_vec(),
+            children: Vec::new(),
+        })
+    }
+
+    /// Add a child node under `parent`.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or if the type's parent does not match the
+    /// parent node's type.
+    pub fn add_child(
+        &mut self,
+        schema: &NestedSchema,
+        parent: NodeId,
+        ty: NodeTypeId,
+        values: &[Value],
+    ) -> NodeId {
+        assert_eq!(values.len(), schema.node_type(ty).attrs().len());
+        assert_eq!(
+            schema.node_type(ty).parent(),
+            Some(self.node(parent).ty),
+            "child type must be declared under the parent's type"
+        );
+        self.push(Node {
+            ty,
+            parent: Some(parent),
+            values: values.to_vec(),
+            children: Vec::new(),
+        })
+    }
+
+    /// Insert a node without schema checks (used by the decoder, which must
+    /// tolerate solutions whose parent links point at labeled nulls).
+    pub(crate) fn push_unchecked(&mut self, node: Node) -> NodeId {
+        self.push(node)
+    }
+
+    /// The node for an id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Root nodes.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the instance has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate over all node ids.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Nodes of a given type.
+    pub fn nodes_of_type(&self, ty: NodeTypeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().filter(move |&id| self.node(id).ty == ty)
+    }
+
+    /// Depth of a node (roots have depth 1).
+    pub fn depth_of(&self, id: NodeId) -> usize {
+        let mut depth = 1;
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            depth += 1;
+            cur = p;
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> (NestedSchema, NestedInstance, NodeId, NodeId) {
+        let mut s = NestedSchema::new();
+        let region = s.add_root("Region", &["name"]);
+        let nation = s.add_child(region, "Nation", &["name"]);
+        let mut inst = NestedInstance::new();
+        let r = inst.add_root(&s, region, &[Value::Int(1)]);
+        let n = inst.add_child(&s, r, nation, &[Value::Int(2)]);
+        (s, inst, r, n)
+    }
+
+    #[test]
+    fn tree_structure() {
+        let (_, inst, r, n) = build();
+        assert_eq!(inst.roots(), &[r]);
+        assert_eq!(inst.node(r).children, vec![n]);
+        assert_eq!(inst.node(n).parent, Some(r));
+        assert_eq!(inst.depth_of(r), 1);
+        assert_eq!(inst.depth_of(n), 2);
+        assert_eq!(inst.len(), 2);
+        assert!(!inst.is_empty());
+    }
+
+    #[test]
+    fn nodes_of_type() {
+        let (s, inst, _, n) = build();
+        let nation = s.type_by_name("Nation").unwrap();
+        let nodes: Vec<_> = inst.nodes_of_type(nation).collect();
+        assert_eq!(nodes, vec![n]);
+    }
+
+    #[test]
+    #[should_panic(expected = "child type must be declared under")]
+    fn wrong_parent_type_panics() {
+        let mut s = NestedSchema::new();
+        let a = s.add_root("A", &[]);
+        let b = s.add_root("B", &[]);
+        let c = s.add_child(a, "C", &[]);
+        let mut inst = NestedInstance::new();
+        let broot = inst.add_root(&s, b, &[]);
+        inst.add_child(&s, broot, c, &[]); // C's parent type is A, not B
+    }
+}

@@ -1,0 +1,40 @@
+//! Nested relational model for hierarchical (XML-style) schema mappings.
+//!
+//! The paper's implementation handles relational/XML-to-relational/XML
+//! mappings by working in a nested relational model (§3.3). This crate
+//! provides that model and its **relational encoding**, which is how the
+//! route algorithms (defined over flat instances) run on hierarchical data:
+//!
+//! * [`NestedSchema`] — a tree of record types, each with atomic attributes
+//!   and set-valued children.
+//! * [`NestedInstance`] — a node arena holding concrete trees.
+//! * [`encode`] — lower a nested schema/instance to a flat [`routes_model::Schema`] /
+//!   [`routes_model::Instance`]: each record type becomes a relation whose first two
+//!   columns are the node's `self` id and its `parent` id (roots use the
+//!   virtual parent id `0`). Node identity ↔ tuple identity maps are
+//!   returned so target-side selections can be phrased as "the element at
+//!   depth *d*" (paper Figure 11).
+//! * [`copy_tree_tgd`] — generate the parser text of a tgd that copies a
+//!   root-to-leaf path between two encodings (the deep-hierarchy scenario's
+//!   single s-t tgd, and the flat-hierarchy copying tgds).
+//! * [`to_xmlish`] — indented XML-style rendering for examples.
+//!
+//! Why the encoding preserves the paper's Figure 11 behaviour: probing a
+//! deeply nested element pre-binds the variables of every level at and below
+//! it in the copying tgd's anchor atom, plus the parent chain resolves by
+//! indexed `self`-column lookups, so the residual `findHom` queries shrink
+//! with depth — the same mechanism the paper attributes to "more variables
+//! will be instantiated in the selection queries".
+
+pub mod encode;
+pub mod instance;
+pub mod schema;
+pub mod xmlish;
+
+pub use encode::{
+    copy_tree_tgd, decode_instance, encode_instance, encode_schema, self_id, Encoded,
+    EncodedSchema, VIRTUAL_ROOT,
+};
+pub use instance::{NestedInstance, Node, NodeId};
+pub use schema::{NestedSchema, NodeType, NodeTypeId};
+pub use xmlish::to_xmlish;

@@ -1,0 +1,202 @@
+//! Nested schemas: trees of record types.
+
+use std::collections::HashMap;
+
+/// Index of a record type within a [`NestedSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeTypeId(pub u32);
+
+/// A record type: a name, atomic attributes, and set-valued child types.
+#[derive(Debug, Clone)]
+pub struct NodeType {
+    name: String,
+    attrs: Vec<String>,
+    parent: Option<NodeTypeId>,
+    children: Vec<NodeTypeId>,
+}
+
+impl NodeType {
+    /// The type name (also the relation name in the encoding).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Atomic attribute names.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// The parent type, if this is not a root type.
+    pub fn parent(&self) -> Option<NodeTypeId> {
+        self.parent
+    }
+
+    /// Child types.
+    pub fn children(&self) -> &[NodeTypeId] {
+        &self.children
+    }
+}
+
+/// A nested schema: a forest of record types.
+#[derive(Debug, Clone, Default)]
+pub struct NestedSchema {
+    types: Vec<NodeType>,
+    roots: Vec<NodeTypeId>,
+    by_name: HashMap<String, NodeTypeId>,
+}
+
+impl NestedSchema {
+    /// An empty nested schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add(&mut self, name: &str, attrs: &[&str], parent: Option<NodeTypeId>) -> NodeTypeId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate record type `{name}`"
+        );
+        let id = NodeTypeId(self.types.len() as u32);
+        self.types.push(NodeType {
+            name: name.to_owned(),
+            attrs: attrs.iter().map(|a| (*a).to_owned()).collect(),
+            parent,
+            children: Vec::new(),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        if let Some(p) = parent {
+            self.types[p.0 as usize].children.push(id);
+        } else {
+            self.roots.push(id);
+        }
+        id
+    }
+
+    /// Add a root record type (a top-level set).
+    pub fn add_root(&mut self, name: &str, attrs: &[&str]) -> NodeTypeId {
+        self.add(name, attrs, None)
+    }
+
+    /// Add a child record type nested under `parent`.
+    pub fn add_child(&mut self, parent: NodeTypeId, name: &str, attrs: &[&str]) -> NodeTypeId {
+        self.add(name, attrs, Some(parent))
+    }
+
+    /// The type for an id.
+    pub fn node_type(&self, id: NodeTypeId) -> &NodeType {
+        &self.types[id.0 as usize]
+    }
+
+    /// Look up a type by name.
+    pub fn type_by_name(&self, name: &str) -> Option<NodeTypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Root types.
+    pub fn roots(&self) -> &[NodeTypeId] {
+        &self.roots
+    }
+
+    /// Number of record types.
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Iterate over all types with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeTypeId, &NodeType)> {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (NodeTypeId(i as u32), t))
+    }
+
+    /// Nesting depth of a type: 1 for roots, parent depth + 1 otherwise.
+    pub fn depth_of(&self, id: NodeTypeId) -> usize {
+        let mut depth = 1;
+        let mut cur = id;
+        while let Some(p) = self.node_type(cur).parent() {
+            depth += 1;
+            cur = p;
+        }
+        depth
+    }
+
+    /// Maximum nesting depth (Table 1's "Nest. depth").
+    pub fn max_depth(&self) -> usize {
+        self.iter().map(|(id, _)| self.depth_of(id)).max().unwrap_or(0)
+    }
+
+    /// Number of atomic elements (Table 1's "Atomic elems"): the attribute
+    /// count across all record types.
+    pub fn atomic_elements(&self) -> usize {
+        self.types.iter().map(|t| t.attrs.len()).sum()
+    }
+
+    /// Total elements (Table 1's "Total elems"): atomic elements plus one
+    /// element per record type (the set/record nodes themselves).
+    pub fn total_elements(&self) -> usize {
+        self.atomic_elements() + self.num_types()
+    }
+
+    /// The root-to-`id` chain of types, root first.
+    pub fn path_to(&self, id: NodeTypeId) -> Vec<NodeTypeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.node_type(cur).parent() {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region_chain() -> (NestedSchema, Vec<NodeTypeId>) {
+        let mut s = NestedSchema::new();
+        let region = s.add_root("Region", &["name"]);
+        let nation = s.add_child(region, "Nation", &["name"]);
+        let customer = s.add_child(nation, "Customer", &["name", "acctbal"]);
+        let orders = s.add_child(customer, "Orders", &["totalprice"]);
+        let lineitem = s.add_child(orders, "Lineitem", &["quantity", "price"]);
+        (s, vec![region, nation, customer, orders, lineitem])
+    }
+
+    #[test]
+    fn depths_and_paths() {
+        let (s, ids) = region_chain();
+        assert_eq!(s.depth_of(ids[0]), 1);
+        assert_eq!(s.depth_of(ids[4]), 5);
+        assert_eq!(s.max_depth(), 5);
+        assert_eq!(s.path_to(ids[4]), ids);
+        assert_eq!(s.roots(), &[ids[0]]);
+    }
+
+    #[test]
+    fn element_counts() {
+        let (s, _) = region_chain();
+        assert_eq!(s.num_types(), 5);
+        assert_eq!(s.atomic_elements(), 1 + 1 + 2 + 1 + 2);
+        assert_eq!(s.total_elements(), 7 + 5);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (s, ids) = region_chain();
+        assert_eq!(s.type_by_name("Customer"), Some(ids[2]));
+        assert_eq!(s.type_by_name("Nope"), None);
+        assert_eq!(s.node_type(ids[1]).parent(), Some(ids[0]));
+        assert_eq!(s.node_type(ids[1]).children(), &[ids[2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate record type")]
+    fn duplicate_names_panic() {
+        let mut s = NestedSchema::new();
+        s.add_root("A", &[]);
+        s.add_root("A", &[]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Indented XML-style rendering of nested instances (for examples and the
+//! debugger's data views).
+
+use routes_model::ValuePool;
+
+use crate::instance::{NestedInstance, NodeId};
+use crate::schema::NestedSchema;
+
+/// Render the whole instance as indented XML-ish text.
+pub fn to_xmlish(schema: &NestedSchema, inst: &NestedInstance, pool: &ValuePool) -> String {
+    let mut out = String::new();
+    for &root in inst.roots() {
+        render(schema, inst, pool, root, 0, &mut out);
+    }
+    out
+}
+
+fn render(
+    schema: &NestedSchema,
+    inst: &NestedInstance,
+    pool: &ValuePool,
+    id: NodeId,
+    indent: usize,
+    out: &mut String,
+) {
+    let node = inst.node(id);
+    let ty = schema.node_type(node.ty);
+    let pad = "  ".repeat(indent);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(ty.name());
+    for (attr, &value) in ty.attrs().iter().zip(&node.values) {
+        out.push(' ');
+        out.push_str(attr);
+        out.push_str("=\"");
+        out.push_str(&pool.value_to_string(value));
+        out.push('"');
+    }
+    if node.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push_str(">\n");
+    for &child in &node.children {
+        render(schema, inst, pool, child, indent + 1, out);
+    }
+    out.push_str(&pad);
+    out.push_str("</");
+    out.push_str(ty.name());
+    out.push_str(">\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_model::Value;
+
+    #[test]
+    fn renders_nested_tree() {
+        let mut s = NestedSchema::new();
+        let region = s.add_root("Region", &["name"]);
+        let nation = s.add_child(region, "Nation", &["name"]);
+        let mut pool = ValuePool::new();
+        let mut inst = NestedInstance::new();
+        let asia = pool.str("ASIA");
+        let japan = pool.str("JAPAN");
+        let r = inst.add_root(&s, region, &[asia]);
+        inst.add_child(&s, r, nation, &[japan]);
+        let xml = to_xmlish(&s, &inst, &pool);
+        assert_eq!(
+            xml,
+            "<Region name=\"ASIA\">\n  <Nation name=\"JAPAN\"/>\n</Region>\n"
+        );
+    }
+
+    #[test]
+    fn empty_instance_renders_empty() {
+        let s = NestedSchema::new();
+        let inst = NestedInstance::new();
+        let pool = ValuePool::new();
+        assert_eq!(to_xmlish(&s, &inst, &pool), "");
+    }
+
+    #[test]
+    fn nulls_render_with_labels() {
+        let mut s = NestedSchema::new();
+        let t = s.add_root("T", &["v"]);
+        let mut pool = ValuePool::new();
+        let n = pool.named_null("N1");
+        let mut inst = NestedInstance::new();
+        inst.add_root(&s, t, &[n]);
+        inst.add_root(&s, t, &[Value::Int(3)]);
+        let xml = to_xmlish(&s, &inst, &pool);
+        assert!(xml.contains("v=\"N1\""));
+        assert!(xml.contains("v=\"3\""));
+    }
+}

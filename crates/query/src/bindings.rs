@@ -1,0 +1,184 @@
+//! Dense partial variable assignments.
+
+use routes_model::{Value, Var};
+
+/// A partial assignment of formula variables to values, stored densely and
+/// indexed by [`Var`].
+///
+/// A `Bindings` of capacity `n` covers variables `Var(0)..Var(n)`. Reading an
+/// out-of-range variable returns `None` (unbound); writing one panics, since
+/// it indicates the formula's variable space was sized wrong.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bindings {
+    vals: Vec<Option<Value>>,
+}
+
+impl Bindings {
+    /// An all-unbound assignment for `var_count` variables.
+    pub fn new(var_count: usize) -> Self {
+        Bindings {
+            vals: vec![None; var_count],
+        }
+    }
+
+    /// Number of variable slots.
+    pub fn capacity(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The value bound to `v`, if any.
+    #[inline]
+    pub fn get(&self, v: Var) -> Option<Value> {
+        self.vals.get(v.0 as usize).copied().flatten()
+    }
+
+    /// Whether `v` is bound.
+    #[inline]
+    pub fn is_bound(&self, v: Var) -> bool {
+        self.get(v).is_some()
+    }
+
+    /// Bind `v` to `value`, returning the previous value.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside this assignment's variable space.
+    #[inline]
+    pub fn set(&mut self, v: Var, value: Value) -> Option<Value> {
+        self.vals[v.0 as usize].replace(value)
+    }
+
+    /// Unbind `v`.
+    #[inline]
+    pub fn unset(&mut self, v: Var) {
+        self.vals[v.0 as usize] = None;
+    }
+
+    /// Try to bind `v` to `value`; fails (returns `false`, leaving the
+    /// binding untouched) if `v` is already bound to a *different* value.
+    /// Binding to an equal value succeeds without change.
+    #[inline]
+    pub fn unify(&mut self, v: Var, value: Value) -> bool {
+        match self.get(v) {
+            Some(existing) => existing == value,
+            None => {
+                self.set(v, value);
+                true
+            }
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn bound_count(&self) -> usize {
+        self.vals.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Whether every slot is bound.
+    pub fn is_total(&self) -> bool {
+        self.vals.iter().all(Option::is_some)
+    }
+
+    /// Iterate over `(Var, Value)` pairs for bound variables in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Value)> + '_ {
+        self.vals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|val| (Var(i as u32), val)))
+    }
+
+    /// Extract a total assignment as a dense vector, or `None` if any
+    /// variable is unbound.
+    pub fn to_total(&self) -> Option<Vec<Value>> {
+        self.vals.iter().copied().collect()
+    }
+
+    /// Merge `other` into `self`: every binding of `other` must be absent
+    /// from or equal to the binding in `self`. Returns `false` (and leaves
+    /// `self` partially updated only on the consistent prefix — callers treat
+    /// failure as fatal) on conflict.
+    pub fn absorb(&mut self, other: &Bindings) -> bool {
+        other.iter().all(|(v, val)| self.unify(v, val))
+    }
+}
+
+/// Unify an atom's terms against a concrete tuple's values, extending `b`.
+///
+/// Fails (returning `false`) if a constant term differs from the tuple value
+/// or a variable is already bound to a different value; on failure `b` is
+/// left with whatever bindings were made before the conflict (callers either
+/// discard it or track a trail). This is step 1 (`v1`) of the paper's
+/// `findHom` and the anchor step of the semi-naive chase.
+pub fn unify_atom(atom: &routes_model::Atom, values: &[Value], b: &mut Bindings) -> bool {
+    debug_assert_eq!(atom.terms.len(), values.len());
+    atom.terms
+        .iter()
+        .zip(values.iter())
+        .all(|(term, &actual)| match term {
+            routes_model::Term::Const(c) => *c == actual,
+            routes_model::Term::Var(v) => b.unify(*v, actual),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut b = Bindings::new(3);
+        assert!(!b.is_bound(Var(1)));
+        assert_eq!(b.set(Var(1), Value::Int(5)), None);
+        assert_eq!(b.get(Var(1)), Some(Value::Int(5)));
+        assert_eq!(b.bound_count(), 1);
+        b.unset(Var(1));
+        assert!(!b.is_bound(Var(1)));
+    }
+
+    #[test]
+    fn unify_respects_existing_bindings() {
+        let mut b = Bindings::new(2);
+        assert!(b.unify(Var(0), Value::Int(1)));
+        assert!(b.unify(Var(0), Value::Int(1)));
+        assert!(!b.unify(Var(0), Value::Int(2)));
+        assert_eq!(b.get(Var(0)), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn out_of_range_reads_are_unbound() {
+        let b = Bindings::new(1);
+        assert_eq!(b.get(Var(7)), None);
+    }
+
+    #[test]
+    fn totality() {
+        let mut b = Bindings::new(2);
+        assert!(!b.is_total());
+        assert_eq!(b.to_total(), None);
+        b.set(Var(0), Value::Int(1));
+        b.set(Var(1), Value::Int(2));
+        assert!(b.is_total());
+        assert_eq!(b.to_total(), Some(vec![Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn absorb_merges_and_detects_conflicts() {
+        let mut a = Bindings::new(3);
+        a.set(Var(0), Value::Int(1));
+        let mut b = Bindings::new(3);
+        b.set(Var(1), Value::Int(2));
+        assert!(a.absorb(&b));
+        assert_eq!(a.get(Var(1)), Some(Value::Int(2)));
+
+        let mut c = Bindings::new(3);
+        c.set(Var(0), Value::Int(9));
+        assert!(!a.absorb(&c));
+    }
+
+    #[test]
+    fn iter_yields_bound_pairs_in_order() {
+        let mut b = Bindings::new(4);
+        b.set(Var(2), Value::Int(20));
+        b.set(Var(0), Value::Int(0));
+        let pairs: Vec<_> = b.iter().collect();
+        assert_eq!(pairs, [(Var(0), Value::Int(0)), (Var(2), Value::Int(20))]);
+    }
+}

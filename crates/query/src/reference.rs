@@ -1,0 +1,99 @@
+//! A deliberately naive conjunctive-query evaluator used as a differential
+//! test oracle for [`crate::eval`].
+//!
+//! No planning, no indexes: atoms are processed in the order given, each by a
+//! full relation scan. Correct and obviously so — and far too slow for real
+//! workloads, which is exactly the contrast the paper draws between in-memory
+//! top-down resolution and pushing `findHom` queries to the database (§5.2).
+
+use routes_model::{Atom, Instance, Term, TupleId};
+
+use crate::bindings::Bindings;
+
+/// All matches of the conjunction, by brute-force nested loops.
+pub fn all_matches_naive(inst: &Instance, atoms: &[Atom], init: Bindings) -> Vec<Bindings> {
+    let mut out = Vec::new();
+    let mut current = init;
+    recurse(inst, atoms, 0, &mut current, &mut out);
+    out
+}
+
+fn recurse(
+    inst: &Instance,
+    atoms: &[Atom],
+    depth: usize,
+    current: &mut Bindings,
+    out: &mut Vec<Bindings>,
+) {
+    if depth == atoms.len() {
+        out.push(current.clone());
+        return;
+    }
+    let atom = &atoms[depth];
+    for row in 0..inst.rel_len(atom.rel) {
+        let values = inst.tuple(TupleId {
+            rel: atom.rel,
+            row,
+        });
+        let mut bound_here = Vec::new();
+        let mut ok = true;
+        for (col, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(c) => {
+                    if *c != values[col] {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match current.get(*v) {
+                    Some(b) => {
+                        if b != values[col] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        current.set(*v, values[col]);
+                        bound_here.push(*v);
+                    }
+                },
+            }
+        }
+        if ok {
+            recurse(inst, atoms, depth + 1, current, out);
+        }
+        for v in bound_here {
+            current.unset(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::all_matches;
+    use routes_model::{Schema, Value, Var};
+    use std::collections::HashSet;
+
+    #[test]
+    fn agrees_with_indexed_evaluator_on_a_join() {
+        let mut s = Schema::new();
+        let e = s.rel("E", &["a", "b"]);
+        let mut inst = Instance::new(&s);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (0, 2), (2, 0)] {
+            inst.insert_ok(e, &[Value::Int(a), Value::Int(b)]);
+        }
+        let atoms = vec![
+            Atom::new(e, vec![Term::Var(Var(0)), Term::Var(Var(1))]),
+            Atom::new(e, vec![Term::Var(Var(1)), Term::Var(Var(2))]),
+        ];
+        let fast: HashSet<_> = all_matches(&inst, &atoms, Bindings::new(3))
+            .into_iter()
+            .collect();
+        let slow: HashSet<_> = all_matches_naive(&inst, &atoms, Bindings::new(3))
+            .into_iter()
+            .collect();
+        assert_eq!(fast, slow);
+        assert!(!fast.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Differential property test: the planned, index-backed evaluator must
+//! agree exactly (as a set of total assignments) with the naive reference
+//! evaluator on randomly generated instances and conjunctive queries.
+
+use proptest::prelude::*;
+use routes_model::{Atom, Instance, Schema, Term, Value, Var};
+use routes_query::reference::all_matches_naive;
+use routes_query::{all_matches, Bindings, EvalOptions, MatchIter};
+use std::collections::HashSet;
+
+/// A compact description of a random scenario that proptest can shrink.
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// Arity of each relation (1..=3 relations, arity 1..=3).
+    arities: Vec<usize>,
+    /// Tuples: (relation index, values in 0..domain).
+    tuples: Vec<(usize, Vec<i64>)>,
+    /// Atoms: (relation index, terms) where a term is either a variable
+    /// 0..4 or a constant 0..domain.
+    atoms: Vec<(usize, Vec<TermSpec>)>,
+    /// Pre-bound variables: (var, value).
+    init: Vec<(u32, i64)>,
+}
+
+#[derive(Debug, Clone)]
+enum TermSpec {
+    Var(u32),
+    Const(i64),
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let arities = prop::collection::vec(1usize..=3, 1..=3);
+    arities.prop_flat_map(|arities| {
+        let nrels = arities.len();
+        let arities2 = arities.clone();
+        let arities3 = arities.clone();
+        let tuples = prop::collection::vec(
+            (0..nrels).prop_flat_map(move |r| {
+                let arity = arities2[r];
+                prop::collection::vec(0i64..5, arity).prop_map(move |vals| (r, vals))
+            }),
+            0..25,
+        );
+        let atoms = prop::collection::vec(
+            (0..nrels).prop_flat_map(move |r| {
+                let arity = arities3[r];
+                prop::collection::vec(
+                    prop_oneof![
+                        (0u32..4).prop_map(TermSpec::Var),
+                        (0i64..5).prop_map(TermSpec::Const),
+                    ],
+                    arity,
+                )
+                .prop_map(move |terms| (r, terms))
+            }),
+            1..=3,
+        );
+        let init = prop::collection::vec(((0u32..4), (0i64..5)), 0..2);
+        (tuples, atoms, init).prop_map(move |(tuples, atoms, init)| Scenario {
+            arities: arities.clone(),
+            tuples,
+            atoms,
+            init,
+        })
+    })
+}
+
+fn build(scenario: &Scenario) -> (Instance, Vec<Atom>, Bindings) {
+    let mut schema = Schema::new();
+    let attr_names = ["a", "b", "c"];
+    let rels: Vec<_> = scenario
+        .arities
+        .iter()
+        .enumerate()
+        .map(|(i, &arity)| schema.rel(&format!("R{i}"), &attr_names[..arity]))
+        .collect();
+    let mut inst = Instance::new(&schema);
+    for (r, vals) in &scenario.tuples {
+        let values: Vec<Value> = vals.iter().map(|&v| Value::Int(v)).collect();
+        inst.insert_ok(rels[*r], &values);
+    }
+    let atoms: Vec<Atom> = scenario
+        .atoms
+        .iter()
+        .map(|(r, terms)| {
+            Atom::new(
+                rels[*r],
+                terms
+                    .iter()
+                    .map(|t| match t {
+                        TermSpec::Var(v) => Term::Var(Var(*v)),
+                        TermSpec::Const(c) => Term::Const(Value::Int(*c)),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut init = Bindings::new(4);
+    for (v, val) in &scenario.init {
+        init.set(Var(*v), Value::Int(*val));
+    }
+    (inst, atoms, init)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn planned_evaluator_matches_naive_reference(scenario in scenario_strategy()) {
+        let (inst, atoms, init) = build(&scenario);
+        let fast: HashSet<Bindings> =
+            all_matches(&inst, &atoms, init.clone()).into_iter().collect();
+        let slow: HashSet<Bindings> =
+            all_matches_naive(&inst, &atoms, init).into_iter().collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn composite_index_path_matches_naive_reference(scenario in scenario_strategy()) {
+        // Force the composite path whenever two or more columns are bound
+        // (threshold 0), and compare against the oracle.
+        let (inst, atoms, init) = build(&scenario);
+        let options = EvalOptions { composite_threshold: 0 };
+        let mut it = MatchIter::with_options(&inst, &atoms, init.clone(), options);
+        let mut fast: HashSet<Bindings> = HashSet::new();
+        while let Some(b) = it.next_match() {
+            fast.insert(b.clone());
+        }
+        let slow: HashSet<Bindings> =
+            all_matches_naive(&inst, &atoms, init).into_iter().collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matches_actually_satisfy_all_atoms(scenario in scenario_strategy()) {
+        let (inst, atoms, init) = build(&scenario);
+        for m in all_matches(&inst, &atoms, init) {
+            for atom in &atoms {
+                // Reconstruct the tuple this atom must match and check it
+                // exists in the instance.
+                let values: Vec<Value> = atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => *c,
+                        Term::Var(v) => m.get(*v).expect("match binds all atom vars"),
+                    })
+                    .collect();
+                prop_assert!(inst.contains(atom.rel, &values));
+            }
+        }
+    }
+}

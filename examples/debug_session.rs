@@ -1,0 +1,70 @@
+//! Single-stepping a route with breakpoints and a watch window — the
+//! "standard debugging features" of paper §3.4.
+//!
+//! We compute a route for the suspicious supplementary-card account `t2`
+//! (Scenario 3) and then replay it step by step, breaking on the target tgd
+//! `m5` and watching the produced tuples grow.
+//!
+//! ```sh
+//! cargo run --example debug_session
+//! ```
+
+use mapping_routes::prelude::*;
+use routes_gen::fargo_scenario;
+
+fn main() {
+    let fargo = fargo_scenario();
+    let pool = &fargo.scenario.pool;
+    let env = RouteEnv::new(
+        &fargo.scenario.mapping,
+        &fargo.scenario.source,
+        &fargo.solution,
+    );
+    let t2 = fargo.t[1];
+
+    let route = compute_one_route(env, &[t2]).expect("t2 has a route");
+    println!("Debugging the route for t2 = Accounts(N1, 2K, 234):\n");
+
+    let mut session = DebugSession::new(env, route);
+    assert!(session.add_breakpoint_by_name("m5"));
+    println!("(breakpoint set on m5)\n");
+
+    // Peek before executing anything — like viewing the next source line.
+    println!("next> {}\n", session.peek(pool).expect("route is non-empty"));
+
+    let event = session
+        .run_to_breakpoint()
+        .expect("m5 occurs on this route");
+    println!("*** breakpoint hit at step {} (tgd m5) ***", event.index + 1);
+    println!("assignment:");
+    for (name, value) in &event.assignment {
+        println!("    {name} -> {}", pool.value_to_string(*value));
+    }
+    println!("new tuples this step:");
+    for t in &event.new_tuples {
+        println!(
+            "    {}",
+            routes_model::tuple_to_string(pool, env.mapping.target(), env.target, *t)
+        );
+    }
+
+    println!("\nwatch window (everything produced so far):");
+    let mut watched: Vec<String> = session
+        .watch()
+        .iter()
+        .map(|&t| routes_model::tuple_to_string(pool, env.mapping.target(), env.target, t))
+        .collect();
+    watched.sort();
+    for line in &watched {
+        println!("    {line}");
+    }
+    assert!(session.watch().contains(&t2));
+
+    // Continue to the end.
+    let mut remaining = 0;
+    while session.step().is_some() {
+        remaining += 1;
+    }
+    println!("\nroute finished ({remaining} step(s) after the breakpoint).");
+    assert!(session.finished());
+}

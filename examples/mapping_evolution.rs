@@ -1,0 +1,147 @@
+//! Mapping evolution: apply the paper's §2.1 fixes and watch how the
+//! solution changes — the Scenario 1 future-work feature ("demonstrate how
+//! the modification of m1 to m1' affects tuples in J") — and let the chase's
+//! egd support find a conflict the paper's toolchain could not see.
+//!
+//! ```sh
+//! cargo run --example mapping_evolution
+//! ```
+
+use mapping_routes::prelude::*;
+use routes_chase::{history_to_string, impact_to_string, mapping_impact};
+use routes_gen::fargo_scenario;
+use routes_mapping::satisfy::is_solution;
+
+const M1_FIXED: &str =
+    "m1: Cards(cn, l, s, n, m, sal, loc) -> Accounts(cn, l, s) & Clients(s, n, m, sal, loc)";
+const M2_FIXED: &str = "m2: Cards(cn, l, s1, n1, m, sal, loc) & SupplementaryCards(cn, s2, n2, a) -> \
+     exists M, I: Clients(s2, n2, M, I, a) & Accounts(cn, l, s2)";
+const M3_FIXED: &str = "m3: FBAccounts(bn, cs, n, i, a) & CreditCards(cn, cl, cs) -> \
+     exists M: Accounts(cn, cl, cs) & Clients(cs, n, M, i, a)";
+const M4: &str = "m4: Accounts(a, l, s) -> exists N, M, I, A: Clients(s, N, M, I, A)";
+const M5: &str = "m5: Clients(s, n, m, i, a) -> exists N, L: Accounts(N, L, s)";
+const M6: &str = "m6: Accounts(a, l, s) & Accounts(a2, l2, s) -> l = l2";
+
+fn build_mapping(
+    s: &Schema,
+    t: &Schema,
+    pool: &mut ValuePool,
+    st: &[&str],
+    egds: &[&str],
+) -> SchemaMapping {
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    for text in st {
+        m.add_st_tgd(parse_st_tgd(s, t, pool, text).expect("tgd parses"))
+            .expect("tgd valid");
+    }
+    for text in [M4, M5] {
+        m.add_target_tgd(parse_target_tgd(t, pool, text).unwrap())
+            .unwrap();
+    }
+    for text in egds {
+        m.add_egd(parse_egd(t, pool, text).unwrap()).unwrap();
+    }
+    m
+}
+
+fn main() {
+    let fargo = fargo_scenario();
+    let original = &fargo.scenario.mapping;
+    let mut pool = fargo.scenario.pool.clone();
+    let s = original.source().clone();
+    let t = original.target().clone();
+    let source = &fargo.scenario.source;
+
+    // --- Step 1: the Scenario 1 fix alone (m1 → m1') ------------------------
+    println!("=== step 1: impact of fixing m1 alone (Scenario 1) ===\n");
+    let m1_only = build_mapping(
+        &s,
+        &t,
+        &mut pool,
+        &[
+            M1_FIXED,
+            "m2: SupplementaryCards(an, s, n, a) -> exists M, I: Clients(s, n, M, I, a)",
+            "m3: FBAccounts(bn, s, n, i, a) & CreditCards(cn, cl, cs) -> \
+               exists M: Accounts(cn, cl, cs) & Clients(cs, n, M, i, a)",
+        ],
+        &[M6],
+    );
+    let report = mapping_impact(original, &m1_only, source, &mut pool, ChaseOptions::fresh())
+        .expect("both chases succeed");
+    print!("{}", impact_to_string(&pool, &t, &report, 30));
+    assert!(report
+        .removed
+        .iter()
+        .any(|((_, vals), _)| pool.value_to_string(vals[1]) == "Smith"));
+    assert!(report
+        .added
+        .iter()
+        .any(|((_, vals), _)| pool.value_to_string(vals[4]) == "Seattle"));
+
+    // --- Step 2: all three fixes + the original egd m6 ----------------------
+    println!("\n=== step 2: all three fixes (m1', m2', m3') with egd m6 ===\n");
+    let fully_fixed_with_m6 =
+        build_mapping(&s, &t, &mut pool, &[M1_FIXED, M2_FIXED, M3_FIXED], &[M6]);
+    match routes_chase::chase(&fully_fixed_with_m6, source, &mut pool, ChaseOptions::fresh()) {
+        Err(ChaseError::Failed { egd, .. }) => {
+            println!(
+                "chase FAILED on egd `{egd}`: after m2', supplementary holder 234 keeps the\n\
+                 sponsoring card's 15K account, while m3' gives the same holder a 2K Fargo\n\
+                 Bank account — m6 (one credit limit per holder) admits NO solution on this\n\
+                 data. The paper's toolchain could not execute egds (§2), so this latent\n\
+                 conflict in the *corrected* mapping was invisible; our chase surfaces it\n\
+                 as a debugging signal."
+            );
+        }
+        other => panic!("expected an egd conflict, got {other:?}"),
+    }
+
+    // --- Step 3: Alice replaces m6 with the Scenario 2 suggestion -----------
+    // ("Alice may also decide to enforce ssn as a key of the relation
+    // Clients, which can be expressed as egds.")
+    println!("\n=== step 3: fixes with ssn-as-key-of-Clients egds instead ===\n");
+    let key_egds = [
+        "k1: Clients(s, n, m, i, a) & Clients(s, n2, m2, i2, a2) -> n = n2",
+        "k2: Clients(s, n, m, i, a) & Clients(s, n2, m2, i2, a2) -> m = m2",
+        "k3: Clients(s, n, m, i, a) & Clients(s, n2, m2, i2, a2) -> i = i2",
+        "k4: Clients(s, n, m, i, a) & Clients(s, n2, m2, i2, a2) -> a = a2",
+    ];
+    let final_mapping =
+        build_mapping(&s, &t, &mut pool, &[M1_FIXED, M2_FIXED, M3_FIXED], &key_egds);
+    let result = routes_chase::chase(&final_mapping, source, &mut pool, ChaseOptions::fresh())
+        .expect("the key egds are consistent on this data");
+    assert!(is_solution(&final_mapping, source, &result.target));
+    println!(
+        "chase succeeded: {} target tuples, {} egd merge(s).",
+        result.target.total_tuples(),
+        result.egd_log.len()
+    );
+    assert!(!result.egd_log.is_empty());
+    println!("\negd provenance (which keys merged which values):");
+    let mut shown = std::collections::HashSet::new();
+    for merge in &result.egd_log {
+        if shown.insert(merge.resolved) {
+            print!("{}", history_to_string(&pool, &result.egd_log, merge.resolved));
+        }
+    }
+
+    // The key egds filled A. Long's unknown income with 30K (m2' invented a
+    // null; m3' knows the Fargo Bank income).
+    let clients = t.rel_id("Clients").unwrap();
+    let along_rows: Vec<&[Value]> = result
+        .target
+        .rel_rows(clients)
+        .map(|id| result.target.tuple(id))
+        .filter(|vals| vals[0] == Value::Int(234))
+        .collect();
+    assert_eq!(along_rows.len(), 1, "key egds collapse holder 234 to one row");
+    assert_eq!(pool.value_to_string(along_rows[0][3]), "30K");
+    println!(
+        "\nholder 234 now has a single Clients row with income 30K — the key egds\n\
+         combined what m2' and m3' each knew. Scenario 1's null addresses are gone:"
+    );
+    for (_, vals) in result.target.rel_tuples(clients) {
+        assert!(vals[4].is_constant(), "all addresses concrete");
+    }
+    println!("every Clients row carries a concrete address.");
+}

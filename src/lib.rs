@@ -1,0 +1,97 @@
+//! **mapping-routes** — a from-scratch Rust implementation of
+//! *Debugging Schema Mappings with Routes* (Chiticariu & Tan, VLDB 2006).
+//!
+//! A schema mapping `M = (S, T, Σst, Σt)` declares how data under a source
+//! schema translates into data under a target schema, via tuple-generating
+//! dependencies (tgds) and equality-generating dependencies (egds). This
+//! crate family implements the paper's *route* debugger — explanations of
+//! how selected target (or source) data is witnessed by the mapping — along
+//! with every substrate it needs: a relational store, a conjunctive-query
+//! evaluator, the dependency language with a text parser, the chase (data
+//! exchange engine), and a nested-relational model for XML-style schemas.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mapping_routes::prelude::*;
+//!
+//! // Schemas.
+//! let mut s = Schema::new();
+//! s.rel("Cards", &["cardNo", "limit", "ssn"]);
+//! let mut t = Schema::new();
+//! t.rel("Accounts", &["accNo", "limit", "accHolder"]);
+//!
+//! // The mapping: one s-t tgd written in the paper's syntax.
+//! let mut pool = ValuePool::new();
+//! let mut m = SchemaMapping::new(s.clone(), t.clone());
+//! m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool,
+//!     "m1: Cards(cn, l, s) -> Accounts(cn, l, s)").unwrap()).unwrap();
+//!
+//! // A source instance, and a solution produced by the chase.
+//! let mut i = Instance::new(&s);
+//! i.insert_ok(s.rel_id("Cards").unwrap(),
+//!     &[Value::Int(6689), Value::Int(15), Value::Int(434)]);
+//! let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+//!
+//! // Probe a target tuple: why is it there?
+//! let env = RouteEnv::new(&m, &i, &j);
+//! let probe = j.all_rows().next().unwrap();
+//! let route = compute_one_route(env, &[probe]).unwrap();
+//! assert_eq!(route.len(), 1);
+//! println!("{}", route_to_string(&pool, &env, &route));
+//! ```
+//!
+//! # Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`model`] | `routes-model` | values, schemas, instances, indexes |
+//! | [`query`] | `routes-query` | conjunctive-query evaluation |
+//! | [`mapping`] | `routes-mapping` | tgds/egds, parser, satisfaction |
+//! | [`chase`] | `routes-chase` | data exchange (standard + Skolem chase) |
+//! | [`routes`] | `routes-core` | the paper: findHom, route forests, one-route, debugger |
+//! | [`nested`] | `routes-nested` | hierarchical schemas and their encoding |
+//! | [`generators`] | `routes-gen` | the evaluation's workload generators |
+
+pub use routes_chase as chase;
+pub use routes_core as routes;
+pub use routes_gen as generators;
+pub use routes_mapping as mapping;
+pub use routes_model as model;
+pub use routes_nested as nested;
+pub use routes_query as query;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use routes_chase::{chase, ChaseError, ChaseOptions, ChaseResult, NullMode};
+    pub use routes_core::{
+        alternative_routes, compute_all_routes, compute_one_route, compute_one_route_with,
+        compute_source_routes, enumerate_routes, is_minimal, minimize_route, route_rank,
+        route_to_string, step_to_string, stratify, DebugSession, OneRouteOptions, Route,
+        RouteEnv, RouteForest, SatisfactionStep,
+    };
+    pub use routes_mapping::{
+        parse_dependency, parse_egd, parse_st_tgd, parse_target_tgd, Dependency, Egd,
+        SchemaMapping, Tgd, TgdId, TgdKind,
+    };
+    pub use routes_model::{
+        Atom, Fact, Instance, RelId, Schema, Side, Term, TupleId, Value, ValuePool, Var,
+    };
+    pub use routes_nested::{
+        copy_tree_tgd, decode_instance, encode_instance, encode_schema, to_xmlish,
+        NestedInstance, NestedSchema,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        use crate::prelude::*;
+        let mut s = Schema::new();
+        s.rel("R", &["a"]);
+        let _ = Instance::new(&s);
+        let _ = ValuePool::new();
+        let _ = ChaseOptions::fresh();
+    }
+}

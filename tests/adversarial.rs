@@ -1,0 +1,247 @@
+//! Adversarial and edge-case coverage across the whole stack: constants in
+//! dependencies, self-joins, repeated variables, unicode data, wide tuples,
+//! empty relations, and selections mixing provable with unprovable tuples.
+
+use mapping_routes::prelude::*;
+use routes_chase::chase;
+use routes_mapping::satisfy::is_solution;
+
+#[test]
+fn constants_in_tgds_flow_through_routes() {
+    // Only premium cards (limit 100) migrate, and the target brands them.
+    let mut s = Schema::new();
+    s.rel("Card", &["no", "limit"]);
+    let mut t = Schema::new();
+    t.rel("Premium", &["no", "tier"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(
+        parse_st_tgd(&s, &t, &mut pool, "m: Card(x, 100) -> Premium(x, 'gold')").unwrap(),
+    )
+    .unwrap();
+    let mut i = Instance::new(&s);
+    let card = s.rel_id("Card").unwrap();
+    i.insert_ok(card, &[Value::Int(1), Value::Int(100)]);
+    i.insert_ok(card, &[Value::Int(2), Value::Int(50)]); // filtered out
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    assert_eq!(j.total_tuples(), 1);
+    let env = RouteEnv::new(&m, &i, &j);
+    let probe = j.all_rows().next().unwrap();
+    let route = compute_one_route(env, &[probe]).unwrap();
+    route.validate(&env, &[probe]).unwrap();
+    // The route's premise is the limit-100 card, not the other one.
+    let lhs = route.steps()[0].lhs_facts(&env).unwrap();
+    assert_eq!(i.tuple(lhs[0].id)[1], Value::Int(100));
+}
+
+#[test]
+fn self_join_tgds() {
+    // Siblings: Parent(p, c1) & Parent(p, c2) -> Sibling(c1, c2).
+    let mut s = Schema::new();
+    s.rel("Parent", &["p", "c"]);
+    let mut t = Schema::new();
+    t.rel("Sibling", &["a", "b"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(
+        parse_st_tgd(&s, &t, &mut pool, "sib: Parent(p, x) & Parent(p, y) -> Sibling(x, y)")
+            .unwrap(),
+    )
+    .unwrap();
+    let mut i = Instance::new(&s);
+    let parent = s.rel_id("Parent").unwrap();
+    i.insert_ok(parent, &[Value::Int(1), Value::Int(10)]);
+    i.insert_ok(parent, &[Value::Int(1), Value::Int(11)]);
+    i.insert_ok(parent, &[Value::Int(2), Value::Int(20)]);
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    // Pairs including reflexive: (10,10),(10,11),(11,10),(11,11),(20,20).
+    assert_eq!(j.total_tuples(), 5);
+    let env = RouteEnv::new(&m, &i, &j);
+    for probe in j.all_rows() {
+        let route = compute_one_route(env, &[probe]).unwrap();
+        route.validate(&env, &[probe]).unwrap();
+    }
+    // The (10,11) route joins two different Parent rows.
+    let sib = t.rel_id("Sibling").unwrap();
+    let probe = j.find(sib, &[Value::Int(10), Value::Int(11)]).unwrap();
+    let route = compute_one_route(env, &[probe]).unwrap();
+    let lhs = route.steps()[0].lhs_facts(&env).unwrap();
+    assert_eq!(lhs.len(), 2);
+    assert_ne!(lhs[0], lhs[1]);
+}
+
+#[test]
+fn repeated_variables_in_rhs_anchor() {
+    // Diagonal: S(x) -> T(x, x). Probing T(a, a) must unify both columns.
+    let mut s = Schema::new();
+    s.rel("S", &["a"]);
+    let mut t = Schema::new();
+    t.rel("T", &["a", "b"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "diag: S(x) -> T(x, x)").unwrap())
+        .unwrap();
+    let mut i = Instance::new(&s);
+    i.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(7)]);
+    let mut j = Instance::new(&t);
+    let tr = t.rel_id("T").unwrap();
+    let diag = j.insert_ok(tr, &[Value::Int(7), Value::Int(7)]);
+    let off = j.insert_ok(tr, &[Value::Int(7), Value::Int(8)]); // not witnessable
+    let env = RouteEnv::new(&m, &i, &j);
+    assert!(compute_one_route(env, &[diag]).is_ok());
+    assert!(compute_one_route(env, &[off]).is_err());
+}
+
+#[test]
+fn unicode_values_and_identifiers() {
+    let mut s = Schema::new();
+    s.rel("Stadt", &["name", "land"]);
+    let mut t = Schema::new();
+    t.rel("Ciudad", &["name", "land"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(
+        parse_st_tgd(&s, &t, &mut pool, "übertrag: Stadt(x, y) → Ciudad(x, y)").unwrap(),
+    )
+    .unwrap();
+    let mut i = Instance::new(&s);
+    let köln = pool.str("Köln");
+    let de = pool.str("Deutschland 🇩🇪");
+    i.insert_ok(s.rel_id("Stadt").unwrap(), &[köln, de]);
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    let env = RouteEnv::new(&m, &i, &j);
+    let probe = j.all_rows().next().unwrap();
+    let route = compute_one_route(env, &[probe]).unwrap();
+    let rendered = route_to_string(&pool, &env, &route);
+    assert!(rendered.contains("Köln"));
+    assert!(rendered.contains("übertrag"));
+    assert!(rendered.contains("🇩🇪"));
+}
+
+#[test]
+fn wide_tuples_and_long_chains() {
+    // A 24-column relation copied through a 10-step target chain.
+    let attrs: Vec<String> = (0..24).map(|k| format!("c{k}")).collect();
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let mut s = Schema::new();
+    s.rel("W0", &attr_refs);
+    let mut t = Schema::new();
+    for k in 1..=10 {
+        t.rel(&format!("W{k}"), &attr_refs);
+    }
+    let vars: Vec<String> = (0..24).map(|k| format!("v{k}")).collect();
+    let varlist = vars.join(", ");
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(
+        parse_st_tgd(&s, &t, &mut pool, &format!("c0: W0({varlist}) -> W1({varlist})")).unwrap(),
+    )
+    .unwrap();
+    for k in 1..10 {
+        m.add_target_tgd(
+            parse_target_tgd(
+                &t,
+                &mut pool,
+                &format!("c{k}: W{k}({varlist}) -> W{}({varlist})", k + 1),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    let mut i = Instance::new(&s);
+    let w0 = s.rel_id("W0").unwrap();
+    for row in 0..5 {
+        let values: Vec<Value> = (0..24).map(|c| Value::Int(row * 100 + c)).collect();
+        i.insert_ok(w0, &values);
+    }
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    assert_eq!(j.total_tuples(), 50);
+    assert!(is_solution(&m, &i, &j));
+    let env = RouteEnv::new(&m, &i, &j);
+    let w10 = t.rel_id("W10").unwrap();
+    let probe = j.rel_rows(w10).next().unwrap();
+    let route = compute_one_route(env, &[probe]).unwrap();
+    assert_eq!(route.len(), 10);
+    assert_eq!(route_rank(&env, &route), 10);
+    assert!(is_minimal(&env, &route, &[probe]));
+}
+
+#[test]
+fn empty_source_and_vacuous_mappings() {
+    let mut s = Schema::new();
+    s.rel("S", &["a"]);
+    let mut t = Schema::new();
+    t.rel("T", &["a"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m: S(x) -> T(x)").unwrap())
+        .unwrap();
+    let i = Instance::new(&s);
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    assert!(j.is_empty());
+    let env = RouteEnv::new(&m, &i, &j);
+    let forest = compute_all_routes(env, &[]);
+    assert_eq!(forest.num_nodes(), 0);
+    assert!(enumerate_routes(env, &forest, &[], 10).is_empty());
+    // compute_one_route on the empty selection: an empty G is not a route
+    // (Definition 3.3 requires a non-empty sequence), so the library returns
+    // an empty-step Route only if validation is skipped; the call itself
+    // succeeds with zero steps and validates as Empty.
+    let route = compute_one_route(env, &[]).unwrap();
+    assert!(route.is_empty());
+    assert!(matches!(
+        route.validate(&env, &[]),
+        Err(routes_core::RouteError::Empty)
+    ));
+}
+
+#[test]
+fn negative_integers_and_large_values() {
+    let mut s = Schema::new();
+    s.rel("S", &["a", "b"]);
+    let mut t = Schema::new();
+    t.rel("T", &["a", "b"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m: S(x, -42) -> T(x, -42)").unwrap())
+        .unwrap();
+    let mut i = Instance::new(&s);
+    let sr = s.rel_id("S").unwrap();
+    i.insert_ok(sr, &[Value::Int(i64::MAX), Value::Int(-42)]);
+    i.insert_ok(sr, &[Value::Int(i64::MIN), Value::Int(7)]);
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    assert_eq!(j.total_tuples(), 1);
+    let env = RouteEnv::new(&m, &i, &j);
+    let probe = j.all_rows().next().unwrap();
+    compute_one_route(env, &[probe]).unwrap();
+}
+
+#[test]
+fn alternatives_for_multi_tuple_selections() {
+    // Two independently double-derivable tuples: the joint selection has
+    // alternatives too, each banning the previous witnesses of both.
+    let mut s = Schema::new();
+    s.rel("S1", &["a"]);
+    s.rel("S2", &["a"]);
+    let mut t = Schema::new();
+    t.rel("T", &["a"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "a: S1(x) -> T(x)").unwrap())
+        .unwrap();
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "b: S2(x) -> T(x)").unwrap())
+        .unwrap();
+    let mut i = Instance::new(&s);
+    i.insert_ok(s.rel_id("S1").unwrap(), &[Value::Int(1)]);
+    i.insert_ok(s.rel_id("S2").unwrap(), &[Value::Int(1)]);
+    i.insert_ok(s.rel_id("S1").unwrap(), &[Value::Int(2)]);
+    i.insert_ok(s.rel_id("S2").unwrap(), &[Value::Int(2)]);
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    let selection: Vec<TupleId> = j.all_rows().collect();
+    assert_eq!(selection.len(), 2);
+    let routes = alternative_routes(RouteEnv::new(&m, &i, &j), &selection, 5);
+    assert!(routes.len() >= 2, "got {}", routes.len());
+    for r in &routes {
+        r.validate(&RouteEnv::new(&m, &i, &j), &selection).unwrap();
+    }
+}

@@ -1,0 +1,167 @@
+//! Data-exchange semantics of the chase (paper §2 background): chase
+//! results are solutions, Fresh-mode results are *universal* solutions
+//! (they map homomorphically into every other solution), and egds behave
+//! per the formal framework.
+
+use mapping_routes::prelude::*;
+use routes_chase::{chase, find_homomorphism};
+use routes_gen::random_scenario;
+use routes_mapping::satisfy::is_solution;
+
+#[test]
+fn fresh_chase_results_are_universal_across_chase_variants() {
+    let mut checked = 0;
+    for seed in 0..120 {
+        let mut sc = random_scenario(seed);
+        let guard = ChaseOptions {
+            max_rounds: 200,
+            max_tuples: 5_000,
+            ..ChaseOptions::fresh()
+        };
+        let Ok(fresh) = chase(&sc.mapping, &sc.source, &mut sc.pool, guard) else {
+            continue;
+        };
+        let skolem_opts = ChaseOptions {
+            null_mode: NullMode::Skolem,
+            max_rounds: 200,
+            max_tuples: 5_000,
+        };
+        let Ok(skolem) = chase(&sc.mapping, &sc.source, &mut sc.pool, skolem_opts) else {
+            continue;
+        };
+        assert!(is_solution(&sc.mapping, &sc.source, &fresh.target), "seed {seed}");
+        assert!(is_solution(&sc.mapping, &sc.source, &skolem.target), "seed {seed}");
+        // Universality: the Fresh result maps homomorphically into the
+        // Skolem result (which is just another solution).
+        if fresh.target.total_tuples() <= 12 {
+            assert!(
+                find_homomorphism(&fresh.target, &skolem.target).is_some(),
+                "seed {seed}: fresh chase result must be universal"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 30, "enough universality checks ran: {checked}");
+}
+
+#[test]
+fn universal_solution_maps_into_a_padded_solution() {
+    // Hand-built: J' = chase(J) plus extra facts is still a solution; the
+    // chase result must map into it.
+    let mut s = Schema::new();
+    s.rel("S", &["a"]);
+    let mut t = Schema::new();
+    t.rel("T", &["a", "b"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m: S(x) -> exists Y: T(x,Y)").unwrap())
+        .unwrap();
+    let mut i = Instance::new(&s);
+    i.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(1)]);
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+
+    let mut padded = Instance::new(&t);
+    let tr = t.rel_id("T").unwrap();
+    padded.insert_ok(tr, &[Value::Int(1), Value::Int(99)]);
+    padded.insert_ok(tr, &[Value::Int(7), Value::Int(8)]);
+    assert!(is_solution(&m, &i, &padded));
+    let hom = find_homomorphism(&j, &padded).expect("universal solution maps into any solution");
+    // The invented null must land on 99.
+    let null = j.tuple(j.all_rows().next().unwrap())[1];
+    let Value::Null(nid) = null else { panic!("chase invents a null") };
+    assert_eq!(hom[&nid], Value::Int(99));
+}
+
+#[test]
+fn egd_failure_means_no_solution() {
+    // S(x,y) -> T(x,y) with key egd on T and conflicting source rows: the
+    // chase must fail, and indeed no solution exists (any solution would
+    // need both T(1,2) and T(1,3)).
+    let mut s = Schema::new();
+    s.rel("S", &["a", "b"]);
+    let mut t = Schema::new();
+    t.rel("T", &["a", "b"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m: S(x,y) -> T(x,y)").unwrap())
+        .unwrap();
+    m.add_egd(parse_egd(&t, &mut pool, "k: T(x,y) & T(x,z) -> y = z").unwrap())
+        .unwrap();
+    let mut i = Instance::new(&s);
+    let sr = s.rel_id("S").unwrap();
+    i.insert_ok(sr, &[Value::Int(1), Value::Int(2)]);
+    i.insert_ok(sr, &[Value::Int(1), Value::Int(3)]);
+    let err = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap_err();
+    assert!(matches!(err, ChaseError::Failed { .. }));
+}
+
+#[test]
+fn routes_work_on_solutions_not_produced_by_our_chase() {
+    // Definition 3.3 allows ANY solution J. Build one by hand that is a
+    // strict superset of the chase result plus an unjustifiable tuple.
+    let mut s = Schema::new();
+    s.rel("S", &["a"]);
+    let mut t = Schema::new();
+    t.rel("T", &["a"]);
+    t.rel("U", &["a"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m1: S(x) -> T(x)").unwrap())
+        .unwrap();
+    m.add_target_tgd(parse_target_tgd(&t, &mut pool, "m2: T(x) -> U(x)").unwrap())
+        .unwrap();
+    let mut i = Instance::new(&s);
+    i.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(1)]);
+    let mut j = Instance::new(&t);
+    let tr = t.rel_id("T").unwrap();
+    let ur = t.rel_id("U").unwrap();
+    j.insert_ok(tr, &[Value::Int(1)]);
+    j.insert_ok(ur, &[Value::Int(1)]);
+    // Extra facts: justified (T(5) -> needs U(5)) and unjustifiable alone.
+    j.insert_ok(tr, &[Value::Int(5)]);
+    let u5 = j.insert_ok(ur, &[Value::Int(5)]);
+    let orphan_t5 = j.find(tr, &[Value::Int(5)]).unwrap();
+    assert!(is_solution(&m, &i, &j));
+
+    let env = RouteEnv::new(&m, &i, &j);
+    // u5's only witness chain needs T(5), which nothing witnesses: no route.
+    let err = compute_one_route(env, &[u5]).unwrap_err();
+    assert_eq!(err.no_route, vec![u5]);
+    let err = compute_one_route(env, &[orphan_t5]).unwrap_err();
+    assert_eq!(err.no_route, vec![orphan_t5]);
+    // The justified part still works.
+    let t1 = j.find(tr, &[Value::Int(1)]).unwrap();
+    let u1 = j.find(ur, &[Value::Int(1)]).unwrap();
+    let route = compute_one_route(env, &[u1, t1]).unwrap();
+    route.validate(&env, &[u1, t1]).unwrap();
+}
+
+#[test]
+fn skolem_chase_is_idempotent_at_instance_level() {
+    for seed in [1u64, 5, 9, 33] {
+        let mut sc = random_scenario(seed);
+        let opts = ChaseOptions {
+            max_rounds: 200,
+            max_tuples: 5_000,
+            null_mode: NullMode::Skolem,
+        };
+        let Ok(first) = chase(&sc.mapping, &sc.source, &mut sc.pool, opts) else {
+            continue;
+        };
+        let Ok(second) = chase(&sc.mapping, &sc.source, &mut sc.pool, opts) else {
+            continue;
+        };
+        // Same tuple counts (nulls differ in identity across runs, but the
+        // shape is identical).
+        assert_eq!(
+            first.target.total_tuples(),
+            second.target.total_tuples(),
+            "seed {seed}"
+        );
+        assert!(
+            find_homomorphism(&first.target, &second.target).is_some()
+                || first.target.total_tuples() > 12,
+            "seed {seed}: skolem runs are isomorphic"
+        );
+    }
+}

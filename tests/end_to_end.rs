@@ -1,0 +1,166 @@
+//! End-to-end smoke tests over every generator family at test scale:
+//! generate → chase → select → compute routes → validate.
+
+use mapping_routes::prelude::*;
+use routes_gen::hierarchy::{deep_scenario, flat_scenario, DeepRows};
+use routes_gen::real::{dblp_scenario, mondial_scenario};
+use routes_gen::relational::relational_scenario;
+use routes_gen::TpchRows;
+use routes_mapping::satisfy::is_solution;
+
+#[test]
+fn relational_scenarios_all_join_counts() {
+    for joins in 0..=3 {
+        let mut sc = relational_scenario(joins, &TpchRows::scale(0.0003), 17);
+        let solution = sc.scenario.solution().unwrap().target;
+        assert!(is_solution(&sc.scenario.mapping, &sc.scenario.source, &solution));
+        let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+        for group in [1usize, 3, 6] {
+            let selection = sc.select_from_group(&solution, group, 3, 99);
+            assert!(!selection.is_empty());
+            let route = compute_one_route(env, &selection)
+                .unwrap_or_else(|e| panic!("joins={joins} group={group}: {e}"));
+            route.validate(&env, &selection).unwrap();
+            // M/T factor = rank of the minimized route for a single tuple.
+            let one = sc.select_from_group(&solution, group, 1, 7);
+            let r = compute_one_route(env, &one).unwrap();
+            let minimal = minimize_route(&env, &r, &one);
+            assert_eq!(
+                route_rank(&env, &minimal),
+                group,
+                "joins={joins}: group {group} tuples have rank {group}"
+            );
+        }
+    }
+}
+
+#[test]
+fn relational_forest_and_enumeration() {
+    let mut sc = relational_scenario(1, &TpchRows::scale(0.0003), 18);
+    let solution = sc.scenario.solution().unwrap().target;
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+    let selection = sc.select_from_group(&solution, 4, 2, 5);
+    let forest = compute_all_routes(env, &selection);
+    assert!(forest.all_roots_provable());
+    for route in enumerate_routes(env, &forest, &selection, 20) {
+        route.validate(&env, &selection).unwrap();
+    }
+}
+
+#[test]
+fn flat_hierarchy_routes_in_both_findhom_modes() {
+    let mut sc = flat_scenario(1, &TpchRows::scale(0.0002), 19);
+    let solution = sc.scenario.solution().unwrap().target;
+    assert!(is_solution(&sc.scenario.mapping, &sc.scenario.source, &solution));
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+    let selection = sc.select_from_group(&solution, 2, 4, 3);
+    let lazy = compute_one_route(env, &selection).unwrap();
+    lazy.validate(&env, &selection).unwrap();
+    let eager = compute_one_route_with(
+        env,
+        &selection,
+        &OneRouteOptions {
+            eager_findhom: true,
+            ..OneRouteOptions::default()
+        },
+    )
+    .unwrap();
+    eager.validate(&env, &selection).unwrap();
+}
+
+#[test]
+fn deep_hierarchy_routes_at_every_depth() {
+    let rows = DeepRows {
+        regions: 2,
+        nations_per: 2,
+        customers_per: 2,
+        orders_per: 2,
+        lineitems_per: 2,
+    };
+    let mut sc = deep_scenario(&rows, 20);
+    let solution = sc.scenario.solution().unwrap().target;
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+    for depth in 1..=5 {
+        let selection = sc.select_at_depth(&solution, depth, 2, 21);
+        assert!(!selection.is_empty(), "depth {depth}");
+        let route = compute_one_route(env, &selection).unwrap();
+        route.validate(&env, &selection).unwrap();
+        // One copying tgd: at most one step per selected element (fewer when
+        // two elements share a root-to-leaf path and one step proves both).
+        assert!(route.len() <= selection.len(), "depth {depth}");
+        assert_eq!(route_rank(&env, &route), 1, "depth {depth}: all steps are s-t");
+    }
+}
+
+#[test]
+fn dblp_scenario_routes_and_source_side() {
+    let mut sc = dblp_scenario(0.01, 22);
+    let solution = sc
+        .scenario
+        .solution_with(ChaseOptions::fresh())
+        .unwrap()
+        .target;
+    assert!(is_solution(&sc.scenario.mapping, &sc.scenario.source, &solution));
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+
+    // Probe a junction tuple: TInProcPublished rows always have routes.
+    let rel = env.mapping.target().rel_id("TInProcPublished").unwrap();
+    let probe = solution.rel_rows(rel).next().expect("junction populated");
+    let route = compute_one_route(env, &[probe]).unwrap();
+    route.validate(&env, &[probe]).unwrap();
+
+    // Source side: a D2 paper-author contributes through the d_d2 tgd.
+    let pa_rel = env.mapping.source().rel_id("D2PaperAuthor").unwrap();
+    let s_probe = sc.scenario.source.rel_rows(pa_rel).next().unwrap();
+    let forward = compute_source_routes(env, &[s_probe], 2);
+    let names: Vec<&str> = forward
+        .exporting_tgds()
+        .into_iter()
+        .map(|id| env.mapping.tgd(id).name())
+        .collect();
+    assert_eq!(names, ["d_d2"]);
+}
+
+#[test]
+fn mondial_scenario_routes_with_egds_applied() {
+    let mut sc = mondial_scenario(0.01, 23);
+    let result = sc.scenario.solution_with(ChaseOptions::fresh()).unwrap();
+    // The key egds actually fired (nulls merged at least once).
+    assert!(result.egd_rewrites >= 1, "key egds should merge nulls");
+    let solution = result.target;
+    assert!(is_solution(&sc.scenario.mapping, &sc.scenario.source, &solution));
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+
+    // Each country appears exactly once (the egds deduplicated them).
+    let mc = env.mapping.target().rel_id("MCountry").unwrap();
+    let country_rel = env.mapping.source().rel_id("Country").unwrap();
+    assert_eq!(
+        solution.rel_len(mc),
+        sc.scenario.source.rel_len(country_rel),
+        "key egds collapse duplicate country nodes"
+    );
+
+    // Probe a depth-4 element.
+    let rel = env.mapping.target().rel_id("MCityPop").unwrap();
+    let probe = solution.rel_rows(rel).next().expect("citypops exist");
+    let route = compute_one_route(env, &[probe]).unwrap();
+    route.validate(&env, &[probe]).unwrap();
+}
+
+#[test]
+fn debug_session_over_generated_scenario() {
+    let mut sc = relational_scenario(2, &TpchRows::scale(0.0003), 24);
+    let solution = sc.scenario.solution().unwrap().target;
+    let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+    let selection = sc.select_from_group(&solution, 3, 1, 25);
+    let route = compute_one_route(env, &selection).unwrap();
+    let steps = route.len();
+    let mut session = DebugSession::new(env, route);
+    let mut count = 0;
+    while let Some(event) = session.step() {
+        assert_eq!(event.index, count);
+        count += 1;
+    }
+    assert_eq!(count, steps);
+    assert!(session.watch().contains(&selection[0]));
+}

@@ -1,0 +1,71 @@
+//! No-panic fuzzing of every text entry point: the dependency parser and
+//! the scenario-file loader must return `Ok` or `Err` on arbitrary input —
+//! never panic. (Malformed files are the common case for a debugger tool.)
+
+use proptest::prelude::*;
+
+use routes_cli::load_scenario_str;
+use routes_mapping::{parse_dependency, parse_egd, parse_st_tgd, parse_target_tgd};
+use routes_model::{Schema, ValuePool};
+
+fn schemas() -> (Schema, Schema) {
+    let mut s = Schema::new();
+    s.rel("S", &["a", "b"]);
+    let mut t = Schema::new();
+    t.rel("T", &["a", "b"]);
+    (s, t)
+}
+
+/// Inputs biased toward parser-shaped text (pure random strings rarely get
+/// past the tokenizer).
+fn parserish() -> impl Strategy<Value = String> {
+    prop_oneof![
+        2 => "[ -~]{0,60}",                    // printable ASCII
+        2 => "[STab(),&>:=#'0-9 \\-]{0,60}",  // token alphabet
+        1 => any::<String>(),                  // arbitrary unicode
+        1 => Just("m: S(x,y) -> T(x,".to_owned()), // truncated
+        1 => Just("S(x,y) -> T(x,y) extra".to_owned()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn dependency_parsers_never_panic(text in parserish()) {
+        let (s, t) = schemas();
+        let mut pool = ValuePool::new();
+        let _ = parse_st_tgd(&s, &t, &mut pool, &text);
+        let _ = parse_target_tgd(&t, &mut pool, &text);
+        let _ = parse_egd(&t, &mut pool, &text);
+        let _ = parse_dependency(&s, &t, &mut pool, &text);
+    }
+}
+
+/// Scenario-file-shaped fuzz: random section headers, random body lines.
+fn scenarioish() -> impl Strategy<Value = String> {
+    let line = prop_oneof![
+        3 => "[ -~]{0,40}",
+        1 => Just("source schema:".to_owned()),
+        1 => Just("target schema:".to_owned()),
+        1 => Just("source xml schema:".to_owned()),
+        1 => Just("dependencies:".to_owned()),
+        1 => Just("source data:".to_owned()),
+        1 => Just("source xml data:".to_owned()),
+        1 => Just("target data:".to_owned()),
+        1 => Just("  S(a, b)".to_owned()),
+        1 => Just("  S(1, 'x')".to_owned()),
+        1 => Just("  m: S(x,y) -> T(x,y)".to_owned()),
+        1 => Just("    Nested(1)".to_owned()),
+    ];
+    prop::collection::vec(line, 0..14).prop_map(|lines| lines.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn scenario_loader_never_panics(text in scenarioish()) {
+        let _ = load_scenario_str(&text);
+    }
+}

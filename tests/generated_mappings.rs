@@ -1,0 +1,127 @@
+//! Property tests for the correspondence-based mapping generator: random
+//! schemas + random correspondences + random fks must always yield
+//! well-formed, weakly acyclic mappings whose chased solutions give every
+//! tuple a route.
+
+use proptest::prelude::*;
+
+use mapping_routes::prelude::*;
+use routes_chase::chase;
+use routes_mapping::{generate_mapping, is_weakly_acyclic, Correspondence, ForeignKey};
+
+#[derive(Debug, Clone)]
+struct GenSpec {
+    /// Arities of 2 source and 2 target relations (1..=3).
+    source_arities: Vec<usize>,
+    target_arities: Vec<usize>,
+    /// Correspondences as (src rel, src col, dst rel, dst col) — reduced
+    /// modulo the actual arities.
+    corrs: Vec<(usize, usize, usize, usize)>,
+    /// Whether to add a source fk (rel1.col0 → rel0.col0) and a target fk.
+    source_fk: bool,
+    target_fk: bool,
+    /// Rows per source relation.
+    rows: usize,
+}
+
+fn spec() -> impl Strategy<Value = GenSpec> {
+    (
+        prop::collection::vec(1usize..=3, 2),
+        prop::collection::vec(1usize..=3, 2),
+        prop::collection::vec((0usize..2, 0usize..3, 0usize..2, 0usize..3), 1..6),
+        any::<bool>(),
+        any::<bool>(),
+        1usize..6,
+    )
+        .prop_map(|(source_arities, target_arities, corrs, source_fk, target_fk, rows)| GenSpec {
+            source_arities,
+            target_arities,
+            corrs,
+            source_fk,
+            target_fk,
+            rows,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_mappings_are_sound_end_to_end(spec in spec()) {
+        let mut s = Schema::new();
+        let attr_names = ["a", "b", "c"];
+        for (k, &arity) in spec.source_arities.iter().enumerate() {
+            s.rel(&format!("S{k}"), &attr_names[..arity]);
+        }
+        let mut t = Schema::new();
+        for (k, &arity) in spec.target_arities.iter().enumerate() {
+            t.rel(&format!("T{k}"), &attr_names[..arity]);
+        }
+        let corrs: Vec<Correspondence> = spec
+            .corrs
+            .iter()
+            .map(|&(sr, sc, tr, tc)| Correspondence {
+                source: (
+                    RelId(sr as u32),
+                    (sc % spec.source_arities[sr]) as u32,
+                ),
+                target: (
+                    RelId(tr as u32),
+                    (tc % spec.target_arities[tr]) as u32,
+                ),
+            })
+            .collect();
+        let source_fks: Vec<ForeignKey> = spec
+            .source_fk
+            .then(|| ForeignKey {
+                name: "sfk".into(),
+                child: RelId(1),
+                child_cols: vec![0],
+                parent: RelId(0),
+                parent_cols: vec![0],
+            })
+            .into_iter()
+            .collect();
+        let target_fks: Vec<ForeignKey> = spec
+            .target_fk
+            .then(|| ForeignKey {
+                name: "tfk".into(),
+                child: RelId(1),
+                child_cols: vec![0],
+                parent: RelId(0),
+                parent_cols: vec![0],
+            })
+            .into_iter()
+            .collect();
+
+        let mapping = generate_mapping(&s, &t, &source_fks, &target_fks, &corrs)
+            .expect("generation never produces malformed tgds");
+        prop_assert!(is_weakly_acyclic(&mapping));
+
+        // Populate, chase, and route every tuple.
+        let mut pool = ValuePool::new();
+        let mut i = Instance::new(&s);
+        for (k, &arity) in spec.source_arities.iter().enumerate() {
+            for row in 0..spec.rows {
+                let values: Vec<Value> =
+                    (0..arity).map(|c| Value::Int((row % 3) as i64 + c as i64)).collect();
+                i.insert_ok(RelId(k as u32), &values);
+            }
+        }
+        let options = ChaseOptions {
+            max_rounds: 200,
+            max_tuples: 5_000,
+            ..ChaseOptions::fresh()
+        };
+        let Ok(result) = chase(&mapping, &i, &mut pool, options) else {
+            return Ok(()); // guard tripped on a pathological spec
+        };
+        prop_assert!(routes_mapping::satisfy::is_solution(&mapping, &i, &result.target));
+        let env = RouteEnv::new(&mapping, &i, &result.target);
+        for probe in result.target.all_rows().take(12) {
+            let route = compute_one_route(env, &[probe])
+                .expect("chased tuples always have routes");
+            route.validate(&env, &[probe]).unwrap();
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the nested relational model: random trees survive the
+//! encode → decode roundtrip, and copying tgds preserve tree shape through
+//! the chase.
+
+use proptest::prelude::*;
+
+use mapping_routes::prelude::*;
+use routes_nested::{decode_instance, encode_instance, encode_schema};
+
+/// A random 3-level tree described as fanouts.
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    roots: usize,
+    mid_fanouts: Vec<usize>,
+    leaf_fanouts: Vec<usize>,
+}
+
+fn tree_spec() -> impl Strategy<Value = TreeSpec> {
+    (1usize..4)
+        .prop_flat_map(|roots| {
+            let mids = prop::collection::vec(0usize..4, roots);
+            mids.prop_flat_map(move |mid_fanouts| {
+                let total_mid: usize = mid_fanouts.iter().sum();
+                let leaves = prop::collection::vec(0usize..4, total_mid.max(1));
+                leaves.prop_map(move |leaf_fanouts| TreeSpec {
+                    roots,
+                    mid_fanouts: mid_fanouts.clone(),
+                    leaf_fanouts,
+                })
+            })
+        })
+}
+
+fn build(spec: &TreeSpec) -> (NestedSchema, NestedInstance, ValuePool) {
+    let mut schema = NestedSchema::new();
+    let a = schema.add_root("A", &["x"]);
+    let b = schema.add_child(a, "B", &["y"]);
+    let c = schema.add_child(b, "C", &["z"]);
+    let pool = ValuePool::new();
+    let mut inst = NestedInstance::new();
+    let mut mid_idx = 0usize;
+    let mut counter = 0i64;
+    for r in 0..spec.roots {
+        let root = inst.add_root(&schema, a, &[Value::Int(r as i64)]);
+        for _ in 0..spec.mid_fanouts[r] {
+            counter += 1;
+            let mid = inst.add_child(&schema, root, b, &[Value::Int(counter)]);
+            let leaves = spec.leaf_fanouts.get(mid_idx).copied().unwrap_or(0);
+            mid_idx += 1;
+            for _ in 0..leaves {
+                counter += 1;
+                inst.add_child(&schema, mid, c, &[Value::Int(counter)]);
+            }
+        }
+    }
+    (schema, inst, pool)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_structure(spec in tree_spec()) {
+        let (schema, inst, _pool) = build(&spec);
+        let enc_schema = encode_schema(&schema);
+        let encoded = encode_instance(&schema, &enc_schema, &inst);
+        prop_assert_eq!(encoded.instance.total_tuples(), inst.len());
+
+        let back = decode_instance(&schema, &enc_schema, &encoded.instance);
+        prop_assert_eq!(back.len(), inst.len());
+        prop_assert_eq!(back.roots().len(), inst.roots().len());
+        // Depth multiset preserved.
+        let mut before: Vec<usize> = inst.iter().map(|n| inst.depth_of(n)).collect();
+        let mut after: Vec<usize> = back.iter().map(|n| back.depth_of(n)).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn copy_tgd_through_chase_preserves_trees(spec in tree_spec()) {
+        let (schema, inst, mut pool) = build(&spec);
+        if inst.is_empty() {
+            return Ok(());
+        }
+        // Target: isomorphic schema with primed names.
+        let mut dst = NestedSchema::new();
+        let a2 = dst.add_root("A2", &["x"]);
+        let b2 = dst.add_child(a2, "B2", &["y"]);
+        dst.add_child(b2, "C2", &["z"]);
+        let enc_src = encode_schema(&schema);
+        let enc_dst = encode_schema(&dst);
+        let encoded = encode_instance(&schema, &enc_src, &inst);
+
+        let mut mapping = SchemaMapping::new(enc_src.schema.clone(), enc_dst.schema.clone());
+        // One copy tgd per depth prefix so even childless nodes copy.
+        let leaf_path = schema.path_to(schema.type_by_name("C").unwrap());
+        let dst_names = ["A2", "B2", "C2"];
+        for prefix in 1..=leaf_path.len() {
+            let text = copy_tree_tgd(
+                &format!("copy{prefix}"),
+                &schema,
+                &leaf_path[..prefix],
+                &dst_names[..prefix],
+            );
+            let tgd = parse_st_tgd(&enc_src.schema, &enc_dst.schema, &mut pool, &text).unwrap();
+            mapping.add_st_tgd(tgd).unwrap();
+        }
+        let solution = chase(&mapping, &encoded.instance, &mut pool, ChaseOptions::skolem())
+            .unwrap()
+            .target;
+        prop_assert_eq!(solution.total_tuples(), inst.len());
+        let back = decode_instance(&dst, &enc_dst, &solution);
+        prop_assert_eq!(back.len(), inst.len());
+        prop_assert_eq!(back.roots().len(), inst.roots().len());
+
+        // Every copied tuple has a (single-step) route.
+        let env = RouteEnv::new(&mapping, &encoded.instance, &solution);
+        for t in solution.all_rows().take(10) {
+            let route = compute_one_route(env, &[t]).unwrap();
+            route.validate(&env, &[t]).unwrap();
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The paper's §3 worked examples, end to end via the public API: the
+//! Figure 5 route tree, routes R1/R2/R3, the stratified-interpretation
+//! table, and the ComputeOneRoute trace of Example 3.8.
+
+use mapping_routes::prelude::*;
+use routes_gen::toy_scenario_3_5;
+use routes_model::Instance;
+
+fn tuple_of(sc: &routes_gen::Scenario, j: &Instance, rel: &str) -> TupleId {
+    let r = sc.mapping.target().rel_id(rel).unwrap();
+    j.rel_rows(r).next().unwrap()
+}
+
+#[test]
+fn figure_5_route_tree() {
+    let (sc, j, _) = toy_scenario_3_5();
+    let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+    let t7 = tuple_of(&sc, &j, "T7");
+    let forest = compute_all_routes(env, &[t7]);
+    assert_eq!(forest.num_nodes(), 7);
+    // σ3 and σ7 are the only competing branches (under T3).
+    let t3 = tuple_of(&sc, &j, "T3");
+    assert_eq!(forest.branches_of(t3).len(), 2);
+    for rel in ["T1", "T2", "T4", "T5", "T6", "T7"] {
+        assert_eq!(forest.branches_of(tuple_of(&sc, &j, rel)).len(), 1, "{rel}");
+    }
+    assert!(forest.all_roots_provable());
+}
+
+#[test]
+fn naive_print_produces_r3_and_minimization_recovers_r1() {
+    let (sc, j, _) = toy_scenario_3_5();
+    let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+    let t7 = tuple_of(&sc, &j, "T7");
+    let forest = compute_all_routes(env, &[t7]);
+    let routes = enumerate_routes(env, &forest, &[t7], 50);
+    assert_eq!(routes.len(), 1);
+    let r3 = &routes[0];
+    // R3: σ2 σ3 σ4 σ2 σ3 σ4 σ1 σ5 σ8 σ6.
+    let names: Vec<&str> = r3.steps().iter().map(|s| env.mapping.tgd(s.tgd).name()).collect();
+    assert_eq!(names, ["s2", "s3", "s4", "s2", "s3", "s4", "s1", "s5", "s8", "s6"]);
+    r3.validate(&env, &[t7]).unwrap();
+
+    // R1 = minimal version: σ2 σ3 σ4 σ1 σ5 σ8 σ6 (7 steps, minimal).
+    let r1 = minimize_route(&env, r3, &[t7]);
+    assert_eq!(r1.len(), 7);
+    assert!(is_minimal(&env, &r1, &[t7]));
+
+    // Paper: strat(R1) = strat(R3), rank 6, with blocks
+    // {σ1,σ2} {σ3} {σ4} {σ5} {σ8} {σ6}.
+    let s1 = stratify(&env, &r1);
+    let s3 = stratify(&env, r3);
+    assert_eq!(s1, s3);
+    assert_eq!(s1.rank(), 6);
+    let block_names: Vec<Vec<&str>> = s1
+        .blocks()
+        .iter()
+        .map(|b| b.iter().map(|s| env.mapping.tgd(s.tgd).name()).collect())
+        .collect();
+    assert_eq!(
+        block_names,
+        vec![
+            vec!["s1", "s2"],
+            vec!["s3"],
+            vec!["s4"],
+            vec!["s5"],
+            vec!["s8"],
+            vec!["s6"]
+        ]
+    );
+}
+
+#[test]
+fn sigma_9_extension_adds_route_r2() {
+    // Adding σ9: S3(x) → T5(x) plus S3(a) gives the paper's R2, which
+    // bypasses T1 entirely.
+    let (mut sc, j, _) = toy_scenario_3_5();
+    let s9 = parse_st_tgd(
+        sc.mapping.source(),
+        sc.mapping.target(),
+        &mut sc.pool,
+        "s9: S3(x) -> T5(x)",
+    )
+    .unwrap();
+    sc.mapping.add_st_tgd(s9).unwrap();
+    let a = sc.pool.str("a");
+    let s3_rel = sc.mapping.source().rel_id("S3").unwrap();
+    sc.source.insert_ok(s3_rel, &[a]);
+
+    let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+    let t7 = tuple_of(&sc, &j, "T7");
+    let forest = compute_all_routes(env, &[t7]);
+    let routes = enumerate_routes(env, &forest, &[t7], 50);
+    assert!(routes.len() >= 2);
+    // R2 = σ9 σ7 σ4 σ8 σ6: witnesses T5 directly from S3 and bypasses T1
+    // (and σ1/σ2/σ3) entirely. Some enumerated route must use exactly that
+    // step set.
+    let r2_set: std::collections::HashSet<&str> =
+        ["s9", "s7", "s4", "s8", "s6"].into_iter().collect();
+    let step_names = |r: &Route| -> std::collections::HashSet<&str> {
+        r.steps()
+            .iter()
+            .map(|s| env.mapping.tgd(s.tgd).name())
+            .collect()
+    };
+    let r2 = routes
+        .iter()
+        .find(|r| step_names(r) == r2_set)
+        .expect("the paper's R2 is among the enumerated routes");
+    r2.validate(&env, &[t7]).unwrap();
+    assert_eq!(minimize_route(&env, r2, &[t7]).len(), 5);
+}
+
+#[test]
+fn example_3_8_compute_one_route_trace() {
+    let (sc, j, _) = toy_scenario_3_5();
+    let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+    let t7 = tuple_of(&sc, &j, "T7");
+    let route = compute_one_route(env, &[t7]).expect("T7 has a route");
+    route.validate(&env, &[t7]).unwrap();
+    // The paper's trace ends with σ6 after Infer proves T7; ours likewise.
+    let names: Vec<&str> = route
+        .steps()
+        .iter()
+        .map(|s| env.mapping.tgd(s.tgd).name())
+        .collect();
+    assert_eq!(*names.last().unwrap(), "s6");
+    // The literal-Infer variant (appending stale triples) also returns a
+    // valid — possibly longer — route, exercising Figure 8 verbatim.
+    let literal = OneRouteOptions {
+        append_stale_triples: true,
+        ..OneRouteOptions::default()
+    };
+    let route2 = compute_one_route_with(env, &[t7], &literal).unwrap();
+    route2.validate(&env, &[t7]).unwrap();
+    assert!(route2.len() >= route.len());
+}
+
+#[test]
+fn example_3_2_satisfaction_step_semantics() {
+    // Definition 3.1 / Example 3.2 over the Fargo data: the satisfaction
+    // step's assignment covers existential variables, unlike a chase step.
+    let fargo = routes_gen::fargo_scenario();
+    let env = RouteEnv::new(
+        &fargo.scenario.mapping,
+        &fargo.scenario.source,
+        &fargo.solution,
+    );
+    let t6 = fargo.t[5];
+    let route = compute_one_route(env, &[t6]).unwrap();
+    assert_eq!(route.len(), 1);
+    let step = &route.steps()[0];
+    let tgd = env.mapping.tgd(step.tgd);
+    assert_eq!(tgd.name(), "m2");
+    // Every variable — including the existentials M and I — is assigned.
+    assert!(step.hom.iter().len() == tgd.var_count());
+    let m_var = (0..tgd.var_count() as u32)
+        .find(|&v| tgd.var_name(Var(v)) == "M")
+        .unwrap();
+    assert!(step.hom[m_var as usize].is_null());
+}
+
+#[test]
+fn paper_section_3_repeated_use_of_a_tgd_with_different_homs() {
+    // The σ: S(x) → ∃y T(x,y) example after Definition 3.1: both T(a,b)
+    // and T(a,c) are witnessed by the same tgd with different assignments —
+    // disallowed in a chase, required for routes.
+    let mut s = Schema::new();
+    s.rel("S", &["a"]);
+    let mut t = Schema::new();
+    t.rel("T", &["a", "b"]);
+    let mut pool = ValuePool::new();
+    let mut m = SchemaMapping::new(s.clone(), t.clone());
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "sigma: S(x) -> exists Y: T(x,Y)").unwrap())
+        .unwrap();
+    let mut i = Instance::new(&s);
+    let a = pool.str("a");
+    let (b, c) = (pool.str("b"), pool.str("c"));
+    i.insert_ok(s.rel_id("S").unwrap(), &[a]);
+    let mut j = Instance::new(&t);
+    let tr = t.rel_id("T").unwrap();
+    let tab = j.insert_ok(tr, &[a, b]);
+    let tac = j.insert_ok(tr, &[a, c]);
+    let env = RouteEnv::new(&m, &i, &j);
+    let route = compute_one_route(env, &[tab, tac]).unwrap();
+    route.validate(&env, &[tab, tac]).unwrap();
+    assert_eq!(route.len(), 2);
+    assert_eq!(route.steps()[0].tgd, route.steps()[1].tgd);
+    assert_ne!(route.steps()[0].hom, route.steps()[1].hom);
+}

@@ -1,0 +1,96 @@
+//! Properties of forward (source-side) route exploration on random
+//! scenarios: every forward branch is a valid satisfaction step whose LHS
+//! contains the explored fact, and forward reachability is consistent with
+//! backward witnessing — if a source tuple reaches a target tuple in one
+//! step, some route for that target tuple uses the source tuple.
+
+use mapping_routes::prelude::*;
+use routes_chase::chase;
+use routes_gen::random_scenario;
+use routes_model::Instance;
+
+fn chased(seed: u64) -> Option<(routes_gen::Scenario, Instance)> {
+    let mut sc = random_scenario(seed);
+    let options = ChaseOptions {
+        max_rounds: 200,
+        max_tuples: 5_000,
+        ..ChaseOptions::fresh()
+    };
+    let result = chase(&sc.mapping, &sc.source, &mut sc.pool, options).ok()?;
+    Some((sc, result.target))
+}
+
+#[test]
+fn forward_branches_are_valid_steps_containing_the_probe() {
+    let mut branches_checked = 0;
+    for seed in 0..120 {
+        let Some((sc, j)) = chased(seed) else { continue };
+        let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+        let sources: Vec<TupleId> = sc.source.all_rows().collect();
+        if sources.is_empty() {
+            continue;
+        }
+        let forest = compute_source_routes(env, &sources, 4);
+        for (&fact, branches) in &forest.branches {
+            for branch in branches {
+                branches_checked += 1;
+                let step = SatisfactionStep::new(branch.tgd, branch.hom.clone());
+                let lhs = step
+                    .lhs_facts(&env)
+                    .unwrap_or_else(|| panic!("seed {seed}: forward branch must resolve"));
+                assert!(
+                    lhs.contains(&fact),
+                    "seed {seed}: the explored fact appears in its branch's premises"
+                );
+                assert_eq!(lhs, branch.lhs_facts, "seed {seed}");
+                let rhs = step.rhs_tuples(&env).expect("resolves");
+                assert_eq!(rhs, branch.rhs_tuples, "seed {seed}");
+            }
+        }
+    }
+    assert!(branches_checked > 200, "enough branches checked: {branches_checked}");
+}
+
+#[test]
+fn one_step_forward_reachability_matches_backward_witnessing() {
+    for seed in 0..80 {
+        let Some((sc, j)) = chased(seed) else { continue };
+        let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+        let sources: Vec<TupleId> = sc.source.all_rows().collect();
+        if sources.is_empty() || j.is_empty() {
+            continue;
+        }
+        // Depth 1: only direct s-t exports.
+        for &s in &sources {
+            let forward = compute_source_routes(env, &[s], 1);
+            for target in forward.reached_targets() {
+                // Backward: the target's forest must contain an s-t branch
+                // whose premises include s.
+                let backward = compute_all_routes(env, &[target]);
+                let witnessed = backward.branches_of(target).iter().any(|b| {
+                    b.is_st() && b.lhs_facts.contains(&Fact::source(s))
+                });
+                assert!(
+                    witnessed,
+                    "seed {seed}: {target:?} reached forward from {s:?} but no backward \
+                     branch uses it"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_route_from_source_premises_include_the_source() {
+    for seed in 0..80 {
+        let Some((sc, j)) = chased(seed) else { continue };
+        let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+        for s in sc.source.all_rows() {
+            if let Some(route) = routes_core::source_routes::one_route_from_source(env, s) {
+                route.validate(&env, &[]).unwrap();
+                let lhs = route.steps()[0].lhs_facts(&env).unwrap();
+                assert!(lhs.contains(&Fact::source(s)), "seed {seed}");
+            }
+        }
+    }
+}

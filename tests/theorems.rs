@@ -1,0 +1,329 @@
+//! Property tests for the paper's formal guarantees:
+//!
+//! * **Theorem 3.10** (completeness of `ComputeOneRoute`): whenever a route
+//!   exists for a selection, `ComputeOneRoute` produces one — and it is a
+//!   valid route. We cross-validate against the route forest's provable set
+//!   (derived from `ComputeAllRoutes`), which independently characterizes
+//!   route existence.
+//! * **Theorem 3.7** (completeness of the route forest): every *minimal*
+//!   route for a selection has the same stratified interpretation — i.e.
+//!   the same step set — as some route enumerated by `NaivePrint` from the
+//!   forest. Minimal routes are enumerated by brute force on small random
+//!   scenarios.
+//! * **Proposition 3.6/3.9** (sanity versions): forests and routes stay
+//!   polynomial-sized on these scenarios.
+
+use std::collections::HashSet;
+
+use mapping_routes::prelude::*;
+use routes_chase::chase;
+use routes_core::FindHom;
+use routes_gen::random_scenario;
+use routes_model::Instance;
+
+/// Build `(scenario, J)` from a seed; `None` if the chase trips a guard.
+fn chased(seed: u64) -> Option<(routes_gen::Scenario, Instance)> {
+    let mut sc = random_scenario(seed);
+    let options = ChaseOptions {
+        max_rounds: 200,
+        max_tuples: 5_000,
+        ..ChaseOptions::fresh()
+    };
+    let result = chase(&sc.mapping, &sc.source, &mut sc.pool, options).ok()?;
+    Some((sc, result.target))
+}
+
+#[test]
+fn theorem_3_10_one_route_completeness_and_cross_validation() {
+    let mut scenarios = 0;
+    let mut tuples_checked = 0;
+    for seed in 0..200 {
+        let Some((sc, j)) = chased(seed) else { continue };
+        scenarios += 1;
+        let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+        let all: Vec<TupleId> = j.all_rows().collect();
+        if all.is_empty() {
+            continue;
+        }
+        // The forest over everything tells us exactly which tuples have
+        // routes.
+        let forest = compute_all_routes(env, &all);
+        let provable = forest.provable_set();
+        for &t in &all {
+            tuples_checked += 1;
+            match compute_one_route(env, &[t]) {
+                Ok(route) => {
+                    route
+                        .validate(&env, &[t])
+                        .unwrap_or_else(|e| panic!("seed {seed}: invalid route for {t:?}: {e}"));
+                    assert!(
+                        provable.contains(&t),
+                        "seed {seed}: one-route found a route the forest says cannot exist"
+                    );
+                }
+                Err(_) => {
+                    assert!(
+                        !provable.contains(&t),
+                        "seed {seed}: forest proves {t:?} but ComputeOneRoute failed \
+                         (Theorem 3.10 violated)"
+                    );
+                }
+            }
+        }
+        // Chase-produced tuples always have routes (they were derived from
+        // I by the dependencies).
+        for &t in &all {
+            assert!(
+                provable.contains(&t),
+                "seed {seed}: chased tuple {t:?} must have a route"
+            );
+        }
+        // Multi-tuple selections.
+        if all.len() >= 2 {
+            let selection = &all[..2.min(all.len())];
+            let route = compute_one_route(env, selection)
+                .unwrap_or_else(|e| panic!("seed {seed}: joint route failed: {e}"));
+            route.validate(&env, selection).unwrap();
+        }
+    }
+    assert!(scenarios > 100, "enough scenarios exercised: {scenarios}");
+    assert!(tuples_checked > 500, "enough tuples exercised: {tuples_checked}");
+}
+
+/// All satisfaction-step candidates `(σ, h)` valid with respect to `(I, J)`,
+/// collected by probing every target tuple with every tgd.
+fn candidate_steps(env: RouteEnv<'_>, j: &Instance) -> Vec<SatisfactionStep> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for t in j.all_rows() {
+        for tgd_id in env.mapping.tgd_ids() {
+            let mut fh = FindHom::new(env, tgd_id, routes_core::AnchorSide::Rhs, Fact::target(t));
+            while let Some(hom) = fh.next_hom() {
+                if seen.insert((tgd_id, hom.clone())) {
+                    out.push(SatisfactionStep::new(tgd_id, hom));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether a step set admits an applicable ordering producing `target`
+/// (greedy closure: apply any step whose premises are available).
+fn routable(env: &RouteEnv<'_>, steps: &[&SatisfactionStep], target: TupleId) -> bool {
+    let mut produced: HashSet<TupleId> = HashSet::new();
+    let mut used = vec![false; steps.len()];
+    loop {
+        let mut progressed = false;
+        for (k, step) in steps.iter().enumerate() {
+            if used[k] {
+                continue;
+            }
+            let lhs = step.lhs_facts(env).expect("candidate steps resolve");
+            let ready = lhs.iter().all(|f| match f.side {
+                Side::Source => true,
+                Side::Target => produced.contains(&f.id),
+            });
+            if ready {
+                used[k] = true;
+                produced.extend(step.rhs_tuples(env).expect("candidate steps resolve"));
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // A subset with unusable steps cannot be a *route of exactly
+            // this step set* (unused steps would be removable anyway).
+            return used.iter().all(|&u| u) && produced.contains(&target);
+        }
+        if used.iter().all(|&u| u) {
+            return produced.contains(&target);
+        }
+    }
+}
+
+#[test]
+fn theorem_3_7_minimal_routes_appear_in_naive_print() {
+    let mut verified_routes = 0;
+    let mut scenarios = 0;
+    for seed in 0..400 {
+        let Some((sc, j)) = chased(seed) else { continue };
+        if j.total_tuples() == 0 || j.total_tuples() > 6 {
+            continue;
+        }
+        let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+        let candidates = candidate_steps(env, &j);
+        if candidates.is_empty() || candidates.len() > 14 {
+            continue;
+        }
+        scenarios += 1;
+        let candidate_refs: Vec<&SatisfactionStep> = candidates.iter().collect();
+
+        for t in j.all_rows() {
+            // Brute-force all minimal routable step subsets for {t} (by
+            // subset enumeration; minimality = no routable strict subset).
+            let n = candidate_refs.len();
+            let mut routable_masks: Vec<u32> = Vec::new();
+            for mask in 1u32..(1 << n) {
+                let subset: Vec<&SatisfactionStep> = (0..n)
+                    .filter(|k| mask & (1 << k) != 0)
+                    .map(|k| candidate_refs[k])
+                    .collect();
+                if routable(&env, &subset, t) {
+                    routable_masks.push(mask);
+                }
+            }
+            let minimal_masks: Vec<u32> = routable_masks
+                .iter()
+                .copied()
+                .filter(|&m| {
+                    !routable_masks
+                        .iter()
+                        .any(|&other| other != m && other & m == other)
+                })
+                .collect();
+            if minimal_masks.is_empty() {
+                continue;
+            }
+
+            // NaivePrint's step sets for t.
+            let forest = compute_all_routes(env, &[t]);
+            let printed = enumerate_routes(env, &forest, &[t], 4_000);
+            let printed_sets: Vec<HashSet<&SatisfactionStep>> =
+                printed.iter().map(Route::step_set).collect();
+
+            for mask in minimal_masks {
+                let minimal_set: HashSet<&SatisfactionStep> = (0..candidate_refs.len())
+                    .filter(|k| mask & (1 << k) != 0)
+                    .map(|k| candidate_refs[k])
+                    .collect();
+                let found = printed_sets.contains(&minimal_set);
+                assert!(
+                    found,
+                    "seed {seed}: a minimal route for {t:?} with steps {minimal_set:?} \
+                     is not represented in NaivePrint's output (Theorem 3.7 violated)"
+                );
+                verified_routes += 1;
+            }
+        }
+    }
+    assert!(scenarios >= 20, "enough small scenarios found: {scenarios}");
+    assert!(verified_routes >= 50, "enough minimal routes verified: {verified_routes}");
+}
+
+#[test]
+fn naive_print_routes_are_always_valid() {
+    for seed in 0..100 {
+        let Some((sc, j)) = chased(seed) else { continue };
+        let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+        let all: Vec<TupleId> = j.all_rows().collect();
+        if all.is_empty() {
+            continue;
+        }
+        let selection = &all[..all.len().min(3)];
+        let forest = compute_all_routes(env, selection);
+        for route in enumerate_routes(env, &forest, selection, 200) {
+            route
+                .validate(&env, selection)
+                .unwrap_or_else(|e| panic!("seed {seed}: NaivePrint route invalid: {e}"));
+        }
+    }
+}
+
+#[test]
+fn forests_and_routes_stay_polynomial() {
+    // Sanity-scale version of Propositions 3.6/3.9: the forest branch count
+    // is bounded by (#tuples × #tgds × #homs-per-pair) and routes never
+    // exceed the forest's step budget.
+    for seed in 0..100 {
+        let Some((sc, j)) = chased(seed) else { continue };
+        let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+        let all: Vec<TupleId> = j.all_rows().collect();
+        if all.is_empty() {
+            continue;
+        }
+        let forest = compute_all_routes(env, &all);
+        let candidates = candidate_steps(env, &j);
+        // A step (σ, h) appears as a branch under each tuple of RHS(h(σ)),
+        // so the forest size is bounded by #candidates × max RHS width.
+        let max_rhs = sc
+            .mapping
+            .tgd_ids()
+            .map(|id| sc.mapping.tgd(id).rhs().len())
+            .max()
+            .unwrap_or(1);
+        assert!(forest.num_branches() <= candidates.len() * max_rhs);
+        if let Ok(route) = compute_one_route(env, &all) {
+            assert!(route.len() <= candidates.len());
+        }
+    }
+}
+
+#[test]
+fn exact_count_matches_enumeration_when_acyclic() {
+    use routes_core::count_routes;
+    let mut checked = 0;
+    for seed in 0..150 {
+        let Some((sc, j)) = chased(seed) else { continue };
+        let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+        let all: Vec<TupleId> = j.all_rows().collect();
+        if all.is_empty() || all.len() > 6 {
+            continue;
+        }
+        let selection = &all[..all.len().min(2)];
+        let forest = compute_all_routes(env, selection);
+        if let Some(count) = count_routes(&forest, selection) {
+            if count > 3_000 {
+                continue;
+            }
+            let enumerated = enumerate_routes(env, &forest, selection, 4_000);
+            assert_eq!(
+                enumerated.len() as u128,
+                count,
+                "seed {seed}: DP count must equal NaivePrint enumeration"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 40, "enough acyclic scenarios checked: {checked}");
+}
+
+#[test]
+fn minimize_route_always_reaches_a_minimal_route() {
+    for seed in 0..100 {
+        let Some((sc, j)) = chased(seed) else { continue };
+        let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+        let all: Vec<TupleId> = j.all_rows().collect();
+        if all.is_empty() {
+            continue;
+        }
+        let selection = &all[..all.len().min(2)];
+        if let Ok(route) = compute_one_route(env, selection) {
+            let minimal = minimize_route(&env, &route, selection);
+            assert!(minimal.len() <= route.len());
+            assert!(is_minimal(&env, &minimal, selection), "seed {seed}");
+            minimal.validate(&env, selection).unwrap();
+        }
+    }
+}
+
+#[test]
+fn alternative_routes_are_distinct_and_valid() {
+    for seed in 0..60 {
+        let Some((sc, j)) = chased(seed) else { continue };
+        let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
+        let Some(t) = j.all_rows().next() else { continue };
+        let routes = alternative_routes(env, &[t], 4);
+        let mut seen = HashSet::new();
+        for route in &routes {
+            route.validate(&env, &[t]).unwrap();
+            let mut sig: Vec<_> = route
+                .steps()
+                .iter()
+                .map(|s| (s.tgd, s.hom.clone()))
+                .collect();
+            sig.sort();
+            sig.dedup();
+            assert!(seen.insert(sig), "seed {seed}: duplicate alternative route");
+        }
+    }
+}
