@@ -2,15 +2,19 @@
 //! writes CSVs under `bench_results/`.
 //!
 //! ```text
-//! repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1] [--factor F]
+//! repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1|micro] [--factor F]
 //! ```
 //!
 //! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
-//! 1.0 for full paper-scale instances — slow).
+//! 1.0 for full paper-scale instances — slow). `micro` runs the
+//! fixed-small-scale micro-benchmarks (the retired criterion harnesses) and
+//! is not part of `all`; it ignores `--factor`.
 
 use std::path::Path;
 
-use routes_bench::{fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, table1, Sizing, Table};
+use routes_bench::{
+    fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, micro_benches, table1, Sizing, Table,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -88,6 +92,14 @@ fn main() {
         emit("table1", table1(&sizing));
         ran = true;
     }
+    if which == "micro" {
+        eprintln!("running micro-benchmarks ...");
+        for t in micro_benches() {
+            let name = t.title.clone();
+            emit(&name, vec![t]);
+        }
+        ran = true;
+    }
     if !ran {
         usage(&format!("unknown experiment `{which}`"));
     }
@@ -95,6 +107,8 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1] [--factor F]");
+    eprintln!(
+        "usage: repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1|micro] [--factor F]"
+    );
     std::process::exit(2);
 }

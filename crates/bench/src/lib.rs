@@ -18,11 +18,13 @@
 //! column indexes, as the paper's first run warmed the DB2 buffer pool).
 
 pub mod experiments;
+pub mod micro;
 pub mod table;
 
 pub use experiments::{
     fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, table1, Sizing,
 };
+pub use micro::micro_benches;
 pub use table::Table;
 
 use std::time::{Duration, Instant};
@@ -45,4 +47,25 @@ pub fn measure<R>(mut f: impl FnMut() -> R) -> (Duration, R) {
 /// plots are in seconds).
 pub fn secs(d: Duration) -> String {
     format!("{:.4}", d.as_secs_f64())
+}
+
+/// Median-of-N timing with warmup, the std replacement for the retired
+/// criterion harness: run `f` `warmup` times untimed (populating lazy
+/// column indexes and the allocator), then time `samples` runs and report
+/// the median. The median is robust against one-off scheduler noise, which
+/// is the property criterion's point estimate gave us.
+pub fn bench_median<R>(warmup: usize, samples: usize, mut f: impl FnMut() -> R) -> Duration {
+    assert!(samples > 0, "need at least one timed sample");
+    for _ in 0..warmup {
+        let _ = f();
+    }
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
 }

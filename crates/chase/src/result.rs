@@ -23,6 +23,35 @@ pub struct ChaseResult {
     pub egd_log: EgdLog,
 }
 
+/// Plain-data summary of a chase run, detached from the instances it
+/// produced — cheap to copy, store alongside a session, or serialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Number of tgd rounds executed.
+    pub rounds: usize,
+    /// Distinct target tuples created across the run (before egd merging).
+    pub tuples_created: usize,
+    /// Egd fixpoint passes that changed the instance.
+    pub egd_rewrites: usize,
+    /// Individual value merges egds performed.
+    pub egd_merges: usize,
+    /// Tuples in the final target instance `J`.
+    pub target_tuples: usize,
+}
+
+impl ChaseResult {
+    /// Summarize this run as detached [`ChaseStats`].
+    pub fn stats(&self) -> ChaseStats {
+        ChaseStats {
+            rounds: self.rounds,
+            tuples_created: self.tuples_created,
+            egd_rewrites: self.egd_rewrites,
+            egd_merges: self.egd_log.len(),
+            target_tuples: self.target.total_tuples(),
+        }
+    }
+}
+
 /// Why a chase run did not produce a solution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChaseError {
@@ -71,6 +100,29 @@ impl std::error::Error for ChaseError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use routes_model::Schema;
+
+    #[test]
+    fn stats_summarize_the_run() {
+        let mut schema = Schema::new();
+        let r = schema.rel("T", &["a"]);
+        let mut target = Instance::new(&schema);
+        target.insert_ok(r, &[Value::Int(1)]);
+        target.insert_ok(r, &[Value::Int(2)]);
+        let result = ChaseResult {
+            target,
+            rounds: 3,
+            tuples_created: 5,
+            egd_rewrites: 1,
+            egd_log: Vec::new(),
+        };
+        let stats = result.stats();
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.tuples_created, 5);
+        assert_eq!(stats.egd_rewrites, 1);
+        assert_eq!(stats.egd_merges, 0);
+        assert_eq!(stats.target_tuples, 2);
+    }
 
     #[test]
     fn error_display() {

@@ -11,7 +11,9 @@
 //! scriptable (`spider scenario.sdl -c "probe t5" -c quit`).
 
 pub mod loader;
+pub mod prepare;
 pub mod repl;
 
 pub use loader::{load_scenario_str, LoadedScenario, LoaderError};
+pub use prepare::{prepare_scenario, PreparedScenario};
 pub use repl::Repl;

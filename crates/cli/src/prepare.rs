@@ -1,0 +1,114 @@
+//! Turning a parsed scenario into a debuggable `(I, J)` pair.
+//!
+//! Both front-ends — the `spider` REPL and the `spiderd` HTTP service —
+//! need the same post-load step: materialize a solution with the chase when
+//! the scenario file did not supply a `target data:` section, and keep the
+//! chase's provenance (egd log, statistics) for later probing. This module
+//! is that shared step.
+
+use routes_chase::{chase, ChaseError, ChaseOptions, ChaseStats, EgdLog};
+use routes_mapping::{is_weakly_acyclic, SchemaMapping};
+use routes_model::{Instance, ValuePool};
+
+use crate::loader::LoadedScenario;
+
+/// A scenario ready for route debugging: mapping, source, and a concrete
+/// solution `J` (supplied or chased), plus chase provenance.
+pub struct PreparedScenario {
+    /// The value pool (extended with any nulls the chase invented).
+    pub pool: ValuePool,
+    /// The mapping `M = (S, T, Σst ∪ Σt)`.
+    pub mapping: SchemaMapping,
+    /// The source instance `I`.
+    pub source: Instance,
+    /// The solution `J`.
+    pub target: Instance,
+    /// Egd merge provenance (empty when the file supplied `J`).
+    pub egd_log: EgdLog,
+    /// Statistics of the materializing chase; `None` when the file
+    /// supplied `J` and no chase ran.
+    pub chase_stats: Option<ChaseStats>,
+    /// Target nesting structure, when the scenario used an xml schema.
+    pub nested_target: Option<routes_nested::NestedSchema>,
+    /// Whether `Σt` is weakly acyclic (front-ends warn when it is not).
+    pub weakly_acyclic: bool,
+}
+
+/// Chase a solution if the scenario did not supply one, with the given
+/// options (front-ends default to [`ChaseOptions::fresh`], the standard
+/// chase, whose result is a universal solution).
+pub fn prepare_scenario(
+    loaded: LoadedScenario,
+    options: ChaseOptions,
+) -> Result<PreparedScenario, ChaseError> {
+    let LoadedScenario {
+        mut pool,
+        mapping,
+        source,
+        target,
+        nested_source: _,
+        nested_target,
+    } = loaded;
+    let (target, egd_log, chase_stats) = match target {
+        Some(t) => (t, EgdLog::new(), None),
+        None => {
+            let result = chase(&mapping, &source, &mut pool, options)?;
+            let stats = result.stats();
+            (result.target, result.egd_log, Some(stats))
+        }
+    };
+    let weakly_acyclic = is_weakly_acyclic(&mapping);
+    Ok(PreparedScenario {
+        pool,
+        mapping,
+        source,
+        target,
+        egd_log,
+        chase_stats,
+        nested_target,
+        weakly_acyclic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::load_scenario_str;
+
+    const WITH_TARGET: &str = "\
+source schema:
+  S(a)
+target schema:
+  T(a)
+dependencies:
+  m: S(x) -> T(x)
+source data:
+  S(1)
+target data:
+  T(1)
+";
+
+    #[test]
+    fn supplied_target_skips_the_chase() {
+        let loaded = load_scenario_str(WITH_TARGET).unwrap();
+        let prepared = prepare_scenario(loaded, ChaseOptions::fresh()).unwrap();
+        assert!(prepared.chase_stats.is_none());
+        assert!(prepared.egd_log.is_empty());
+        assert_eq!(prepared.target.total_tuples(), 1);
+        assert!(prepared.weakly_acyclic);
+    }
+
+    #[test]
+    fn missing_target_is_chased_with_stats() {
+        let text = WITH_TARGET
+            .split("target data:")
+            .next()
+            .unwrap();
+        let loaded = load_scenario_str(text).unwrap();
+        let prepared = prepare_scenario(loaded, ChaseOptions::fresh()).unwrap();
+        let stats = prepared.chase_stats.expect("chase ran");
+        assert_eq!(stats.target_tuples, 1);
+        assert!(stats.rounds >= 1);
+        assert_eq!(prepared.target.total_tuples(), 1);
+    }
+}

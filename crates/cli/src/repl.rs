@@ -7,6 +7,7 @@
 use std::fmt::Write as _;
 
 use routes_chase::{chase, ChaseOptions, EgdLog};
+use crate::prepare::prepare_scenario;
 use routes_core::{
     alternative_routes, compute_all_routes, compute_one_route, compute_source_routes,
     enumerate_routes, is_minimal, minimize_route, route_to_string, step_to_string, stratify,
@@ -33,34 +34,20 @@ impl Repl {
     /// Build a session from a loaded scenario, chasing a solution when the
     /// file did not supply one.
     pub fn new(loaded: LoadedScenario) -> Result<Self, String> {
-        let LoadedScenario {
-            mut pool,
-            mapping,
-            source,
-            target,
-            nested_source: _,
-            nested_target,
-        } = loaded;
-        let (target, egd_log) = match target {
-            Some(t) => (t, EgdLog::new()),
-            None => {
-                let result = chase(&mapping, &source, &mut pool, ChaseOptions::fresh())
-                    .map_err(|e| format!("chase failed: {e}"))?;
-                (result.target, result.egd_log)
-            }
-        };
-        if !routes_mapping::is_weakly_acyclic(&mapping) {
+        let prepared = prepare_scenario(loaded, ChaseOptions::fresh())
+            .map_err(|e| format!("chase failed: {e}"))?;
+        if !prepared.weakly_acyclic {
             eprintln!(
                 "warning: the target tgds are not weakly acyclic — the chase may not terminate"
             );
         }
         let mut repl = Repl {
-            pool,
-            mapping,
-            source,
-            target,
-            egd_log,
-            nested_target,
+            pool: prepared.pool,
+            mapping: prepared.mapping,
+            source: prepared.source,
+            target: prepared.target,
+            egd_log: prepared.egd_log,
+            nested_target: prepared.nested_target,
             source_labels: Vec::new(),
             target_labels: Vec::new(),
         };

@@ -43,6 +43,7 @@ pub mod source_routes;
 pub mod step;
 pub mod strat;
 pub mod trace;
+pub mod view;
 #[cfg(test)]
 pub(crate) mod testkit;
 
@@ -66,3 +67,4 @@ pub use source_routes::{compute_source_routes, ForwardBranch, ForwardForest};
 pub use step::SatisfactionStep;
 pub use strat::{route_rank, stratify, StratifiedRoute};
 pub use trace::{Trace, TraceEvent};
+pub use view::{FactView, ForestNodeView, ForestView, RouteView, StepView, TupleRef};

@@ -8,8 +8,7 @@
 //! tgds carry those columns along — which is precisely why selection depth
 //! affects `findHom` cost in the deep scenario.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use routes_mapping::{parse_st_tgd, parse_target_tgd, SchemaMapping};
 use routes_model::{Instance, RelId, TupleId, Value, ValuePool};
 use routes_nested::{
@@ -260,7 +259,7 @@ pub fn deep_scenario(rows: &DeepRows, seed: u64) -> DeepScenario {
     // Source tree.
     let mut pool = ValuePool::new();
     let mut tree = NestedInstance::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let region_ty = src_nested.type_by_name("Region0").unwrap();
     let nation_ty = src_nested.type_by_name("Nation0").unwrap();
     let customer_ty = src_nested.type_by_name("Customer0").unwrap();

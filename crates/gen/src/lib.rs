@@ -14,12 +14,15 @@
 //!   dependency counts, instance sizes) that drives the measurements.
 //! * [`random`] — seeded random mapping/instance scenarios for property and
 //!   fuzz-style tests (Theorems 3.7 / 3.10).
+//! * [`rng`] — the deterministic SplitMix64 generator every module above
+//!   draws from (the workspace builds offline, with no external crates).
 
 pub mod hierarchy;
 pub mod paper;
 pub mod random;
 pub mod real;
 pub mod relational;
+pub mod rng;
 pub mod scenario;
 pub mod tpch;
 
@@ -28,5 +31,6 @@ pub use paper::{fargo_scenario, toy_scenario_3_5, FargoScenario};
 pub use random::random_scenario;
 pub use real::{dblp_scenario, mondial_scenario, RealScenario};
 pub use relational::{relational_scenario, RelationalScenario, GROUPS};
+pub use rng::Rng;
 pub use scenario::Scenario;
 pub use tpch::TpchRows;

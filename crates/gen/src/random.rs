@@ -5,8 +5,7 @@
 //! terminates: target tgds never introduce existential variables (only s-t
 //! tgds may), which makes every dependency set weakly acyclic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use routes_mapping::{Tgd, SchemaMapping};
 use routes_model::{Atom, Instance, RelId, Schema, Term, Value, ValuePool, Var};
 
@@ -49,7 +48,7 @@ fn compact_vars(atoms: Vec<Atom>, var_names: &[String]) -> (Vec<Atom>, Vec<Strin
 /// Build a small random scenario. For a fixed seed the scenario is fully
 /// deterministic.
 pub fn random_scenario(seed: u64) -> Scenario {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let pool = ValuePool::new();
 
     let n_source = rng.gen_range(1..=3usize);
@@ -75,7 +74,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
 
     // Random atoms over a small shared variable space.
     let var_names: Vec<String> = (0..4).map(|i| format!("v{i}")).collect();
-    let rand_atoms = |rng: &mut StdRng,
+    let rand_atoms = |rng: &mut Rng,
                           rels: &[(RelId, usize)],
                           count: usize,
                           allow_fresh_vars: bool,

@@ -13,8 +13,7 @@
 //! Table 1 benchmark uses the standard (`Fresh`) chase, which produces the
 //! cleanest solutions, mirroring how Clio materialized these targets.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use routes_mapping::{parse_egd, parse_st_tgd, parse_target_tgd, SchemaMapping};
 use routes_model::{Instance, Schema, Value, ValuePool};
 use routes_nested::{encode_instance, encode_schema, NestedInstance, NestedSchema};
@@ -99,7 +98,7 @@ impl DblpRows {
 pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
     let rows = DblpRows::scale(scale);
     let mut pool = ValuePool::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // --- Source: DBLP1 (flat XML, depth 1) -------------------------------
     let mut dblp1 = NestedSchema::new();
@@ -250,7 +249,7 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
     for k in 0..(rows.article / 2).max(8) {
         authors.push(pool.str(&format!("Author#{k}")));
     }
-    let pick = |rng: &mut StdRng, v: &[Value]| v[rng.gen_range(0..v.len())];
+    let pick = |rng: &mut Rng, v: &[Value]| v[rng.gen_range(0..v.len())];
     for k in 0..rows.article {
         let key = pool.str(&format!("journals/a{k}"));
         let title = pool.str(&format!("Article Title {k}"));
@@ -435,7 +434,7 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
     let counts_members = n(2_000.0);
     let counts_geo = n(250.0); // per geographic feature kind
     let mut pool = ValuePool::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // --- Source: Mondial1 (relational) ------------------------------------
     let mut source_schema = Schema::new();
@@ -652,7 +651,7 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
     let langs: Vec<Value> = (0..40).map(|k| pool.str(&format!("Lang{k}"))).collect();
     let religions: Vec<Value> = (0..20).map(|k| pool.str(&format!("Rel{k}"))).collect();
     let groups: Vec<Value> = (0..30).map(|k| pool.str(&format!("Eth{k}"))).collect();
-    let pick_code = |rng: &mut StdRng| codes[rng.gen_range(0..codes.len())];
+    let pick_code = |rng: &mut Rng| codes[rng.gen_range(0..codes.len())];
     for (rel, names, count) in [
         (s_language, &langs, counts_langs),
         (s_religion, &religions, counts_religions),
@@ -730,9 +729,9 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
                 source.insert_ok(s_popdata, &[code, Value::Int(y),
                     Value::Int(rng.gen_range(100_000..900_000_000)), Value::Int(rng.gen_range(-2..5))]);
             }
-            let gov = pool.str(govs[(code.is_constant() as usize + rng.gen_range(0..3)) % 3]);
+            let gov = pool.str(govs[(code.is_constant() as usize + rng.gen_range(0..3usize)) % 3]);
             let dep = pool.str("none");
-            source.insert_ok(s_politics, &[code, Value::Int(1800 + rng.gen_range(0..200)), dep, gov]);
+            source.insert_ok(s_politics, &[code, Value::Int(1800 + rng.gen_range(0..200i64)), dep, gov]);
         }
         for k in 0..counts_geo {
             let city = pool.str(&format!("City {}-0-0", k % counts_countries));

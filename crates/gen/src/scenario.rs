@@ -5,8 +5,7 @@ use routes_chase::{chase, ChaseError, ChaseOptions, ChaseResult};
 use routes_mapping::SchemaMapping;
 use routes_model::{Instance, TupleId, ValuePool};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// A complete debugging scenario: everything needed to chase a solution and
 /// compute routes.
@@ -45,7 +44,7 @@ pub fn random_tuples(
     n: usize,
     seed: u64,
 ) -> Vec<TupleId> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let total: u64 = rels.iter().map(|&r| u64::from(inst.rel_len(r))).sum();
     let mut picked = std::collections::HashSet::new();
     let mut out = Vec::new();

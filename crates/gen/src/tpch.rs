@@ -9,8 +9,7 @@
 //! Schemas here keep each relation's join keys (the columns paper Figure 9
 //! joins on) plus representative payload columns.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use routes_model::{Instance, RelId, Schema, Value, ValuePool};
 
 /// Per-relation row counts.
@@ -106,7 +105,7 @@ pub fn populate(
     rows: &TpchRows,
     seed: u64,
 ) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let [region, nation, supplier, part, partsupp, customer, orders, lineitem] =
         [rels[0], rels[1], rels[2], rels[3], rels[4], rels[5], rels[6], rels[7]];
     let int = Value::Int;
@@ -152,7 +151,7 @@ pub fn populate(
     for k in 0..rows.orders {
         let ck = rng.gen_range(1..=rows.customer as i64);
         let total = rng.gen_range(1_000..500_000);
-        let date = 19_920_101 + rng.gen_range(0..2_555);
+        let date = 19_920_101 + rng.gen_range(0..2_555i64);
         inst.insert_ok(orders, &[int(k as i64 + 1), int(ck), int(total), int(date)]);
     }
     for k in 0..rows.lineitem {

@@ -5,7 +5,7 @@
 //! [`TupleId`] durably identifies a fact for the lifetime of the instance.
 //! This is the identity that routes, route forests, and the debugger use.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
@@ -75,7 +75,7 @@ struct MultiIndex {
     upto: u32,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct RelData {
     arity: usize,
     /// Row-major flattened tuple storage (`len * arity` values).
@@ -83,10 +83,26 @@ struct RelData {
     /// Tuple-hash → candidate rows, for duplicate elimination.
     dedup: HashMap<u64, Vec<u32>>,
     /// Lazily built per-column indexes. Interior mutability lets read-only
-    /// query evaluation build and extend indexes on a shared reference.
-    indexes: RefCell<HashMap<u32, ColIndex>>,
+    /// query evaluation build and extend indexes on a shared reference; a
+    /// `Mutex` (not `RefCell`) so instances stay `Sync` and server worker
+    /// threads can probe one shared instance concurrently. The lock is
+    /// uncontended in single-threaded use and never held across user code
+    /// other than the probe callback.
+    indexes: Mutex<HashMap<u32, ColIndex>>,
     /// Lazily built composite indexes, keyed by the ordered column set.
-    multi_indexes: RefCell<HashMap<Box<[u32]>, MultiIndex>>,
+    multi_indexes: Mutex<HashMap<Box<[u32]>, MultiIndex>>,
+}
+
+impl Clone for RelData {
+    fn clone(&self) -> Self {
+        RelData {
+            arity: self.arity,
+            data: self.data.clone(),
+            dedup: self.dedup.clone(),
+            indexes: Mutex::new(self.indexes.lock().unwrap().clone()),
+            multi_indexes: Mutex::new(self.multi_indexes.lock().unwrap().clone()),
+        }
+    }
 }
 
 impl RelData {
@@ -95,8 +111,8 @@ impl RelData {
             arity,
             data: Vec::new(),
             dedup: HashMap::new(),
-            indexes: RefCell::new(HashMap::new()),
-            multi_indexes: RefCell::new(HashMap::new()),
+            indexes: Mutex::new(HashMap::new()),
+            multi_indexes: Mutex::new(HashMap::new()),
         }
     }
 
@@ -117,7 +133,7 @@ impl RelData {
     /// Ensure the index for `col` exists and covers all current rows, then
     /// run `f` on the row list for `value` (empty slice if absent).
     fn with_index<R>(&self, col: u32, value: Value, f: impl FnOnce(&[u32]) -> R) -> R {
-        let mut indexes = self.indexes.borrow_mut();
+        let mut indexes = self.indexes.lock().unwrap();
         let idx = indexes.entry(col).or_default();
         let len = self.len();
         while idx.upto < len {
@@ -142,7 +158,7 @@ impl RelData {
     ) -> R {
         debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
         debug_assert_eq!(cols.len(), values.len());
-        let mut indexes = self.multi_indexes.borrow_mut();
+        let mut indexes = self.multi_indexes.lock().unwrap();
         let idx = indexes.entry(Box::from(cols)).or_default();
         let len = self.len();
         let mut key: Vec<Value> = Vec::with_capacity(cols.len());

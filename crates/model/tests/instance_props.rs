@@ -1,8 +1,12 @@
 //! Property tests for the instance store: set semantics, stable ids, index
 //! consistency under interleaved inserts and probes, and `map_values`
 //! correctness.
+//!
+//! Ported from `proptest` to seeded deterministic loops over the in-repo
+//! PRNG ([`routes_gen::Rng`]) so the workspace builds offline; the original
+//! case counts (256 per property) are preserved.
 
-use proptest::prelude::*;
+use routes_gen::Rng;
 use routes_model::{Instance, Schema, TupleId, Value};
 use std::collections::HashSet;
 
@@ -12,20 +16,26 @@ enum Op {
     Probe { col: usize, value: i64 },
 }
 
-fn op_strategy(arity: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => prop::collection::vec(0i64..6, arity).prop_map(Op::Insert),
-        1 => (0usize..arity, 0i64..6).prop_map(|(col, value)| Op::Probe { col, value }),
-    ]
+/// The proptest strategy, reified: 3:1 insert-to-probe mix, values in 0..6.
+fn random_op(rng: &mut Rng, arity: usize) -> Op {
+    if rng.gen_range(0..4usize) < 3 {
+        Op::Insert((0..arity).map(|_| rng.gen_range(0..6i64)).collect())
+    } else {
+        Op::Probe {
+            col: rng.gen_range(0..arity),
+            value: rng.gen_range(0..6i64),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn interleaved_inserts_and_probes_stay_consistent() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x1157 + case);
+        let ops: Vec<Op> = (0..rng.gen_range(0..60usize))
+            .map(|_| random_op(&mut rng, 2))
+            .collect();
 
-    #[test]
-    fn interleaved_inserts_and_probes_stay_consistent(
-        ops in prop::collection::vec(op_strategy(2), 0..60)
-    ) {
         let mut schema = Schema::new();
         let rel = schema.rel("R", &["a", "b"]);
         let mut inst = Instance::new(&schema);
@@ -38,16 +48,13 @@ proptest! {
                     let values: Vec<Value> = row.iter().map(|&v| Value::Int(v)).collect();
                     let (id, fresh) = inst.insert(rel, &values).unwrap();
                     let existed = model.contains(&row);
-                    prop_assert_eq!(fresh, !existed, "set semantics");
+                    assert_eq!(fresh, !existed, "case {case}: set semantics");
                     if !existed {
                         model.push(row.clone());
                     }
                     // Stable id: the id's row indexes the value in insertion
                     // order of distinct tuples.
-                    prop_assert_eq!(
-                        inst.tuple(id).to_vec(),
-                        values
-                    );
+                    assert_eq!(inst.tuple(id).to_vec(), values, "case {case}");
                 }
                 Op::Probe { col, value } => {
                     let mut rows = Vec::new();
@@ -58,27 +65,36 @@ proptest! {
                         .filter(|(_, t)| t[col] == value)
                         .map(|(k, _)| k as u32)
                         .collect();
-                    prop_assert_eq!(&rows, &expected, "index agrees with scan");
-                    prop_assert_eq!(
+                    assert_eq!(&rows, &expected, "case {case}: index agrees with scan");
+                    assert_eq!(
                         inst.probe_len(rel, col as u32, Value::Int(value)),
-                        expected.len()
+                        expected.len(),
+                        "case {case}"
                     );
                 }
             }
         }
         // Final state: lengths and membership agree with the model.
-        prop_assert_eq!(inst.rel_len(rel) as usize, model.len());
+        assert_eq!(inst.rel_len(rel) as usize, model.len(), "case {case}");
         for (k, row) in model.iter().enumerate() {
             let values: Vec<Value> = row.iter().map(|&v| Value::Int(v)).collect();
-            prop_assert_eq!(
+            assert_eq!(
                 inst.find(rel, &values),
-                Some(TupleId { rel, row: k as u32 })
+                Some(TupleId { rel, row: k as u32 }),
+                "case {case}"
             );
         }
     }
+}
 
-    #[test]
-    fn map_values_is_a_set_image(rows in prop::collection::vec(prop::collection::vec(0i64..5, 2), 0..30)) {
+#[test]
+fn map_values_is_a_set_image() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x3A9 + case);
+        let rows: Vec<Vec<i64>> = (0..rng.gen_range(0..30usize))
+            .map(|_| (0..2).map(|_| rng.gen_range(0..5i64)).collect())
+            .collect();
+
         let mut schema = Schema::new();
         let rel = schema.rel("R", &["a", "b"]);
         let mut inst = Instance::new(&schema);
@@ -95,10 +111,10 @@ proptest! {
             .iter()
             .map(|r| r.iter().map(|v| v % 2).collect())
             .collect();
-        prop_assert_eq!(mapped.rel_len(rel) as usize, expected.len());
+        assert_eq!(mapped.rel_len(rel) as usize, expected.len(), "case {case}");
         for row in expected {
             let values: Vec<Value> = row.iter().map(|&v| Value::Int(v)).collect();
-            prop_assert!(mapped.contains(rel, &values));
+            assert!(mapped.contains(rel, &values), "case {case}");
         }
     }
 }

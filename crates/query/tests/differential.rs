@@ -1,14 +1,17 @@
 //! Differential property test: the planned, index-backed evaluator must
 //! agree exactly (as a set of total assignments) with the naive reference
 //! evaluator on randomly generated instances and conjunctive queries.
+//!
+//! Ported from `proptest` to seeded deterministic loops over the in-repo
+//! PRNG; the original case counts (512 per property) are preserved.
 
-use proptest::prelude::*;
+use routes_gen::Rng;
 use routes_model::{Atom, Instance, Schema, Term, Value, Var};
 use routes_query::reference::all_matches_naive;
 use routes_query::{all_matches, Bindings, EvalOptions, MatchIter};
 use std::collections::HashSet;
 
-/// A compact description of a random scenario that proptest can shrink.
+/// A compact description of a random scenario.
 #[derive(Debug, Clone)]
 struct Scenario {
     /// Arity of each relation (1..=3 relations, arity 1..=3).
@@ -28,41 +31,42 @@ enum TermSpec {
     Const(i64),
 }
 
-fn scenario_strategy() -> impl Strategy<Value = Scenario> {
-    let arities = prop::collection::vec(1usize..=3, 1..=3);
-    arities.prop_flat_map(|arities| {
-        let nrels = arities.len();
-        let arities2 = arities.clone();
-        let arities3 = arities.clone();
-        let tuples = prop::collection::vec(
-            (0..nrels).prop_flat_map(move |r| {
-                let arity = arities2[r];
-                prop::collection::vec(0i64..5, arity).prop_map(move |vals| (r, vals))
-            }),
-            0..25,
-        );
-        let atoms = prop::collection::vec(
-            (0..nrels).prop_flat_map(move |r| {
-                let arity = arities3[r];
-                prop::collection::vec(
-                    prop_oneof![
-                        (0u32..4).prop_map(TermSpec::Var),
-                        (0i64..5).prop_map(TermSpec::Const),
-                    ],
-                    arity,
-                )
-                .prop_map(move |terms| (r, terms))
-            }),
-            1..=3,
-        );
-        let init = prop::collection::vec(((0u32..4), (0i64..5)), 0..2);
-        (tuples, atoms, init).prop_map(move |(tuples, atoms, init)| Scenario {
-            arities: arities.clone(),
-            tuples,
-            atoms,
-            init,
+/// The proptest strategy, reified over the seeded PRNG.
+fn random_scenario(rng: &mut Rng) -> Scenario {
+    let arities: Vec<usize> = (0..rng.gen_range(1..=3usize))
+        .map(|_| rng.gen_range(1..=3usize))
+        .collect();
+    let nrels = arities.len();
+    let tuples: Vec<(usize, Vec<i64>)> = (0..rng.gen_range(0..25usize))
+        .map(|_| {
+            let r = rng.gen_range(0..nrels);
+            (r, (0..arities[r]).map(|_| rng.gen_range(0..5i64)).collect())
         })
-    })
+        .collect();
+    let atoms: Vec<(usize, Vec<TermSpec>)> = (0..rng.gen_range(1..=3usize))
+        .map(|_| {
+            let r = rng.gen_range(0..nrels);
+            let terms = (0..arities[r])
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        TermSpec::Var(rng.gen_range(0..4u32))
+                    } else {
+                        TermSpec::Const(rng.gen_range(0..5i64))
+                    }
+                })
+                .collect();
+            (r, terms)
+        })
+        .collect();
+    let init: Vec<(u32, i64)> = (0..rng.gen_range(0..2usize))
+        .map(|_| (rng.gen_range(0..4u32), rng.gen_range(0..5i64)))
+        .collect();
+    Scenario {
+        arities,
+        tuples,
+        atoms,
+        init,
+    }
 }
 
 fn build(scenario: &Scenario) -> (Instance, Vec<Atom>, Bindings) {
@@ -102,25 +106,31 @@ fn build(scenario: &Scenario) -> (Instance, Vec<Atom>, Bindings) {
     (inst, atoms, init)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn planned_evaluator_matches_naive_reference(scenario in scenario_strategy()) {
+#[test]
+fn planned_evaluator_matches_naive_reference() {
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0xD1FF + case);
+        let scenario = random_scenario(&mut rng);
         let (inst, atoms, init) = build(&scenario);
         let fast: HashSet<Bindings> =
             all_matches(&inst, &atoms, init.clone()).into_iter().collect();
         let slow: HashSet<Bindings> =
             all_matches_naive(&inst, &atoms, init).into_iter().collect();
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow, "case {case}: {scenario:?}");
     }
+}
 
-    #[test]
-    fn composite_index_path_matches_naive_reference(scenario in scenario_strategy()) {
+#[test]
+fn composite_index_path_matches_naive_reference() {
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0xC0517 + case);
+        let scenario = random_scenario(&mut rng);
         // Force the composite path whenever two or more columns are bound
         // (threshold 0), and compare against the oracle.
         let (inst, atoms, init) = build(&scenario);
-        let options = EvalOptions { composite_threshold: 0 };
+        let options = EvalOptions {
+            composite_threshold: 0,
+        };
         let mut it = MatchIter::with_options(&inst, &atoms, init.clone(), options);
         let mut fast: HashSet<Bindings> = HashSet::new();
         while let Some(b) = it.next_match() {
@@ -128,11 +138,15 @@ proptest! {
         }
         let slow: HashSet<Bindings> =
             all_matches_naive(&inst, &atoms, init).into_iter().collect();
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow, "case {case}: {scenario:?}");
     }
+}
 
-    #[test]
-    fn matches_actually_satisfy_all_atoms(scenario in scenario_strategy()) {
+#[test]
+fn matches_actually_satisfy_all_atoms() {
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0x5A715 + case);
+        let scenario = random_scenario(&mut rng);
         let (inst, atoms, init) = build(&scenario);
         for m in all_matches(&inst, &atoms, init) {
             for atom in &atoms {
@@ -146,7 +160,7 @@ proptest! {
                         Term::Var(v) => m.get(*v).expect("match binds all atom vars"),
                     })
                     .collect();
-                prop_assert!(inst.contains(atom.rel, &values));
+                assert!(inst.contains(atom.rel, &values), "case {case}");
             }
         }
     }

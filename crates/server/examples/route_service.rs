@@ -1,0 +1,104 @@
+//! Drive `spiderd` end to end in one process: start the service on an
+//! ephemeral port, load the paper's flavor of scenario over HTTP, probe a
+//! route, list all routes, read the metrics, and shut down gracefully.
+//!
+//! ```text
+//! cargo run --example route_service -p routes-server
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use routes_server::{Json, Server, ServerConfig};
+
+const SCENARIO: &str = "\
+source schema:
+  Patient(pid, name, healthplan, date)
+target schema:
+  Person(pid, name)
+  History(pid, plan, date)
+dependencies:
+  m1: Patient(p, n, h, d) -> Person(p, n)
+  m2: Patient(p, n, h, d) -> History(p, h, d)
+source data:
+  Patient(123, 'Joe', 'Plus', 'Jan')
+  Patient(124, 'Ann', 'Basic', 'Feb')
+";
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: example\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body).unwrap();
+    (status, routes_server::json::parse(&body).expect("JSON body"))
+}
+
+fn main() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let (addr, handle) = server.spawn().expect("spawn");
+    println!("spiderd on http://{addr}\n");
+
+    let create = Json::obj([("scenario", Json::from(SCENARIO))]).encode();
+    let (status, reply) = request(addr, "POST", "/sessions", &create);
+    let id = reply.get("session").unwrap().as_u64().unwrap();
+    println!("POST /sessions -> {status}: session {id}, chase {}",
+        reply.get("chase").unwrap().encode());
+
+    let probe = r#"{"tuples": [{"relation": "History", "row": 0}]}"#;
+    let (status, reply) = request(addr, "POST", &format!("/sessions/{id}/one-route"), probe);
+    println!("\nPOST /sessions/{id}/one-route -> {status}");
+    for step in reply.get("steps").unwrap().as_array().unwrap() {
+        let rhs: Vec<&str> = step
+            .get("rhs")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|t| t.get("text").unwrap().as_str().unwrap())
+            .collect();
+        println!(
+            "  step {} witnesses {}",
+            step.get("tgd").unwrap().as_str().unwrap(),
+            rhs.join(", ")
+        );
+    }
+
+    let all = r#"{"tuples": [{"relation": "Person", "row": 0}, {"relation": "History", "row": 0}]}"#;
+    let (_, first) = request(addr, "POST", &format!("/sessions/{id}/all-routes"), all);
+    let (_, second) = request(addr, "POST", &format!("/sessions/{id}/all-routes"), all);
+    println!(
+        "\nPOST /sessions/{id}/all-routes: {} nodes, {} branches, cached={} then cached={}",
+        first.get("num_nodes").unwrap().encode(),
+        first.get("num_branches").unwrap().encode(),
+        first.get("cached").unwrap().encode(),
+        second.get("cached").unwrap().encode(),
+    );
+
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    println!(
+        "\nGET /metrics: requests_total={}, forest_cache_hits={}",
+        metrics.get("requests_total").unwrap().encode(),
+        metrics.get("forest_cache_hits").unwrap().encode(),
+    );
+
+    let (status, _) = request(addr, "POST", "/shutdown", "");
+    println!("\nPOST /shutdown -> {status}");
+    handle.join().expect("clean exit");
+    println!("server exited gracefully");
+}

@@ -1,0 +1,71 @@
+//! `spiderd` — serve the route debugger over HTTP.
+//!
+//! ```text
+//! spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N]
+//! ```
+//!
+//! Defaults: `127.0.0.1:7007`, 4 worker threads, 32 sessions. The bound
+//! address is printed on startup (useful with `--addr 127.0.0.1:0`).
+//! `POST /shutdown` stops the service gracefully.
+
+use routes_server::{Server, ServerConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:7007".to_owned();
+    let mut config = ServerConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| usage(&format!("{what} requires a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--threads" => {
+                config.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threads must be an integer"));
+            }
+            "--max-sessions" => {
+                config.max_sessions = value("--max-sessions")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-sessions must be an integer"));
+            }
+            "--help" | "-h" => {
+                println!("usage: spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N]");
+                return;
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    if config.threads == 0 || config.max_sessions == 0 {
+        usage("--threads and --max-sessions must be at least 1");
+    }
+
+    let server = match Server::bind(&addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => println!(
+            "spiderd listening on http://{bound} ({} workers, {} session slots)",
+            config.threads, config.max_sessions
+        ),
+        Err(e) => eprintln!("warning: cannot resolve bound address: {e}"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("error: server failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N]");
+    std::process::exit(2);
+}

@@ -1,0 +1,32 @@
+//! `routes-server` — a concurrent route-debugging service over HTTP.
+//!
+//! The `spiderd` binary exposes the workspace's route algorithms as a
+//! small JSON service, so editors and notebooks can probe a mapping
+//! scenario without embedding the Rust library:
+//!
+//! * [`http`] — a hand-rolled HTTP/1.1 subset (keep-alive, strict limits).
+//! * [`json`] — an in-repo JSON value, parser, and encoder (the workspace
+//!   builds offline with no external crates — see `DESIGN.md`).
+//! * [`session`] — the `RwLock` session store with LRU eviction and a
+//!   per-session memoized route-forest cache.
+//! * [`router`] — the REST surface: `POST /sessions`, one-route /
+//!   all-routes probes, summaries, `GET /metrics`, `POST /shutdown`.
+//! * [`metrics`] — atomic counters plus a request-latency histogram.
+//! * [`server`] — a fixed worker-thread pool accepting from one shared
+//!   listener, with graceful shutdown.
+//!
+//! Scenario loading and solution materialization reuse the `spider` CLI's
+//! loader and `prepare` step, so a scenario file means exactly the same
+//! thing to both front-ends.
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod session;
+
+pub use json::Json;
+pub use router::App;
+pub use server::{Server, ServerConfig};
+pub use session::{Session, SessionStore};

@@ -1,0 +1,127 @@
+//! Service counters, lock-free via atomics.
+//!
+//! One [`Metrics`] instance is shared by every worker thread; all updates
+//! are relaxed (counters tolerate reordering, they only need to not lose
+//! increments). `GET /metrics` renders a snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Upper bounds (µs) of the request-latency histogram buckets; the last
+/// bucket is unbounded.
+pub const LATENCY_BUCKETS_US: [u64; 7] = [100, 500, 1_000, 5_000, 25_000, 100_000, 1_000_000];
+
+/// Shared service counters.
+#[derive(Default)]
+pub struct Metrics {
+    pub requests_total: AtomicU64,
+    pub responses_2xx: AtomicU64,
+    pub responses_4xx: AtomicU64,
+    pub responses_5xx: AtomicU64,
+    pub bad_requests: AtomicU64,
+    pub connections_accepted: AtomicU64,
+    pub sessions_created: AtomicU64,
+    pub sessions_deleted: AtomicU64,
+    pub sessions_evicted: AtomicU64,
+    pub one_routes_computed: AtomicU64,
+    pub all_routes_computed: AtomicU64,
+    pub forest_cache_hits: AtomicU64,
+    pub forest_cache_misses: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Count one handled request with its response status and latency.
+    pub fn record_response(&self, status: u16, latency: Duration) {
+        self.requests_total.fetch_add(1, Relaxed);
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency[bucket].fetch_add(1, Relaxed);
+    }
+
+    /// Render the snapshot served by `GET /metrics`.
+    pub fn to_json(&self, live_sessions: usize) -> Json {
+        let hist: Vec<Json> = (0..=LATENCY_BUCKETS_US.len())
+            .map(|i| {
+                let le = LATENCY_BUCKETS_US
+                    .get(i)
+                    .map_or_else(|| "inf".to_owned(), |b| b.to_string());
+                Json::obj([
+                    ("le_us", Json::from(le)),
+                    ("count", Json::from(self.latency[i].load(Relaxed))),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("requests_total", Json::from(self.requests_total.load(Relaxed))),
+            ("responses_2xx", Json::from(self.responses_2xx.load(Relaxed))),
+            ("responses_4xx", Json::from(self.responses_4xx.load(Relaxed))),
+            ("responses_5xx", Json::from(self.responses_5xx.load(Relaxed))),
+            ("bad_requests", Json::from(self.bad_requests.load(Relaxed))),
+            (
+                "connections_accepted",
+                Json::from(self.connections_accepted.load(Relaxed)),
+            ),
+            ("live_sessions", Json::from(live_sessions)),
+            ("sessions_created", Json::from(self.sessions_created.load(Relaxed))),
+            ("sessions_deleted", Json::from(self.sessions_deleted.load(Relaxed))),
+            ("sessions_evicted", Json::from(self.sessions_evicted.load(Relaxed))),
+            (
+                "one_routes_computed",
+                Json::from(self.one_routes_computed.load(Relaxed)),
+            ),
+            (
+                "all_routes_computed",
+                Json::from(self.all_routes_computed.load(Relaxed)),
+            ),
+            ("forest_cache_hits", Json::from(self.forest_cache_hits.load(Relaxed))),
+            (
+                "forest_cache_misses",
+                Json::from(self.forest_cache_misses.load(Relaxed)),
+            ),
+            ("latency_us", Json::Array(hist)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_land_in_class_and_latency_buckets() {
+        let m = Metrics::new();
+        m.record_response(200, Duration::from_micros(50));
+        m.record_response(201, Duration::from_micros(400));
+        m.record_response(404, Duration::from_millis(2));
+        m.record_response(500, Duration::from_secs(5));
+        assert_eq!(m.requests_total.load(Relaxed), 4);
+        assert_eq!(m.responses_2xx.load(Relaxed), 2);
+        assert_eq!(m.responses_4xx.load(Relaxed), 1);
+        assert_eq!(m.responses_5xx.load(Relaxed), 1);
+        let snapshot = m.to_json(3);
+        assert_eq!(snapshot.get("requests_total").unwrap().as_u64(), Some(4));
+        assert_eq!(snapshot.get("live_sessions").unwrap().as_u64(), Some(3));
+        let hist = snapshot.get("latency_us").unwrap().as_array().unwrap();
+        assert_eq!(hist.len(), LATENCY_BUCKETS_US.len() + 1);
+        let total: u64 = hist.iter().map(|b| b.get("count").unwrap().as_u64().unwrap()).sum();
+        assert_eq!(total, 4);
+        // The 5 s response falls in the unbounded bucket.
+        assert_eq!(hist.last().unwrap().get("count").unwrap().as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,397 @@
+//! Request routing and handlers: the service's REST surface.
+//!
+//! ```text
+//! POST   /sessions                  load a scenario, chase if needed
+//! GET    /sessions/{id}             instance + chase summary
+//! POST   /sessions/{id}/one-route   ComputeOneRoute for a selection
+//! POST   /sessions/{id}/all-routes  ComputeAllRoutes (memoized per session)
+//! DELETE /sessions/{id}             drop the session
+//! GET    /metrics                   service counters
+//! POST   /shutdown                  begin graceful shutdown
+//! ```
+//!
+//! Handlers are synchronous and lock-light: the session store lock is held
+//! only for lookups; route computation runs on a shared immutable session.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+use routes_chase::{ChaseOptions, ChaseStats};
+use routes_cli::{load_scenario_str, prepare_scenario};
+use routes_core::{compute_one_route, ForestView, RouteView, StepView, TupleRef};
+use routes_model::TupleId;
+
+use crate::http::{Request, Response};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::session::{Session, SessionStore};
+
+/// The shared application state every worker thread serves from.
+pub struct App {
+    pub store: SessionStore,
+    pub metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl App {
+    pub fn new(max_sessions: usize) -> Self {
+        App {
+            store: SessionStore::new(max_sessions),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Relaxed)
+    }
+
+    /// Dispatch one request.
+    pub fn handle(&self, req: &Request) -> Response {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("POST", ["sessions"]) => self.create_session(req),
+            ("GET", ["sessions", id]) => self.with_session(id, |s| self.session_summary(&s)),
+            ("DELETE", ["sessions", id]) => self.delete_session(id),
+            ("POST", ["sessions", id, "one-route"]) => {
+                self.with_session(id, |s| self.one_route(&s, req))
+            }
+            ("POST", ["sessions", id, "all-routes"]) => {
+                self.with_session(id, |s| self.all_routes(&s, req))
+            }
+            ("GET", ["metrics"]) => {
+                Response::json(200, self.metrics.to_json(self.store.len()).encode())
+            }
+            ("POST", ["shutdown"]) => {
+                self.shutdown.store(true, Relaxed);
+                Response::json(200, Json::obj([("shutting_down", Json::Bool(true))]).encode())
+            }
+            (_, ["sessions", ..]) | (_, ["metrics"]) | (_, ["shutdown"]) => {
+                Response::error(405, "method not allowed for this resource")
+            }
+            _ => Response::error(404, "no such resource"),
+        }
+    }
+
+    fn with_session(
+        &self,
+        id: &str,
+        f: impl FnOnce(std::sync::Arc<Session>) -> Response,
+    ) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(400, "session id must be an integer");
+        };
+        match self.store.get(id) {
+            Some(session) => f(session),
+            None => Response::error(404, "no such session (expired or deleted?)"),
+        }
+    }
+
+    fn create_session(&self, req: &Request) -> Response {
+        let body = match parse_body(req) {
+            Ok(b) => b,
+            Err(resp) => return resp,
+        };
+        let Some(text) = body.get("scenario").and_then(Json::as_str) else {
+            return Response::error(422, "body must have a string `scenario` field");
+        };
+        let options = match body.get("chase").and_then(Json::as_str) {
+            None | Some("fresh") => ChaseOptions::fresh(),
+            Some("skolem") => ChaseOptions::skolem(),
+            Some(_) => return Response::error(422, "`chase` must be \"fresh\" or \"skolem\""),
+        };
+        let loaded = match load_scenario_str(text) {
+            Ok(l) => l,
+            Err(e) => return Response::error(422, &format!("scenario does not load: {e}")),
+        };
+        let prepared = match prepare_scenario(loaded, options) {
+            Ok(p) => p,
+            Err(e) => return Response::error(422, &format!("chase failed: {e}")),
+        };
+        let weakly_acyclic = prepared.weakly_acyclic;
+        let stats = prepared.chase_stats;
+        let source_tuples = prepared.source.total_tuples();
+        let target_tuples = prepared.target.total_tuples();
+        let (id, evicted) = self.store.insert(prepared);
+        self.metrics.sessions_created.fetch_add(1, Relaxed);
+        self.metrics
+            .sessions_evicted
+            .fetch_add(evicted.len() as u64, Relaxed);
+        Response::json(
+            201,
+            Json::obj([
+                ("session", Json::from(id)),
+                ("source_tuples", Json::from(source_tuples)),
+                ("target_tuples", Json::from(target_tuples)),
+                ("weakly_acyclic", Json::from(weakly_acyclic)),
+                ("chase", stats.map_or(Json::Null, |s| chase_stats_json(&s))),
+                (
+                    "evicted",
+                    Json::Array(evicted.into_iter().map(Json::from).collect()),
+                ),
+            ])
+            .encode(),
+        )
+    }
+
+    fn delete_session(&self, id: &str) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(400, "session id must be an integer");
+        };
+        if self.store.remove(id) {
+            self.metrics.sessions_deleted.fetch_add(1, Relaxed);
+            Response::json(200, Json::obj([("deleted", Json::Bool(true))]).encode())
+        } else {
+            Response::error(404, "no such session")
+        }
+    }
+
+    fn session_summary(&self, session: &Session) -> Response {
+        let sc = &session.scenario;
+        let rel_counts = |schema: &routes_model::Schema, inst: &routes_model::Instance| {
+            Json::Object(
+                schema
+                    .iter()
+                    .map(|(id, rel)| (rel.name().to_owned(), Json::from(inst.rel_len(id))))
+                    .collect(),
+            )
+        };
+        Response::json(
+            200,
+            Json::obj([
+                ("session", Json::from(session.id)),
+                ("source", rel_counts(sc.mapping.source(), &sc.source)),
+                ("target", rel_counts(sc.mapping.target(), &sc.target)),
+                ("weakly_acyclic", Json::from(sc.weakly_acyclic)),
+                (
+                    "chase",
+                    session
+                        .chase_stats()
+                        .map_or(Json::Null, |s| chase_stats_json(&s)),
+                ),
+                ("egd_merges", Json::from(sc.egd_log.len())),
+                ("cached_forests", Json::from(session.cached_forests())),
+            ])
+            .encode(),
+        )
+    }
+
+    fn one_route(&self, session: &Session, req: &Request) -> Response {
+        let selected = match parse_selection(session, req) {
+            Ok(sel) => sel,
+            Err(resp) => return resp,
+        };
+        self.metrics.one_routes_computed.fetch_add(1, Relaxed);
+        let env = session.env();
+        match compute_one_route(env, &selected) {
+            Ok(route) => {
+                // Replay per Definition 3.3 before answering: a route the
+                // service emits is always machine-checked against (I, J).
+                let produced = match route.validate(&env, &selected) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        return Response::error(500, &format!("computed route failed replay: {e}"))
+                    }
+                };
+                let view = RouteView::build(&session.scenario.pool, &env, &route);
+                Response::json(
+                    200,
+                    Json::obj([
+                        ("found", Json::Bool(true)),
+                        ("validated", Json::Bool(true)),
+                        ("produced_tuples", Json::from(produced.len())),
+                        (
+                            "steps",
+                            Json::Array(route_steps_json(&view)),
+                        ),
+                    ])
+                    .encode(),
+                )
+            }
+            Err(e) => {
+                // "No route" is a debugging *answer* (the paper's unroutable
+                // tuples), not a client error.
+                let pool = &session.scenario.pool;
+                let labels: Vec<Json> = e
+                    .no_route
+                    .iter()
+                    .map(|&t| {
+                        tuple_ref_json(&TupleRef {
+                            relation: session
+                                .scenario
+                                .mapping
+                                .target()
+                                .relation(t.rel)
+                                .name()
+                                .to_owned(),
+                            row: t.row,
+                            text: routes_model::tuple_to_string(
+                                pool,
+                                session.scenario.mapping.target(),
+                                &session.scenario.target,
+                                t,
+                            ),
+                        })
+                    })
+                    .collect();
+                Response::json(
+                    200,
+                    Json::obj([
+                        ("found", Json::Bool(false)),
+                        ("no_route", Json::Array(labels)),
+                    ])
+                    .encode(),
+                )
+            }
+        }
+    }
+
+    fn all_routes(&self, session: &Session, req: &Request) -> Response {
+        let selected = match parse_selection(session, req) {
+            Ok(sel) => sel,
+            Err(resp) => return resp,
+        };
+        self.metrics.all_routes_computed.fetch_add(1, Relaxed);
+        let (forest, cached) = session.forest_for(&selected);
+        if cached {
+            self.metrics.forest_cache_hits.fetch_add(1, Relaxed);
+        } else {
+            self.metrics.forest_cache_misses.fetch_add(1, Relaxed);
+        }
+        let env = session.env();
+        let view = ForestView::build(&session.scenario.pool, &env, &forest);
+        Response::json(
+            200,
+            Json::obj([
+                ("cached", Json::Bool(cached)),
+                ("num_nodes", Json::from(view.nodes.len())),
+                ("num_branches", Json::from(view.num_branches)),
+                ("all_roots_provable", Json::from(view.all_roots_provable)),
+                (
+                    "roots",
+                    Json::Array(view.roots.iter().map(tuple_ref_json).collect()),
+                ),
+                (
+                    "nodes",
+                    Json::Array(
+                        view.nodes
+                            .iter()
+                            .map(|n| {
+                                Json::obj([
+                                    ("tuple", tuple_ref_json(&n.tuple)),
+                                    (
+                                        "branches",
+                                        Json::Array(
+                                            n.branches.iter().map(step_json).collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+            .encode(),
+        )
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = req
+        .body_str()
+        .map_err(|_| Response::error(400, "body is not UTF-8"))?;
+    json::parse(text).map_err(|e| Response::error(400, &e.to_string()))
+}
+
+/// Resolve `{"tuples": [{"relation": "T", "row": 0}, ...]}` against the
+/// session's target instance.
+fn parse_selection(session: &Session, req: &Request) -> Result<Vec<TupleId>, Response> {
+    let body = parse_body(req)?;
+    let Some(items) = body.get("tuples").and_then(Json::as_array) else {
+        return Err(Response::error(422, "body must have a `tuples` array"));
+    };
+    if items.is_empty() {
+        return Err(Response::error(422, "select at least one tuple"));
+    }
+    let target = session.scenario.mapping.target();
+    let mut selected = Vec::with_capacity(items.len());
+    for item in items {
+        let Some(name) = item.get("relation").and_then(Json::as_str) else {
+            return Err(Response::error(422, "each tuple needs a `relation` name"));
+        };
+        let Some(row) = item.get("row").and_then(Json::as_u64) else {
+            return Err(Response::error(422, "each tuple needs a numeric `row`"));
+        };
+        let Some(rel) = target.rel_id(name) else {
+            return Err(Response::error(
+                422,
+                &format!("no target relation named `{name}`"),
+            ));
+        };
+        if row >= u64::from(session.scenario.target.rel_len(rel)) {
+            return Err(Response::error(
+                422,
+                &format!("relation `{name}` has no row {row}"),
+            ));
+        }
+        selected.push(TupleId {
+            rel,
+            row: row as u32,
+        });
+    }
+    Ok(selected)
+}
+
+fn chase_stats_json(stats: &ChaseStats) -> Json {
+    Json::obj([
+        ("rounds", Json::from(stats.rounds)),
+        ("tuples_created", Json::from(stats.tuples_created)),
+        ("egd_rewrites", Json::from(stats.egd_rewrites)),
+        ("egd_merges", Json::from(stats.egd_merges)),
+        ("target_tuples", Json::from(stats.target_tuples)),
+    ])
+}
+
+fn tuple_ref_json(t: &TupleRef) -> Json {
+    Json::obj([
+        ("relation", Json::from(t.relation.as_str())),
+        ("row", Json::from(t.row)),
+        ("text", Json::from(t.text.as_str())),
+    ])
+}
+
+fn step_json(step: &StepView) -> Json {
+    Json::obj([
+        ("tgd", Json::from(step.tgd.as_str())),
+        (
+            "hom",
+            Json::Object(
+                step.hom
+                    .iter()
+                    .map(|(var, value)| (var.clone(), Json::from(value.as_str())))
+                    .collect(),
+            ),
+        ),
+        (
+            "lhs",
+            Json::Array(
+                step.lhs
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("source", Json::from(f.source)),
+                            ("tuple", tuple_ref_json(&f.tuple)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rhs",
+            Json::Array(step.rhs.iter().map(tuple_ref_json).collect()),
+        ),
+    ])
+}
+
+fn route_steps_json(view: &RouteView) -> Vec<Json> {
+    view.steps.iter().map(step_json).collect()
+}

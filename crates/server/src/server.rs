@@ -1,0 +1,205 @@
+//! The TCP front: a fixed pool of worker threads accepting from one
+//! shared listener, with graceful shutdown.
+//!
+//! Linux allows concurrent `accept(2)` on one listening socket, so each
+//! worker blocks in `accept` directly — no acceptor thread, no queue. A
+//! connection is served to completion (keep-alive loop) by the worker that
+//! accepted it; with N workers, at most N connections are in flight, which
+//! is the intended admission control for a debugging service.
+//!
+//! Shutdown: `POST /shutdown` flips the shared flag; the worker that
+//! served it then dials the listener once per worker so siblings parked in
+//! `accept` wake, observe the flag, and exit. `run` joins every worker.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::http::{parse_request, ParseError, Response};
+use crate::router::App;
+
+/// Server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker thread count (≥ 1).
+    pub threads: usize,
+    /// Session-store bound (LRU beyond this).
+    pub max_sessions: usize,
+    /// Per-read socket timeout; a stalled peer cannot pin a worker forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            max_sessions: 32,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A bound, not-yet-running service.
+pub struct Server {
+    listener: TcpListener,
+    app: Arc<App>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Bind the listener (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            app: Arc::new(App::new(config.max_sessions)),
+            config,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared application state (tests inspect metrics through this).
+    pub fn app(&self) -> Arc<App> {
+        Arc::clone(&self.app)
+    }
+
+    /// Serve until graceful shutdown; blocks, joining every worker.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.local_addr()?;
+        let threads = self.config.threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for k in 0..threads {
+            let listener = self.listener.try_clone()?;
+            let app = Arc::clone(&self.app);
+            let config = self.config;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("spiderd-worker-{k}"))
+                    .spawn(move || worker_loop(&listener, &app, &config, addr, threads))?,
+            );
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Start serving on a background thread; returns the bound address and
+    /// the join handle. Convenience for tests and examples.
+    pub fn spawn(self) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+        let addr = self.local_addr()?;
+        let handle = std::thread::spawn(move || {
+            let _ = self.run();
+        });
+        Ok((addr, handle))
+    }
+}
+
+fn worker_loop(
+    listener: &TcpListener,
+    app: &Arc<App>,
+    config: &ServerConfig,
+    addr: SocketAddr,
+    threads: usize,
+) {
+    loop {
+        if app.is_shutting_down() {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if app.is_shutting_down() {
+            // A wake-up dial, not a client.
+            return;
+        }
+        app.metrics.connections_accepted.fetch_add(1, Relaxed);
+        serve_connection(stream, app, config);
+        if app.is_shutting_down() {
+            // This worker served the /shutdown request (or raced it):
+            // wake the siblings parked in accept, then exit.
+            for _ in 0..threads {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+    }
+}
+
+/// How often an idle keep-alive connection re-checks the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Serve one connection's keep-alive request loop.
+fn serve_connection(stream: TcpStream, app: &Arc<App>, config: &ServerConfig) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Idle wait at the request boundary: a short read timeout so this
+        // worker notices graceful shutdown instead of pinning an idle
+        // connection for the full read timeout. Nothing is consumed here,
+        // so retrying after a timeout cannot corrupt request framing.
+        let _ = writer.set_read_timeout(Some(IDLE_POLL));
+        loop {
+            if app.is_shutting_down() {
+                return;
+            }
+            use std::io::BufRead as _;
+            match reader.fill_buf() {
+                Ok([]) => return, // clean EOF
+                Ok(_) => break,   // a request head is waiting
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue
+                }
+                Err(_) => return,
+            }
+        }
+        // A request is in flight: give the peer the full timeout.
+        let _ = writer.set_read_timeout(Some(config.read_timeout));
+        let request = match parse_request(&mut reader) {
+            Ok(r) => r,
+            Err(ParseError::Eof) => return,
+            Err(ParseError::Io(_)) => return,
+            Err(e) => {
+                // Syntax and limit violations get a response, then the
+                // connection closes (framing is unreliable after them).
+                app.metrics.bad_requests.fetch_add(1, Relaxed);
+                let response = match e {
+                    ParseError::TooLarge("body too large") => {
+                        Response::error(413, "body too large")
+                    }
+                    ParseError::TooLarge(what) => Response::error(431, what),
+                    ParseError::Malformed(what) => Response::error(400, what),
+                    ParseError::Eof | ParseError::Io(_) => unreachable!(),
+                };
+                app.metrics.record_response(response.status, Duration::ZERO);
+                let _ = response.write_to(&mut writer, false);
+                return;
+            }
+        };
+        let started = Instant::now();
+        let response = catch_unwind(AssertUnwindSafe(|| app.handle(&request)))
+            .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+        app.metrics.record_response(response.status, started.elapsed());
+        let keep_alive = request.keep_alive && !app.is_shutting_down();
+        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The session store: loaded scenarios with chased solutions, shared
+//! across worker threads, bounded by LRU eviction.
+//!
+//! A session is immutable once created (the pool, instances, and mapping
+//! are never touched again), so workers share it through an `Arc` and drop
+//! the store lock before doing any route computation. The only interior
+//! mutability is the per-session forest cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, RwLock};
+
+use routes_chase::ChaseStats;
+use routes_cli::PreparedScenario;
+use routes_core::{RouteEnv, RouteForest};
+use routes_model::TupleId;
+
+/// One loaded scenario with its chased (or supplied) solution.
+pub struct Session {
+    pub id: u64,
+    pub scenario: PreparedScenario,
+    /// Memoized route forests keyed by the *sorted* selected-tuple set, so
+    /// `[t1, t2]` and `[t2, t1]` share an entry (`compute_all_routes` is
+    /// order-insensitive in its result, per the forest's memoization).
+    forest_cache: Mutex<HashMap<Vec<TupleId>, Arc<RouteForest>>>,
+}
+
+impl Session {
+    fn new(id: u64, scenario: PreparedScenario) -> Self {
+        Session {
+            id,
+            scenario,
+            forest_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The route environment over this session's `(M, I, J)`.
+    pub fn env(&self) -> RouteEnv<'_> {
+        RouteEnv::new(
+            &self.scenario.mapping,
+            &self.scenario.source,
+            &self.scenario.target,
+        )
+    }
+
+    /// Chase statistics, if a chase materialized the solution.
+    pub fn chase_stats(&self) -> Option<ChaseStats> {
+        self.scenario.chase_stats
+    }
+
+    /// Look up or compute the forest for a selection. Returns the forest
+    /// and whether it was served from the cache.
+    pub fn forest_for(&self, selected: &[TupleId]) -> (Arc<RouteForest>, bool) {
+        let mut key: Vec<TupleId> = selected.to_vec();
+        key.sort_unstable_by_key(|t| (t.rel.0, t.row));
+        key.dedup();
+        if let Some(found) = self.forest_cache.lock().unwrap().get(&key) {
+            return (Arc::clone(found), true);
+        }
+        // Compute outside the lock: forests can be expensive and other
+        // selections should not queue behind this one.
+        let forest = Arc::new(routes_core::compute_all_routes(self.env(), &key));
+        let mut cache = self.forest_cache.lock().unwrap();
+        let entry = cache.entry(key).or_insert_with(|| Arc::clone(&forest));
+        (Arc::clone(entry), false)
+    }
+
+    /// Number of cached forests (for the session view).
+    pub fn cached_forests(&self) -> usize {
+        self.forest_cache.lock().unwrap().len()
+    }
+}
+
+struct StoreInner {
+    sessions: HashMap<u64, Arc<Session>>,
+    /// Least-recently-used first. Touched on every lookup.
+    lru: Vec<u64>,
+}
+
+/// Shared, bounded session store.
+pub struct SessionStore {
+    inner: RwLock<StoreInner>,
+    next_id: AtomicU64,
+    max_sessions: usize,
+}
+
+impl SessionStore {
+    /// An empty store holding at most `max_sessions` (≥ 1) sessions.
+    pub fn new(max_sessions: usize) -> Self {
+        SessionStore {
+            inner: RwLock::new(StoreInner {
+                sessions: HashMap::new(),
+                lru: Vec::new(),
+            }),
+            next_id: AtomicU64::new(1),
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    /// Insert a prepared scenario; returns its fresh id plus the ids of
+    /// any sessions evicted to stay under the bound.
+    pub fn insert(&self, scenario: PreparedScenario) -> (u64, Vec<u64>) {
+        let id = self.next_id.fetch_add(1, Relaxed);
+        let session = Arc::new(Session::new(id, scenario));
+        let mut inner = self.inner.write().unwrap();
+        inner.sessions.insert(id, session);
+        inner.lru.push(id);
+        let mut evicted = Vec::new();
+        while inner.sessions.len() > self.max_sessions {
+            let victim = inner.lru.remove(0);
+            inner.sessions.remove(&victim);
+            evicted.push(victim);
+        }
+        (id, evicted)
+    }
+
+    /// Fetch a session and mark it most-recently-used.
+    pub fn get(&self, id: u64) -> Option<Arc<Session>> {
+        let mut inner = self.inner.write().unwrap();
+        let found = inner.sessions.get(&id).cloned()?;
+        if let Some(pos) = inner.lru.iter().position(|&s| s == id) {
+            inner.lru.remove(pos);
+            inner.lru.push(id);
+        }
+        Some(found)
+    }
+
+    /// Remove a session; `true` if it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        let mut inner = self.inner.write().unwrap();
+        inner.lru.retain(|&s| s != id);
+        inner.sessions.remove(&id).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().sessions.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_chase::ChaseOptions;
+    use routes_cli::{load_scenario_str, prepare_scenario};
+
+    fn scenario(tag: i64) -> PreparedScenario {
+        let text = format!(
+            "source schema:\n  S(a)\ntarget schema:\n  T(a)\n\
+             dependencies:\n  m: S(x) -> T(x)\nsource data:\n  S({tag})\n"
+        );
+        prepare_scenario(load_scenario_str(&text).unwrap(), ChaseOptions::fresh()).unwrap()
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let store = SessionStore::new(2);
+        let (a, ev) = store.insert(scenario(1));
+        assert!(ev.is_empty());
+        let (b, ev) = store.insert(scenario(2));
+        assert!(ev.is_empty());
+        // Touch a so b becomes the LRU victim.
+        assert!(store.get(a).is_some());
+        let (c, ev) = store.insert(scenario(3));
+        assert_eq!(ev, vec![b], "b was least recently used");
+        assert!(store.get(b).is_none());
+        assert!(store.get(a).is_some());
+        assert!(store.get(c).is_some());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn remove_frees_a_slot() {
+        let store = SessionStore::new(1);
+        let (a, _) = store.insert(scenario(1));
+        assert!(store.remove(a));
+        assert!(!store.remove(a), "second delete is a no-op");
+        assert!(store.is_empty());
+        let (_, ev) = store.insert(scenario(2));
+        assert!(ev.is_empty(), "freed slot means no eviction");
+    }
+
+    #[test]
+    fn forest_cache_hits_for_permuted_selections() {
+        let store = SessionStore::new(4);
+        let (id, _) = store.insert(scenario(5));
+        let session = store.get(id).unwrap();
+        let tuples: Vec<TupleId> = session.scenario.target.all_rows().collect();
+        let (_, cached) = session.forest_for(&tuples);
+        assert!(!cached, "first computation misses");
+        let mut reversed = tuples.clone();
+        reversed.reverse();
+        let (_, cached) = session.forest_for(&reversed);
+        assert!(cached, "same set in another order hits");
+        assert_eq!(session.cached_forests(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! End-to-end service tests over real sockets: concurrent clients, route
+//! validation against an independently prepared `(I, J)`, forest-cache
+//! behavior, metrics consistency, LRU eviction, and graceful shutdown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use routes_chase::ChaseOptions;
+use routes_cli::{load_scenario_str, prepare_scenario};
+use routes_core::{Route, RouteEnv, SatisfactionStep};
+use routes_model::Value;
+use routes_server::json::{parse, Json};
+use routes_server::{Server, ServerConfig};
+
+/// A keep-alive HTTP client speaking just enough of the protocol.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Send one request on the persistent connection; parse the JSON reply.
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes()).unwrap();
+        self.writer.write_all(body.as_bytes()).unwrap();
+        self.writer.flush().unwrap();
+
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).unwrap();
+        let text = String::from_utf8(body).unwrap();
+        (status, parse(&text).unwrap_or_else(|e| panic!("bad JSON {text:?}: {e}")))
+    }
+}
+
+/// A scenario whose chase produces only constants, so the test can rebuild
+/// the server's route from its JSON (integer homs) and replay it locally.
+fn scenario_text(tag: i64) -> String {
+    format!(
+        "source schema:\n  S(a, b)\n\
+         target schema:\n  T(a, b)\n  U(a)\n\
+         dependencies:\n  m1: S(x, y) -> T(x, y)\n  m2: T(x, y) -> U(x)\n\
+         source data:\n  S({tag}, {t1})\n  S({t2}, {t3})\n",
+        t1 = tag + 1,
+        t2 = tag + 10,
+        t3 = tag + 11,
+    )
+}
+
+fn json_escape(text: &str) -> String {
+    Json::from(text).encode()
+}
+
+fn start(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    server.spawn().expect("spawn")
+}
+
+fn shutdown(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let mut c = Client::connect(addr);
+    let (status, body) = c.request("POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("shutting_down").unwrap().as_bool(), Some(true));
+    handle.join().expect("server thread exits cleanly");
+}
+
+/// Rebuild the served route from its JSON steps against a locally prepared
+/// copy of the same scenario, and replay it with `Route::validate`.
+fn validate_served_route(tag: i64, steps: &[Json], selected_relation: &str, selected_row: u32) {
+    let prepared = prepare_scenario(
+        load_scenario_str(&scenario_text(tag)).unwrap(),
+        ChaseOptions::fresh(),
+    )
+    .unwrap();
+    let env = RouteEnv::new(&prepared.mapping, &prepared.source, &prepared.target);
+    let route = Route::new(
+        steps
+            .iter()
+            .map(|step| {
+                let name = step.get("tgd").unwrap().as_str().unwrap();
+                let tgd = prepared.mapping.tgd_by_name(name).expect("tgd exists");
+                let tgd_ref = prepared.mapping.tgd(tgd);
+                let hom_obj = step.get("hom").unwrap();
+                let hom: Vec<Value> = (0..tgd_ref.var_count() as u32)
+                    .map(|v| {
+                        let rendered = hom_obj
+                            .get(tgd_ref.var_name(routes_model::Var(v)))
+                            .unwrap()
+                            .as_str()
+                            .unwrap();
+                        Value::Int(rendered.parse().expect("integer-only scenario"))
+                    })
+                    .collect();
+                SatisfactionStep::new(tgd, hom)
+            })
+            .collect(),
+    );
+    let rel = prepared
+        .mapping
+        .target()
+        .rel_id(selected_relation)
+        .unwrap();
+    let selected = [routes_model::TupleId {
+        rel,
+        row: selected_row,
+    }];
+    route
+        .validate(&env, &selected)
+        .expect("served route replays against the local (I, J)");
+}
+
+#[test]
+fn concurrent_clients_probe_validate_and_clean_up() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 4,
+        max_sessions: 16,
+        read_timeout: Duration::from_secs(30),
+    });
+
+    let clients: Vec<_> = (0..4)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let tag = 100 * (k as i64 + 1);
+                let mut c = Client::connect(addr);
+
+                let create = format!("{{\"scenario\": {}}}", json_escape(&scenario_text(tag)));
+                let (status, body) = c.request("POST", "/sessions", Some(&create));
+                assert_eq!(status, 201, "{body:?}");
+                let id = body.get("session").unwrap().as_u64().unwrap();
+                assert_eq!(body.get("target_tuples").unwrap().as_u64(), Some(4));
+                assert_eq!(body.get("weakly_acyclic").unwrap().as_bool(), Some(true));
+                let chase = body.get("chase").unwrap();
+                assert_eq!(chase.get("target_tuples").unwrap().as_u64(), Some(4));
+
+                // One route for U's first tuple: m1 then m2.
+                let probe = r#"{"tuples": [{"relation": "U", "row": 0}]}"#;
+                let (status, body) =
+                    c.request("POST", &format!("/sessions/{id}/one-route"), Some(probe));
+                assert_eq!(status, 200, "{body:?}");
+                assert_eq!(body.get("found").unwrap().as_bool(), Some(true));
+                assert_eq!(body.get("validated").unwrap().as_bool(), Some(true));
+                let steps = body.get("steps").unwrap().as_array().unwrap();
+                assert_eq!(steps.len(), 2, "m1 then m2");
+                validate_served_route(tag, steps, "U", 0);
+
+                // All routes, twice: the repeat must hit the forest cache.
+                let select_both =
+                    r#"{"tuples": [{"relation": "U", "row": 0}, {"relation": "T", "row": 0}]}"#;
+                let (status, first) =
+                    c.request("POST", &format!("/sessions/{id}/all-routes"), Some(select_both));
+                assert_eq!(status, 200);
+                assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
+                assert_eq!(first.get("all_roots_provable").unwrap().as_bool(), Some(true));
+                // Same set, permuted order.
+                let permuted =
+                    r#"{"tuples": [{"relation": "T", "row": 0}, {"relation": "U", "row": 0}]}"#;
+                let (status, second) =
+                    c.request("POST", &format!("/sessions/{id}/all-routes"), Some(permuted));
+                assert_eq!(status, 200);
+                assert_eq!(second.get("cached").unwrap().as_bool(), Some(true));
+                assert_eq!(
+                    second.get("num_branches").unwrap().as_u64(),
+                    first.get("num_branches").unwrap().as_u64(),
+                );
+
+                let (status, body) = c.request("GET", &format!("/sessions/{id}"), None);
+                assert_eq!(status, 200);
+                assert_eq!(body.get("cached_forests").unwrap().as_u64(), Some(1));
+                assert_eq!(
+                    body.get("target").unwrap().get("T").unwrap().as_u64(),
+                    Some(2)
+                );
+
+                let (status, body) = c.request("DELETE", &format!("/sessions/{id}"), None);
+                assert_eq!(status, 200);
+                assert_eq!(body.get("deleted").unwrap().as_bool(), Some(true));
+                let (status, _) = c.request("GET", &format!("/sessions/{id}"), None);
+                assert_eq!(status, 404, "deleted sessions are gone");
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Metrics reflect the four clients' traffic exactly.
+    let mut c = Client::connect(addr);
+    let (status, m) = c.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let count = |key: &str| m.get(key).unwrap().as_u64().unwrap();
+    assert_eq!(count("sessions_created"), 4);
+    assert_eq!(count("sessions_deleted"), 4);
+    assert_eq!(count("sessions_evicted"), 0);
+    assert_eq!(count("live_sessions"), 0);
+    assert_eq!(count("one_routes_computed"), 4);
+    assert_eq!(count("all_routes_computed"), 8);
+    assert_eq!(count("forest_cache_hits"), 4);
+    assert_eq!(count("forest_cache_misses"), 4);
+    // 7 requests per client (create, one-route, 2× all-routes, get,
+    // delete, get-after-delete); the in-flight /metrics request itself is
+    // recorded only after its snapshot is rendered.
+    assert_eq!(count("requests_total"), 4 * 7);
+    assert_eq!(count("responses_2xx"), 4 * 6);
+    assert_eq!(count("responses_4xx"), 4, "one 404 per client");
+    assert_eq!(count("responses_5xx"), 0);
+    let hist = m.get("latency_us").unwrap().as_array().unwrap();
+    let hist_total: u64 = hist
+        .iter()
+        .map(|b| b.get("count").unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(hist_total, count("requests_total"));
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn bad_inputs_get_four_xx_not_hangs() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        max_sessions: 4,
+        read_timeout: Duration::from_secs(30),
+    });
+    let mut c = Client::connect(addr);
+
+    let (status, _) = c.request("GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = c.request("PATCH", "/sessions/1", None);
+    assert_eq!(status, 405);
+    let (status, _) = c.request("POST", "/sessions", Some("not json"));
+    assert_eq!(status, 400);
+    let (status, _) = c.request("POST", "/sessions", Some("{}"));
+    assert_eq!(status, 422);
+    let (status, body) = c.request(
+        "POST",
+        "/sessions",
+        Some(r#"{"scenario": "source schema:\n  S(a\n"}"#),
+    );
+    assert_eq!(status, 422, "loader errors surface as unprocessable");
+    assert!(body.get("error").unwrap().as_str().unwrap().contains("load"));
+    let (status, _) = c.request("GET", "/sessions/99", None);
+    assert_eq!(status, 404);
+    let (status, _) = c.request("GET", "/sessions/banana", None);
+    assert_eq!(status, 400);
+
+    // Selection errors on a real session.
+    let create = format!("{{\"scenario\": {}}}", json_escape(&scenario_text(1)));
+    let (status, body) = c.request("POST", "/sessions", Some(&create));
+    assert_eq!(status, 201);
+    let id = body.get("session").unwrap().as_u64().unwrap();
+    for (what, bad) in [
+        ("no tuples field", "{}"),
+        ("empty selection", r#"{"tuples": []}"#),
+        ("unknown relation", r#"{"tuples": [{"relation": "Z", "row": 0}]}"#),
+        ("row out of range", r#"{"tuples": [{"relation": "U", "row": 99}]}"#),
+    ] {
+        let (status, _) =
+            c.request("POST", &format!("/sessions/{id}/one-route"), Some(bad));
+        assert_eq!(status, 422, "{what}");
+    }
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn lru_eviction_over_http() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        max_sessions: 2,
+        read_timeout: Duration::from_secs(30),
+    });
+    let mut c = Client::connect(addr);
+    let create = |c: &mut Client, tag: i64| {
+        let body = format!("{{\"scenario\": {}}}", json_escape(&scenario_text(tag)));
+        let (status, reply) = c.request("POST", "/sessions", Some(&body));
+        assert_eq!(status, 201);
+        reply.get("session").unwrap().as_u64().unwrap()
+    };
+    let a = create(&mut c, 1);
+    let b = create(&mut c, 2);
+    // Touch a; b becomes the LRU victim of the third insert.
+    let (status, _) = c.request("GET", &format!("/sessions/{a}"), None);
+    assert_eq!(status, 200);
+    let body = format!("{{\"scenario\": {}}}", json_escape(&scenario_text(3)));
+    let (status, reply) = c.request("POST", "/sessions", Some(&body));
+    assert_eq!(status, 201);
+    let evicted = reply.get("evicted").unwrap().as_array().unwrap();
+    assert_eq!(evicted.len(), 1);
+    assert_eq!(evicted[0].as_u64(), Some(b));
+    let (status, _) = c.request("GET", &format!("/sessions/{b}"), None);
+    assert_eq!(status, 404, "evicted session is gone");
+    let (status, _) = c.request("GET", &format!("/sessions/{a}"), None);
+    assert_eq!(status, 200, "recently used session survives");
+
+    let (status, m) = c.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert_eq!(m.get("sessions_evicted").unwrap().as_u64(), Some(1));
+    assert_eq!(m.get("live_sessions").unwrap().as_u64(), Some(2));
+
+    shutdown(addr, handle);
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md). Every command runs --offline: the
+# workspace is hermetic — path dependencies only, no crates.io access —
+# and this script is what enforces that property in CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace --offline
+cargo test -q --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -1,10 +1,14 @@
 //! No-panic fuzzing of every text entry point: the dependency parser and
 //! the scenario-file loader must return `Ok` or `Err` on arbitrary input —
 //! never panic. (Malformed files are the common case for a debugger tool.)
-
-use proptest::prelude::*;
+//!
+//! Ported from `proptest` to seeded deterministic loops over the in-repo
+//! PRNG; the original case counts (2048 parser cases, 1024 loader cases)
+//! are preserved, and the historical proptest regression seed is folded
+//! into an explicit unit test below.
 
 use routes_cli::load_scenario_str;
+use routes_gen::Rng;
 use routes_mapping::{parse_dependency, parse_egd, parse_st_tgd, parse_target_tgd};
 use routes_model::{Schema, ValuePool};
 
@@ -16,23 +20,55 @@ fn schemas() -> (Schema, Schema) {
     (s, t)
 }
 
-/// Inputs biased toward parser-shaped text (pure random strings rarely get
-/// past the tokenizer).
-fn parserish() -> impl Strategy<Value = String> {
-    prop_oneof![
-        2 => "[ -~]{0,60}",                    // printable ASCII
-        2 => "[STab(),&>:=#'0-9 \\-]{0,60}",  // token alphabet
-        1 => any::<String>(),                  // arbitrary unicode
-        1 => Just("m: S(x,y) -> T(x,".to_owned()), // truncated
-        1 => Just("S(x,y) -> T(x,y) extra".to_owned()),
-    ]
+/// A random string of up to `max` chars drawn from an alphabet.
+fn from_alphabet(rng: &mut Rng, alphabet: &[char], max: usize) -> String {
+    let len = rng.gen_range(0..=max);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
+/// Printable ASCII, `[ -~]{0,max}`.
+fn printable(rng: &mut Rng, max: usize) -> String {
+    let len = rng.gen_range(0..=max);
+    (0..len)
+        .map(|_| char::from(rng.gen_range(0x20..=0x7Eu8)))
+        .collect()
+}
 
-    #[test]
-    fn dependency_parsers_never_panic(text in parserish()) {
+/// Arbitrary unicode (any scalar value, like proptest's `any::<String>()`).
+fn arbitrary_unicode(rng: &mut Rng, max: usize) -> String {
+    let len = rng.gen_range(0..=max);
+    (0..len)
+        .map(|_| loop {
+            if let Some(c) = char::from_u32(rng.gen_range(0..=0x10FFFFu32)) {
+                break c;
+            }
+        })
+        .collect()
+}
+
+/// Inputs biased toward parser-shaped text (pure random strings rarely get
+/// past the tokenizer). Mirrors the original strategy's 2:2:1:1:1 weights.
+fn parserish(rng: &mut Rng) -> String {
+    const TOKENS: &[char] = &[
+        'S', 'T', 'a', 'b', '(', ')', ',', '&', '>', ':', '=', '#', '\'', '0', '1', '2', '3',
+        '4', '5', '6', '7', '8', '9', ' ', '-',
+    ];
+    match rng.gen_range(0..7usize) {
+        0 | 1 => printable(rng, 60),
+        2 | 3 => from_alphabet(rng, TOKENS, 60),
+        4 => arbitrary_unicode(rng, 24),
+        5 => "m: S(x,y) -> T(x,".to_owned(), // truncated
+        _ => "S(x,y) -> T(x,y) extra".to_owned(),
+    }
+}
+
+#[test]
+fn dependency_parsers_never_panic() {
+    for case in 0..2048u64 {
+        let mut rng = Rng::seed_from_u64(0xF022 + case);
+        let text = parserish(&mut rng);
         let (s, t) = schemas();
         let mut pool = ValuePool::new();
         let _ = parse_st_tgd(&s, &t, &mut pool, &text);
@@ -43,29 +79,49 @@ proptest! {
 }
 
 /// Scenario-file-shaped fuzz: random section headers, random body lines.
-fn scenarioish() -> impl Strategy<Value = String> {
-    let line = prop_oneof![
-        3 => "[ -~]{0,40}",
-        1 => Just("source schema:".to_owned()),
-        1 => Just("target schema:".to_owned()),
-        1 => Just("source xml schema:".to_owned()),
-        1 => Just("dependencies:".to_owned()),
-        1 => Just("source data:".to_owned()),
-        1 => Just("source xml data:".to_owned()),
-        1 => Just("target data:".to_owned()),
-        1 => Just("  S(a, b)".to_owned()),
-        1 => Just("  S(1, 'x')".to_owned()),
-        1 => Just("  m: S(x,y) -> T(x,y)".to_owned()),
-        1 => Just("    Nested(1)".to_owned()),
+fn scenarioish(rng: &mut Rng) -> String {
+    const LINES: &[&str] = &[
+        "source schema:",
+        "target schema:",
+        "source xml schema:",
+        "dependencies:",
+        "source data:",
+        "source xml data:",
+        "target data:",
+        "  S(a, b)",
+        "  S(1, 'x')",
+        "  m: S(x,y) -> T(x,y)",
+        "    Nested(1)",
     ];
-    prop::collection::vec(line, 0..14).prop_map(|lines| lines.join("\n"))
+    let n = rng.gen_range(0..14usize);
+    let lines: Vec<String> = (0..n)
+        .map(|_| {
+            // 3 parts random printable to 1 part each fixed line.
+            if rng.gen_range(0..LINES.len() + 3) < 3 {
+                printable(rng, 40)
+            } else {
+                LINES[rng.gen_range(0..LINES.len())].to_owned()
+            }
+        })
+        .collect();
+    lines.join("\n")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(1024))]
-
-    #[test]
-    fn scenario_loader_never_panics(text in scenarioish()) {
+#[test]
+fn scenario_loader_never_panics() {
+    for case in 0..1024u64 {
+        let mut rng = Rng::seed_from_u64(0x10AD + case);
+        let text = scenarioish(&mut rng);
         let _ = load_scenario_str(&text);
     }
+}
+
+/// Historical proptest regression (from the retired
+/// `fuzz_inputs.proptest-regressions` seed file): a flat `source schema:`
+/// section followed by an xml schema section redeclaring the same relation
+/// once panicked instead of reporting a conflict.
+#[test]
+fn regression_duplicate_relation_across_flat_and_xml_schema() {
+    let text = "source schema:\nsource xml schema:\n  S(a, b)\n  S(a, b)";
+    let _ = load_scenario_str(text);
 }

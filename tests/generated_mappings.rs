@@ -2,11 +2,13 @@
 //! schemas + random correspondences + random fks must always yield
 //! well-formed, weakly acyclic mappings whose chased solutions give every
 //! tuple a route.
-
-use proptest::prelude::*;
+//!
+//! Ported from `proptest` to a seeded deterministic loop over the in-repo
+//! PRNG; the original case count (128) is preserved.
 
 use mapping_routes::prelude::*;
 use routes_chase::chase;
+use routes_gen::Rng;
 use routes_mapping::{generate_mapping, is_weakly_acyclic, Correspondence, ForeignKey};
 
 #[derive(Debug, Clone)]
@@ -24,30 +26,33 @@ struct GenSpec {
     rows: usize,
 }
 
-fn spec() -> impl Strategy<Value = GenSpec> {
-    (
-        prop::collection::vec(1usize..=3, 2),
-        prop::collection::vec(1usize..=3, 2),
-        prop::collection::vec((0usize..2, 0usize..3, 0usize..2, 0usize..3), 1..6),
-        any::<bool>(),
-        any::<bool>(),
-        1usize..6,
-    )
-        .prop_map(|(source_arities, target_arities, corrs, source_fk, target_fk, rows)| GenSpec {
-            source_arities,
-            target_arities,
-            corrs,
-            source_fk,
-            target_fk,
-            rows,
-        })
+/// The proptest strategy, reified over the seeded PRNG.
+fn random_spec(rng: &mut Rng) -> GenSpec {
+    GenSpec {
+        source_arities: (0..2).map(|_| rng.gen_range(1..=3usize)).collect(),
+        target_arities: (0..2).map(|_| rng.gen_range(1..=3usize)).collect(),
+        corrs: (0..rng.gen_range(1..6usize))
+            .map(|_| {
+                (
+                    rng.gen_range(0..2usize),
+                    rng.gen_range(0..3usize),
+                    rng.gen_range(0..2usize),
+                    rng.gen_range(0..3usize),
+                )
+            })
+            .collect(),
+        source_fk: rng.gen_bool(0.5),
+        target_fk: rng.gen_bool(0.5),
+        rows: rng.gen_range(1..6usize),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn generated_mappings_are_sound_end_to_end() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x6E4 + case);
+        let spec = random_spec(&mut rng);
 
-    #[test]
-    fn generated_mappings_are_sound_end_to_end(spec in spec()) {
         let mut s = Schema::new();
         let attr_names = ["a", "b", "c"];
         for (k, &arity) in spec.source_arities.iter().enumerate() {
@@ -61,14 +66,8 @@ proptest! {
             .corrs
             .iter()
             .map(|&(sr, sc, tr, tc)| Correspondence {
-                source: (
-                    RelId(sr as u32),
-                    (sc % spec.source_arities[sr]) as u32,
-                ),
-                target: (
-                    RelId(tr as u32),
-                    (tc % spec.target_arities[tr]) as u32,
-                ),
+                source: (RelId(sr as u32), (sc % spec.source_arities[sr]) as u32),
+                target: (RelId(tr as u32), (tc % spec.target_arities[tr]) as u32),
             })
             .collect();
         let source_fks: Vec<ForeignKey> = spec
@@ -96,15 +95,16 @@ proptest! {
 
         let mapping = generate_mapping(&s, &t, &source_fks, &target_fks, &corrs)
             .expect("generation never produces malformed tgds");
-        prop_assert!(is_weakly_acyclic(&mapping));
+        assert!(is_weakly_acyclic(&mapping), "case {case}");
 
         // Populate, chase, and route every tuple.
         let mut pool = ValuePool::new();
         let mut i = Instance::new(&s);
         for (k, &arity) in spec.source_arities.iter().enumerate() {
             for row in 0..spec.rows {
-                let values: Vec<Value> =
-                    (0..arity).map(|c| Value::Int((row % 3) as i64 + c as i64)).collect();
+                let values: Vec<Value> = (0..arity)
+                    .map(|c| Value::Int((row % 3) as i64 + c as i64))
+                    .collect();
                 i.insert_ok(RelId(k as u32), &values);
             }
         }
@@ -114,13 +114,16 @@ proptest! {
             ..ChaseOptions::fresh()
         };
         let Ok(result) = chase(&mapping, &i, &mut pool, options) else {
-            return Ok(()); // guard tripped on a pathological spec
+            continue; // guard tripped on a pathological spec
         };
-        prop_assert!(routes_mapping::satisfy::is_solution(&mapping, &i, &result.target));
+        assert!(
+            routes_mapping::satisfy::is_solution(&mapping, &i, &result.target),
+            "case {case}"
+        );
         let env = RouteEnv::new(&mapping, &i, &result.target);
         for probe in result.target.all_rows().take(12) {
-            let route = compute_one_route(env, &[probe])
-                .expect("chased tuples always have routes");
+            let route =
+                compute_one_route(env, &[probe]).expect("chased tuples always have routes");
             route.validate(&env, &[probe]).unwrap();
         }
     }

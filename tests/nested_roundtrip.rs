@@ -1,10 +1,12 @@
 //! Property tests for the nested relational model: random trees survive the
 //! encode → decode roundtrip, and copying tgds preserve tree shape through
 //! the chase.
-
-use proptest::prelude::*;
+//!
+//! Ported from `proptest` to seeded deterministic loops over the in-repo
+//! PRNG; the original case counts (128 per property) are preserved.
 
 use mapping_routes::prelude::*;
+use routes_gen::Rng;
 use routes_nested::{decode_instance, encode_instance, encode_schema};
 
 /// A random 3-level tree described as fanouts.
@@ -15,20 +17,19 @@ struct TreeSpec {
     leaf_fanouts: Vec<usize>,
 }
 
-fn tree_spec() -> impl Strategy<Value = TreeSpec> {
-    (1usize..4)
-        .prop_flat_map(|roots| {
-            let mids = prop::collection::vec(0usize..4, roots);
-            mids.prop_flat_map(move |mid_fanouts| {
-                let total_mid: usize = mid_fanouts.iter().sum();
-                let leaves = prop::collection::vec(0usize..4, total_mid.max(1));
-                leaves.prop_map(move |leaf_fanouts| TreeSpec {
-                    roots,
-                    mid_fanouts: mid_fanouts.clone(),
-                    leaf_fanouts,
-                })
-            })
-        })
+/// The proptest strategy, reified: 1..4 roots, fanouts 0..4 per level.
+fn random_tree_spec(rng: &mut Rng) -> TreeSpec {
+    let roots = rng.gen_range(1..4usize);
+    let mid_fanouts: Vec<usize> = (0..roots).map(|_| rng.gen_range(0..4usize)).collect();
+    let total_mid: usize = mid_fanouts.iter().sum();
+    let leaf_fanouts: Vec<usize> = (0..total_mid.max(1))
+        .map(|_| rng.gen_range(0..4usize))
+        .collect();
+    TreeSpec {
+        roots,
+        mid_fanouts,
+        leaf_fanouts,
+    }
 }
 
 fn build(spec: &TreeSpec) -> (NestedSchema, NestedInstance, ValuePool) {
@@ -56,32 +57,36 @@ fn build(spec: &TreeSpec) -> (NestedSchema, NestedInstance, ValuePool) {
     (schema, inst, pool)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn encode_decode_roundtrip_preserves_structure(spec in tree_spec()) {
+#[test]
+fn encode_decode_roundtrip_preserves_structure() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x4E57 + case);
+        let spec = random_tree_spec(&mut rng);
         let (schema, inst, _pool) = build(&spec);
         let enc_schema = encode_schema(&schema);
         let encoded = encode_instance(&schema, &enc_schema, &inst);
-        prop_assert_eq!(encoded.instance.total_tuples(), inst.len());
+        assert_eq!(encoded.instance.total_tuples(), inst.len(), "case {case}");
 
         let back = decode_instance(&schema, &enc_schema, &encoded.instance);
-        prop_assert_eq!(back.len(), inst.len());
-        prop_assert_eq!(back.roots().len(), inst.roots().len());
+        assert_eq!(back.len(), inst.len(), "case {case}");
+        assert_eq!(back.roots().len(), inst.roots().len(), "case {case}");
         // Depth multiset preserved.
         let mut before: Vec<usize> = inst.iter().map(|n| inst.depth_of(n)).collect();
         let mut after: Vec<usize> = back.iter().map(|n| back.depth_of(n)).collect();
         before.sort_unstable();
         after.sort_unstable();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
     }
+}
 
-    #[test]
-    fn copy_tgd_through_chase_preserves_trees(spec in tree_spec()) {
+#[test]
+fn copy_tgd_through_chase_preserves_trees() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0xC09D + case);
+        let spec = random_tree_spec(&mut rng);
         let (schema, inst, mut pool) = build(&spec);
         if inst.is_empty() {
-            return Ok(());
+            continue;
         }
         // Target: isomorphic schema with primed names.
         let mut dst = NestedSchema::new();
@@ -109,10 +114,10 @@ proptest! {
         let solution = chase(&mapping, &encoded.instance, &mut pool, ChaseOptions::skolem())
             .unwrap()
             .target;
-        prop_assert_eq!(solution.total_tuples(), inst.len());
+        assert_eq!(solution.total_tuples(), inst.len(), "case {case}");
         let back = decode_instance(&dst, &enc_dst, &solution);
-        prop_assert_eq!(back.len(), inst.len());
-        prop_assert_eq!(back.roots().len(), inst.roots().len());
+        assert_eq!(back.len(), inst.len(), "case {case}");
+        assert_eq!(back.roots().len(), inst.roots().len(), "case {case}");
 
         // Every copied tuple has a (single-step) route.
         let env = RouteEnv::new(&mapping, &encoded.instance, &solution);
