@@ -3,23 +3,29 @@
 //!
 //! ```text
 //! repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1|micro] [--factor F]
+//! repro micro parallel [--quick]
 //! ```
 //!
 //! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
 //! 1.0 for full paper-scale instances — slow). `micro` runs the
 //! fixed-small-scale micro-benchmarks (the retired criterion harnesses) and
-//! is not part of `all`; it ignores `--factor`.
+//! is not part of `all`; it ignores `--factor`. `micro parallel` runs the
+//! thread-scaling sweep (chase + all-routes at 1/2/4/N worker threads) and
+//! writes `bench_results/micro_parallel.csv`; `--quick` shrinks it to a CI
+//! smoke run.
 
 use std::path::Path;
 
 use routes_bench::{
-    fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, micro_benches, table1, Sizing, Table,
+    fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, micro_benches, parallel_benches,
+    table1, Sizing, Table,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which = "all".to_owned();
+    let mut positionals: Vec<String> = Vec::new();
     let mut sizing = Sizing::default();
+    let mut quick = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -30,10 +36,17 @@ fn main() {
                     .unwrap_or_else(|| usage("--factor requires a number"));
                 sizing.factor = v;
             }
-            name if !name.starts_with('-') => which = name.to_owned(),
+            "--quick" => quick = true,
+            name if !name.starts_with('-') => positionals.push(name.to_owned()),
             other => usage(&format!("unknown flag {other}")),
         }
     }
+    let which = match positionals.as_slice() {
+        [] => "all".to_owned(),
+        [one] => one.clone(),
+        [a, b] if a == "micro" && b == "parallel" => "micro-parallel".to_owned(),
+        _ => usage("too many experiment names"),
+    };
 
     let out_dir = Path::new("bench_results");
     let run = |name: &str| which == "all" || which == name;
@@ -100,6 +113,16 @@ fn main() {
         }
         ran = true;
     }
+    if which == "micro-parallel" {
+        eprintln!(
+            "running thread-scaling micro-benchmarks{} ...",
+            if quick { " (quick)" } else { "" }
+        );
+        let t = parallel_benches(quick);
+        let name = t.title.clone();
+        emit(&name, vec![t]);
+        ran = true;
+    }
     if !ran {
         usage(&format!("unknown experiment `{which}`"));
     }
@@ -108,7 +131,8 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1|micro] [--factor F]"
+        "usage: repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1|micro] [--factor F]\n\
+         \u{20}      repro micro parallel [--quick]"
     );
     std::process::exit(2);
 }

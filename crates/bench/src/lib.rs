@@ -19,12 +19,14 @@
 
 pub mod experiments;
 pub mod micro;
+pub mod parallel;
 pub mod table;
 
 pub use experiments::{
     fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, table1, Sizing,
 };
 pub use micro::micro_benches;
+pub use parallel::{parallel_benches, thread_counts};
 pub use table::Table;
 
 use std::time::{Duration, Instant};

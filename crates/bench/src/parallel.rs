@@ -1,0 +1,193 @@
+//! Thread-scaling micro-benchmarks for the parallel execution layer: the
+//! semi-naive chase (`chase_with_pool`) and route-forest construction
+//! (`compute_all_routes_with_pool`) at 1/2/4/N worker threads, on the
+//! Fig. 10 relational scenario and the Fig. 11 deep-hierarchy scenario.
+//!
+//! Run via the `repro` binary: `repro micro parallel [--quick]` prints the
+//! table and writes `bench_results/micro_parallel.csv` with columns
+//! `group, case, threads, median_seconds, speedup_vs_1`.
+//!
+//! Both parallel algorithms are exact: every thread count produces
+//! byte-identical instances, statistics, and forests (see the determinism
+//! suite), so these numbers measure pure scheduling overhead vs. fan-out
+//! win. On a single-core host the speedup column honestly reports < 1.
+
+use std::time::Duration;
+
+use routes_chase::{chase_with_pool, ChaseOptions};
+use routes_core::{compute_all_routes_with_pool, RouteEnv};
+use routes_gen::hierarchy::{deep_scenario, DeepRows};
+use routes_gen::relational::relational_scenario;
+use routes_gen::TpchRows;
+use routes_model::{Instance, TupleId};
+use routes_pool::Pool;
+
+use crate::{bench_median, secs, Table};
+
+/// The thread counts swept: 1, 2, 4, and the host's available parallelism,
+/// deduplicated and sorted.
+pub fn thread_counts() -> Vec<usize> {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1, 2, 4, host];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+struct ParallelCase {
+    group: String,
+    pool: routes_model::ValuePool,
+    mapping: routes_mapping::SchemaMapping,
+    source: Instance,
+    solution: Instance,
+    selection: Vec<TupleId>,
+}
+
+/// One (group, case, threads) measurement for each thread count, plus the
+/// derived speedup-vs-1-thread column.
+fn sweep(
+    out: &mut Table,
+    case: &ParallelCase,
+    name: &str,
+    warmup: usize,
+    samples: usize,
+    mut f: impl FnMut(&ParallelCase, &Pool) -> usize,
+) -> Vec<Duration> {
+    let mut medians = Vec::new();
+    for &threads in &thread_counts() {
+        let workers = Pool::new(threads);
+        let t = bench_median(warmup, samples, || f(case, &workers));
+        medians.push(t);
+    }
+    emit(out, &case.group, name, &medians);
+    medians
+}
+
+fn emit(out: &mut Table, group: &str, name: &str, medians: &[Duration]) {
+    let base = medians[0].as_secs_f64();
+    for (&threads, &t) in thread_counts().iter().zip(medians) {
+        let speedup = if t.as_secs_f64() > 0.0 {
+            base / t.as_secs_f64()
+        } else {
+            1.0
+        };
+        out.push(vec![
+            group.to_owned(),
+            name.to_owned(),
+            threads.to_string(),
+            secs(t),
+            format!("{speedup:.2}"),
+        ]);
+    }
+}
+
+/// Run the thread-scaling sweep. `quick` shrinks instances and sample
+/// counts for CI smoke runs.
+pub fn parallel_benches(quick: bool) -> Table {
+    let (warmup, samples) = if quick { (1, 3) } else { (1, 5) };
+    let mut out = Table::new(
+        "micro_parallel",
+        &["group", "case", "threads", "median_seconds", "speedup_vs_1"],
+    );
+
+    let mut cases = Vec::new();
+    {
+        let sf = if quick { 0.0005 } else { 0.002 };
+        let mut sc = relational_scenario(2, &TpchRows::scale(sf), 61);
+        let solution = sc.scenario.solution().unwrap().target;
+        let selection = sc.select_from_group(&solution, 3, 5, 62);
+        cases.push(ParallelCase {
+            group: "fig10_relational".to_owned(),
+            pool: sc.scenario.pool.clone(),
+            mapping: sc.scenario.mapping.clone(),
+            source: sc.scenario.source.clone(),
+            solution,
+            selection,
+        });
+    }
+    {
+        let rows = if quick {
+            DeepRows {
+                regions: 3,
+                nations_per: 3,
+                customers_per: 3,
+                orders_per: 2,
+                lineitems_per: 2,
+            }
+        } else {
+            DeepRows {
+                regions: 5,
+                nations_per: 4,
+                customers_per: 4,
+                orders_per: 3,
+                lineitems_per: 3,
+            }
+        };
+        let mut sc = deep_scenario(&rows, 63);
+        let solution = sc.scenario.solution().unwrap().target;
+        let selection = sc.select_at_depth(&solution, 2, 3, 64);
+        cases.push(ParallelCase {
+            group: "fig11_deep".to_owned(),
+            pool: sc.scenario.pool.clone(),
+            mapping: sc.scenario.mapping.clone(),
+            source: sc.scenario.source.clone(),
+            solution,
+            selection,
+        });
+    }
+
+    for case in &cases {
+        let chase_medians = sweep(&mut out, case, "chase", warmup, samples, |c, workers| {
+            let mut pool = c.pool.clone();
+            chase_with_pool(&c.mapping, &c.source, &mut pool, ChaseOptions::fresh(), workers)
+                .unwrap()
+                .target
+                .total_tuples()
+        });
+        let forest_medians =
+            sweep(&mut out, case, "all_routes", warmup, samples, |c, workers| {
+                let env = RouteEnv::new(&c.mapping, &c.source, &c.solution);
+                compute_all_routes_with_pool(env, &c.selection, workers)
+                    .order
+                    .len()
+            });
+        let combined: Vec<Duration> = chase_medians
+            .iter()
+            .zip(&forest_medians)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        emit(&mut out, &case.group, "combined", &combined);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts_start_at_one_and_are_strictly_increasing() {
+        let counts = thread_counts();
+        assert_eq!(counts[0], 1);
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn quick_sweep_produces_rows_for_every_thread_count() {
+        let table = parallel_benches(true);
+        let counts = thread_counts();
+        // 2 scenarios × 3 cases (chase, all_routes, combined) × |counts|.
+        assert_eq!(table.rows.len(), 2 * 3 * counts.len());
+        for row in &table.rows {
+            assert_eq!(row.len(), 5);
+            let median: f64 = row[3].parse().unwrap();
+            let speedup: f64 = row[4].parse().unwrap();
+            assert!(median >= 0.0);
+            assert!(speedup > 0.0);
+        }
+        // Every 1-thread row has speedup exactly 1.00 by construction.
+        for row in table.rows.iter().filter(|r| r[2] == "1") {
+            assert_eq!(row[4], "1.00");
+        }
+    }
+}

@@ -4,7 +4,8 @@ use std::collections::HashMap;
 
 use routes_mapping::{SchemaMapping, Tgd};
 use routes_model::{Instance, TupleId, Value, ValuePool, Var};
-use routes_query::{satisfiable, unify_atom, Bindings, MatchIter};
+use routes_pool::Pool;
+use routes_query::{anchored_plan, satisfiable, unify_atom, Bindings, EvalOptions, MatchIter};
 
 use crate::egd_log::{EgdLog, EgdMerge};
 use crate::result::{ChaseError, ChaseResult};
@@ -70,10 +71,16 @@ struct SkolemKey {
     args: Vec<Value>,
 }
 
+/// Minimum number of anchor rows (or delta tuples) per worker chunk; below
+/// this the fan-out overhead outweighs the matching work and evaluation
+/// stays on the calling thread.
+const PAR_MIN_CHUNK: usize = 32;
+
 struct Engine<'a> {
     mapping: &'a SchemaMapping,
     source: &'a Instance,
-    pool: &'a mut ValuePool,
+    values: &'a mut ValuePool,
+    workers: &'a Pool,
     options: ChaseOptions,
     target: Instance,
     skolem: HashMap<SkolemKey, Value>,
@@ -99,10 +106,29 @@ pub fn chase(
     pool: &mut ValuePool,
     options: ChaseOptions,
 ) -> Result<ChaseResult, ChaseError> {
+    chase_with_pool(mapping, source, pool, options, &Pool::sequential())
+}
+
+/// [`chase`] with tgd premise evaluation fanned out over `workers`.
+///
+/// The result is byte-identical to the sequential chase at every worker
+/// count: s-t tgd joins are planned once and partitioned over the outer
+/// atom's candidate rows (per-chunk matches concatenate to the sequential
+/// match sequence), target-tgd delta matches are canonicalized by sort +
+/// dedup before firing, and all firing — hence tuple-id assignment and
+/// labeled-null invention — stays on the calling thread.
+pub fn chase_with_pool(
+    mapping: &SchemaMapping,
+    source: &Instance,
+    pool: &mut ValuePool,
+    options: ChaseOptions,
+    workers: &Pool,
+) -> Result<ChaseResult, ChaseError> {
     let mut engine = Engine {
         mapping,
         source,
-        pool,
+        values: pool,
+        workers,
         options,
         target: Instance::new(mapping.target()),
         skolem: HashMap::new(),
@@ -158,19 +184,12 @@ impl Engine<'_> {
     }
 
     /// Apply every s-t tgd over the (immutable) source; returns the tuples
-    /// newly inserted into the target.
+    /// newly inserted into the target. Matching fans out over the worker
+    /// pool; firing stays sequential.
     fn apply_st_tgds(&mut self) -> Result<Vec<TupleId>, ChaseError> {
         let mut inserted = Vec::new();
         for ti in 0..self.mapping.st_tgds().len() {
-            let tgd = &self.mapping.st_tgds()[ti];
-            let mut pending: Vec<Bindings> = Vec::new();
-            {
-                let mut it =
-                    MatchIter::new(self.source, tgd.lhs(), Bindings::new(tgd.var_count()));
-                while let Some(b) = it.next_match() {
-                    pending.push(b.clone());
-                }
-            }
+            let pending = self.collect_st_matches(ti);
             for b in pending {
                 self.fire(true, ti as u32, b, &mut inserted)?;
             }
@@ -178,50 +197,111 @@ impl Engine<'_> {
         Ok(inserted)
     }
 
+    /// All matches of s-t tgd `ti` over the source, in the sequential
+    /// iterator's order at every worker count: the join is planned once, the
+    /// outer atom's candidate rows are partitioned across workers, and the
+    /// per-chunk match buffers are concatenated in chunk order (see
+    /// [`routes_query::AnchoredPlan`]).
+    fn collect_st_matches(&self, ti: usize) -> Vec<Bindings> {
+        let tgd = &self.mapping.st_tgds()[ti];
+        let init = Bindings::new(tgd.var_count());
+        let Some(ap) = anchored_plan(self.source, tgd.lhs(), &init) else {
+            // Unreachable: tgd LHSes are non-empty by construction.
+            return vec![init];
+        };
+        let anchor = &tgd.lhs()[ap.outer];
+        let chunks = self
+            .workers
+            .par_map_chunks(ap.rows.len(), PAR_MIN_CHUNK, |_, range| {
+                let mut local: Vec<Bindings> = Vec::new();
+                for &row in &ap.rows[range] {
+                    let mut b = init.clone();
+                    let tuple = self.source.tuple(TupleId {
+                        rel: anchor.rel,
+                        row,
+                    });
+                    if !unify_atom(anchor, tuple, &mut b) {
+                        continue;
+                    }
+                    let mut it = MatchIter::with_plan(
+                        self.source,
+                        tgd.lhs(),
+                        b,
+                        ap.suffix.clone(),
+                        EvalOptions::default(),
+                    );
+                    while let Some(m) = it.next_match() {
+                        local.push(m.clone());
+                    }
+                }
+                local
+            });
+        chunks.into_iter().flatten().collect()
+    }
+
     /// Semi-naive application of target tgds: for each delta tuple and each
     /// LHS atom over its relation, anchor the atom on the tuple and complete
-    /// the match over the full target.
+    /// the match over the full target. Matching fans out over the worker
+    /// pool; firing stays sequential.
     fn apply_target_tgds(&mut self, delta: &[TupleId]) -> Result<Vec<TupleId>, ChaseError> {
         let mut inserted = Vec::new();
         for ti in 0..self.mapping.target_tgds().len() {
-            let tgd = &self.mapping.target_tgds()[ti];
             // Collect matches first (MatchIter borrows target immutably),
             // then fire. Firing within a round sees the round-start target,
             // which matches the round semantics of the chase.
-            let mut pending: Vec<Bindings> = Vec::new();
-            for anchor_idx in 0..tgd.lhs().len() {
-                let anchor = &tgd.lhs()[anchor_idx];
-                // Atoms to complete once the anchor is unified.
-                let rest: Vec<routes_model::Atom> = tgd
-                    .lhs()
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != anchor_idx)
-                    .map(|(_, a)| a.clone())
-                    .collect();
-                for &tid in delta {
-                    if tid.rel != anchor.rel {
-                        continue;
-                    }
-                    let mut init = Bindings::new(tgd.var_count());
-                    if !unify_atom(anchor, self.target.tuple(tid), &mut init) {
-                        continue;
-                    }
-                    let mut it = MatchIter::new(&self.target, &rest, init);
-                    while let Some(b) = it.next_match() {
-                        pending.push(b.clone());
-                    }
-                }
-            }
-            // A match touching k delta tuples is found k times; dedup to
-            // avoid redundant firing (and, in Fresh mode, duplicate nulls).
-            pending.sort_by(|a, b| a.iter().cmp(b.iter()));
-            pending.dedup();
+            let pending = self.collect_target_matches(ti, delta);
             for b in pending {
                 self.fire(false, ti as u32, b, &mut inserted)?;
             }
         }
         Ok(inserted)
+    }
+
+    /// All delta-anchored matches of target tgd `ti`, with the delta tuples
+    /// partitioned across workers per anchor atom.
+    fn collect_target_matches(&self, ti: usize, delta: &[TupleId]) -> Vec<Bindings> {
+        let tgd = &self.mapping.target_tgds()[ti];
+        let mut pending: Vec<Bindings> = Vec::new();
+        for anchor_idx in 0..tgd.lhs().len() {
+            let anchor = &tgd.lhs()[anchor_idx];
+            // Atoms to complete once the anchor is unified.
+            let rest: Vec<routes_model::Atom> = tgd
+                .lhs()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != anchor_idx)
+                .map(|(_, a)| a.clone())
+                .collect();
+            let chunks = self
+                .workers
+                .par_map_chunks(delta.len(), PAR_MIN_CHUNK, |_, range| {
+                    let mut local: Vec<Bindings> = Vec::new();
+                    for &tid in &delta[range] {
+                        if tid.rel != anchor.rel {
+                            continue;
+                        }
+                        let mut init = Bindings::new(tgd.var_count());
+                        if !unify_atom(anchor, self.target.tuple(tid), &mut init) {
+                            continue;
+                        }
+                        let mut it = MatchIter::new(&self.target, &rest, init);
+                        while let Some(b) = it.next_match() {
+                            local.push(b.clone());
+                        }
+                    }
+                    local
+                });
+            for chunk in chunks {
+                pending.extend(chunk);
+            }
+        }
+        // A match touching k delta tuples is found k times; dedup to avoid
+        // redundant firing (and, in Fresh mode, duplicate nulls). The sort
+        // also erases chunk boundaries, making the firing order independent
+        // of the worker count.
+        pending.sort_by(|a, b| a.iter().cmp(b.iter()));
+        pending.dedup();
+        pending
     }
 
     /// Fire a tgd on a (universal) match: value the existential variables
@@ -247,7 +327,7 @@ impl Engine<'_> {
                     return Ok(());
                 }
                 for v in existentials {
-                    let null = self.pool.fresh_null();
+                    let null = self.values.fresh_null();
                     b.set(v, null);
                 }
             }
@@ -268,7 +348,7 @@ impl Engine<'_> {
                         let null = match self.skolem.get(&key) {
                             Some(&n) => n,
                             None => {
-                                let n = self.pool.fresh_null();
+                                let n = self.values.fresh_null();
                                 self.skolem.insert(key, n);
                                 n
                             }
@@ -526,6 +606,66 @@ mod tests {
         i.insert_ok(sr, &[Value::Int(1), Value::Int(3)]);
         let err = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap_err();
         assert!(matches!(err, ChaseError::Failed { .. }));
+    }
+
+    #[test]
+    fn parallel_chase_is_byte_identical_to_sequential() {
+        // Transitive closure over a long path: multiple semi-naive rounds,
+        // enough rows to cross PAR_MIN_CHUNK and actually fan out.
+        let mut s = Schema::new();
+        s.rel("S", &["a", "b"]);
+        let mut t = Schema::new();
+        t.rel("T", &["a", "b"]);
+        t.rel("U", &["a", "b"]);
+        let mut pool = ValuePool::new();
+        let mut m = SchemaMapping::new(s.clone(), t.clone());
+        m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "c: S(x,y) -> T(x,y)").unwrap())
+            .unwrap();
+        m.add_target_tgd(
+            parse_target_tgd(&t, &mut pool, "tc: T(x,y) & T(y,z) -> T(x,z)").unwrap(),
+        )
+        .unwrap();
+        m.add_target_tgd(
+            parse_target_tgd(&t, &mut pool, "u: T(x,y) -> exists Z: U(x,Z)").unwrap(),
+        )
+        .unwrap();
+        let mut i = Instance::new(m.source());
+        let sr = m.source().rel_id("S").unwrap();
+        for k in 0..40 {
+            i.insert_ok(sr, &[Value::Int(k), Value::Int(k + 1)]);
+        }
+        // A stable dump: every tuple with null labels resolved, in row order.
+        let dump = |inst: &Instance, p: &ValuePool| -> String {
+            let mut out = String::new();
+            for (rel, _) in m.target().iter() {
+                for (tid, vals) in inst.rel_tuples(rel) {
+                    let rendered: Vec<String> =
+                        vals.iter().map(|&v| p.value_to_string(v)).collect();
+                    out.push_str(&format!("{tid:?}: {}\n", rendered.join(", ")));
+                }
+            }
+            out
+        };
+        for null_mode in [NullMode::Fresh, NullMode::Skolem] {
+            let opts = ChaseOptions {
+                null_mode,
+                ..ChaseOptions::default()
+            };
+            let mut seq_pool = pool.clone();
+            let sequential = chase(&m, &i, &mut seq_pool, opts).unwrap();
+            for threads in [2usize, 3, 8] {
+                let mut par_pool = pool.clone();
+                let parallel =
+                    chase_with_pool(&m, &i, &mut par_pool, opts, &Pool::new(threads)).unwrap();
+                assert_eq!(sequential.stats(), parallel.stats(), "threads={threads}");
+                assert_eq!(
+                    dump(&sequential.target, &seq_pool),
+                    dump(&parallel.target, &par_pool),
+                    "threads={threads}"
+                );
+                assert_eq!(seq_pool.num_nulls(), par_pool.num_nulls());
+            }
+        }
     }
 
     #[test]

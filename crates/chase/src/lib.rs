@@ -33,7 +33,7 @@ pub mod result;
 pub mod unify;
 
 pub use egd_log::{history_to_string, merges_affecting, EgdLog, EgdMerge};
-pub use engine::{chase, ChaseOptions, NullMode};
+pub use engine::{chase, chase_with_pool, ChaseOptions, NullMode};
 pub use impact::{impact_to_string, mapping_impact, solution_diff, ImpactReport};
 pub use hom::find_homomorphism;
 pub use result::{ChaseError, ChaseResult, ChaseStats};

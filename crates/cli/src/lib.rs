@@ -15,5 +15,5 @@ pub mod prepare;
 pub mod repl;
 
 pub use loader::{load_scenario_str, LoadedScenario, LoaderError};
-pub use prepare::{prepare_scenario, PreparedScenario};
+pub use prepare::{prepare_scenario, prepare_scenario_with, PreparedScenario};
 pub use repl::Repl;

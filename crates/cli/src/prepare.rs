@@ -6,9 +6,12 @@
 //! chase's provenance (egd log, statistics) for later probing. This module
 //! is that shared step.
 
-use routes_chase::{chase, ChaseError, ChaseOptions, ChaseStats, EgdLog};
+use std::time::{Duration, Instant};
+
+use routes_chase::{chase_with_pool, ChaseError, ChaseOptions, ChaseStats, EgdLog};
 use routes_mapping::{is_weakly_acyclic, SchemaMapping};
 use routes_model::{Instance, ValuePool};
+use routes_pool::Pool;
 
 use crate::loader::LoadedScenario;
 
@@ -32,14 +35,28 @@ pub struct PreparedScenario {
     pub nested_target: Option<routes_nested::NestedSchema>,
     /// Whether `Σt` is weakly acyclic (front-ends warn when it is not).
     pub weakly_acyclic: bool,
+    /// Wall time of the materializing chase; `None` when no chase ran.
+    pub chase_wall: Option<Duration>,
 }
 
 /// Chase a solution if the scenario did not supply one, with the given
 /// options (front-ends default to [`ChaseOptions::fresh`], the standard
-/// chase, whose result is a universal solution).
+/// chase, whose result is a universal solution). Runs sequentially; use
+/// [`prepare_scenario_with`] to fan the chase out over a worker pool.
 pub fn prepare_scenario(
     loaded: LoadedScenario,
     options: ChaseOptions,
+) -> Result<PreparedScenario, ChaseError> {
+    prepare_scenario_with(loaded, options, &Pool::sequential())
+}
+
+/// [`prepare_scenario`] with tgd premise evaluation fanned out over
+/// `workers`; the produced solution is byte-identical to the sequential one
+/// at any worker count (see [`routes_chase::chase_with_pool`]).
+pub fn prepare_scenario_with(
+    loaded: LoadedScenario,
+    options: ChaseOptions,
+    workers: &Pool,
 ) -> Result<PreparedScenario, ChaseError> {
     let LoadedScenario {
         mut pool,
@@ -49,12 +66,14 @@ pub fn prepare_scenario(
         nested_source: _,
         nested_target,
     } = loaded;
-    let (target, egd_log, chase_stats) = match target {
-        Some(t) => (t, EgdLog::new(), None),
+    let (target, egd_log, chase_stats, chase_wall) = match target {
+        Some(t) => (t, EgdLog::new(), None, None),
         None => {
-            let result = chase(&mapping, &source, &mut pool, options)?;
+            let start = Instant::now();
+            let result = chase_with_pool(&mapping, &source, &mut pool, options, workers)?;
+            let wall = start.elapsed();
             let stats = result.stats();
-            (result.target, result.egd_log, Some(stats))
+            (result.target, result.egd_log, Some(stats), Some(wall))
         }
     };
     let weakly_acyclic = is_weakly_acyclic(&mapping);
@@ -67,6 +86,7 @@ pub fn prepare_scenario(
         chase_stats,
         nested_target,
         weakly_acyclic,
+        chase_wall,
     })
 }
 

@@ -7,7 +7,7 @@
 use std::fmt::Write as _;
 
 use routes_chase::{chase, ChaseOptions, EgdLog};
-use crate::prepare::prepare_scenario;
+use crate::prepare::prepare_scenario_with;
 use routes_core::{
     alternative_routes, compute_all_routes, compute_one_route, compute_source_routes,
     enumerate_routes, is_minimal, minimize_route, route_to_string, step_to_string, stratify,
@@ -32,10 +32,12 @@ pub struct Repl {
 
 impl Repl {
     /// Build a session from a loaded scenario, chasing a solution when the
-    /// file did not supply one.
+    /// file did not supply one. The chase fans out over a worker pool sized
+    /// from the environment (`ROUTES_THREADS` or the available parallelism).
     pub fn new(loaded: LoadedScenario) -> Result<Self, String> {
-        let prepared = prepare_scenario(loaded, ChaseOptions::fresh())
-            .map_err(|e| format!("chase failed: {e}"))?;
+        let prepared =
+            prepare_scenario_with(loaded, ChaseOptions::fresh(), &routes_pool::Pool::from_env())
+                .map_err(|e| format!("chase failed: {e}"))?;
         if !prepared.weakly_acyclic {
             eprintln!(
                 "warning: the target tgds are not weakly acyclic — the chase may not terminate"

@@ -7,14 +7,54 @@
 //! `|I| + |J| + |Js|` (Proposition 3.6) and which represents every minimal
 //! route up to stratified interpretation (Theorem 3.7).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use routes_mapping::TgdId;
 use routes_model::{Fact, TupleId, Value};
+use routes_pool::Pool;
 
 use crate::env::RouteEnv;
 use crate::findhom::{AnchorSide, FindHom};
 use crate::forest::{Branch, RouteForest};
+
+/// All `(σ, h)` branches under the node `t` — steps 2 and 3 of Figure 3 for
+/// one tuple, in tgd order then hom-enumeration order. A pure read of `env`,
+/// so waves of tuples can be expanded on worker threads
+/// ([`compute_all_routes_with_pool`]).
+fn expand_tuple(env: RouteEnv<'_>, t: TupleId) -> Vec<Branch> {
+    let mut branches: Vec<Branch> = Vec::new();
+    let mut seen: HashSet<(TgdId, Box<[Value]>)> = HashSet::new();
+    for tgd_id in env.mapping.tgd_ids() {
+        let mut fh = FindHom::new(env, tgd_id, AnchorSide::Rhs, Fact::target(t));
+        while let Some(hom) = fh.next_hom() {
+            if !seen.insert((tgd_id, hom.clone())) {
+                continue;
+            }
+            let lhs_facts = env
+                .lhs_facts(tgd_id, &hom)
+                .expect("findHom assignments map the LHS into its instance");
+            let rhs_tuples = env
+                .rhs_tuples(tgd_id, &hom)
+                .expect("findHom assignments map the RHS into the solution");
+            // Deduplicate children while preserving atom order; the set
+            // carries the O(1) membership test.
+            let mut lhs_dedup: Vec<Fact> = Vec::with_capacity(lhs_facts.len());
+            let mut lhs_seen: HashSet<Fact> = HashSet::with_capacity(lhs_facts.len());
+            for f in lhs_facts {
+                if lhs_seen.insert(f) {
+                    lhs_dedup.push(f);
+                }
+            }
+            branches.push(Branch {
+                tgd: tgd_id,
+                hom,
+                lhs_facts: lhs_dedup,
+                rhs_tuples,
+            });
+        }
+    }
+    branches
+}
 
 /// Build the route forest for the selected target tuples.
 ///
@@ -36,42 +76,78 @@ pub fn compute_all_routes(env: RouteEnv<'_>, selected: &[TupleId]) -> RouteFores
             continue;
         }
         forest.order.push(t);
-        let mut branches: Vec<Branch> = Vec::new();
-        let mut seen: HashSet<(TgdId, Box<[Value]>)> = HashSet::new();
-        // Steps 2 and 3 of Figure 3: every s-t tgd, then every target tgd.
-        for tgd_id in env.mapping.tgd_ids() {
-            let mut fh = FindHom::new(env, tgd_id, AnchorSide::Rhs, Fact::target(t));
-            while let Some(hom) = fh.next_hom() {
-                if !seen.insert((tgd_id, hom.clone())) {
-                    continue;
-                }
-                let lhs_facts = env
-                    .lhs_facts(tgd_id, &hom)
-                    .expect("findHom assignments map the LHS into its instance");
-                let rhs_tuples = env
-                    .rhs_tuples(tgd_id, &hom)
-                    .expect("findHom assignments map the RHS into the solution");
-                // Deduplicate children while preserving atom order.
-                let mut lhs_dedup: Vec<Fact> = Vec::with_capacity(lhs_facts.len());
-                for f in lhs_facts {
-                    if !lhs_dedup.contains(&f) {
-                        lhs_dedup.push(f);
-                    }
-                }
-                let branch = Branch {
-                    tgd: tgd_id,
-                    hom,
-                    lhs_facts: lhs_dedup,
-                    rhs_tuples,
-                };
-                // Step 3(b): explore the LHS tuples of target-tgd branches.
-                for child in branch.target_children() {
-                    stack.push(child);
-                }
-                branches.push(branch);
+        let branches = expand_tuple(env, t);
+        // Step 3(b): explore the LHS tuples of target-tgd branches.
+        for branch in &branches {
+            for child in branch.target_children() {
+                stack.push(child);
             }
         }
         forest.branches.insert(t, branches);
+    }
+    forest
+}
+
+/// [`compute_all_routes`] with branch computation fanned out over `workers`.
+///
+/// The frontier is expanded in waves: every distinct unexplored tuple on the
+/// worklist is expanded on a worker thread (a pure read of `env`), then a
+/// sequential replay loop — the exact control flow of
+/// [`compute_all_routes`] — consumes the cached expansions, owns
+/// `ACTIVETUPLES` and `forest.order`, and pushes children, pausing for the
+/// next wave when a child discovered mid-replay has no cached expansion yet.
+/// The emitted forest (roots, exploration order, and every branch) is
+/// therefore identical to the sequential builder's at any worker count, and
+/// the two independent traversals cross-check each other in the determinism
+/// suite.
+pub fn compute_all_routes_with_pool(
+    env: RouteEnv<'_>,
+    selected: &[TupleId],
+    workers: &Pool,
+) -> RouteForest {
+    let mut forest = RouteForest {
+        roots: selected.to_vec(),
+        ..RouteForest::default()
+    };
+    let mut active: HashSet<TupleId> = HashSet::new();
+    let mut expanded: HashMap<TupleId, Vec<Branch>> = HashMap::new();
+    let mut stack: Vec<TupleId> = selected.iter().rev().copied().collect();
+
+    while !stack.is_empty() {
+        // The wave: every distinct tuple on the worklist that is neither
+        // explored nor cached. Expansion order within the wave is free — only
+        // the replay below decides the output order. Each tuple is expanded
+        // at most once across all waves, exactly as in the sequential
+        // builder.
+        let mut wave: Vec<TupleId> = Vec::new();
+        let mut in_wave: HashSet<TupleId> = HashSet::new();
+        for &t in stack.iter().rev() {
+            if !active.contains(&t) && !expanded.contains_key(&t) && in_wave.insert(t) {
+                wave.push(t);
+            }
+        }
+        let results = workers.par_map_items(&wave, 1, |&t| expand_tuple(env, t));
+        for (t, branches) in wave.into_iter().zip(results) {
+            expanded.insert(t, branches);
+        }
+        while let Some(t) = stack.pop() {
+            if active.contains(&t) {
+                continue;
+            }
+            let Some(branches) = expanded.remove(&t) else {
+                // Discovered mid-replay; expand it with the next wave.
+                stack.push(t);
+                break;
+            };
+            active.insert(t);
+            forest.order.push(t);
+            for branch in &branches {
+                for child in branch.target_children() {
+                    stack.push(child);
+                }
+            }
+            forest.branches.insert(t, branches);
+        }
     }
     forest
 }
@@ -162,6 +238,34 @@ mod tests {
         let provable = forest.provable_set();
         for t in all {
             assert!(provable.contains(&t), "chased tuple {t:?} must have a route");
+        }
+    }
+
+    #[test]
+    fn parallel_forest_is_identical_to_sequential() {
+        let (m, _i, _j, mut pool) = example_3_5();
+        let mut i = Instance::new(m.source());
+        let a = pool.str("a");
+        let b = pool.str("b");
+        i.insert_ok(m.source().rel_id("S1").unwrap(), &[a]);
+        i.insert_ok(m.source().rel_id("S2").unwrap(), &[a]);
+        i.insert_ok(m.source().rel_id("S2").unwrap(), &[b]);
+        let r = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap();
+        let env = RouteEnv::new(&m, &i, &r.target);
+        let all: Vec<TupleId> = r.target.all_rows().collect();
+        let sequential = compute_all_routes(env, &all);
+        for threads in [1usize, 2, 8] {
+            let parallel =
+                compute_all_routes_with_pool(env, &all, &routes_pool::Pool::new(threads));
+            assert_eq!(sequential.roots, parallel.roots, "threads={threads}");
+            assert_eq!(sequential.order, parallel.order, "threads={threads}");
+            for &t in &sequential.order {
+                assert_eq!(
+                    sequential.branches_of(t),
+                    parallel.branches_of(t),
+                    "threads={threads} tuple={t:?}"
+                );
+            }
         }
     }
 

@@ -47,7 +47,7 @@ pub mod view;
 #[cfg(test)]
 pub(crate) mod testkit;
 
-pub use all_routes::compute_all_routes;
+pub use all_routes::{compute_all_routes, compute_all_routes_with_pool};
 pub use count::count_routes;
 pub use debug::{DebugSession, StepEvent};
 pub use display::{route_to_string, step_to_string};

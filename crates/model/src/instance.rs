@@ -5,7 +5,7 @@
 //! [`TupleId`] durably identifies a fact for the lifetime of the instance.
 //! This is the identity that routes, route forests, and the debugger use.
 
-use std::sync::Mutex;
+use std::sync::RwLock;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
@@ -83,14 +83,17 @@ struct RelData {
     /// Tuple-hash → candidate rows, for duplicate elimination.
     dedup: HashMap<u64, Vec<u32>>,
     /// Lazily built per-column indexes. Interior mutability lets read-only
-    /// query evaluation build and extend indexes on a shared reference; a
-    /// `Mutex` (not `RefCell`) so instances stay `Sync` and server worker
-    /// threads can probe one shared instance concurrently. The lock is
-    /// uncontended in single-threaded use and never held across user code
-    /// other than the probe callback.
-    indexes: Mutex<HashMap<u32, ColIndex>>,
+    /// query evaluation build and extend indexes on a shared reference; an
+    /// `RwLock` with a double-checked build so instances stay `Sync` and
+    /// concurrent probes — the parallel chase and parallel `findHom` hammer
+    /// one shared instance from every worker — take only the *shared* lock
+    /// once an index is caught up. The exclusive lock is held only while an
+    /// index is built or extended past newly appended rows, and the
+    /// caught-up check is repeated under it, so racing builders do the
+    /// catch-up work once.
+    indexes: RwLock<HashMap<u32, ColIndex>>,
     /// Lazily built composite indexes, keyed by the ordered column set.
-    multi_indexes: Mutex<HashMap<Box<[u32]>, MultiIndex>>,
+    multi_indexes: RwLock<HashMap<Box<[u32]>, MultiIndex>>,
 }
 
 impl Clone for RelData {
@@ -99,8 +102,8 @@ impl Clone for RelData {
             arity: self.arity,
             data: self.data.clone(),
             dedup: self.dedup.clone(),
-            indexes: Mutex::new(self.indexes.lock().unwrap().clone()),
-            multi_indexes: Mutex::new(self.multi_indexes.lock().unwrap().clone()),
+            indexes: RwLock::new(self.indexes.read().unwrap().clone()),
+            multi_indexes: RwLock::new(self.multi_indexes.read().unwrap().clone()),
         }
     }
 }
@@ -111,8 +114,8 @@ impl RelData {
             arity,
             data: Vec::new(),
             dedup: HashMap::new(),
-            indexes: Mutex::new(HashMap::new()),
-            multi_indexes: Mutex::new(HashMap::new()),
+            indexes: RwLock::new(HashMap::new()),
+            multi_indexes: RwLock::new(HashMap::new()),
         }
     }
 
@@ -132,10 +135,27 @@ impl RelData {
 
     /// Ensure the index for `col` exists and covers all current rows, then
     /// run `f` on the row list for `value` (empty slice if absent).
+    ///
+    /// Double-checked publication: the common case — the index exists and is
+    /// caught up — takes only the shared lock, so concurrent probes from
+    /// parallel chase and `findHom` workers do not serialize. Only a probe
+    /// that finds the index missing or stale upgrades to the exclusive lock,
+    /// re-checks, and extends it over the newly appended rows.
     fn with_index<R>(&self, col: u32, value: Value, f: impl FnOnce(&[u32]) -> R) -> R {
-        let mut indexes = self.indexes.lock().unwrap();
-        let idx = indexes.entry(col).or_default();
         let len = self.len();
+        {
+            let indexes = self.indexes.read().unwrap();
+            if let Some(idx) = indexes.get(&col) {
+                if idx.upto >= len {
+                    return match idx.map.get(&value) {
+                        Some(rows) => f(rows),
+                        None => f(&[]),
+                    };
+                }
+            }
+        }
+        let mut indexes = self.indexes.write().unwrap();
+        let idx = indexes.entry(col).or_default();
         while idx.upto < len {
             let row = idx.upto;
             let v = self.tuple(row)[col as usize];
@@ -149,7 +169,8 @@ impl RelData {
     }
 
     /// Composite-index variant of [`RelData::with_index`]: `cols` must be
-    /// sorted and `values` aligned with it.
+    /// sorted and `values` aligned with it. Same double-checked publication
+    /// scheme as the single-column path.
     fn with_multi_index<R>(
         &self,
         cols: &[u32],
@@ -158,9 +179,20 @@ impl RelData {
     ) -> R {
         debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
         debug_assert_eq!(cols.len(), values.len());
-        let mut indexes = self.multi_indexes.lock().unwrap();
-        let idx = indexes.entry(Box::from(cols)).or_default();
         let len = self.len();
+        {
+            let indexes = self.multi_indexes.read().unwrap();
+            if let Some(idx) = indexes.get(cols) {
+                if idx.upto >= len {
+                    return match idx.map.get(values) {
+                        Some(rows) => f(rows),
+                        None => f(&[]),
+                    };
+                }
+            }
+        }
+        let mut indexes = self.multi_indexes.write().unwrap();
+        let idx = indexes.entry(Box::from(cols)).or_default();
         let mut key: Vec<Value> = Vec::with_capacity(cols.len());
         while idx.upto < len {
             let row = idx.upto;
@@ -499,6 +531,40 @@ mod tests {
             inst.probe_multi_len(r, &[0, 1], &[Value::Int(1), Value::Int(2)]),
             expected.len()
         );
+    }
+
+    #[test]
+    fn concurrent_probes_build_the_index_once_and_agree() {
+        let (s, r, _) = schema2();
+        let mut inst = Instance::new(&s);
+        for i in 0..3_000 {
+            inst.insert_ok(r, &[Value::Int(i % 7), Value::Int(i % 11)]);
+        }
+        let expected: Vec<u32> = (0..inst.rel_len(r))
+            .filter(|&row| inst.tuple(TupleId { rel: r, row })[0] == Value::Int(3))
+            .collect();
+        // Race eight probers against the cold index; all must see the same
+        // complete row set, single-column and composite alike.
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let inst = &inst;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    inst.probe_into(r, 0, Value::Int(3), &mut out);
+                    assert_eq!(&out, expected);
+                    assert_eq!(
+                        inst.probe_multi_len(r, &[0, 1], &[Value::Int(3), Value::Int(5)]),
+                        (0..inst.rel_len(r))
+                            .filter(|&row| {
+                                let t = inst.tuple(TupleId { rel: r, row });
+                                t[0] == Value::Int(3) && t[1] == Value::Int(5)
+                            })
+                            .count()
+                    );
+                });
+            }
+        });
     }
 
     #[test]

@@ -67,6 +67,22 @@ impl<'a> MatchIter<'a> {
         init: Bindings,
         options: EvalOptions,
     ) -> Self {
+        let order = plan(inst, atoms, &init);
+        Self::with_plan(inst, atoms, init, order, options)
+    }
+
+    /// A [`MatchIter`] that evaluates `order` (indices into `atoms`) in the
+    /// given sequence instead of planning one. `order` may cover a subset of
+    /// the conjunction; atoms outside it are ignored. This is the suffix
+    /// executor of [`anchored_plan`]: fixing the plan keeps the match order
+    /// identical to the sequential iterator the plan was taken from.
+    pub fn with_plan(
+        inst: &'a Instance,
+        atoms: &'a [Atom],
+        init: Bindings,
+        order: Vec<usize>,
+        options: EvalOptions,
+    ) -> Self {
         let needed = routes_model::atom::var_space(atoms);
         assert!(
             init.capacity() >= needed,
@@ -74,7 +90,7 @@ impl<'a> MatchIter<'a> {
             init.capacity(),
             needed
         );
-        let order = plan(inst, atoms, &init);
+        debug_assert!(order.iter().all(|&ai| ai < atoms.len()));
         let n = atoms.len();
         MatchIter {
             inst,
@@ -161,45 +177,10 @@ impl<'a> MatchIter<'a> {
     fn load_candidates(&mut self, depth: usize) {
         let atom = &self.atoms[self.order[depth]];
         self.pos[depth] = 0;
-
-        // Collect the bound columns (in column order, hence sorted).
-        let mut bound: Vec<(u32, Value)> = Vec::new();
-        for (col, term) in atom.terms.iter().enumerate() {
-            let value = match term {
-                Term::Const(c) => Some(*c),
-                Term::Var(v) => self.bindings.get(*v),
-            };
-            if let Some(value) = value {
-                // A repeated variable bound twice contributes one entry per
-                // column, which is what the composite key needs.
-                bound.push((col as u32, value));
-            }
-        }
-        // Most selective single column.
-        let mut best: Option<(u32, Value, usize)> = None;
-        for &(col, value) in &bound {
-            let len = self.inst.probe_len(atom.rel, col, value);
-            if best.is_none_or(|(_, _, blen)| len < blen) {
-                best = Some((col, value, len));
-            }
-        }
-
         // Reuse the per-depth buffer; take it out to appease the borrow
         // checker around `probe_into`.
         let mut buf = std::mem::take(&mut self.candidates[depth]);
-        buf.clear();
-        match best {
-            Some((_, _, best_len))
-                if bound.len() >= 2 && best_len > self.options.composite_threshold =>
-            {
-                let cols: Vec<u32> = bound.iter().map(|&(c, _)| c).collect();
-                let values: Vec<Value> = bound.iter().map(|&(_, v)| v).collect();
-                self.inst
-                    .probe_multi_into(atom.rel, &cols, &values, &mut buf);
-            }
-            Some((col, value, _)) => self.inst.probe_into(atom.rel, col, value, &mut buf),
-            None => buf.extend(0..self.inst.rel_len(atom.rel)),
-        }
+        load_rows(self.inst, atom, &self.bindings, self.options, &mut buf);
         self.candidates[depth] = buf;
     }
 
@@ -236,6 +217,99 @@ impl<'a> MatchIter<'a> {
         }
         true
     }
+}
+
+/// Candidate rows for `atom` under `bindings`, exactly as the executor loads
+/// them at each join depth: probe the most selective single-column index,
+/// escalate to a composite probe over all bound columns past
+/// [`EvalOptions::composite_threshold`], and scan when nothing is bound.
+fn load_rows(
+    inst: &Instance,
+    atom: &Atom,
+    bindings: &Bindings,
+    options: EvalOptions,
+    buf: &mut Vec<u32>,
+) {
+    buf.clear();
+    // Collect the bound columns (in column order, hence sorted).
+    let mut bound: Vec<(u32, Value)> = Vec::new();
+    for (col, term) in atom.terms.iter().enumerate() {
+        let value = match term {
+            Term::Const(c) => Some(*c),
+            Term::Var(v) => bindings.get(*v),
+        };
+        if let Some(value) = value {
+            // A repeated variable bound twice contributes one entry per
+            // column, which is what the composite key needs.
+            bound.push((col as u32, value));
+        }
+    }
+    // Most selective single column.
+    let mut best: Option<(u32, Value, usize)> = None;
+    for &(col, value) in &bound {
+        let len = inst.probe_len(atom.rel, col, value);
+        if best.is_none_or(|(_, _, blen)| len < blen) {
+            best = Some((col, value, len));
+        }
+    }
+    match best {
+        Some((_, _, best_len)) if bound.len() >= 2 && best_len > options.composite_threshold => {
+            let cols: Vec<u32> = bound.iter().map(|&(c, _)| c).collect();
+            let values: Vec<Value> = bound.iter().map(|&(_, v)| v).collect();
+            inst.probe_multi_into(atom.rel, &cols, &values, buf);
+        }
+        Some((col, value, _)) => inst.probe_into(atom.rel, col, value, buf),
+        None => buf.extend(0..inst.rel_len(atom.rel)),
+    }
+}
+
+/// A conjunction decomposed for partitioned (anchored) evaluation: the
+/// planned outermost atom, its candidate rows under the initial bindings, and
+/// the evaluation order of the remaining atoms.
+///
+/// Anchoring `atoms[outer]` on one of `rows` (via
+/// [`unify_atom`](crate::unify_atom)) and running the suffix through
+/// [`MatchIter::with_plan`] yields exactly the matches the sequential
+/// [`MatchIter`] finds while positioned on that row, in the same order — so
+/// concatenating the per-row outputs in row order reproduces the sequential
+/// match sequence no matter how `rows` is chunked across worker threads. This
+/// is the determinism contract of the parallel chase.
+#[derive(Debug, Clone)]
+pub struct AnchoredPlan {
+    /// Index (into the conjunction) of the planned outermost atom.
+    pub outer: usize,
+    /// Candidate rows of the outer atom's relation, in evaluation order.
+    pub rows: Vec<u32>,
+    /// Evaluation order of the remaining atoms (indices into the conjunction).
+    pub suffix: Vec<usize>,
+}
+
+/// Decompose `atoms` for anchored evaluation (see [`AnchoredPlan`]). Returns
+/// `None` for the empty conjunction, whose single match is `init` itself.
+pub fn anchored_plan(inst: &Instance, atoms: &[Atom], init: &Bindings) -> Option<AnchoredPlan> {
+    anchored_plan_with_options(inst, atoms, init, EvalOptions::default())
+}
+
+/// [`anchored_plan`] with explicit executor options.
+pub fn anchored_plan_with_options(
+    inst: &Instance,
+    atoms: &[Atom],
+    init: &Bindings,
+    options: EvalOptions,
+) -> Option<AnchoredPlan> {
+    let mut order = plan(inst, atoms, init);
+    if order.is_empty() {
+        return None;
+    }
+    let suffix = order.split_off(1);
+    let outer = order[0];
+    let mut rows = Vec::new();
+    load_rows(inst, &atoms[outer], init, options, &mut rows);
+    Some(AnchoredPlan {
+        outer,
+        rows,
+        suffix,
+    })
 }
 
 /// The first match of `atoms` against `inst` extending `init`, if any.
@@ -369,6 +443,83 @@ mod tests {
         // Exhausted iterators stay exhausted.
         assert!(it.next_match().is_none());
         assert!(it.next_match().is_none());
+    }
+
+    /// Replay an anchored decomposition: for each outer-atom candidate row,
+    /// unify the anchor and enumerate the suffix under the fixed plan.
+    fn replay_anchored(inst: &Instance, atoms: &[Atom], init: &Bindings) -> Vec<Bindings> {
+        let Some(ap) = anchored_plan(inst, atoms, init) else {
+            return vec![init.clone()];
+        };
+        let anchor = &atoms[ap.outer];
+        let mut out = Vec::new();
+        for &row in &ap.rows {
+            let mut b = init.clone();
+            let tuple = inst.tuple(TupleId {
+                rel: anchor.rel,
+                row,
+            });
+            if !crate::unify_atom(anchor, tuple, &mut b) {
+                continue;
+            }
+            let mut it =
+                MatchIter::with_plan(inst, atoms, b, ap.suffix.clone(), EvalOptions::default());
+            while let Some(m) = it.next_match() {
+                out.push(m.clone());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn anchored_plan_reproduces_sequential_match_order() {
+        let (_, inst, e, l) = setup();
+        let term_c = |k: i64| Term::Const(Value::Int(k));
+        let conjunctions: Vec<Vec<Atom>> = vec![
+            // Single-atom scan.
+            vec![Atom::new(e, vec![term_v(0), term_v(1)])],
+            // Two-atom join.
+            vec![
+                Atom::new(e, vec![term_v(0), term_v(1)]),
+                Atom::new(e, vec![term_v(1), term_v(2)]),
+            ],
+            // Join where the planner reorders (L is smaller, goes first).
+            vec![
+                Atom::new(e, vec![term_v(0), term_v(1)]),
+                Atom::new(l, vec![term_v(0)]),
+            ],
+            // Constant in the anchor candidate set.
+            vec![
+                Atom::new(e, vec![term_c(0), term_v(0)]),
+                Atom::new(e, vec![term_v(0), term_v(1)]),
+            ],
+        ];
+        for atoms in &conjunctions {
+            let vars = routes_model::atom::var_space(atoms);
+            let sequential = all_matches(&inst, atoms, Bindings::new(vars));
+            let anchored = replay_anchored(&inst, atoms, &Bindings::new(vars));
+            assert_eq!(sequential, anchored, "atoms: {atoms:?}");
+        }
+    }
+
+    #[test]
+    fn anchored_plan_respects_initial_bindings() {
+        let (_, inst, e, _) = setup();
+        let atoms = vec![
+            Atom::new(e, vec![term_v(0), term_v(1)]),
+            Atom::new(e, vec![term_v(1), term_v(2)]),
+        ];
+        let mut init = Bindings::new(3);
+        init.set(Var(0), Value::Int(0));
+        let sequential = all_matches(&inst, &atoms, init.clone());
+        let anchored = replay_anchored(&inst, &atoms, &init);
+        assert_eq!(sequential, anchored);
+    }
+
+    #[test]
+    fn anchored_plan_of_empty_conjunction_is_none() {
+        let (_, inst, _, _) = setup();
+        assert!(anchored_plan(&inst, &[], &Bindings::new(0)).is_none());
     }
 
     #[test]

@@ -23,5 +23,8 @@ pub mod plan;
 pub mod reference;
 
 pub use bindings::{unify_atom, Bindings};
-pub use eval::{all_matches, first_match, satisfiable, EvalOptions, MatchIter};
+pub use eval::{
+    all_matches, anchored_plan, anchored_plan_with_options, first_match, satisfiable,
+    AnchoredPlan, EvalOptions, MatchIter,
+};
 pub use plan::{plan, plan_to_string};

@@ -13,6 +13,59 @@ use crate::json::Json;
 /// bucket is unbounded.
 pub const LATENCY_BUCKETS_US: [u64; 7] = [100, 500, 1_000, 5_000, 25_000, 100_000, 1_000_000];
 
+/// A work phase whose wall time is tracked separately from whole-request
+/// latency: the chase materializing `J`, route-forest construction
+/// (`ComputeAllRoutes`), single-route enumeration (`ComputeOneRoute` +
+/// replay), and result rendering ("print": view building + JSON encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Chase,
+    Forest,
+    Route,
+    Print,
+}
+
+impl Phase {
+    /// All phases, in the order they appear in the `/metrics` JSON.
+    pub const ALL: [Phase; 4] = [Phase::Chase, Phase::Forest, Phase::Route, Phase::Print];
+
+    /// The JSON key of this phase.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Chase => "chase",
+            Phase::Forest => "forest",
+            Phase::Route => "route",
+            Phase::Print => "print",
+        }
+    }
+}
+
+/// Per-phase wall-time accounting: sample count, total microseconds, and a
+/// latency histogram over [`LATENCY_BUCKETS_US`].
+#[derive(Default)]
+pub struct PhaseStats {
+    pub count: AtomicU64,
+    pub total_us: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+}
+
+impl PhaseStats {
+    fn record(&self, latency: Duration) {
+        self.count.fetch_add(1, Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.total_us.fetch_add(us, Relaxed);
+        self.latency[bucket_of(us)].fetch_add(1, Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count.load(Relaxed))),
+            ("total_us", Json::from(self.total_us.load(Relaxed))),
+            ("latency_us", histogram_json(&self.latency)),
+        ])
+    }
+}
+
 /// Shared service counters.
 #[derive(Default)]
 pub struct Metrics {
@@ -30,6 +83,30 @@ pub struct Metrics {
     pub forest_cache_hits: AtomicU64,
     pub forest_cache_misses: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    phases: [PhaseStats; Phase::ALL.len()],
+}
+
+fn bucket_of(us: u64) -> usize {
+    LATENCY_BUCKETS_US
+        .iter()
+        .position(|&b| us <= b)
+        .unwrap_or(LATENCY_BUCKETS_US.len())
+}
+
+fn histogram_json(latency: &[AtomicU64; LATENCY_BUCKETS_US.len() + 1]) -> Json {
+    Json::Array(
+        (0..=LATENCY_BUCKETS_US.len())
+            .map(|i| {
+                let le = LATENCY_BUCKETS_US
+                    .get(i)
+                    .map_or_else(|| "inf".to_owned(), |b| b.to_string());
+                Json::obj([
+                    ("le_us", Json::from(le)),
+                    ("count", Json::from(latency[i].load(Relaxed))),
+                ])
+            })
+            .collect(),
+    )
 }
 
 impl Metrics {
@@ -47,27 +124,31 @@ impl Metrics {
         }
         .fetch_add(1, Relaxed);
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&b| us <= b)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.latency[bucket].fetch_add(1, Relaxed);
+        self.latency[bucket_of(us)].fetch_add(1, Relaxed);
     }
 
-    /// Render the snapshot served by `GET /metrics`.
-    pub fn to_json(&self, live_sessions: usize) -> Json {
-        let hist: Vec<Json> = (0..=LATENCY_BUCKETS_US.len())
-            .map(|i| {
-                let le = LATENCY_BUCKETS_US
-                    .get(i)
-                    .map_or_else(|| "inf".to_owned(), |b| b.to_string());
-                Json::obj([
-                    ("le_us", Json::from(le)),
-                    ("count", Json::from(self.latency[i].load(Relaxed))),
-                ])
-            })
-            .collect();
+    /// Record one sample of a work phase's wall time.
+    pub fn record_phase(&self, phase: Phase, latency: Duration) {
+        self.phases[phase as usize].record(latency);
+    }
+
+    /// The accounting of one phase (snapshot reads).
+    pub fn phase(&self, phase: Phase) -> &PhaseStats {
+        &self.phases[phase as usize]
+    }
+
+    /// Render the snapshot served by `GET /metrics`. `threads` is the worker
+    /// pool width used for parallel chase / forest construction.
+    pub fn to_json(&self, live_sessions: usize, threads: usize) -> Json {
+        let hist = histogram_json(&self.latency);
+        let phases = Json::Object(
+            Phase::ALL
+                .iter()
+                .map(|&p| (p.name().to_owned(), self.phases[p as usize].to_json()))
+                .collect(),
+        );
         Json::obj([
+            ("threads", Json::from(threads)),
             ("requests_total", Json::from(self.requests_total.load(Relaxed))),
             ("responses_2xx", Json::from(self.responses_2xx.load(Relaxed))),
             ("responses_4xx", Json::from(self.responses_4xx.load(Relaxed))),
@@ -94,7 +175,8 @@ impl Metrics {
                 "forest_cache_misses",
                 Json::from(self.forest_cache_misses.load(Relaxed)),
             ),
-            ("latency_us", Json::Array(hist)),
+            ("latency_us", hist),
+            ("phases", phases),
         ])
     }
 }
@@ -114,14 +196,44 @@ mod tests {
         assert_eq!(m.responses_2xx.load(Relaxed), 2);
         assert_eq!(m.responses_4xx.load(Relaxed), 1);
         assert_eq!(m.responses_5xx.load(Relaxed), 1);
-        let snapshot = m.to_json(3);
+        let snapshot = m.to_json(3, 2);
         assert_eq!(snapshot.get("requests_total").unwrap().as_u64(), Some(4));
         assert_eq!(snapshot.get("live_sessions").unwrap().as_u64(), Some(3));
+        assert_eq!(snapshot.get("threads").unwrap().as_u64(), Some(2));
         let hist = snapshot.get("latency_us").unwrap().as_array().unwrap();
         assert_eq!(hist.len(), LATENCY_BUCKETS_US.len() + 1);
         let total: u64 = hist.iter().map(|b| b.get("count").unwrap().as_u64().unwrap()).sum();
         assert_eq!(total, 4);
         // The 5 s response falls in the unbounded bucket.
         assert_eq!(hist.last().unwrap().get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn phase_samples_accumulate_count_total_and_histogram() {
+        let m = Metrics::new();
+        m.record_phase(Phase::Chase, Duration::from_micros(90));
+        m.record_phase(Phase::Chase, Duration::from_micros(400));
+        m.record_phase(Phase::Forest, Duration::from_millis(2));
+        assert_eq!(m.phase(Phase::Chase).count.load(Relaxed), 2);
+        assert_eq!(m.phase(Phase::Chase).total_us.load(Relaxed), 490);
+        assert_eq!(m.phase(Phase::Route).count.load(Relaxed), 0);
+        let snapshot = m.to_json(0, 1);
+        let phases = snapshot.get("phases").unwrap();
+        for p in Phase::ALL {
+            let entry = phases.get(p.name()).unwrap();
+            let hist_total: u64 = entry
+                .get("latency_us")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|b| b.get("count").unwrap().as_u64().unwrap())
+                .sum();
+            assert_eq!(Some(hist_total), entry.get("count").unwrap().as_u64());
+        }
+        assert_eq!(
+            phases.get("forest").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
     }
 }

@@ -14,29 +14,40 @@
 //! only for lookups; route computation runs on a shared immutable session.
 
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::time::Instant;
 
 use routes_chase::{ChaseOptions, ChaseStats};
-use routes_cli::{load_scenario_str, prepare_scenario};
+use routes_cli::{load_scenario_str, prepare_scenario_with};
 use routes_core::{compute_one_route, ForestView, RouteView, StepView, TupleRef};
 use routes_model::TupleId;
+use routes_pool::Pool;
 
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Phase};
 use crate::session::{Session, SessionStore};
 
 /// The shared application state every worker thread serves from.
 pub struct App {
     pub store: SessionStore,
     pub metrics: Metrics,
+    /// Worker pool for parallel chase and forest construction, sized from
+    /// `ROUTES_THREADS` or the machine's available parallelism.
+    pub pool: Pool,
     shutdown: AtomicBool,
 }
 
 impl App {
     pub fn new(max_sessions: usize) -> Self {
+        App::with_pool(max_sessions, Pool::from_env())
+    }
+
+    /// [`App::new`] with an explicit worker pool (tests pin the width).
+    pub fn with_pool(max_sessions: usize, pool: Pool) -> Self {
         App {
             store: SessionStore::new(max_sessions),
             metrics: Metrics::new(),
+            pool,
             shutdown: AtomicBool::new(false),
         }
     }
@@ -58,9 +69,12 @@ impl App {
             ("POST", ["sessions", id, "all-routes"]) => {
                 self.with_session(id, |s| self.all_routes(&s, req))
             }
-            ("GET", ["metrics"]) => {
-                Response::json(200, self.metrics.to_json(self.store.len()).encode())
-            }
+            ("GET", ["metrics"]) => Response::json(
+                200,
+                self.metrics
+                    .to_json(self.store.len(), self.pool.threads())
+                    .encode(),
+            ),
             ("POST", ["shutdown"]) => {
                 self.shutdown.store(true, Relaxed);
                 Response::json(200, Json::obj([("shutting_down", Json::Bool(true))]).encode())
@@ -103,10 +117,13 @@ impl App {
             Ok(l) => l,
             Err(e) => return Response::error(422, &format!("scenario does not load: {e}")),
         };
-        let prepared = match prepare_scenario(loaded, options) {
+        let prepared = match prepare_scenario_with(loaded, options, &self.pool) {
             Ok(p) => p,
             Err(e) => return Response::error(422, &format!("chase failed: {e}")),
         };
+        if let Some(wall) = prepared.chase_wall {
+            self.metrics.record_phase(Phase::Chase, wall);
+        }
         let weakly_acyclic = prepared.weakly_acyclic;
         let stats = prepared.chase_stats;
         let source_tuples = prepared.source.total_tuples();
@@ -182,7 +199,9 @@ impl App {
         };
         self.metrics.one_routes_computed.fetch_add(1, Relaxed);
         let env = session.env();
-        match compute_one_route(env, &selected) {
+        let route_start = Instant::now();
+        let computed = compute_one_route(env, &selected);
+        match computed {
             Ok(route) => {
                 // Replay per Definition 3.3 before answering: a route the
                 // service emits is always machine-checked against (I, J).
@@ -192,8 +211,10 @@ impl App {
                         return Response::error(500, &format!("computed route failed replay: {e}"))
                     }
                 };
+                self.metrics.record_phase(Phase::Route, route_start.elapsed());
+                let print_start = Instant::now();
                 let view = RouteView::build(&session.scenario.pool, &env, &route);
-                Response::json(
+                let response = Response::json(
                     200,
                     Json::obj([
                         ("found", Json::Bool(true)),
@@ -205,9 +226,12 @@ impl App {
                         ),
                     ])
                     .encode(),
-                )
+                );
+                self.metrics.record_phase(Phase::Print, print_start.elapsed());
+                response
             }
             Err(e) => {
+                self.metrics.record_phase(Phase::Route, route_start.elapsed());
                 // "No route" is a debugging *answer* (the paper's unroutable
                 // tuples), not a client error.
                 let pool = &session.scenario.pool;
@@ -251,15 +275,17 @@ impl App {
             Err(resp) => return resp,
         };
         self.metrics.all_routes_computed.fetch_add(1, Relaxed);
-        let (forest, cached) = session.forest_for(&selected);
+        let (forest, cached, wall) = session.forest_for(&selected, &self.pool);
         if cached {
             self.metrics.forest_cache_hits.fetch_add(1, Relaxed);
         } else {
             self.metrics.forest_cache_misses.fetch_add(1, Relaxed);
+            self.metrics.record_phase(Phase::Forest, wall);
         }
         let env = session.env();
+        let print_start = Instant::now();
         let view = ForestView::build(&session.scenario.pool, &env, &forest);
-        Response::json(
+        let response = Response::json(
             200,
             Json::obj([
                 ("cached", Json::Bool(cached)),
@@ -291,7 +317,9 @@ impl App {
                 ),
             ])
             .encode(),
-        )
+        );
+        self.metrics.record_phase(Phase::Print, print_start.elapsed());
+        response
     }
 }
 

@@ -9,11 +9,13 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use routes_chase::ChaseStats;
 use routes_cli::PreparedScenario;
 use routes_core::{RouteEnv, RouteForest};
 use routes_model::TupleId;
+use routes_pool::Pool;
 
 /// One loaded scenario with its chased (or supplied) solution.
 pub struct Session {
@@ -48,21 +50,33 @@ impl Session {
         self.scenario.chase_stats
     }
 
-    /// Look up or compute the forest for a selection. Returns the forest
-    /// and whether it was served from the cache.
-    pub fn forest_for(&self, selected: &[TupleId]) -> (Arc<RouteForest>, bool) {
+    /// Look up or compute the forest for a selection, fanning branch
+    /// computation out over `workers` on a miss. Returns the forest, whether
+    /// it was served from the cache, and the construction wall time (zero on
+    /// a hit).
+    pub fn forest_for(
+        &self,
+        selected: &[TupleId],
+        workers: &Pool,
+    ) -> (Arc<RouteForest>, bool, Duration) {
         let mut key: Vec<TupleId> = selected.to_vec();
         key.sort_unstable_by_key(|t| (t.rel.0, t.row));
         key.dedup();
         if let Some(found) = self.forest_cache.lock().unwrap().get(&key) {
-            return (Arc::clone(found), true);
+            return (Arc::clone(found), true, Duration::ZERO);
         }
         // Compute outside the lock: forests can be expensive and other
         // selections should not queue behind this one.
-        let forest = Arc::new(routes_core::compute_all_routes(self.env(), &key));
+        let start = Instant::now();
+        let forest = Arc::new(routes_core::compute_all_routes_with_pool(
+            self.env(),
+            &key,
+            workers,
+        ));
+        let wall = start.elapsed();
         let mut cache = self.forest_cache.lock().unwrap();
         let entry = cache.entry(key).or_insert_with(|| Arc::clone(&forest));
-        (Arc::clone(entry), false)
+        (Arc::clone(entry), false, wall)
     }
 
     /// Number of cached forests (for the session view).
@@ -191,12 +205,15 @@ mod tests {
         let (id, _) = store.insert(scenario(5));
         let session = store.get(id).unwrap();
         let tuples: Vec<TupleId> = session.scenario.target.all_rows().collect();
-        let (_, cached) = session.forest_for(&tuples);
+        let workers = Pool::sequential();
+        let (_, cached, wall) = session.forest_for(&tuples, &workers);
         assert!(!cached, "first computation misses");
+        assert!(wall > Duration::ZERO, "misses report construction time");
         let mut reversed = tuples.clone();
         reversed.reverse();
-        let (_, cached) = session.forest_for(&reversed);
+        let (_, cached, wall) = session.forest_for(&reversed, &workers);
         assert!(cached, "same set in another order hits");
+        assert_eq!(wall, Duration::ZERO, "hits cost nothing");
         assert_eq!(session.cached_forests(), 1);
     }
 }

@@ -245,6 +245,49 @@ fn concurrent_clients_probe_validate_and_clean_up() {
         .sum();
     assert_eq!(hist_total, count("requests_total"));
 
+    // Per-phase wall-time accounting reconciles against the same traffic:
+    // every create chased (no supplied target), every forest-cache miss built
+    // a forest, every one-route enumerated, and every routed response
+    // (one-route + both all-routes replies) was printed.
+    assert!(count("threads") >= 1, "pool width is reported");
+    let phases = m.get("phases").unwrap();
+    let phase = |name: &str, field: &str| {
+        phases
+            .get(name)
+            .unwrap()
+            .get(field)
+            .unwrap()
+            .as_u64()
+            .unwrap()
+    };
+    assert_eq!(phase("chase", "count"), count("sessions_created"));
+    assert_eq!(phase("forest", "count"), count("forest_cache_misses"));
+    assert_eq!(phase("route", "count"), count("one_routes_computed"));
+    assert_eq!(
+        phase("print", "count"),
+        count("one_routes_computed") + count("all_routes_computed"),
+    );
+    for name in ["chase", "forest", "route", "print"] {
+        let entry = phases.get(name).unwrap();
+        let phase_hist: u64 = entry
+            .get("latency_us")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|b| b.get("count").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(
+            Some(phase_hist),
+            entry.get("count").unwrap().as_u64(),
+            "{name} histogram reconciles with its sample count"
+        );
+        assert!(
+            entry.get("total_us").unwrap().as_u64().is_some(),
+            "{name} reports total wall time"
+        );
+    }
+
     shutdown(addr, handle);
 }
 

@@ -8,3 +8,14 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace --offline
 cargo test -q --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Parallel-execution determinism gate: the chase and route-forest results
+# must be byte-identical to sequential at every worker count. Run the
+# suite under two ROUTES_THREADS overrides (the tests additionally sweep
+# explicit pool sizes 1/2/8 internally).
+ROUTES_THREADS=2 cargo test -q --offline --test parallel_determinism
+ROUTES_THREADS=8 cargo test -q --offline --test parallel_determinism
+
+# Thread-scaling bench smoke: `repro micro parallel` must run end to end
+# (writes bench_results/micro_parallel.csv).
+cargo run --release --offline -p routes-bench --bin repro -- micro parallel --quick

@@ -1,0 +1,190 @@
+//! Determinism of the parallel execution layer (tier-1).
+//!
+//! The parallel chase and parallel `ComputeAllRoutes` are required to be
+//! *exact*: at every worker count they must produce byte-identical target
+//! instances (same tuple ids, same labeled nulls), identical chase
+//! statistics, and an identical route forest (same exploration order, same
+//! branches) as the sequential implementations. These tests pin that
+//! contract over seeded random scenarios, both with explicit pool sizes and
+//! through the `ROUTES_THREADS` environment override.
+
+use routes_chase::{chase, chase_with_pool, ChaseOptions, ChaseResult};
+use routes_core::{compute_all_routes, compute_all_routes_with_pool, RouteEnv, RouteForest};
+use routes_gen::random_scenario;
+use routes_model::{Instance, Schema, TupleId, ValuePool};
+use routes_pool::Pool;
+
+/// Seeds chosen so the scenarios exercise multi-tgd mappings with non-empty
+/// sources (every seed chases successfully; see `routes_gen::random`).
+const SEEDS: [u64; 5] = [3, 7, 11, 23, 42];
+
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+/// A canonical, index-free rendering of a target instance: relation name,
+/// row index, and printed values (labeled nulls included) for every tuple,
+/// in schema/row order.
+fn dump_instance(schema: &Schema, inst: &Instance, values: &ValuePool) -> String {
+    let mut out = String::new();
+    for (rel, relation) in schema.iter() {
+        for (t, row) in inst.rel_tuples(rel) {
+            out.push_str(relation.name());
+            out.push_str(&format!("[{}](", t.row));
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&values.value_to_string(*v));
+            }
+            out.push_str(")\n");
+        }
+    }
+    out
+}
+
+/// A canonical rendering of a route forest: roots, exploration order, and
+/// every node's branches (tgd, homomorphism, children, witnessed tuples) in
+/// exploration order.
+fn dump_forest(forest: &RouteForest, values: &ValuePool) -> String {
+    let mut out = format!("roots: {:?}\norder: {:?}\n", forest.roots, forest.order);
+    for &t in &forest.order {
+        out.push_str(&format!("node {t:?}\n"));
+        for b in forest.branches_of(t) {
+            let hom: Vec<String> = b.iter_hom(values);
+            out.push_str(&format!(
+                "  branch {:?} hom=[{}] lhs={:?} rhs={:?}\n",
+                b.tgd,
+                hom.join(", "),
+                b.lhs_facts,
+                b.rhs_tuples
+            ));
+        }
+    }
+    out
+}
+
+trait HomDump {
+    fn iter_hom(&self, values: &ValuePool) -> Vec<String>;
+}
+
+impl HomDump for routes_core::Branch {
+    fn iter_hom(&self, values: &ValuePool) -> Vec<String> {
+        self.hom.iter().map(|&v| values.value_to_string(v)).collect()
+    }
+}
+
+/// Sequential baseline: chase result + pool snapshot for one seed.
+fn sequential_chase(seed: u64, options: ChaseOptions) -> (ChaseResult, ValuePool, String) {
+    let mut sc = random_scenario(seed);
+    let result = chase(&sc.mapping, &sc.source, &mut sc.pool, options)
+        .unwrap_or_else(|e| panic!("seed {seed}: sequential chase failed: {e}"));
+    let dump = dump_instance(sc.mapping.target(), &result.target, &sc.pool);
+    (result, sc.pool, dump)
+}
+
+fn assert_parallel_chase_matches(seed: u64, options: ChaseOptions, workers: &Pool) {
+    let (baseline, base_pool, base_dump) = sequential_chase(seed, options);
+    let mut sc = random_scenario(seed);
+    let result = chase_with_pool(&sc.mapping, &sc.source, &mut sc.pool, options, workers)
+        .unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: parallel chase ({} threads) failed: {e}",
+                workers.threads()
+            )
+        });
+    assert_eq!(
+        result.stats(),
+        baseline.stats(),
+        "seed {seed}: chase stats diverge at {} threads",
+        workers.threads()
+    );
+    assert_eq!(
+        sc.pool.num_nulls(),
+        base_pool.num_nulls(),
+        "seed {seed}: labeled-null allocation diverges at {} threads",
+        workers.threads()
+    );
+    let dump = dump_instance(sc.mapping.target(), &result.target, &sc.pool);
+    assert_eq!(
+        dump,
+        base_dump,
+        "seed {seed}: target instance diverges at {} threads",
+        workers.threads()
+    );
+}
+
+fn assert_parallel_forest_matches(seed: u64, workers: &Pool) {
+    let mut sc = random_scenario(seed);
+    let result = chase(&sc.mapping, &sc.source, &mut sc.pool, ChaseOptions::fresh())
+        .unwrap_or_else(|e| panic!("seed {seed}: chase failed: {e}"));
+    let selected: Vec<TupleId> = result.target.all_rows().collect();
+    if selected.is_empty() {
+        return;
+    }
+    let env = RouteEnv::new(&sc.mapping, &sc.source, &result.target);
+    let baseline = dump_forest(&compute_all_routes(env, &selected), &sc.pool);
+    let parallel = dump_forest(
+        &compute_all_routes_with_pool(env, &selected, workers),
+        &sc.pool,
+    );
+    assert_eq!(
+        parallel,
+        baseline,
+        "seed {seed}: route forest diverges at {} threads",
+        workers.threads()
+    );
+}
+
+#[test]
+fn parallel_chase_is_deterministic_across_pool_sizes() {
+    for seed in SEEDS {
+        for threads in POOL_SIZES {
+            let workers = Pool::new(threads);
+            assert_parallel_chase_matches(seed, ChaseOptions::fresh(), &workers);
+            assert_parallel_chase_matches(seed, ChaseOptions::skolem(), &workers);
+        }
+    }
+}
+
+#[test]
+fn parallel_forest_is_deterministic_across_pool_sizes() {
+    for seed in SEEDS {
+        for threads in POOL_SIZES {
+            assert_parallel_forest_matches(seed, &Pool::new(threads));
+        }
+    }
+}
+
+/// `ROUTES_THREADS` drives `Pool::from_env`; the results must be identical
+/// at every override, same as with explicitly sized pools.
+#[test]
+fn routes_threads_env_override_is_deterministic() {
+    for threads in POOL_SIZES {
+        std::env::set_var(routes_pool::THREADS_ENV, threads.to_string());
+        let workers = Pool::from_env();
+        assert_eq!(
+            workers.threads(),
+            threads,
+            "ROUTES_THREADS={threads} must size the pool"
+        );
+        for seed in &SEEDS[..3] {
+            assert_parallel_chase_matches(*seed, ChaseOptions::fresh(), &workers);
+            assert_parallel_forest_matches(*seed, &workers);
+        }
+    }
+    std::env::remove_var(routes_pool::THREADS_ENV);
+}
+
+/// The random scenarios actually exercise the parallel paths: at least one
+/// seed must produce a multi-tuple target (so candidate partitioning has
+/// something to split) — guards against the generator degenerating.
+#[test]
+fn seeds_are_not_degenerate() {
+    let mut total = 0usize;
+    for seed in SEEDS {
+        let mut sc = random_scenario(seed);
+        let result = chase(&sc.mapping, &sc.source, &mut sc.pool, ChaseOptions::fresh())
+            .unwrap_or_else(|e| panic!("seed {seed}: chase failed: {e}"));
+        total += result.target.total_tuples();
+    }
+    assert!(total >= 10, "seeds produce only {total} target tuples");
+}
