@@ -4,6 +4,7 @@
 //! ```text
 //! repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1|micro] [--factor F]
 //! repro micro parallel [--quick]
+//! repro micro sessions [--quick]
 //! ```
 //!
 //! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
@@ -11,14 +12,16 @@
 //! fixed-small-scale micro-benchmarks (the retired criterion harnesses) and
 //! is not part of `all`; it ignores `--factor`. `micro parallel` runs the
 //! thread-scaling sweep (chase + all-routes at 1/2/4/N worker threads) and
-//! writes `bench_results/micro_parallel.csv`; `--quick` shrinks it to a CI
-//! smoke run.
+//! writes `bench_results/micro_parallel.csv`; `micro sessions` runs the
+//! session-store shard-scaling sweep (8 driver threads against 1/2/4/8
+//! shards) and writes `bench_results/micro_sessions.csv`; `--quick`
+//! shrinks either to a CI smoke run.
 
 use std::path::Path;
 
 use routes_bench::{
     fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, micro_benches, parallel_benches,
-    table1, Sizing, Table,
+    session_benches, table1, Sizing, Table,
 };
 
 fn main() {
@@ -45,6 +48,7 @@ fn main() {
         [] => "all".to_owned(),
         [one] => one.clone(),
         [a, b] if a == "micro" && b == "parallel" => "micro-parallel".to_owned(),
+        [a, b] if a == "micro" && b == "sessions" => "micro-sessions".to_owned(),
         _ => usage("too many experiment names"),
     };
 
@@ -123,6 +127,16 @@ fn main() {
         emit(&name, vec![t]);
         ran = true;
     }
+    if which == "micro-sessions" {
+        eprintln!(
+            "running session-store shard-scaling micro-benchmarks{} ...",
+            if quick { " (quick)" } else { "" }
+        );
+        let t = session_benches(quick);
+        let name = t.title.clone();
+        emit(&name, vec![t]);
+        ran = true;
+    }
     if !ran {
         usage(&format!("unknown experiment `{which}`"));
     }
@@ -132,7 +146,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1|micro] [--factor F]\n\
-         \u{20}      repro micro parallel [--quick]"
+         \u{20}      repro micro parallel [--quick]\n\
+         \u{20}      repro micro sessions [--quick]"
     );
     std::process::exit(2);
 }

@@ -20,6 +20,7 @@
 pub mod experiments;
 pub mod micro;
 pub mod parallel;
+pub mod sessions;
 pub mod table;
 
 pub use experiments::{
@@ -27,6 +28,7 @@ pub use experiments::{
 };
 pub use micro::micro_benches;
 pub use parallel::{parallel_benches, thread_counts};
+pub use sessions::session_benches;
 pub use table::Table;
 
 use std::time::{Duration, Instant};

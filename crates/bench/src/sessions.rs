@@ -1,0 +1,172 @@
+//! Session-store shard-scaling micro-benchmark: eight driver threads of
+//! mixed traffic against [`SessionStore`]s at 1/2/4/8 shards.
+//!
+//! Run via the `repro` binary: `repro micro sessions [--quick]` prints the
+//! table and writes `bench_results/micro_sessions.csv` with columns
+//! `workload, shards, threads, median_seconds, speedup_vs_1shard`.
+//!
+//! Two workloads bracket the service's behavior:
+//!
+//! * `get_heavy` — 95% lookups / 5% inserts, the steady state of a
+//!   debugging session pool (every `/one-route` and `/all-routes` request
+//!   is a store lookup). This is where sharding pays: lookups take only a
+//!   shard's read lock, so N shards multiply read-side throughput limits.
+//! * `churn` — 50% lookups / 50% inserts, worst-case tenant turnover with
+//!   constant eviction pressure on the write locks.
+//!
+//! The accounting is deterministic per workload (seeded SplitMix64 per
+//! thread), so shard counts differ only in lock contention. On a
+//! single-core host the speedup column honestly reports ≈ 1.
+//!
+//! Sessions are stamped out by cloning one prepared prototype scenario, so
+//! the measured time is store traffic, not chase time.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use routes_chase::ChaseOptions;
+use routes_cli::{load_scenario_str, prepare_scenario, PreparedScenario};
+use routes_gen::Rng;
+use routes_pool::Pool;
+use routes_server::SessionStore;
+
+use crate::{bench_median, secs, Table};
+
+/// The shard counts swept.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Driver threads hammering the store concurrently.
+const DRIVERS: usize = 8;
+
+struct Workload {
+    name: &'static str,
+    /// Per-mille probability that an op is an insert (the rest are gets).
+    insert_pct: u32,
+}
+
+const WORKLOADS: [Workload; 2] = [
+    Workload {
+        name: "get_heavy",
+        insert_pct: 5,
+    },
+    Workload {
+        name: "churn",
+        insert_pct: 50,
+    },
+];
+
+fn prototype() -> PreparedScenario {
+    let text = "source schema:\n  S(a)\ntarget schema:\n  T(a)\n\
+                dependencies:\n  m: S(x) -> T(x)\nsource data:\n  S(1)\n";
+    prepare_scenario(load_scenario_str(text).unwrap(), ChaseOptions::fresh()).unwrap()
+}
+
+/// One timed run: `DRIVERS` threads each execute `ops` seeded operations
+/// (`insert_pct`% inserts, the rest gets) against a fresh store with
+/// `shards` shards; returns the number of hits (kept so the work cannot be
+/// optimized away).
+fn drive(
+    proto: &PreparedScenario,
+    shards: usize,
+    capacity: usize,
+    ops: usize,
+    insert_pct: u32,
+) -> u64 {
+    let store = SessionStore::with_shards(capacity, shards);
+    let hits = AtomicU64::new(0);
+    // Pre-populate to capacity so get_heavy starts at steady state.
+    let workers = Pool::sequential();
+    let mut seed_ids: Vec<u64> = Vec::with_capacity(capacity);
+    for _ in 0..capacity {
+        seed_ids.push(store.insert(proto.clone(), &workers).0);
+    }
+    std::thread::scope(|s| {
+        for t in 0..DRIVERS {
+            let store = &store;
+            let hits = &hits;
+            let seed_ids = &seed_ids;
+            s.spawn(move || {
+                let mut rng = Rng::seed_from_u64(0xBEEF + t as u64);
+                let workers = Pool::sequential();
+                let mut known: Vec<u64> = seed_ids.clone();
+                let mut local_hits = 0u64;
+                for _ in 0..ops {
+                    let roll = rng.gen_range(0u32..100);
+                    if roll < insert_pct {
+                        let (id, _) = store.insert(proto.clone(), &workers);
+                        known.push(id);
+                    } else {
+                        let id = known[rng.gen_range(0..known.len())];
+                        if store.get(id).is_found() {
+                            local_hits += 1;
+                        }
+                    }
+                }
+                hits.fetch_add(local_hits, Relaxed);
+            });
+        }
+    });
+    hits.load(Relaxed)
+}
+
+/// Run the shard-scaling sweep. `quick` shrinks op counts and samples for
+/// CI smoke runs.
+pub fn session_benches(quick: bool) -> Table {
+    let (warmup, samples) = if quick { (1, 3) } else { (1, 5) };
+    let (capacity, ops) = if quick { (32, 200) } else { (64, 1500) };
+    let mut out = Table::new(
+        "micro_sessions",
+        &[
+            "workload",
+            "shards",
+            "threads",
+            "median_seconds",
+            "speedup_vs_1shard",
+        ],
+    );
+    let proto = prototype();
+    for workload in &WORKLOADS {
+        let mut base = None;
+        for &shards in &SHARD_COUNTS {
+            let t = bench_median(warmup, samples, || {
+                drive(&proto, shards, capacity, ops, workload.insert_pct)
+            });
+            let base = *base.get_or_insert(t.as_secs_f64());
+            let speedup = if t.as_secs_f64() > 0.0 {
+                base / t.as_secs_f64()
+            } else {
+                1.0
+            };
+            out.push(vec![
+                workload.name.to_owned(),
+                shards.to_string(),
+                DRIVERS.to_string(),
+                secs(t),
+                format!("{speedup:.2}"),
+            ]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_rows_for_every_workload_and_shard_count() {
+        let table = session_benches(true);
+        assert_eq!(table.rows.len(), WORKLOADS.len() * SHARD_COUNTS.len());
+        for row in &table.rows {
+            assert_eq!(row.len(), 5);
+            assert_eq!(row[2], DRIVERS.to_string());
+            let median: f64 = row[3].parse().unwrap();
+            let speedup: f64 = row[4].parse().unwrap();
+            assert!(median >= 0.0);
+            assert!(speedup > 0.0);
+        }
+        // Every 1-shard row is its workload's baseline by construction.
+        for row in table.rows.iter().filter(|r| r[1] == "1") {
+            assert_eq!(row[4], "1.00");
+        }
+    }
+}

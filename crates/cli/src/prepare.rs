@@ -16,7 +16,9 @@ use routes_pool::Pool;
 use crate::loader::LoadedScenario;
 
 /// A scenario ready for route debugging: mapping, source, and a concrete
-/// solution `J` (supplied or chased), plus chase provenance.
+/// solution `J` (supplied or chased), plus chase provenance. `Clone` lets
+/// store benchmarks and tests stamp out many sessions from one prototype.
+#[derive(Clone)]
 pub struct PreparedScenario {
     /// The value pool (extended with any nulls the chase invented).
     pub pool: ValuePool,

@@ -137,6 +137,24 @@ impl Pool {
         }
         out
     }
+
+    /// [`Pool::par_map_items`] for closures that yield zero or more outputs
+    /// per item: apply `f` to every element and concatenate the outputs **in
+    /// item order** (the flattening happens after the chunk-ordered merge,
+    /// so the result is identical at every worker count).
+    pub fn par_flat_map_items<T, R, F>(&self, items: &[T], min_chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> Vec<R> + Sync,
+    {
+        let per_item = self.par_map_items(items, min_chunk, f);
+        let mut out = Vec::with_capacity(per_item.iter().map(Vec::len).sum());
+        for group in per_item {
+            out.extend(group);
+        }
+        out
+    }
 }
 
 impl Default for Pool {
@@ -233,6 +251,23 @@ mod tests {
         // Four single-item chunks on a 4-thread pool: more than one OS
         // thread participated (chunk 0 runs on the caller).
         assert!(ids.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn par_flat_map_items_concatenates_in_item_order() {
+        let items: Vec<u64> = (0..57).collect();
+        // Item k yields k % 3 outputs — uneven, so chunk boundaries matter.
+        let expect: Vec<u64> = items
+            .iter()
+            .flat_map(|&x| (0..x % 3).map(move |j| x * 10 + j))
+            .collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let flat = pool.par_flat_map_items(&items, 1, |&x| {
+                (0..x % 3).map(|j| x * 10 + j).collect()
+            });
+            assert_eq!(flat, expect, "threads={threads}");
+        }
     }
 
     #[test]

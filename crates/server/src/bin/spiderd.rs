@@ -1,11 +1,12 @@
 //! `spiderd` — serve the route debugger over HTTP.
 //!
 //! ```text
-//! spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N]
+//! spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N] [--session-shards N]
 //! ```
 //!
-//! Defaults: `127.0.0.1:7007`, 4 worker threads, 32 sessions. The bound
-//! address is printed on startup (useful with `--addr 127.0.0.1:0`).
+//! Defaults: `127.0.0.1:7007`, 4 worker threads, 32 sessions, session
+//! shards from `ROUTES_SESSION_SHARDS` or the machine's parallelism. The
+//! bound address is printed on startup (useful with `--addr 127.0.0.1:0`).
 //! `POST /shutdown` stops the service gracefully.
 
 use routes_server::{Server, ServerConfig};
@@ -33,8 +34,13 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--max-sessions must be an integer"));
             }
+            "--session-shards" => {
+                config.session_shards = value("--session-shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--session-shards must be an integer"));
+            }
             "--help" | "-h" => {
-                println!("usage: spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N]");
+                println!("{USAGE}");
                 return;
             }
             other => usage(&format!("unknown flag `{other}`")),
@@ -64,8 +70,11 @@ fn main() {
     }
 }
 
+const USAGE: &str =
+    "usage: spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N] [--session-shards N]";
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N]");
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }

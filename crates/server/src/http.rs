@@ -197,6 +197,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             409 => "Conflict",
+            410 => "Gone",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
             431 => "Request Header Fields Too Large",

@@ -7,7 +7,9 @@
 //! * [`http`] — a hand-rolled HTTP/1.1 subset (keep-alive, strict limits).
 //! * [`json`] — an in-repo JSON value, parser, and encoder (the workspace
 //!   builds offline with no external crates — see `DESIGN.md`).
-//! * [`session`] — the `RwLock` session store with LRU eviction and a
+//! * [`session`] — the sharded session store (`ROUTES_SESSION_SHARDS` or
+//!   available parallelism shards, each its own `RwLock<HashMap>` slice)
+//!   with segmented-LRU eviction, read-lock + atomic touches, and a
 //!   per-session memoized route-forest cache.
 //! * [`router`] — the REST surface: `POST /sessions`, one-route /
 //!   all-routes probes, summaries, `GET /metrics`, `POST /shutdown`.
@@ -29,4 +31,6 @@ pub mod session;
 pub use json::Json;
 pub use router::App;
 pub use server::{Server, ServerConfig};
-pub use session::{Session, SessionStore};
+pub use session::{
+    Removal, Session, SessionLookup, SessionStore, ShardSnapshot, StoreSnapshot, SHARDS_ENV,
+};

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Duration;
 
 use crate::json::Json;
+use crate::session::{ShardSnapshot, StoreSnapshot, LOCK_WAIT_BUCKETS_US};
 
 /// Upper bounds (µs) of the request-latency histogram buckets; the last
 /// bucket is unbounded.
@@ -58,10 +59,11 @@ impl PhaseStats {
     }
 
     fn to_json(&self) -> Json {
+        let counts: Vec<u64> = self.latency.iter().map(|c| c.load(Relaxed)).collect();
         Json::obj([
             ("count", Json::from(self.count.load(Relaxed))),
             ("total_us", Json::from(self.total_us.load(Relaxed))),
-            ("latency_us", histogram_json(&self.latency)),
+            ("latency_us", histogram_json(&LATENCY_BUCKETS_US, &counts)),
         ])
     }
 }
@@ -93,20 +95,66 @@ fn bucket_of(us: u64) -> usize {
         .unwrap_or(LATENCY_BUCKETS_US.len())
 }
 
-fn histogram_json(latency: &[AtomicU64; LATENCY_BUCKETS_US.len() + 1]) -> Json {
+/// Render a histogram as `[{le_us, count}, ...]`; `counts` must hold one
+/// entry per bound plus the final unbounded bucket.
+fn histogram_json(bounds: &[u64], counts: &[u64]) -> Json {
+    debug_assert_eq!(counts.len(), bounds.len() + 1);
     Json::Array(
-        (0..=LATENCY_BUCKETS_US.len())
-            .map(|i| {
-                let le = LATENCY_BUCKETS_US
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| {
+                let le = bounds
                     .get(i)
                     .map_or_else(|| "inf".to_owned(), |b| b.to_string());
-                Json::obj([
-                    ("le_us", Json::from(le)),
-                    ("count", Json::from(latency[i].load(Relaxed))),
-                ])
+                Json::obj([("le_us", Json::from(le)), ("count", Json::from(count))])
             })
             .collect(),
     )
+}
+
+fn shard_json(shard: &ShardSnapshot) -> Json {
+    Json::obj([
+        ("sessions", Json::from(shard.sessions)),
+        ("capacity", Json::from(shard.capacity)),
+        ("hits", Json::from(shard.hits)),
+        ("misses", Json::from(shard.misses)),
+        ("inserts", Json::from(shard.inserts)),
+        ("removes", Json::from(shard.removes)),
+        ("evictions", Json::from(shard.evictions)),
+        ("demotions", Json::from(shard.demotions)),
+        ("evict_scan_steps", Json::from(shard.evict_scan_steps)),
+        ("write_locks", Json::from(shard.write_locks)),
+        (
+            "lock_wait_read_us",
+            histogram_json(&LOCK_WAIT_BUCKETS_US, &shard.lock_wait_read_us),
+        ),
+        (
+            "lock_wait_write_us",
+            histogram_json(&LOCK_WAIT_BUCKETS_US, &shard.lock_wait_write_us),
+        ),
+    ])
+}
+
+/// Render a session-store snapshot: store-wide totals plus the per-shard
+/// counter blocks (`/metrics` embeds this as `session_store`).
+pub fn store_json(store: &StoreSnapshot) -> Json {
+    Json::obj([
+        ("capacity", Json::from(store.capacity)),
+        ("shard_count", Json::from(store.shards.len())),
+        ("live_sessions", Json::from(store.live())),
+        ("hits", Json::from(store.hits())),
+        ("misses", Json::from(store.misses())),
+        ("inserts", Json::from(store.inserts())),
+        ("removes", Json::from(store.removes())),
+        ("evictions", Json::from(store.evictions())),
+        ("evict_scan_steps", Json::from(store.evict_scan_steps())),
+        ("write_locks", Json::from(store.write_locks())),
+        (
+            "shards",
+            Json::Array(store.shards.iter().map(shard_json).collect()),
+        ),
+    ])
 }
 
 impl Metrics {
@@ -137,10 +185,21 @@ impl Metrics {
         &self.phases[phase as usize]
     }
 
+    /// [`Metrics::to_json`] plus the sharded session-store counter block
+    /// (what `GET /metrics` actually serves).
+    pub fn to_json_with_store(&self, store: &StoreSnapshot, threads: usize) -> Json {
+        let mut snapshot = self.to_json(store.live(), threads);
+        if let Json::Object(fields) = &mut snapshot {
+            fields.push(("session_store".to_owned(), store_json(store)));
+        }
+        snapshot
+    }
+
     /// Render the snapshot served by `GET /metrics`. `threads` is the worker
     /// pool width used for parallel chase / forest construction.
     pub fn to_json(&self, live_sessions: usize, threads: usize) -> Json {
-        let hist = histogram_json(&self.latency);
+        let latency: Vec<u64> = self.latency.iter().map(|c| c.load(Relaxed)).collect();
+        let hist = histogram_json(&LATENCY_BUCKETS_US, &latency);
         let phases = Json::Object(
             Phase::ALL
                 .iter()
@@ -206,6 +265,61 @@ mod tests {
         assert_eq!(total, 4);
         // The 5 s response falls in the unbounded bucket.
         assert_eq!(hist.last().unwrap().get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn store_snapshot_renders_totals_shards_and_lock_wait_histograms() {
+        use crate::session::SessionStore;
+        use routes_chase::ChaseOptions;
+        use routes_cli::{load_scenario_str, prepare_scenario};
+        use routes_pool::Pool;
+
+        let text = "source schema:\n  S(a)\ntarget schema:\n  T(a)\n\
+                    dependencies:\n  m: S(x) -> T(x)\nsource data:\n  S(1)\n";
+        let scenario = || {
+            prepare_scenario(load_scenario_str(text).unwrap(), ChaseOptions::fresh()).unwrap()
+        };
+        let store = SessionStore::with_shards(4, 2);
+        let workers = Pool::sequential();
+        let (a, _) = store.insert(scenario(), &workers);
+        let (b, _) = store.insert(scenario(), &workers);
+        for _ in 0..3 {
+            assert!(store.get(a).is_found());
+        }
+        assert!(store.get(b).is_found());
+        assert!(!store.get(999).is_found());
+
+        let snap = store.snapshot();
+        let m = Metrics::new();
+        let json = m.to_json_with_store(&snap, 1);
+        assert_eq!(json.get("live_sessions").unwrap().as_u64(), Some(2));
+        let sj = json.get("session_store").unwrap();
+        assert_eq!(sj.get("shard_count").unwrap().as_u64(), Some(2));
+        assert_eq!(sj.get("capacity").unwrap().as_u64(), Some(4));
+        assert_eq!(sj.get("hits").unwrap().as_u64(), Some(4));
+        assert_eq!(sj.get("misses").unwrap().as_u64(), Some(1));
+        let shards = sj.get("shards").unwrap().as_array().unwrap();
+        assert_eq!(shards.len(), 2);
+        let bucket_total = |hist: &Json| -> u64 {
+            hist.as_array()
+                .unwrap()
+                .iter()
+                .map(|b| b.get("count").unwrap().as_u64().unwrap())
+                .sum()
+        };
+        // Every lock acquisition lands in exactly one wait bucket: reads
+        // are the five lookups, writes match the write_locks counter.
+        let read_waits: u64 = shards
+            .iter()
+            .map(|s| bucket_total(s.get("lock_wait_read_us").unwrap()))
+            .sum();
+        let write_waits: u64 = shards
+            .iter()
+            .map(|s| bucket_total(s.get("lock_wait_write_us").unwrap()))
+            .sum();
+        assert_eq!(read_waits, 5);
+        assert_eq!(write_waits, snap.write_locks());
+        assert!(snap.write_locks() >= 2, "two inserts write-locked");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use routes_pool::Pool;
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
 use crate::metrics::{Metrics, Phase};
-use crate::session::{Session, SessionStore};
+use crate::session::{Removal, Session, SessionLookup, SessionStore};
 
 /// The shared application state every worker thread serves from.
 pub struct App {
@@ -44,8 +44,14 @@ impl App {
 
     /// [`App::new`] with an explicit worker pool (tests pin the width).
     pub fn with_pool(max_sessions: usize, pool: Pool) -> Self {
+        App::with_store(SessionStore::new(max_sessions), pool)
+    }
+
+    /// [`App::with_pool`] with an explicit store (tests pin the shard
+    /// count).
+    pub fn with_store(store: SessionStore, pool: Pool) -> Self {
         App {
-            store: SessionStore::new(max_sessions),
+            store,
             metrics: Metrics::new(),
             pool,
             shutdown: AtomicBool::new(false),
@@ -72,7 +78,7 @@ impl App {
             ("GET", ["metrics"]) => Response::json(
                 200,
                 self.metrics
-                    .to_json(self.store.len(), self.pool.threads())
+                    .to_json_with_store(&self.store.snapshot(), self.pool.threads())
                     .encode(),
             ),
             ("POST", ["shutdown"]) => {
@@ -95,8 +101,9 @@ impl App {
             return Response::error(400, "session id must be an integer");
         };
         match self.store.get(id) {
-            Some(session) => f(session),
-            None => Response::error(404, "no such session (expired or deleted?)"),
+            SessionLookup::Found(session) => f(session),
+            SessionLookup::Evicted => Response::error(410, "session evicted (store at capacity)"),
+            SessionLookup::Missing => Response::error(404, "no such session"),
         }
     }
 
@@ -128,7 +135,7 @@ impl App {
         let stats = prepared.chase_stats;
         let source_tuples = prepared.source.total_tuples();
         let target_tuples = prepared.target.total_tuples();
-        let (id, evicted) = self.store.insert(prepared);
+        let (id, evicted) = self.store.insert(prepared, &self.pool);
         self.metrics.sessions_created.fetch_add(1, Relaxed);
         self.metrics
             .sessions_evicted
@@ -154,11 +161,13 @@ impl App {
         let Ok(id) = id.parse::<u64>() else {
             return Response::error(400, "session id must be an integer");
         };
-        if self.store.remove(id) {
-            self.metrics.sessions_deleted.fetch_add(1, Relaxed);
-            Response::json(200, Json::obj([("deleted", Json::Bool(true))]).encode())
-        } else {
-            Response::error(404, "no such session")
+        match self.store.remove(id) {
+            Removal::Removed => {
+                self.metrics.sessions_deleted.fetch_add(1, Relaxed);
+                Response::json(200, Json::obj([("deleted", Json::Bool(true))]).encode())
+            }
+            Removal::Evicted => Response::error(410, "session evicted (store at capacity)"),
+            Removal::Missing => Response::error(404, "no such session"),
         }
     }
 

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use crate::http::{parse_request, ParseError, Response};
 use crate::router::App;
+use crate::session::SessionStore;
 
 /// Server tunables.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +29,9 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Session-store bound (LRU beyond this).
     pub max_sessions: usize,
+    /// Session-store shard count; 0 means "auto" (`ROUTES_SESSION_SHARDS`
+    /// or the machine's available parallelism).
+    pub session_shards: usize,
     /// Per-read socket timeout; a stalled peer cannot pin a worker forever.
     pub read_timeout: Duration,
 }
@@ -37,6 +41,7 @@ impl Default for ServerConfig {
         ServerConfig {
             threads: 4,
             max_sessions: 32,
+            session_shards: 0,
             read_timeout: Duration::from_secs(30),
         }
     }
@@ -53,9 +58,14 @@ impl Server {
     /// Bind the listener (use port 0 for an ephemeral port).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let store = if config.session_shards == 0 {
+            SessionStore::new(config.max_sessions)
+        } else {
+            SessionStore::with_shards(config.max_sessions, config.session_shards)
+        };
         Ok(Server {
             listener,
-            app: Arc::new(App::new(config.max_sessions)),
+            app: Arc::new(App::with_store(store, routes_pool::Pool::from_env())),
             config,
         })
     }

@@ -1,14 +1,48 @@
 //! The session store: loaded scenarios with chased solutions, shared
-//! across worker threads, bounded by LRU eviction.
+//! across worker threads, sharded for concurrency, bounded by a
+//! segmented-LRU eviction policy.
 //!
 //! A session is immutable once created (the pool, instances, and mapping
 //! are never touched again), so workers share it through an `Arc` and drop
 //! the store lock before doing any route computation. The only interior
 //! mutability is the per-session forest cache.
+//!
+//! ## Sharding
+//!
+//! The store holds `N` independent shards (`N` from
+//! [`ROUTES_SESSION_SHARDS`](SHARDS_ENV), else the machine's available
+//! parallelism, clamped to the capacity), each its own
+//! `RwLock<HashMap>` with a slice of the total capacity. Session ids are
+//! assigned by one monotonic counter, so `shard_of(id) = id % N` *is* the
+//! session-id hash: the id space is dense and server-assigned (no
+//! adversarial keys), which makes the modulo perfectly balanced and — the
+//! property the metrics-reconciliation tests lean on — deterministic.
+//!
+//! ## Segmented LRU, touched without a write lock
+//!
+//! The old store kept an LRU `Vec` and re-ordered it under the **write**
+//! lock on every `get`, an `O(live sessions)` `retain` on the hottest path
+//! in the service. Here a lookup takes the shard's **read** lock only, and
+//! recency is two relaxed atomics on the entry: a last-touch stamp drawn
+//! from a per-shard logical clock (`fetch_max`, so racing touches keep the
+//! newest stamp) and a `protected` bit. New entries start in *probation*;
+//! the first touch promotes them to *protected* (idempotent — promotion is
+//! a plain `store(true)`). Eviction scans, which run per shard under the
+//! write lock and are fanned out through the `routes-pool` worker pool,
+//! first demote the oldest protected entries when the protected segment
+//! exceeds its quota (¾ of the shard slice), then evict the
+//! oldest-stamped probation entry. The scan is `O(shard)` but runs only
+//! when a shard is over capacity; touches never scan anything, which the
+//! operation counters below pin in a regression test.
+//!
+//! Evicted ids leave a bounded tombstone behind so the service can answer
+//! "410 Gone" (evicted) distinctly from "404 Not Found" (deleted or never
+//! created).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, RwLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use routes_chase::ChaseStats;
@@ -16,6 +50,20 @@ use routes_cli::PreparedScenario;
 use routes_core::{RouteEnv, RouteForest};
 use routes_model::TupleId;
 use routes_pool::Pool;
+
+/// Environment variable overriding the shard count (default: the
+/// machine's available parallelism, clamped to `max_sessions`).
+pub const SHARDS_ENV: &str = "ROUTES_SESSION_SHARDS";
+
+/// Upper bounds (µs) of the per-shard lock-wait histograms; the last
+/// bucket is unbounded. Lock waits are usually sub-microsecond, so the
+/// buckets are much finer than the request-latency ones.
+pub const LOCK_WAIT_BUCKETS_US: [u64; 5] = [1, 10, 100, 1_000, 10_000];
+
+/// Evicted-id tombstones kept per shard (oldest dropped beyond this); a
+/// tombstone is one `u64`, so the ceiling is memory noise next to one
+/// loaded scenario.
+const TOMBSTONES_PER_SHARD: usize = 4096;
 
 /// One loaded scenario with its chased (or supplied) solution.
 pub struct Session {
@@ -85,75 +133,508 @@ impl Session {
     }
 }
 
-struct StoreInner {
-    sessions: HashMap<u64, Arc<Session>>,
-    /// Least-recently-used first. Touched on every lookup.
-    lru: Vec<u64>,
+/// The result of a store lookup: the distinction between *evicted* and
+/// *never existed / deleted* is what lets the service answer 410 vs 404.
+pub enum SessionLookup {
+    /// Resident; the session was touched (marked most-recently-used).
+    Found(Arc<Session>),
+    /// Known to have been evicted by the LRU bound.
+    Evicted,
+    /// Never created, deleted, or evicted so long ago the tombstone aged out.
+    Missing,
 }
 
-/// Shared, bounded session store.
+impl SessionLookup {
+    /// The session, if resident.
+    pub fn session(self) -> Option<Arc<Session>> {
+        match self {
+            SessionLookup::Found(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the lookup found a resident session.
+    pub fn is_found(&self) -> bool {
+        matches!(self, SessionLookup::Found(_))
+    }
+}
+
+/// The result of a `remove`: mirrors [`SessionLookup`] for DELETE answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Removal {
+    /// The session was live and is now deleted.
+    Removed,
+    /// Already evicted by the LRU bound (nothing to delete).
+    Evicted,
+    /// Never existed (or already deleted).
+    Missing,
+}
+
+/// A map entry: the shared session plus its recency state. Lookups clone
+/// the `Arc<Entry>` under the read lock and touch *after* dropping it, so
+/// a touch can race an eviction — harmlessly, because stamps and the
+/// protected bit live on the entry, and an entry removed from the map is
+/// never scanned again (a touch cannot resurrect it).
+struct Entry {
+    session: Arc<Session>,
+    /// Last-touch stamp from the owning shard's logical clock; insert
+    /// stamps count too, so "newest entry" is well defined.
+    touch: AtomicU64,
+    /// Segmented-LRU segment: `false` = probation (not touched since
+    /// insert or demotion), `true` = protected.
+    protected: AtomicBool,
+}
+
+impl Entry {
+    fn new(session: Arc<Session>, stamp: u64) -> Arc<Entry> {
+        Arc::new(Entry {
+            session,
+            touch: AtomicU64::new(stamp),
+            protected: AtomicBool::new(false),
+        })
+    }
+
+    /// Draw the next stamp from a shard clock.
+    fn next_stamp(clock: &AtomicU64) -> u64 {
+        clock.fetch_add(1, Relaxed) + 1
+    }
+
+    /// Record a touch stamp. `fetch_max`, not `store`: two racing touches
+    /// must leave the *newest* stamp, whichever thread writes last.
+    fn record_stamp(&self, stamp: u64) {
+        self.touch.fetch_max(stamp, Relaxed);
+    }
+
+    /// Promote probation → protected. Idempotent by construction.
+    fn promote(&self) {
+        self.protected.store(true, Relaxed);
+    }
+
+    /// The full touch path: stamp, then promote.
+    fn touch(&self, clock: &AtomicU64) {
+        self.record_stamp(Self::next_stamp(clock));
+        self.promote();
+    }
+}
+
+/// A lock-wait histogram over [`LOCK_WAIT_BUCKETS_US`].
+#[derive(Default)]
+struct WaitHist {
+    buckets: [AtomicU64; LOCK_WAIT_BUCKETS_US.len() + 1],
+}
+
+impl WaitHist {
+    fn record(&self, wait: Duration) {
+        let us = wait.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = LOCK_WAIT_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LOCK_WAIT_BUCKETS_US.len());
+        self.buckets[idx].fetch_add(1, Relaxed);
+    }
+
+    fn counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Relaxed)).collect()
+    }
+}
+
+/// Per-shard operation counters, all relaxed atomics. `evict_scan_steps`
+/// and `write_locks` double as the touch-cost regression counters: lookups
+/// must never contribute to either.
+#[derive(Default)]
+struct ShardStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    removes: AtomicU64,
+    evictions: AtomicU64,
+    demotions: AtomicU64,
+    /// Entries examined by eviction victim scans.
+    evict_scan_steps: AtomicU64,
+    /// Write-lock acquisitions (inserts, removes, eviction scans — never
+    /// lookups; the pre-shard store write-locked on every `get`).
+    write_locks: AtomicU64,
+    read_wait: WaitHist,
+    write_wait: WaitHist,
+}
+
+struct ShardInner {
+    sessions: HashMap<u64, Arc<Entry>>,
+    /// Evicted-id tombstones, oldest first, mirrored in `gone_set`.
+    gone: VecDeque<u64>,
+    gone_set: HashSet<u64>,
+}
+
+struct Shard {
+    inner: RwLock<ShardInner>,
+    /// Logical clock ordering inserts and touches within this shard.
+    clock: AtomicU64,
+    /// Occupancy mirror maintained under the write lock, so capacity
+    /// checks and `len()` never take a lock.
+    occupancy: AtomicUsize,
+    /// This shard's slice of the store capacity (≥ 1).
+    capacity: usize,
+    stats: ShardStats,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            inner: RwLock::new(ShardInner {
+                sessions: HashMap::new(),
+                gone: VecDeque::new(),
+                gone_set: HashSet::new(),
+            }),
+            clock: AtomicU64::new(0),
+            occupancy: AtomicUsize::new(0),
+            capacity,
+            stats: ShardStats::default(),
+        }
+    }
+
+    fn read_locked(&self) -> RwLockReadGuard<'_, ShardInner> {
+        let start = Instant::now();
+        let guard = self.inner.read().unwrap();
+        self.stats.read_wait.record(start.elapsed());
+        guard
+    }
+
+    fn write_locked(&self) -> RwLockWriteGuard<'_, ShardInner> {
+        let start = Instant::now();
+        let guard = self.inner.write().unwrap();
+        self.stats.write_wait.record(start.elapsed());
+        self.stats.write_locks.fetch_add(1, Relaxed);
+        guard
+    }
+
+    /// Look up `id`, touching it if resident. Read lock only; the touch
+    /// happens on the cloned entry after the lock is dropped.
+    fn lookup(&self, id: u64) -> SessionLookup {
+        let found = {
+            let inner = self.read_locked();
+            match inner.sessions.get(&id) {
+                Some(entry) => Ok(Arc::clone(entry)),
+                None => Err(inner.gone_set.contains(&id)),
+            }
+        };
+        match found {
+            Ok(entry) => {
+                entry.touch(&self.clock);
+                self.stats.hits.fetch_add(1, Relaxed);
+                SessionLookup::Found(Arc::clone(&entry.session))
+            }
+            Err(evicted) => {
+                self.stats.misses.fetch_add(1, Relaxed);
+                if evicted {
+                    SessionLookup::Evicted
+                } else {
+                    SessionLookup::Missing
+                }
+            }
+        }
+    }
+
+    fn insert(&self, id: u64, session: Arc<Session>) {
+        let mut inner = self.write_locked();
+        let stamp = Entry::next_stamp(&self.clock);
+        inner.sessions.insert(id, Entry::new(session, stamp));
+        self.occupancy.store(inner.sessions.len(), Relaxed);
+        drop(inner);
+        self.stats.inserts.fetch_add(1, Relaxed);
+    }
+
+    fn remove(&self, id: u64) -> Removal {
+        let mut inner = self.write_locked();
+        if inner.sessions.remove(&id).is_some() {
+            self.occupancy.store(inner.sessions.len(), Relaxed);
+            drop(inner);
+            self.stats.removes.fetch_add(1, Relaxed);
+            Removal::Removed
+        } else if inner.gone_set.contains(&id) {
+            Removal::Evicted
+        } else {
+            Removal::Missing
+        }
+    }
+
+    /// The protected segment's quota: at most ¾ of the slice, and always
+    /// strictly under it, so an over-capacity scan can demote.
+    fn protected_quota(&self) -> usize {
+        (self.capacity * 3 / 4).min(self.capacity.saturating_sub(1))
+    }
+
+    /// Evict until at or under capacity; the returned ids are in eviction
+    /// order. No-ops (without locking) when the shard is within bounds.
+    fn evict_over_capacity(&self) -> Vec<u64> {
+        if self.occupancy.load(Relaxed) <= self.capacity {
+            return Vec::new();
+        }
+        let mut inner = self.write_locked();
+        let mut evicted = Vec::new();
+        while inner.sessions.len() > self.capacity {
+            let victim = self.pick_victim(&inner);
+            inner.sessions.remove(&victim);
+            if inner.gone_set.insert(victim) {
+                inner.gone.push_back(victim);
+                if inner.gone.len() > TOMBSTONES_PER_SHARD {
+                    if let Some(old) = inner.gone.pop_front() {
+                        inner.gone_set.remove(&old);
+                    }
+                }
+            }
+            evicted.push(victim);
+        }
+        self.occupancy.store(inner.sessions.len(), Relaxed);
+        drop(inner);
+        self.stats
+            .evictions
+            .fetch_add(evicted.len() as u64, Relaxed);
+        evicted
+    }
+
+    /// One victim-selection scan (write lock held by the caller): demote
+    /// the oldest protected entries past the quota, then take the
+    /// oldest-stamped probation entry. Ties break on id, so the choice is
+    /// independent of `HashMap` iteration order.
+    fn pick_victim(&self, inner: &ShardInner) -> u64 {
+        let mut probation: Vec<(u64, u64)> = Vec::new();
+        let mut protected: Vec<(u64, u64)> = Vec::new();
+        for (&id, entry) in &inner.sessions {
+            let key = (entry.touch.load(Relaxed), id);
+            if entry.protected.load(Relaxed) {
+                protected.push(key);
+            } else {
+                probation.push(key);
+            }
+        }
+        self.stats
+            .evict_scan_steps
+            .fetch_add(inner.sessions.len() as u64, Relaxed);
+        let quota = self.protected_quota();
+        if protected.len() > quota {
+            protected.sort_unstable();
+            for &(_, id) in &protected[..protected.len() - quota] {
+                inner.sessions[&id].protected.store(false, Relaxed);
+            }
+            self.stats
+                .demotions
+                .fetch_add((protected.len() - quota) as u64, Relaxed);
+            probation.extend(protected.drain(..protected.len() - quota));
+        }
+        // Over capacity ⇒ occupancy > capacity > quota ⇒ probation holds at
+        // least two entries after demotion, so the just-inserted (newest
+        // stamp) entry is never the minimum.
+        probation
+            .into_iter()
+            .min()
+            .expect("eviction scan on an over-capacity shard")
+            .1
+    }
+
+    fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            sessions: self.occupancy.load(Relaxed),
+            capacity: self.capacity,
+            hits: self.stats.hits.load(Relaxed),
+            misses: self.stats.misses.load(Relaxed),
+            inserts: self.stats.inserts.load(Relaxed),
+            removes: self.stats.removes.load(Relaxed),
+            evictions: self.stats.evictions.load(Relaxed),
+            demotions: self.stats.demotions.load(Relaxed),
+            evict_scan_steps: self.stats.evict_scan_steps.load(Relaxed),
+            write_locks: self.stats.write_locks.load(Relaxed),
+            lock_wait_read_us: self.stats.read_wait.counts(),
+            lock_wait_write_us: self.stats.write_wait.counts(),
+        }
+    }
+}
+
+/// One shard's counters at a point in time (`/metrics` renders these).
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    pub sessions: usize,
+    pub capacity: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub removes: u64,
+    pub evictions: u64,
+    pub demotions: u64,
+    pub evict_scan_steps: u64,
+    pub write_locks: u64,
+    /// Bucket counts over [`LOCK_WAIT_BUCKETS_US`] (+1 unbounded bucket).
+    pub lock_wait_read_us: Vec<u64>,
+    pub lock_wait_write_us: Vec<u64>,
+}
+
+/// The whole store's counters at a point in time.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    /// Total capacity (the sum of the per-shard slices).
+    pub capacity: usize,
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl StoreSnapshot {
+    pub fn live(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions).sum()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.hits).sum()
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.misses).sum()
+    }
+
+    pub fn inserts(&self) -> u64 {
+        self.shards.iter().map(|s| s.inserts).sum()
+    }
+
+    pub fn removes(&self) -> u64 {
+        self.shards.iter().map(|s| s.removes).sum()
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evictions).sum()
+    }
+
+    pub fn evict_scan_steps(&self) -> u64 {
+        self.shards.iter().map(|s| s.evict_scan_steps).sum()
+    }
+
+    pub fn write_locks(&self) -> u64 {
+        self.shards.iter().map(|s| s.write_locks).sum()
+    }
+
+    /// The canonical shard-count-independent accounting line: for one
+    /// deterministic workload, this renders byte-identically at every
+    /// shard count (the concurrency suite asserts exactly that).
+    pub fn accounting_line(&self) -> String {
+        format!(
+            "hits={} misses={} inserts={} removes={} evictions={} live={}",
+            self.hits(),
+            self.misses(),
+            self.inserts(),
+            self.removes(),
+            self.evictions(),
+            self.live(),
+        )
+    }
+}
+
+/// Shared, bounded, sharded session store.
 pub struct SessionStore {
-    inner: RwLock<StoreInner>,
+    shards: Vec<Shard>,
     next_id: AtomicU64,
     max_sessions: usize,
 }
 
 impl SessionStore {
-    /// An empty store holding at most `max_sessions` (≥ 1) sessions.
+    /// An empty store holding at most `max_sessions` (≥ 1) sessions, with
+    /// the shard count taken from [`SHARDS_ENV`] or the machine's
+    /// available parallelism.
     pub fn new(max_sessions: usize) -> Self {
+        SessionStore::with_shards(max_sessions, Self::shards_from_env())
+    }
+
+    /// [`SessionStore::new`] with an explicit shard count (tests and
+    /// benchmarks pin it). Clamped to `1..=max_sessions` so every shard
+    /// owns at least one capacity slot.
+    pub fn with_shards(max_sessions: usize, shards: usize) -> Self {
+        let max_sessions = max_sessions.max(1);
+        let shards = shards.clamp(1, max_sessions);
+        let base = max_sessions / shards;
+        let extra = max_sessions % shards;
         SessionStore {
-            inner: RwLock::new(StoreInner {
-                sessions: HashMap::new(),
-                lru: Vec::new(),
-            }),
+            shards: (0..shards)
+                .map(|k| Shard::new(base + usize::from(k < extra)))
+                .collect(),
             next_id: AtomicU64::new(1),
-            max_sessions: max_sessions.max(1),
+            max_sessions,
         }
+    }
+
+    fn shards_from_env() -> usize {
+        std::env::var(SHARDS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+            })
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The total capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// The shard an id lives in: ids are dense and server-assigned, so the
+    /// modulo is the hash (see the module docs for the determinism
+    /// argument).
+    pub fn shard_of(&self, id: u64) -> usize {
+        (id % self.shards.len() as u64) as usize
     }
 
     /// Insert a prepared scenario; returns its fresh id plus the ids of
-    /// any sessions evicted to stay under the bound.
-    pub fn insert(&self, scenario: PreparedScenario) -> (u64, Vec<u64>) {
+    /// any sessions evicted to stay under the bound. The eviction scan
+    /// fans out per shard over `workers`.
+    pub fn insert(&self, scenario: PreparedScenario, workers: &Pool) -> (u64, Vec<u64>) {
         let id = self.next_id.fetch_add(1, Relaxed);
         let session = Arc::new(Session::new(id, scenario));
-        let mut inner = self.inner.write().unwrap();
-        inner.sessions.insert(id, session);
-        inner.lru.push(id);
-        let mut evicted = Vec::new();
-        while inner.sessions.len() > self.max_sessions {
-            let victim = inner.lru.remove(0);
-            inner.sessions.remove(&victim);
-            evicted.push(victim);
-        }
+        let shard = &self.shards[self.shard_of(id)];
+        shard.insert(id, session);
+        let evicted = if shard.occupancy.load(Relaxed) > shard.capacity {
+            self.scan_evict(workers)
+        } else {
+            Vec::new()
+        };
         (id, evicted)
     }
 
-    /// Fetch a session and mark it most-recently-used.
-    pub fn get(&self, id: u64) -> Option<Arc<Session>> {
-        let mut inner = self.inner.write().unwrap();
-        let found = inner.sessions.get(&id).cloned()?;
-        if let Some(pos) = inner.lru.iter().position(|&s| s == id) {
-            inner.lru.remove(pos);
-            inner.lru.push(id);
-        }
-        Some(found)
+    /// Run one eviction scan across every shard, fanned out over
+    /// `workers`; shards within bounds are skipped without locking.
+    /// Returns evicted ids in deterministic shard order. Inserts call this
+    /// whenever they push a shard over its slice; it is also a standalone
+    /// maintenance entry point.
+    pub fn scan_evict(&self, workers: &Pool) -> Vec<u64> {
+        workers.par_flat_map_items(&self.shards, 1, Shard::evict_over_capacity)
     }
 
-    /// Remove a session; `true` if it existed.
-    pub fn remove(&self, id: u64) -> bool {
-        let mut inner = self.inner.write().unwrap();
-        inner.lru.retain(|&s| s != id);
-        inner.sessions.remove(&id).is_some()
+    /// Fetch a session; a hit marks it most-recently-used (read lock +
+    /// atomic touch — never the write lock).
+    pub fn get(&self, id: u64) -> SessionLookup {
+        self.shards[self.shard_of(id)].lookup(id)
+    }
+
+    /// Remove a session, distinguishing live, evicted, and unknown ids.
+    pub fn remove(&self, id: u64) -> Removal {
+        self.shards[self.shard_of(id)].remove(id)
     }
 
     /// Number of live sessions.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().sessions.len()
+        self.shards.iter().map(|s| s.occupancy.load(Relaxed)).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A counters snapshot for `/metrics`.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            capacity: self.max_sessions,
+            shards: self.shards.iter().map(Shard::snapshot).collect(),
+        }
     }
 }
 
@@ -171,39 +652,52 @@ mod tests {
         prepare_scenario(load_scenario_str(&text).unwrap(), ChaseOptions::fresh()).unwrap()
     }
 
+    fn seq() -> Pool {
+        Pool::sequential()
+    }
+
     #[test]
     fn evicts_least_recently_used_first() {
-        let store = SessionStore::new(2);
-        let (a, ev) = store.insert(scenario(1));
+        let store = SessionStore::with_shards(2, 1);
+        let (a, ev) = store.insert(scenario(1), &seq());
         assert!(ev.is_empty());
-        let (b, ev) = store.insert(scenario(2));
+        let (b, ev) = store.insert(scenario(2), &seq());
         assert!(ev.is_empty());
         // Touch a so b becomes the LRU victim.
-        assert!(store.get(a).is_some());
-        let (c, ev) = store.insert(scenario(3));
+        assert!(store.get(a).is_found());
+        let (c, ev) = store.insert(scenario(3), &seq());
         assert_eq!(ev, vec![b], "b was least recently used");
-        assert!(store.get(b).is_none());
-        assert!(store.get(a).is_some());
-        assert!(store.get(c).is_some());
+        assert!(matches!(store.get(b), SessionLookup::Evicted));
+        assert!(store.get(a).is_found());
+        assert!(store.get(c).is_found());
         assert_eq!(store.len(), 2);
     }
 
     #[test]
-    fn remove_frees_a_slot() {
-        let store = SessionStore::new(1);
-        let (a, _) = store.insert(scenario(1));
-        assert!(store.remove(a));
-        assert!(!store.remove(a), "second delete is a no-op");
+    fn remove_frees_a_slot_and_classifies_misses() {
+        let store = SessionStore::with_shards(1, 1);
+        let (a, _) = store.insert(scenario(1), &seq());
+        assert_eq!(store.remove(a), Removal::Removed);
+        assert_eq!(store.remove(a), Removal::Missing, "second delete is a no-op");
         assert!(store.is_empty());
-        let (_, ev) = store.insert(scenario(2));
+        assert!(
+            matches!(store.get(a), SessionLookup::Missing),
+            "deleted is Missing, not Evicted"
+        );
+        let (b, ev) = store.insert(scenario(2), &seq());
         assert!(ev.is_empty(), "freed slot means no eviction");
+        let (_, ev) = store.insert(scenario(3), &seq());
+        assert_eq!(ev, vec![b]);
+        assert_eq!(store.remove(b), Removal::Evicted, "evicted ids answer Gone");
+        assert!(matches!(store.get(b), SessionLookup::Evicted));
+        assert!(matches!(store.get(999), SessionLookup::Missing));
     }
 
     #[test]
     fn forest_cache_hits_for_permuted_selections() {
-        let store = SessionStore::new(4);
-        let (id, _) = store.insert(scenario(5));
-        let session = store.get(id).unwrap();
+        let store = SessionStore::with_shards(4, 2);
+        let (id, _) = store.insert(scenario(5), &seq());
+        let session = store.get(id).session().unwrap();
         let tuples: Vec<TupleId> = session.scenario.target.all_rows().collect();
         let workers = Pool::sequential();
         let (_, cached, wall) = session.forest_for(&tuples, &workers);
@@ -215,5 +709,268 @@ mod tests {
         assert!(cached, "same set in another order hits");
         assert_eq!(wall, Duration::ZERO, "hits cost nothing");
         assert_eq!(session.cached_forests(), 1);
+    }
+
+    #[test]
+    fn capacity_slices_cover_the_bound_exactly() {
+        for (max, shards) in [(16, 8), (16, 1), (7, 3), (5, 8), (1, 4)] {
+            let store = SessionStore::with_shards(max, shards);
+            let total: usize = store.shards.iter().map(|s| s.capacity).sum();
+            assert_eq!(total, max, "max={max} shards={shards}");
+            assert!(store.shards.iter().all(|s| s.capacity >= 1));
+            assert!(store.shard_count() <= max, "no zero-capacity shards");
+        }
+    }
+
+    #[test]
+    fn sharded_store_keeps_every_shard_within_its_slice() {
+        let store = SessionStore::with_shards(8, 4);
+        let mut all_evicted = Vec::new();
+        for tag in 0..24 {
+            let (_, ev) = store.insert(scenario(tag), &seq());
+            all_evicted.extend(ev);
+        }
+        assert_eq!(store.len(), 8, "saturated store holds exactly its capacity");
+        for shard in &store.shards {
+            assert!(shard.occupancy.load(Relaxed) <= shard.capacity);
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.evictions(), all_evicted.len() as u64);
+        assert_eq!(snap.inserts(), 24);
+        assert_eq!(snap.evictions(), 24 - 8);
+        for id in all_evicted {
+            assert!(
+                matches!(store.get(id), SessionLookup::Evicted),
+                "evicted id {id} answers Evicted"
+            );
+        }
+    }
+
+    #[test]
+    fn protected_sessions_outlive_probation_under_pressure() {
+        // One shard, capacity 4: touch two early sessions, then churn; the
+        // touched (protected) pair must outlive untouched probation peers.
+        let store = SessionStore::with_shards(4, 1);
+        let (a, _) = store.insert(scenario(1), &seq());
+        let (b, _) = store.insert(scenario(2), &seq());
+        let (c, _) = store.insert(scenario(3), &seq());
+        let (d, _) = store.insert(scenario(4), &seq());
+        assert!(store.get(a).is_found());
+        assert!(store.get(b).is_found());
+        let (_, ev1) = store.insert(scenario(5), &seq());
+        let (_, ev2) = store.insert(scenario(6), &seq());
+        let evicted: Vec<u64> = ev1.into_iter().chain(ev2).collect();
+        assert_eq!(evicted, vec![c, d], "probation evicts before protected");
+        assert!(store.get(a).is_found());
+        assert!(store.get(b).is_found());
+    }
+
+    #[test]
+    fn touch_takes_no_write_lock_and_scans_nothing() {
+        // The satellite-4 regression: the old store's get did an O(n)
+        // LRU-vector retain under the write lock; the new touch path is a
+        // read lock plus two atomics. Pin it with the operation counters,
+        // at two store sizes and two shard counts.
+        for shards in [1usize, 4] {
+            for size in [4usize, 64] {
+                let store = SessionStore::with_shards(64, shards);
+                let ids: Vec<u64> = (0..size)
+                    .map(|k| store.insert(scenario(k as i64), &seq()).0)
+                    .collect();
+                let before = store.snapshot();
+                for _ in 0..50 {
+                    for &id in &ids {
+                        assert!(store.get(id).is_found());
+                    }
+                }
+                let after = store.snapshot();
+                assert_eq!(
+                    after.write_locks(),
+                    before.write_locks(),
+                    "gets take no write lock (shards={shards} size={size})"
+                );
+                assert_eq!(
+                    after.evict_scan_steps(),
+                    before.evict_scan_steps(),
+                    "gets scan nothing (shards={shards} size={size})"
+                );
+                assert_eq!(after.hits() - before.hits(), 50 * size as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_comes_from_env_or_parallelism() {
+        // Read the ambient override the CI matrix sets (the suite must not
+        // mutate process-global env itself — other tests run in parallel).
+        let expected = std::env::var(SHARDS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+            });
+        let store = SessionStore::new(64);
+        assert_eq!(store.shard_count(), expected.clamp(1, 64));
+    }
+
+    // ------------------------------------------------------------------
+    // Hand-rolled interleaving ("loom-style") schedules for the touch
+    // path. The workspace is hermetic, so instead of loom we enumerate
+    // every merge order of two short step sequences and run each schedule
+    // on fresh state, asserting the same invariants loom would check.
+    // ------------------------------------------------------------------
+
+    /// Every interleaving of `a` steps by thread A and `b` steps by
+    /// thread B, as vectors of `true` (= run A's next step) / `false`.
+    fn interleavings(a: usize, b: usize) -> Vec<Vec<bool>> {
+        if a == 0 {
+            return vec![vec![false; b]];
+        }
+        if b == 0 {
+            return vec![vec![true; a]];
+        }
+        let mut out = Vec::new();
+        for mut tail in interleavings(a - 1, b) {
+            tail.insert(0, true);
+            out.push(tail);
+        }
+        for mut tail in interleavings(a, b - 1) {
+            tail.insert(0, false);
+            out.push(tail);
+        }
+        out
+    }
+
+    #[test]
+    fn promotion_is_idempotent_under_every_two_thread_schedule() {
+        // Two touchers race on one entry. Steps per toucher: draw a stamp,
+        // record it, promote. All 20 interleavings must end protected with
+        // the *newest* stamp (record_stamp is fetch_max, not store).
+        for schedule in interleavings(3, 3) {
+            let store = SessionStore::with_shards(2, 1);
+            let (id, _) = store.insert(scenario(1), &seq());
+            let shard = &store.shards[store.shard_of(id)];
+            let entry = Arc::clone(shard.inner.read().unwrap().sessions.get(&id).unwrap());
+            let clock_before = shard.clock.load(Relaxed);
+
+            let (mut a_step, mut b_step) = (0usize, 0usize);
+            let (mut a_stamp, mut b_stamp) = (0u64, 0u64);
+            for &run_a in &schedule {
+                let (step, stamp) = if run_a {
+                    (&mut a_step, &mut a_stamp)
+                } else {
+                    (&mut b_step, &mut b_stamp)
+                };
+                match *step {
+                    0 => *stamp = Entry::next_stamp(&shard.clock),
+                    1 => entry.record_stamp(*stamp),
+                    2 => entry.promote(),
+                    _ => unreachable!(),
+                }
+                *step += 1;
+            }
+            assert!(entry.protected.load(Relaxed), "promotion happened");
+            assert_eq!(
+                entry.touch.load(Relaxed),
+                clock_before + 2,
+                "racing touches keep the newest of the two issued stamps \
+                 (schedule {schedule:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn touch_racing_eviction_never_resurrects_the_victim() {
+        // Thread A runs the two halves of a lookup (clone the entry under
+        // the read lock; touch after dropping it). Thread B inserts into a
+        // full shard, evicting the LRU victim. Whatever the interleaving,
+        // a touch that lands on an already-evicted entry must be inert:
+        // the id stays gone, the store stays within capacity, and the
+        // victim is schedule-determined.
+        //
+        // Setup: one shard, capacity 2, holding x (older) and w (newer).
+        let schedules = interleavings(2, 1);
+        assert_eq!(schedules.len(), 3);
+        // Victim per schedule: if x's touch completes before the insert's
+        // eviction scan, x is protected with the newest stamp, so w is
+        // evicted; otherwise x is the oldest probation entry and dies.
+        for schedule in schedules {
+            let store = SessionStore::with_shards(2, 1);
+            let (x, _) = store.insert(scenario(1), &seq());
+            let (w, _) = store.insert(scenario(2), &seq());
+            let shard = &store.shards[store.shard_of(x)];
+
+            let mut a_step = 0usize;
+            let mut held: Option<Arc<Entry>> = None;
+            let mut evicted: Vec<u64> = Vec::new();
+            for &run_a in &schedule {
+                if run_a {
+                    match a_step {
+                        // Lookup half 1: clone under the read lock.
+                        0 => held = shard.inner.read().unwrap().sessions.get(&x).cloned(),
+                        // Lookup half 2: touch outside the lock.
+                        1 => {
+                            if let Some(e) = &held {
+                                e.touch(&shard.clock);
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                    a_step += 1;
+                } else {
+                    let (_, ev) = store.insert(scenario(3), &seq());
+                    evicted = ev;
+                }
+            }
+            let touched_first = schedule.iter().take(2).all(|&s| s);
+            let expected_victim = if touched_first { w } else { x };
+            assert_eq!(evicted, vec![expected_victim], "schedule {schedule:?}");
+            assert_eq!(store.len(), 2, "capacity holds");
+            assert!(
+                matches!(store.get(expected_victim), SessionLookup::Evicted),
+                "victim stays gone after a late touch (schedule {schedule:?})"
+            );
+            // A later insert evicts a *resident* session — the stale
+            // entry the toucher still holds can never re-enter the scan.
+            let (_, ev) = store.insert(scenario(4), &seq());
+            assert_eq!(ev.len(), 1);
+            assert_ne!(ev[0], expected_victim, "no resurrection");
+        }
+    }
+
+    #[test]
+    fn touch_racing_remove_leaves_the_id_deleted() {
+        // Same two lookup halves racing a DELETE: all three interleavings
+        // end with the id Missing (deleted, not evicted) and the detached
+        // touch inert.
+        for schedule in interleavings(2, 1) {
+            let store = SessionStore::with_shards(2, 1);
+            let (x, _) = store.insert(scenario(1), &seq());
+            let (w, _) = store.insert(scenario(2), &seq());
+            let shard = &store.shards[store.shard_of(x)];
+
+            let mut a_step = 0usize;
+            let mut held: Option<Arc<Entry>> = None;
+            for &run_a in &schedule {
+                if run_a {
+                    match a_step {
+                        0 => held = shard.inner.read().unwrap().sessions.get(&x).cloned(),
+                        1 => {
+                            if let Some(e) = &held {
+                                e.touch(&shard.clock);
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                    a_step += 1;
+                } else {
+                    assert_eq!(store.remove(x), Removal::Removed);
+                }
+            }
+            assert!(matches!(store.get(x), SessionLookup::Missing));
+            assert!(store.get(w).is_found(), "the bystander survives");
+            assert_eq!(store.len(), 1);
+        }
     }
 }

@@ -149,6 +149,7 @@ fn concurrent_clients_probe_validate_and_clean_up() {
     let (addr, handle) = start(ServerConfig {
         threads: 4,
         max_sessions: 16,
+        session_shards: 4,
         read_timeout: Duration::from_secs(30),
     });
 
@@ -296,6 +297,7 @@ fn bad_inputs_get_four_xx_not_hangs() {
     let (addr, handle) = start(ServerConfig {
         threads: 2,
         max_sessions: 4,
+        session_shards: 2,
         read_timeout: Duration::from_secs(30),
     });
     let mut c = Client::connect(addr);
@@ -341,9 +343,12 @@ fn bad_inputs_get_four_xx_not_hangs() {
 
 #[test]
 fn lru_eviction_over_http() {
+    // One shard so the LRU victim is the classic least-recently-used
+    // session regardless of id→shard placement.
     let (addr, handle) = start(ServerConfig {
         threads: 2,
         max_sessions: 2,
+        session_shards: 1,
         read_timeout: Duration::from_secs(30),
     });
     let mut c = Client::connect(addr);
@@ -365,7 +370,9 @@ fn lru_eviction_over_http() {
     assert_eq!(evicted.len(), 1);
     assert_eq!(evicted[0].as_u64(), Some(b));
     let (status, _) = c.request("GET", &format!("/sessions/{b}"), None);
-    assert_eq!(status, 404, "evicted session is gone");
+    assert_eq!(status, 410, "evicted sessions answer Gone, not Not Found");
+    let (status, _) = c.request("DELETE", &format!("/sessions/{b}"), None);
+    assert_eq!(status, 410, "deleting an evicted session is Gone too");
     let (status, _) = c.request("GET", &format!("/sessions/{a}"), None);
     assert_eq!(status, 200, "recently used session survives");
 
@@ -373,6 +380,119 @@ fn lru_eviction_over_http() {
     assert_eq!(status, 200);
     assert_eq!(m.get("sessions_evicted").unwrap().as_u64(), Some(1));
     assert_eq!(m.get("live_sessions").unwrap().as_u64(), Some(2));
+    let store = m.get("session_store").unwrap();
+    assert_eq!(store.get("shard_count").unwrap().as_u64(), Some(1));
+    assert_eq!(store.get("evictions").unwrap().as_u64(), Some(1));
+
+    shutdown(addr, handle);
+}
+
+/// Four concurrent clients churn 3× the store's capacity over HTTP; the
+/// per-shard `/metrics` counters must reconcile exactly with the ids the
+/// clients saw evicted, and every one of those ids must answer 410 Gone.
+#[test]
+fn over_capacity_churn_reconciles_per_shard_eviction_metrics() {
+    const CLIENTS: usize = 4;
+    const CREATES_PER_CLIENT: usize = 6;
+    const SHARDS: u64 = 4;
+    const CAPACITY: u64 = 8;
+    let (addr, handle) = start(ServerConfig {
+        threads: 4,
+        max_sessions: CAPACITY as usize,
+        session_shards: SHARDS as usize,
+        read_timeout: Duration::from_secs(30),
+    });
+
+    let evicted: Vec<u64> = {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|k| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr);
+                    let mut seen = Vec::new();
+                    for j in 0..CREATES_PER_CLIENT {
+                        let tag = 1000 * (k as i64 + 1) + j as i64;
+                        let body =
+                            format!("{{\"scenario\": {}}}", json_escape(&scenario_text(tag)));
+                        let (status, reply) = c.request("POST", "/sessions", Some(&body));
+                        assert_eq!(status, 201, "{reply:?}");
+                        for id in reply.get("evicted").unwrap().as_array().unwrap() {
+                            seen.push(id.as_u64().unwrap());
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for w in workers {
+            all.extend(w.join().expect("client thread"));
+        }
+        all
+    };
+
+    // Every eviction happens inside some create's scan and is reported in
+    // that create's response, so the union of the clients' `evicted`
+    // arrays is the complete eviction history — and ids are never
+    // reported twice.
+    let mut unique = evicted.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), evicted.len(), "no id evicted twice");
+    let total_creates = (CLIENTS * CREATES_PER_CLIENT) as u64;
+    assert_eq!(
+        evicted.len() as u64,
+        total_creates - CAPACITY,
+        "every shard saturates, so evictions = inserts - capacity"
+    );
+
+    let mut c = Client::connect(addr);
+    let (status, m1) = c.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert_eq!(m1.get("sessions_created").unwrap().as_u64(), Some(total_creates));
+    assert_eq!(
+        m1.get("sessions_evicted").unwrap().as_u64(),
+        Some(evicted.len() as u64)
+    );
+    assert_eq!(m1.get("live_sessions").unwrap().as_u64(), Some(CAPACITY));
+    let store = m1.get("session_store").unwrap();
+    assert_eq!(store.get("shard_count").unwrap().as_u64(), Some(SHARDS));
+    assert_eq!(
+        store.get("evictions").unwrap().as_u64(),
+        Some(evicted.len() as u64),
+        "store totals agree with the service counter"
+    );
+    // Ids are dense (1..=24) and shard_of = id % 4, so each shard saw
+    // exactly 6 inserts into 2 slots: per-shard counters are fully
+    // determined even though the traffic was concurrent.
+    let shards = store.get("shards").unwrap().as_array().unwrap();
+    assert_eq!(shards.len(), SHARDS as usize);
+    for (k, shard) in shards.iter().enumerate() {
+        let field = |name: &str| shard.get(name).unwrap().as_u64().unwrap();
+        assert_eq!(field("sessions"), CAPACITY / SHARDS, "shard {k} saturated");
+        assert_eq!(field("capacity"), CAPACITY / SHARDS);
+        assert_eq!(field("inserts"), total_creates / SHARDS);
+        assert_eq!(
+            field("evictions"),
+            total_creates / SHARDS - CAPACITY / SHARDS,
+            "shard {k} evicted its overflow exactly"
+        );
+    }
+
+    // Every id the clients saw evicted answers 410 Gone — never 404, and
+    // never a resurrected 200.
+    for id in &evicted {
+        let (status, _) = c.request("GET", &format!("/sessions/{id}"), None);
+        assert_eq!(status, 410, "evicted session {id}");
+    }
+    let (status, m2) = c.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let store2 = m2.get("session_store").unwrap();
+    let delta = |name: &str| {
+        store2.get(name).unwrap().as_u64().unwrap() - store.get(name).unwrap().as_u64().unwrap()
+    };
+    assert_eq!(delta("misses"), evicted.len() as u64, "each 410 was a miss");
+    assert_eq!(delta("hits"), 0, "no evicted id was served");
+    assert_eq!(delta("evictions"), 0, "probing evicts nothing");
 
     shutdown(addr, handle);
 }

@@ -16,6 +16,17 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 ROUTES_THREADS=2 cargo test -q --offline --test parallel_determinism
 ROUTES_THREADS=8 cargo test -q --offline --test parallel_determinism
 
+# Session-store concurrency gate: the 8-thread suite must pass with
+# byte-identical eviction accounting at 1 and 8 shards (the suite
+# additionally sweeps explicit shard counts 1/2/8 internally), and the
+# default-constructor test must follow the env override.
+ROUTES_SESSION_SHARDS=1 cargo test -q --offline --test session_store_concurrency
+ROUTES_SESSION_SHARDS=8 cargo test -q --offline --test session_store_concurrency
+
 # Thread-scaling bench smoke: `repro micro parallel` must run end to end
 # (writes bench_results/micro_parallel.csv).
 cargo run --release --offline -p routes-bench --bin repro -- micro parallel --quick
+
+# Session-store shard-scaling bench smoke (writes
+# bench_results/micro_sessions.csv).
+cargo run --release --offline -p routes-bench --bin repro -- micro sessions --quick
