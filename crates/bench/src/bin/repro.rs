@@ -5,6 +5,7 @@
 //! repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1|micro] [--factor F]
 //! repro micro parallel [--quick]
 //! repro micro sessions [--quick]
+//! repro micro persist [--quick]
 //! ```
 //!
 //! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
@@ -14,14 +15,17 @@
 //! thread-scaling sweep (chase + all-routes at 1/2/4/N worker threads) and
 //! writes `bench_results/micro_parallel.csv`; `micro sessions` runs the
 //! session-store shard-scaling sweep (8 driver threads against 1/2/4/8
-//! shards) and writes `bench_results/micro_sessions.csv`; `--quick`
-//! shrinks either to a CI smoke run.
+//! shards) and writes `bench_results/micro_sessions.csv`; `micro persist`
+//! runs the WAL fsync-batch sweep (append throughput and recovery time at
+//! 1/8/64/512 records per fsync) and writes
+//! `bench_results/micro_persist.csv`; `--quick` shrinks any of them to a
+//! CI smoke run.
 
 use std::path::Path;
 
 use routes_bench::{
     fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, micro_benches, parallel_benches,
-    session_benches, table1, Sizing, Table,
+    persist_benches, session_benches, table1, Sizing, Table,
 };
 
 fn main() {
@@ -49,6 +53,7 @@ fn main() {
         [one] => one.clone(),
         [a, b] if a == "micro" && b == "parallel" => "micro-parallel".to_owned(),
         [a, b] if a == "micro" && b == "sessions" => "micro-sessions".to_owned(),
+        [a, b] if a == "micro" && b == "persist" => "micro-persist".to_owned(),
         _ => usage("too many experiment names"),
     };
 
@@ -137,6 +142,16 @@ fn main() {
         emit(&name, vec![t]);
         ran = true;
     }
+    if which == "micro-persist" {
+        eprintln!(
+            "running WAL fsync-batch micro-benchmarks{} ...",
+            if quick { " (quick)" } else { "" }
+        );
+        let t = persist_benches(quick);
+        let name = t.title.clone();
+        emit(&name, vec![t]);
+        ran = true;
+    }
     if !ran {
         usage(&format!("unknown experiment `{which}`"));
     }
@@ -147,7 +162,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1|micro] [--factor F]\n\
          \u{20}      repro micro parallel [--quick]\n\
-         \u{20}      repro micro sessions [--quick]"
+         \u{20}      repro micro sessions [--quick]\n\
+         \u{20}      repro micro persist [--quick]"
     );
     std::process::exit(2);
 }

@@ -20,6 +20,7 @@
 pub mod experiments;
 pub mod micro;
 pub mod parallel;
+pub mod persist;
 pub mod sessions;
 pub mod table;
 
@@ -28,6 +29,7 @@ pub use experiments::{
 };
 pub use micro::micro_benches;
 pub use parallel::{parallel_benches, thread_counts};
+pub use persist::persist_benches;
 pub use sessions::session_benches;
 pub use table::Table;
 

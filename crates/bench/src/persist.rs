@@ -1,0 +1,151 @@
+//! Persistence micro-benchmark: WAL append throughput and recovery time
+//! as a function of the fsync batch size.
+//!
+//! Run via the `repro` binary: `repro micro persist [--quick]` prints the
+//! table and writes `bench_results/micro_persist.csv` with columns
+//! `fsync_batch, records, median_append_seconds, appends_per_second,
+//! median_recovery_seconds, recovered_records`.
+//!
+//! The sweep isolates the cost model behind the WAL's two durability
+//! classes: a batch size of 1 is every record synced individually (the
+//! worst case a `Synced` append can hit with no concurrent traffic to
+//! share the fsync), while larger batches approximate what group commit
+//! achieves when many buffered records ride one flush. Recovery time is
+//! measured by re-reading the log the append phase produced, so the two
+//! columns describe the same bytes.
+//!
+//! Appends use `Durability::Buffered` with an explicit `flush()` every
+//! `batch` records: that pins the records-per-fsync ratio exactly, where
+//! driving `Synced` appends from threads would leave batch formation to
+//! scheduler timing and make the sweep unreproducible.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use routes_store::testutil::TempDir;
+use routes_store::{ChaseMode, Durability, PersistMetrics, Record, SnapshotState, StoreDir};
+
+use crate::{secs, Table};
+
+/// Records-per-fsync ratios swept.
+pub const FSYNC_BATCHES: [usize; 4] = [1, 8, 64, 512];
+
+/// A record stream shaped like real traffic: one create per eight ops
+/// (carrying a scenario-sized payload), the rest touches.
+fn record(i: usize) -> Record {
+    if i.is_multiple_of(8) {
+        Record::Create {
+            id: i as u64 + 1,
+            chase: ChaseMode::Fresh,
+            scenario: format!(
+                "source schema:\n  S(a, b)\n\
+                 target schema:\n  T(a, b)\n  U(a)\n\
+                 dependencies:\n  m1: S(x, y) -> T(x, y)\n  m2: T(x, y) -> U(x)\n\
+                 source data:\n  S({i}, {})\n  S({}, {})\n",
+                i + 1,
+                i + 10,
+                i + 11,
+            ),
+        }
+    } else {
+        Record::Touch {
+            id: (i as u64 / 8) * 8 + 1,
+        }
+    }
+}
+
+/// Append `records` records flushing every `batch`, then recover the log;
+/// returns (append wall time, recovery wall time, records recovered).
+fn run_once(records: usize, batch: usize) -> (Duration, Duration, usize) {
+    let tmp = TempDir::new(&format!("bench-persist-{batch}"));
+    let dir = StoreDir::open(tmp.path()).expect("open bench dir");
+    let metrics = Arc::new(PersistMetrics::new());
+    let wal = dir
+        .checkpoint(&SnapshotState::default(), 1, metrics)
+        .expect("checkpoint");
+
+    let started = Instant::now();
+    for i in 0..records {
+        wal.append(&record(i), Durability::Buffered).expect("append");
+        if (i + 1).is_multiple_of(batch) {
+            wal.flush().expect("flush");
+        }
+    }
+    wal.flush().expect("final flush");
+    let append = started.elapsed();
+    drop(wal);
+
+    let started = Instant::now();
+    let rec = dir.recover().expect("recover");
+    let recovery = started.elapsed();
+    assert!(rec.stop.is_clean(), "a bench log replays cleanly");
+    (append, recovery, rec.records.len())
+}
+
+/// Run the fsync-batch sweep. `quick` shrinks record counts and samples
+/// for CI smoke runs.
+pub fn persist_benches(quick: bool) -> Table {
+    let (warmup, samples) = if quick { (1, 3) } else { (1, 5) };
+    let records = if quick { 512 } else { 4096 };
+    let mut out = Table::new(
+        "micro_persist",
+        &[
+            "fsync_batch",
+            "records",
+            "median_append_seconds",
+            "appends_per_second",
+            "median_recovery_seconds",
+            "recovered_records",
+        ],
+    );
+    for &batch in &FSYNC_BATCHES {
+        for _ in 0..warmup {
+            let _ = run_once(records, batch);
+        }
+        let mut appends = Vec::with_capacity(samples);
+        let mut recoveries = Vec::with_capacity(samples);
+        let mut recovered = 0usize;
+        for _ in 0..samples {
+            let (a, r, n) = run_once(records, batch);
+            appends.push(a);
+            recoveries.push(r);
+            recovered = n;
+        }
+        appends.sort_unstable();
+        recoveries.sort_unstable();
+        let append = appends[appends.len() / 2];
+        let recovery = recoveries[recoveries.len() / 2];
+        let throughput = if append.as_secs_f64() > 0.0 {
+            records as f64 / append.as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+        out.push(vec![
+            batch.to_string(),
+            records.to_string(),
+            secs(append),
+            format!("{throughput:.0}"),
+            secs(recovery),
+            recovered.to_string(),
+        ]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_one_row_per_batch_size() {
+        let table = persist_benches(true);
+        assert_eq!(table.rows.len(), FSYNC_BATCHES.len());
+        for row in &table.rows {
+            assert_eq!(row.len(), 6);
+            let records: usize = row[1].parse().unwrap();
+            let recovered: usize = row[5].parse().unwrap();
+            assert_eq!(recovered, records, "every appended record replays");
+            assert!(row[3].parse::<f64>().unwrap() > 0.0);
+        }
+    }
+}

@@ -2,14 +2,21 @@
 //!
 //! ```text
 //! spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N] [--session-shards N]
+//!         [--data-dir PATH]
 //! ```
 //!
 //! Defaults: `127.0.0.1:7007`, 4 worker threads, 32 sessions, session
 //! shards from `ROUTES_SESSION_SHARDS` or the machine's parallelism. The
 //! bound address is printed on startup (useful with `--addr 127.0.0.1:0`).
 //! `POST /shutdown` stops the service gracefully.
+//!
+//! `--data-dir PATH` (or `ROUTES_DATA_DIR`) makes sessions durable:
+//! every mutation is write-ahead logged, snapshots compact the log
+//! periodically, and boot replays snapshot-then-log so a restart restores
+//! every session — including which ids answer 410 Gone. Without it the
+//! service is purely in-memory, exactly as before.
 
-use routes_server::{Server, ServerConfig};
+use routes_server::{Server, ServerConfig, DATA_DIR_ENV};
 
 fn main() {
     let mut addr = "127.0.0.1:7007".to_owned();
@@ -39,6 +46,7 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--session-shards must be an integer"));
             }
+            "--data-dir" => config.data_dir = Some(value("--data-dir").into()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -49,7 +57,17 @@ fn main() {
     if config.threads == 0 || config.max_sessions == 0 {
         usage("--threads and --max-sessions must be at least 1");
     }
+    if config.data_dir.is_none() {
+        if let Ok(dir) = std::env::var(DATA_DIR_ENV) {
+            if !dir.trim().is_empty() {
+                config.data_dir = Some(dir.into());
+            }
+        }
+    }
 
+    let threads = config.threads;
+    let max_sessions = config.max_sessions;
+    let data_dir = config.data_dir.clone();
     let server = match Server::bind(&addr, config) {
         Ok(s) => s,
         Err(e) => {
@@ -59,8 +77,12 @@ fn main() {
     };
     match server.local_addr() {
         Ok(bound) => println!(
-            "spiderd listening on http://{bound} ({} workers, {} session slots)",
-            config.threads, config.max_sessions
+            "spiderd listening on http://{bound} ({threads} workers, {max_sessions} session \
+             slots{})",
+            data_dir
+                .as_deref()
+                .map(|d| format!(", data dir {}", d.display()))
+                .unwrap_or_default()
         ),
         Err(e) => eprintln!("warning: cannot resolve bound address: {e}"),
     }
@@ -70,8 +92,8 @@ fn main() {
     }
 }
 
-const USAGE: &str =
-    "usage: spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N] [--session-shards N]";
+const USAGE: &str = "usage: spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N] \
+                     [--session-shards N] [--data-dir PATH]";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");

@@ -373,7 +373,10 @@ impl Parser<'_> {
                     {
                         self.pos += 1;
                     }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is a &str, so a lead byte plus its continuation bytes is a valid UTF-8 slice"),
+                    );
                 }
             }
         }
@@ -413,7 +416,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number characters are ASCII, so the scanned slice is valid UTF-8");
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))

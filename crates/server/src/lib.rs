@@ -14,6 +14,9 @@
 //! * [`router`] — the REST surface: `POST /sessions`, one-route /
 //!   all-routes probes, summaries, `GET /metrics`, `POST /shutdown`.
 //! * [`metrics`] — atomic counters plus a request-latency histogram.
+//! * [`persist`] — optional durability (`--data-dir`): WAL appends on
+//!   every session mutation, periodic snapshot + log-compaction
+//!   checkpoints, snapshot-then-log crash recovery (via `routes-store`).
 //! * [`server`] — a fixed worker-thread pool accepting from one shared
 //!   listener, with graceful shutdown.
 //!
@@ -24,13 +27,16 @@
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod router;
 pub mod server;
 pub mod session;
 
 pub use json::Json;
+pub use persist::{Persistence, RecoveryReport, CHECKPOINT_RECORDS_ENV, DATA_DIR_ENV};
 pub use router::App;
 pub use server::{Server, ServerConfig};
 pub use session::{
-    Removal, Session, SessionLookup, SessionStore, ShardSnapshot, StoreSnapshot, SHARDS_ENV,
+    Removal, Session, SessionLookup, SessionOrigin, SessionStore, ShardSnapshot, StoreSnapshot,
+    SHARDS_ENV,
 };

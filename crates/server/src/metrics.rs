@@ -5,7 +5,9 @@
 //! increments). `GET /metrics` renders a snapshot.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use routes_store::{PersistSnapshot, FSYNC_BUCKETS_US};
 
 use crate::json::Json;
 use crate::session::{ShardSnapshot, StoreSnapshot, LOCK_WAIT_BUCKETS_US};
@@ -69,8 +71,10 @@ impl PhaseStats {
 }
 
 /// Shared service counters.
-#[derive(Default)]
 pub struct Metrics {
+    /// When this instance was created (serving process start, in
+    /// practice); `/metrics` renders the elapsed time as `uptime_seconds`.
+    started: Instant,
     pub requests_total: AtomicU64,
     pub responses_2xx: AtomicU64,
     pub responses_4xx: AtomicU64,
@@ -157,9 +161,61 @@ pub fn store_json(store: &StoreSnapshot) -> Json {
     ])
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+/// Render the persistence counters (`/metrics` embeds this as
+/// `persistence` when a data directory is configured).
+pub fn persist_json(p: &PersistSnapshot) -> Json {
+    Json::obj([
+        ("wal_gen", Json::from(p.wal_gen)),
+        ("wal_appends", Json::from(p.wal_appends)),
+        ("wal_bytes", Json::from(p.wal_bytes)),
+        (
+            "wal_records_since_checkpoint",
+            Json::from(p.wal_records_since_checkpoint),
+        ),
+        ("fsync_batches", Json::from(p.fsync_batches)),
+        ("fsync_records", Json::from(p.fsync_records)),
+        (
+            "fsync_latency_us",
+            histogram_json(&FSYNC_BUCKETS_US, &p.fsync_latency_us),
+        ),
+        ("snapshots_written", Json::from(p.snapshots_written)),
+        ("replayed_records", Json::from(p.replayed_records)),
+        ("restored_sessions", Json::from(p.restored_sessions)),
+        ("recovery_us", Json::from(p.recovery_us)),
+    ])
+}
+
 impl Metrics {
     pub fn new() -> Self {
-        Metrics::default()
+        Metrics {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            sessions_created: AtomicU64::new(0),
+            sessions_deleted: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
+            one_routes_computed: AtomicU64::new(0),
+            all_routes_computed: AtomicU64::new(0),
+            forest_cache_hits: AtomicU64::new(0),
+            forest_cache_misses: AtomicU64::new(0),
+            latency: Default::default(),
+            phases: Default::default(),
+        }
+    }
+
+    /// Seconds since this metrics instance (the serving process) started.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 
     /// Count one handled request with its response status and latency.
@@ -186,11 +242,20 @@ impl Metrics {
     }
 
     /// [`Metrics::to_json`] plus the sharded session-store counter block
-    /// (what `GET /metrics` actually serves).
-    pub fn to_json_with_store(&self, store: &StoreSnapshot, threads: usize) -> Json {
+    /// and, when durability is enabled, the `persistence` block (what
+    /// `GET /metrics` actually serves).
+    pub fn to_json_with_store(
+        &self,
+        store: &StoreSnapshot,
+        persist: Option<&PersistSnapshot>,
+        threads: usize,
+    ) -> Json {
         let mut snapshot = self.to_json(store.live(), threads);
         if let Json::Object(fields) = &mut snapshot {
             fields.push(("session_store".to_owned(), store_json(store)));
+            if let Some(persist) = persist {
+                fields.push(("persistence".to_owned(), persist_json(persist)));
+            }
         }
         snapshot
     }
@@ -207,6 +272,8 @@ impl Metrics {
                 .collect(),
         );
         Json::obj([
+            ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+            ("uptime_seconds", Json::from(self.uptime_seconds())),
             ("threads", Json::from(threads)),
             ("requests_total", Json::from(self.requests_total.load(Relaxed))),
             ("responses_2xx", Json::from(self.responses_2xx.load(Relaxed))),
@@ -256,6 +323,12 @@ mod tests {
         assert_eq!(m.responses_4xx.load(Relaxed), 1);
         assert_eq!(m.responses_5xx.load(Relaxed), 1);
         let snapshot = m.to_json(3, 2);
+        assert_eq!(
+            snapshot.get("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION")),
+            "the crate version leads the snapshot"
+        );
+        assert!(snapshot.get("uptime_seconds").unwrap().as_u64().is_some());
         assert_eq!(snapshot.get("requests_total").unwrap().as_u64(), Some(4));
         assert_eq!(snapshot.get("live_sessions").unwrap().as_u64(), Some(3));
         assert_eq!(snapshot.get("threads").unwrap().as_u64(), Some(2));
@@ -291,7 +364,11 @@ mod tests {
 
         let snap = store.snapshot();
         let m = Metrics::new();
-        let json = m.to_json_with_store(&snap, 1);
+        let json = m.to_json_with_store(&snap, None, 1);
+        assert!(
+            json.get("persistence").is_none(),
+            "no persistence block without a data dir"
+        );
         assert_eq!(json.get("live_sessions").unwrap().as_u64(), Some(2));
         let sj = json.get("session_store").unwrap();
         assert_eq!(sj.get("shard_count").unwrap().as_u64(), Some(2));
@@ -320,6 +397,31 @@ mod tests {
         assert_eq!(read_waits, 5);
         assert_eq!(write_waits, snap.write_locks());
         assert!(snap.write_locks() >= 2, "two inserts write-locked");
+    }
+
+    #[test]
+    fn persistence_block_renders_counters_and_fsync_histogram() {
+        use crate::session::SessionStore;
+
+        let p = PersistSnapshot {
+            wal_gen: 2,
+            wal_appends: 7,
+            fsync_latency_us: {
+                let mut h = vec![0; FSYNC_BUCKETS_US.len() + 1];
+                h[0] = 3;
+                h
+            },
+            ..PersistSnapshot::default()
+        };
+        let m = Metrics::new();
+        let store = SessionStore::with_shards(1, 1);
+        let json = m.to_json_with_store(&store.snapshot(), Some(&p), 1);
+        let pj = json.get("persistence").unwrap();
+        assert_eq!(pj.get("wal_gen").unwrap().as_u64(), Some(2));
+        assert_eq!(pj.get("wal_appends").unwrap().as_u64(), Some(7));
+        let hist = pj.get("fsync_latency_us").unwrap().as_array().unwrap();
+        assert_eq!(hist.len(), FSYNC_BUCKETS_US.len() + 1);
+        assert_eq!(hist[0].get("count").unwrap().as_u64(), Some(3));
     }
 
     #[test]

@@ -22,10 +22,13 @@ use routes_core::{compute_one_route, ForestView, RouteView, StepView, TupleRef};
 use routes_model::TupleId;
 use routes_pool::Pool;
 
+use routes_store::{ChaseMode, Durability, Record};
+
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
 use crate::metrics::{Metrics, Phase};
-use crate::session::{Removal, Session, SessionLookup, SessionStore};
+use crate::persist::Persistence;
+use crate::session::{Removal, Session, SessionLookup, SessionOrigin, SessionStore};
 
 /// The shared application state every worker thread serves from.
 pub struct App {
@@ -34,6 +37,9 @@ pub struct App {
     /// Worker pool for parallel chase and forest construction, sized from
     /// `ROUTES_THREADS` or the machine's available parallelism.
     pub pool: Pool,
+    /// Durability, when a data directory is configured; `None` keeps the
+    /// service purely in-memory with zero persistence overhead.
+    persist: Option<Persistence>,
     shutdown: AtomicBool,
 }
 
@@ -50,11 +56,45 @@ impl App {
     /// [`App::with_pool`] with an explicit store (tests pin the shard
     /// count).
     pub fn with_store(store: SessionStore, pool: Pool) -> Self {
+        App::with_persistence(store, pool, None)
+    }
+
+    /// [`App::with_store`] plus an (already-recovered) persistence handle.
+    pub fn with_persistence(
+        store: SessionStore,
+        pool: Pool,
+        persist: Option<Persistence>,
+    ) -> Self {
         App {
             store,
             metrics: Metrics::new(),
             pool,
+            persist,
             shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The persistence handle, when a data directory is configured.
+    pub fn persistence(&self) -> Option<&Persistence> {
+        self.persist.as_ref()
+    }
+
+    /// Append a WAL record whose loss cannot change an answer (touches,
+    /// forest memos): buffered, and a poisoned log is not a request error.
+    fn log_relaxed(&self, record: Record) {
+        if let Some(p) = &self.persist {
+            let _ = p.append(&record, Durability::Buffered);
+        }
+    }
+
+    /// Append a WAL record that backs an answer the client is about to
+    /// see (creates, deletes, evictions): fsynced before returning. `Err`
+    /// means the record is *not* durable — the handler must turn it into
+    /// a 500 rather than ack a mutation that a crash would undo.
+    fn log_synced(&self, record: Record) -> std::io::Result<()> {
+        match &self.persist {
+            Some(p) => p.append(&record, Durability::Synced),
+            None => Ok(()),
         }
     }
 
@@ -75,12 +115,19 @@ impl App {
             ("POST", ["sessions", id, "all-routes"]) => {
                 self.with_session(id, |s| self.all_routes(&s, req))
             }
-            ("GET", ["metrics"]) => Response::json(
-                200,
-                self.metrics
-                    .to_json_with_store(&self.store.snapshot(), self.pool.threads())
-                    .encode(),
-            ),
+            ("GET", ["metrics"]) => {
+                let persist = self.persist.as_ref().map(|p| p.metrics.snapshot());
+                Response::json(
+                    200,
+                    self.metrics
+                        .to_json_with_store(
+                            &self.store.snapshot(),
+                            persist.as_ref(),
+                            self.pool.threads(),
+                        )
+                        .encode(),
+                )
+            }
             ("POST", ["shutdown"]) => {
                 self.shutdown.store(true, Relaxed);
                 Response::json(200, Json::obj([("shutting_down", Json::Bool(true))]).encode())
@@ -101,7 +148,12 @@ impl App {
             return Response::error(400, "session id must be an integer");
         };
         match self.store.get(id) {
-            SessionLookup::Found(session) => f(session),
+            SessionLookup::Found(session) => {
+                // The hit stamped the session most-recently-used; mirror
+                // that into the log so replay reconstructs recency.
+                self.log_relaxed(Record::Touch { id });
+                f(session)
+            }
             SessionLookup::Evicted => Response::error(410, "session evicted (store at capacity)"),
             SessionLookup::Missing => Response::error(404, "no such session"),
         }
@@ -115,10 +167,14 @@ impl App {
         let Some(text) = body.get("scenario").and_then(Json::as_str) else {
             return Response::error(422, "body must have a string `scenario` field");
         };
-        let options = match body.get("chase").and_then(Json::as_str) {
-            None | Some("fresh") => ChaseOptions::fresh(),
-            Some("skolem") => ChaseOptions::skolem(),
+        let chase_mode = match body.get("chase").and_then(Json::as_str) {
+            None | Some("fresh") => ChaseMode::Fresh,
+            Some("skolem") => ChaseMode::Skolem,
             Some(_) => return Response::error(422, "`chase` must be \"fresh\" or \"skolem\""),
+        };
+        let options = match chase_mode {
+            ChaseMode::Fresh => ChaseOptions::fresh(),
+            ChaseMode::Skolem => ChaseOptions::skolem(),
         };
         let loaded = match load_scenario_str(text) {
             Ok(l) => l,
@@ -135,7 +191,25 @@ impl App {
         let stats = prepared.chase_stats;
         let source_tuples = prepared.source.total_tuples();
         let target_tuples = prepared.target.total_tuples();
-        let (id, evicted) = self.store.insert(prepared, &self.pool);
+        let origin = SessionOrigin {
+            chase: chase_mode,
+            text: std::sync::Arc::from(text),
+        };
+        let (id, evicted) = self.store.insert_with_origin(prepared, origin, &self.pool);
+        // Mutation first, WAL second (see `persist`): evictions ride the
+        // create's group commit, and a failed fsync refuses the ack — the
+        // client must never hold a 201 a crash would take back.
+        for &gone in &evicted {
+            self.log_relaxed(Record::Evict { id: gone });
+        }
+        if let Err(e) = self.log_synced(Record::Create {
+            id,
+            chase: chase_mode,
+            scenario: text.to_owned(),
+        }) {
+            self.store.remove(id);
+            return Response::error(500, &format!("session not persisted: {e}"));
+        }
         self.metrics.sessions_created.fetch_add(1, Relaxed);
         self.metrics
             .sessions_evicted
@@ -163,6 +237,9 @@ impl App {
         };
         match self.store.remove(id) {
             Removal::Removed => {
+                if let Err(e) = self.log_synced(Record::Delete { id }) {
+                    return Response::error(500, &format!("delete not persisted: {e}"));
+                }
                 self.metrics.sessions_deleted.fetch_add(1, Relaxed);
                 Response::json(200, Json::obj([("deleted", Json::Bool(true))]).encode())
             }
@@ -290,6 +367,15 @@ impl App {
         } else {
             self.metrics.forest_cache_misses.fetch_add(1, Relaxed);
             self.metrics.record_phase(Phase::Forest, wall);
+            // Persist the memo key (normalized like the cache's own key)
+            // so recovery re-warms the forest cache.
+            let mut key: Vec<(u32, u32)> = selected.iter().map(|t| (t.rel.0, t.row)).collect();
+            key.sort_unstable();
+            key.dedup();
+            self.log_relaxed(Record::Forest {
+                id: session.id,
+                selection: key,
+            });
         }
         let env = session.env();
         let print_start = Instant::now();

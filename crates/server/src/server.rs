@@ -14,16 +14,18 @@
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::http::{parse_request, ParseError, Response};
+use crate::persist::Persistence;
 use crate::router::App;
 use crate::session::SessionStore;
 
 /// Server tunables.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker thread count (≥ 1).
     pub threads: usize,
@@ -34,6 +36,9 @@ pub struct ServerConfig {
     pub session_shards: usize,
     /// Per-read socket timeout; a stalled peer cannot pin a worker forever.
     pub read_timeout: Duration,
+    /// Data directory for durable snapshot + WAL persistence; `None`
+    /// (default) keeps the service purely in-memory.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +48,7 @@ impl Default for ServerConfig {
             max_sessions: 32,
             session_shards: 0,
             read_timeout: Duration::from_secs(30),
+            data_dir: None,
         }
     }
 }
@@ -55,7 +61,10 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind the listener (use port 0 for an ephemeral port).
+    /// Bind the listener (use port 0 for an ephemeral port). With a data
+    /// directory configured, this is also where crash recovery runs:
+    /// snapshot-then-log replay restores the session store before the
+    /// first connection is accepted.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let store = if config.session_shards == 0 {
@@ -63,9 +72,21 @@ impl Server {
         } else {
             SessionStore::with_shards(config.max_sessions, config.session_shards)
         };
+        let pool = routes_pool::Pool::from_env();
+        let persist = match &config.data_dir {
+            Some(dir) => {
+                let (persist, report) = Persistence::open(dir, &store, &pool)?;
+                eprintln!(
+                    "spiderd: recovered {} sessions ({} WAL records; {})",
+                    report.restored_sessions, report.replayed_records, report.summary
+                );
+                Some(persist)
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
-            app: Arc::new(App::with_store(store, routes_pool::Pool::from_env())),
+            app: Arc::new(App::with_persistence(store, pool, persist)),
             config,
         })
     }
@@ -80,7 +101,11 @@ impl Server {
         Arc::clone(&self.app)
     }
 
-    /// Serve until graceful shutdown; blocks, joining every worker.
+    /// Serve until graceful shutdown; blocks, joining every worker. With
+    /// persistence enabled, a maintenance thread flushes buffered WAL
+    /// records and checkpoints past the threshold every
+    /// [`MAINTENANCE_TICK`]; shutdown ends with a durable flush (but no
+    /// checkpoint, so the next boot exercises WAL replay).
     pub fn run(self) -> std::io::Result<()> {
         let addr = self.local_addr()?;
         let threads = self.config.threads.max(1);
@@ -88,15 +113,31 @@ impl Server {
         for k in 0..threads {
             let listener = self.listener.try_clone()?;
             let app = Arc::clone(&self.app);
-            let config = self.config;
+            let config = self.config.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("spiderd-worker-{k}"))
                     .spawn(move || worker_loop(&listener, &app, &config, addr, threads))?,
             );
         }
+        let maintenance = if self.app.persistence().is_some() {
+            let app = Arc::clone(&self.app);
+            Some(
+                std::thread::Builder::new()
+                    .name("spiderd-maintenance".to_owned())
+                    .spawn(move || maintenance_loop(&app))?,
+            )
+        } else {
+            None
+        };
         for w in workers {
             let _ = w.join();
+        }
+        if let Some(m) = maintenance {
+            let _ = m.join();
+        }
+        if let Some(p) = self.app.persistence() {
+            p.flush()?;
         }
         Ok(())
     }
@@ -142,6 +183,26 @@ fn worker_loop(
             return;
         }
     }
+}
+
+/// How often the maintenance thread flushes buffered WAL records and
+/// checks the checkpoint threshold. Short enough that a buffered touch is
+/// durable well before a human could restart the service, long enough to
+/// batch a burst of them into one fsync.
+pub const MAINTENANCE_TICK: Duration = Duration::from_millis(250);
+
+/// Flush-and-maybe-checkpoint until shutdown. Errors are already sticky
+/// in the WAL (poisoning), so the loop keeps ticking — the next synced
+/// append reports the failure to a client.
+fn maintenance_loop(app: &Arc<App>) {
+    let Some(persist) = app.persistence() else {
+        return;
+    };
+    while !app.is_shutting_down() {
+        std::thread::sleep(MAINTENANCE_TICK);
+        let _ = persist.maintain(&app.store, &app.pool);
+    }
+    let _ = persist.flush();
 }
 
 /// How often an idle keep-alive connection re-checks the shutdown flag.

@@ -38,6 +38,20 @@
 //! Evicted ids leave a bounded tombstone behind so the service can answer
 //! "410 Gone" (evicted) distinctly from "404 Not Found" (deleted or never
 //! created).
+//!
+//! ## Persistence
+//!
+//! The store itself is purely in-memory; durability lives in
+//! `routes-store` and the server's `persist` module. This module supplies
+//! the two halves of the mapping: *collection* ([`SessionStore::persist_state`]
+//! images every shard — clocks, tombstones, entries with their recency
+//! stamps and compact scenario origins — fanned out per shard over the
+//! worker pool) and *reconstruction* ([`SessionStore::restore_state`]
+//! rebuilds a snapshot image byte-identically at the same shard count,
+//! [`SessionStore::replay_records`] re-applies WAL records in log order
+//! through the same stamp/promote/tombstone code paths live traffic
+//! uses). Replay draws fresh stamps from the shard clocks in WAL order,
+//! so recency is reconstructed exactly for any deterministic history.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::num::NonZeroUsize;
@@ -48,8 +62,9 @@ use std::time::{Duration, Instant};
 use routes_chase::ChaseStats;
 use routes_cli::PreparedScenario;
 use routes_core::{RouteEnv, RouteForest};
-use routes_model::TupleId;
+use routes_model::{RelId, TupleId};
 use routes_pool::Pool;
+use routes_store::{ChaseMode, PersistedEntry, PersistedShard, Record, SelectionKey, SnapshotState};
 
 /// Environment variable overriding the shard count (default: the
 /// machine's available parallelism, clamped to `max_sessions`).
@@ -65,10 +80,24 @@ pub const LOCK_WAIT_BUCKETS_US: [u64; 5] = [1, 10, 100, 1_000, 10_000];
 /// loaded scenario.
 const TOMBSTONES_PER_SHARD: usize = 4096;
 
+/// The compact persistent representation of a session's scenario: the
+/// source text plus the chase mode that materialized `J`. The chase is
+/// deterministic at every worker count, so `(text, chase)` is a complete
+/// recipe — recovery re-runs the chase instead of persisting the solution.
+#[derive(Clone)]
+pub struct SessionOrigin {
+    pub chase: ChaseMode,
+    pub text: Arc<str>,
+}
+
 /// One loaded scenario with its chased (or supplied) solution.
 pub struct Session {
     pub id: u64,
     pub scenario: PreparedScenario,
+    /// The compact representation this session can be rebuilt from;
+    /// `None` for sessions injected directly by tests and benchmarks
+    /// (those are invisible to snapshots).
+    origin: Option<SessionOrigin>,
     /// Memoized route forests keyed by the *sorted* selected-tuple set, so
     /// `[t1, t2]` and `[t2, t1]` share an entry (`compute_all_routes` is
     /// order-insensitive in its result, per the forest's memoization).
@@ -76,12 +105,19 @@ pub struct Session {
 }
 
 impl Session {
-    fn new(id: u64, scenario: PreparedScenario) -> Self {
+    fn with_origin(id: u64, scenario: PreparedScenario, origin: Option<SessionOrigin>) -> Self {
         Session {
             id,
             scenario,
+            origin,
             forest_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The compact representation this session can be rebuilt from, if
+    /// it was created through the persistable path.
+    pub fn origin(&self) -> Option<&SessionOrigin> {
+        self.origin.as_ref()
     }
 
     /// The route environment over this session's `(M, I, J)`.
@@ -110,7 +146,7 @@ impl Session {
         let mut key: Vec<TupleId> = selected.to_vec();
         key.sort_unstable_by_key(|t| (t.rel.0, t.row));
         key.dedup();
-        if let Some(found) = self.forest_cache.lock().unwrap().get(&key) {
+        if let Some(found) = self.lock_forest_cache().get(&key) {
             return (Arc::clone(found), true, Duration::ZERO);
         }
         // Compute outside the lock: forests can be expensive and other
@@ -122,14 +158,37 @@ impl Session {
             workers,
         ));
         let wall = start.elapsed();
-        let mut cache = self.forest_cache.lock().unwrap();
+        let mut cache = self.lock_forest_cache();
         let entry = cache.entry(key).or_insert_with(|| Arc::clone(&forest));
         (Arc::clone(entry), false, wall)
     }
 
     /// Number of cached forests (for the session view).
     pub fn cached_forests(&self) -> usize {
-        self.forest_cache.lock().unwrap().len()
+        self.lock_forest_cache().len()
+    }
+
+    /// The memoized selection keys as persistable `(relation, row)` pairs,
+    /// sorted for deterministic snapshots.
+    pub fn cached_forest_keys(&self) -> Vec<SelectionKey> {
+        let cache = self.lock_forest_cache();
+        let mut keys: Vec<SelectionKey> = cache
+            .keys()
+            .map(|key| key.iter().map(|t| (t.rel.0, t.row)).collect())
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The forest cache's mutex, recovering from poisoning: every write
+    /// into the map is a single `HashMap` operation, so a thread that
+    /// panicked while holding the lock (e.g. a route computation bug
+    /// caught by the connection-level `catch_unwind`) cannot leave a
+    /// half-written cache behind, and the surviving workers keep serving.
+    fn lock_forest_cache(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<TupleId>, Arc<RouteForest>>> {
+        self.forest_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 
@@ -292,16 +351,26 @@ impl Shard {
         }
     }
 
+    // Both lock paths recover from poisoning instead of unwrapping: a
+    // worker that panicked under the lock (the server wraps handlers in
+    // `catch_unwind`) must not take the whole shard down with it. The
+    // map and tombstone structures are updated by single operations, and
+    // the `occupancy` mirror is re-stored after every mutation, so the
+    // state a poisoned guard exposes is at worst mid-request, never
+    // structurally broken.
     fn read_locked(&self) -> RwLockReadGuard<'_, ShardInner> {
         let start = Instant::now();
-        let guard = self.inner.read().unwrap();
+        let guard = self.inner.read().unwrap_or_else(|poisoned| poisoned.into_inner());
         self.stats.read_wait.record(start.elapsed());
         guard
     }
 
     fn write_locked(&self) -> RwLockWriteGuard<'_, ShardInner> {
         let start = Instant::now();
-        let guard = self.inner.write().unwrap();
+        let guard = self
+            .inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         self.stats.write_wait.record(start.elapsed());
         self.stats.write_locks.fetch_add(1, Relaxed);
         guard
@@ -374,14 +443,7 @@ impl Shard {
         while inner.sessions.len() > self.capacity {
             let victim = self.pick_victim(&inner);
             inner.sessions.remove(&victim);
-            if inner.gone_set.insert(victim) {
-                inner.gone.push_back(victim);
-                if inner.gone.len() > TOMBSTONES_PER_SHARD {
-                    if let Some(old) = inner.gone.pop_front() {
-                        inner.gone_set.remove(&old);
-                    }
-                }
-            }
+            push_tombstone(&mut inner, victim);
             evicted.push(victim);
         }
         self.occupancy.store(inner.sessions.len(), Relaxed);
@@ -587,8 +649,29 @@ impl SessionStore {
     /// any sessions evicted to stay under the bound. The eviction scan
     /// fans out per shard over `workers`.
     pub fn insert(&self, scenario: PreparedScenario, workers: &Pool) -> (u64, Vec<u64>) {
+        self.insert_session(scenario, None, workers)
+    }
+
+    /// [`SessionStore::insert`] with the compact origin the session can
+    /// later be rebuilt from; the server's persistable creation path uses
+    /// this so snapshots can see the session.
+    pub fn insert_with_origin(
+        &self,
+        scenario: PreparedScenario,
+        origin: SessionOrigin,
+        workers: &Pool,
+    ) -> (u64, Vec<u64>) {
+        self.insert_session(scenario, Some(origin), workers)
+    }
+
+    fn insert_session(
+        &self,
+        scenario: PreparedScenario,
+        origin: Option<SessionOrigin>,
+        workers: &Pool,
+    ) -> (u64, Vec<u64>) {
         let id = self.next_id.fetch_add(1, Relaxed);
-        let session = Arc::new(Session::new(id, scenario));
+        let session = Arc::new(Session::with_origin(id, scenario, origin));
         let shard = &self.shards[self.shard_of(id)];
         shard.insert(id, session);
         let evicted = if shard.occupancy.load(Relaxed) > shard.capacity {
@@ -634,6 +717,238 @@ impl SessionStore {
         StoreSnapshot {
             capacity: self.max_sessions,
             shards: self.shards.iter().map(Shard::snapshot).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence: collection and reconstruction (see the module docs).
+    // ------------------------------------------------------------------
+
+    /// Image the store for a snapshot: per-shard clocks and tombstones
+    /// plus every persistable entry (sessions injected without an origin —
+    /// tests, benchmarks — are invisible to snapshots). Collection fans
+    /// out per shard over `workers`; each shard is imaged under its read
+    /// lock, and the caller (the server's checkpoint) holds the WAL
+    /// rotation lock across the whole call, so every concurrent mutation
+    /// lands either in this image or in a WAL record ordered after it.
+    pub fn persist_state(&self, workers: &Pool) -> SnapshotState {
+        let per_shard: Vec<(PersistedShard, Vec<PersistedEntry>)> =
+            workers.par_map_items(&self.shards, 1, |shard| {
+                let inner = shard.read_locked();
+                let image = PersistedShard {
+                    clock: shard.clock.load(Relaxed),
+                    tombstones: inner.gone.iter().copied().collect(),
+                };
+                let mut entries: Vec<PersistedEntry> = inner
+                    .sessions
+                    .iter()
+                    .filter_map(|(&id, entry)| {
+                        let origin = entry.session.origin()?;
+                        Some(PersistedEntry {
+                            id,
+                            stamp: entry.touch.load(Relaxed),
+                            protected: entry.protected.load(Relaxed),
+                            chase: origin.chase,
+                            scenario: origin.text.to_string(),
+                            forests: entry.session.cached_forest_keys(),
+                        })
+                    })
+                    .collect();
+                entries.sort_unstable_by_key(|e| e.id);
+                (image, entries)
+            });
+        let mut state = SnapshotState {
+            next_id: self.next_id.load(Relaxed),
+            shards: Vec::with_capacity(per_shard.len()),
+            entries: Vec::new(),
+        };
+        for (image, entries) in per_shard {
+            state.shards.push(image);
+            state.entries.extend(entries);
+        }
+        // Ids are assigned round-robin across shards, so the per-shard
+        // sorted runs interleave; one global sort restores id order.
+        state.entries.sort_unstable_by_key(|e| e.id);
+        state
+    }
+
+    /// Rebuild the store from a snapshot image (recovery calls this on an
+    /// empty store before WAL replay). At the image's shard count the
+    /// restoration is byte-identical: exact per-shard clocks, tombstones
+    /// in deque order, every entry's stamp and segment bit. At a
+    /// different shard count it is semantically equivalent instead: all
+    /// shard clocks start at the image's maximum (so every later stamp
+    /// sorts after every restored one) and tombstones re-shard by id.
+    /// Scenario preparation — the chase — dominates recovery time and
+    /// fans out over `workers`; an entry whose text no longer prepares is
+    /// dropped (`prepare` returning `None`) rather than aborting
+    /// recovery. Returns the number of restored sessions.
+    pub fn restore_state(
+        &self,
+        state: &SnapshotState,
+        workers: &Pool,
+        prepare: &(dyn Fn(&str, ChaseMode) -> Option<PreparedScenario> + Sync),
+    ) -> usize {
+        self.next_id.fetch_max(state.next_id, Relaxed);
+        if state.shards.len() == self.shards.len() {
+            for (shard, image) in self.shards.iter().zip(&state.shards) {
+                shard.clock.fetch_max(image.clock, Relaxed);
+                let mut inner = shard.write_locked();
+                for &id in &image.tombstones {
+                    push_tombstone(&mut inner, id);
+                }
+            }
+        } else {
+            let max_clock = state.shards.iter().map(|s| s.clock).max().unwrap_or(0);
+            for shard in &self.shards {
+                shard.clock.fetch_max(max_clock, Relaxed);
+            }
+            for image in &state.shards {
+                for &id in &image.tombstones {
+                    let mut inner = self.shards[self.shard_of(id)].write_locked();
+                    push_tombstone(&mut inner, id);
+                }
+            }
+        }
+        let prepared: Vec<Option<PreparedScenario>> = workers
+            .par_map_items(&state.entries, 1, |entry| {
+                prepare(&entry.scenario, entry.chase)
+            });
+        let mut restored = 0usize;
+        for (entry, scenario) in state.entries.iter().zip(prepared) {
+            let Some(scenario) = scenario else { continue };
+            let origin = SessionOrigin {
+                chase: entry.chase,
+                text: Arc::from(entry.scenario.as_str()),
+            };
+            let session = Arc::new(Session::with_origin(entry.id, scenario, Some(origin)));
+            self.warm_forests(&session, &entry.forests, workers);
+            let shard = &self.shards[self.shard_of(entry.id)];
+            let stored = Entry::new(Arc::clone(&session), entry.stamp);
+            stored.protected.store(entry.protected, Relaxed);
+            let mut inner = shard.write_locked();
+            inner.sessions.insert(entry.id, stored);
+            shard.occupancy.store(inner.sessions.len(), Relaxed);
+            drop(inner);
+            restored += 1;
+        }
+        restored
+    }
+
+    /// Re-apply WAL records in log order on top of a restored snapshot.
+    /// Creates draw fresh stamps from the shard clocks exactly as live
+    /// inserts do, touches run the live stamp/promote path, deletes and
+    /// evictions remove (evictions leaving the bounded tombstone) — so a
+    /// deterministic history replays to the same recency structure it
+    /// produced live. A Create whose id is tombstoned is skipped: ids are
+    /// never reused, so the Evict/Delete that follows it in the log (or
+    /// preceded it in a racy interleaving) is authoritative. Returns the
+    /// number of records applied.
+    pub fn replay_records(
+        &self,
+        records: &[Record],
+        workers: &Pool,
+        prepare: &(dyn Fn(&str, ChaseMode) -> Option<PreparedScenario> + Sync),
+    ) -> usize {
+        let mut applied = 0usize;
+        for record in records {
+            match record {
+                Record::Create { id, chase, scenario } => {
+                    let shard = &self.shards[self.shard_of(*id)];
+                    if shard.read_locked().gone_set.contains(id) {
+                        continue;
+                    }
+                    let Some(prep) = prepare(scenario, *chase) else {
+                        continue;
+                    };
+                    // Keep the id counter ahead of every replayed id even
+                    // if the log tail (where the counter would have been
+                    // snapshotted) was lost.
+                    self.next_id.fetch_max(id + 1, Relaxed);
+                    let origin = SessionOrigin {
+                        chase: *chase,
+                        text: Arc::from(scenario.as_str()),
+                    };
+                    let session =
+                        Arc::new(Session::with_origin(*id, prep, Some(origin)));
+                    let stamp = Entry::next_stamp(&shard.clock);
+                    let mut inner = shard.write_locked();
+                    inner.sessions.insert(*id, Entry::new(session, stamp));
+                    shard.occupancy.store(inner.sessions.len(), Relaxed);
+                    drop(inner);
+                    applied += 1;
+                }
+                Record::Touch { id } => {
+                    let shard = &self.shards[self.shard_of(*id)];
+                    let entry = shard.read_locked().sessions.get(id).cloned();
+                    if let Some(entry) = entry {
+                        entry.touch(&shard.clock);
+                        applied += 1;
+                    }
+                }
+                Record::Delete { id } => {
+                    let shard = &self.shards[self.shard_of(*id)];
+                    let mut inner = shard.write_locked();
+                    if inner.sessions.remove(id).is_some() {
+                        shard.occupancy.store(inner.sessions.len(), Relaxed);
+                        applied += 1;
+                    }
+                }
+                Record::Evict { id } => {
+                    let shard = &self.shards[self.shard_of(*id)];
+                    let mut inner = shard.write_locked();
+                    inner.sessions.remove(id);
+                    push_tombstone(&mut inner, *id);
+                    shard.occupancy.store(inner.sessions.len(), Relaxed);
+                    applied += 1;
+                }
+                Record::Forest { id, selection } => {
+                    let session = self.shards[self.shard_of(*id)]
+                        .read_locked()
+                        .sessions
+                        .get(id)
+                        .map(|e| Arc::clone(&e.session));
+                    if let Some(session) = session {
+                        self.warm_forests(&session, std::slice::from_ref(selection), workers);
+                        applied += 1;
+                    }
+                }
+            }
+        }
+        applied
+    }
+
+    /// Recompute persisted forest-cache keys for a restored session,
+    /// skipping any selection that no longer names valid tuples (the
+    /// scenario text is the source of truth; a key that validated when
+    /// written validates again unless the codec versions drifted).
+    fn warm_forests(&self, session: &Session, keys: &[SelectionKey], workers: &Pool) {
+        let target = &session.scenario.target;
+        for key in keys {
+            let tuples: Vec<TupleId> = key
+                .iter()
+                .map(|&(rel, row)| TupleId { rel: RelId(rel), row })
+                .collect();
+            let valid = tuples.iter().all(|t| {
+                (t.rel.0 as usize) < target.num_relations() && t.row < target.rel_len(t.rel)
+            });
+            if valid {
+                session.forest_for(&tuples, workers);
+            }
+        }
+    }
+}
+
+/// Record an eviction tombstone in a shard (shared by the live eviction
+/// scan's inline version and the restore/replay paths), bounded by
+/// [`TOMBSTONES_PER_SHARD`].
+fn push_tombstone(inner: &mut ShardInner, id: u64) {
+    if inner.gone_set.insert(id) {
+        inner.gone.push_back(id);
+        if inner.gone.len() > TOMBSTONES_PER_SHARD {
+            if let Some(old) = inner.gone.pop_front() {
+                inner.gone_set.remove(&old);
+            }
         }
     }
 }

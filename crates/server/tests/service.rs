@@ -151,6 +151,7 @@ fn concurrent_clients_probe_validate_and_clean_up() {
         max_sessions: 16,
         session_shards: 4,
         read_timeout: Duration::from_secs(30),
+        data_dir: None,
     });
 
     let clients: Vec<_> = (0..4)
@@ -299,6 +300,7 @@ fn bad_inputs_get_four_xx_not_hangs() {
         max_sessions: 4,
         session_shards: 2,
         read_timeout: Duration::from_secs(30),
+        data_dir: None,
     });
     let mut c = Client::connect(addr);
 
@@ -350,6 +352,7 @@ fn lru_eviction_over_http() {
         max_sessions: 2,
         session_shards: 1,
         read_timeout: Duration::from_secs(30),
+        data_dir: None,
     });
     let mut c = Client::connect(addr);
     let create = |c: &mut Client, tag: i64| {
@@ -401,6 +404,7 @@ fn over_capacity_churn_reconciles_per_shard_eviction_metrics() {
         max_sessions: CAPACITY as usize,
         session_shards: SHARDS as usize,
         read_timeout: Duration::from_secs(30),
+        data_dir: None,
     });
 
     let evicted: Vec<u64> = {

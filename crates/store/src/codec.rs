@@ -1,0 +1,622 @@
+//! The on-disk record format: length-prefixed, CRC32-checksummed frames.
+//!
+//! Every durable artifact — a WAL record, a snapshot body — travels inside
+//! one *frame*:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! The checksum covers the payload only; the length field is implicitly
+//! validated by the checksum (a corrupted length either reads past a frame
+//! boundary, yielding payload bytes whose CRC cannot match, or reads past
+//! the end of the file, which is a truncated tail). Integers are
+//! little-endian and fixed-width; strings are `u32` length + UTF-8 bytes.
+//! The format is versioned through the file magic (see [`crate::snapshot`]),
+//! not per frame.
+//!
+//! Payloads are pure data — ids, stamps, scenario source text, selection
+//! keys — never pointers into live state, so a record decoded after a crash
+//! means exactly what it meant when written.
+
+use crate::crc::crc32;
+
+/// Frames larger than this are rejected as corruption rather than
+/// allocated: no legitimate scenario or snapshot body approaches 256 MiB.
+pub const MAX_FRAME_LEN: u32 = 1 << 28;
+
+/// How the solution `J` of a persisted scenario was (and will again be)
+/// materialized. The chase is deterministic at every worker count, so a
+/// `(text, mode)` pair is a complete, compact representation of a prepared
+/// session: recovery re-runs the chase instead of persisting `J` itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaseMode {
+    /// Standard chase with fresh labeled nulls.
+    Fresh,
+    /// Skolemized (oblivious) chase.
+    Skolem,
+}
+
+impl ChaseMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ChaseMode::Fresh => 0,
+            ChaseMode::Skolem => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ChaseMode, CodecError> {
+        match v {
+            0 => Ok(ChaseMode::Fresh),
+            1 => Ok(ChaseMode::Skolem),
+            _ => Err(CodecError::BadEnum("chase mode", v)),
+        }
+    }
+}
+
+/// A forest-cache key: the sorted selected-tuple set, as
+/// `(relation id, row)` pairs.
+pub type SelectionKey = Vec<(u32, u32)>;
+
+/// One write-ahead-log record: a single session-store mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A session was created from `scenario` text chased under `chase`.
+    Create {
+        id: u64,
+        chase: ChaseMode,
+        scenario: String,
+    },
+    /// A session was looked up (stamped most-recently-used and promoted to
+    /// the protected segment).
+    Touch { id: u64 },
+    /// A session was deleted by the client.
+    Delete { id: u64 },
+    /// A session was evicted by the LRU bound (leaves a 410 tombstone).
+    Evict { id: u64 },
+    /// A route forest was computed and memoized for `selection`.
+    Forest { id: u64, selection: SelectionKey },
+}
+
+impl Record {
+    /// The session id the record is about.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Record::Create { id, .. }
+            | Record::Touch { id }
+            | Record::Delete { id }
+            | Record::Evict { id }
+            | Record::Forest { id, .. } => id,
+        }
+    }
+}
+
+const TAG_CREATE: u8 = 1;
+const TAG_TOUCH: u8 = 2;
+const TAG_DELETE: u8 = 3;
+const TAG_EVICT: u8 = 4;
+const TAG_FOREST: u8 = 5;
+
+/// One persisted session entry: everything needed to rebuild the live
+/// [`Session`](../routes_server) byte-identically — identity, recency
+/// (stamp + segment), the compact scenario representation, and the
+/// memoized forest keys to re-warm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistedEntry {
+    pub id: u64,
+    /// Last-touch stamp from the owning shard's logical clock.
+    pub stamp: u64,
+    /// Segmented-LRU segment (`true` = protected).
+    pub protected: bool,
+    pub chase: ChaseMode,
+    pub scenario: String,
+    /// Memoized forest-cache keys (sorted selections) to recompute.
+    pub forests: Vec<SelectionKey>,
+}
+
+/// One shard's non-entry state: its logical clock and its eviction
+/// tombstones in deque order (oldest first).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PersistedShard {
+    pub clock: u64,
+    pub tombstones: Vec<u64>,
+}
+
+/// A point-in-time image of the whole session store, sufficient to restore
+/// every shard byte-identically (same shard count) or semantically
+/// (different shard count; see the server's restore path).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotState {
+    /// The store's id counter (the next session id to assign).
+    pub next_id: u64,
+    /// Per-shard clocks and tombstones, indexed by shard.
+    pub shards: Vec<PersistedShard>,
+    /// Live sessions, sorted by id.
+    pub entries: Vec<PersistedEntry>,
+}
+
+/// Decoding failures. All of them mean "stop replaying here": the format
+/// never recovers mid-stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended inside a value.
+    Short,
+    /// An enum byte held an unknown value.
+    BadEnum(&'static str, u8),
+    /// A string was not UTF-8.
+    BadUtf8,
+    /// An unknown record tag.
+    BadTag(u8),
+    /// Trailing bytes after a complete payload.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Short => write!(f, "payload ends inside a value"),
+            CodecError::BadEnum(what, v) => write!(f, "invalid {what} byte {v}"),
+            CodecError::BadUtf8 => write!(f, "string is not UTF-8"),
+            CodecError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------
+// Primitive writers / readers
+// ---------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn selection(&mut self, sel: &[(u32, u32)]) {
+        self.u32(sel.len() as u32);
+        for &(rel, row) in sel {
+            self.u32(rel);
+            self.u32(row);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Short)?;
+        let slice = self.buf.get(self.pos..end).ok_or(CodecError::Short)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    fn selection(&mut self) -> Result<SelectionKey, CodecError> {
+        let n = self.u32()? as usize;
+        // A selection pair is 8 bytes; bound the allocation by what the
+        // buffer can actually hold.
+        if n > self.buf.len().saturating_sub(self.pos) / 8 {
+            return Err(CodecError::Short);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rel = self.u32()?;
+            let row = self.u32()?;
+            out.push((rel, row));
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record payloads
+// ---------------------------------------------------------------------
+
+/// Encode a record payload (no frame header).
+pub fn encode_record_payload(record: &Record) -> Vec<u8> {
+    let mut w = Writer::new();
+    match record {
+        Record::Create { id, chase, scenario } => {
+            w.u8(TAG_CREATE);
+            w.u64(*id);
+            w.u8(chase.to_u8());
+            w.str(scenario);
+        }
+        Record::Touch { id } => {
+            w.u8(TAG_TOUCH);
+            w.u64(*id);
+        }
+        Record::Delete { id } => {
+            w.u8(TAG_DELETE);
+            w.u64(*id);
+        }
+        Record::Evict { id } => {
+            w.u8(TAG_EVICT);
+            w.u64(*id);
+        }
+        Record::Forest { id, selection } => {
+            w.u8(TAG_FOREST);
+            w.u64(*id);
+            w.selection(selection);
+        }
+    }
+    w.buf
+}
+
+/// Decode a record payload (no frame header). The whole payload must be
+/// consumed.
+pub fn decode_record_payload(payload: &[u8]) -> Result<Record, CodecError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    let record = match tag {
+        TAG_CREATE => {
+            let id = r.u64()?;
+            let chase = ChaseMode::from_u8(r.u8()?)?;
+            let scenario = r.str()?;
+            Record::Create { id, chase, scenario }
+        }
+        TAG_TOUCH => Record::Touch { id: r.u64()? },
+        TAG_DELETE => Record::Delete { id: r.u64()? },
+        TAG_EVICT => Record::Evict { id: r.u64()? },
+        TAG_FOREST => {
+            let id = r.u64()?;
+            let selection = r.selection()?;
+            Record::Forest { id, selection }
+        }
+        other => return Err(CodecError::BadTag(other)),
+    };
+    r.finish()?;
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------
+// Snapshot payloads
+// ---------------------------------------------------------------------
+
+/// Encode a snapshot body: the WAL generation the snapshot supersedes up
+/// to, plus the full store state.
+pub fn encode_snapshot_payload(state: &SnapshotState, wal_gen: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(wal_gen);
+    w.u64(state.next_id);
+    w.u32(state.shards.len() as u32);
+    for shard in &state.shards {
+        w.u64(shard.clock);
+        w.u32(shard.tombstones.len() as u32);
+        for &id in &shard.tombstones {
+            w.u64(id);
+        }
+    }
+    w.u32(state.entries.len() as u32);
+    for entry in &state.entries {
+        w.u64(entry.id);
+        w.u64(entry.stamp);
+        w.u8(u8::from(entry.protected));
+        w.u8(entry.chase.to_u8());
+        w.str(&entry.scenario);
+        w.u32(entry.forests.len() as u32);
+        for key in &entry.forests {
+            w.selection(key);
+        }
+    }
+    w.buf
+}
+
+/// Decode a snapshot body; returns the state and the WAL generation to
+/// replay on top of it.
+pub fn decode_snapshot_payload(payload: &[u8]) -> Result<(SnapshotState, u64), CodecError> {
+    let mut r = Reader::new(payload);
+    let wal_gen = r.u64()?;
+    let next_id = r.u64()?;
+    let shard_count = r.u32()? as usize;
+    let mut shards = Vec::with_capacity(shard_count.min(1024));
+    for _ in 0..shard_count {
+        let clock = r.u64()?;
+        let n = r.u32()? as usize;
+        let mut tombstones = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            tombstones.push(r.u64()?);
+        }
+        shards.push(PersistedShard { clock, tombstones });
+    }
+    let entry_count = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(entry_count.min(1 << 16));
+    for _ in 0..entry_count {
+        let id = r.u64()?;
+        let stamp = r.u64()?;
+        let protected = match r.u8()? {
+            0 => false,
+            1 => true,
+            v => return Err(CodecError::BadEnum("protected flag", v)),
+        };
+        let chase = ChaseMode::from_u8(r.u8()?)?;
+        let scenario = r.str()?;
+        let nforests = r.u32()? as usize;
+        let mut forests = Vec::with_capacity(nforests.min(1 << 16));
+        for _ in 0..nforests {
+            forests.push(r.selection()?);
+        }
+        entries.push(PersistedEntry {
+            id,
+            stamp,
+            protected,
+            chase,
+            scenario,
+            forests,
+        });
+    }
+    r.finish()?;
+    Ok((
+        SnapshotState {
+            next_id,
+            shards,
+            entries,
+        },
+        wal_gen,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------
+
+/// Wrap a payload in a `[len][crc][payload]` frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() as u64 <= u64::from(MAX_FRAME_LEN));
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Why frame reading stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameStop {
+    /// The buffer ended exactly at a frame boundary.
+    CleanEof,
+    /// The buffer ended inside a frame header or payload (a torn write).
+    TruncatedTail { offset: u64 },
+    /// A frame's checksum did not match its payload (a bit flip, or a torn
+    /// write that happened to leave a full-length garbage tail).
+    BadCrc { offset: u64 },
+    /// A frame declared an implausible length (corrupted header).
+    BadLength { offset: u64, len: u32 },
+}
+
+impl FrameStop {
+    /// Whether the stream ended without detecting damage.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, FrameStop::CleanEof)
+    }
+}
+
+impl std::fmt::Display for FrameStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameStop::CleanEof => write!(f, "clean end of log"),
+            FrameStop::TruncatedTail { offset } => {
+                write!(f, "truncated tail at byte {offset}")
+            }
+            FrameStop::BadCrc { offset } => write!(f, "checksum mismatch at byte {offset}"),
+            FrameStop::BadLength { offset, len } => {
+                write!(f, "implausible frame length {len} at byte {offset}")
+            }
+        }
+    }
+}
+
+/// Iterate the frames of `buf` starting at `base_offset` (the offset of
+/// `buf[0]` within the file, used only for reporting). Yields each valid
+/// payload slice with its file offset; stops at the first damaged or
+/// truncated frame. This is the single reader both recovery and the fault
+/// harness share, so "what replay accepts" and "what a fault damaged" can
+/// never disagree.
+pub fn read_frames(buf: &[u8], base_offset: u64) -> (Vec<(u64, &[u8])>, FrameStop) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let offset = base_offset + pos as u64;
+        let Some(rest) = buf.get(pos..) else {
+            return (out, FrameStop::CleanEof);
+        };
+        if rest.is_empty() {
+            return (out, FrameStop::CleanEof);
+        }
+        if rest.len() < 8 {
+            return (out, FrameStop::TruncatedTail { offset });
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        if len > MAX_FRAME_LEN {
+            return (out, FrameStop::BadLength { offset, len });
+        }
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        let Some(payload) = rest.get(8..8 + len as usize) else {
+            return (out, FrameStop::TruncatedTail { offset });
+        };
+        if crc32(payload) != crc {
+            return (out, FrameStop::BadCrc { offset });
+        }
+        out.push((offset, payload));
+        pos += 8 + len as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Create {
+                id: 7,
+                chase: ChaseMode::Fresh,
+                scenario: "source schema:\n  S(a)\n".to_owned(),
+            },
+            Record::Touch { id: 7 },
+            Record::Forest {
+                id: 7,
+                selection: vec![(0, 0), (1, 3)],
+            },
+            Record::Delete { id: 7 },
+            Record::Evict { id: 9 },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_codec() {
+        for record in sample_records() {
+            let payload = encode_record_payload(&record);
+            assert_eq!(decode_record_payload(&payload), Ok(record.clone()));
+        }
+    }
+
+    #[test]
+    fn snapshot_state_roundtrips() {
+        let state = SnapshotState {
+            next_id: 42,
+            shards: vec![
+                PersistedShard {
+                    clock: 10,
+                    tombstones: vec![3, 5],
+                },
+                PersistedShard {
+                    clock: 2,
+                    tombstones: vec![],
+                },
+            ],
+            entries: vec![PersistedEntry {
+                id: 6,
+                stamp: 9,
+                protected: true,
+                chase: ChaseMode::Skolem,
+                scenario: "source schema:\n  S(a)\n".to_owned(),
+                forests: vec![vec![(0, 1)], vec![]],
+            }],
+        };
+        let payload = encode_snapshot_payload(&state, 3);
+        assert_eq!(decode_snapshot_payload(&payload), Ok((state, 3)));
+    }
+
+    #[test]
+    fn damaged_payloads_are_rejected_not_misread() {
+        let payload = encode_record_payload(&Record::Create {
+            id: 1,
+            chase: ChaseMode::Fresh,
+            scenario: "x".to_owned(),
+        });
+        // Truncation at every prefix length fails; it never yields a
+        // different valid record.
+        for cut in 0..payload.len() {
+            assert!(decode_record_payload(&payload[..cut]).is_err(), "cut={cut}");
+        }
+        // An unknown tag is rejected.
+        assert_eq!(decode_record_payload(&[99]), Err(CodecError::BadTag(99)));
+        // Trailing garbage is rejected.
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert_eq!(decode_record_payload(&padded), Err(CodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn frame_reader_stops_at_first_damage_and_keeps_the_prefix() {
+        let payloads: Vec<Vec<u8>> = sample_records()
+            .iter()
+            .map(encode_record_payload)
+            .collect();
+        let mut buf = Vec::new();
+        for p in &payloads {
+            buf.extend_from_slice(&frame(p));
+        }
+        let (frames, stop) = read_frames(&buf, 0);
+        assert!(stop.is_clean());
+        assert_eq!(frames.len(), payloads.len());
+
+        // Truncate at every byte boundary: the reader yields exactly the
+        // frames whose bytes fully survive, and reports a dirty stop unless
+        // the cut is at a frame boundary.
+        let mut boundaries = vec![0u64];
+        for (off, p) in &frames {
+            boundaries.push(off + 8 + p.len() as u64);
+        }
+        for cut in 0..=buf.len() {
+            let (prefix, stop) = read_frames(&buf[..cut], 0);
+            let complete = boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1;
+            assert_eq!(prefix.len(), complete, "cut={cut}");
+            assert_eq!(
+                stop.is_clean(),
+                boundaries.contains(&(cut as u64)),
+                "cut={cut}"
+            );
+        }
+
+        // Flip one bit in the middle frame's payload: the reader keeps the
+        // frames before it and stops with BadCrc at its offset.
+        let (mid_offset, _) = frames[2];
+        let mut damaged = buf.clone();
+        damaged[mid_offset as usize + 8] ^= 0x10;
+        let (prefix, stop) = read_frames(&damaged, 0);
+        assert_eq!(prefix.len(), 2);
+        assert_eq!(stop, FrameStop::BadCrc { offset: mid_offset });
+    }
+}

@@ -1,0 +1,43 @@
+//! `routes-store` — durable persistence for the route-debugging service.
+//!
+//! `spiderd`'s debugging sessions are long-lived: a user iterates over
+//! selections against one loaded mapping scenario, sometimes for hours.
+//! This crate makes that state survive a restart by splitting every
+//! session into a *compact representation* (the scenario source text plus
+//! its chase mode — the chase is deterministic, so the solution `J` is
+//! recomputed, never stored) and a *replayable history* (the store
+//! mutations that shaped the shard state: creates, touches, deletes,
+//! evictions, forest memos).
+//!
+//! * [`codec`] — length-prefixed, CRC32-checksummed frames; the record and
+//!   snapshot formats.
+//! * [`crc`] — the in-repo CRC-32 (ISO-HDLC) implementation.
+//! * [`wal`] — the append-only write-ahead log with group-committed
+//!   batched fsync and two durability classes.
+//! * [`snapshot`] — the data directory: atomic snapshot + log-compaction
+//!   checkpoints and prefix-consistent crash recovery.
+//! * [`faults`] — deterministic fault injection (truncate / bit-flip /
+//!   duplicate) driven by the workspace's SplitMix64.
+//! * [`metrics`] — persistence counters the server's `/metrics` renders.
+//! * [`testutil`] — a self-deleting temp dir shared by tests and benches.
+//!
+//! The crate is std-only and knows nothing about HTTP, sessions, or the
+//! chase: it moves bytes durably and reports exactly where a damaged log
+//! stops being trustworthy. The server owns the mapping between live
+//! state and records (see `routes-server`'s `session` and `persist`
+//! modules).
+
+pub mod codec;
+pub mod crc;
+pub mod faults;
+pub mod metrics;
+pub mod snapshot;
+pub mod testutil;
+pub mod wal;
+
+pub use codec::{
+    ChaseMode, FrameStop, PersistedEntry, PersistedShard, Record, SelectionKey, SnapshotState,
+};
+pub use metrics::{PersistMetrics, PersistSnapshot, FSYNC_BUCKETS_US};
+pub use snapshot::{Recovery, StoreDir};
+pub use wal::{Durability, Wal};

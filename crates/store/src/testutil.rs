@@ -1,0 +1,42 @@
+//! A minimal self-deleting temporary directory for tests and benchmarks.
+//!
+//! The workspace is hermetic (no `tempfile` crate), so this is the one
+//! shared implementation: a directory under `std::env::temp_dir()` whose
+//! name mixes the process id and a process-wide counter, removed
+//! recursively on drop. Uniqueness needs no randomness — the pid/counter
+//! pair cannot collide within a test run, and stale directories from a
+//! killed process are overwritten by `create_dir_all` on reuse.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A temporary directory deleted (recursively) on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `<tmp>/routes-store-<tag>-<pid>-<n>`.
+    pub fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "routes-store-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Relaxed),
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

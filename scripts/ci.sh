@@ -23,6 +23,12 @@ ROUTES_THREADS=8 cargo test -q --offline --test parallel_determinism
 ROUTES_SESSION_SHARDS=1 cargo test -q --offline --test session_store_concurrency
 ROUTES_SESSION_SHARDS=8 cargo test -q --offline --test session_store_concurrency
 
+# Persistence gate: the crash-recovery and fault-injection suite (HTTP
+# restart round-trips, torn-tail boots, the seeded fault campaign) must
+# pass with the session store at 1 shard and at 8.
+ROUTES_SESSION_SHARDS=1 cargo test -q --offline --test persistence_recovery
+ROUTES_SESSION_SHARDS=8 cargo test -q --offline --test persistence_recovery
+
 # Thread-scaling bench smoke: `repro micro parallel` must run end to end
 # (writes bench_results/micro_parallel.csv).
 cargo run --release --offline -p routes-bench --bin repro -- micro parallel --quick
@@ -30,3 +36,7 @@ cargo run --release --offline -p routes-bench --bin repro -- micro parallel --qu
 # Session-store shard-scaling bench smoke (writes
 # bench_results/micro_sessions.csv).
 cargo run --release --offline -p routes-bench --bin repro -- micro sessions --quick
+
+# WAL fsync-batch bench smoke: append throughput and recovery time per
+# group-commit batch size (writes bench_results/micro_persist.csv).
+cargo run --release --offline -p routes-bench --bin repro -- micro persist --quick
