@@ -6,6 +6,7 @@
 //! repro micro parallel [--quick]
 //! repro micro sessions [--quick]
 //! repro micro persist [--quick]
+//! repro micro obs [--quick]
 //! ```
 //!
 //! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
@@ -18,14 +19,16 @@
 //! shards) and writes `bench_results/micro_sessions.csv`; `micro persist`
 //! runs the WAL fsync-batch sweep (append throughput and recovery time at
 //! 1/8/64/512 records per fsync) and writes
-//! `bench_results/micro_persist.csv`; `--quick` shrinks any of them to a
-//! CI smoke run.
+//! `bench_results/micro_persist.csv`; `micro obs` measures tracing
+//! overhead on the get-session hot path (off vs on vs slow-log) and
+//! writes `bench_results/micro_obs.csv`; `--quick` shrinks any of them to
+//! a CI smoke run.
 
 use std::path::Path;
 
 use routes_bench::{
-    fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, micro_benches, parallel_benches,
-    persist_benches, session_benches, table1, Sizing, Table,
+    fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, micro_benches, obs_benches,
+    parallel_benches, persist_benches, session_benches, table1, Sizing, Table,
 };
 
 fn main() {
@@ -54,6 +57,7 @@ fn main() {
         [a, b] if a == "micro" && b == "parallel" => "micro-parallel".to_owned(),
         [a, b] if a == "micro" && b == "sessions" => "micro-sessions".to_owned(),
         [a, b] if a == "micro" && b == "persist" => "micro-persist".to_owned(),
+        [a, b] if a == "micro" && b == "obs" => "micro-obs".to_owned(),
         _ => usage("too many experiment names"),
     };
 
@@ -152,6 +156,16 @@ fn main() {
         emit(&name, vec![t]);
         ran = true;
     }
+    if which == "micro-obs" {
+        eprintln!(
+            "running tracing-overhead micro-benchmarks{} ...",
+            if quick { " (quick)" } else { "" }
+        );
+        let t = obs_benches(quick);
+        let name = t.title.clone();
+        emit(&name, vec![t]);
+        ran = true;
+    }
     if !ran {
         usage(&format!("unknown experiment `{which}`"));
     }
@@ -163,7 +177,8 @@ fn usage(msg: &str) -> ! {
         "usage: repro [all|fig10a|fig10b|fig10c|fig10d|flat|fig11|table1|micro] [--factor F]\n\
          \u{20}      repro micro parallel [--quick]\n\
          \u{20}      repro micro sessions [--quick]\n\
-         \u{20}      repro micro persist [--quick]"
+         \u{20}      repro micro persist [--quick]\n\
+         \u{20}      repro micro obs [--quick]"
     );
     std::process::exit(2);
 }

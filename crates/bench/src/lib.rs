@@ -19,6 +19,7 @@
 
 pub mod experiments;
 pub mod micro;
+pub mod obs;
 pub mod parallel;
 pub mod persist;
 pub mod sessions;
@@ -28,6 +29,7 @@ pub use experiments::{
     fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, table1, Sizing,
 };
 pub use micro::micro_benches;
+pub use obs::obs_benches;
 pub use parallel::{parallel_benches, thread_counts};
 pub use persist::persist_benches;
 pub use sessions::session_benches;

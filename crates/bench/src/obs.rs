@@ -1,0 +1,165 @@
+//! Observability-overhead micro-benchmark: the `get-session` hot path
+//! through [`App::handle_traced`] with tracing off, tracing on, and
+//! tracing on with every request tripping the slow-request log line.
+//!
+//! Run via the `repro` binary: `repro micro obs [--quick]` prints the
+//! table and writes `bench_results/micro_obs.csv` with columns
+//! `case, requests, median_s, ns_per_request, overhead_pct`.
+//!
+//! The acceptance bar (ISSUE 5) is tracing-on overhead ≤ 5% over
+//! tracing-off on this path. The request is a `GET /sessions/{id}` against
+//! a moderately sized scenario (8 relation pairs, 48 rows each), so the
+//! baseline includes real summary rendering, not just dispatch.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use routes_chase::ChaseOptions;
+use routes_cli::{load_scenario_str, prepare_scenario};
+use routes_pool::Pool;
+use routes_server::http::Request;
+use routes_server::{App, SessionStore};
+
+use crate::{secs, Table};
+
+/// Relation pairs in the benchmark scenario.
+const RELATIONS: usize = 8;
+/// Rows per source relation.
+const ROWS: usize = 48;
+
+fn scenario_text() -> String {
+    let mut source = String::from("source schema:\n");
+    let mut target = String::from("target schema:\n");
+    let mut deps = String::from("dependencies:\n");
+    let mut data = String::from("source data:\n");
+    for r in 0..RELATIONS {
+        source.push_str(&format!("  S{r}(a, b)\n"));
+        target.push_str(&format!("  T{r}(a, b)\n"));
+        deps.push_str(&format!("  m{r}: S{r}(x, y) -> T{r}(x, y)\n"));
+        for row in 0..ROWS {
+            data.push_str(&format!("  S{r}({}, {})\n", row, row + 1));
+        }
+    }
+    format!("{source}{target}{deps}{data}")
+}
+
+/// Build an app holding one prepared session; returns the app and the
+/// session's id.
+fn app_with_session(tracer: routes_obs::Tracer, slow: Duration) -> (App, u64) {
+    let prepared = prepare_scenario(
+        load_scenario_str(&scenario_text()).unwrap(),
+        ChaseOptions::fresh(),
+    )
+    .unwrap();
+    let pool = Pool::sequential();
+    let store = SessionStore::with_shards(4, 1);
+    let (id, _) = store.insert(prepared, &pool);
+    let app = App::with_observability(store, Pool::sequential(), None, Arc::new(tracer), slow);
+    (app, id)
+}
+
+fn get_request(id: u64) -> Request {
+    Request {
+        method: "GET".to_owned(),
+        path: format!("/sessions/{id}"),
+        query: String::new(),
+        headers: Vec::new(),
+        body: Vec::new(),
+        keep_alive: true,
+    }
+}
+
+/// One timed batch: `requests` traced get-session requests; returns the
+/// number of 200s (kept so the work cannot be optimized away).
+fn drive(app: &App, req: &Request, requests: usize) -> usize {
+    (0..requests)
+        .filter(|_| app.handle_traced(req).status == 200)
+        .count()
+}
+
+/// Run the tracing-overhead sweep. `quick` shrinks batch sizes and samples
+/// for CI smoke runs.
+pub fn obs_benches(quick: bool) -> Table {
+    let (warmup, samples) = if quick { (1, 3) } else { (2, 15) };
+    let requests = if quick { 500 } else { 20_000 };
+    let mut out = Table::new(
+        "micro_obs",
+        &["case", "requests", "median_s", "ns_per_request", "overhead_pct"],
+    );
+
+    // The slow-log case fires a warning per request; keep the benchmark's
+    // own stderr clean (and the cost honest: rendering still happens).
+    type Case = (&'static str, fn() -> routes_obs::Tracer, Duration, bool);
+    let cases: [Case; 3] = [
+        (
+            "tracing_off",
+            routes_obs::Tracer::disabled,
+            Duration::from_millis(500),
+            false,
+        ),
+        (
+            "tracing_on",
+            || routes_obs::Tracer::new(4096, 0),
+            Duration::from_millis(500),
+            false,
+        ),
+        (
+            "tracing_on_slow_log",
+            || routes_obs::Tracer::new(4096, 0),
+            Duration::ZERO,
+            true,
+        ),
+    ];
+
+    // Interleave the cases round-robin: clock-frequency drift and noisy
+    // neighbors then bias every case equally instead of whichever case
+    // happened to run during the slow stretch.
+    let prepared: Vec<_> = cases
+        .iter()
+        .map(|&(_, tracer, slow, _)| {
+            let (app, id) = app_with_session(tracer(), slow);
+            let req = get_request(id);
+            (app, req)
+        })
+        .collect();
+    let mut timings: Vec<Vec<std::time::Duration>> = vec![Vec::new(); cases.len()];
+    for round in 0..warmup + samples {
+        for (i, &(_, _, _, silence)) in cases.iter().enumerate() {
+            if silence {
+                routes_obs::set_sink(Some(Box::new(std::io::sink())));
+            }
+            let (app, req) = &prepared[i];
+            let start = std::time::Instant::now();
+            assert_eq!(drive(app, req, requests), requests);
+            let elapsed = start.elapsed();
+            if silence {
+                routes_obs::set_sink(None);
+            }
+            if round >= warmup {
+                timings[i].push(elapsed);
+            }
+        }
+    }
+
+    let mut baseline_ns: Option<f64> = None;
+    for ((name, _, _, _), mut times) in cases.into_iter().zip(timings) {
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let per_request_ns = median.as_nanos() as f64 / requests as f64;
+        let overhead = match baseline_ns {
+            None => {
+                baseline_ns = Some(per_request_ns);
+                0.0
+            }
+            Some(base) => 100.0 * (per_request_ns - base) / base,
+        };
+        out.push(vec![
+            name.to_owned(),
+            requests.to_string(),
+            secs(median),
+            format!("{per_request_ns:.0}"),
+            format!("{overhead:.2}"),
+        ]);
+    }
+    out
+}

@@ -1,0 +1,33 @@
+//! `routes-obs` — the observability substrate for the route-debugging
+//! service, std-only like the rest of the workspace (DESIGN.md §5).
+//!
+//! Three small pieces, each usable on its own:
+//!
+//! * [`log`] — leveled structured logging: one JSON object per line on
+//!   stderr, filtered by `ROUTES_LOG` / [`log::set_level`]. Log lines
+//!   automatically carry the emitting thread's trace ID.
+//! * [`trace`] — span-based request tracing: deterministic SplitMix64
+//!   trace IDs, a thread-local trace context propagated across
+//!   `routes-pool` workers, and a fixed-capacity preallocated ring buffer
+//!   of completed spans (`GET /trace` serves it).
+//! * [`prom`] — Prometheus text-format exposition helpers (`# HELP` /
+//!   `# TYPE` families, label escaping, cumulative histogram buckets) for
+//!   `GET /metrics?format=prometheus`.
+//!
+//! This crate sits below `routes-pool`, `routes-store`, and
+//! `routes-server` in the dependency graph and depends on nothing, so any
+//! layer can emit spans and logs without cycles.
+
+pub mod log;
+pub mod prom;
+pub mod trace;
+
+pub use log::{log, set_level, set_sink, Level, Value, LOG_ENV};
+pub use prom::{escape_help, escape_label, PromText, PROMETHEUS_CONTENT_TYPE};
+pub use trace::{
+    current, current_trace_id, record_current, scoped, set_current, slow_threshold_from_env,
+    span, ScopedCtx,
+    Span, SpanRecord, TraceCtx, TraceId, TraceIdGen, Tracer, DEFAULT_SLOW_MS,
+    DEFAULT_TRACE_SPANS, MAX_TRACE_ID_LEN, SLOW_MS_ENV, TRACE_ENV, TRACE_SEED_ENV,
+    TRACE_SPANS_ENV,
+};

@@ -1,0 +1,204 @@
+//! Prometheus text exposition format (version 0.0.4) rendering helpers.
+//!
+//! The server's `/metrics?format=prometheus` endpoint renders every
+//! counter and histogram it serves as JSON through this writer, so the
+//! two forms stay reconciled: same snapshot in, both renderings out.
+//!
+//! Layout rules implemented here (the subset the format mandates):
+//!
+//! * every family is announced once with `# HELP` then `# TYPE`;
+//! * label values escape `\`, `"`, and newline; `# HELP` text escapes
+//!   `\` and newline;
+//! * histograms render **cumulative** `_bucket` series with `le` labels,
+//!   a final `le="+Inf"` bucket, a `_count` equal to the `+Inf` bucket,
+//!   and `_sum` when the producer tracks one.
+
+/// The content type a Prometheus scraper expects.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escape a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `# HELP` text: `\` → `\\`, newline → `\n`.
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An in-progress text exposition.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Announce a family: `# HELP` then `# TYPE`. Call once per family,
+    /// before its samples. `kind` is `counter`, `gauge`, or `histogram`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        debug_assert!(valid_metric_name(name), "bad metric name {name}");
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(&escape_help(help));
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// One sample line: `name{labels} value`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.push_series(name, labels, None);
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Cumulative histogram samples for one label set: `_bucket` lines
+    /// (bounds then `+Inf`), `_count`, and `_sum` when tracked.
+    /// `counts` are per-bucket (non-cumulative), one per bound plus the
+    /// final unbounded bucket — the layout the JSON form uses.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+        counts: &[u64],
+        sum: Option<u64>,
+    ) {
+        debug_assert_eq!(counts.len(), bounds.len() + 1);
+        let mut cumulative = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            cumulative += count;
+            let le = bounds
+                .get(i)
+                .map_or_else(|| "+Inf".to_owned(), |b| b.to_string());
+            self.push_series(&format!("{name}_bucket"), labels, Some(("le", &le)));
+            self.out.push(' ');
+            self.out.push_str(&cumulative.to_string());
+            self.out.push('\n');
+        }
+        if let Some(sum) = sum {
+            self.push_series(&format!("{name}_sum"), labels, None);
+            self.out.push(' ');
+            self.out.push_str(&sum.to_string());
+            self.out.push('\n');
+        }
+        self.push_series(&format!("{name}_count"), labels, None);
+        self.out.push(' ');
+        self.out.push_str(&cumulative.to_string());
+        self.out.push('\n');
+    }
+
+    fn push_series(&mut self, name: &str, labels: &[(&str, &str)], extra: Option<(&str, &str)>) {
+        self.out.push_str(name);
+        let total = labels.len() + usize::from(extra.is_some());
+        if total > 0 {
+            self.out.push('{');
+            let mut first = true;
+            for (k, v) in labels.iter().copied().chain(extra) {
+                if !first {
+                    self.out.push(',');
+                }
+                first = false;
+                debug_assert!(valid_label_name(k), "bad label name {k}");
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+    }
+
+    /// The finished exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+        && !name.as_bytes()[0].is_ascii_digit()
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+        && !name.as_bytes()[0].is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_and_help_escaping() {
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(escape_help("a\\b\"c\nd"), "a\\\\b\"c\\nd");
+    }
+
+    #[test]
+    fn families_samples_and_labels_render() {
+        let mut w = PromText::new();
+        w.family("routes_requests_total", "counter", "Total \"requests\".\nSecond line.");
+        w.sample("routes_requests_total", &[], 42);
+        w.family("routes_shard_hits_total", "counter", "Per-shard hits.");
+        w.sample("routes_shard_hits_total", &[("shard", "0"), ("mode", "a\"b")], 7);
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "# HELP routes_requests_total Total \"requests\".\\nSecond line.\n\
+             # TYPE routes_requests_total counter\n\
+             routes_requests_total 42\n\
+             # HELP routes_shard_hits_total Per-shard hits.\n\
+             # TYPE routes_shard_hits_total counter\n\
+             routes_shard_hits_total{shard=\"0\",mode=\"a\\\"b\"} 7\n"
+        );
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_count_and_sum() {
+        let mut w = PromText::new();
+        w.family("routes_lat_us", "histogram", "Latency.");
+        w.histogram("routes_lat_us", &[("phase", "chase")], &[100, 500], &[3, 2, 1], Some(900));
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "# HELP routes_lat_us Latency.\n\
+             # TYPE routes_lat_us histogram\n\
+             routes_lat_us_bucket{phase=\"chase\",le=\"100\"} 3\n\
+             routes_lat_us_bucket{phase=\"chase\",le=\"500\"} 5\n\
+             routes_lat_us_bucket{phase=\"chase\",le=\"+Inf\"} 6\n\
+             routes_lat_us_sum{phase=\"chase\"} 900\n\
+             routes_lat_us_count{phase=\"chase\"} 6\n"
+        );
+    }
+}

@@ -1,0 +1,515 @@
+//! Span-based request tracing with deterministic trace IDs.
+//!
+//! ## Trace IDs
+//!
+//! Every request gets a [`TraceId`]: the client's `X-Trace-Id` header when
+//! it supplies a well-formed one, otherwise an ID minted by [`TraceIdGen`]
+//! — the workspace's SplitMix64 mix (the same constants as
+//! `routes-gen`'s RNG) applied to an atomic counter. There is no wall
+//! clock and no OS randomness in the minting path, so a fixed seed yields
+//! a fixed ID sequence: tests and replay runs are deterministic.
+//!
+//! ## Spans
+//!
+//! A span is a named interval measured on the monotonic clock
+//! ([`std::time::Instant`]) and recorded **on completion** into the
+//! tracer's fixed-capacity ring buffer. The ring is a mutex around
+//! preallocated [`SpanRecord`] slots — records are `Copy`, a push is a
+//! slot overwrite, and the hot path allocates nothing after startup. At
+//! capacity the ring overwrites oldest-first.
+//!
+//! ## Context propagation
+//!
+//! The current request's [`TraceCtx`] lives in a thread-local. The server
+//! installs it for the duration of a request ([`scoped`]); instrumented
+//! seams call [`span`], which is a no-op (no clock read, no clone) when no
+//! context is installed or tracing is disabled; `routes-pool` carries the
+//! context onto its scoped workers so spans opened inside a parallel
+//! region still land under the request's trace ID.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Environment variable disabling tracing (`0` / `off` / `false`).
+pub const TRACE_ENV: &str = "ROUTES_TRACE";
+
+/// Environment variable sizing the span ring buffer.
+pub const TRACE_SPANS_ENV: &str = "ROUTES_TRACE_SPANS";
+
+/// Environment variable seeding minted trace IDs (tests pin sequences).
+pub const TRACE_SEED_ENV: &str = "ROUTES_TRACE_SEED";
+
+/// Environment variable for the slow-request threshold in milliseconds.
+pub const SLOW_MS_ENV: &str = "ROUTES_SLOW_MS";
+
+/// Default slow-request threshold (milliseconds).
+pub const DEFAULT_SLOW_MS: u64 = 500;
+
+/// Default ring capacity: at ~88 bytes a slot this is a fixed ~90 KiB.
+pub const DEFAULT_TRACE_SPANS: usize = 1024;
+
+/// Longest accepted client-supplied trace ID (bytes); IDs are stored
+/// inline in ring slots, so this bounds the slot size.
+pub const MAX_TRACE_ID_LEN: usize = 64;
+
+/// The slow-request threshold: `ROUTES_SLOW_MS` or [`DEFAULT_SLOW_MS`].
+pub fn slow_threshold_from_env() -> Duration {
+    let ms = std::env::var(SLOW_MS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_SLOW_MS);
+    Duration::from_millis(ms)
+}
+
+/// A trace identifier, stored inline (no allocation on the hot path).
+/// Client-supplied IDs are accepted when 1..=[`MAX_TRACE_ID_LEN`] bytes of
+/// `[A-Za-z0-9._-]`; minted IDs are 16 lowercase hex digits.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct TraceId {
+    bytes: [u8; MAX_TRACE_ID_LEN],
+    len: u8,
+}
+
+impl TraceId {
+    /// Accept a client-supplied ID, or reject (`None`) anything that could
+    /// not round-trip through a header and a JSON log line unescaped.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        let raw = s.as_bytes();
+        if raw.is_empty() || raw.len() > MAX_TRACE_ID_LEN {
+            return None;
+        }
+        if !raw
+            .iter()
+            .all(|&b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+        {
+            return None;
+        }
+        let mut bytes = [0u8; MAX_TRACE_ID_LEN];
+        bytes[..raw.len()].copy_from_slice(raw);
+        Some(TraceId {
+            bytes,
+            len: raw.len() as u8,
+        })
+    }
+
+    fn from_u64(x: u64) -> TraceId {
+        let mut bytes = [0u8; MAX_TRACE_ID_LEN];
+        for (i, slot) in bytes.iter_mut().take(16).enumerate() {
+            let nibble = ((x >> (60 - 4 * i)) & 0xF) as u8;
+            *slot = if nibble < 10 {
+                b'0' + nibble
+            } else {
+                b'a' + (nibble - 10)
+            };
+        }
+        TraceId { bytes, len: 16 }
+    }
+
+    pub fn as_str(&self) -> &str {
+        // Construction only admits ASCII, so this cannot fail.
+        std::str::from_utf8(&self.bytes[..usize::from(self.len)]).unwrap_or("")
+    }
+}
+
+impl fmt::Debug for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TraceId({})", self.as_str())
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The SplitMix64 output mix — the same constants as `routes-gen`'s RNG,
+/// re-stated here so `routes-obs` stays dependency-free.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const SPLITMIX_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Deterministic trace-ID minting: the k-th minted ID is
+/// `splitmix64(seed + k * GOLDEN)`, exactly the k-th output of the
+/// workspace RNG seeded with `seed`.
+pub struct TraceIdGen {
+    seed: u64,
+    counter: AtomicU64,
+}
+
+impl TraceIdGen {
+    pub fn new(seed: u64) -> TraceIdGen {
+        TraceIdGen {
+            seed,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Mint the next ID (16 hex digits). Allocation-free.
+    pub fn mint(&self) -> TraceId {
+        let k = self.counter.fetch_add(1, Relaxed).wrapping_add(1);
+        TraceId::from_u64(splitmix64(
+            self.seed.wrapping_add(SPLITMIX_GOLDEN.wrapping_mul(k)),
+        ))
+    }
+}
+
+/// One completed span. `Copy`, fixed-size: ring slots are preallocated and
+/// a push is a slot overwrite.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanRecord {
+    pub trace: TraceId,
+    /// Span name (a static seam name: `request`, `chase`, `wal_fsync`, …).
+    pub name: &'static str,
+    /// Start offset (µs) on the tracer's monotonic clock.
+    pub start_us: u64,
+    /// Duration in microseconds (truncated).
+    pub dur_us: u64,
+}
+
+struct Ring {
+    slots: Vec<SpanRecord>,
+    capacity: usize,
+    /// Next slot to overwrite.
+    next: usize,
+    /// Slots holding real records (== capacity once wrapped).
+    filled: usize,
+}
+
+impl Ring {
+    fn push(&mut self, record: SpanRecord) {
+        self.slots[self.next] = record;
+        self.next = (self.next + 1) % self.capacity;
+        self.filled = (self.filled + 1).min(self.capacity);
+    }
+
+    fn recent(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.filled);
+        let oldest = (self.next + self.capacity - self.filled) % self.capacity;
+        for i in 0..self.filled {
+            out.push(self.slots[(oldest + i) % self.capacity]);
+        }
+        out
+    }
+}
+
+/// The span sink: an enabled flag, a monotonic origin, the ID generator,
+/// and the ring buffer of completed spans.
+pub struct Tracer {
+    enabled: bool,
+    origin: Instant,
+    ids: TraceIdGen,
+    ring: Mutex<Ring>,
+}
+
+impl Tracer {
+    /// An enabled tracer with `capacity` ring slots (clamped to ≥ 1) and a
+    /// fixed minting seed.
+    pub fn new(capacity: usize, seed: u64) -> Tracer {
+        let capacity = capacity.max(1);
+        let blank = SpanRecord {
+            trace: TraceId::from_u64(0),
+            name: "",
+            start_us: 0,
+            dur_us: 0,
+        };
+        Tracer {
+            enabled: true,
+            origin: Instant::now(),
+            ids: TraceIdGen::new(seed),
+            ring: Mutex::new(Ring {
+                slots: vec![blank; capacity],
+                capacity,
+                next: 0,
+                filled: 0,
+            }),
+        }
+    }
+
+    /// A tracer that mints IDs but records no spans (tracing off).
+    pub fn disabled() -> Tracer {
+        Tracer {
+            enabled: false,
+            ..Tracer::new(1, 0)
+        }
+    }
+
+    /// Configure from the environment: capacity from `ROUTES_TRACE_SPANS`
+    /// (unless `capacity_override` is `Some`), seed from
+    /// `ROUTES_TRACE_SEED` (default 0), disabled when `ROUTES_TRACE` is
+    /// `0` / `off` / `false`.
+    pub fn from_env(capacity_override: Option<usize>) -> Tracer {
+        let capacity = capacity_override.unwrap_or_else(|| {
+            std::env::var(TRACE_SPANS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_TRACE_SPANS)
+        });
+        let seed = std::env::var(TRACE_SEED_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        let off = std::env::var(TRACE_ENV)
+            .map(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "off" | "false"))
+            .unwrap_or(false);
+        let mut tracer = Tracer::new(capacity, seed);
+        tracer.enabled = !off;
+        tracer
+    }
+
+    /// Whether spans are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Ring capacity in spans.
+    pub fn capacity(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).capacity
+    }
+
+    /// Begin a trace context for one request: honor a well-formed supplied
+    /// ID, else mint. IDs are minted even when tracing is disabled — every
+    /// response carries `X-Trace-Id` regardless.
+    pub fn begin(self: &Arc<Tracer>, supplied: Option<&str>) -> TraceCtx {
+        let id = supplied
+            .and_then(TraceId::parse)
+            .unwrap_or_else(|| self.ids.mint());
+        TraceCtx {
+            tracer: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Record a completed span. No-op when disabled; otherwise one mutex
+    /// acquisition and one slot overwrite — no allocation.
+    pub fn record(&self, trace: TraceId, name: &'static str, start: Instant, dur: Duration) {
+        if !self.enabled {
+            return;
+        }
+        let start_us = start
+            .checked_duration_since(self.origin)
+            .unwrap_or(Duration::ZERO)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let dur_us = dur.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(SpanRecord {
+                trace,
+                name,
+                start_us,
+                dur_us,
+            });
+    }
+
+    /// Completed spans, oldest first (what `GET /trace` serves).
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).recent()
+    }
+}
+
+/// One request's trace identity: the tracer plus the request's ID.
+/// Cloning is an `Arc` bump and a fixed-size copy — no allocation.
+#[derive(Clone)]
+pub struct TraceCtx {
+    tracer: Arc<Tracer>,
+    id: TraceId,
+}
+
+impl TraceCtx {
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Record a completed span under this trace.
+    pub fn record(&self, name: &'static str, start: Instant, dur: Duration) {
+        self.tracer.record(self.id, name, start, dur);
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceCtx>> = const { RefCell::new(None) };
+}
+
+/// Replace the thread's current trace context, returning the previous one.
+pub fn set_current(ctx: Option<TraceCtx>) -> Option<TraceCtx> {
+    CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), ctx))
+}
+
+/// The thread's current trace context, if any.
+pub fn current() -> Option<TraceCtx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// The current trace ID, if a context is installed (used to stamp error
+/// bodies and log lines).
+pub fn current_trace_id() -> Option<TraceId> {
+    CURRENT.with(|c| c.borrow().as_ref().map(TraceCtx::id))
+}
+
+/// Record an already-measured interval as a span under the thread's
+/// current context, if any. This is the hot-path alternative to [`span`]
+/// for seams that measure the interval anyway (e.g. lock-wait stats): no
+/// extra clock reads, no context clone — just the ring push when a
+/// context is installed and tracing is on.
+pub fn record_current(name: &'static str, start: Instant, dur: Duration) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.record(name, start, dur);
+        }
+    });
+}
+
+/// RAII installation of a trace context: restores the previous context on
+/// drop (nesting-safe, including across `routes-pool` workers).
+pub struct ScopedCtx {
+    prev: Option<TraceCtx>,
+}
+
+/// Install `ctx` as the thread's current context for the returned guard's
+/// lifetime.
+pub fn scoped(ctx: Option<TraceCtx>) -> ScopedCtx {
+    ScopedCtx {
+        prev: set_current(ctx),
+    }
+}
+
+impl Drop for ScopedCtx {
+    fn drop(&mut self) {
+        set_current(self.prev.take());
+    }
+}
+
+/// An in-flight span guard: records into the current context's ring on
+/// drop. Inert (no clock read, no context clone) when no context is
+/// installed or its tracer is disabled.
+pub struct Span {
+    active: Option<(TraceCtx, Instant)>,
+    name: &'static str,
+}
+
+/// Open a span named `name` under the thread's current trace context.
+pub fn span(name: &'static str) -> Span {
+    let active = CURRENT.with(|c| {
+        let ctx = c.borrow();
+        match ctx.as_ref() {
+            Some(t) if t.tracer.enabled => Some((t.clone(), Instant::now())),
+            _ => None,
+        }
+    });
+    Span { active, name }
+}
+
+impl Span {
+    /// Whether this span will record (context installed, tracing on).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((ctx, start)) = self.active.take() {
+            ctx.record(self.name, start, start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_match_the_workspace_splitmix64_sequence() {
+        // routes-gen's rng.rs pins seed 0's first output to this value;
+        // the trace-ID generator must agree digit for digit.
+        let ids = TraceIdGen::new(0);
+        assert_eq!(ids.mint().as_str(), "e220a8397b1dcdaf");
+        // Deterministic: a fresh generator with the same seed repeats.
+        let again = TraceIdGen::new(0);
+        assert_eq!(again.mint().as_str(), "e220a8397b1dcdaf");
+        // Distinct seeds, distinct streams.
+        assert_ne!(TraceIdGen::new(1).mint(), TraceIdGen::new(2).mint());
+    }
+
+    #[test]
+    fn client_ids_are_validated_and_stored_inline() {
+        assert_eq!(TraceId::parse("abc-DEF_0.9").unwrap().as_str(), "abc-DEF_0.9");
+        assert!(TraceId::parse("").is_none());
+        assert!(TraceId::parse("has space").is_none());
+        assert!(TraceId::parse("quote\"").is_none());
+        assert!(TraceId::parse(&"x".repeat(MAX_TRACE_ID_LEN)).is_some());
+        assert!(TraceId::parse(&"x".repeat(MAX_TRACE_ID_LEN + 1)).is_none());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first_at_capacity() {
+        let tracer = Arc::new(Tracer::new(4, 0));
+        let t0 = Instant::now();
+        for k in 0..7u64 {
+            let ctx = tracer.begin(None);
+            tracer.record(ctx.id(), "request", t0, Duration::from_micros(k));
+        }
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), 4);
+        let durs: Vec<u64> = recent.iter().map(|s| s.dur_us).collect();
+        assert_eq!(durs, vec![3, 4, 5, 6], "oldest three were overwritten");
+    }
+
+    #[test]
+    fn spans_record_under_the_scoped_context_only() {
+        let tracer = Arc::new(Tracer::new(16, 7));
+        let ctx = tracer.begin(Some("my-trace"));
+        assert_eq!(ctx.id().as_str(), "my-trace");
+        {
+            let _guard = scoped(Some(ctx.clone()));
+            assert_eq!(current_trace_id().unwrap().as_str(), "my-trace");
+            let _span = span("chase");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(current_trace_id().is_none(), "guard restored the context");
+        let inert = span("ignored");
+        assert!(!inert.is_recording());
+        drop(inert);
+        let spans = tracer.recent();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "chase");
+        assert_eq!(spans[0].trace.as_str(), "my-trace");
+        assert!(spans[0].dur_us >= 1_000);
+    }
+
+    #[test]
+    fn disabled_tracer_mints_ids_but_records_nothing() {
+        let tracer = Arc::new(Tracer::disabled());
+        let ctx = tracer.begin(None);
+        assert_eq!(ctx.id().as_str().len(), 16);
+        let _guard = scoped(Some(ctx.clone()));
+        {
+            let s = span("chase");
+            assert!(!s.is_recording());
+        }
+        ctx.record("request", Instant::now(), Duration::from_millis(2));
+        assert!(tracer.recent().is_empty());
+    }
+
+    #[test]
+    fn malformed_supplied_ids_fall_back_to_minting() {
+        let tracer = Arc::new(Tracer::new(4, 0));
+        let ctx = tracer.begin(Some("bad header value"));
+        assert_eq!(ctx.id().as_str(), "e220a8397b1dcdaf");
+    }
+}

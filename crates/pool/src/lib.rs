@@ -103,10 +103,20 @@ impl Pool {
             1 => vec![f(0, chunks.into_iter().next().expect("one chunk"))],
             _ => self.scope(|s| {
                 let f = &f;
+                // Carry the caller's trace context onto the workers so
+                // spans opened inside a parallel region land under the
+                // request that spawned them.
+                let trace = routes_obs::current();
                 let mut rest = chunks.clone().into_iter().enumerate().skip(1);
                 let handles: Vec<_> = rest
                     .by_ref()
-                    .map(|(k, range)| s.spawn(move || f(k, range)))
+                    .map(|(k, range)| {
+                        let trace = trace.clone();
+                        s.spawn(move || {
+                            let _scope = routes_obs::scoped(trace);
+                            f(k, range)
+                        })
+                    })
                     .collect();
                 let first = f(0, chunks[0].clone());
                 let mut out = Vec::with_capacity(handles.len() + 1);

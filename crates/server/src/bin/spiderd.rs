@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N] [--session-shards N]
-//!         [--data-dir PATH]
+//!         [--data-dir PATH] [--log-level LEVEL]
 //! ```
 //!
 //! Defaults: `127.0.0.1:7007`, 4 worker threads, 32 sessions, session
@@ -15,8 +15,20 @@
 //! periodically, and boot replays snapshot-then-log so a restart restores
 //! every session — including which ids answer 410 Gone. Without it the
 //! service is purely in-memory, exactly as before.
+//!
+//! Everything on stderr is structured: one JSON object per line, filtered
+//! by `--log-level` / `ROUTES_LOG` (error, warn, info, debug, trace).
+//! The human-facing "listening on" line stays on stdout.
 
 use routes_server::{Server, ServerConfig, DATA_DIR_ENV};
+
+fn log_error(message: &str) {
+    routes_obs::log(
+        routes_obs::Level::Error,
+        "error",
+        &[("message", routes_obs::Value::from(message))],
+    );
+}
 
 fn main() {
     let mut addr = "127.0.0.1:7007".to_owned();
@@ -47,6 +59,12 @@ fn main() {
                     .unwrap_or_else(|_| usage("--session-shards must be an integer"));
             }
             "--data-dir" => config.data_dir = Some(value("--data-dir").into()),
+            "--log-level" => {
+                let raw = value("--log-level");
+                let level = routes_obs::Level::parse(&raw)
+                    .unwrap_or_else(|| usage("--log-level must be error|warn|info|debug|trace"));
+                routes_obs::set_level(level);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -71,32 +89,47 @@ fn main() {
     let server = match Server::bind(&addr, config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot bind {addr}: {e}");
+            log_error(&format!("cannot bind {addr}: {e}"));
             std::process::exit(1);
         }
     };
     match server.local_addr() {
-        Ok(bound) => println!(
-            "spiderd listening on http://{bound} ({threads} workers, {max_sessions} session \
-             slots{})",
-            data_dir
-                .as_deref()
-                .map(|d| format!(", data dir {}", d.display()))
-                .unwrap_or_default()
+        Ok(bound) => {
+            println!(
+                "spiderd listening on http://{bound} ({threads} workers, {max_sessions} session \
+                 slots{})",
+                data_dir
+                    .as_deref()
+                    .map(|d| format!(", data dir {}", d.display()))
+                    .unwrap_or_default()
+            );
+            routes_obs::log(
+                routes_obs::Level::Info,
+                "listening",
+                &[
+                    ("addr", routes_obs::Value::from(bound.to_string().as_str())),
+                    ("threads", routes_obs::Value::from(threads)),
+                    ("max_sessions", routes_obs::Value::from(max_sessions)),
+                ],
+            );
+        }
+        Err(e) => routes_obs::log(
+            routes_obs::Level::Warn,
+            "bound_addr_unresolved",
+            &[("message", routes_obs::Value::from(e.to_string().as_str()))],
         ),
-        Err(e) => eprintln!("warning: cannot resolve bound address: {e}"),
     }
     if let Err(e) = server.run() {
-        eprintln!("error: server failed: {e}");
+        log_error(&format!("server failed: {e}"));
         std::process::exit(1);
     }
 }
 
 const USAGE: &str = "usage: spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N] \
-                     [--session-shards N] [--data-dir PATH]";
+                     [--session-shards N] [--data-dir PATH] [--log-level LEVEL]";
 
 fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("{USAGE}");
+    log_error(msg);
+    log_error(USAGE);
     std::process::exit(2);
 }

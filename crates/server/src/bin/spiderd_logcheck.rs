@@ -1,0 +1,59 @@
+//! `spiderd-logcheck` — validate that a stream is spiderd structured logs.
+//!
+//! Reads stdin; every non-empty line must parse as a JSON object carrying
+//! string `level` and `event` fields (the shape `routes-obs` emits). An
+//! optional argument demands a minimum number of lines. Exit status 0 only
+//! when every line validates — CI pipes a spiderd boot's stderr through
+//! this to prove stderr is 100% machine-parseable.
+
+use std::io::Read;
+
+use routes_server::json::{self, Json};
+
+fn main() {
+    let min_lines: usize = std::env::args()
+        .nth(1)
+        .map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: minimum line count must be an integer, got `{raw}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
+
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("error: cannot read stdin: {e}");
+        std::process::exit(2);
+    }
+
+    let mut checked = 0usize;
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => fail(lineno, line, &format!("not JSON: {e}")),
+        };
+        if !matches!(parsed, Json::Object(_)) {
+            fail(lineno, line, "not a JSON object");
+        }
+        for field in ["level", "event"] {
+            if parsed.get(field).and_then(Json::as_str).is_none() {
+                fail(lineno, line, &format!("missing string `{field}` field"));
+            }
+        }
+        checked += 1;
+    }
+    if checked < min_lines {
+        eprintln!("error: expected at least {min_lines} structured log lines, saw {checked}");
+        std::process::exit(1);
+    }
+    println!("ok: {checked} structured log lines");
+}
+
+fn fail(lineno: usize, line: &str, why: &str) -> ! {
+    eprintln!("error: stderr line {} is not a structured log line ({why}): {line}", lineno + 1);
+    std::process::exit(1);
+}

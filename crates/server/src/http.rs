@@ -21,6 +21,8 @@ pub struct Request {
     pub method: String,
     /// Path with any `?query` suffix stripped.
     pub path: String,
+    /// The raw query string (no leading `?`; empty when absent).
+    pub query: String,
     /// Lower-cased header names with trimmed values.
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
@@ -34,6 +36,15 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The first value of query parameter `name` (`a=b&c=d` form; no
+    /// percent-decoding — the service's parameters are plain tokens).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
     }
 
     pub fn body_str(&self) -> Result<&str, ParseError> {
@@ -155,10 +166,14 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
         Some(c) if c == "keep-alive" => true,
         _ => version == "HTTP/1.1",
     };
-    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
     Ok(Request {
         method,
         path,
+        query,
         headers,
         body,
         keep_alive,
@@ -170,23 +185,43 @@ pub struct Response {
     pub status: u16,
     pub body: Vec<u8>,
     pub content_type: &'static str,
+    /// Extra headers beyond the fixed head (`X-Trace-Id` rides here).
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
     pub fn json(status: u16, body: String) -> Self {
+        Response::with_content_type(status, body.into_bytes(), "application/json")
+    }
+
+    /// A response with an explicit content type (Prometheus text).
+    pub fn with_content_type(status: u16, body: Vec<u8>, content_type: &'static str) -> Self {
         Response {
             status,
-            body: body.into_bytes(),
-            content_type: "application/json",
+            body,
+            content_type,
+            headers: Vec::new(),
         }
     }
 
-    /// A JSON error payload `{"error": "..."}`.
+    /// A JSON error payload `{"error": "..."}`, stamped with the emitting
+    /// thread's trace ID (when a request context is installed) so a
+    /// client can quote the failure back at `GET /trace`.
     pub fn error(status: u16, message: &str) -> Self {
-        Response::json(
-            status,
-            crate::json::Json::obj([("error", crate::json::Json::from(message))]).encode(),
-        )
+        use crate::json::Json;
+        let mut fields = vec![("error".to_owned(), Json::from(message))];
+        if let Some(id) = routes_obs::current_trace_id() {
+            fields.push(("trace_id".to_owned(), Json::from(id.as_str())));
+        }
+        Response::json(status, Json::Object(fields).encode())
+    }
+
+    /// Set (or replace) an extra response header.
+    pub fn set_header(&mut self, name: &'static str, value: String) {
+        match self.headers.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v = value,
+            None => self.headers.push((name, value)),
+        }
     }
 
     fn reason(&self) -> &'static str {
@@ -209,14 +244,21 @@ impl Response {
 
     /// Serialize the response; `keep_alive` picks the `Connection` header.
     pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
@@ -250,7 +292,23 @@ mod tests {
         let req =
             parse_bytes(b"GET /metrics?verbose=1 HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
         assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query, "verbose=1");
         assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn query_params_parse_first_match() {
+        let req = parse_bytes(
+            b"GET /trace?format=prometheus&trace_id=ab.c-1&flag HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("trace_id"), Some("ab.c-1"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+        let bare = parse_bytes(b"GET /trace HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(bare.query, "");
+        assert_eq!(bare.query_param("format"), None);
     }
 
     #[test]
@@ -336,6 +394,19 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_and_replaceable() {
+        let mut resp = Response::json(200, "{}".into());
+        resp.set_header("x-trace-id", "abc".into());
+        resp.set_header("x-trace-id", "def".into());
+        let mut out = Vec::new();
+        resp.write_to(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-trace-id: def\r\n"));
+        assert!(!text.contains("abc"));
         assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

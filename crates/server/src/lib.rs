@@ -12,8 +12,14 @@
 //!   with segmented-LRU eviction, read-lock + atomic touches, and a
 //!   per-session memoized route-forest cache.
 //! * [`router`] — the REST surface: `POST /sessions`, one-route /
-//!   all-routes probes, summaries, `GET /metrics`, `POST /shutdown`.
-//! * [`metrics`] — atomic counters plus a request-latency histogram.
+//!   all-routes probes, summaries, `GET /metrics` (JSON or Prometheus
+//!   text), `GET /healthz`, `GET /trace`, `POST /shutdown`. Every request
+//!   runs under a `routes-obs` trace context: the response echoes
+//!   `X-Trace-Id`, error bodies carry `trace_id`, and instrumented seams
+//!   (chase, forest, route, print, shard locks, WAL append/fsync,
+//!   checkpoint) record spans into the tracer's ring.
+//! * [`metrics`] — atomic counters plus a request-latency histogram,
+//!   rendered as JSON and as Prometheus text exposition.
 //! * [`persist`] — optional durability (`--data-dir`): WAL appends on
 //!   every session mutation, periodic snapshot + log-compaction
 //!   checkpoints, snapshot-then-log crash recovery (via `routes-store`).

@@ -60,12 +60,18 @@ impl PhaseStats {
         self.latency[bucket_of(us)].fetch_add(1, Relaxed);
     }
 
+    fn latency_counts(&self) -> Vec<u64> {
+        self.latency.iter().map(|c| c.load(Relaxed)).collect()
+    }
+
     fn to_json(&self) -> Json {
-        let counts: Vec<u64> = self.latency.iter().map(|c| c.load(Relaxed)).collect();
         Json::obj([
             ("count", Json::from(self.count.load(Relaxed))),
             ("total_us", Json::from(self.total_us.load(Relaxed))),
-            ("latency_us", histogram_json(&LATENCY_BUCKETS_US, &counts)),
+            (
+                "latency_us",
+                histogram_json(&LATENCY_BUCKETS_US, &self.latency_counts()),
+            ),
         ])
     }
 }
@@ -304,6 +310,249 @@ impl Metrics {
             ("latency_us", hist),
             ("phases", phases),
         ])
+    }
+
+    /// Render the same snapshot [`Metrics::to_json_with_store`] serves, in
+    /// Prometheus text exposition format. Every JSON counter, gauge, and
+    /// histogram has a named (and, for shards and phases, labeled) family
+    /// here; the reconciliation test in `tests/prometheus.rs` holds the two
+    /// renderings equal field for field.
+    pub fn to_prometheus(
+        &self,
+        store: &StoreSnapshot,
+        persist: Option<&PersistSnapshot>,
+        threads: usize,
+    ) -> String {
+        use routes_obs::PromText;
+        let mut w = PromText::new();
+
+        w.family("routes_build_info", "gauge", "Build metadata; the value is always 1.");
+        w.sample("routes_build_info", &[("version", env!("CARGO_PKG_VERSION"))], 1);
+        w.family("routes_uptime_seconds", "gauge", "Seconds since the serving process started.");
+        w.sample("routes_uptime_seconds", &[], self.uptime_seconds());
+        w.family("routes_threads", "gauge", "Worker pool width for parallel chase and forest construction.");
+        w.sample("routes_threads", &[], threads as u64);
+
+        w.family("routes_requests_total", "counter", "Requests handled (any status).");
+        w.sample("routes_requests_total", &[], self.requests_total.load(Relaxed));
+        w.family("routes_responses_total", "counter", "Responses by status class.");
+        for (class, counter) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            w.sample("routes_responses_total", &[("class", class)], counter.load(Relaxed));
+        }
+        w.family("routes_bad_requests_total", "counter", "Requests rejected before dispatch (parse errors, limits).");
+        w.sample("routes_bad_requests_total", &[], self.bad_requests.load(Relaxed));
+        w.family("routes_connections_accepted_total", "counter", "TCP connections accepted.");
+        w.sample(
+            "routes_connections_accepted_total",
+            &[],
+            self.connections_accepted.load(Relaxed),
+        );
+
+        w.family("routes_live_sessions", "gauge", "Sessions currently resident in the store.");
+        w.sample("routes_live_sessions", &[], store.live() as u64);
+        for (name, help, counter) in [
+            ("routes_sessions_created_total", "Sessions created.", &self.sessions_created),
+            ("routes_sessions_deleted_total", "Sessions deleted by clients.", &self.sessions_deleted),
+            ("routes_sessions_evicted_total", "Sessions evicted at capacity.", &self.sessions_evicted),
+            (
+                "routes_one_routes_computed_total",
+                "ComputeOneRoute invocations.",
+                &self.one_routes_computed,
+            ),
+            (
+                "routes_all_routes_computed_total",
+                "ComputeAllRoutes invocations.",
+                &self.all_routes_computed,
+            ),
+            (
+                "routes_forest_cache_hits_total",
+                "Route-forest memo hits.",
+                &self.forest_cache_hits,
+            ),
+            (
+                "routes_forest_cache_misses_total",
+                "Route-forest memo misses (forest built).",
+                &self.forest_cache_misses,
+            ),
+        ] {
+            w.family(name, "counter", help);
+            w.sample(name, &[], counter.load(Relaxed));
+        }
+
+        let latency: Vec<u64> = self.latency.iter().map(|c| c.load(Relaxed)).collect();
+        w.family(
+            "routes_request_latency_us",
+            "histogram",
+            "Whole-request latency in microseconds.",
+        );
+        w.histogram("routes_request_latency_us", &[], &LATENCY_BUCKETS_US, &latency, None);
+        w.family(
+            "routes_phase_latency_us",
+            "histogram",
+            "Per-phase wall time in microseconds (chase, forest, route, print).",
+        );
+        for p in Phase::ALL {
+            let stats = &self.phases[p as usize];
+            w.histogram(
+                "routes_phase_latency_us",
+                &[("phase", p.name())],
+                &LATENCY_BUCKETS_US,
+                &stats.latency_counts(),
+                Some(stats.total_us.load(Relaxed)),
+            );
+        }
+
+        w.family("routes_session_store_capacity", "gauge", "Session-store capacity (sessions).");
+        w.sample("routes_session_store_capacity", &[], store.capacity as u64);
+        w.family("routes_session_store_shards", "gauge", "Session-store shard count.");
+        w.sample("routes_session_store_shards", &[], store.shards.len() as u64);
+        for (name, help, value) in [
+            ("routes_session_store_hits_total", "Store-wide lookup hits.", store.hits()),
+            ("routes_session_store_misses_total", "Store-wide lookup misses.", store.misses()),
+            ("routes_session_store_inserts_total", "Store-wide inserts.", store.inserts()),
+            ("routes_session_store_removes_total", "Store-wide removes.", store.removes()),
+            ("routes_session_store_evictions_total", "Store-wide evictions.", store.evictions()),
+            (
+                "routes_session_store_evict_scan_steps_total",
+                "Entries examined while hunting eviction victims.",
+                store.evict_scan_steps(),
+            ),
+            (
+                "routes_session_store_write_locks_total",
+                "Store-wide shard write-lock acquisitions.",
+                store.write_locks(),
+            ),
+        ] {
+            w.family(name, "counter", help);
+            w.sample(name, &[], value);
+        }
+
+        w.family("routes_session_shard_sessions", "gauge", "Sessions resident per shard.");
+        let shard_labels: Vec<String> = (0..store.shards.len()).map(|i| i.to_string()).collect();
+        for (i, shard) in store.shards.iter().enumerate() {
+            w.sample(
+                "routes_session_shard_sessions",
+                &[("shard", &shard_labels[i])],
+                shard.sessions as u64,
+            );
+        }
+        w.family("routes_session_shard_capacity", "gauge", "Per-shard session capacity.");
+        for (i, shard) in store.shards.iter().enumerate() {
+            w.sample(
+                "routes_session_shard_capacity",
+                &[("shard", &shard_labels[i])],
+                shard.capacity as u64,
+            );
+        }
+        type ShardField = fn(&ShardSnapshot) -> u64;
+        let shard_counters: [(&str, &str, ShardField); 8] = [
+            ("routes_session_shard_hits_total", "Per-shard lookup hits.", |s| s.hits),
+            ("routes_session_shard_misses_total", "Per-shard lookup misses.", |s| s.misses),
+            ("routes_session_shard_inserts_total", "Per-shard inserts.", |s| s.inserts),
+            ("routes_session_shard_removes_total", "Per-shard removes.", |s| s.removes),
+            ("routes_session_shard_evictions_total", "Per-shard evictions.", |s| s.evictions),
+            (
+                "routes_session_shard_demotions_total",
+                "Segmented-LRU demotions from protected to probation.",
+                |s| s.demotions,
+            ),
+            (
+                "routes_session_shard_evict_scan_steps_total",
+                "Per-shard entries examined while hunting eviction victims.",
+                |s| s.evict_scan_steps,
+            ),
+            (
+                "routes_session_shard_write_locks_total",
+                "Per-shard write-lock acquisitions.",
+                |s| s.write_locks,
+            ),
+        ];
+        for (name, help, field) in shard_counters {
+            w.family(name, "counter", help);
+            for (i, shard) in store.shards.iter().enumerate() {
+                w.sample(name, &[("shard", &shard_labels[i])], field(shard));
+            }
+        }
+        w.family(
+            "routes_session_shard_lock_wait_us",
+            "histogram",
+            "Shard lock-acquisition wait in microseconds, by shard and mode.",
+        );
+        for (i, shard) in store.shards.iter().enumerate() {
+            for (mode, counts) in [
+                ("read", &shard.lock_wait_read_us),
+                ("write", &shard.lock_wait_write_us),
+            ] {
+                w.histogram(
+                    "routes_session_shard_lock_wait_us",
+                    &[("shard", &shard_labels[i]), ("mode", mode)],
+                    &LOCK_WAIT_BUCKETS_US,
+                    counts,
+                    None,
+                );
+            }
+        }
+
+        if let Some(p) = persist {
+            w.family("routes_wal_generation", "gauge", "Current WAL generation number.");
+            w.sample("routes_wal_generation", &[], p.wal_gen);
+            for (name, help, value) in [
+                ("routes_wal_appends_total", "WAL records appended.", p.wal_appends),
+                ("routes_wal_bytes_total", "WAL bytes written.", p.wal_bytes),
+                ("routes_fsync_batches_total", "Group-commit fsync batches.", p.fsync_batches),
+                (
+                    "routes_fsync_records_total",
+                    "WAL records made durable by fsync batches.",
+                    p.fsync_records,
+                ),
+                ("routes_snapshots_written_total", "Checkpoint snapshots written.", p.snapshots_written),
+            ] {
+                w.family(name, "counter", help);
+                w.sample(name, &[], value);
+            }
+            w.family(
+                "routes_wal_records_since_checkpoint",
+                "gauge",
+                "WAL records appended since the last checkpoint.",
+            );
+            w.sample(
+                "routes_wal_records_since_checkpoint",
+                &[],
+                p.wal_records_since_checkpoint,
+            );
+            w.family(
+                "routes_fsync_latency_us",
+                "histogram",
+                "Group-commit fsync latency in microseconds.",
+            );
+            w.histogram(
+                "routes_fsync_latency_us",
+                &[],
+                &FSYNC_BUCKETS_US,
+                &p.fsync_latency_us,
+                None,
+            );
+            w.family(
+                "routes_wal_replayed_records",
+                "gauge",
+                "WAL records replayed during the last recovery.",
+            );
+            w.sample("routes_wal_replayed_records", &[], p.replayed_records);
+            w.family(
+                "routes_wal_restored_sessions",
+                "gauge",
+                "Sessions restored during the last recovery.",
+            );
+            w.sample("routes_wal_restored_sessions", &[], p.restored_sessions);
+            w.family("routes_recovery_us", "gauge", "Wall time of the last recovery in microseconds.");
+            w.sample("routes_recovery_us", &[], p.recovery_us);
+        }
+
+        w.finish()
     }
 }
 

@@ -6,15 +6,24 @@
 //! POST   /sessions/{id}/one-route   ComputeOneRoute for a selection
 //! POST   /sessions/{id}/all-routes  ComputeAllRoutes (memoized per session)
 //! DELETE /sessions/{id}             drop the session
-//! GET    /metrics                   service counters
+//! GET    /metrics                   service counters (JSON or Prometheus)
+//! GET    /healthz                   liveness probe (lock-free)
+//! GET    /trace                     recent completed spans
 //! POST   /shutdown                  begin graceful shutdown
 //! ```
 //!
 //! Handlers are synchronous and lock-light: the session store lock is held
 //! only for lookups; route computation runs on a shared immutable session.
+//!
+//! [`App::handle_traced`] wraps dispatch in a trace context: every request
+//! gets a trace ID (the client's `X-Trace-Id` when well-formed, else a
+//! deterministic minted one), echoed back as `X-Trace-Id`, stamped on error
+//! bodies and log lines, and attached to every span the handler opens.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use routes_chase::{ChaseOptions, ChaseStats};
 use routes_cli::{load_scenario_str, prepare_scenario_with};
@@ -40,6 +49,10 @@ pub struct App {
     /// Durability, when a data directory is configured; `None` keeps the
     /// service purely in-memory with zero persistence overhead.
     persist: Option<Persistence>,
+    /// Trace-ID minting and the span ring (`GET /trace`).
+    tracer: Arc<routes_obs::Tracer>,
+    /// Requests slower than this emit a `slow_request` warning.
+    slow: Duration,
     shutdown: AtomicBool,
 }
 
@@ -59,19 +72,45 @@ impl App {
         App::with_persistence(store, pool, None)
     }
 
-    /// [`App::with_store`] plus an (already-recovered) persistence handle.
+    /// [`App::with_store`] plus an (already-recovered) persistence handle;
+    /// tracing and the slow-request threshold come from the environment.
     pub fn with_persistence(
         store: SessionStore,
         pool: Pool,
         persist: Option<Persistence>,
+    ) -> Self {
+        App::with_observability(
+            store,
+            pool,
+            persist,
+            Arc::new(routes_obs::Tracer::from_env(None)),
+            routes_obs::slow_threshold_from_env(),
+        )
+    }
+
+    /// [`App::with_persistence`] with an explicit tracer and slow-request
+    /// threshold (tests pin the ring capacity, seed, and threshold).
+    pub fn with_observability(
+        store: SessionStore,
+        pool: Pool,
+        persist: Option<Persistence>,
+        tracer: Arc<routes_obs::Tracer>,
+        slow: Duration,
     ) -> Self {
         App {
             store,
             metrics: Metrics::new(),
             pool,
             persist,
+            tracer,
+            slow,
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// The tracer serving `GET /trace`.
+    pub fn tracer(&self) -> &Arc<routes_obs::Tracer> {
+        &self.tracer
     }
 
     /// The persistence handle, when a data directory is configured.
@@ -102,6 +141,54 @@ impl App {
         self.shutdown.load(Relaxed)
     }
 
+    /// [`App::handle`] inside a full trace context: installs the request's
+    /// trace ID, records the `request` span, counts the response, emits the
+    /// slow-request warning, and stamps `X-Trace-Id` on the way out. This
+    /// is what the accept loop calls; `handle` stays separate for tests
+    /// that exercise routing alone.
+    pub fn handle_traced(&self, req: &Request) -> Response {
+        let ctx = self.tracer.begin(req.header("x-trace-id"));
+        let _scope = routes_obs::scoped(Some(ctx.clone()));
+        let started = Instant::now();
+        let mut response = catch_unwind(AssertUnwindSafe(|| self.handle(req)))
+            .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+        let elapsed = started.elapsed();
+        ctx.record("request", started, elapsed);
+        self.metrics.record_response(response.status, elapsed);
+        let elapsed_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        if elapsed >= self.slow {
+            routes_obs::log(
+                routes_obs::Level::Warn,
+                "slow_request",
+                &[
+                    ("method", routes_obs::Value::from(req.method.as_str())),
+                    ("path", routes_obs::Value::from(req.path.as_str())),
+                    ("status", routes_obs::Value::from(u64::from(response.status))),
+                    ("elapsed_us", routes_obs::Value::from(elapsed_us)),
+                    (
+                        "threshold_ms",
+                        routes_obs::Value::from(
+                            self.slow.as_millis().min(u128::from(u64::MAX)) as u64
+                        ),
+                    ),
+                ],
+            );
+        } else {
+            routes_obs::log(
+                routes_obs::Level::Debug,
+                "request",
+                &[
+                    ("method", routes_obs::Value::from(req.method.as_str())),
+                    ("path", routes_obs::Value::from(req.path.as_str())),
+                    ("status", routes_obs::Value::from(u64::from(response.status))),
+                    ("elapsed_us", routes_obs::Value::from(elapsed_us)),
+                ],
+            );
+        }
+        response.set_header("x-trace-id", ctx.id().as_str().to_owned());
+        response
+    }
+
     /// Dispatch one request.
     pub fn handle(&self, req: &Request) -> Response {
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
@@ -115,28 +202,100 @@ impl App {
             ("POST", ["sessions", id, "all-routes"]) => {
                 self.with_session(id, |s| self.all_routes(&s, req))
             }
-            ("GET", ["metrics"]) => {
-                let persist = self.persist.as_ref().map(|p| p.metrics.snapshot());
+            ("GET", ["metrics"]) => self.metrics_response(req),
+            ("GET", ["healthz"]) => {
+                // Liveness probe: touches no session-store shard lock and no
+                // WAL state — it must answer even when those are contended.
                 Response::json(
                     200,
-                    self.metrics
-                        .to_json_with_store(
-                            &self.store.snapshot(),
-                            persist.as_ref(),
-                            self.pool.threads(),
-                        )
-                        .encode(),
+                    Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+                        ("uptime_seconds", Json::from(self.metrics.uptime_seconds())),
+                    ])
+                    .encode(),
                 )
             }
+            ("GET", ["trace"]) => self.trace_dump(req),
             ("POST", ["shutdown"]) => {
                 self.shutdown.store(true, Relaxed);
                 Response::json(200, Json::obj([("shutting_down", Json::Bool(true))]).encode())
             }
-            (_, ["sessions", ..]) | (_, ["metrics"]) | (_, ["shutdown"]) => {
-                Response::error(405, "method not allowed for this resource")
-            }
+            (_, ["sessions", ..]) | (_, ["metrics"]) | (_, ["shutdown"]) | (_, ["healthz"])
+            | (_, ["trace"]) => Response::error(405, "method not allowed for this resource"),
             _ => Response::error(404, "no such resource"),
         }
+    }
+
+    /// `GET /metrics`: JSON by default; Prometheus text on
+    /// `?format=prometheus` or an `Accept` header asking for `text/plain`.
+    fn metrics_response(&self, req: &Request) -> Response {
+        let prometheus = match req.query_param("format") {
+            Some("prometheus") => true,
+            Some("json") => false,
+            Some(other) => {
+                return Response::error(
+                    400,
+                    &format!("unknown metrics format `{other}` (json, prometheus)"),
+                )
+            }
+            None => req
+                .header("accept")
+                .is_some_and(|accept| accept.contains("text/plain")),
+        };
+        let store = self.store.snapshot();
+        let persist = self.persist.as_ref().map(|p| p.metrics.snapshot());
+        if prometheus {
+            let text =
+                self.metrics
+                    .to_prometheus(&store, persist.as_ref(), self.pool.threads());
+            Response::with_content_type(
+                200,
+                text.into_bytes(),
+                routes_obs::PROMETHEUS_CONTENT_TYPE,
+            )
+        } else {
+            Response::json(
+                200,
+                self.metrics
+                    .to_json_with_store(&store, persist.as_ref(), self.pool.threads())
+                    .encode(),
+            )
+        }
+    }
+
+    /// `GET /trace`: recent completed spans, oldest first, optionally
+    /// filtered to one trace via `?trace_id=`.
+    fn trace_dump(&self, req: &Request) -> Response {
+        let filter = req.query_param("trace_id");
+        if let Some(f) = filter {
+            if routes_obs::TraceId::parse(f).is_none() {
+                return Response::error(400, "malformed trace_id filter");
+            }
+        }
+        let spans: Vec<Json> = self
+            .tracer
+            .recent()
+            .iter()
+            .filter(|s| filter.is_none_or(|f| s.trace.as_str() == f))
+            .map(|s| {
+                Json::obj([
+                    ("trace_id", Json::from(s.trace.as_str())),
+                    ("name", Json::from(s.name)),
+                    ("start_us", Json::from(s.start_us)),
+                    ("dur_us", Json::from(s.dur_us)),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            Json::obj([
+                ("enabled", Json::Bool(self.tracer.is_enabled())),
+                ("capacity", Json::from(self.tracer.capacity())),
+                ("spans", Json::Array(spans)),
+            ])
+            .encode(),
+        )
     }
 
     fn with_session(
@@ -180,9 +339,12 @@ impl App {
             Ok(l) => l,
             Err(e) => return Response::error(422, &format!("scenario does not load: {e}")),
         };
-        let prepared = match prepare_scenario_with(loaded, options, &self.pool) {
-            Ok(p) => p,
-            Err(e) => return Response::error(422, &format!("chase failed: {e}")),
+        let prepared = {
+            let _span = routes_obs::span("chase");
+            match prepare_scenario_with(loaded, options, &self.pool) {
+                Ok(p) => p,
+                Err(e) => return Response::error(422, &format!("chase failed: {e}")),
+            }
         };
         if let Some(wall) = prepared.chase_wall {
             self.metrics.record_phase(Phase::Chase, wall);
@@ -286,6 +448,7 @@ impl App {
         self.metrics.one_routes_computed.fetch_add(1, Relaxed);
         let env = session.env();
         let route_start = Instant::now();
+        let route_span = routes_obs::span("route");
         let computed = compute_one_route(env, &selected);
         match computed {
             Ok(route) => {
@@ -297,8 +460,10 @@ impl App {
                         return Response::error(500, &format!("computed route failed replay: {e}"))
                     }
                 };
+                drop(route_span);
                 self.metrics.record_phase(Phase::Route, route_start.elapsed());
                 let print_start = Instant::now();
+                let print_span = routes_obs::span("print");
                 let view = RouteView::build(&session.scenario.pool, &env, &route);
                 let response = Response::json(
                     200,
@@ -313,10 +478,12 @@ impl App {
                     ])
                     .encode(),
                 );
+                drop(print_span);
                 self.metrics.record_phase(Phase::Print, print_start.elapsed());
                 response
             }
             Err(e) => {
+                drop(route_span);
                 self.metrics.record_phase(Phase::Route, route_start.elapsed());
                 // "No route" is a debugging *answer* (the paper's unroutable
                 // tuples), not a client error.
@@ -361,10 +528,16 @@ impl App {
             Err(resp) => return resp,
         };
         self.metrics.all_routes_computed.fetch_add(1, Relaxed);
+        let forest_start = Instant::now();
         let (forest, cached, wall) = session.forest_for(&selected, &self.pool);
         if cached {
             self.metrics.forest_cache_hits.fetch_add(1, Relaxed);
         } else {
+            // Record the forest span only when a forest was actually built
+            // — a memo hit is a lookup, not a build.
+            if let Some(ctx) = routes_obs::current() {
+                ctx.record("forest", forest_start, forest_start.elapsed());
+            }
             self.metrics.forest_cache_misses.fetch_add(1, Relaxed);
             self.metrics.record_phase(Phase::Forest, wall);
             // Persist the memo key (normalized like the cache's own key)
@@ -379,6 +552,7 @@ impl App {
         }
         let env = session.env();
         let print_start = Instant::now();
+        let _print_span = routes_obs::span("print");
         let view = ForestView::build(&session.scenario.pool, &env, &forest);
         let response = Response::json(
             200,

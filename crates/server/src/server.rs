@@ -13,11 +13,10 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::http::{parse_request, ParseError, Response};
 use crate::persist::Persistence;
@@ -39,6 +38,15 @@ pub struct ServerConfig {
     /// Data directory for durable snapshot + WAL persistence; `None`
     /// (default) keeps the service purely in-memory.
     pub data_dir: Option<PathBuf>,
+    /// Whether to record spans (`false` still mints trace IDs). The
+    /// default honors `ROUTES_TRACE`.
+    pub tracing: bool,
+    /// Span ring capacity; 0 means "from `ROUTES_TRACE_SPANS`" (default
+    /// 1024).
+    pub trace_capacity: usize,
+    /// Slow-request warning threshold; `None` means "from
+    /// `ROUTES_SLOW_MS`" (default 500 ms).
+    pub slow_request: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +57,9 @@ impl Default for ServerConfig {
             session_shards: 0,
             read_timeout: Duration::from_secs(30),
             data_dir: None,
+            tracing: true,
+            trace_capacity: 0,
+            slow_request: None,
         }
     }
 }
@@ -76,17 +87,43 @@ impl Server {
         let persist = match &config.data_dir {
             Some(dir) => {
                 let (persist, report) = Persistence::open(dir, &store, &pool)?;
-                eprintln!(
-                    "spiderd: recovered {} sessions ({} WAL records; {})",
-                    report.restored_sessions, report.replayed_records, report.summary
+                routes_obs::log(
+                    routes_obs::Level::Info,
+                    "recovery",
+                    &[
+                        (
+                            "restored_sessions",
+                            routes_obs::Value::from(report.restored_sessions),
+                        ),
+                        (
+                            "replayed_records",
+                            routes_obs::Value::from(report.replayed_records),
+                        ),
+                        ("summary", routes_obs::Value::from(report.summary.as_str())),
+                    ],
                 );
                 Some(persist)
             }
             None => None,
         };
+        let mut tracer = routes_obs::Tracer::from_env(
+            (config.trace_capacity > 0).then_some(config.trace_capacity),
+        );
+        if !config.tracing {
+            tracer = routes_obs::Tracer::disabled();
+        }
+        let slow = config
+            .slow_request
+            .unwrap_or_else(routes_obs::slow_threshold_from_env);
         Ok(Server {
             listener,
-            app: Arc::new(App::with_persistence(store, pool, persist)),
+            app: Arc::new(App::with_observability(
+                store,
+                pool,
+                persist,
+                Arc::new(tracer),
+                slow,
+            )),
             config,
         })
     }
@@ -200,6 +237,11 @@ fn maintenance_loop(app: &Arc<App>) {
     };
     while !app.is_shutting_down() {
         std::thread::sleep(MAINTENANCE_TICK);
+        // A minted per-tick context so background flush/checkpoint spans
+        // (`wal_fsync`, `checkpoint`) land in the ring under their own
+        // trace ID instead of vanishing.
+        let ctx = app.tracer().begin(None);
+        let _scope = routes_obs::scoped(Some(ctx));
         let _ = persist.maintain(&app.store, &app.pool);
     }
     let _ = persist.flush();
@@ -249,9 +291,12 @@ fn serve_connection(stream: TcpStream, app: &Arc<App>, config: &ServerConfig) {
             Err(ParseError::Io(_)) => return,
             Err(e) => {
                 // Syntax and limit violations get a response, then the
-                // connection closes (framing is unreliable after them).
+                // connection closes (framing is unreliable after them). No
+                // headers were parsed, so the trace ID is always minted.
                 app.metrics.bad_requests.fetch_add(1, Relaxed);
-                let response = match e {
+                let ctx = app.tracer().begin(None);
+                let _scope = routes_obs::scoped(Some(ctx.clone()));
+                let mut response = match e {
                     ParseError::TooLarge("body too large") => {
                         Response::error(413, "body too large")
                     }
@@ -259,15 +304,13 @@ fn serve_connection(stream: TcpStream, app: &Arc<App>, config: &ServerConfig) {
                     ParseError::Malformed(what) => Response::error(400, what),
                     ParseError::Eof | ParseError::Io(_) => unreachable!(),
                 };
+                response.set_header("x-trace-id", ctx.id().as_str().to_owned());
                 app.metrics.record_response(response.status, Duration::ZERO);
                 let _ = response.write_to(&mut writer, false);
                 return;
             }
         };
-        let started = Instant::now();
-        let response = catch_unwind(AssertUnwindSafe(|| app.handle(&request)))
-            .unwrap_or_else(|_| Response::error(500, "handler panicked"));
-        app.metrics.record_response(response.status, started.elapsed());
+        let response = app.handle_traced(&request);
         let keep_alive = request.keep_alive && !app.is_shutting_down();
         if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
             return;

@@ -359,9 +359,15 @@ impl Shard {
     // state a poisoned guard exposes is at worst mid-request, never
     // structurally broken.
     fn read_locked(&self) -> RwLockReadGuard<'_, ShardInner> {
+        // The span covers acquisition only, so its duration is the lock
+        // wait a request actually observed, not the hold time. It reuses
+        // the stats measurement (`record_current`), keeping the traced
+        // hot path free of extra clock reads.
         let start = Instant::now();
         let guard = self.inner.read().unwrap_or_else(|poisoned| poisoned.into_inner());
-        self.stats.read_wait.record(start.elapsed());
+        let wait = start.elapsed();
+        self.stats.read_wait.record(wait);
+        routes_obs::record_current("session_lock_read", start, wait);
         guard
     }
 
@@ -371,8 +377,10 @@ impl Shard {
             .inner
             .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        self.stats.write_wait.record(start.elapsed());
+        let wait = start.elapsed();
+        self.stats.write_wait.record(wait);
         self.stats.write_locks.fetch_add(1, Relaxed);
+        routes_obs::record_current("session_lock_write", start, wait);
         guard
     }
 

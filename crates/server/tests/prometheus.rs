@@ -1,0 +1,575 @@
+//! Prometheus exposition tests.
+//!
+//! 1. **Golden file** — a fully deterministic `Metrics` + store +
+//!    persistence snapshot rendered through `to_prometheus` must match
+//!    `tests/golden/metrics.prom` byte for byte: family ordering, `# HELP`
+//!    / `# TYPE` lines, label rendering, and cumulative histogram buckets
+//!    are all pinned.
+//! 2. **Reconciliation** — drive a live server over real sockets, then
+//!    render the *same* frozen snapshots as JSON and as Prometheus text
+//!    and walk every JSON field (scalars, per-shard counters, every
+//!    histogram bucket) asserting the text agrees exactly. Unknown JSON
+//!    keys fail the walk, so a counter added to one rendering but not the
+//!    other cannot slip through.
+//! 3. **Negotiation** — `?format=prometheus` and `Accept: text/plain`
+//!    serve the text form with its content type; `?format=json` keeps
+//!    JSON; an unknown format is a 400.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use routes_server::json::{parse, Json};
+use routes_server::metrics::{Metrics, Phase, LATENCY_BUCKETS_US};
+use routes_server::session::LOCK_WAIT_BUCKETS_US;
+use routes_server::{Server, ServerConfig, ShardSnapshot, StoreSnapshot};
+use routes_store::testutil::TempDir;
+use routes_store::{PersistSnapshot, FSYNC_BUCKETS_US};
+
+/// A deterministic store snapshot with two distinguishable shards.
+fn fixed_store() -> StoreSnapshot {
+    let shard = |base: u64| {
+        let mut read = vec![0u64; LOCK_WAIT_BUCKETS_US.len() + 1];
+        let mut write = vec![0u64; LOCK_WAIT_BUCKETS_US.len() + 1];
+        read[0] = base;
+        read[LOCK_WAIT_BUCKETS_US.len()] = 1;
+        write[1] = base + 1;
+        ShardSnapshot {
+            sessions: base as usize,
+            capacity: 8,
+            hits: 10 + base,
+            misses: base,
+            inserts: 3 + base,
+            removes: base,
+            evictions: 1,
+            demotions: 2,
+            evict_scan_steps: 5 + base,
+            write_locks: 7 + base,
+            lock_wait_read_us: read,
+            lock_wait_write_us: write,
+        }
+    };
+    StoreSnapshot {
+        capacity: 16,
+        shards: vec![shard(1), shard(2)],
+    }
+}
+
+fn fixed_persist() -> PersistSnapshot {
+    let mut fsync = vec![0u64; FSYNC_BUCKETS_US.len() + 1];
+    fsync[0] = 4;
+    fsync[2] = 2;
+    fsync[FSYNC_BUCKETS_US.len()] = 1;
+    PersistSnapshot {
+        wal_gen: 3,
+        wal_appends: 41,
+        wal_bytes: 8_192,
+        wal_records_since_checkpoint: 9,
+        fsync_batches: 7,
+        fsync_records: 40,
+        fsync_latency_us: fsync,
+        snapshots_written: 2,
+        replayed_records: 12,
+        restored_sessions: 5,
+        recovery_us: 1_234,
+    }
+}
+
+#[test]
+fn exposition_matches_the_golden_file() {
+    let m = Metrics::new();
+    m.record_response(200, Duration::from_micros(80));
+    m.record_response(201, Duration::from_micros(600));
+    m.record_response(404, Duration::from_millis(2));
+    m.record_response(500, Duration::from_secs(2));
+    m.record_phase(Phase::Chase, Duration::from_micros(90));
+    m.record_phase(Phase::Chase, Duration::from_micros(450));
+    m.record_phase(Phase::Forest, Duration::from_millis(3));
+    m.record_phase(Phase::Route, Duration::from_micros(40));
+    m.record_phase(Phase::Print, Duration::from_micros(20));
+    use std::sync::atomic::Ordering::Relaxed;
+    m.bad_requests.store(2, Relaxed);
+    m.connections_accepted.store(6, Relaxed);
+    m.sessions_created.store(5, Relaxed);
+    m.sessions_deleted.store(1, Relaxed);
+    m.sessions_evicted.store(2, Relaxed);
+    m.one_routes_computed.store(3, Relaxed);
+    m.all_routes_computed.store(4, Relaxed);
+    m.forest_cache_hits.store(2, Relaxed);
+    m.forest_cache_misses.store(2, Relaxed);
+
+    let text = m.to_prometheus(&fixed_store(), Some(&fixed_persist()), 4);
+    // Uptime is the only wall-clock-dependent sample; normalize it so the
+    // golden stays byte-stable.
+    let normalized: String = text
+        .lines()
+        .map(|line| {
+            if line.starts_with("routes_uptime_seconds ") {
+                "routes_uptime_seconds 0".to_owned()
+            } else {
+                line.to_owned()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &normalized).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file exists");
+    assert_eq!(
+        normalized, golden,
+        "to_prometheus drifted from tests/golden/metrics.prom \
+         (set UPDATE_GOLDEN=1 to regenerate, then review the diff)"
+    );
+}
+
+/// Parse an exposition into `series-with-labels -> value`, checking `#
+/// HELP` precedes `# TYPE` and every sample's base name was announced.
+fn parse_prom(text: &str) -> HashMap<String, u64> {
+    let mut series = HashMap::new();
+    let mut announced: Vec<String> = Vec::new();
+    let mut pending_help: Option<String> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap().to_owned();
+            pending_help = Some(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap().to_owned();
+            let kind = it.next().unwrap();
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown family kind in {line:?}"
+            );
+            assert_eq!(
+                pending_help.take().as_deref(),
+                Some(name.as_str()),
+                "# TYPE for {name} not directly preceded by its # HELP"
+            );
+            announced.push(name);
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment {line:?}");
+        let (key, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without value: {line:?}");
+        });
+        let base = key.split('{').next().unwrap();
+        let family = announced.iter().any(|name| {
+            base == name
+                || base == format!("{name}_bucket")
+                || base == format!("{name}_count")
+                || base == format!("{name}_sum")
+        });
+        assert!(family, "sample {base} has no announced family");
+        let prior = series.insert(key.to_owned(), value.parse::<u64>().unwrap());
+        assert!(prior.is_none(), "duplicate series {key}");
+    }
+    series
+}
+
+struct PromCheck {
+    series: HashMap<String, u64>,
+}
+
+impl PromCheck {
+    /// Assert a series exists with `value`, consuming it.
+    fn eat(&mut self, key: &str, value: u64) {
+        match self.series.remove(key) {
+            Some(v) => assert_eq!(v, value, "series {key} disagrees with JSON"),
+            None => panic!("series {key} missing from exposition"),
+        }
+    }
+
+    /// Assert a JSON per-bucket histogram matches the cumulative prom
+    /// form: every `_bucket` including `+Inf`, and `_count`.
+    fn eat_histogram(&mut self, name: &str, labels: &str, hist: &Json, bounds: &[u64]) {
+        let buckets = hist.as_array().expect("histogram is an array");
+        assert_eq!(buckets.len(), bounds.len() + 1);
+        let mut cumulative = 0u64;
+        for (i, bucket) in buckets.iter().enumerate() {
+            let le = bucket.get("le_us").unwrap().as_str().unwrap();
+            let expected_le = bounds
+                .get(i)
+                .map_or_else(|| "inf".to_owned(), |b| b.to_string());
+            assert_eq!(le, expected_le, "JSON bucket bound order drifted");
+            cumulative += bucket.get("count").unwrap().as_u64().unwrap();
+            let prom_le = bounds
+                .get(i)
+                .map_or_else(|| "+Inf".to_owned(), |b| b.to_string());
+            let key = if labels.is_empty() {
+                format!("{name}_bucket{{le=\"{prom_le}\"}}")
+            } else {
+                format!("{name}_bucket{{{labels},le=\"{prom_le}\"}}")
+            };
+            self.eat(&key, cumulative);
+        }
+        let count_key = if labels.is_empty() {
+            format!("{name}_count")
+        } else {
+            format!("{name}_count{{{labels}}}")
+        };
+        self.eat(&count_key, cumulative);
+    }
+}
+
+fn obj_fields(json: &Json) -> &[(String, Json)] {
+    match json {
+        Json::Object(fields) => fields,
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+fn as_u64(v: &Json) -> u64 {
+    v.as_u64().expect("numeric JSON field")
+}
+
+/// Walk every field of the JSON snapshot, consuming the matching prom
+/// series. Unknown keys panic, so the two renderings cannot drift apart
+/// silently.
+fn reconcile(json: &Json, check: &mut PromCheck) {
+    for (key, value) in obj_fields(json) {
+        match key.as_str() {
+            "version" => check.eat(
+                &format!("routes_build_info{{version=\"{}\"}}", value.as_str().unwrap()),
+                1,
+            ),
+            "uptime_seconds" => check.eat("routes_uptime_seconds", as_u64(value)),
+            "threads" => check.eat("routes_threads", as_u64(value)),
+            "requests_total" => check.eat("routes_requests_total", as_u64(value)),
+            "responses_2xx" => check.eat("routes_responses_total{class=\"2xx\"}", as_u64(value)),
+            "responses_4xx" => check.eat("routes_responses_total{class=\"4xx\"}", as_u64(value)),
+            "responses_5xx" => check.eat("routes_responses_total{class=\"5xx\"}", as_u64(value)),
+            "bad_requests" => check.eat("routes_bad_requests_total", as_u64(value)),
+            "connections_accepted" => {
+                check.eat("routes_connections_accepted_total", as_u64(value));
+            }
+            "live_sessions" => check.eat("routes_live_sessions", as_u64(value)),
+            "sessions_created" => check.eat("routes_sessions_created_total", as_u64(value)),
+            "sessions_deleted" => check.eat("routes_sessions_deleted_total", as_u64(value)),
+            "sessions_evicted" => check.eat("routes_sessions_evicted_total", as_u64(value)),
+            "one_routes_computed" => {
+                check.eat("routes_one_routes_computed_total", as_u64(value));
+            }
+            "all_routes_computed" => {
+                check.eat("routes_all_routes_computed_total", as_u64(value));
+            }
+            "forest_cache_hits" => check.eat("routes_forest_cache_hits_total", as_u64(value)),
+            "forest_cache_misses" => {
+                check.eat("routes_forest_cache_misses_total", as_u64(value));
+            }
+            "latency_us" => check.eat_histogram(
+                "routes_request_latency_us",
+                "",
+                value,
+                &LATENCY_BUCKETS_US,
+            ),
+            "phases" => {
+                for (phase, stats) in obj_fields(value) {
+                    let labels = format!("phase=\"{phase}\"");
+                    for (stat_key, stat) in obj_fields(stats) {
+                        match stat_key.as_str() {
+                            "count" => { /* == the histogram's _count, checked below */ }
+                            "total_us" => check.eat(
+                                &format!("routes_phase_latency_us_sum{{{labels}}}"),
+                                as_u64(stat),
+                            ),
+                            "latency_us" => check.eat_histogram(
+                                "routes_phase_latency_us",
+                                &labels,
+                                stat,
+                                &LATENCY_BUCKETS_US,
+                            ),
+                            other => panic!("unknown phase stat `{other}`"),
+                        }
+                    }
+                }
+            }
+            "session_store" => reconcile_store(value, check),
+            "persistence" => reconcile_persist(value, check),
+            other => panic!("unknown /metrics JSON field `{other}` — extend the walker"),
+        }
+    }
+}
+
+fn reconcile_store(json: &Json, check: &mut PromCheck) {
+    for (key, value) in obj_fields(json) {
+        match key.as_str() {
+            "capacity" => check.eat("routes_session_store_capacity", as_u64(value)),
+            "shard_count" => check.eat("routes_session_store_shards", as_u64(value)),
+            "live_sessions" => { /* duplicate of the top-level gauge */ }
+            "hits" => check.eat("routes_session_store_hits_total", as_u64(value)),
+            "misses" => check.eat("routes_session_store_misses_total", as_u64(value)),
+            "inserts" => check.eat("routes_session_store_inserts_total", as_u64(value)),
+            "removes" => check.eat("routes_session_store_removes_total", as_u64(value)),
+            "evictions" => check.eat("routes_session_store_evictions_total", as_u64(value)),
+            "evict_scan_steps" => {
+                check.eat("routes_session_store_evict_scan_steps_total", as_u64(value));
+            }
+            "write_locks" => check.eat("routes_session_store_write_locks_total", as_u64(value)),
+            "shards" => {
+                for (i, shard) in value.as_array().unwrap().iter().enumerate() {
+                    let labels = format!("shard=\"{i}\"");
+                    for (shard_key, v) in obj_fields(shard) {
+                        let gauge = |suffix: &str| {
+                            format!("routes_session_shard_{suffix}{{{labels}}}")
+                        };
+                        let counter = |suffix: &str| {
+                            format!("routes_session_shard_{suffix}_total{{{labels}}}")
+                        };
+                        match shard_key.as_str() {
+                            "sessions" => check.eat(&gauge("sessions"), as_u64(v)),
+                            "capacity" => check.eat(&gauge("capacity"), as_u64(v)),
+                            "hits" => check.eat(&counter("hits"), as_u64(v)),
+                            "misses" => check.eat(&counter("misses"), as_u64(v)),
+                            "inserts" => check.eat(&counter("inserts"), as_u64(v)),
+                            "removes" => check.eat(&counter("removes"), as_u64(v)),
+                            "evictions" => check.eat(&counter("evictions"), as_u64(v)),
+                            "demotions" => check.eat(&counter("demotions"), as_u64(v)),
+                            "evict_scan_steps" => {
+                                check.eat(&counter("evict_scan_steps"), as_u64(v));
+                            }
+                            "write_locks" => check.eat(&counter("write_locks"), as_u64(v)),
+                            "lock_wait_read_us" => check.eat_histogram(
+                                "routes_session_shard_lock_wait_us",
+                                &format!("{labels},mode=\"read\""),
+                                v,
+                                &LOCK_WAIT_BUCKETS_US,
+                            ),
+                            "lock_wait_write_us" => check.eat_histogram(
+                                "routes_session_shard_lock_wait_us",
+                                &format!("{labels},mode=\"write\""),
+                                v,
+                                &LOCK_WAIT_BUCKETS_US,
+                            ),
+                            other => panic!("unknown shard field `{other}`"),
+                        }
+                    }
+                }
+            }
+            other => panic!("unknown session_store field `{other}`"),
+        }
+    }
+}
+
+fn reconcile_persist(json: &Json, check: &mut PromCheck) {
+    for (key, value) in obj_fields(json) {
+        match key.as_str() {
+            "wal_gen" => check.eat("routes_wal_generation", as_u64(value)),
+            "wal_appends" => check.eat("routes_wal_appends_total", as_u64(value)),
+            "wal_bytes" => check.eat("routes_wal_bytes_total", as_u64(value)),
+            "wal_records_since_checkpoint" => {
+                check.eat("routes_wal_records_since_checkpoint", as_u64(value));
+            }
+            "fsync_batches" => check.eat("routes_fsync_batches_total", as_u64(value)),
+            "fsync_records" => check.eat("routes_fsync_records_total", as_u64(value)),
+            "fsync_latency_us" => check.eat_histogram(
+                "routes_fsync_latency_us",
+                "",
+                value,
+                &FSYNC_BUCKETS_US,
+            ),
+            "snapshots_written" => check.eat("routes_snapshots_written_total", as_u64(value)),
+            "replayed_records" => check.eat("routes_wal_replayed_records", as_u64(value)),
+            "restored_sessions" => check.eat("routes_wal_restored_sessions", as_u64(value)),
+            "recovery_us" => check.eat("routes_recovery_us", as_u64(value)),
+            other => panic!("unknown persistence field `{other}`"),
+        }
+    }
+}
+
+fn scenario_json(tag: i64) -> String {
+    let text = format!(
+        "source schema:\n  S(a, b)\ntarget schema:\n  T(a, b)\n\
+         dependencies:\n  m: S(x, y) -> T(x, y)\nsource data:\n  S({tag}, {})\n",
+        tag + 1
+    );
+    format!("{{\"scenario\": {}}}", Json::from(text).encode())
+}
+
+/// One raw HTTP exchange returning status, headers, and body.
+fn raw_request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> (u16, Vec<(String, String)>, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let body = body.unwrap_or("");
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes()).unwrap();
+    writer.write_all(body.as_bytes()).unwrap();
+    writer.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut response_headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line.split_once(':').unwrap();
+        response_headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body).unwrap();
+    (status, response_headers, body)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn text_and_json_expositions_reconcile_exactly_under_live_traffic() {
+    let tmp = TempDir::new("prom-reconcile");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 3,
+            max_sessions: 4,
+            session_shards: 2,
+            data_dir: Some(tmp.path().to_path_buf()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let app = server.app();
+    let (addr, handle) = server.spawn().expect("spawn");
+
+    // Live traffic across every counter family: creates past capacity
+    // (evictions), gets, a delete, both forest paths, one-route, errors.
+    let mut ids = Vec::new();
+    for tag in 0..6 {
+        let (status, _, body) =
+            raw_request(addr, "POST", "/sessions", &[], Some(&scenario_json(tag)));
+        assert_eq!(status, 201, "create failed: {body}");
+        ids.push(as_u64(parse(&body).unwrap().get("session").unwrap()));
+    }
+    let select = r#"{"tuples": [{"relation": "T", "row": 0}]}"#;
+    let live = *ids.last().unwrap();
+    for _ in 0..2 {
+        let (status, _, _) = raw_request(
+            addr,
+            "POST",
+            &format!("/sessions/{live}/all-routes"),
+            &[],
+            Some(select),
+        );
+        assert_eq!(status, 200);
+    }
+    let (status, _, _) = raw_request(
+        addr,
+        "POST",
+        &format!("/sessions/{live}/one-route"),
+        &[],
+        Some(select),
+    );
+    assert_eq!(status, 200);
+    raw_request(addr, "GET", &format!("/sessions/{live}"), &[], None);
+    raw_request(addr, "DELETE", &format!("/sessions/{live}"), &[], None);
+    raw_request(addr, "GET", "/sessions/999999", &[], None); // 404
+    raw_request(addr, "PATCH", "/metrics", &[], None); // 405
+
+    // Quiesce, then reconcile from one frozen snapshot pair. Uptime is
+    // read per rendering; retry if the second boundary lands between.
+    let store = app.store.snapshot();
+    let persist = app.persistence().map(|p| p.metrics.snapshot());
+    let threads = app.pool.threads();
+    let (json, text) = loop {
+        let json = app
+            .metrics
+            .to_json_with_store(&store, persist.as_ref(), threads);
+        let text = app.metrics.to_prometheus(&store, persist.as_ref(), threads);
+        let json_uptime = as_u64(json.get("uptime_seconds").unwrap());
+        let text_uptime = text
+            .lines()
+            .find_map(|l| l.strip_prefix("routes_uptime_seconds "))
+            .unwrap()
+            .parse::<u64>()
+            .unwrap();
+        if json_uptime == text_uptime {
+            break (json, text);
+        }
+    };
+    let mut check = PromCheck {
+        series: parse_prom(&text),
+    };
+    reconcile(&json, &mut check);
+    assert!(
+        check.series.is_empty(),
+        "exposition has series the JSON never produced: {:?}",
+        check.series.keys().collect::<Vec<_>>()
+    );
+
+    // Sanity: the traffic actually exercised the interesting families.
+    assert!(as_u64(json.get("sessions_evicted").unwrap()) >= 1, "wanted evictions");
+    assert_eq!(as_u64(json.get("forest_cache_hits").unwrap()), 1);
+    assert_eq!(as_u64(json.get("forest_cache_misses").unwrap()), 1);
+    assert!(
+        as_u64(
+            json.get("persistence")
+                .unwrap()
+                .get("fsync_batches")
+                .unwrap()
+        ) >= 1,
+        "synced creates must have fsynced"
+    );
+
+    // Negotiation over the live socket.
+    let (status, headers, body) =
+        raw_request(addr, "GET", "/metrics?format=prometheus", &[], None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    assert!(body.contains("# TYPE routes_requests_total counter"));
+    assert!(body.contains("routes_session_shard_lock_wait_us_bucket{shard=\"1\",mode=\"write\",le=\"+Inf\"}"));
+
+    let (status, headers, _) = raw_request(
+        addr,
+        "GET",
+        "/metrics",
+        &[("accept", "text/plain; version=0.0.4")],
+        None,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+
+    let (status, headers, body) = raw_request(addr, "GET", "/metrics?format=json", &[], None);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    assert!(parse(&body).is_ok());
+
+    let (status, _, body) = raw_request(addr, "GET", "/metrics?format=xml", &[], None);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown metrics format"));
+
+    let (status, _, _) = raw_request(addr, "POST", "/shutdown", &[], None);
+    assert_eq!(status, 200);
+    handle.join().expect("server exits");
+}

@@ -152,6 +152,7 @@ fn concurrent_clients_probe_validate_and_clean_up() {
         session_shards: 4,
         read_timeout: Duration::from_secs(30),
         data_dir: None,
+        ..ServerConfig::default()
     });
 
     let clients: Vec<_> = (0..4)
@@ -301,6 +302,7 @@ fn bad_inputs_get_four_xx_not_hangs() {
         session_shards: 2,
         read_timeout: Duration::from_secs(30),
         data_dir: None,
+        ..ServerConfig::default()
     });
     let mut c = Client::connect(addr);
 
@@ -353,6 +355,7 @@ fn lru_eviction_over_http() {
         session_shards: 1,
         read_timeout: Duration::from_secs(30),
         data_dir: None,
+        ..ServerConfig::default()
     });
     let mut c = Client::connect(addr);
     let create = |c: &mut Client, tag: i64| {
@@ -405,6 +408,7 @@ fn over_capacity_churn_reconciles_per_shard_eviction_metrics() {
         session_shards: SHARDS as usize,
         read_timeout: Duration::from_secs(30),
         data_dir: None,
+        ..ServerConfig::default()
     });
 
     let evicted: Vec<u64> = {

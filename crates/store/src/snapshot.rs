@@ -193,6 +193,7 @@ impl StoreDir {
         new_gen: u64,
         metrics: Arc<PersistMetrics>,
     ) -> std::io::Result<Wal> {
+        let _span = routes_obs::span("checkpoint");
         // 1. The new image, fsynced under a temporary name.
         let tmp = self.dir.join("snapshot.tmp");
         {

@@ -119,6 +119,10 @@ impl Wal {
     /// Append one record. With [`Durability::Synced`] this blocks until a
     /// group commit covers the record.
     pub fn append(&self, record: &Record, durability: Durability) -> std::io::Result<u64> {
+        // The span covers encode + buffer only; a synced append's fsync
+        // wait shows up as a separate `wal_fsync` span, so the two stay
+        // disjoint and a request's child spans sum to at most its own.
+        let span = routes_obs::span("wal_append");
         let bytes = frame(&encode_record_payload(record));
         let mut shared = self.lock();
         if let Some(kind) = shared.poisoned {
@@ -132,6 +136,7 @@ impl Wal {
         self.metrics
             .wal_records_since_checkpoint
             .fetch_add(1, Relaxed);
+        drop(span);
         match durability {
             Durability::Buffered => Ok(lsn),
             Durability::Synced => self.wait_synced(shared, lsn).map(|()| lsn),
@@ -176,11 +181,13 @@ impl Wal {
             let covered = batch_end - shared.synced;
             drop(shared);
 
+            let fsync_span = routes_obs::span("wal_fsync");
             let started = Instant::now();
             let result = (&self.file)
                 .write_all(&batch)
                 .and_then(|()| self.file.sync_data());
             let wall = started.elapsed();
+            drop(fsync_span);
 
             shared = self.lock();
             shared.flushing = false;

@@ -40,3 +40,36 @@ cargo run --release --offline -p routes-bench --bin repro -- micro sessions --qu
 # WAL fsync-batch bench smoke: append throughput and recovery time per
 # group-commit batch size (writes bench_results/micro_persist.csv).
 cargo run --release --offline -p routes-bench --bin repro -- micro persist --quick
+
+# Observability gate: the socket suite (trace-ID propagation, /trace span
+# dump, slow-request log, ring eviction) must pass with the session store
+# at 1 shard and at 8.
+ROUTES_SESSION_SHARDS=1 cargo test -q --offline --test observability
+ROUTES_SESSION_SHARDS=8 cargo test -q --offline --test observability
+
+# Tracing-overhead bench smoke (writes bench_results/micro_obs.csv).
+cargo run --release --offline -p routes-bench --bin repro -- micro obs --quick
+
+# Structured-logging gate: boot a real spiderd, shut it down over the
+# socket, and require every stderr line to be a parseable JSON log record
+# (at least one: the "listening" event).
+logdir="$(mktemp -d)"
+trap 'kill "$spider_pid" 2>/dev/null || true; rm -rf "$logdir"' EXIT
+cargo build --release --offline -p routes-server --bin spiderd --bin spiderd-logcheck
+target/release/spiderd --addr 127.0.0.1:0 --data-dir "$logdir/data" \
+    > "$logdir/stdout" 2> "$logdir/stderr" &
+spider_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$logdir/stdout")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "spiderd never reported its port" >&2; exit 1; }
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf 'POST /shutdown HTTP/1.1\r\nhost: ci\r\ncontent-length: 0\r\nconnection: close\r\n\r\n' >&3
+cat <&3 > /dev/null
+exec 3<&- 3>&-
+wait "$spider_pid"
+spider_pid=""
+target/release/spiderd-logcheck 1 < "$logdir/stderr"

@@ -116,6 +116,7 @@ fn config_with_dir(dir: &Path, max_sessions: usize) -> ServerConfig {
         session_shards: 0,
         read_timeout: Duration::from_secs(30),
         data_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
     }
 }
 
