@@ -7,6 +7,7 @@
 //! repro micro sessions [--quick]
 //! repro micro persist [--quick]
 //! repro micro obs [--quick]
+//! repro micro edit [--quick]
 //! ```
 //!
 //! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
@@ -21,14 +22,16 @@
 //! 1/8/64/512 records per fsync) and writes
 //! `bench_results/micro_persist.csv`; `micro obs` measures tracing
 //! overhead on the get-session hot path (off vs on vs slow-log) and
-//! writes `bench_results/micro_obs.csv`; `--quick` shrinks any of them to
-//! a CI smoke run.
+//! writes `bench_results/micro_obs.csv`; `micro edit` compares the
+//! incremental delta-chase against a full re-chase over a pinned edit
+//! campaign and writes `bench_results/micro_edit.csv`; `--quick` shrinks
+//! any of them to a CI smoke run.
 
 use std::path::Path;
 
 use routes_bench::{
-    fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, micro_benches, obs_benches,
-    parallel_benches, persist_benches, session_benches, table1, Sizing, Table,
+    edit_benches, fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, micro_benches,
+    obs_benches, parallel_benches, persist_benches, session_benches, table1, Sizing, Table,
 };
 
 fn main() {
@@ -58,6 +61,7 @@ fn main() {
         [a, b] if a == "micro" && b == "sessions" => "micro-sessions".to_owned(),
         [a, b] if a == "micro" && b == "persist" => "micro-persist".to_owned(),
         [a, b] if a == "micro" && b == "obs" => "micro-obs".to_owned(),
+        [a, b] if a == "micro" && b == "edit" => "micro-edit".to_owned(),
         _ => usage("too many experiment names"),
     };
 
@@ -166,6 +170,16 @@ fn main() {
         emit(&name, vec![t]);
         ran = true;
     }
+    if which == "micro-edit" {
+        eprintln!(
+            "running incremental-edit micro-benchmarks{} ...",
+            if quick { " (quick)" } else { "" }
+        );
+        let t = edit_benches(quick);
+        let name = t.title.clone();
+        emit(&name, vec![t]);
+        ran = true;
+    }
     if !ran {
         usage(&format!("unknown experiment `{which}`"));
     }
@@ -178,7 +192,8 @@ fn usage(msg: &str) -> ! {
          \u{20}      repro micro parallel [--quick]\n\
          \u{20}      repro micro sessions [--quick]\n\
          \u{20}      repro micro persist [--quick]\n\
-         \u{20}      repro micro obs [--quick]"
+         \u{20}      repro micro obs [--quick]\n\
+         \u{20}      repro micro edit [--quick]"
     );
     std::process::exit(2);
 }

@@ -17,6 +17,7 @@
 //! averages the second and third runs (the first warms the lazily built
 //! column indexes, as the paper's first run warmed the DB2 buffer pool).
 
+pub mod edit;
 pub mod experiments;
 pub mod micro;
 pub mod obs;
@@ -28,6 +29,7 @@ pub mod table;
 pub use experiments::{
     fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, table1, Sizing,
 };
+pub use edit::edit_benches;
 pub use micro::micro_benches;
 pub use obs::obs_benches;
 pub use parallel::{parallel_benches, thread_counts};

@@ -88,6 +88,10 @@ struct Engine<'a> {
     rounds: usize,
     egd_rewrites: usize,
     egd_log: EgdLog,
+    /// Caller-supplied s-t match lists (one per s-t tgd, in
+    /// [`Engine::collect_st_matches`] order). When set, the source joins
+    /// are skipped entirely and these bindings fire instead.
+    st_matches: Option<&'a [Vec<Bindings>]>,
 }
 
 /// Run the chase of `(source, ∅)` with the mapping's dependencies.
@@ -124,6 +128,44 @@ pub fn chase_with_pool(
     options: ChaseOptions,
     workers: &Pool,
 ) -> Result<ChaseResult, ChaseError> {
+    run_engine(mapping, source, pool, options, workers, None)
+}
+
+/// [`chase_with_pool`] with the s-t tgd match lists supplied by the caller:
+/// one `Vec<Bindings>` per s-t tgd, in the order the engine's own
+/// collection would produce them (anchored-plan order — lexicographic over
+/// the plan-permuted row vectors).
+///
+/// The source joins are skipped entirely; everything downstream — firing
+/// order, fresh-null invention, target tgd rounds, egds — runs unchanged,
+/// so supplying exactly the lists the engine would have collected yields a
+/// byte-identical [`ChaseResult`]. This is the replay entry point of the
+/// incremental-maintenance layer (`routes-incr`), which maintains those
+/// match lists across scenario edits instead of re-joining from scratch.
+pub fn chase_with_st_matches(
+    mapping: &SchemaMapping,
+    source: &Instance,
+    pool: &mut ValuePool,
+    options: ChaseOptions,
+    workers: &Pool,
+    st_matches: &[Vec<Bindings>],
+) -> Result<ChaseResult, ChaseError> {
+    assert_eq!(
+        st_matches.len(),
+        mapping.st_tgds().len(),
+        "one match list per s-t tgd"
+    );
+    run_engine(mapping, source, pool, options, workers, Some(st_matches))
+}
+
+fn run_engine(
+    mapping: &SchemaMapping,
+    source: &Instance,
+    pool: &mut ValuePool,
+    options: ChaseOptions,
+    workers: &Pool,
+    st_matches: Option<&[Vec<Bindings>]>,
+) -> Result<ChaseResult, ChaseError> {
     let mut engine = Engine {
         mapping,
         source,
@@ -136,6 +178,7 @@ pub fn chase_with_pool(
         rounds: 0,
         egd_rewrites: 0,
         egd_log: EgdLog::new(),
+        st_matches,
     };
     engine.run()?;
     Ok(ChaseResult {
@@ -203,6 +246,9 @@ impl Engine<'_> {
     /// per-chunk match buffers are concatenated in chunk order (see
     /// [`routes_query::AnchoredPlan`]).
     fn collect_st_matches(&self, ti: usize) -> Vec<Bindings> {
+        if let Some(provided) = self.st_matches {
+            return provided[ti].clone();
+        }
         let tgd = &self.mapping.st_tgds()[ti];
         let init = Bindings::new(tgd.var_count());
         let Some(ap) = anchored_plan(self.source, tgd.lhs(), &init) else {
@@ -665,6 +711,72 @@ mod tests {
                 );
                 assert_eq!(seq_pool.num_nulls(), par_pool.num_nulls());
             }
+        }
+    }
+
+    #[test]
+    fn provided_st_matches_reproduce_the_chase_byte_for_byte() {
+        let (m, pool) = simple_mapping();
+        let i = src(&m, &[(1, 2), (3, 4), (1, 5)]);
+
+        // Hand-collect per-tgd match lists with the same anchored-plan
+        // enumeration the engine uses internally.
+        let mut matches: Vec<Vec<Bindings>> = Vec::new();
+        for tgd in m.st_tgds() {
+            let init = Bindings::new(tgd.var_count());
+            let ap = anchored_plan(&i, tgd.lhs(), &init).unwrap();
+            let anchor = &tgd.lhs()[ap.outer];
+            let mut out = Vec::new();
+            for &row in &ap.rows {
+                let mut b = init.clone();
+                let tuple = i.tuple(TupleId { rel: anchor.rel, row });
+                if !unify_atom(anchor, tuple, &mut b) {
+                    continue;
+                }
+                let mut it = MatchIter::with_plan(
+                    &i,
+                    tgd.lhs(),
+                    b,
+                    ap.suffix.clone(),
+                    EvalOptions::default(),
+                );
+                while let Some(found) = it.next_match() {
+                    out.push(found.clone());
+                }
+            }
+            matches.push(out);
+        }
+
+        let dump = |inst: &Instance, p: &ValuePool| -> String {
+            let mut out = String::new();
+            for (rel, _) in m.target().iter() {
+                for (tid, vals) in inst.rel_tuples(rel) {
+                    let rendered: Vec<String> =
+                        vals.iter().map(|&v| p.value_to_string(v)).collect();
+                    out.push_str(&format!("{tid:?}: {}\n", rendered.join(", ")));
+                }
+            }
+            out
+        };
+        for opts in [ChaseOptions::fresh(), ChaseOptions::skolem()] {
+            let mut base_pool = pool.clone();
+            let baseline = chase(&m, &i, &mut base_pool, opts).unwrap();
+            let mut fed_pool = pool.clone();
+            let fed = chase_with_st_matches(
+                &m,
+                &i,
+                &mut fed_pool,
+                opts,
+                &Pool::sequential(),
+                &matches,
+            )
+            .unwrap();
+            assert_eq!(baseline.stats(), fed.stats());
+            assert_eq!(
+                dump(&baseline.target, &base_pool),
+                dump(&fed.target, &fed_pool)
+            );
+            assert_eq!(base_pool.num_nulls(), fed_pool.num_nulls());
         }
     }
 

@@ -14,9 +14,13 @@
 //!   dependency counts, instance sizes) that drives the measurements.
 //! * [`random`] — seeded random mapping/instance scenarios for property and
 //!   fuzz-style tests (Theorems 3.7 / 3.10).
+//! * [`edits`] — seeded, replayable edit-op campaigns for the live-mutation
+//!   subsystem (`routes-incr`): valid-by-construction batches reused by the
+//!   differential tests and the `micro edit` bench.
 //! * [`rng`] — the deterministic SplitMix64 generator every module above
 //!   draws from (the workspace builds offline, with no external crates).
 
+pub mod edits;
 pub mod hierarchy;
 pub mod paper;
 pub mod random;
@@ -26,6 +30,7 @@ pub mod rng;
 pub mod scenario;
 pub mod tpch;
 
+pub use edits::{edit_campaign, sized_edit_campaign, EditCampaign};
 pub use hierarchy::{deep_scenario, flat_scenario, DeepScenario, FlatScenario};
 pub use paper::{fargo_scenario, toy_scenario_3_5, FargoScenario};
 pub use random::random_scenario;

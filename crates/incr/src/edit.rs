@@ -1,0 +1,519 @@
+//! The scenario text editor: applying [`EditOp`] batches to a scenario file.
+//!
+//! The canonical state of a live session is its scenario **text** — exactly
+//! what `load_scenario_str` parses. Every mutation is therefore expressed as
+//! a text edit, and the edited text is re-parsed through the one loader the
+//! whole workspace shares. That keeps the incremental path honest: whatever
+//! the delta machinery computes must equal what a from-scratch load of the
+//! edited text produces, byte for byte.
+//!
+//! Supported ops (see [`EditOp`]):
+//!
+//! * `InsertTuple` — appends a `source data:` section holding the new row at
+//!   the end of the document. The loader processes source rows in document
+//!   order across all `source data:` sections, so appending at the end is
+//!   exactly "insert after every existing row".
+//! * `DeleteTuple` — removes the `row`-th distinct tuple of `relation`
+//!   (instance row ids equal first-occurrence order of distinct rows), along
+//!   with every duplicate data line spelling the same tuple.
+//! * `AddTgd` — appends a `dependencies:` section holding the new
+//!   dependency.
+//! * `DropTgd` — removes the named dependency's logical unit, including its
+//!   continuation lines.
+//!
+//! Scenarios using xml sections or an explicit `target data:` section are
+//! rejected: edits require the solution to be chase-derived so the delta
+//! machinery can replay it.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use routes_cli::loader::{load_scenario_str, LoadedScenario};
+use routes_store::EditOp;
+
+/// Why an edit batch was rejected. All variants map to a client error (the
+/// scenario text is left untouched).
+#[derive(Debug)]
+pub enum EditError {
+    /// The scenario uses a feature edits do not support (xml sections,
+    /// explicit target data).
+    Unsupported(String),
+    /// `delete_tuple` named a relation with no source-data rows.
+    UnknownRelation(String),
+    /// `delete_tuple` row index past the relation's current row count.
+    RowOutOfRange {
+        /// The relation named by the op.
+        relation: String,
+        /// The requested row.
+        row: u32,
+        /// The relation's current distinct-row count.
+        len: u32,
+    },
+    /// `drop_tgd` named a dependency that does not exist.
+    UnknownTgd(String),
+    /// The edited text no longer loads (bad inserted row or dependency).
+    Invalid(String),
+    /// The edited text loads but the re-chase failed (e.g. chase failure
+    /// from an egd equating constants, or the round limit).
+    Chase(String),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::Unsupported(m) => write!(f, "unsupported scenario for edits: {m}"),
+            EditError::UnknownRelation(r) => write!(f, "no source data rows for relation `{r}`"),
+            EditError::RowOutOfRange { relation, row, len } => {
+                write!(f, "row {row} out of range for `{relation}` ({len} rows)")
+            }
+            EditError::UnknownTgd(n) => write!(f, "no dependency named `{n}`"),
+            EditError::Invalid(m) => write!(f, "edited scenario does not load: {m}"),
+            EditError::Chase(m) => write!(f, "chase of edited scenario failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Which section a scenario line lives in. Mirrors the loader's section
+/// tracking (the subset edits support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    SourceSchema,
+    TargetSchema,
+    Dependencies,
+    SourceData,
+}
+
+/// Classify a comment-stripped, trimmed line as a section header, mirroring
+/// the loader. Returns `Err` for headers edits do not support.
+fn section_header(line: &str) -> Result<Option<Section>, EditError> {
+    let lowered = line.to_ascii_lowercase();
+    if !lowered.ends_with(':') {
+        return Ok(None);
+    }
+    match lowered.trim_end_matches(':') {
+        "source schema" => Ok(Some(Section::SourceSchema)),
+        "target schema" => Ok(Some(Section::TargetSchema)),
+        "dependencies" => Ok(Some(Section::Dependencies)),
+        "source data" => Ok(Some(Section::SourceData)),
+        "source xml schema" | "target xml schema" | "source xml data" => Err(
+            EditError::Unsupported("xml scenarios cannot be edited".into()),
+        ),
+        "target data" => Err(EditError::Unsupported(
+            "scenarios with explicit target data cannot be edited (the solution must be chased)"
+                .into(),
+        )),
+        _ => Ok(None),
+    }
+}
+
+/// `#` starts a comment unless inside a quoted string (loader rule).
+fn strip_comment(line: &str) -> &str {
+    let mut in_quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match (in_quote, c) {
+            (Some(q), c) if c == q => in_quote = None,
+            (None, '\'') | (None, '"') => in_quote = Some(c),
+            (None, '#') => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Split `Name( inner )` (loader rule).
+fn split_call(line: &str) -> Option<(&str, &str)> {
+    let open = line.find('(')?;
+    let close = line.rfind(')')?;
+    if close < open || !line[close + 1..].trim().is_empty() {
+        return None;
+    }
+    let name = line[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some((name, &line[open + 1..close]))
+}
+
+/// Split on commas outside quotes (loader rule).
+fn split_values(inner: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_quote: Option<char> = None;
+    for (i, c) in inner.char_indices() {
+        match (in_quote, c) {
+            (Some(q), c) if c == q => in_quote = None,
+            (None, '\'') | (None, '"') => in_quote = Some(c),
+            (None, ',') => {
+                out.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&inner[start..]);
+    out
+}
+
+/// Canonicalize one data-value token with the loader's value syntax, tagged
+/// by type so `5`, `'5'`, and a null labeled `5x` can never alias:
+/// `i:` integers, `s:` string constants, `n:` labeled nulls.
+fn canon_token(token: &str) -> Option<String> {
+    let token = token.trim();
+    if token.is_empty() {
+        return None;
+    }
+    if let Ok(n) = token.parse::<i64>() {
+        return Some(format!("i:{n}"));
+    }
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() >= 2 && (chars[0] == '\'' || chars[0] == '"') && chars[chars.len() - 1] == chars[0]
+    {
+        let inner: String = chars[1..chars.len() - 1].iter().collect();
+        return Some(format!("s:{inner}"));
+    }
+    if chars[0].is_alphabetic() || chars[0] == '_' {
+        return Some(format!("n:{token}"));
+    }
+    None
+}
+
+/// Canonicalize a source-data line to `(relation, canonical row render)`.
+/// `None` when the line does not parse as a call (the loader would reject
+/// it; leave it in place for the final validation pass to report).
+pub(crate) fn canon_data_line(line: &str) -> Option<(String, String)> {
+    let (name, inner) = split_call(line)?;
+    let values: Option<Vec<String>> = split_values(inner).into_iter().map(canon_token).collect();
+    Some((name.to_owned(), values?.join(",")))
+}
+
+/// Per-line classification of a scenario document.
+struct Scan {
+    /// Section of each line (headers and blanks carry the section they
+    /// *introduce*/live in, but are not content).
+    section: Vec<Section>,
+    /// Whether the line is section content (non-blank, not a header).
+    content: Vec<bool>,
+    /// Comment-stripped, trimmed text of each line.
+    text: Vec<String>,
+}
+
+fn scan(lines: &[&str]) -> Result<Scan, EditError> {
+    let mut section = Section::None;
+    let mut out = Scan {
+        section: Vec::with_capacity(lines.len()),
+        content: Vec::with_capacity(lines.len()),
+        text: Vec::with_capacity(lines.len()),
+    };
+    for raw in lines {
+        let text = strip_comment(raw).trim().to_owned();
+        if text.is_empty() {
+            out.section.push(section);
+            out.content.push(false);
+            out.text.push(text);
+            continue;
+        }
+        if let Some(new_section) = section_header(&text)? {
+            section = new_section;
+            out.section.push(section);
+            out.content.push(false);
+            out.text.push(text);
+            continue;
+        }
+        out.section.push(section);
+        out.content.push(true);
+        out.text.push(text);
+    }
+    Ok(out)
+}
+
+/// Group the dependencies-section lines of a scanned document into logical
+/// units using the loader's continuation rules. Returns `(merged text,
+/// physical line indices)` per unit, in document order.
+fn dependency_units(s: &Scan) -> Vec<(String, Vec<usize>)> {
+    let mut units: Vec<(String, Vec<usize>)> = Vec::new();
+    for i in 0..s.text.len() {
+        if !s.content[i] || s.section[i] != Section::Dependencies {
+            continue;
+        }
+        let line = &s.text[i];
+        let starts_continuation = line.starts_with("->")
+            || line.starts_with('→')
+            || line.starts_with('&')
+            || line.starts_with('∧');
+        let prev_incomplete = units.last().is_some_and(|(prev, _): &(String, Vec<usize>)| {
+            let no_arrow = !prev.contains("->") && !prev.contains('→');
+            no_arrow
+                || prev.trim_end().ends_with('&')
+                || prev.trim_end().ends_with('∧')
+                || prev.trim_end().ends_with("->")
+                || prev.trim_end().ends_with('→')
+                || prev.trim_end().ends_with(',')
+        });
+        match units.last_mut() {
+            Some((prev, idxs)) if starts_continuation || prev_incomplete => {
+                prev.push(' ');
+                prev.push_str(line);
+                idxs.push(i);
+            }
+            _ => units.push((line.clone(), vec![i])),
+        }
+    }
+    units
+}
+
+/// Apply one op to the document (a vector of owned lines).
+fn apply_one(lines: &mut Vec<String>, op: &EditOp) -> Result<(), EditError> {
+    match op {
+        EditOp::InsertTuple { line } => {
+            lines.push("source data:".to_owned());
+            lines.push(format!("  {line}"));
+            Ok(())
+        }
+        EditOp::AddTgd { line } => {
+            lines.push("dependencies:".to_owned());
+            lines.push(format!("  {line}"));
+            Ok(())
+        }
+        EditOp::DeleteTuple { relation, row } => {
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            let s = scan(&refs)?;
+            // Distinct tuples of `relation` in first-occurrence order — the
+            // loader's instance assigns row ids in exactly this order.
+            let mut distinct: Vec<(String, Vec<usize>)> = Vec::new();
+            let mut by_render: HashMap<String, usize> = HashMap::new();
+            for i in 0..s.text.len() {
+                if !s.content[i] || s.section[i] != Section::SourceData {
+                    continue;
+                }
+                let Some((rel, render)) = canon_data_line(&s.text[i]) else {
+                    continue;
+                };
+                if rel != *relation {
+                    continue;
+                }
+                match by_render.get(&render) {
+                    Some(&k) => distinct[k].1.push(i),
+                    None => {
+                        by_render.insert(render.clone(), distinct.len());
+                        distinct.push((render, vec![i]));
+                    }
+                }
+            }
+            if distinct.is_empty() {
+                return Err(EditError::UnknownRelation(relation.clone()));
+            }
+            let Some((_, victim_lines)) = distinct.get(*row as usize) else {
+                return Err(EditError::RowOutOfRange {
+                    relation: relation.clone(),
+                    row: *row,
+                    len: distinct.len() as u32,
+                });
+            };
+            let mut doomed: Vec<usize> = victim_lines.clone();
+            doomed.sort_unstable();
+            for &i in doomed.iter().rev() {
+                lines.remove(i);
+            }
+            Ok(())
+        }
+        EditOp::DropTgd { name } => {
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            let s = scan(&refs)?;
+            let units = dependency_units(&s);
+            let unit = units.iter().find(|(merged, _)| {
+                merged
+                    .split_once(':')
+                    .is_some_and(|(n, _)| n.trim() == name)
+            });
+            let Some((_, idxs)) = unit else {
+                return Err(EditError::UnknownTgd(name.clone()));
+            };
+            let mut doomed = idxs.clone();
+            doomed.sort_unstable();
+            for &i in doomed.iter().rev() {
+                lines.remove(i);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Apply an op batch to scenario text. Returns the edited text and its
+/// parse; the input text is untouched on error. The loaded scenario is
+/// guaranteed to have no explicit target and no xml sections, so the
+/// solution is always chase-derived.
+pub fn apply_edits(text: &str, ops: &[EditOp]) -> Result<(String, LoadedScenario), EditError> {
+    // Up-front structural gate (also catches unsupported sections the ops
+    // never go near).
+    let lines: Vec<&str> = text.lines().collect();
+    scan(&lines)?;
+
+    let mut doc: Vec<String> = lines.iter().map(|&l| l.to_owned()).collect();
+    for op in ops {
+        apply_one(&mut doc, op)?;
+    }
+    let mut new_text = doc.join("\n");
+    new_text.push('\n');
+    let loaded =
+        load_scenario_str(&new_text).map_err(|e| EditError::Invalid(e.to_string()))?;
+    debug_assert!(loaded.target.is_none(), "target data rejected by scan");
+    Ok((new_text, loaded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = "\
+source schema:
+  S(a, b)
+  R(b, c)
+target schema:
+  T(a, c)
+dependencies:
+  m1: S(x, y) & R(y, z) -> T(x, z)
+source data:
+  S(1, 2)
+  S(3, 4)   # a comment
+  S(1, 2)   # duplicate of row 0
+  R(2, 9)
+";
+
+    #[test]
+    fn insert_appends_a_row_at_the_end() {
+        let op = EditOp::InsertTuple {
+            line: "S(7, 8)".into(),
+        };
+        let (text, loaded) = apply_edits(BASE, &[op]).unwrap();
+        assert!(text.ends_with("source data:\n  S(7, 8)\n"));
+        let s = loaded.mapping.source().rel_id("S").unwrap();
+        assert_eq!(loaded.source.rel_len(s), 3);
+        // The new row is the last one.
+        let last = loaded.source.tuple(routes_model::TupleId { rel: s, row: 2 });
+        assert_eq!(last[0], routes_model::Value::Int(7));
+    }
+
+    #[test]
+    fn delete_removes_the_indexed_distinct_row_and_its_duplicates() {
+        let op = EditOp::DeleteTuple {
+            relation: "S".into(),
+            row: 0,
+        };
+        let (text, loaded) = apply_edits(BASE, &[op]).unwrap();
+        assert!(!text.contains("S(1, 2)"));
+        assert!(text.contains("S(3, 4)"));
+        let s = loaded.mapping.source().rel_id("S").unwrap();
+        assert_eq!(loaded.source.rel_len(s), 1);
+        // Row ids shift down: S(3, 4) is now row 0.
+        let first = loaded.source.tuple(routes_model::TupleId { rel: s, row: 0 });
+        assert_eq!(first[0], routes_model::Value::Int(3));
+    }
+
+    #[test]
+    fn delete_errors_carry_context() {
+        let err = apply_edits(
+            BASE,
+            &[EditOp::DeleteTuple {
+                relation: "Nope".into(),
+                row: 0,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, EditError::UnknownRelation(_)), "{err}");
+        let err = apply_edits(
+            BASE,
+            &[EditOp::DeleteTuple {
+                relation: "S".into(),
+                row: 9,
+            }],
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EditError::RowOutOfRange { len: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn add_and_drop_tgd_round_trip() {
+        let add = EditOp::AddTgd {
+            line: "m2: S(x, y) -> T(x, y)".into(),
+        };
+        let (text, loaded) = apply_edits(BASE, &[add]).unwrap();
+        assert_eq!(loaded.mapping.st_tgds().len(), 2);
+        assert_eq!(loaded.mapping.st_tgds()[1].name(), "m2");
+
+        let drop = EditOp::DropTgd { name: "m2".into() };
+        let (_, loaded2) = apply_edits(&text, &[drop]).unwrap();
+        assert_eq!(loaded2.mapping.st_tgds().len(), 1);
+
+        let err = apply_edits(BASE, &[EditOp::DropTgd { name: "zz".into() }]).unwrap_err();
+        assert!(matches!(err, EditError::UnknownTgd(_)), "{err}");
+    }
+
+    #[test]
+    fn drop_tgd_removes_continuation_lines() {
+        let text = "\
+source schema:
+  S(a, b)
+target schema:
+  T(a, b)
+  U(a)
+dependencies:
+  m1: S(x, y) &
+      S(y, x)
+      -> T(x, y)
+  m2: S(x, y) -> U(x)
+source data:
+  S(1, 1)
+";
+        let (edited, loaded) =
+            apply_edits(text, &[EditOp::DropTgd { name: "m1".into() }]).unwrap();
+        assert_eq!(loaded.mapping.st_tgds().len(), 1);
+        assert_eq!(loaded.mapping.st_tgds()[0].name(), "m2");
+        assert!(!edited.contains("T(x, y)"));
+    }
+
+    #[test]
+    fn unsupported_scenarios_are_rejected() {
+        let with_target = format!("{BASE}target data:\n  T(1, 9)\n");
+        let err = apply_edits(&with_target, &[]).unwrap_err();
+        assert!(matches!(err, EditError::Unsupported(_)), "{err}");
+
+        let bad_insert = EditOp::InsertTuple {
+            line: "S(1)".into(),
+        };
+        let err = apply_edits(BASE, &[bad_insert]).unwrap_err();
+        assert!(matches!(err, EditError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn ops_apply_sequentially_within_a_batch() {
+        // Delete row 0, then row 0 again: the second delete names the row
+        // that shifted down.
+        let ops = vec![
+            EditOp::DeleteTuple {
+                relation: "S".into(),
+                row: 0,
+            },
+            EditOp::DeleteTuple {
+                relation: "S".into(),
+                row: 0,
+            },
+        ];
+        let (_, loaded) = apply_edits(BASE, &ops).unwrap();
+        let s = loaded.mapping.source().rel_id("S").unwrap();
+        assert_eq!(loaded.source.rel_len(s), 0);
+    }
+
+    #[test]
+    fn canon_tags_prevent_type_aliasing() {
+        assert_eq!(canon_data_line("S(5)"), Some(("S".into(), "i:5".into())));
+        assert_eq!(canon_data_line("S('5')"), Some(("S".into(), "s:5".into())));
+        assert_eq!(canon_data_line("S(n5)"), Some(("S".into(), "n:n5".into())));
+        assert_ne!(canon_data_line("S(5)"), canon_data_line("S('5')"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Incremental maintenance for live route-debugging sessions.
+//!
+//! The paper's workflow is debug–edit–re-run: the user inspects routes,
+//! adjusts the mapping or the data, and looks again. This crate makes the
+//! edit step *live* — a batch of [`EditOp`](routes_store::EditOp)s applied
+//! to a prepared session without re-chasing from scratch — while keeping
+//! the one invariant the whole workspace is built on: every observable
+//! byte (solution, statistics, routes) equals what a from-scratch load of
+//! the edited scenario would produce, at every worker count.
+//!
+//! * [`edit`] — the text-edit engine. The session's canonical state is its
+//!   scenario text; ops are text edits, validated by re-parsing.
+//! * [`memo`] — per-tgd LHS match memos as pool-independent row vectors,
+//!   maintained semi-naively: survivors are remapped, only *inserted* rows
+//!   are joined, and one sort restores the engine's enumeration order.
+//! * [`apply`] — the batch pipeline: edit text → re-parse → maintain memos
+//!   → replay the chase through
+//!   [`chase_with_st_matches`](routes_chase::chase_with_st_matches) →
+//!   diff the solutions and compute the invalidation change-sets.
+//! * [`invalidate`] — surgical route-forest invalidation: a cached forest
+//!   survives iff a fresh computation would reproduce it byte for byte.
+
+pub mod apply;
+pub mod edit;
+pub mod invalidate;
+pub mod memo;
+
+pub use apply::{apply_batch, EditApply};
+pub use edit::{apply_edits, EditError};
+pub use invalidate::{forest_survives, surviving_selections};
+pub use memo::{IncrState, TgdMemo};

@@ -19,18 +19,27 @@ pub const LATENCY_BUCKETS_US: [u64; 7] = [100, 500, 1_000, 5_000, 25_000, 100_00
 /// A work phase whose wall time is tracked separately from whole-request
 /// latency: the chase materializing `J`, route-forest construction
 /// (`ComputeAllRoutes`), single-route enumeration (`ComputeOneRoute` +
-/// replay), and result rendering ("print": view building + JSON encoding).
+/// replay), result rendering ("print": view building + JSON encoding), and
+/// edit-batch application (the whole incremental pipeline; the replayed
+/// chase inside it is also sampled under `chase`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     Chase,
     Forest,
     Route,
     Print,
+    Edit,
 }
 
 impl Phase {
     /// All phases, in the order they appear in the `/metrics` JSON.
-    pub const ALL: [Phase; 4] = [Phase::Chase, Phase::Forest, Phase::Route, Phase::Print];
+    pub const ALL: [Phase; 5] = [
+        Phase::Chase,
+        Phase::Forest,
+        Phase::Route,
+        Phase::Print,
+        Phase::Edit,
+    ];
 
     /// The JSON key of this phase.
     pub fn name(self) -> &'static str {
@@ -39,6 +48,7 @@ impl Phase {
             Phase::Forest => "forest",
             Phase::Route => "route",
             Phase::Print => "print",
+            Phase::Edit => "edit",
         }
     }
 }
@@ -94,6 +104,11 @@ pub struct Metrics {
     pub all_routes_computed: AtomicU64,
     pub forest_cache_hits: AtomicU64,
     pub forest_cache_misses: AtomicU64,
+    pub edits_applied: AtomicU64,
+    pub edits_rejected: AtomicU64,
+    pub edit_ops_applied: AtomicU64,
+    pub edit_forests_kept: AtomicU64,
+    pub edit_forests_invalidated: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     phases: [PhaseStats; Phase::ALL.len()],
 }
@@ -214,6 +229,11 @@ impl Metrics {
             all_routes_computed: AtomicU64::new(0),
             forest_cache_hits: AtomicU64::new(0),
             forest_cache_misses: AtomicU64::new(0),
+            edits_applied: AtomicU64::new(0),
+            edits_rejected: AtomicU64::new(0),
+            edit_ops_applied: AtomicU64::new(0),
+            edit_forests_kept: AtomicU64::new(0),
+            edit_forests_invalidated: AtomicU64::new(0),
             latency: Default::default(),
             phases: Default::default(),
         }
@@ -307,6 +327,19 @@ impl Metrics {
                 "forest_cache_misses",
                 Json::from(self.forest_cache_misses.load(Relaxed)),
             ),
+            (
+                "edits",
+                Json::obj([
+                    ("applied", Json::from(self.edits_applied.load(Relaxed))),
+                    ("rejected", Json::from(self.edits_rejected.load(Relaxed))),
+                    ("ops_applied", Json::from(self.edit_ops_applied.load(Relaxed))),
+                    ("forests_kept", Json::from(self.edit_forests_kept.load(Relaxed))),
+                    (
+                        "forests_invalidated",
+                        Json::from(self.edit_forests_invalidated.load(Relaxed)),
+                    ),
+                ]),
+            ),
             ("latency_us", hist),
             ("phases", phases),
         ])
@@ -378,6 +411,31 @@ impl Metrics {
                 "Route-forest memo misses (forest built).",
                 &self.forest_cache_misses,
             ),
+            (
+                "routes_edits_applied_total",
+                "Edit batches applied.",
+                &self.edits_applied,
+            ),
+            (
+                "routes_edits_rejected_total",
+                "Edit batches rejected by validation.",
+                &self.edits_rejected,
+            ),
+            (
+                "routes_edit_ops_applied_total",
+                "Individual edit ops applied (across batches).",
+                &self.edit_ops_applied,
+            ),
+            (
+                "routes_edit_forests_kept_total",
+                "Cached route forests surviving an edit batch.",
+                &self.edit_forests_kept,
+            ),
+            (
+                "routes_edit_forests_invalidated_total",
+                "Cached route forests invalidated by an edit batch.",
+                &self.edit_forests_invalidated,
+            ),
         ] {
             w.family(name, "counter", help);
             w.sample(name, &[], counter.load(Relaxed));
@@ -393,7 +451,7 @@ impl Metrics {
         w.family(
             "routes_phase_latency_us",
             "histogram",
-            "Per-phase wall time in microseconds (chase, forest, route, print).",
+            "Per-phase wall time in microseconds (chase, forest, route, print, edit).",
         );
         for p in Phase::ALL {
             let stats = &self.phases[p as usize];

@@ -3,6 +3,7 @@
 //! ```text
 //! POST   /sessions                  load a scenario, chase if needed
 //! GET    /sessions/{id}             instance + chase summary
+//! POST   /sessions/{id}/edit        apply a mutation batch (delta-chase)
 //! POST   /sessions/{id}/one-route   ComputeOneRoute for a selection
 //! POST   /sessions/{id}/all-routes  ComputeAllRoutes (memoized per session)
 //! DELETE /sessions/{id}             drop the session
@@ -12,14 +13,21 @@
 //! POST   /shutdown                  begin graceful shutdown
 //! ```
 //!
+//! An unsupported method on a known route answers 405 with an `Allow`
+//! header (RFC 9110); an unknown path — including unknown `/sessions/{id}/…`
+//! subpaths — answers 404.
+//!
 //! Handlers are synchronous and lock-light: the session store lock is held
 //! only for lookups; route computation runs on a shared immutable session.
+//! Edits swap in a fresh immutable incarnation (see `session`), so readers
+//! never see a half-applied batch.
 //!
 //! [`App::handle_traced`] wraps dispatch in a trace context: every request
 //! gets a trace ID (the client's `X-Trace-Id` when well-formed, else a
 //! deterministic minted one), echoed back as `X-Trace-Id`, stamped on error
 //! bodies and log lines, and attached to every span the handler opens.
 
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
@@ -27,11 +35,11 @@ use std::time::{Duration, Instant};
 
 use routes_chase::{ChaseOptions, ChaseStats};
 use routes_cli::{load_scenario_str, prepare_scenario_with};
-use routes_core::{compute_one_route, ForestView, RouteView, StepView, TupleRef};
+use routes_core::{compute_one_route, ForestView, RouteForest, RouteView, StepView, TupleRef};
 use routes_model::TupleId;
 use routes_pool::Pool;
 
-use routes_store::{ChaseMode, Durability, Record};
+use routes_store::{ChaseMode, Durability, EditOp, Record};
 
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
@@ -196,6 +204,7 @@ impl App {
             ("POST", ["sessions"]) => self.create_session(req),
             ("GET", ["sessions", id]) => self.with_session(id, |s| self.session_summary(&s)),
             ("DELETE", ["sessions", id]) => self.delete_session(id),
+            ("POST", ["sessions", id, "edit"]) => self.edit_session(id, req),
             ("POST", ["sessions", id, "one-route"]) => {
                 self.with_session(id, |s| self.one_route(&s, req))
             }
@@ -221,8 +230,13 @@ impl App {
                 self.shutdown.store(true, Relaxed);
                 Response::json(200, Json::obj([("shutting_down", Json::Bool(true))]).encode())
             }
-            (_, ["sessions", ..]) | (_, ["metrics"]) | (_, ["shutdown"]) | (_, ["healthz"])
-            | (_, ["trace"]) => Response::error(405, "method not allowed for this resource"),
+            (_, ["sessions"]) => method_not_allowed("POST"),
+            (_, ["sessions", _]) => method_not_allowed("GET, DELETE"),
+            (_, ["sessions", _, "edit" | "one-route" | "all-routes"]) => {
+                method_not_allowed("POST")
+            }
+            (_, ["metrics"]) | (_, ["healthz"]) | (_, ["trace"]) => method_not_allowed("GET"),
+            (_, ["shutdown"]) => method_not_allowed("POST"),
             _ => Response::error(404, "no such resource"),
         }
     }
@@ -410,6 +424,160 @@ impl App {
         }
     }
 
+    /// `POST /sessions/{id}/edit`: apply a batch of mutation ops through
+    /// the incremental delta-chase (`routes-incr`), swap the post-edit
+    /// incarnation into the store, and log a WAL `Edit` record. Editors
+    /// are serialized per session; readers holding the pre-edit `Arc`
+    /// keep a consistent snapshot, and cached forests whose support is
+    /// untouched survive into the new incarnation (so their `cached: true`
+    /// answers stay warm).
+    fn edit_session(&self, id: &str, req: &Request) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(400, "session id must be an integer");
+        };
+        let ops = match parse_edit_ops(req) {
+            Ok(ops) => ops,
+            Err(resp) => {
+                self.metrics.edits_rejected.fetch_add(1, Relaxed);
+                return resp;
+            }
+        };
+        let session = match self.store.get(id) {
+            SessionLookup::Found(s) => {
+                self.log_relaxed(Record::Touch { id });
+                s
+            }
+            SessionLookup::Evicted => {
+                return Response::error(410, "session evicted (store at capacity)")
+            }
+            SessionLookup::Missing => return Response::error(404, "no such session"),
+        };
+        // Serialize editors on this id, then re-fetch: a queued editor
+        // must build on its predecessor's incarnation, not the one it
+        // looked up before blocking. `peek` leaves recency and hit
+        // accounting alone, so a live edit perturbs exactly the state WAL
+        // replay reconstructs (one touch + one edit per batch).
+        let lock = session.edit_lock();
+        let _guard = lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let session = match self.store.peek(id) {
+            SessionLookup::Found(s) => s,
+            SessionLookup::Evicted => {
+                return Response::error(410, "session evicted (store at capacity)")
+            }
+            SessionLookup::Missing => return Response::error(404, "no such session"),
+        };
+        let Some(origin) = session.origin() else {
+            // Sessions injected without an origin (tests, benchmarks) have
+            // no canonical scenario text to edit.
+            return Response::error(409, "session has no scenario text to edit");
+        };
+        let options = match origin.chase {
+            ChaseMode::Fresh => ChaseOptions::fresh(),
+            ChaseMode::Skolem => ChaseOptions::skolem(),
+        };
+        let edit_start = Instant::now();
+        let apply = {
+            let _span = routes_obs::span("edit");
+            match routes_incr::apply_batch(
+                &origin.text,
+                &session.scenario,
+                session.incr_state(),
+                &ops,
+                options,
+                &self.pool,
+            ) {
+                Ok(apply) => apply,
+                Err(e) => {
+                    self.metrics.edits_rejected.fetch_add(1, Relaxed);
+                    return Response::error(422, &format!("edit rejected: {e}"));
+                }
+            }
+        };
+        // Surgical forest carry-over: survivors are byte-identical to a
+        // fresh recompute (see routes-incr), so they stay memoized — and
+        // their answers stay `cached: true` — in the new incarnation.
+        let entries = session.forest_entries();
+        let keep: HashSet<Vec<TupleId>> = routes_incr::surviving_selections(
+            entries.iter().map(|(key, forest)| (key, forest.as_ref())),
+            &apply,
+            &session.scenario.pool,
+        )
+        .into_iter()
+        .collect();
+        let forests_invalidated = entries.len() - keep.len();
+        let survivors: HashMap<Vec<TupleId>, Arc<RouteForest>> = entries
+            .into_iter()
+            .filter(|(key, _)| keep.contains(key))
+            .collect();
+        let forests_kept = survivors.len();
+        let new_seq = session.edit_seq() + 1;
+        let new_origin = SessionOrigin {
+            chase: origin.chase,
+            text: Arc::from(apply.text.as_str()),
+        };
+        let chase_wall = apply.scenario.chase_wall;
+        let stats = apply.scenario.chase_stats;
+        let source_tuples = apply.scenario.source.total_tuples();
+        let target_tuples = apply.scenario.target.total_tuples();
+        let (memo_hits, memo_misses) = (apply.memo_hits, apply.memo_misses);
+        let mapping_changed = apply.mapping_changed;
+        let (source_inserted, source_deleted) = (apply.source_inserted, apply.source_deleted);
+        let replacement = Arc::new(session.edited(
+            apply.scenario,
+            new_origin,
+            new_seq,
+            apply.state,
+            survivors,
+        ));
+        if !self.store.replace(id, replacement) {
+            // A concurrent DELETE (or eviction) won while we were chasing.
+            return Response::error(404, "no such session");
+        }
+        // Mutation first, WAL second (as in create): a failed fsync swaps
+        // the pre-edit incarnation back and refuses the ack.
+        if let Err(e) = self.log_synced(Record::Edit {
+            id,
+            seq: new_seq,
+            ops: ops.clone(),
+        }) {
+            self.store.replace(id, session);
+            return Response::error(500, &format!("edit not persisted: {e}"));
+        }
+        self.metrics.record_phase(Phase::Edit, edit_start.elapsed());
+        if let Some(wall) = chase_wall {
+            self.metrics.record_phase(Phase::Chase, wall);
+        }
+        self.metrics.edits_applied.fetch_add(1, Relaxed);
+        self.metrics
+            .edit_ops_applied
+            .fetch_add(ops.len() as u64, Relaxed);
+        self.metrics
+            .edit_forests_kept
+            .fetch_add(forests_kept as u64, Relaxed);
+        self.metrics
+            .edit_forests_invalidated
+            .fetch_add(forests_invalidated as u64, Relaxed);
+        Response::json(
+            200,
+            Json::obj([
+                ("session", Json::from(id)),
+                ("edit_seq", Json::from(new_seq)),
+                ("ops_applied", Json::from(ops.len())),
+                ("memo_hits", Json::from(memo_hits)),
+                ("memo_misses", Json::from(memo_misses)),
+                ("mapping_changed", Json::from(mapping_changed)),
+                ("source_inserted", Json::from(source_inserted)),
+                ("source_deleted", Json::from(source_deleted)),
+                ("source_tuples", Json::from(source_tuples)),
+                ("target_tuples", Json::from(target_tuples)),
+                ("forests_kept", Json::from(forests_kept)),
+                ("forests_invalidated", Json::from(forests_invalidated)),
+                ("chase", stats.map_or(Json::Null, |s| chase_stats_json(&s))),
+            ])
+            .encode(),
+        )
+    }
+
     fn session_summary(&self, session: &Session) -> Response {
         let sc = &session.scenario;
         let rel_counts = |schema: &routes_model::Schema, inst: &routes_model::Instance| {
@@ -592,11 +760,81 @@ impl App {
     }
 }
 
+/// 405 with the `Allow` header RFC 9110 requires. Only *known* routes get
+/// here; unknown paths (including unknown `/sessions/{id}/…` subpaths)
+/// answer 404 instead.
+fn method_not_allowed(allow: &'static str) -> Response {
+    let mut resp = Response::error(405, "method not allowed for this resource");
+    resp.set_header("allow", allow.to_owned());
+    resp
+}
+
 fn parse_body(req: &Request) -> Result<Json, Response> {
     let text = req
         .body_str()
         .map_err(|_| Response::error(400, "body is not UTF-8"))?;
     json::parse(text).map_err(|e| Response::error(400, &e.to_string()))
+}
+
+/// Parse `{"ops": [{"op": "insert_tuple", "line": "S(1, 2)"}, ...]}` into
+/// the WAL's [`EditOp`] representation.
+fn parse_edit_ops(req: &Request) -> Result<Vec<EditOp>, Response> {
+    let body = parse_body(req)?;
+    let Some(items) = body.get("ops").and_then(Json::as_array) else {
+        return Err(Response::error(422, "body must have an `ops` array"));
+    };
+    if items.is_empty() {
+        return Err(Response::error(422, "apply at least one edit op"));
+    }
+    let mut ops = Vec::with_capacity(items.len());
+    for item in items {
+        let Some(kind) = item.get("op").and_then(Json::as_str) else {
+            return Err(Response::error(422, "each op needs an `op` kind"));
+        };
+        let text_field = |field: &str| -> Result<String, Response> {
+            item.get(field)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| {
+                    Response::error(422, &format!("`{kind}` needs a string `{field}` field"))
+                })
+        };
+        ops.push(match kind {
+            "insert_tuple" => EditOp::InsertTuple {
+                line: text_field("line")?,
+            },
+            "add_tgd" => EditOp::AddTgd {
+                line: text_field("line")?,
+            },
+            "drop_tgd" => EditOp::DropTgd {
+                name: text_field("name")?,
+            },
+            "delete_tuple" => {
+                let relation = text_field("relation")?;
+                let row = item
+                    .get("row")
+                    .and_then(Json::as_u64)
+                    .and_then(|row| u32::try_from(row).ok());
+                let Some(row) = row else {
+                    return Err(Response::error(
+                        422,
+                        "`delete_tuple` needs a numeric `row` (u32)",
+                    ));
+                };
+                EditOp::DeleteTuple { relation, row }
+            }
+            other => {
+                return Err(Response::error(
+                    422,
+                    &format!(
+                        "unknown edit op `{other}` \
+                         (insert_tuple, delete_tuple, add_tgd, drop_tgd)"
+                    ),
+                ))
+            }
+        });
+    }
+    Ok(ops)
 }
 
 /// Resolve `{"tuples": [{"relation": "T", "row": 0}, ...]}` against the

@@ -7,6 +7,15 @@
 //! the store lock before doing any route computation. The only interior
 //! mutability is the per-session forest cache.
 //!
+//! Edits (`POST /sessions/{id}/edit`) keep that immutability: applying a
+//! batch builds a **new** `Session` — same id, edited scenario, bumped
+//! [`edit_seq`](Session::edit_seq), carried-over match memos, forest cache
+//! pre-seeded with the survivors — and [`SessionStore::replace`] swaps it
+//! into the shard entry in place, preserving the entry's recency stamp and
+//! segment bit. In-flight readers holding the old `Arc` keep a consistent
+//! pre-edit snapshot; the per-session edit lock (shared across
+//! incarnations) serializes editors.
+//!
 //! ## Sharding
 //!
 //! The store holds `N` independent shards (`N` from
@@ -62,6 +71,7 @@ use std::time::{Duration, Instant};
 use routes_chase::ChaseStats;
 use routes_cli::PreparedScenario;
 use routes_core::{RouteEnv, RouteForest};
+use routes_incr::IncrState;
 use routes_model::{RelId, TupleId};
 use routes_pool::Pool;
 use routes_store::{ChaseMode, PersistedEntry, PersistedShard, Record, SelectionKey, SnapshotState};
@@ -98,6 +108,16 @@ pub struct Session {
     /// `None` for sessions injected directly by tests and benchmarks
     /// (those are invisible to snapshots).
     origin: Option<SessionOrigin>,
+    /// How many edit batches `scenario` reflects; the WAL's `Edit` records
+    /// carry the post-batch value, which makes replay idempotent.
+    edit_seq: u64,
+    /// Per-tgd match memos carried between edit batches (empty until the
+    /// first edit, and after recovery — the next edit re-warms them).
+    incr: IncrState,
+    /// Serializes editors. The lock is shared by every incarnation of the
+    /// same session id, so two concurrent edits of one session queue even
+    /// though each builds its own replacement `Session`.
+    edit_lock: Arc<Mutex<()>>,
     /// Memoized route forests keyed by the *sorted* selected-tuple set, so
     /// `[t1, t2]` and `[t2, t1]` share an entry (`compute_all_routes` is
     /// order-insensitive in its result, per the forest's memoization).
@@ -105,12 +125,42 @@ pub struct Session {
 }
 
 impl Session {
-    fn with_origin(id: u64, scenario: PreparedScenario, origin: Option<SessionOrigin>) -> Self {
+    fn with_origin(
+        id: u64,
+        scenario: PreparedScenario,
+        origin: Option<SessionOrigin>,
+        edit_seq: u64,
+    ) -> Self {
         Session {
             id,
             scenario,
             origin,
+            edit_seq,
+            incr: IncrState::default(),
+            edit_lock: Arc::new(Mutex::new(())),
             forest_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The post-edit incarnation of this session: same id, shared edit
+    /// lock, new scenario/origin/memos, forest cache pre-seeded with the
+    /// surviving entries.
+    pub fn edited(
+        &self,
+        scenario: PreparedScenario,
+        origin: SessionOrigin,
+        edit_seq: u64,
+        incr: IncrState,
+        forests: HashMap<Vec<TupleId>, Arc<RouteForest>>,
+    ) -> Session {
+        Session {
+            id: self.id,
+            scenario,
+            origin: Some(origin),
+            edit_seq,
+            incr,
+            edit_lock: Arc::clone(&self.edit_lock),
+            forest_cache: Mutex::new(forests),
         }
     }
 
@@ -118,6 +168,31 @@ impl Session {
     /// it was created through the persistable path.
     pub fn origin(&self) -> Option<&SessionOrigin> {
         self.origin.as_ref()
+    }
+
+    /// How many edit batches this incarnation reflects.
+    pub fn edit_seq(&self) -> u64 {
+        self.edit_seq
+    }
+
+    /// The match memos the next edit batch starts from.
+    pub fn incr_state(&self) -> &IncrState {
+        &self.incr
+    }
+
+    /// The editor lock shared across this session's incarnations. Returned
+    /// by `Arc` so the guard can outlive a store re-fetch.
+    pub fn edit_lock(&self) -> Arc<Mutex<()>> {
+        Arc::clone(&self.edit_lock)
+    }
+
+    /// Snapshot of the forest cache (selection key, forest) pairs, for
+    /// survivor selection during an edit.
+    pub fn forest_entries(&self) -> Vec<(Vec<TupleId>, Arc<RouteForest>)> {
+        self.lock_forest_cache()
+            .iter()
+            .map(|(k, f)| (k.clone(), Arc::clone(f)))
+            .collect()
     }
 
     /// The route environment over this session's `(M, I, J)`.
@@ -679,7 +754,7 @@ impl SessionStore {
         workers: &Pool,
     ) -> (u64, Vec<u64>) {
         let id = self.next_id.fetch_add(1, Relaxed);
-        let session = Arc::new(Session::with_origin(id, scenario, origin));
+        let session = Arc::new(Session::with_origin(id, scenario, origin, 0));
         let shard = &self.shards[self.shard_of(id)];
         shard.insert(id, session);
         let evicted = if shard.occupancy.load(Relaxed) > shard.capacity {
@@ -703,6 +778,36 @@ impl SessionStore {
     /// atomic touch — never the write lock).
     pub fn get(&self, id: u64) -> SessionLookup {
         self.shards[self.shard_of(id)].lookup(id)
+    }
+
+    /// Fetch without touching: no recency stamp, no hit/miss accounting.
+    /// The edit path re-validates its session under the edit lock with
+    /// this, so a live edit perturbs exactly the state WAL replay will
+    /// reconstruct (one `Touch` + one `Edit` per batch).
+    pub fn peek(&self, id: u64) -> SessionLookup {
+        let shard = &self.shards[self.shard_of(id)];
+        let inner = shard.read_locked();
+        match inner.sessions.get(&id) {
+            Some(entry) => SessionLookup::Found(Arc::clone(&entry.session)),
+            None if inner.gone_set.contains(&id) => SessionLookup::Evicted,
+            None => SessionLookup::Missing,
+        }
+    }
+
+    /// Swap a session's incarnation in place: the shard entry keeps its
+    /// recency stamp and segment bit, only the `Arc<Session>` changes.
+    /// Returns `false` (without inserting) if the id is no longer resident
+    /// — a concurrent DELETE or eviction wins over the edit.
+    pub fn replace(&self, id: u64, session: Arc<Session>) -> bool {
+        let shard = &self.shards[self.shard_of(id)];
+        let mut inner = shard.write_locked();
+        let Some(old) = inner.sessions.get(&id) else {
+            return false;
+        };
+        let stored = Entry::new(session, old.touch.load(Relaxed));
+        stored.protected.store(old.protected.load(Relaxed), Relaxed);
+        inner.sessions.insert(id, stored);
+        true
     }
 
     /// Remove a session, distinguishing live, evicted, and unknown ids.
@@ -757,6 +862,7 @@ impl SessionStore {
                             stamp: entry.touch.load(Relaxed),
                             protected: entry.protected.load(Relaxed),
                             chase: origin.chase,
+                            edit_seq: entry.session.edit_seq,
                             scenario: origin.text.to_string(),
                             forests: entry.session.cached_forest_keys(),
                         })
@@ -829,7 +935,12 @@ impl SessionStore {
                 chase: entry.chase,
                 text: Arc::from(entry.scenario.as_str()),
             };
-            let session = Arc::new(Session::with_origin(entry.id, scenario, Some(origin)));
+            let session = Arc::new(Session::with_origin(
+                entry.id,
+                scenario,
+                Some(origin),
+                entry.edit_seq,
+            ));
             self.warm_forests(&session, &entry.forests, workers);
             let shard = &self.shards[self.shard_of(entry.id)];
             let stored = Entry::new(Arc::clone(&session), entry.stamp);
@@ -878,7 +989,7 @@ impl SessionStore {
                         text: Arc::from(scenario.as_str()),
                     };
                     let session =
-                        Arc::new(Session::with_origin(*id, prep, Some(origin)));
+                        Arc::new(Session::with_origin(*id, prep, Some(origin), 0));
                     let stamp = Entry::next_stamp(&shard.clock);
                     let mut inner = shard.write_locked();
                     inner.sessions.insert(*id, Entry::new(session, stamp));
@@ -918,6 +1029,47 @@ impl SessionStore {
                         .map(|e| Arc::clone(&e.session));
                     if let Some(session) = session {
                         self.warm_forests(&session, std::slice::from_ref(selection), workers);
+                        applied += 1;
+                    }
+                }
+                Record::Edit { id, seq, ops } => {
+                    // Idempotent by sequence number: a snapshot taken after
+                    // the batch already reflects it, so replaying on top
+                    // would double-apply. Replay re-edits the canonical text
+                    // and re-prepares from scratch — recovery optimizes for
+                    // correctness, not latency; the chase is deterministic,
+                    // so the result matches the live incremental apply byte
+                    // for byte. Memos restart empty and forests re-warm
+                    // from later `Forest` records.
+                    let shard = &self.shards[self.shard_of(*id)];
+                    let session = shard
+                        .read_locked()
+                        .sessions
+                        .get(id)
+                        .map(|e| Arc::clone(&e.session));
+                    let Some(session) = session else { continue };
+                    if *seq <= session.edit_seq {
+                        continue;
+                    }
+                    let Some(origin) = session.origin() else { continue };
+                    let Ok((text, _)) = routes_incr::apply_edits(&origin.text, ops) else {
+                        continue;
+                    };
+                    let Some(prep) = prepare(&text, origin.chase) else {
+                        continue;
+                    };
+                    let new_origin = SessionOrigin {
+                        chase: origin.chase,
+                        text: Arc::from(text.as_str()),
+                    };
+                    let replaced = Arc::new(session.edited(
+                        prep,
+                        new_origin,
+                        *seq,
+                        IncrState::default(),
+                        HashMap::new(),
+                    ));
+                    if self.replace(*id, replaced) {
                         applied += 1;
                     }
                 }

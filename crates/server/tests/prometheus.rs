@@ -88,6 +88,7 @@ fn exposition_matches_the_golden_file() {
     m.record_phase(Phase::Forest, Duration::from_millis(3));
     m.record_phase(Phase::Route, Duration::from_micros(40));
     m.record_phase(Phase::Print, Duration::from_micros(20));
+    m.record_phase(Phase::Edit, Duration::from_micros(700));
     use std::sync::atomic::Ordering::Relaxed;
     m.bad_requests.store(2, Relaxed);
     m.connections_accepted.store(6, Relaxed);
@@ -98,6 +99,11 @@ fn exposition_matches_the_golden_file() {
     m.all_routes_computed.store(4, Relaxed);
     m.forest_cache_hits.store(2, Relaxed);
     m.forest_cache_misses.store(2, Relaxed);
+    m.edits_applied.store(3, Relaxed);
+    m.edits_rejected.store(1, Relaxed);
+    m.edit_ops_applied.store(9, Relaxed);
+    m.edit_forests_kept.store(4, Relaxed);
+    m.edit_forests_invalidated.store(2, Relaxed);
 
     let text = m.to_prometheus(&fixed_store(), Some(&fixed_persist()), 4);
     // Uptime is the only wall-clock-dependent sample; normalize it so the
@@ -262,6 +268,22 @@ fn reconcile(json: &Json, check: &mut PromCheck) {
             "forest_cache_hits" => check.eat("routes_forest_cache_hits_total", as_u64(value)),
             "forest_cache_misses" => {
                 check.eat("routes_forest_cache_misses_total", as_u64(value));
+            }
+            "edits" => {
+                for (edit_key, v) in obj_fields(value) {
+                    match edit_key.as_str() {
+                        "applied" => check.eat("routes_edits_applied_total", as_u64(v)),
+                        "rejected" => check.eat("routes_edits_rejected_total", as_u64(v)),
+                        "ops_applied" => check.eat("routes_edit_ops_applied_total", as_u64(v)),
+                        "forests_kept" => {
+                            check.eat("routes_edit_forests_kept_total", as_u64(v));
+                        }
+                        "forests_invalidated" => {
+                            check.eat("routes_edit_forests_invalidated_total", as_u64(v));
+                        }
+                        other => panic!("unknown edits field `{other}`"),
+                    }
+                }
             }
             "latency_us" => check.eat_histogram(
                 "routes_request_latency_us",
@@ -486,10 +508,48 @@ fn text_and_json_expositions_reconcile_exactly_under_live_traffic() {
         Some(select),
     );
     assert_eq!(status, 200);
+    // An edit far from T(…, row 0): the cached forest survives, and the
+    // post-edit all-routes is still a cache hit.
+    let edit = r#"{"ops": [{"op": "insert_tuple", "line": "S(100, 101)"}]}"#;
+    let (status, _, body) = raw_request(
+        addr,
+        "POST",
+        &format!("/sessions/{live}/edit"),
+        &[],
+        Some(edit),
+    );
+    assert_eq!(status, 200, "edit failed: {body}");
+    let edit_json = parse(&body).unwrap();
+    assert_eq!(as_u64(edit_json.get("edit_seq").unwrap()), 1);
+    assert_eq!(as_u64(edit_json.get("forests_kept").unwrap()), 1);
+    let (status, _, body) = raw_request(
+        addr,
+        "POST",
+        &format!("/sessions/{live}/all-routes"),
+        &[],
+        Some(select),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        parse(&body).unwrap().get("cached").unwrap().as_bool(),
+        Some(true),
+        "surviving forest keeps serving cached answers"
+    );
+    // A malformed edit feeds edits_rejected.
+    let (status, _, _) = raw_request(
+        addr,
+        "POST",
+        &format!("/sessions/{live}/edit"),
+        &[],
+        Some(r#"{"ops": [{"op": "delete_tuple", "relation": "S", "row": 99}]}"#),
+    );
+    assert_eq!(status, 422);
     raw_request(addr, "GET", &format!("/sessions/{live}"), &[], None);
     raw_request(addr, "DELETE", &format!("/sessions/{live}"), &[], None);
     raw_request(addr, "GET", "/sessions/999999", &[], None); // 404
-    raw_request(addr, "PATCH", "/metrics", &[], None); // 405
+    let (status, headers, _) = raw_request(addr, "PATCH", "/metrics", &[], None);
+    assert_eq!(status, 405, "known route, unsupported method");
+    assert_eq!(header(&headers, "allow"), Some("GET"));
 
     // Quiesce, then reconcile from one frozen snapshot pair. Uptime is
     // read per rendering; retry if the second boundary lands between.
@@ -524,8 +584,13 @@ fn text_and_json_expositions_reconcile_exactly_under_live_traffic() {
 
     // Sanity: the traffic actually exercised the interesting families.
     assert!(as_u64(json.get("sessions_evicted").unwrap()) >= 1, "wanted evictions");
-    assert_eq!(as_u64(json.get("forest_cache_hits").unwrap()), 1);
+    // hits: second pre-edit all-routes + the post-edit surviving-forest hit.
+    assert_eq!(as_u64(json.get("forest_cache_hits").unwrap()), 2);
     assert_eq!(as_u64(json.get("forest_cache_misses").unwrap()), 1);
+    let edits = json.get("edits").unwrap();
+    assert_eq!(as_u64(edits.get("applied").unwrap()), 1);
+    assert_eq!(as_u64(edits.get("rejected").unwrap()), 1);
+    assert_eq!(as_u64(edits.get("forests_kept").unwrap()), 1);
     assert!(
         as_u64(
             json.get("persistence")

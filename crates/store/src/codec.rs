@@ -58,6 +58,28 @@ impl ChaseMode {
 /// `(relation id, row)` pairs.
 pub type SelectionKey = Vec<(u32, u32)>;
 
+/// One live-mutation operation against a session's scenario. Ops are pure
+/// data — relation names, source-text lines, tgd names — never parsed
+/// structures, so a decoded op means the same thing against the replayed
+/// scenario text that it meant against the live one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditOp {
+    /// Append a source-data line (e.g. `S(1, 2)`).
+    InsertTuple { line: String },
+    /// Delete the `row`-th distinct tuple of `relation` (instance row
+    /// order, i.e. first-occurrence order in the scenario text).
+    DeleteTuple { relation: String, row: u32 },
+    /// Append a dependency line (e.g. `m9: S(x, y) -> T(x, y)`).
+    AddTgd { line: String },
+    /// Remove the dependency named `name`.
+    DropTgd { name: String },
+}
+
+const EDIT_OP_INSERT: u8 = 1;
+const EDIT_OP_DELETE: u8 = 2;
+const EDIT_OP_ADD_TGD: u8 = 3;
+const EDIT_OP_DROP_TGD: u8 = 4;
+
 /// One write-ahead-log record: a single session-store mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Record {
@@ -76,6 +98,12 @@ pub enum Record {
     Evict { id: u64 },
     /// A route forest was computed and memoized for `selection`.
     Forest { id: u64, selection: SelectionKey },
+    /// A batch of live-mutation ops was applied to the session's scenario.
+    /// `seq` is the session's edit sequence number *after* the batch; a
+    /// record can land in both a checkpoint image and the surviving log,
+    /// so replay skips batches whose `seq` the restored entry already
+    /// reflects.
+    Edit { id: u64, seq: u64, ops: Vec<EditOp> },
 }
 
 impl Record {
@@ -86,7 +114,8 @@ impl Record {
             | Record::Touch { id }
             | Record::Delete { id }
             | Record::Evict { id }
-            | Record::Forest { id, .. } => id,
+            | Record::Forest { id, .. }
+            | Record::Edit { id, .. } => id,
         }
     }
 }
@@ -96,6 +125,7 @@ const TAG_TOUCH: u8 = 2;
 const TAG_DELETE: u8 = 3;
 const TAG_EVICT: u8 = 4;
 const TAG_FOREST: u8 = 5;
+const TAG_EDIT: u8 = 6;
 
 /// One persisted session entry: everything needed to rebuild the live
 /// [`Session`](../routes_server) byte-identically — identity, recency
@@ -109,6 +139,12 @@ pub struct PersistedEntry {
     /// Segmented-LRU segment (`true` = protected).
     pub protected: bool,
     pub chase: ChaseMode,
+    /// Edit sequence number: how many edit batches `scenario` already
+    /// reflects. WAL `Edit` records with `seq <= edit_seq` are skipped on
+    /// replay.
+    pub edit_seq: u64,
+    /// The *current* scenario text (post-edit, when the session was
+    /// edited).
     pub scenario: String,
     /// Memoized forest-cache keys (sorted selections) to recompute.
     pub forests: Vec<SelectionKey>,
@@ -202,6 +238,31 @@ impl Writer {
             self.u32(row);
         }
     }
+
+    fn edit_ops(&mut self, ops: &[EditOp]) {
+        self.u32(ops.len() as u32);
+        for op in ops {
+            match op {
+                EditOp::InsertTuple { line } => {
+                    self.u8(EDIT_OP_INSERT);
+                    self.str(line);
+                }
+                EditOp::DeleteTuple { relation, row } => {
+                    self.u8(EDIT_OP_DELETE);
+                    self.str(relation);
+                    self.u32(*row);
+                }
+                EditOp::AddTgd { line } => {
+                    self.u8(EDIT_OP_ADD_TGD);
+                    self.str(line);
+                }
+                EditOp::DropTgd { name } => {
+                    self.u8(EDIT_OP_DROP_TGD);
+                    self.str(name);
+                }
+            }
+        }
+    }
 }
 
 struct Reader<'a> {
@@ -259,6 +320,29 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    fn edit_ops(&mut self) -> Result<Vec<EditOp>, CodecError> {
+        let n = self.u32()? as usize;
+        // Every op occupies at least 5 bytes (tag + string length); bound
+        // the allocation by what the buffer can actually hold.
+        if n > self.buf.len().saturating_sub(self.pos) / 5 {
+            return Err(CodecError::Short);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(match self.u8()? {
+                EDIT_OP_INSERT => EditOp::InsertTuple { line: self.str()? },
+                EDIT_OP_DELETE => EditOp::DeleteTuple {
+                    relation: self.str()?,
+                    row: self.u32()?,
+                },
+                EDIT_OP_ADD_TGD => EditOp::AddTgd { line: self.str()? },
+                EDIT_OP_DROP_TGD => EditOp::DropTgd { name: self.str()? },
+                v => return Err(CodecError::BadEnum("edit op", v)),
+            });
+        }
+        Ok(out)
+    }
+
     fn finish(self) -> Result<(), CodecError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -299,6 +383,12 @@ pub fn encode_record_payload(record: &Record) -> Vec<u8> {
             w.u64(*id);
             w.selection(selection);
         }
+        Record::Edit { id, seq, ops } => {
+            w.u8(TAG_EDIT);
+            w.u64(*id);
+            w.u64(*seq);
+            w.edit_ops(ops);
+        }
     }
     w.buf
 }
@@ -322,6 +412,12 @@ pub fn decode_record_payload(payload: &[u8]) -> Result<Record, CodecError> {
             let id = r.u64()?;
             let selection = r.selection()?;
             Record::Forest { id, selection }
+        }
+        TAG_EDIT => {
+            let id = r.u64()?;
+            let seq = r.u64()?;
+            let ops = r.edit_ops()?;
+            Record::Edit { id, seq, ops }
         }
         other => return Err(CodecError::BadTag(other)),
     };
@@ -353,6 +449,7 @@ pub fn encode_snapshot_payload(state: &SnapshotState, wal_gen: u64) -> Vec<u8> {
         w.u64(entry.stamp);
         w.u8(u8::from(entry.protected));
         w.u8(entry.chase.to_u8());
+        w.u64(entry.edit_seq);
         w.str(&entry.scenario);
         w.u32(entry.forests.len() as u32);
         for key in &entry.forests {
@@ -390,6 +487,7 @@ pub fn decode_snapshot_payload(payload: &[u8]) -> Result<(SnapshotState, u64), C
             v => return Err(CodecError::BadEnum("protected flag", v)),
         };
         let chase = ChaseMode::from_u8(r.u8()?)?;
+        let edit_seq = r.u64()?;
         let scenario = r.str()?;
         let nforests = r.u32()? as usize;
         let mut forests = Vec::with_capacity(nforests.min(1 << 16));
@@ -401,6 +499,7 @@ pub fn decode_snapshot_payload(payload: &[u8]) -> Result<(SnapshotState, u64), C
             stamp,
             protected,
             chase,
+            edit_seq,
             scenario,
             forests,
         });
@@ -520,6 +619,30 @@ mod tests {
             },
             Record::Delete { id: 7 },
             Record::Evict { id: 9 },
+            Record::Edit {
+                id: 7,
+                seq: 3,
+                ops: vec![
+                    EditOp::InsertTuple {
+                        line: "S(1, 2)".to_owned(),
+                    },
+                    EditOp::DeleteTuple {
+                        relation: "S".to_owned(),
+                        row: 4,
+                    },
+                    EditOp::AddTgd {
+                        line: "m9: S(x, y) -> T(x, y)".to_owned(),
+                    },
+                    EditOp::DropTgd {
+                        name: "m9".to_owned(),
+                    },
+                ],
+            },
+            Record::Edit {
+                id: 8,
+                seq: 1,
+                ops: vec![],
+            },
         ]
     }
 
@@ -550,6 +673,7 @@ mod tests {
                 stamp: 9,
                 protected: true,
                 chase: ChaseMode::Skolem,
+                edit_seq: 5,
                 scenario: "source schema:\n  S(a)\n".to_owned(),
                 forests: vec![vec![(0, 1)], vec![]],
             }],
@@ -560,22 +684,42 @@ mod tests {
 
     #[test]
     fn damaged_payloads_are_rejected_not_misread() {
-        let payload = encode_record_payload(&Record::Create {
-            id: 1,
-            chase: ChaseMode::Fresh,
-            scenario: "x".to_owned(),
-        });
-        // Truncation at every prefix length fails; it never yields a
-        // different valid record.
-        for cut in 0..payload.len() {
-            assert!(decode_record_payload(&payload[..cut]).is_err(), "cut={cut}");
+        // Truncation at every prefix length of every record shape fails;
+        // it never yields a different valid record.
+        for record in sample_records() {
+            let payload = encode_record_payload(&record);
+            for cut in 0..payload.len() {
+                assert!(
+                    decode_record_payload(&payload[..cut]).is_err(),
+                    "{record:?} cut={cut}"
+                );
+            }
+            // Trailing garbage is rejected.
+            let mut padded = payload.clone();
+            padded.push(0);
+            assert_eq!(decode_record_payload(&padded), Err(CodecError::TrailingBytes));
         }
         // An unknown tag is rejected.
         assert_eq!(decode_record_payload(&[99]), Err(CodecError::BadTag(99)));
-        // Trailing garbage is rejected.
-        let mut padded = payload.clone();
-        padded.push(0);
-        assert_eq!(decode_record_payload(&padded), Err(CodecError::TrailingBytes));
+        // An unknown edit-op sub-tag is rejected.
+        let mut w = Writer::new();
+        w.u8(TAG_EDIT);
+        w.u64(1);
+        w.u64(1);
+        w.u32(1);
+        w.u8(77);
+        w.u32(0); // pad past the allocation bound so the tag is reached
+        assert_eq!(
+            decode_record_payload(&w.buf),
+            Err(CodecError::BadEnum("edit op", 77))
+        );
+        // An implausible op count is bounded, not allocated.
+        let mut w = Writer::new();
+        w.u8(TAG_EDIT);
+        w.u64(1);
+        w.u64(1);
+        w.u32(u32::MAX);
+        assert_eq!(decode_record_payload(&w.buf), Err(CodecError::Short));
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub mod testutil;
 pub mod wal;
 
 pub use codec::{
-    ChaseMode, FrameStop, PersistedEntry, PersistedShard, Record, SelectionKey, SnapshotState,
+    ChaseMode, EditOp, FrameStop, PersistedEntry, PersistedShard, Record, SelectionKey,
+    SnapshotState,
 };
 pub use metrics::{PersistMetrics, PersistSnapshot, FSYNC_BUCKETS_US};
 pub use snapshot::{Recovery, StoreDir};

@@ -267,6 +267,7 @@ mod tests {
                 stamp: 4,
                 protected: true,
                 chase: ChaseMode::Fresh,
+                edit_seq: 0,
                 scenario: "source schema:\n  S(a)\n".to_owned(),
                 forests: vec![vec![(0, 0)]],
             }],

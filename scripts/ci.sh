@@ -29,6 +29,18 @@ ROUTES_SESSION_SHARDS=8 cargo test -q --offline --test session_store_concurrency
 ROUTES_SESSION_SHARDS=1 cargo test -q --offline --test persistence_recovery
 ROUTES_SESSION_SHARDS=8 cargo test -q --offline --test persistence_recovery
 
+# Incremental-edit gate: the 200-op differential campaign (incremental
+# delta-chase vs from-scratch re-chase, byte-identical after every batch,
+# plus surviving-forest equality, the HTTP edit endpoint, and edit-record
+# replay on restart) must pass with the session store at 1 shard and at 8,
+# and with the worker pool pinned to 2 threads.
+ROUTES_SESSION_SHARDS=1 ROUTES_THREADS=2 cargo test -q --offline --test incremental_edits
+ROUTES_SESSION_SHARDS=8 ROUTES_THREADS=2 cargo test -q --offline --test incremental_edits
+
+# Incremental-edit bench smoke: incremental apply vs full re-chase over a
+# pinned campaign (writes bench_results/micro_edit.csv).
+cargo run --release --offline -p routes-bench --bin repro -- micro edit --quick
+
 # Thread-scaling bench smoke: `repro micro parallel` must run end to end
 # (writes bench_results/micro_parallel.csv).
 cargo run --release --offline -p routes-bench --bin repro -- micro parallel --quick

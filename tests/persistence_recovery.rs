@@ -34,7 +34,9 @@ use routes_server::json::{parse, Json};
 use routes_server::{Server, ServerConfig};
 use routes_store::faults::{inject, random_fault, Fault, SplitMix64};
 use routes_store::testutil::TempDir;
-use routes_store::{ChaseMode, Durability, PersistMetrics, Record, SnapshotState, StoreDir};
+use routes_store::{
+    ChaseMode, Durability, EditOp, PersistMetrics, Record, SnapshotState, StoreDir,
+};
 
 /// A keep-alive HTTP client speaking just enough of the protocol.
 struct Client {
@@ -277,13 +279,37 @@ fn fault_campaign_recovers_a_prefix_of_the_log() {
         let wal = dir
             .checkpoint(&SnapshotState::default(), 1, Arc::clone(&metrics))
             .expect("checkpoint");
-        let written: Vec<Record> = (1..=RECORDS)
-            .map(|id| Record::Create {
+        // Creates interleaved with Edit records (every third session gets
+        // one), so the campaign damages edit frames as often as creates.
+        let mut written: Vec<Record> = Vec::new();
+        for id in 1..=RECORDS {
+            written.push(Record::Create {
                 id,
                 chase: ChaseMode::Fresh,
                 scenario: format!("scenario body for session {id}"),
-            })
-            .collect();
+            });
+            if id.is_multiple_of(3) {
+                written.push(Record::Edit {
+                    id,
+                    seq: 1,
+                    ops: vec![
+                        EditOp::InsertTuple {
+                            line: format!("S({id}, {id})"),
+                        },
+                        EditOp::DeleteTuple {
+                            relation: "S".to_owned(),
+                            row: 0,
+                        },
+                        EditOp::AddTgd {
+                            line: "g0: S(x, y) -> T(x, y)".to_owned(),
+                        },
+                        EditOp::DropTgd {
+                            name: "g0".to_owned(),
+                        },
+                    ],
+                });
+            }
+        }
         for r in &written {
             wal.append(r, Durability::Synced).expect("append");
         }
@@ -308,7 +334,7 @@ fn fault_campaign_recovers_a_prefix_of_the_log() {
             }
             _ => {
                 assert!(
-                    (rec.records.len() as u64) < RECORDS,
+                    rec.records.len() < written.len(),
                     "seed {seed}: {fault:?} must cost at least the frame it hit"
                 );
                 assert_eq!(
