@@ -8,6 +8,7 @@
 //! repro micro persist [--quick]
 //! repro micro obs [--quick]
 //! repro micro edit [--quick]
+//! repro micro join [--quick]
 //! ```
 //!
 //! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
@@ -24,14 +25,18 @@
 //! overhead on the get-session hot path (off vs on vs slow-log) and
 //! writes `bench_results/micro_obs.csv`; `micro edit` compares the
 //! incremental delta-chase against a full re-chase over a pinned edit
-//! campaign and writes `bench_results/micro_edit.csv`; `--quick` shrinks
-//! any of them to a CI smoke run.
+//! campaign and writes `bench_results/micro_edit.csv`; `micro join` sweeps
+//! the vectorized batch executor against the row-at-a-time `MatchIter` at
+//! batch sizes 1/64/1024 over the TPC-H, hierarchy, and random generators
+//! and writes `bench_results/micro_join.csv`; `--quick` shrinks any of
+//! them to a CI smoke run.
 
 use std::path::Path;
 
 use routes_bench::{
-    edit_benches, fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, micro_benches,
-    obs_benches, parallel_benches, persist_benches, session_benches, table1, Sizing, Table,
+    edit_benches, fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, join_benches,
+    micro_benches, obs_benches, parallel_benches, persist_benches, session_benches, table1,
+    Sizing, Table,
 };
 
 fn main() {
@@ -62,6 +67,7 @@ fn main() {
         [a, b] if a == "micro" && b == "persist" => "micro-persist".to_owned(),
         [a, b] if a == "micro" && b == "obs" => "micro-obs".to_owned(),
         [a, b] if a == "micro" && b == "edit" => "micro-edit".to_owned(),
+        [a, b] if a == "micro" && b == "join" => "micro-join".to_owned(),
         _ => usage("too many experiment names"),
     };
 
@@ -180,6 +186,16 @@ fn main() {
         emit(&name, vec![t]);
         ran = true;
     }
+    if which == "micro-join" {
+        eprintln!(
+            "running vectorized-join micro-benchmarks{} ...",
+            if quick { " (quick)" } else { "" }
+        );
+        let t = join_benches(quick);
+        let name = t.title.clone();
+        emit(&name, vec![t]);
+        ran = true;
+    }
     if !ran {
         usage(&format!("unknown experiment `{which}`"));
     }
@@ -193,7 +209,8 @@ fn usage(msg: &str) -> ! {
          \u{20}      repro micro sessions [--quick]\n\
          \u{20}      repro micro persist [--quick]\n\
          \u{20}      repro micro obs [--quick]\n\
-         \u{20}      repro micro edit [--quick]"
+         \u{20}      repro micro edit [--quick]\n\
+         \u{20}      repro micro join [--quick]"
     );
     std::process::exit(2);
 }

@@ -5,7 +5,10 @@ use std::collections::HashMap;
 use routes_mapping::{SchemaMapping, Tgd};
 use routes_model::{Instance, TupleId, Value, ValuePool, Var};
 use routes_pool::Pool;
-use routes_query::{anchored_plan, satisfiable, unify_atom, Bindings, EvalOptions, MatchIter};
+use routes_query::{
+    anchored_plan, batch_all_matches, batch_matches_with_plan_into, plan_with_bound, satisfiable,
+    unify_atom, BatchOptions, Bindings, BindingBatch,
+};
 
 use crate::egd_log::{EgdLog, EgdMerge};
 use crate::result::{ChaseError, ChaseResult};
@@ -245,6 +248,12 @@ impl Engine<'_> {
     /// outer atom's candidate rows are partitioned across workers, and the
     /// per-chunk match buffers are concatenated in chunk order (see
     /// [`routes_query::AnchoredPlan`]).
+    ///
+    /// Within a chunk, the anchored rows are unified into a columnar
+    /// [`BindingBatch`] and the suffix is evaluated by the vectorized batch
+    /// executor, which yields the byte-identical match sequence of draining a
+    /// [`MatchIter`](routes_query::MatchIter) per row (the order argument
+    /// lives in `routes_query::batch`).
     fn collect_st_matches(&self, ti: usize) -> Vec<Bindings> {
         if let Some(provided) = self.st_matches {
             return provided[ti].clone();
@@ -256,30 +265,31 @@ impl Engine<'_> {
             return vec![init];
         };
         let anchor = &tgd.lhs()[ap.outer];
+        let opts = BatchOptions::default();
         let chunks = self
             .workers
             .par_map_chunks(ap.rows.len(), PAR_MIN_CHUNK, |_, range| {
-                let mut local: Vec<Bindings> = Vec::new();
+                let mut seeds = BindingBatch::new(init.capacity(), anchor.vars());
                 for &row in &ap.rows[range] {
                     let mut b = init.clone();
                     let tuple = self.source.tuple(TupleId {
                         rel: anchor.rel,
                         row,
                     });
-                    if !unify_atom(anchor, tuple, &mut b) {
+                    if !unify_atom(anchor, &tuple, &mut b) {
                         continue;
                     }
-                    let mut it = MatchIter::with_plan(
-                        self.source,
-                        tgd.lhs(),
-                        b,
-                        ap.suffix.clone(),
-                        EvalOptions::default(),
-                    );
-                    while let Some(m) = it.next_match() {
-                        local.push(m.clone());
-                    }
+                    seeds.push_binding(&b);
                 }
+                let mut local: Vec<Bindings> = Vec::new();
+                batch_matches_with_plan_into(
+                    self.source,
+                    tgd.lhs(),
+                    &ap.suffix,
+                    &seeds,
+                    &opts,
+                    &mut local,
+                );
                 local
             });
         chunks.into_iter().flatten().collect()
@@ -305,8 +315,17 @@ impl Engine<'_> {
 
     /// All delta-anchored matches of target tgd `ti`, with the delta tuples
     /// partitioned across workers per anchor atom.
+    ///
+    /// Every delta tuple anchored on the same atom yields the same bound
+    /// variable set (the plan depends only on that set, never on values), so
+    /// the completion of `rest` is planned **once** per anchor and the delta
+    /// tuples stream through the batch executor — replacing one
+    /// [`MatchIter`](routes_query::MatchIter) construction (plan + buffers)
+    /// per delta tuple with one pipeline per chunk, while enumerating the
+    /// identical per-tuple match sequences.
     fn collect_target_matches(&self, ti: usize, delta: &[TupleId]) -> Vec<Bindings> {
         let tgd = &self.mapping.target_tgds()[ti];
+        let opts = BatchOptions::default();
         let mut pending: Vec<Bindings> = Vec::new();
         for anchor_idx in 0..tgd.lhs().len() {
             let anchor = &tgd.lhs()[anchor_idx];
@@ -318,23 +337,30 @@ impl Engine<'_> {
                 .filter(|&(i, _)| i != anchor_idx)
                 .map(|(_, a)| a.clone())
                 .collect();
+            let order = plan_with_bound(&self.target, &rest, anchor.vars().collect());
             let chunks = self
                 .workers
                 .par_map_chunks(delta.len(), PAR_MIN_CHUNK, |_, range| {
-                    let mut local: Vec<Bindings> = Vec::new();
+                    let mut seeds = BindingBatch::new(tgd.var_count(), anchor.vars());
                     for &tid in &delta[range] {
                         if tid.rel != anchor.rel {
                             continue;
                         }
                         let mut init = Bindings::new(tgd.var_count());
-                        if !unify_atom(anchor, self.target.tuple(tid), &mut init) {
+                        if !unify_atom(anchor, &self.target.tuple(tid), &mut init) {
                             continue;
                         }
-                        let mut it = MatchIter::new(&self.target, &rest, init);
-                        while let Some(b) = it.next_match() {
-                            local.push(b.clone());
-                        }
+                        seeds.push_binding(&init);
                     }
+                    let mut local: Vec<Bindings> = Vec::new();
+                    batch_matches_with_plan_into(
+                        &self.target,
+                        &rest,
+                        &order,
+                        &seeds,
+                        &opts,
+                        &mut local,
+                    );
                     local
                 });
             for chunk in chunks {
@@ -437,13 +463,24 @@ impl Engine<'_> {
     /// Evaluate every egd over the current target and collect the implied
     /// equalities. Non-trivial merges are recorded in the egd log (with
     /// their resolutions filled in once the pass's fixpoint is known).
+    ///
+    /// Egd evaluation always drains the full match set, so it runs through
+    /// the batch executor; the union order (which the egd log's merge
+    /// sequence depends on) is preserved because the batch enumerates the
+    /// lazy iterator's exact sequence.
     fn collect_egd_equalities(&mut self) -> Result<ValueUnifier, ChaseError> {
         let mut unifier = ValueUnifier::new();
         let log_start = self.egd_log.len();
+        let opts = BatchOptions::default();
         for egd in self.mapping.egds() {
-            let mut it = MatchIter::new(&self.target, egd.lhs(), Bindings::new(egd.var_count()));
+            let matches = batch_all_matches(
+                &self.target,
+                egd.lhs(),
+                &Bindings::new(egd.var_count()),
+                &opts,
+            );
             let (x, y) = egd.equated();
-            while let Some(b) = it.next_match() {
+            for b in matches {
                 let vx = b.get(x).expect("egd vars occur in LHS");
                 let vy = b.get(y).expect("egd vars occur in LHS");
                 let merged = unifier
@@ -483,6 +520,7 @@ impl Engine<'_> {
 mod tests {
     use super::*;
     use routes_mapping::{parse_egd, parse_st_tgd, parse_target_tgd};
+    use routes_query::{EvalOptions, MatchIter};
     use routes_mapping::satisfy::is_solution;
     use routes_model::Schema;
 
@@ -730,7 +768,7 @@ mod tests {
             for &row in &ap.rows {
                 let mut b = init.clone();
                 let tuple = i.tuple(TupleId { rel: anchor.rel, row });
-                if !unify_atom(anchor, tuple, &mut b) {
+                if !unify_atom(anchor, &tuple, &mut b) {
                     continue;
                 }
                 let mut it = MatchIter::with_plan(

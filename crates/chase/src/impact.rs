@@ -72,10 +72,10 @@ pub fn solution_diff(schema: &Schema, old: &Instance, new: &Instance) -> ImpactR
     let mut counts: HashMap<Skeleton, (usize, usize)> = HashMap::new();
     for (rel, _) in schema.iter() {
         for (_, values) in old.rel_tuples(rel) {
-            counts.entry((rel, skeleton(values))).or_default().0 += 1;
+            counts.entry((rel, skeleton(&values))).or_default().0 += 1;
         }
         for (_, values) in new.rel_tuples(rel) {
-            counts.entry((rel, skeleton(values))).or_default().1 += 1;
+            counts.entry((rel, skeleton(&values))).or_default().1 += 1;
         }
     }
     let mut report = ImpactReport {
@@ -142,8 +142,8 @@ pub fn target_row_diff(
 ) -> RowDiff {
     let mut diff = RowDiff::default();
     for (rel, _) in schema.iter() {
-        let old_rows: Vec<&[Value]> = old.rel_tuples(rel).map(|(_, v)| v).collect();
-        let new_rows: Vec<&[Value]> = new.rel_tuples(rel).map(|(_, v)| v).collect();
+        let old_rows: Vec<Vec<Value>> = old.rel_tuples(rel).map(|(_, v)| v).collect();
+        let new_rows: Vec<Vec<Value>> = new.rel_tuples(rel).map(|(_, v)| v).collect();
         for row in 0..old_rows.len().max(new_rows.len()) {
             let same = match (old_rows.get(row), new_rows.get(row)) {
                 (Some(o), Some(n)) => {

@@ -214,7 +214,7 @@ pub fn load_scenario_str(text: &str) -> Result<LoadedScenario, LoaderError> {
                 .rel_id(rel.name())
                 .expect("encoded relations were merged into the source schema");
             for (_, values) in encoded.instance.rel_tuples(rel_id) {
-                source.insert(dst, values).expect("same arity");
+                source.insert(dst, &values).expect("same arity");
             }
         }
     } else if !src_xml_data_lines.is_empty() {

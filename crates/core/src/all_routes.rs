@@ -25,8 +25,12 @@ fn expand_tuple(env: RouteEnv<'_>, t: TupleId) -> Vec<Branch> {
     let mut branches: Vec<Branch> = Vec::new();
     let mut seen: HashSet<(TgdId, Box<[Value]>)> = HashSet::new();
     for tgd_id in env.mapping.tgd_ids() {
-        let mut fh = FindHom::new(env, tgd_id, AnchorSide::Rhs, Fact::target(t));
-        while let Some(hom) = fh.next_hom() {
+        // Forest expansion always drains every assignment, so push the whole
+        // enumeration through the vectorized batch executor; the sequence is
+        // byte-identical to lazy `next_hom` draining, so dedup's
+        // first-occurrence order — and hence the forest — is unchanged.
+        let fh = FindHom::new(env, tgd_id, AnchorSide::Rhs, Fact::target(t));
+        for hom in fh.collect_all() {
             if !seen.insert((tgd_id, hom.clone())) {
                 continue;
             }

@@ -19,7 +19,10 @@
 
 use routes_mapping::{Tgd, TgdId};
 use routes_model::{Fact, Instance, Value};
-use routes_query::{unify_atom, Bindings, MatchIter};
+use routes_query::{
+    batch_matches_with_plan, plan, plan_with_bound, unify_atom, BatchOptions, Bindings,
+    BindingBatch, MatchIter,
+};
 
 use crate::env::RouteEnv;
 
@@ -69,7 +72,7 @@ impl<'a> FindHom<'a> {
                 (tgd.lhs(), lhs_instance)
             }
         };
-        let tuple_values = probe_instance.tuple(probe.id).to_vec();
+        let tuple_values = probe_instance.tuple(probe.id);
         let anchors = anchor_atoms
             .iter()
             .enumerate()
@@ -133,11 +136,84 @@ impl<'a> FindHom<'a> {
         }
     }
 
-    /// Collect all remaining assignments, deduplicated.
+    /// Drain the **entire** remaining enumeration through the vectorized
+    /// batch executor: per anchor, the LHS completion runs as one batch
+    /// pipeline and its result batch seeds the RHS completion directly (all
+    /// LHS matches of one anchor share a bound-variable set, so the RHS is
+    /// planned once).
+    ///
+    /// The output sequence is exactly what repeated [`FindHom::next_hom`]
+    /// calls would yield — the lazy nesting "for each LHS match, drain the
+    /// RHS" is the input-major order the batch pipeline preserves — including
+    /// the per-anchor duplicates the lazy path produces. Full-enumeration
+    /// callers (`computeAllRoutes` forest expansion) use this; route-by-route
+    /// callers keep [`FindHom::next_hom`], whose cost is proportional to how
+    /// far the search advances.
+    ///
+    /// Must be called on a fresh iterator (before any `next_hom`).
+    pub fn collect_all(mut self) -> Vec<Box<[Value]>> {
+        assert!(
+            self.anchor_pos == 0 && self.stage_a.is_none() && self.stage_b.is_none(),
+            "collect_all drains a fresh FindHom"
+        );
+        let anchor_atoms = match self.anchor_side {
+            AnchorSide::Rhs => self.tgd.rhs(),
+            AnchorSide::Lhs => self.tgd.lhs(),
+        };
+        let opts = BatchOptions::default();
+        let mut out = Vec::new();
+        for &idx in &self.anchors {
+            self.anchor_pos += 1;
+            let mut v1 = Bindings::new(self.tgd.var_count());
+            if !unify_atom(&anchor_atoms[idx], &self.tuple_values, &mut v1) {
+                continue;
+            }
+            // Stage A (v2): all LHS completions of v1, batched. Planned the
+            // same way `MatchIter::new` would plan for v1.
+            let lhs_order = plan(self.lhs_instance, self.tgd.lhs(), &v1);
+            let seeds = BindingBatch::seed(&v1);
+            let lhs_batch =
+                batch_matches_with_plan(self.lhs_instance, self.tgd.lhs(), &lhs_order, &seeds, &opts);
+            if lhs_batch.is_empty() {
+                continue;
+            }
+            // Stage B (v3): the RHS completion of every LHS match, batched.
+            // Each LHS match binds the same variable set, so one plan covers
+            // the whole batch — identical to the per-match plan the lazy
+            // path computes.
+            let rhs_order =
+                plan_with_bound(self.target, self.tgd.rhs(), lhs_batch.bound_vars().to_vec());
+            let final_batch =
+                batch_matches_with_plan(self.target, self.tgd.rhs(), &rhs_order, &lhs_batch, &opts);
+            for row in 0..final_batch.len() {
+                out.push(
+                    final_batch
+                        .total(row)
+                        .expect("all tgd variables occur in LHS ∪ RHS")
+                        .into_boxed_slice(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Collect all remaining assignments, deduplicated (first occurrence
+    /// wins). A fresh iterator drains through the batched
+    /// [`FindHom::collect_all`]; a partially advanced one finishes lazily.
     pub fn collect_dedup(mut self) -> Vec<Box<[Value]>> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
-        while let Some(h) = self.next_hom() {
+        let drain: Vec<Box<[Value]>> =
+            if self.anchor_pos == 0 && self.stage_a.is_none() && self.stage_b.is_none() {
+                self.collect_all()
+            } else {
+                let mut rest = Vec::new();
+                while let Some(h) = self.next_hom() {
+                    rest.push(h);
+                }
+                rest
+            };
+        for h in drain {
             if seen.insert(h.clone()) {
                 out.push(h);
             }
@@ -300,6 +376,42 @@ mod tests {
         // anchoring T(x,Z) on T(1,10): Y free → 2 homs; dedup → 3 distinct
         // (Y=10,Z=10), (Y=10,Z=20), (Y=20,Z=10).
         assert_eq!(homs.len(), 3);
+    }
+
+    #[test]
+    fn batched_collect_all_matches_lazy_enumeration_order() {
+        // A tgd with a free RHS atom so the enumeration has real fan-out and
+        // per-anchor duplicates (see multiple_assignments_enumerated_lazily).
+        let mut s = Schema::new();
+        s.rel("S", &["a"]);
+        let mut t = Schema::new();
+        t.rel("T", &["a", "b"]);
+        let mut pool = ValuePool::new();
+        let mut m = SchemaMapping::new(s.clone(), t.clone());
+        m.add_st_tgd(
+            parse_st_tgd(&s, &t, &mut pool, "m: S(x) -> exists Y, Z: T(x,Y) & T(x,Z)").unwrap(),
+        )
+        .unwrap();
+        let mut i = Instance::new(&s);
+        i.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(1)]);
+        let mut j = Instance::new(&t);
+        let tr = t.rel_id("T").unwrap();
+        for b in [10, 20, 30] {
+            j.insert_ok(tr, &[Value::Int(1), Value::Int(b)]);
+        }
+        let env = RouteEnv::new(&m, &i, &j);
+        for row in 0..3 {
+            let probe = Fact::target(TupleId { rel: tr, row });
+            let mut lazy_fh = FindHom::new(env, TgdId::St(0), AnchorSide::Rhs, probe);
+            let mut lazy = Vec::new();
+            while let Some(h) = lazy_fh.next_hom() {
+                lazy.push(h);
+            }
+            let batched =
+                FindHom::new(env, TgdId::St(0), AnchorSide::Rhs, probe).collect_all();
+            assert_eq!(lazy, batched, "row {row}");
+            assert!(!lazy.is_empty());
+        }
     }
 
     #[test]

@@ -93,8 +93,9 @@ pub fn compute_source_routes(
             if lhs_side != fact.side {
                 continue;
             }
-            let mut fh = FindHom::new(env, tgd_id, AnchorSide::Lhs, fact);
-            while let Some(hom) = fh.next_hom() {
+            // Forward expansion drains every assignment: batched, same order.
+            let fh = FindHom::new(env, tgd_id, AnchorSide::Lhs, fact);
+            for hom in fh.collect_all() {
                 if !seen.insert((tgd_id, hom.clone())) {
                     continue;
                 }

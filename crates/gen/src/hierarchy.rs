@@ -155,7 +155,7 @@ fn populate_children(
             .type_by_name(&format!("{base}{suffix}"))
             .expect("set type exists");
         for (_, values) in scratch.rel_tuples(rel) {
-            tree.add_child(schema, root, ty, values);
+            tree.add_child(schema, root, ty, &values);
         }
     }
 }

@@ -409,7 +409,7 @@ fn copy_into(from_schema: &Schema, from: &Instance, to_schema: &Schema, to: &mut
             .rel_id(rel.name())
             .expect("merged schema contains all relations");
         for (_, values) in from.rel_tuples(rel_id) {
-            to.insert(dst, values).expect("same arity");
+            to.insert(dst, &values).expect("same arity");
         }
     }
 }

@@ -85,7 +85,7 @@ pub fn full_vectors(source: &Instance, tgd: &Tgd) -> Vec<Vec<u32>> {
             rel: anchor.rel,
             row,
         });
-        if !unify_atom(anchor, tuple, &mut b) {
+        if !unify_atom(anchor, &tuple, &mut b) {
             continue;
         }
         let mut it = MatchIter::with_plan(
@@ -131,7 +131,7 @@ pub fn delta_vectors(
                 rel: lhs[p].rel,
                 row: u,
             });
-            if !unify_atom(&lhs[p], tuple, &mut b) {
+            if !unify_atom(&lhs[p], &tuple, &mut b) {
                 continue;
             }
             let mut it =
@@ -177,7 +177,7 @@ pub fn vectors_to_bindings(source: &Instance, tgd: &Tgd, vectors: &[Vec<u32>]) -
         .map(|v| {
             let mut b = Bindings::new(tgd.var_count());
             for (atom, &row) in tgd.lhs().iter().zip(v) {
-                let ok = unify_atom(atom, source.tuple(TupleId { rel: atom.rel, row }), &mut b);
+                let ok = unify_atom(atom, &source.tuple(TupleId { rel: atom.rel, row }), &mut b);
                 assert!(ok, "memo row vectors are LHS matches");
             }
             b

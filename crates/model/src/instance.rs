@@ -1,10 +1,20 @@
 //! Instances: append-only, duplicate-eliminating tuple stores with lazily
 //! built, incrementally maintained per-column hash indexes.
 //!
-//! Row positions are stable (tuples are never moved or removed), so a
+//! Storage is **columnar**: each relation keeps one interned-value vector per
+//! column. Row positions are stable (tuples are never moved or removed), so a
 //! [`TupleId`] durably identifies a fact for the lifetime of the instance.
-//! This is the identity that routes, route forests, and the debugger use.
+//! This is the identity that routes, route forests, and the debugger use —
+//! and because the store is append-only, the columnar layout preserves it
+//! exactly: appending a tuple pushes one value onto each column vector and
+//! never disturbs earlier rows.
+//!
+//! The columnar layout is what the vectorized batch executor in
+//! `routes-query` scans: [`Instance::col_slice`] exposes a whole column as a
+//! contiguous slice, and [`Instance::value_at`] reads a single cell without
+//! materializing the row.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -60,7 +70,7 @@ impl Fact {
 
 /// A single-column hash index, caught up lazily against the append-only
 /// relation data.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 struct ColIndex {
     map: HashMap<Value, Vec<u32>>,
     /// Number of rows already indexed; rows `upto..len` are indexed on the
@@ -69,17 +79,54 @@ struct ColIndex {
 }
 
 /// A composite (multi-column) hash index over an ordered column set.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 struct MultiIndex {
     map: HashMap<Box<[Value]>, Vec<u32>>,
     upto: u32,
 }
 
+/// A single-column index pinned for a stretch of probes.
+///
+/// [`Instance::with_col_probe`] catches the index up once and holds the read
+/// guard for the closure's whole run, so every [`ColProbe::probe`] is a bare
+/// hash lookup returning the posting list *by reference* — no per-probe lock
+/// traffic and no copying. This is the batch executor's amortization lever:
+/// the lazy per-binding executor must release the lock between `next_match`
+/// calls and therefore pays lock + copy on every probe.
+pub struct ColProbe<'i> {
+    idx: &'i ColIndex,
+}
+
+impl<'i> ColProbe<'i> {
+    /// Rows whose pinned column equals `value`, in ascending row order.
+    #[inline]
+    pub fn probe(&self, value: Value) -> &'i [u32] {
+        self.idx.map.get(&value).map_or(&[][..], Vec::as_slice)
+    }
+}
+
+/// A composite index pinned for a stretch of probes; the multi-column
+/// analogue of [`ColProbe`] (see [`Instance::with_multi_probe`]).
+pub struct MultiProbe<'i> {
+    idx: &'i MultiIndex,
+}
+
+impl<'i> MultiProbe<'i> {
+    /// Rows whose pinned column set equals `values` pointwise, ascending.
+    #[inline]
+    pub fn probe(&self, values: &[Value]) -> &'i [u32] {
+        self.idx.map.get(values).map_or(&[][..], Vec::as_slice)
+    }
+}
+
 #[derive(Debug)]
 struct RelData {
     arity: usize,
-    /// Row-major flattened tuple storage (`len * arity` values).
-    data: Vec<Value>,
+    /// Number of stored rows. Tracked explicitly so nullary relations (zero
+    /// columns) count their single possible empty tuple like any other row.
+    len: u32,
+    /// Columnar tuple storage: one value vector per column, each `len` long.
+    cols: Vec<Vec<Value>>,
     /// Tuple-hash → candidate rows, for duplicate elimination.
     dedup: HashMap<u64, Vec<u32>>,
     /// Lazily built per-column indexes. Interior mutability lets read-only
@@ -94,16 +141,27 @@ struct RelData {
     indexes: RwLock<HashMap<u32, ColIndex>>,
     /// Lazily built composite indexes, keyed by the ordered column set.
     multi_indexes: RwLock<HashMap<Box<[u32]>, MultiIndex>>,
+    /// Rows fed into index builds/catch-ups over this relation's lifetime.
+    /// Diagnostic for the clone-laziness regression tests.
+    index_rows_built: AtomicU64,
 }
 
 impl Clone for RelData {
+    /// Cloning copies the data columns and dedup table but **not** the lazy
+    /// indexes: the clone starts with empty index maps and rebuilds them on
+    /// first probe. Deep-copying posting lists here used to make every
+    /// session snapshot / edit swap pay O(index) up front even when the
+    /// clone was never probed; lazy rebuild makes clone O(data) and charges
+    /// index work only to clones that actually evaluate queries.
     fn clone(&self) -> Self {
         RelData {
             arity: self.arity,
-            data: self.data.clone(),
+            len: self.len,
+            cols: self.cols.clone(),
             dedup: self.dedup.clone(),
-            indexes: RwLock::new(self.indexes.read().unwrap().clone()),
-            multi_indexes: RwLock::new(self.multi_indexes.read().unwrap().clone()),
+            indexes: RwLock::new(HashMap::new()),
+            multi_indexes: RwLock::new(HashMap::new()),
+            index_rows_built: AtomicU64::new(0),
         }
     }
 }
@@ -112,25 +170,41 @@ impl RelData {
     fn new(arity: usize) -> Self {
         RelData {
             arity,
-            data: Vec::new(),
+            len: 0,
+            cols: (0..arity).map(|_| Vec::new()).collect(),
             dedup: HashMap::new(),
             indexes: RwLock::new(HashMap::new()),
             multi_indexes: RwLock::new(HashMap::new()),
+            index_rows_built: AtomicU64::new(0),
         }
     }
 
     fn len(&self) -> u32 {
-        match self.data.len().checked_div(self.arity) {
-            Some(rows) => rows as u32,
-            // Nullary relations hold at most one (empty) tuple; we track
-            // presence via the dedup map.
-            None => u32::from(!self.dedup.is_empty()),
-        }
+        self.len
     }
 
-    fn tuple(&self, row: u32) -> &[Value] {
-        let start = row as usize * self.arity;
-        &self.data[start..start + self.arity]
+    /// One cell, without materializing the row.
+    #[inline]
+    fn value(&self, row: u32, col: usize) -> Value {
+        self.cols[col][row as usize]
+    }
+
+    /// Whether the stored row equals `values` pointwise (`values` must have
+    /// the relation's arity). Vacuously true for nullary relations.
+    fn row_eq(&self, row: u32, values: &[Value]) -> bool {
+        self.cols
+            .iter()
+            .zip(values)
+            .all(|(col, v)| col[row as usize] == *v)
+    }
+
+    fn push_row(&mut self, values: &[Value]) -> u32 {
+        let row = self.len;
+        for (col, v) in self.cols.iter_mut().zip(values) {
+            col.push(*v);
+        }
+        self.len += 1;
+        row
     }
 
     /// Ensure the index for `col` exists and covers all current rows, then
@@ -156,16 +230,52 @@ impl RelData {
         }
         let mut indexes = self.indexes.write().unwrap();
         let idx = indexes.entry(col).or_default();
-        while idx.upto < len {
-            let row = idx.upto;
-            let v = self.tuple(row)[col as usize];
-            idx.map.entry(v).or_default().push(row);
-            idx.upto += 1;
-        }
+        self.catch_up_col(idx, col, len);
         match idx.map.get(&value) {
             Some(rows) => f(rows),
             None => f(&[]),
         }
+    }
+
+    /// Extend the single-column index over rows `idx.upto..len` (no-op when
+    /// caught up). Caller holds the exclusive lock.
+    fn catch_up_col(&self, idx: &mut ColIndex, col: u32, len: u32) {
+        if idx.upto >= len {
+            return;
+        }
+        self.index_rows_built
+            .fetch_add(u64::from(len - idx.upto), Ordering::Relaxed);
+        crate::joinstats::record_hash_build(u64::from(len - idx.upto));
+        let col_data = &self.cols[col as usize];
+        // The catch-up walks the column slice directly: one contiguous
+        // vector, no per-row stride arithmetic.
+        for row in idx.upto..len {
+            idx.map
+                .entry(col_data[row as usize])
+                .or_default()
+                .push(row);
+        }
+        idx.upto = len;
+    }
+
+    /// Pin the single-column index for `col`: catch it up once, then run `f`
+    /// with a probe handle that borrows posting lists under a single read
+    /// guard. The relation cannot grow while `f` runs (appends need
+    /// `&mut Instance`), so the pinned view stays complete.
+    fn with_col_probe<R>(&self, col: u32, f: impl FnOnce(ColProbe<'_>) -> R) -> R {
+        let len = self.len();
+        let stale = {
+            let indexes = self.indexes.read().unwrap();
+            indexes.get(&col).is_none_or(|idx| idx.upto < len)
+        };
+        if stale {
+            let mut indexes = self.indexes.write().unwrap();
+            let idx = indexes.entry(col).or_default();
+            self.catch_up_col(idx, col, len);
+        }
+        let indexes = self.indexes.read().unwrap();
+        let idx = indexes.get(&col).expect("index built above");
+        f(ColProbe { idx })
     }
 
     /// Composite-index variant of [`RelData::with_index`]: `cols` must be
@@ -193,22 +303,49 @@ impl RelData {
         }
         let mut indexes = self.multi_indexes.write().unwrap();
         let idx = indexes.entry(Box::from(cols)).or_default();
-        let mut key: Vec<Value> = Vec::with_capacity(cols.len());
-        while idx.upto < len {
-            let row = idx.upto;
-            let tuple = self.tuple(row);
-            key.clear();
-            key.extend(cols.iter().map(|&c| tuple[c as usize]));
-            idx.map
-                .entry(key.as_slice().into())
-                .or_default()
-                .push(row);
-            idx.upto += 1;
-        }
+        self.catch_up_multi(idx, cols, len);
         match idx.map.get(values) {
             Some(rows) => f(rows),
             None => f(&[]),
         }
+    }
+
+    /// Composite-index analogue of [`RelData::catch_up_col`].
+    fn catch_up_multi(&self, idx: &mut MultiIndex, cols: &[u32], len: u32) {
+        if idx.upto >= len {
+            return;
+        }
+        self.index_rows_built
+            .fetch_add(u64::from(len - idx.upto), Ordering::Relaxed);
+        crate::joinstats::record_hash_build(u64::from(len - idx.upto));
+        let mut key: Vec<Value> = Vec::with_capacity(cols.len());
+        for row in idx.upto..len {
+            key.clear();
+            key.extend(cols.iter().map(|&c| self.value(row, c as usize)));
+            idx.map
+                .entry(key.as_slice().into())
+                .or_default()
+                .push(row);
+        }
+        idx.upto = len;
+    }
+
+    /// Composite-index analogue of [`RelData::with_col_probe`].
+    fn with_multi_probe<R>(&self, cols: &[u32], f: impl FnOnce(MultiProbe<'_>) -> R) -> R {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        let len = self.len();
+        let stale = {
+            let indexes = self.multi_indexes.read().unwrap();
+            indexes.get(cols).is_none_or(|idx| idx.upto < len)
+        };
+        if stale {
+            let mut indexes = self.multi_indexes.write().unwrap();
+            let idx = indexes.entry(Box::from(cols)).or_default();
+            self.catch_up_multi(idx, cols, len);
+        }
+        let indexes = self.multi_indexes.read().unwrap();
+        let idx = indexes.get(cols).expect("index built above");
+        f(MultiProbe { idx })
     }
 }
 
@@ -288,13 +425,12 @@ impl Instance {
         let h = hash_tuple(values);
         if let Some(rows) = rd.dedup.get(&h) {
             for &row in rows {
-                if rd.tuple(row) == values {
+                if rd.row_eq(row, values) {
                     return Ok((TupleId { rel, row }, false));
                 }
             }
         }
-        let row = rd.len();
-        rd.data.extend_from_slice(values);
+        let row = rd.push_row(values);
         rd.dedup.entry(h).or_default().push(row);
         Ok((TupleId { rel, row }, true))
     }
@@ -314,7 +450,7 @@ impl Instance {
         let h = hash_tuple(values);
         let rows = rd.dedup.get(&h)?;
         rows.iter()
-            .find(|&&row| rd.tuple(row) == values)
+            .find(|&&row| rd.row_eq(row, values))
             .map(|&row| TupleId { rel, row })
     }
 
@@ -323,12 +459,47 @@ impl Instance {
         self.find(rel, values).is_some()
     }
 
-    /// The values of a tuple.
+    /// The values of a tuple, gathered from the column vectors.
     ///
     /// # Panics
     /// Panics if the id is out of range.
-    pub fn tuple(&self, id: TupleId) -> &[Value] {
-        self.rel(id.rel).tuple(id.row)
+    pub fn tuple(&self, id: TupleId) -> Vec<Value> {
+        let rd = self.rel(id.rel);
+        rd.cols.iter().map(|col| col[id.row as usize]).collect()
+    }
+
+    /// Gather a tuple's values into a reusable buffer (cleared first).
+    /// Allocation-free variant of [`Instance::tuple`] for hot loops.
+    pub fn tuple_into(&self, id: TupleId, buf: &mut Vec<Value>) {
+        let rd = self.rel(id.rel);
+        buf.clear();
+        buf.extend(rd.cols.iter().map(|col| col[id.row as usize]));
+    }
+
+    /// One cell of a tuple, without materializing the row.
+    ///
+    /// # Panics
+    /// Panics if the id or column is out of range.
+    #[inline]
+    pub fn value_at(&self, id: TupleId, col: usize) -> Value {
+        self.rel(id.rel).value(id.row, col)
+    }
+
+    /// A whole column as a contiguous slice (the columnar layout's raison
+    /// d'être: the vectorized executor scans these directly).
+    pub fn col_slice(&self, rel: RelId, col: u32) -> &[Value] {
+        &self.rel(rel).cols[col as usize]
+    }
+
+    /// Total rows fed into lazy index builds/catch-ups since this instance
+    /// (or clone — cloning resets the counter) was created. Single-column
+    /// and composite builds both count. Regression hook: cloning must not
+    /// eagerly re-pay index work.
+    pub fn index_build_rows(&self) -> u64 {
+        self.rels
+            .iter()
+            .map(|r| r.index_rows_built.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Iterate over all tuple ids of a relation, in insertion order.
@@ -337,7 +508,7 @@ impl Instance {
     }
 
     /// Iterate over `(TupleId, values)` for a relation.
-    pub fn rel_tuples(&self, rel: RelId) -> impl Iterator<Item = (TupleId, &[Value])> {
+    pub fn rel_tuples(&self, rel: RelId) -> impl Iterator<Item = (TupleId, Vec<Value>)> + '_ {
         self.rel_rows(rel).map(move |id| (id, self.tuple(id)))
     }
 
@@ -383,6 +554,30 @@ impl Instance {
         self.rel(rel).with_multi_index(cols, values, <[u32]>::len)
     }
 
+    /// Pin the hash index on `(rel, col)` and run `f` with a [`ColProbe`]
+    /// whose probes return posting lists by reference.
+    ///
+    /// The index is caught up at most once (counted like any other lazy
+    /// build) and the read guard is held for the closure's whole run, so a
+    /// morsel of probes pays one lock acquisition total instead of one per
+    /// probe, and no posting list is copied. The vectorized batch executor
+    /// pins one index per (atom, morsel).
+    pub fn with_col_probe<R>(&self, rel: RelId, col: u32, f: impl FnOnce(ColProbe<'_>) -> R) -> R {
+        self.rel(rel).with_col_probe(col, f)
+    }
+
+    /// Pin the composite index on `(rel, cols)` and run `f` with a
+    /// [`MultiProbe`]; the multi-column analogue of
+    /// [`Instance::with_col_probe`]. `cols` must be strictly sorted.
+    pub fn with_multi_probe<R>(
+        &self,
+        rel: RelId,
+        cols: &[u32],
+        f: impl FnOnce(MultiProbe<'_>) -> R,
+    ) -> R {
+        self.rel(rel).with_multi_probe(cols, f)
+    }
+
     /// Build a new instance by applying `f` to every value of every tuple
     /// (re-deduplicating). Used by egd application, which replaces labeled
     /// nulls wholesale.
@@ -395,22 +590,26 @@ impl Instance {
             let rel = RelId(rel_idx as u32);
             for row in 0..rd.len() {
                 buf.clear();
-                buf.extend(rd.tuple(row).iter().map(|&v| f(v)));
+                buf.extend((0..rd.arity).map(|c| f(rd.value(row, c))));
                 out.insert(rel, &buf).expect("arity preserved by map");
             }
         }
         out
     }
 
-    /// Approximate heap footprint of the stored tuples in bytes (tuple data
-    /// plus dedup tables; lazily built indexes are *not* counted, since they
-    /// are derived state). Used by the benchmark harness to report real
-    /// sizes next to the paper's MB labels.
+    /// Approximate heap footprint of the stored tuples in bytes (column
+    /// vectors plus dedup tables; lazily built indexes are *not* counted,
+    /// since they are derived state). Used by the benchmark harness to
+    /// report real sizes next to the paper's MB labels.
     pub fn approx_heap_bytes(&self) -> usize {
         self.rels
             .iter()
             .map(|r| {
-                let data = r.data.capacity() * std::mem::size_of::<Value>();
+                let data: usize = r
+                    .cols
+                    .iter()
+                    .map(|col| col.capacity() * std::mem::size_of::<Value>())
+                    .sum();
                 let dedup: usize = r
                     .dedup.values().map(|rows| {
                         std::mem::size_of::<u64>()
@@ -425,9 +624,14 @@ impl Instance {
     /// Whether `other` contains every tuple of `self` (set containment,
     /// relation by relation).
     pub fn contained_in(&self, other: &Instance) -> bool {
+        let mut buf: Vec<Value> = Vec::new();
         self.rels.iter().enumerate().all(|(rel_idx, rd)| {
             let rel = RelId(rel_idx as u32);
-            (0..rd.len()).all(|row| other.contains(rel, rd.tuple(row)))
+            (0..rd.len()).all(|row| {
+                buf.clear();
+                buf.extend((0..rd.arity).map(|c| rd.value(row, c)));
+                other.contains(rel, &buf)
+            })
         })
     }
 }
@@ -475,6 +679,45 @@ mod tests {
         assert!(!inst.contains(t, &[Value::Int(1)]));
         // Wrong arity never matches.
         assert!(inst.find(r, &[Value::Int(1)]).is_none());
+    }
+
+    #[test]
+    fn nullary_relations_hold_one_empty_tuple() {
+        let mut s = Schema::new();
+        let n = s.rel("Flag", &[]);
+        let mut inst = Instance::new(&s);
+        assert_eq!(inst.rel_len(n), 0);
+        let (id, fresh) = inst.insert(n, &[]).unwrap();
+        assert!(fresh);
+        assert_eq!(inst.rel_len(n), 1);
+        let (id2, fresh2) = inst.insert(n, &[]).unwrap();
+        assert!(!fresh2);
+        assert_eq!(id, id2);
+        assert!(inst.contains(n, &[]));
+        assert!(inst.tuple(id).is_empty());
+    }
+
+    #[test]
+    fn columnar_accessors_agree_with_tuple() {
+        let (s, r, _) = schema2();
+        let mut inst = Instance::new(&s);
+        for i in 0..10 {
+            inst.insert_ok(r, &[Value::Int(i), Value::Int(i * 10)]);
+        }
+        let col0 = inst.col_slice(r, 0);
+        let col1 = inst.col_slice(r, 1);
+        assert_eq!(col0.len(), 10);
+        let mut buf = Vec::new();
+        for row in 0..10u32 {
+            let id = TupleId { rel: r, row };
+            let t = inst.tuple(id);
+            assert_eq!(t[0], col0[row as usize]);
+            assert_eq!(t[1], col1[row as usize]);
+            assert_eq!(inst.value_at(id, 0), t[0]);
+            assert_eq!(inst.value_at(id, 1), t[1]);
+            inst.tuple_into(id, &mut buf);
+            assert_eq!(buf, t);
+        }
     }
 
     #[test]
@@ -541,7 +784,7 @@ mod tests {
             inst.insert_ok(r, &[Value::Int(i % 7), Value::Int(i % 11)]);
         }
         let expected: Vec<u32> = (0..inst.rel_len(r))
-            .filter(|&row| inst.tuple(TupleId { rel: r, row })[0] == Value::Int(3))
+            .filter(|&row| inst.value_at(TupleId { rel: r, row }, 0) == Value::Int(3))
             .collect();
         // Race eight probers against the cold index; all must see the same
         // complete row set, single-column and composite alike.
@@ -565,6 +808,40 @@ mod tests {
                 });
             }
         });
+        // Racing builders did the single-column catch-up once, not eight
+        // times (same for the composite index): each build covers exactly
+        // the relation's (deduplicated) rows.
+        assert_eq!(inst.index_build_rows(), 2 * u64::from(inst.rel_len(r)));
+    }
+
+    #[test]
+    fn clone_does_no_index_work_until_probed() {
+        let (s, r, _) = schema2();
+        let mut inst = Instance::new(&s);
+        for i in 0..500 {
+            inst.insert_ok(r, &[Value::Int(i % 7), Value::Int(i)]);
+        }
+        let hits = (0..500).filter(|i| i % 7 == 3).count();
+        assert_eq!(inst.probe_len(r, 0, Value::Int(3)), hits);
+        assert_eq!(inst.index_build_rows(), 500);
+
+        // Simulate an edit batch's snapshot churn: clone repeatedly without
+        // probing. No index work may happen — the old deep-copying Clone
+        // paid O(index) on every swap.
+        let mut snap = inst.clone();
+        for _ in 0..10 {
+            snap = snap.clone();
+        }
+        assert_eq!(snap.index_build_rows(), 0);
+
+        // The first probe on a clone lazily rebuilds (500 rows, once) and
+        // agrees with the original.
+        assert_eq!(snap.probe_len(r, 0, Value::Int(3)), hits);
+        assert_eq!(snap.index_build_rows(), 500);
+        // A second probe reuses the rebuilt index.
+        let hits4 = (0..500).filter(|i| i % 7 == 4).count();
+        assert_eq!(snap.probe_len(r, 0, Value::Int(4)), hits4);
+        assert_eq!(snap.index_build_rows(), 500);
     }
 
     #[test]
@@ -606,7 +883,7 @@ mod tests {
         }
         let full = inst.approx_heap_bytes();
         assert!(full > empty);
-        // At least the raw tuple payload: 1000 rows × 2 values × 12 bytes.
+        // At least the raw tuple payload: 1000 rows × 2 values × 16 bytes.
         assert!(full >= 1000 * 2 * std::mem::size_of::<Value>());
     }
 

@@ -23,12 +23,14 @@ pub mod atom;
 pub mod display;
 pub mod error;
 pub mod instance;
+pub mod joinstats;
 pub mod schema;
 pub mod value;
 
 pub use atom::{Atom, Term, Var};
 pub use display::{fact_to_string, tuple_to_string};
 pub use error::ModelError;
-pub use instance::{Fact, Instance, Side, TupleId};
+pub use instance::{ColProbe, Fact, Instance, MultiProbe, Side, TupleId};
+pub use joinstats::JoinSnapshot;
 pub use schema::{RelId, Relation, Schema};
 pub use value::{NullId, Symbol, Value, ValuePool};

@@ -23,8 +23,9 @@ pub struct NullId(pub u32);
 /// A single data value: an integer constant, an interned string constant, or
 /// a labeled null.
 ///
-/// `Value` is `Copy` (12 bytes) so tuples can be compared and hashed without
-/// chasing pointers; the string payloads live in the [`ValuePool`].
+/// `Value` is `Copy` (16 bytes: the 8-byte `Int(i64)` payload plus the
+/// discriminant, padded to alignment) so tuples can be compared and hashed
+/// without chasing pointers; the string payloads live in the [`ValuePool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// An integer constant.
@@ -34,6 +35,10 @@ pub enum Value {
     /// A labeled null (an unknown value invented during data exchange).
     Null(NullId),
 }
+
+// Pin the size claim above so it can't rot: column vectors, batch buffers,
+// and the heap accounting all assume this exact footprint.
+const _: () = assert!(std::mem::size_of::<Value>() == 16);
 
 impl Value {
     /// Whether this value is a constant (integer or string), as opposed to a

@@ -188,12 +188,12 @@ impl<'a> MatchIter<'a> {
     /// positions, bind unbound variables (recorded on the trail).
     fn try_row(&mut self, depth: usize, row: u32) -> bool {
         let atom = &self.atoms[self.order[depth]];
-        let values = self.inst.tuple(TupleId {
+        let id = TupleId {
             rel: atom.rel,
             row,
-        });
+        };
         for (col, term) in atom.terms.iter().enumerate() {
-            let actual = values[col];
+            let actual = self.inst.value_at(id, col);
             match term {
                 Term::Const(c) => {
                     if *c != actual {
@@ -459,7 +459,7 @@ mod tests {
                 rel: anchor.rel,
                 row,
             });
-            if !crate::unify_atom(anchor, tuple, &mut b) {
+            if !crate::unify_atom(anchor, &tuple, &mut b) {
                 continue;
             }
             let mut it =

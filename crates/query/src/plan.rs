@@ -14,7 +14,16 @@ use crate::bindings::Bindings;
 /// given conjunction, assuming the variables bound in `init` are available
 /// from the start.
 pub fn plan(inst: &Instance, atoms: &[Atom], init: &Bindings) -> Vec<usize> {
-    let mut bound: Vec<Var> = init.iter().map(|(v, _)| v).collect();
+    plan_with_bound(inst, atoms, init.iter().map(|(v, _)| v).collect())
+}
+
+/// [`plan`] given just the *set* of initially bound variables. The plan
+/// depends only on which variables are bound (never on their values), so
+/// callers that evaluate many bindings with the same bound set — the batch
+/// executor seeding from anchor-unified tuples — can plan once up front and
+/// know the order matches what [`plan`] would pick for each binding
+/// individually.
+pub fn plan_with_bound(inst: &Instance, atoms: &[Atom], mut bound: Vec<Var>) -> Vec<usize> {
     let mut remaining: Vec<usize> = (0..atoms.len()).collect();
     let mut order = Vec::with_capacity(atoms.len());
 

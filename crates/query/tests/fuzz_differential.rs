@@ -1,0 +1,165 @@
+//! Differential fuzz gate for the vectorized batch executor.
+//!
+//! Seeded deterministic loop (in-repo SplitMix64, 96 seeds) over random
+//! generator scenarios, each run through three executors:
+//!
+//! 1. the vectorized batch pipeline ([`batch_all_matches`]),
+//! 2. the row-at-a-time lazy [`MatchIter`] facade,
+//! 3. the naive reference evaluator (`crates/query/src/reference.rs`),
+//!    fed the atoms pre-permuted into plan order so its nested-loop
+//!    enumeration follows the same DFS.
+//!
+//! The three match **sequences** — not just sets — must be byte-identical,
+//! for every `composite_threshold` in {0, 64, `usize::MAX`} and every batch
+//! size in {1, 5, 1024}. This is the order contract PR 2's parallel
+//! determinism and PR 6's delta-chase memos key on; `scripts/ci.sh` runs
+//! this gate at `ROUTES_THREADS=2` and `8`.
+
+use routes_gen::Rng;
+use routes_model::{Atom, Instance, Schema, Term, Value, Var};
+use routes_query::reference::all_matches_naive;
+use routes_query::{batch_all_matches, plan, BatchOptions, Bindings, EvalOptions, MatchIter};
+
+/// A compact description of a random scenario (same shape as the set-based
+/// differential suite in `tests/differential.rs`).
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// Arity of each relation (1..=3 relations, arity 1..=3).
+    arities: Vec<usize>,
+    /// Tuples: (relation index, values in 0..domain).
+    tuples: Vec<(usize, Vec<i64>)>,
+    /// Atoms: (relation index, terms) where a term is either a variable
+    /// 0..4 or a constant 0..domain.
+    atoms: Vec<(usize, Vec<TermSpec>)>,
+    /// Pre-bound variables: (var, value).
+    init: Vec<(u32, i64)>,
+}
+
+#[derive(Debug, Clone)]
+enum TermSpec {
+    Var(u32),
+    Const(i64),
+}
+
+fn random_scenario(rng: &mut Rng) -> Scenario {
+    let arities: Vec<usize> = (0..rng.gen_range(1..=3usize))
+        .map(|_| rng.gen_range(1..=3usize))
+        .collect();
+    let nrels = arities.len();
+    let tuples: Vec<(usize, Vec<i64>)> = (0..rng.gen_range(0..30usize))
+        .map(|_| {
+            let r = rng.gen_range(0..nrels);
+            (r, (0..arities[r]).map(|_| rng.gen_range(0..5i64)).collect())
+        })
+        .collect();
+    let atoms: Vec<(usize, Vec<TermSpec>)> = (0..rng.gen_range(1..=4usize))
+        .map(|_| {
+            let r = rng.gen_range(0..nrels);
+            let terms = (0..arities[r])
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        TermSpec::Var(rng.gen_range(0..4u32))
+                    } else {
+                        TermSpec::Const(rng.gen_range(0..5i64))
+                    }
+                })
+                .collect();
+            (r, terms)
+        })
+        .collect();
+    let init: Vec<(u32, i64)> = (0..rng.gen_range(0..2usize))
+        .map(|_| (rng.gen_range(0..4u32), rng.gen_range(0..5i64)))
+        .collect();
+    Scenario {
+        arities,
+        tuples,
+        atoms,
+        init,
+    }
+}
+
+fn build(scenario: &Scenario) -> (Instance, Vec<Atom>, Bindings) {
+    let mut schema = Schema::new();
+    let attr_names = ["a", "b", "c"];
+    let rels: Vec<_> = scenario
+        .arities
+        .iter()
+        .enumerate()
+        .map(|(i, &arity)| schema.rel(&format!("R{i}"), &attr_names[..arity]))
+        .collect();
+    let mut inst = Instance::new(&schema);
+    for (r, vals) in &scenario.tuples {
+        let values: Vec<Value> = vals.iter().map(|&v| Value::Int(v)).collect();
+        inst.insert_ok(rels[*r], &values);
+    }
+    let atoms: Vec<Atom> = scenario
+        .atoms
+        .iter()
+        .map(|(r, terms)| {
+            Atom::new(
+                rels[*r],
+                terms
+                    .iter()
+                    .map(|t| match t {
+                        TermSpec::Var(v) => Term::Var(Var(*v)),
+                        TermSpec::Const(c) => Term::Const(Value::Int(*c)),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut init = Bindings::new(4);
+    for (v, val) in &scenario.init {
+        init.set(Var(*v), Value::Int(*val));
+    }
+    (inst, atoms, init)
+}
+
+const THRESHOLDS: [usize; 3] = [0, 64, usize::MAX];
+const BATCH_SIZES: [usize; 3] = [1, 5, 1024];
+
+#[test]
+fn batch_lazy_and_reference_enumerate_identical_sequences() {
+    for case in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(0xF0220 + case);
+        let scenario = random_scenario(&mut rng);
+        let (inst, atoms, init) = build(&scenario);
+
+        // The oracle sequence: the naive evaluator over the atoms permuted
+        // into plan order scans rows ascending at every level, which is
+        // exactly the DFS the planned executors must follow. The plan
+        // depends only on the bound-variable set and relation sizes, never
+        // on the index options, so one oracle covers every configuration.
+        let order = plan(&inst, &atoms, &init);
+        let planned: Vec<Atom> = order.iter().map(|&i| atoms[i].clone()).collect();
+        let expected = all_matches_naive(&inst, &planned, init.clone());
+
+        for threshold in THRESHOLDS {
+            let eval = EvalOptions {
+                composite_threshold: threshold,
+            };
+            // Row-at-a-time facade: drain the lazy iterator.
+            let mut it = MatchIter::with_options(&inst, &atoms, init.clone(), eval);
+            let mut lazy = Vec::new();
+            while let Some(b) = it.next_match() {
+                lazy.push(b.clone());
+            }
+            assert_eq!(
+                lazy, expected,
+                "case {case} threshold {threshold}: MatchIter diverged \
+                 from the reference sequence: {scenario:?}"
+            );
+
+            for batch_size in BATCH_SIZES {
+                let opts = BatchOptions { eval, batch_size };
+                let batched = batch_all_matches(&inst, &atoms, &init, &opts);
+                assert_eq!(
+                    batched, expected,
+                    "case {case} threshold {threshold} batch {batch_size}: \
+                     vectorized executor diverged from the reference \
+                     sequence: {scenario:?}"
+                );
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::{Duration, Instant};
 
+use routes_model::JoinSnapshot;
 use routes_store::{PersistSnapshot, FSYNC_BUCKETS_US};
 
 use crate::json::Json;
@@ -212,6 +213,17 @@ pub fn persist_json(p: &PersistSnapshot) -> Json {
     ])
 }
 
+/// Render the vectorized-join counters (`/metrics` embeds this as `join`).
+pub fn join_json(j: &JoinSnapshot) -> Json {
+    Json::obj([
+        ("batches", Json::from(j.batches)),
+        ("rows_probed", Json::from(j.rows_probed)),
+        ("index_probes", Json::from(j.index_probes)),
+        ("hash_builds", Json::from(j.hash_builds)),
+        ("hash_build_rows", Json::from(j.hash_build_rows)),
+    ])
+}
+
 impl Metrics {
     pub fn new() -> Self {
         Metrics {
@@ -267,17 +279,22 @@ impl Metrics {
         &self.phases[phase as usize]
     }
 
-    /// [`Metrics::to_json`] plus the sharded session-store counter block
-    /// and, when durability is enabled, the `persistence` block (what
-    /// `GET /metrics` actually serves).
+    /// [`Metrics::to_json`] plus the vectorized-join counter block, the
+    /// sharded session-store counter block and, when durability is enabled,
+    /// the `persistence` block (what `GET /metrics` actually serves). The
+    /// join counters are process-wide ([`routes_model::joinstats`]); the
+    /// caller passes an explicit snapshot so both renderings of one request
+    /// agree and tests stay deterministic.
     pub fn to_json_with_store(
         &self,
         store: &StoreSnapshot,
         persist: Option<&PersistSnapshot>,
+        join: &JoinSnapshot,
         threads: usize,
     ) -> Json {
         let mut snapshot = self.to_json(store.live(), threads);
         if let Json::Object(fields) = &mut snapshot {
+            fields.push(("join".to_owned(), join_json(join)));
             fields.push(("session_store".to_owned(), store_json(store)));
             if let Some(persist) = persist {
                 fields.push(("persistence".to_owned(), persist_json(persist)));
@@ -354,6 +371,7 @@ impl Metrics {
         &self,
         store: &StoreSnapshot,
         persist: Option<&PersistSnapshot>,
+        join: &JoinSnapshot,
         threads: usize,
     ) -> String {
         use routes_obs::PromText;
@@ -439,6 +457,37 @@ impl Metrics {
         ] {
             w.family(name, "counter", help);
             w.sample(name, &[], counter.load(Relaxed));
+        }
+
+        for (name, help, value) in [
+            (
+                "routes_join_batches_total",
+                "Binding batches pushed through the vectorized join executor.",
+                join.batches,
+            ),
+            (
+                "routes_join_rows_probed_total",
+                "Candidate rows examined while extending binding batches.",
+                join.rows_probed,
+            ),
+            (
+                "routes_join_index_probes_total",
+                "Hash-index probe operations issued by the batch executor.",
+                join.index_probes,
+            ),
+            (
+                "routes_join_hash_builds_total",
+                "Hash-index builds, including incremental catch-ups.",
+                join.hash_builds,
+            ),
+            (
+                "routes_join_hash_build_rows_total",
+                "Rows inserted into hash indexes by builds and catch-ups.",
+                join.hash_build_rows,
+            ),
+        ] {
+            w.family(name, "counter", help);
+            w.sample(name, &[], value);
         }
 
         let latency: Vec<u64> = self.latency.iter().map(|c| c.load(Relaxed)).collect();
@@ -671,7 +720,7 @@ mod tests {
 
         let snap = store.snapshot();
         let m = Metrics::new();
-        let json = m.to_json_with_store(&snap, None, 1);
+        let json = m.to_json_with_store(&snap, None, &JoinSnapshot::default(), 1);
         assert!(
             json.get("persistence").is_none(),
             "no persistence block without a data dir"
@@ -722,13 +771,39 @@ mod tests {
         };
         let m = Metrics::new();
         let store = SessionStore::with_shards(1, 1);
-        let json = m.to_json_with_store(&store.snapshot(), Some(&p), 1);
+        let json = m.to_json_with_store(&store.snapshot(), Some(&p), &JoinSnapshot::default(), 1);
         let pj = json.get("persistence").unwrap();
         assert_eq!(pj.get("wal_gen").unwrap().as_u64(), Some(2));
         assert_eq!(pj.get("wal_appends").unwrap().as_u64(), Some(7));
         let hist = pj.get("fsync_latency_us").unwrap().as_array().unwrap();
         assert_eq!(hist.len(), FSYNC_BUCKETS_US.len() + 1);
         assert_eq!(hist[0].get("count").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn join_block_renders_the_batch_executor_counters() {
+        use crate::session::SessionStore;
+
+        let j = JoinSnapshot {
+            batches: 5,
+            rows_probed: 40,
+            index_probes: 12,
+            hash_builds: 3,
+            hash_build_rows: 30,
+        };
+        let m = Metrics::new();
+        let store = SessionStore::with_shards(1, 1);
+        let json = m.to_json_with_store(&store.snapshot(), None, &j, 1);
+        let jj = json.get("join").unwrap();
+        assert_eq!(jj.get("batches").unwrap().as_u64(), Some(5));
+        assert_eq!(jj.get("rows_probed").unwrap().as_u64(), Some(40));
+        assert_eq!(jj.get("index_probes").unwrap().as_u64(), Some(12));
+        assert_eq!(jj.get("hash_builds").unwrap().as_u64(), Some(3));
+        assert_eq!(jj.get("hash_build_rows").unwrap().as_u64(), Some(30));
+        let text = m.to_prometheus(&store.snapshot(), None, &j, 1);
+        assert!(text.contains("routes_join_batches_total 5"));
+        assert!(text.contains("routes_join_rows_probed_total 40"));
+        assert!(text.contains("routes_join_hash_build_rows_total 30"));
     }
 
     #[test]

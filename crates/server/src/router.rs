@@ -259,10 +259,14 @@ impl App {
         };
         let store = self.store.snapshot();
         let persist = self.persist.as_ref().map(|p| p.metrics.snapshot());
+        let join = routes_model::joinstats::snapshot();
         if prometheus {
-            let text =
-                self.metrics
-                    .to_prometheus(&store, persist.as_ref(), self.pool.threads());
+            let text = self.metrics.to_prometheus(
+                &store,
+                persist.as_ref(),
+                &join,
+                self.pool.threads(),
+            );
             Response::with_content_type(
                 200,
                 text.into_bytes(),
@@ -272,7 +276,7 @@ impl App {
             Response::json(
                 200,
                 self.metrics
-                    .to_json_with_store(&store, persist.as_ref(), self.pool.threads())
+                    .to_json_with_store(&store, persist.as_ref(), &join, self.pool.threads())
                     .encode(),
             )
         }

@@ -20,6 +20,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use routes_model::JoinSnapshot;
 use routes_server::json::{parse, Json};
 use routes_server::metrics::{Metrics, Phase, LATENCY_BUCKETS_US};
 use routes_server::session::LOCK_WAIT_BUCKETS_US;
@@ -76,6 +77,16 @@ fn fixed_persist() -> PersistSnapshot {
     }
 }
 
+fn fixed_join() -> JoinSnapshot {
+    JoinSnapshot {
+        batches: 11,
+        rows_probed: 230,
+        index_probes: 57,
+        hash_builds: 6,
+        hash_build_rows: 92,
+    }
+}
+
 #[test]
 fn exposition_matches_the_golden_file() {
     let m = Metrics::new();
@@ -105,7 +116,7 @@ fn exposition_matches_the_golden_file() {
     m.edit_forests_kept.store(4, Relaxed);
     m.edit_forests_invalidated.store(2, Relaxed);
 
-    let text = m.to_prometheus(&fixed_store(), Some(&fixed_persist()), 4);
+    let text = m.to_prometheus(&fixed_store(), Some(&fixed_persist()), &fixed_join(), 4);
     // Uptime is the only wall-clock-dependent sample; normalize it so the
     // golden stays byte-stable.
     let normalized: String = text
@@ -309,6 +320,22 @@ fn reconcile(json: &Json, check: &mut PromCheck) {
                             ),
                             other => panic!("unknown phase stat `{other}`"),
                         }
+                    }
+                }
+            }
+            "join" => {
+                for (join_key, v) in obj_fields(value) {
+                    match join_key.as_str() {
+                        "batches" => check.eat("routes_join_batches_total", as_u64(v)),
+                        "rows_probed" => check.eat("routes_join_rows_probed_total", as_u64(v)),
+                        "index_probes" => {
+                            check.eat("routes_join_index_probes_total", as_u64(v));
+                        }
+                        "hash_builds" => check.eat("routes_join_hash_builds_total", as_u64(v)),
+                        "hash_build_rows" => {
+                            check.eat("routes_join_hash_build_rows_total", as_u64(v));
+                        }
+                        other => panic!("unknown join field `{other}`"),
                     }
                 }
             }
@@ -555,12 +582,13 @@ fn text_and_json_expositions_reconcile_exactly_under_live_traffic() {
     // read per rendering; retry if the second boundary lands between.
     let store = app.store.snapshot();
     let persist = app.persistence().map(|p| p.metrics.snapshot());
+    let join = routes_model::joinstats::snapshot();
     let threads = app.pool.threads();
     let (json, text) = loop {
         let json = app
             .metrics
-            .to_json_with_store(&store, persist.as_ref(), threads);
-        let text = app.metrics.to_prometheus(&store, persist.as_ref(), threads);
+            .to_json_with_store(&store, persist.as_ref(), &join, threads);
+        let text = app.metrics.to_prometheus(&store, persist.as_ref(), &join, threads);
         let json_uptime = as_u64(json.get("uptime_seconds").unwrap());
         let text_uptime = text
             .lines()
@@ -587,6 +615,15 @@ fn text_and_json_expositions_reconcile_exactly_under_live_traffic() {
     // hits: second pre-edit all-routes + the post-edit surviving-forest hit.
     assert_eq!(as_u64(json.get("forest_cache_hits").unwrap()), 2);
     assert_eq!(as_u64(json.get("forest_cache_misses").unwrap()), 1);
+    let join_block = json.get("join").unwrap();
+    assert!(
+        as_u64(join_block.get("batches").unwrap()) >= 1,
+        "the session chases must have run the batch executor"
+    );
+    assert!(
+        as_u64(join_block.get("hash_builds").unwrap()) >= 1,
+        "chasing indexes the source relations"
+    );
     let edits = json.get("edits").unwrap();
     assert_eq!(as_u64(edits.get("applied").unwrap()), 1);
     assert_eq!(as_u64(edits.get("rejected").unwrap()), 1);

@@ -128,7 +128,7 @@ fn main() {
     // The key egds filled A. Long's unknown income with 30K (m2' invented a
     // null; m3' knows the Fargo Bank income).
     let clients = t.rel_id("Clients").unwrap();
-    let along_rows: Vec<&[Value]> = result
+    let along_rows: Vec<Vec<Value>> = result
         .target
         .rel_rows(clients)
         .map(|id| result.target.tuple(id))

@@ -16,6 +16,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 ROUTES_THREADS=2 cargo test -q --offline --test parallel_determinism
 ROUTES_THREADS=8 cargo test -q --offline --test parallel_determinism
 
+# Vectorized-join differential gate: the batch executor, the lazy
+# MatchIter facade, and the naive reference evaluator must enumerate
+# byte-identical match sequences over seeded random scenarios, at every
+# composite-index threshold and batch size the suite sweeps.
+ROUTES_THREADS=2 cargo test -q --offline -p routes-query --test fuzz_differential
+ROUTES_THREADS=8 cargo test -q --offline -p routes-query --test fuzz_differential
+
 # Session-store concurrency gate: the 8-thread suite must pass with
 # byte-identical eviction accounting at 1 and 8 shards (the suite
 # additionally sweeps explicit shard counts 1/2/8 internally), and the
@@ -40,6 +47,10 @@ ROUTES_SESSION_SHARDS=8 ROUTES_THREADS=2 cargo test -q --offline --test incremen
 # Incremental-edit bench smoke: incremental apply vs full re-chase over a
 # pinned campaign (writes bench_results/micro_edit.csv).
 cargo run --release --offline -p routes-bench --bin repro -- micro edit --quick
+
+# Vectorized-join bench smoke: batch executor vs row-at-a-time MatchIter
+# (writes bench_results/micro_join.csv).
+cargo run --release --offline -p routes-bench --bin repro -- micro join --quick
 
 # Thread-scaling bench smoke: `repro micro parallel` must run end to end
 # (writes bench_results/micro_parallel.csv).

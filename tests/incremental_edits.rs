@@ -173,6 +173,137 @@ fn campaign_matches_full_rechase_at_every_prefix() {
     }
 }
 
+/// Every tuple of an instance by stable id, for before/after comparisons.
+fn tuples_by_id(schema: &Schema, inst: &Instance) -> Vec<(TupleId, Vec<routes_model::Value>)> {
+    let mut out = Vec::new();
+    for (rel, _) in schema.iter() {
+        for row in 0..inst.rel_len(rel) {
+            let id = TupleId { rel, row };
+            out.push((id, inst.tuple(id)));
+        }
+    }
+    out
+}
+
+#[test]
+fn insert_only_edits_keep_existing_tuple_ids_stable() {
+    // Column-store invariant: relations are append-only, so an edit batch
+    // that only inserts source tuples must leave every pre-existing
+    // `TupleId { rel, row }` resolving to the same values on both sides —
+    // the property that lets routes, forests, and WAL records survive
+    // edits without id translation.
+    let workers = Pool::new(1);
+    let mut text = HTTP_SCENARIO.to_owned();
+    let mut scenario = prepare(&text, &workers);
+    let mut state = IncrState::default();
+
+    let batches: Vec<Vec<routes_store::EditOp>> = vec![
+        vec![routes_store::EditOp::InsertTuple {
+            line: "S(5, 6)".to_owned(),
+        }],
+        vec![
+            routes_store::EditOp::InsertTuple {
+                line: "M(77)".to_owned(),
+            },
+            routes_store::EditOp::InsertTuple {
+                line: "S(5, 9)".to_owned(),
+            },
+        ],
+    ];
+    for (k, ops) in batches.iter().enumerate() {
+        let before_source = tuples_by_id(scenario.mapping.source(), &scenario.source);
+        let before_target = tuples_by_id(scenario.mapping.target(), &scenario.target);
+        let apply = apply_batch(&text, &scenario, &state, ops, ChaseOptions::fresh(), &workers)
+            .unwrap_or_else(|e| panic!("batch {k}: {e}"));
+        for (id, values) in &before_source {
+            assert_eq!(
+                &apply.scenario.source.tuple(*id),
+                values,
+                "batch {k}: source tuple {id:?} moved under an insert-only edit"
+            );
+        }
+        for (id, values) in &before_target {
+            assert_eq!(
+                &apply.scenario.target.tuple(*id),
+                values,
+                "batch {k}: target tuple {id:?} moved under an insert-only edit"
+            );
+        }
+        // The batch actually grew the instance (new source rows, and the
+        // chase derived at least their copies), so the check is not vacuous.
+        assert!(
+            tuples_by_id(apply.scenario.mapping.source(), &apply.scenario.source).len()
+                > before_source.len(),
+            "batch {k}: inserts must append source rows"
+        );
+        assert!(
+            tuples_by_id(apply.scenario.mapping.target(), &apply.scenario.target).len()
+                > before_target.len(),
+            "batch {k}: the delta chase must append derived target rows"
+        );
+        text = apply.text;
+        scenario = apply.scenario;
+        state = apply.state;
+    }
+}
+
+#[test]
+fn edit_batch_index_build_work_is_bounded_by_instance_size() {
+    // Regression gate for the index-clone fix: cloning an instance (the
+    // edit pipeline snapshots the session's instances every batch) must
+    // not copy or eagerly rebuild hash indexes. Each edited instance
+    // starts with `index_build_rows() == 0` and rebuilds lazily, so the
+    // build work attributable to one batch is bounded by a small multiple
+    // of the instance size — independent of how many batches preceded it.
+    // Under the old deep-copy `#[derive(Clone)]`, work carried over and
+    // grew with the batch index, which this bound catches.
+    let campaign = edit_campaign(0x0001_DEC5_BEEF, 12, 2);
+    let workers = Pool::new(1);
+    let mut text = campaign.scenario.clone();
+    let mut scenario = prepare(&text, &workers);
+    let mut state = IncrState::default();
+    for (k, ops) in campaign.batches.iter().enumerate() {
+        let apply = apply_batch(&text, &scenario, &state, ops, ChaseOptions::fresh(), &workers)
+            .unwrap_or_else(|e| panic!("batch {k}: {e}"));
+        let source_rows: u64 = apply
+            .scenario
+            .mapping
+            .source()
+            .iter()
+            .map(|(rel, _)| u64::from(apply.scenario.source.rel_len(rel)))
+            .sum();
+        let target_rows: u64 = apply
+            .scenario
+            .mapping
+            .target()
+            .iter()
+            .map(|(rel, _)| u64::from(apply.scenario.target.rel_len(rel)))
+            .sum();
+        // Per relation, each distinct probe shape (a handful of single
+        // columns plus composites) is built at most once over at most
+        // rel_len rows, plus incremental catch-ups for appended rows; 16
+        // shapes is a generous ceiling for the campaign's 2-3 column
+        // schemas. Accumulated work from prior batches would overflow this
+        // within a batch or two.
+        let bound = |rows: u64| 16 * (rows + 1);
+        assert!(
+            apply.scenario.source.index_build_rows() <= bound(source_rows),
+            "batch {k}: source index build work {} exceeds 16x instance size {}",
+            apply.scenario.source.index_build_rows(),
+            source_rows,
+        );
+        assert!(
+            apply.scenario.target.index_build_rows() <= bound(target_rows),
+            "batch {k}: target index build work {} exceeds 16x instance size {}",
+            apply.scenario.target.index_build_rows(),
+            target_rows,
+        );
+        text = apply.text;
+        scenario = apply.scenario;
+        state = apply.state;
+    }
+}
+
 /// A keep-alive HTTP client speaking just enough of the protocol.
 struct Client {
     writer: TcpStream,
