@@ -9,6 +9,7 @@
 //! repro micro obs [--quick]
 //! repro micro edit [--quick]
 //! repro micro join [--quick]
+//! repro micro http [--quick]
 //! ```
 //!
 //! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
@@ -28,15 +29,18 @@
 //! campaign and writes `bench_results/micro_edit.csv`; `micro join` sweeps
 //! the vectorized batch executor against the row-at-a-time `MatchIter` at
 //! batch sizes 1/64/1024 over the TPC-H, hierarchy, and random generators
-//! and writes `bench_results/micro_join.csv`; `--quick` shrinks any of
-//! them to a CI smoke run.
+//! and writes `bench_results/micro_join.csv`; `micro http` saturates a
+//! small-capacity `spiderd` with closed-loop clients through the real
+//! socket path (accept, admission queue, probe, response) and writes
+//! `bench_results/micro_http.csv`; `--quick` shrinks any of them to a CI
+//! smoke run.
 
 use std::path::Path;
 
 use routes_bench::{
-    edit_benches, fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, join_benches,
-    micro_benches, obs_benches, parallel_benches, persist_benches, session_benches, table1,
-    Sizing, Table,
+    edit_benches, fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, http_benches,
+    join_benches, micro_benches, obs_benches, parallel_benches, persist_benches, session_benches,
+    table1, Sizing, Table,
 };
 
 fn main() {
@@ -68,6 +72,7 @@ fn main() {
         [a, b] if a == "micro" && b == "obs" => "micro-obs".to_owned(),
         [a, b] if a == "micro" && b == "edit" => "micro-edit".to_owned(),
         [a, b] if a == "micro" && b == "join" => "micro-join".to_owned(),
+        [a, b] if a == "micro" && b == "http" => "micro-http".to_owned(),
         _ => usage("too many experiment names"),
     };
 
@@ -196,6 +201,16 @@ fn main() {
         emit(&name, vec![t]);
         ran = true;
     }
+    if which == "micro-http" {
+        eprintln!(
+            "running HTTP saturation micro-benchmarks{} ...",
+            if quick { " (quick)" } else { "" }
+        );
+        let t = http_benches(quick);
+        let name = t.title.clone();
+        emit(&name, vec![t]);
+        ran = true;
+    }
     if !ran {
         usage(&format!("unknown experiment `{which}`"));
     }
@@ -210,7 +225,8 @@ fn usage(msg: &str) -> ! {
          \u{20}      repro micro persist [--quick]\n\
          \u{20}      repro micro obs [--quick]\n\
          \u{20}      repro micro edit [--quick]\n\
-         \u{20}      repro micro join [--quick]"
+         \u{20}      repro micro join [--quick]\n\
+         \u{20}      repro micro http [--quick]"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,252 @@
+//! HTTP saturation micro-benchmark: closed-loop clients hammering a
+//! small-capacity `spiderd` through the full socket path — accept,
+//! admission queue, parse, route probe, response — to measure how
+//! goodput holds up as offered load climbs past capacity.
+//!
+//! Run via the `repro` binary: `repro micro http [--quick]` prints the
+//! table and writes `bench_results/micro_http.csv` with columns
+//! `clients, seconds, requests, ok_200, shed_429, errors, goodput_rps,
+//! shed_rps, goodput_vs_peak`.
+//!
+//! The server is deliberately tiny (2 workers, queue of 4) so a laptop
+//! run saturates it: the interesting property is not the absolute
+//! request rate but the *shape* under overload. A server that queues
+//! unboundedly collapses — every request waits behind the backlog and
+//! goodput tends to zero as clients pile up. Admission control instead
+//! sheds the excess with cheap `429`s at the accept path, so the
+//! workers stay busy with requests that will still be wanted when they
+//! finish: goodput should stay within a small factor of its peak even
+//! at several times the saturating client count, with the overflow
+//! visible in `shed_rps` rather than in latency.
+//!
+//! Each client is closed-loop (connect → one probe → read → close →
+//! repeat), so every request traverses the admission queue; `requests`
+//! always equals `ok_200 + shed_429 + errors` by construction.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+use routes_server::json::{parse, Json};
+use routes_server::{Server, ServerConfig};
+
+use crate::Table;
+
+/// Closed-loop client counts swept (the server saturates near 2).
+const CLIENTS: [usize; 5] = [1, 2, 4, 8, 16];
+const CLIENTS_QUICK: [usize; 2] = [2, 8];
+
+/// Measurement window per point.
+const WINDOW: Duration = Duration::from_secs(2);
+const WINDOW_QUICK: Duration = Duration::from_millis(300);
+
+/// A mapping chain deep enough that one-route probes do real work:
+/// `S -> T1 -> ... -> T6`, twenty source rows.
+fn scenario_text() -> String {
+    let mut text = String::from("source schema:\n  S(a, b)\ntarget schema:\n");
+    for i in 1..=6 {
+        text.push_str(&format!("  T{i}(a, b)\n"));
+    }
+    text.push_str("dependencies:\n  m1: S(x, y) -> T1(x, y)\n");
+    for i in 2..=6 {
+        text.push_str(&format!("  m{i}: T{}(x, y) -> T{i}(x, y)\n", i - 1));
+    }
+    text.push_str("source data:\n");
+    for row in 0..20 {
+        text.push_str(&format!("  S({row}, {})\n", row + 1));
+    }
+    text
+}
+
+/// Serialize one connection-close request.
+fn request_bytes(method: &str, path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\
+         content-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// One connection-close exchange of pre-serialized bytes; `Err` covers
+/// refused connects, resets, and malformed replies alike — the bench
+/// counts them, never panics.
+fn exchange_raw(addr: SocketAddr, request: &[u8], scratch: &mut Vec<u8>) -> std::io::Result<u16> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(request)?;
+    scratch.clear();
+    stream.read_to_end(scratch)?;
+    let head = std::str::from_utf8(&scratch[..scratch.len().min(16)])
+        .map_err(|_| std::io::Error::other("non-UTF-8 status line"))?;
+    head.strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| std::io::Error::other("malformed status line"))
+}
+
+/// One connection-close exchange (convenience wrapper).
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> std::io::Result<u16> {
+    exchange_raw(addr, &request_bytes(method, path, body), &mut Vec::new())
+}
+
+/// One saturation point: `clients` closed-loop drivers for `window`.
+/// Returns (elapsed, ok_200, shed_429, errors).
+fn drive(addr: SocketAddr, path: &str, clients: usize, window: Duration) -> (Duration, u64, u64, u64) {
+    let stop = AtomicBool::new(false);
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let probe = r#"{"tuples": [{"relation": "T6", "row": 0}]}"#;
+    let request = request_bytes("POST", path, probe);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut scratch = Vec::with_capacity(4096);
+                while !stop.load(Relaxed) {
+                    match exchange_raw(addr, &request, &mut scratch) {
+                        Ok(200) => ok.fetch_add(1, Relaxed),
+                        Ok(429) => shed.fetch_add(1, Relaxed),
+                        Ok(_) | Err(_) => errors.fetch_add(1, Relaxed),
+                    };
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Relaxed);
+    });
+    (
+        started.elapsed(),
+        ok.load(Relaxed),
+        shed.load(Relaxed),
+        errors.load(Relaxed),
+    )
+}
+
+/// Run the saturation sweep and render the table (see module docs).
+pub fn http_benches(quick: bool) -> Table {
+    let clients: &[usize] = if quick { &CLIENTS_QUICK } else { &CLIENTS };
+    let window = if quick { WINDOW_QUICK } else { WINDOW };
+    let mut out = Table::new(
+        "micro_http",
+        &[
+            "clients",
+            "seconds",
+            "requests",
+            "ok_200",
+            "shed_429",
+            "errors",
+            "goodput_rps",
+            "shed_rps",
+            "goodput_vs_peak",
+        ],
+    );
+
+    let mut points = Vec::new();
+    for &n in clients {
+        // A fresh, deliberately small server per point: admission counters
+        // and the forest cache start cold, so points are independent.
+        let (addr, handle) = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                threads: 2,
+                max_queue: 4,
+                retry_after: Some(Duration::from_secs(1)),
+                request_deadline: Some(Duration::from_secs(10)),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+        let create = format!("{{\"scenario\": {}}}", Json::from(scenario_text()).encode());
+        let session = post_session(addr, &create);
+        let path = format!("/sessions/{session}/one-route");
+        // Warm the forest cache so the sweep measures steady state.
+        assert_eq!(
+            exchange(addr, "POST", &path, r#"{"tuples": [{"relation": "T6", "row": 0}]}"#)
+                .expect("warmup probe"),
+            200
+        );
+
+        let (elapsed, ok, shed, errors) = drive(addr, &path, n, window);
+        points.push((n, elapsed, ok, shed, errors));
+
+        assert_eq!(exchange(addr, "POST", "/shutdown", "").expect("shutdown"), 200);
+        handle.join().expect("server exits");
+    }
+
+    let peak = points
+        .iter()
+        .map(|&(_, elapsed, ok, _, _)| ok as f64 / elapsed.as_secs_f64())
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    for (n, elapsed, ok, shed, errors) in points {
+        let secs = elapsed.as_secs_f64();
+        let goodput = ok as f64 / secs;
+        out.push(vec![
+            n.to_string(),
+            format!("{secs:.3}"),
+            (ok + shed + errors).to_string(),
+            ok.to_string(),
+            shed.to_string(),
+            errors.to_string(),
+            format!("{goodput:.1}"),
+            format!("{:.1}", shed as f64 / secs),
+            format!("{:.3}", goodput / peak),
+        ]);
+    }
+    out
+}
+
+/// Create the bench session; panics with the body on anything but 201.
+fn post_session(addr: SocketAddr, create: &str) -> u64 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /sessions HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\
+                 content-length: {}\r\n\r\n{create}",
+                create.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut all = Vec::new();
+    stream.read_to_end(&mut all).unwrap();
+    let text = std::str::from_utf8(&all).expect("UTF-8 response");
+    assert!(text.starts_with("HTTP/1.1 201"), "session create failed: {text}");
+    let body_at = text.find("\r\n\r\n").expect("complete response") + 4;
+    parse(&text[body_at..])
+        .expect("JSON body")
+        .get("session")
+        .and_then(Json::as_u64)
+        .expect("session id")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_consistent_rows() {
+        let table = http_benches(true);
+        assert_eq!(table.rows.len(), CLIENTS_QUICK.len());
+        for row in &table.rows {
+            let requests: u64 = row[2].parse().unwrap();
+            let ok: u64 = row[3].parse().unwrap();
+            let shed: u64 = row[4].parse().unwrap();
+            let errors: u64 = row[5].parse().unwrap();
+            assert_eq!(requests, ok + shed + errors, "split must reconcile");
+            assert!(ok > 0, "every point should complete some requests");
+            let ratio: f64 = row[8].parse().unwrap();
+            assert!(ratio > 0.0 && ratio <= 1.0 + 1e-9);
+        }
+    }
+}

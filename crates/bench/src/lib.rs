@@ -19,6 +19,7 @@
 
 pub mod edit;
 pub mod experiments;
+pub mod http;
 pub mod join;
 pub mod micro;
 pub mod obs;
@@ -31,6 +32,7 @@ pub use experiments::{
     fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, table1, Sizing,
 };
 pub use edit::edit_benches;
+pub use http::http_benches;
 pub use join::join_benches;
 pub use micro::micro_benches;
 pub use obs::obs_benches;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N] [--session-shards N]
+//!         [--max-queue N] [--request-deadline-ms N] [--retry-after-secs N]
 //!         [--data-dir PATH] [--log-level LEVEL]
 //! ```
 //!
@@ -9,6 +10,15 @@
 //! shards from `ROUTES_SESSION_SHARDS` or the machine's parallelism. The
 //! bound address is printed on startup (useful with `--addr 127.0.0.1:0`).
 //! `POST /shutdown` stops the service gracefully.
+//!
+//! Admission control: `--max-queue` (or `ROUTES_MAX_QUEUE`, default 64)
+//! bounds the acceptor's connection queue — beyond it connections are
+//! shed with `429` + `Retry-After` (`--retry-after-secs` /
+//! `ROUTES_RETRY_AFTER_SECS`, default 1). `--request-deadline-ms` (or
+//! `ROUTES_REQUEST_DEADLINE_MS`, default 10000) caps each request's
+//! wall-clock parse→handle→write time; a peer that trickles past it gets
+//! `408` and is reaped. The `/metrics` `admission` block exposes all of
+//! it.
 //!
 //! `--data-dir PATH` (or `ROUTES_DATA_DIR`) makes sessions durable:
 //! every mutation is write-ahead logged, snapshots compact the log
@@ -58,6 +68,23 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--session-shards must be an integer"));
             }
+            "--max-queue" => {
+                config.max_queue = value("--max-queue")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-queue must be an integer"));
+            }
+            "--request-deadline-ms" => {
+                let ms: u64 = value("--request-deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--request-deadline-ms must be an integer"));
+                config.request_deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--retry-after-secs" => {
+                let secs: u64 = value("--retry-after-secs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--retry-after-secs must be an integer"));
+                config.retry_after = Some(std::time::Duration::from_secs(secs));
+            }
             "--data-dir" => config.data_dir = Some(value("--data-dir").into()),
             "--log-level" => {
                 let raw = value("--log-level");
@@ -74,6 +101,9 @@ fn main() {
     }
     if config.threads == 0 || config.max_sessions == 0 {
         usage("--threads and --max-sessions must be at least 1");
+    }
+    if config.request_deadline.is_some_and(|d| d.is_zero()) {
+        usage("--request-deadline-ms must be at least 1");
     }
     if config.data_dir.is_none() {
         if let Ok(dir) = std::env::var(DATA_DIR_ENV) {
@@ -126,7 +156,8 @@ fn main() {
 }
 
 const USAGE: &str = "usage: spiderd [--addr HOST:PORT] [--threads N] [--max-sessions N] \
-                     [--session-shards N] [--data-dir PATH] [--log-level LEVEL]";
+                     [--session-shards N] [--max-queue N] [--request-deadline-ms N] \
+                     [--retry-after-secs N] [--data-dir PATH] [--log-level LEVEL]";
 
 fn usage(msg: &str) -> ! {
     log_error(msg);

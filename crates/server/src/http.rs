@@ -3,10 +3,14 @@
 //! Supported: request line + headers + `Content-Length` bodies, keep-alive
 //! (HTTP/1.1 default, `Connection: close` honored), and hard limits on
 //! every dimension an untrusted peer controls — request-line length,
-//! header count/size, and body size. Not supported (rejected cleanly):
-//! chunked transfer encoding, upgrades, and HTTP/0.9/2.
+//! header count/size, body size, and (via [`TimedStream`]) read *progress*:
+//! a per-read timeout plus a wall-clock request deadline that a peer
+//! trickling one byte at a time cannot reset. Not supported (rejected
+//! cleanly): chunked transfer encoding, upgrades, and HTTP/0.9/2.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Maximum request-line and per-header-line length in bytes.
 pub const MAX_LINE: usize = 8 * 1024;
@@ -62,13 +66,85 @@ pub enum ParseError {
     Malformed(&'static str),
     /// A limit was exceeded (431 for head, 413 for body).
     TooLarge(&'static str),
+    /// The peer stopped making progress mid-request — a per-read stall or
+    /// the request's wall-clock deadline expired (408, then close).
+    Timeout,
     /// An I/O error mid-request.
     Io(String),
 }
 
 impl From<std::io::Error> for ParseError {
     fn from(e: std::io::Error) -> Self {
-        ParseError::Io(e.to_string())
+        match e.kind() {
+            // Both kinds surface from a socket read timeout depending on
+            // platform; either way the peer failed to make progress.
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => ParseError::Timeout,
+            _ => ParseError::Io(e.to_string()),
+        }
+    }
+}
+
+/// A [`Read`] wrapper over a [`TcpStream`] that enforces two limits a
+/// trickling peer cannot reset:
+///
+/// * a **per-read progress timeout** — every `read` must deliver at least
+///   one byte within `per_read`, and
+/// * an optional **wall-clock deadline** — once armed, the sum of all
+///   reads (headers *and* body) must finish before `deadline`, no matter
+///   how diligently the peer dribbles single bytes to keep each
+///   individual read alive.
+///
+/// Before each read the socket timeout is set to
+/// `min(per_read, deadline - now)`; an expired deadline turns the read
+/// into `ErrorKind::TimedOut` immediately. Wrap it in a `BufReader` and
+/// re-arm between requests via `get_mut()` — the buffer (and any
+/// pipelined bytes in it) survives across requests.
+pub struct TimedStream {
+    stream: TcpStream,
+    per_read: Duration,
+    deadline: Option<Instant>,
+}
+
+impl TimedStream {
+    pub fn new(stream: TcpStream, per_read: Duration) -> Self {
+        TimedStream {
+            stream,
+            per_read,
+            deadline: None,
+        }
+    }
+
+    /// Re-arm the limits for the next phase: the idle wait between
+    /// requests (short poll, no deadline) or a request in flight (full
+    /// per-read timeout plus the wall-clock deadline).
+    pub fn arm(&mut self, per_read: Duration, deadline: Option<Instant>) {
+        self.per_read = per_read;
+        self.deadline = deadline;
+    }
+
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+impl Read for TimedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut wait = self.per_read;
+        if let Some(deadline) = self.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request deadline exceeded",
+                ));
+            }
+            wait = wait.min(remaining);
+        }
+        // `set_read_timeout` rejects a zero duration; the clamp keeps the
+        // final sliver of a deadline from erroring out early.
+        self.stream
+            .set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
+        self.stream.read(buf)
     }
 }
 
@@ -231,10 +307,12 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             409 => "Conflict",
             410 => "Gone",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -384,6 +462,60 @@ mod tests {
     fn http_1_0_defaults_to_close() {
         let req = parse_bytes(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
         assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn read_timeouts_map_to_parse_timeout_not_io() {
+        for kind in [std::io::ErrorKind::TimedOut, std::io::ErrorKind::WouldBlock] {
+            let e = std::io::Error::new(kind, "stalled");
+            assert_eq!(ParseError::from(e), ParseError::Timeout);
+        }
+        let e = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "gone");
+        assert!(matches!(ParseError::from(e), ParseError::Io(_)));
+    }
+
+    #[test]
+    fn timed_stream_enforces_deadline_and_per_read_progress() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut timed = TimedStream::new(server, Duration::from_secs(30));
+
+        // An expired deadline fails immediately — no 30 s per-read grace.
+        timed.arm(Duration::from_secs(30), Some(Instant::now()));
+        let err = timed.read(&mut [0u8; 8]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+
+        // A silent peer trips the per-read progress timeout.
+        timed.arm(Duration::from_millis(10), None);
+        let start = Instant::now();
+        let err = timed.read(&mut [0u8; 8]).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ));
+        assert!(start.elapsed() < Duration::from_secs(5));
+
+        // Bytes already in flight are still delivered under a live deadline.
+        use std::io::Write as _;
+        let mut client = client;
+        client.write_all(b"hi").unwrap();
+        timed.arm(
+            Duration::from_secs(30),
+            Some(Instant::now() + Duration::from_secs(5)),
+        );
+        let mut buf = [0u8; 2];
+        timed.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn overload_reason_strings() {
+        assert_eq!(Response::json(408, "{}".into()).reason(), "Request Timeout");
+        assert_eq!(
+            Response::json(429, "{}".into()).reason(),
+            "Too Many Requests"
+        );
     }
 
     #[test]

@@ -23,8 +23,12 @@
 //! * [`persist`] — optional durability (`--data-dir`): WAL appends on
 //!   every session mutation, periodic snapshot + log-compaction
 //!   checkpoints, snapshot-then-log crash recovery (via `routes-store`).
-//! * [`server`] — a fixed worker-thread pool accepting from one shared
-//!   listener, with graceful shutdown.
+//! * [`server`] — a dedicated acceptor feeding a bounded connection
+//!   queue drained by a fixed worker pool: over-capacity connections are
+//!   shed with `429` + `Retry-After`, every request runs under a
+//!   wall-clock deadline a trickling peer cannot reset (`408` + reap),
+//!   and shutdown drains gracefully (stop accepting, finish in-flight,
+//!   close idle keep-alives cleanly).
 //!
 //! Scenario loading and solution materialization reuse the `spider` CLI's
 //! loader and `prepare` step, so a scenario file means exactly the same
@@ -41,7 +45,10 @@ pub mod session;
 pub use json::Json;
 pub use persist::{Persistence, RecoveryReport, CHECKPOINT_RECORDS_ENV, DATA_DIR_ENV};
 pub use router::App;
-pub use server::{Server, ServerConfig};
+pub use server::{
+    Server, ServerConfig, DEFAULT_MAX_QUEUE, DEFAULT_REQUEST_DEADLINE, DEFAULT_RETRY_AFTER,
+    MAX_QUEUE_ENV, REQUEST_DEADLINE_ENV, RETRY_AFTER_ENV,
+};
 pub use session::{
     Removal, Session, SessionLookup, SessionOrigin, SessionStore, ShardSnapshot, StoreSnapshot,
     SHARDS_ENV,

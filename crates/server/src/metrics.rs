@@ -98,6 +98,22 @@ pub struct Metrics {
     pub responses_5xx: AtomicU64,
     pub bad_requests: AtomicU64,
     pub connections_accepted: AtomicU64,
+    /// Bound of the acceptor's connection queue (0 until a server stores
+    /// its resolved `--max-queue`; `Metrics` alone has no front door).
+    pub admission_queue_capacity: AtomicU64,
+    /// Connections currently parked in the acceptor's queue.
+    pub admission_queue_depth: AtomicU64,
+    /// Connections admitted into the queue (later popped by a worker).
+    pub admission_admitted: AtomicU64,
+    /// Connections shed at the door with `429 Too Many Requests`.
+    pub admission_shed: AtomicU64,
+    /// Requests answered `408 Request Timeout` after their wall-clock
+    /// deadline expired mid-parse.
+    pub admission_timeouts: AtomicU64,
+    /// Connections force-closed by a deadline (every 408 plus write-side
+    /// stalls that never got a response).
+    pub admission_reaped: AtomicU64,
+    admission_queue_wait: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     pub sessions_created: AtomicU64,
     pub sessions_deleted: AtomicU64,
     pub sessions_evicted: AtomicU64,
@@ -234,6 +250,13 @@ impl Metrics {
             responses_5xx: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
+            admission_queue_capacity: AtomicU64::new(0),
+            admission_queue_depth: AtomicU64::new(0),
+            admission_admitted: AtomicU64::new(0),
+            admission_shed: AtomicU64::new(0),
+            admission_timeouts: AtomicU64::new(0),
+            admission_reaped: AtomicU64::new(0),
+            admission_queue_wait: Default::default(),
             sessions_created: AtomicU64::new(0),
             sessions_deleted: AtomicU64::new(0),
             sessions_evicted: AtomicU64::new(0),
@@ -272,6 +295,22 @@ impl Metrics {
     /// Record one sample of a work phase's wall time.
     pub fn record_phase(&self, phase: Phase, latency: Duration) {
         self.phases[phase as usize].record(latency);
+    }
+
+    /// Record how long a connection waited in the admission queue before a
+    /// worker popped it.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        let us = wait.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.admission_queue_wait[bucket_of(us)].fetch_add(1, Relaxed);
+    }
+
+    /// Snapshot of the queue-wait histogram (one count per latency bucket
+    /// plus the unbounded tail).
+    pub fn queue_wait_counts(&self) -> Vec<u64> {
+        self.admission_queue_wait
+            .iter()
+            .map(|c| c.load(Relaxed))
+            .collect()
     }
 
     /// The accounting of one phase (snapshot reads).
@@ -357,6 +396,27 @@ impl Metrics {
                     ),
                 ]),
             ),
+            (
+                "admission",
+                Json::obj([
+                    (
+                        "queue_capacity",
+                        Json::from(self.admission_queue_capacity.load(Relaxed)),
+                    ),
+                    (
+                        "queue_depth",
+                        Json::from(self.admission_queue_depth.load(Relaxed)),
+                    ),
+                    ("admitted", Json::from(self.admission_admitted.load(Relaxed))),
+                    ("shed", Json::from(self.admission_shed.load(Relaxed))),
+                    ("timeouts", Json::from(self.admission_timeouts.load(Relaxed))),
+                    ("reaped", Json::from(self.admission_reaped.load(Relaxed))),
+                    (
+                        "queue_wait_us",
+                        histogram_json(&LATENCY_BUCKETS_US, &self.queue_wait_counts()),
+                    ),
+                ]),
+            ),
             ("latency_us", hist),
             ("phases", phases),
         ])
@@ -401,6 +461,64 @@ impl Metrics {
             "routes_connections_accepted_total",
             &[],
             self.connections_accepted.load(Relaxed),
+        );
+
+        w.family(
+            "routes_admission_queue_capacity",
+            "gauge",
+            "Bound of the acceptor's connection queue (--max-queue).",
+        );
+        w.sample(
+            "routes_admission_queue_capacity",
+            &[],
+            self.admission_queue_capacity.load(Relaxed),
+        );
+        w.family(
+            "routes_admission_queue_depth",
+            "gauge",
+            "Connections currently waiting in the admission queue.",
+        );
+        w.sample(
+            "routes_admission_queue_depth",
+            &[],
+            self.admission_queue_depth.load(Relaxed),
+        );
+        for (name, help, counter) in [
+            (
+                "routes_admission_admitted_total",
+                "Connections admitted into the acceptor's queue.",
+                &self.admission_admitted,
+            ),
+            (
+                "routes_admission_shed_total",
+                "Connections shed at the door with 429 Too Many Requests.",
+                &self.admission_shed,
+            ),
+            (
+                "routes_admission_timeouts_total",
+                "Requests answered 408 after the request deadline expired.",
+                &self.admission_timeouts,
+            ),
+            (
+                "routes_admission_reaped_total",
+                "Connections force-closed by a deadline (stalled readers/writers).",
+                &self.admission_reaped,
+            ),
+        ] {
+            w.family(name, "counter", help);
+            w.sample(name, &[], counter.load(Relaxed));
+        }
+        w.family(
+            "routes_admission_queue_wait_us",
+            "histogram",
+            "Time connections spent queued before a worker popped them, in microseconds.",
+        );
+        w.histogram(
+            "routes_admission_queue_wait_us",
+            &[],
+            &LATENCY_BUCKETS_US,
+            &self.queue_wait_counts(),
+            None,
         );
 
         w.family("routes_live_sessions", "gauge", "Sessions currently resident in the store.");

@@ -103,6 +103,14 @@ fn exposition_matches_the_golden_file() {
     use std::sync::atomic::Ordering::Relaxed;
     m.bad_requests.store(2, Relaxed);
     m.connections_accepted.store(6, Relaxed);
+    m.admission_queue_capacity.store(64, Relaxed);
+    m.admission_queue_depth.store(1, Relaxed);
+    m.admission_admitted.store(5, Relaxed);
+    m.admission_shed.store(2, Relaxed);
+    m.admission_timeouts.store(1, Relaxed);
+    m.admission_reaped.store(1, Relaxed);
+    m.record_queue_wait(Duration::from_micros(40));
+    m.record_queue_wait(Duration::from_millis(8));
     m.sessions_created.store(5, Relaxed);
     m.sessions_deleted.store(1, Relaxed);
     m.sessions_evicted.store(2, Relaxed);
@@ -265,6 +273,27 @@ fn reconcile(json: &Json, check: &mut PromCheck) {
             "bad_requests" => check.eat("routes_bad_requests_total", as_u64(value)),
             "connections_accepted" => {
                 check.eat("routes_connections_accepted_total", as_u64(value));
+            }
+            "admission" => {
+                for (adm_key, v) in obj_fields(value) {
+                    match adm_key.as_str() {
+                        "queue_capacity" => {
+                            check.eat("routes_admission_queue_capacity", as_u64(v));
+                        }
+                        "queue_depth" => check.eat("routes_admission_queue_depth", as_u64(v)),
+                        "admitted" => check.eat("routes_admission_admitted_total", as_u64(v)),
+                        "shed" => check.eat("routes_admission_shed_total", as_u64(v)),
+                        "timeouts" => check.eat("routes_admission_timeouts_total", as_u64(v)),
+                        "reaped" => check.eat("routes_admission_reaped_total", as_u64(v)),
+                        "queue_wait_us" => check.eat_histogram(
+                            "routes_admission_queue_wait_us",
+                            "",
+                            v,
+                            &LATENCY_BUCKETS_US,
+                        ),
+                        other => panic!("unknown admission field `{other}`"),
+                    }
+                }
             }
             "live_sessions" => check.eat("routes_live_sessions", as_u64(value)),
             "sessions_created" => check.eat("routes_sessions_created_total", as_u64(value)),

@@ -1,6 +1,8 @@
 //! End-to-end service tests over real sockets: concurrent clients, route
 //! validation against an independently prepared `(I, J)`, forest-cache
-//! behavior, metrics consistency, LRU eviction, and graceful shutdown.
+//! behavior, metrics consistency, LRU eviction, graceful shutdown, and
+//! keep-alive framing under admission deadlines (byte-exact response
+//! boundaries around 408/429).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -142,6 +144,218 @@ fn validate_served_route(tag: i64, steps: &[Json], selected_relation: &str, sele
     route
         .validate(&env, &selected)
         .expect("served route replays against the local (I, J)");
+}
+
+/// One parsed raw response, for byte-exact framing assertions.
+struct RawResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl RawResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Split one complete HTTP/1.1 response off the front of `bytes`;
+/// `None` while the head or the `content-length` body is still partial.
+/// Returns the response and the exact number of bytes it occupied.
+fn try_split_response(bytes: &[u8]) -> Option<(RawResponse, usize)> {
+    let head_end = bytes.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&bytes[..head_end]).expect("UTF-8 response head");
+    let mut lines = head.trim_end().split("\r\n");
+    let status_line = lines.next().unwrap();
+    assert!(
+        status_line.starts_with("HTTP/1.1 "),
+        "bad status line {status_line:?}"
+    );
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut headers = Vec::new();
+    for line in lines {
+        let (k, v) = line.split_once(':').unwrap_or_else(|| {
+            panic!("header line without colon: {line:?}");
+        });
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().expect("numeric content-length"))
+        .expect("content-length always present");
+    let total = head_end + len;
+    if bytes.len() < total {
+        return None;
+    }
+    Some((
+        RawResponse {
+            status,
+            headers,
+            body: bytes[head_end..total].to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Read from `stream` until one complete response is buffered; returns it
+/// (EOF or a read error before that is a test failure).
+fn read_one_response(stream: &mut TcpStream) -> RawResponse {
+    let mut buf = Vec::new();
+    loop {
+        if let Some((response, consumed)) = try_split_response(&buf) {
+            assert_eq!(consumed, buf.len(), "no bytes beyond the response yet");
+            return response;
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk).expect("read while awaiting response");
+        assert!(n > 0, "EOF before a complete response (got {buf:?})");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+#[test]
+fn pipelined_keep_alive_responses_are_byte_exact() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Four requests in one write: three keep-alive, the last closing.
+    let mut burst = String::new();
+    for _ in 0..3 {
+        burst.push_str("GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    }
+    burst.push_str("GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n");
+    stream.write_all(burst.as_bytes()).unwrap();
+
+    let mut all = Vec::new();
+    stream.read_to_end(&mut all).unwrap();
+    let mut rest: &[u8] = &all;
+    for i in 0..4 {
+        let (response, consumed) =
+            try_split_response(rest).unwrap_or_else(|| panic!("response {i} incomplete"));
+        assert_eq!(response.status, 200, "response {i}");
+        assert_eq!(
+            response.header("connection"),
+            Some(if i < 3 { "keep-alive" } else { "close" }),
+            "response {i}"
+        );
+        parse(std::str::from_utf8(&response.body).unwrap())
+            .unwrap_or_else(|e| panic!("response {i} body is not JSON: {e:?}"));
+        rest = &rest[consumed..];
+    }
+    assert!(
+        rest.is_empty(),
+        "exactly four responses, no trailing bytes: {rest:?}"
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn deadline_mid_body_yields_exactly_one_408_then_eof() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        request_deadline: Some(Duration::from_millis(500)),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // The first request stalls mid-body: 3 of 10 promised bytes, then
+    // silence. The wall-clock deadline (not the 30 s per-read timeout)
+    // must answer 408.
+    stream
+        .write_all(b"POST /sessions HTTP/1.1\r\nhost: t\r\ncontent-length: 10\r\n\r\nabc")
+        .unwrap();
+    let response = read_one_response(&mut stream);
+    assert_eq!(response.status, 408);
+    assert_eq!(response.header("connection"), Some("close"));
+    let body = parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    assert!(body.get("error").unwrap().as_str().unwrap().contains("deadline"));
+
+    // A back-to-back second request after the 408 must not be consumed
+    // as the missing body or produce a second response — framing is
+    // unreliable after a timeout, so the connection just closes.
+    let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    let mut extra = [0u8; 256];
+    match stream.read(&mut extra) {
+        Ok(0) => {}      // clean EOF at the response boundary
+        Err(_) => {}     // reset after our late write — still no bytes
+        Ok(n) => panic!("unexpected bytes after the 408: {:?}", &extra[..n]),
+    }
+    shutdown(addr, handle);
+}
+
+#[test]
+fn shed_connection_answers_pipelined_requests_with_exactly_one_429() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        max_queue: 1,
+        request_deadline: Some(Duration::from_secs(3)),
+        ..ServerConfig::default()
+    });
+    // Pin the single worker with a request stalled mid-headers...
+    let mut pin = TcpStream::connect(addr).expect("connect");
+    pin.set_read_timeout(Some(Duration::from_secs(15))).unwrap();
+    pin.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // ...and fill the one-slot queue with a parked complete request.
+    let mut parked = TcpStream::connect(addr).expect("connect");
+    parked
+        .set_read_timeout(Some(Duration::from_secs(15)))
+        .unwrap();
+    parked
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // A shed connection gets its 429 at accept time, before sending a
+    // single byte. It must be byte-exact, and two complete back-to-back
+    // requests sent afterwards must not smear a second response (or
+    // partial bytes) onto the wire.
+    let mut shed = TcpStream::connect(addr).expect("connect");
+    shed.set_read_timeout(Some(Duration::from_secs(15))).unwrap();
+    let response = read_one_response(&mut shed);
+    assert_eq!(response.status, 429);
+    assert_eq!(response.header("connection"), Some("close"));
+    response
+        .header("retry-after")
+        .expect("Retry-After on shed responses")
+        .parse::<u64>()
+        .expect("integer Retry-After");
+    let _ = shed.write_all(
+        b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\nGET /healthz HTTP/1.1\r\nhost: t\r\n\r\n",
+    );
+    let mut extra = [0u8; 256];
+    match shed.read(&mut extra) {
+        Ok(0) => {}      // clean EOF at the response boundary
+        Err(_) => {}     // reset after our late write — still no bytes
+        Ok(n) => panic!("unexpected bytes after the 429: {:?}", &extra[..n]),
+    }
+
+    // Unpin: the stalled client is reaped with one byte-exact 408, and
+    // the parked client is then served normally — the deadline on one
+    // connection never corrupts its neighbors.
+    let mut all = Vec::new();
+    pin.read_to_end(&mut all).unwrap();
+    let (response, consumed) = try_split_response(&all).expect("complete 408");
+    assert_eq!(response.status, 408);
+    assert_eq!(consumed, all.len(), "exactly one 408 then EOF");
+    let mut all = Vec::new();
+    parked.read_to_end(&mut all).unwrap();
+    let (response, consumed) = try_split_response(&all).expect("complete 200");
+    assert_eq!(response.status, 200);
+    assert_eq!(consumed, all.len(), "exactly one 200 then EOF");
+
+    shutdown(addr, handle);
 }
 
 #[test]

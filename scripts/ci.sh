@@ -64,6 +64,17 @@ cargo run --release --offline -p routes-bench --bin repro -- micro sessions --qu
 # group-commit batch size (writes bench_results/micro_persist.csv).
 cargo run --release --offline -p routes-bench --bin repro -- micro persist --quick
 
+# Admission-control gate: the HTTP saturation/abuse battery (slow-loris
+# reap + concurrent service, deterministic burst shedding with exact
+# /metrics reconciliation, graceful drain) must pass with the session
+# store at 1 shard and at 8, with the worker pool pinned to 2 threads.
+ROUTES_SESSION_SHARDS=1 ROUTES_THREADS=2 cargo test -q --offline --test http_overload
+ROUTES_SESSION_SHARDS=8 ROUTES_THREADS=2 cargo test -q --offline --test http_overload
+
+# HTTP saturation bench smoke: closed-loop clients past capacity, shed
+# at the door (writes bench_results/micro_http.csv).
+cargo run --release --offline -p routes-bench --bin repro -- micro http --quick
+
 # Observability gate: the socket suite (trace-ID propagation, /trace span
 # dump, slow-request log, ring eviction) must pass with the session store
 # at 1 shard and at 8.

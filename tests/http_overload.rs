@@ -1,0 +1,325 @@
+//! HTTP saturation and abuse battery for `spiderd`'s admission control:
+//! a slow-loris trickler is reaped by the wall-clock deadline while
+//! concurrent normal clients are served; a burst far beyond queue
+//! capacity sheds deterministically with `429` + `Retry-After` and the
+//! 200/429 split reconciles exactly against `/metrics` admission
+//! counters; and graceful drain completes in-flight requests, closes
+//! idle keep-alives cleanly, and refuses post-drain connects.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use routes_server::json::{parse, Json};
+use routes_server::{Server, ServerConfig};
+
+/// One parsed raw response, for byte-exact framing assertions.
+struct RawResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl RawResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> Json {
+        parse(std::str::from_utf8(&self.body).expect("UTF-8 body")).expect("JSON body")
+    }
+}
+
+/// Split one complete HTTP/1.1 response off the front of `bytes`;
+/// `None` while the head or the `content-length` body is still partial.
+fn try_split_response(bytes: &[u8]) -> Option<(RawResponse, usize)> {
+    let head_end = bytes.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&bytes[..head_end]).expect("UTF-8 response head");
+    let mut lines = head.trim_end().split("\r\n");
+    let status_line = lines.next().unwrap();
+    assert!(
+        status_line.starts_with("HTTP/1.1 "),
+        "bad status line {status_line:?}"
+    );
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut headers = Vec::new();
+    for line in lines {
+        let (k, v) = line
+            .split_once(':')
+            .unwrap_or_else(|| panic!("header line without colon: {line:?}"));
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().expect("numeric content-length"))
+        .expect("content-length always present");
+    let total = head_end + len;
+    if bytes.len() < total {
+        return None;
+    }
+    Some((
+        RawResponse {
+            status,
+            headers,
+            body: bytes[head_end..total].to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Read from `stream` until one complete response is buffered.
+fn read_one_response(stream: &mut TcpStream) -> RawResponse {
+    let mut buf = Vec::new();
+    loop {
+        if let Some((response, _)) = try_split_response(&buf) {
+            return response;
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk).expect("read while awaiting response");
+        assert!(n > 0, "EOF before a complete response (got {buf:?})");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// One connection-close exchange; panics on anything but a clean reply.
+fn roundtrip(addr: SocketAddr, method: &str, path: &str) -> RawResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\
+                 content-length: 0\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut all = Vec::new();
+    stream.read_to_end(&mut all).unwrap();
+    let (response, consumed) = try_split_response(&all).expect("complete response");
+    assert_eq!(consumed, all.len(), "exactly one response then EOF");
+    response
+}
+
+fn admission_counter(metrics: &Json, field: &str) -> u64 {
+    metrics
+        .get("admission")
+        .unwrap_or_else(|| panic!("metrics missing admission block"))
+        .get(field)
+        .unwrap_or_else(|| panic!("admission block missing `{field}`"))
+        .as_u64()
+        .unwrap_or_else(|| panic!("admission.{field} is not an integer"))
+}
+
+fn start(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let response = roundtrip(addr, "POST", "/shutdown");
+    assert_eq!(response.status, 200);
+    handle.join().expect("server exits");
+}
+
+/// A slow-loris peer that keeps making per-read progress is reaped by
+/// the wall-clock deadline with a `408` — while a concurrent well-behaved
+/// client keeps getting `200`s the whole time.
+#[test]
+fn slow_loris_is_reaped_while_normal_clients_are_served() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        // Per-read timeout far beyond the deadline: only the wall clock
+        // can reap the trickler, never silent-peer detection.
+        read_timeout: Duration::from_secs(30),
+        request_deadline: Some(Duration::from_millis(700)),
+        ..ServerConfig::default()
+    });
+
+    let trickler = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let started = Instant::now();
+        // One byte every 100 ms: each write resets the per-read timer,
+        // so the pre-deadline server would host this peer forever.
+        // Stop dripping before the 700 ms deadline so the reap's FIN is
+        // never raced by a late write (which would turn it into a RST).
+        for byte in b"GET /" {
+            stream.write_all(&[*byte]).expect("trickle");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut all = Vec::new();
+        stream.read_to_end(&mut all).expect("read the reap response");
+        (started.elapsed(), all)
+    });
+
+    // While the trickler occupies one worker, the other keeps serving.
+    for _ in 0..10 {
+        let response = roundtrip(addr, "GET", "/healthz");
+        assert_eq!(response.status, 200);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let (elapsed, all) = trickler.join().expect("trickler thread");
+    let (response, consumed) = try_split_response(&all).expect("complete 408");
+    assert_eq!(response.status, 408);
+    assert_eq!(response.header("connection"), Some("close"));
+    assert_eq!(consumed, all.len(), "exactly one 408 then EOF");
+    assert!(
+        elapsed >= Duration::from_millis(600) && elapsed < Duration::from_secs(10),
+        "reaped by the deadline, not per-read timeout or never: {elapsed:?}"
+    );
+
+    let metrics = roundtrip(addr, "GET", "/metrics").json();
+    assert!(admission_counter(&metrics, "timeouts") >= 1);
+    assert!(admission_counter(&metrics, "reaped") >= 1);
+    assert_eq!(admission_counter(&metrics, "shed"), 0);
+    shutdown(addr, handle);
+}
+
+/// Saturate a one-worker, one-slot server with a burst far beyond
+/// capacity: every burst connection is answered — exactly `429` with an
+/// integer `Retry-After` — and the final 200/408/429 split reconciles
+/// *exactly* with the `/metrics` admission counters.
+#[test]
+fn burst_beyond_capacity_sheds_429_and_counters_reconcile_exactly() {
+    const BURST: u64 = 16;
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        max_queue: 1,
+        request_deadline: Some(Duration::from_secs(3)),
+        ..ServerConfig::default()
+    });
+
+    // Pin the single worker with a request stalled mid-headers...
+    let mut pin = TcpStream::connect(addr).expect("connect");
+    pin.set_read_timeout(Some(Duration::from_secs(15))).unwrap();
+    pin.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // ...and fill the one-slot queue with a parked complete request.
+    let mut parked = TcpStream::connect(addr).expect("connect");
+    parked
+        .set_read_timeout(Some(Duration::from_secs(15)))
+        .unwrap();
+    parked
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The burst: every connection beyond capacity is shed at the door.
+    for i in 0..BURST {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(15)))
+            .unwrap();
+        let response = read_one_response(&mut stream);
+        assert_eq!(response.status, 429, "burst connection {i}");
+        assert_eq!(response.header("connection"), Some("close"));
+        let retry: u64 = response
+            .header("retry-after")
+            .unwrap_or_else(|| panic!("burst connection {i} missing Retry-After"))
+            .parse()
+            .expect("integer Retry-After");
+        assert!(retry >= 1, "Retry-After must be at least one second");
+    }
+
+    // The pinned trickler is reaped at the 3 s deadline; the parked
+    // client is then served normally.
+    let mut all = Vec::new();
+    pin.read_to_end(&mut all).unwrap();
+    let (response, _) = try_split_response(&all).expect("complete 408");
+    assert_eq!(response.status, 408);
+    let mut all = Vec::new();
+    parked.read_to_end(&mut all).unwrap();
+    let (response, _) = try_split_response(&all).expect("complete 200");
+    assert_eq!(response.status, 200);
+
+    // Exact reconciliation. Admitted: the pinned conn, the parked conn,
+    // and the /metrics conn itself (admitted before handling; its own
+    // request is recorded only after the snapshot renders). Responses:
+    // 16 shed 429s + one 408 + one 200.
+    let metrics = roundtrip(addr, "GET", "/metrics").json();
+    assert_eq!(admission_counter(&metrics, "queue_capacity"), 1);
+    assert_eq!(admission_counter(&metrics, "queue_depth"), 0);
+    assert_eq!(admission_counter(&metrics, "admitted"), 3);
+    assert_eq!(admission_counter(&metrics, "shed"), BURST);
+    assert_eq!(admission_counter(&metrics, "timeouts"), 1);
+    assert_eq!(admission_counter(&metrics, "reaped"), 1);
+    let counter = |field: &str| metrics.get(field).unwrap().as_u64().unwrap();
+    assert_eq!(counter("requests_total"), BURST + 2);
+    assert_eq!(counter("responses_2xx"), 1);
+    assert_eq!(counter("responses_4xx"), BURST + 1);
+    assert_eq!(counter("responses_5xx"), 0);
+    shutdown(addr, handle);
+}
+
+/// Graceful drain: `POST /shutdown` lets the in-flight request finish
+/// with a well-formed response, closes idle keep-alives with a clean
+/// EOF (no RST, no partial bytes), and then refuses new connections.
+#[test]
+fn graceful_drain_finishes_in_flight_closes_idle_and_refuses_new() {
+    // Three workers: one pinned mid-body, one holding an idle
+    // keep-alive, one free to serve /shutdown.
+    let (addr, handle) = start(ServerConfig {
+        threads: 3,
+        ..ServerConfig::default()
+    });
+
+    // B: a keep-alive client that completes one request, then idles.
+    let mut idle = TcpStream::connect(addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(15))).unwrap();
+    idle.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let response = read_one_response(&mut idle);
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("connection"), Some("keep-alive"));
+
+    // A: in-flight — headers complete, body stalled at 2 of 5 bytes.
+    let mut inflight = TcpStream::connect(addr).expect("connect");
+    inflight
+        .set_read_timeout(Some(Duration::from_secs(15)))
+        .unwrap();
+    inflight
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\ncontent-length: 5\r\n\r\nab")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // C: drain. The response to /shutdown itself must be well-formed.
+    let response = roundtrip(addr, "POST", "/shutdown");
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.json().get("shutting_down").unwrap().as_bool(),
+        Some(true)
+    );
+
+    // A finishes its body after the drain began: it still gets a
+    // complete, well-formed 200, then EOF.
+    inflight.write_all(b"cde").unwrap();
+    let response = read_one_response(&mut inflight);
+    assert_eq!(response.status, 200);
+    let mut rest = Vec::new();
+    inflight.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "no bytes after the final response: {rest:?}");
+
+    // B's idle keep-alive is closed with a clean EOF, not a reset.
+    let mut rest = Vec::new();
+    idle.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "idle keep-alive got bytes at drain: {rest:?}");
+
+    // Once drained, the listener is gone: new connections are refused.
+    handle.join().expect("server exits");
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "post-drain connect must be refused"
+    );
+}
