@@ -10,6 +10,7 @@
 //! repro micro edit [--quick]
 //! repro micro join [--quick]
 //! repro micro http [--quick]
+//! repro micro pipeline [--quick]
 //! ```
 //!
 //! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
@@ -32,15 +33,18 @@
 //! and writes `bench_results/micro_join.csv`; `micro http` saturates a
 //! small-capacity `spiderd` with closed-loop clients through the real
 //! socket path (accept, admission queue, probe, response) and writes
-//! `bench_results/micro_http.csv`; `--quick` shrinks any of them to a CI
-//! smoke run.
+//! `bench_results/micro_http.csv`; `micro pipeline` chases a
+//! redundancy-heavy mapping chain at increasing hop counts with core
+//! minimization off and on, stitches end-to-end routes for a pinned probe
+//! set, and writes `bench_results/micro_pipeline.csv`; `--quick` shrinks
+//! any of them to a CI smoke run.
 
 use std::path::Path;
 
 use routes_bench::{
     edit_benches, fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, http_benches,
-    join_benches, micro_benches, obs_benches, parallel_benches, persist_benches, session_benches,
-    table1, Sizing, Table,
+    join_benches, micro_benches, obs_benches, parallel_benches, persist_benches, pipeline_benches,
+    session_benches, table1, Sizing, Table,
 };
 
 fn main() {
@@ -73,6 +77,7 @@ fn main() {
         [a, b] if a == "micro" && b == "edit" => "micro-edit".to_owned(),
         [a, b] if a == "micro" && b == "join" => "micro-join".to_owned(),
         [a, b] if a == "micro" && b == "http" => "micro-http".to_owned(),
+        [a, b] if a == "micro" && b == "pipeline" => "micro-pipeline".to_owned(),
         _ => usage("too many experiment names"),
     };
 
@@ -211,6 +216,16 @@ fn main() {
         emit(&name, vec![t]);
         ran = true;
     }
+    if which == "micro-pipeline" {
+        eprintln!(
+            "running pipeline stitching micro-benchmarks{} ...",
+            if quick { " (quick)" } else { "" }
+        );
+        let t = pipeline_benches(quick);
+        let name = t.title.clone();
+        emit(&name, vec![t]);
+        ran = true;
+    }
     if !ran {
         usage(&format!("unknown experiment `{which}`"));
     }
@@ -226,7 +241,8 @@ fn usage(msg: &str) -> ! {
          \u{20}      repro micro obs [--quick]\n\
          \u{20}      repro micro edit [--quick]\n\
          \u{20}      repro micro join [--quick]\n\
-         \u{20}      repro micro http [--quick]"
+         \u{20}      repro micro http [--quick]\n\
+         \u{20}      repro micro pipeline [--quick]"
     );
     std::process::exit(2);
 }

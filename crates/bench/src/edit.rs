@@ -47,8 +47,15 @@ fn run_incremental(base: &str, batches: &[Vec<EditOp>], workers: &Pool) -> Durat
     let mut state = IncrState::default();
     let started = std::time::Instant::now();
     for ops in batches {
-        let apply = apply_batch(&text, &scenario, &state, ops, ChaseOptions::fresh(), workers)
-            .expect("campaign batches are valid");
+        let apply = apply_batch(
+            &text,
+            &scenario,
+            &state,
+            ops,
+            ChaseOptions::fresh(),
+            workers,
+        )
+        .expect("campaign batches are valid");
         text = apply.text;
         scenario = apply.scenario;
         state = apply.state;
@@ -63,8 +70,8 @@ fn run_full(base: &str, batches: &[Vec<EditOp>], workers: &Pool) -> Duration {
     let started = std::time::Instant::now();
     for ops in batches {
         let (next, loaded) = apply_edits(&text, ops).expect("campaign batches are valid");
-        let _ = prepare_scenario_with(loaded, ChaseOptions::fresh(), workers)
-            .expect("campaign chases");
+        let _ =
+            prepare_scenario_with(loaded, ChaseOptions::fresh(), workers).expect("campaign chases");
         text = next;
     }
     started.elapsed()
@@ -72,7 +79,11 @@ fn run_full(base: &str, batches: &[Vec<EditOp>], workers: &Pool) -> Duration {
 
 /// Run the size sweep. `quick` shrinks sizes and samples for CI smoke.
 pub fn edit_benches(quick: bool) -> Table {
-    let sizes: &[usize] = if quick { &EDIT_SIZES_QUICK } else { &EDIT_SIZES };
+    let sizes: &[usize] = if quick {
+        &EDIT_SIZES_QUICK
+    } else {
+        &EDIT_SIZES
+    };
     let (warmup, samples) = if quick { (0, 1) } else { (1, 3) };
     let (n_batches, ops_per_batch) = (4, 4);
     let workers = Pool::sequential();

@@ -3,10 +3,12 @@
 use std::time::Duration;
 
 use routes_chase::ChaseOptions;
-use routes_core::{compute_all_routes, compute_one_route, compute_one_route_with, OneRouteOptions, RouteEnv};
+use routes_core::{
+    compute_all_routes, compute_one_route, compute_one_route_with, OneRouteOptions, RouteEnv,
+};
 use routes_gen::hierarchy::{deep_scenario, flat_scenario, DeepRows};
-use routes_gen::relational::relational_scenario;
 use routes_gen::real::{dblp_scenario, mondial_scenario};
+use routes_gen::relational::relational_scenario;
 use routes_gen::scenario::random_tuples;
 use routes_gen::TpchRows;
 use routes_model::{Instance, TupleId};
@@ -114,7 +116,9 @@ pub fn fig10a(sizing: &Sizing) -> Table {
 pub fn fig10b(sizing: &Sizing) -> Table {
     let mut table = Table::new(
         "Figure 10(b): one route, varying M/T factor 1..6; 3-join tgds, |I|=100MB",
-        &["tuples", "M/T=1", "M/T=2", "M/T=3", "M/T=4", "M/T=5", "M/T=6"],
+        &[
+            "tuples", "M/T=1", "M/T=2", "M/T=3", "M/T=4", "M/T=5", "M/T=6",
+        ],
     );
     let mut sc = relational_scenario(3, &TpchRows::scale(sizing.mid_size()), 0xB0B);
     let solution = sc.scenario.solution().expect("chase succeeds").target;
@@ -263,7 +267,9 @@ pub fn flat_hierarchy(sizing: &Sizing) -> Vec<Table> {
 pub fn fig11(sizing: &Sizing) -> Table {
     let mut table = Table::new(
         "Figure 11: one route, varying selection depth 1..5; |I|=|J|=700KB (XML eager mode)",
-        &["elements", "depth 1", "depth 2", "depth 3", "depth 4", "depth 5"],
+        &[
+            "elements", "depth 1", "depth 2", "depth 3", "depth 4", "depth 5",
+        ],
     );
     // DeepRows::default is the 700 KB shape; sizing.factor scales the fanout
     // of the two largest levels.
@@ -306,7 +312,14 @@ pub fn table1(sizing: &Sizing) -> Vec<Table> {
     let scale = sizing.factor.max(0.02);
     let mut stats_table = Table::new(
         "Table 1: dataset & schema-mapping characteristics (ours vs. paper)",
-        &["schema", "total elems", "atomic elems", "nest depth", "|Σst|/|Σt|", "paper"],
+        &[
+            "schema",
+            "total elems",
+            "atomic elems",
+            "nest depth",
+            "|Σst|/|Σt|",
+            "paper",
+        ],
     );
     let mut timing = Table::new(
         "§4.2 timings: one route vs. all routes on the real scenarios",
@@ -320,7 +333,10 @@ pub fn table1(sizing: &Sizing) -> Vec<Table> {
         ("Mondial1(Rel)", "157/129/1"),
         ("Mondial2(XML)", "144/112/4, 13/25"),
     ];
-    let mut scenarios = vec![dblp_scenario(scale, 0xDB19), mondial_scenario(scale, 0x30D1)];
+    let mut scenarios = vec![
+        dblp_scenario(scale, 0xDB19),
+        mondial_scenario(scale, 0x30D1),
+    ];
     let mut paper_iter = paper_rows.iter();
     for sc in &scenarios {
         let deps = format!(

@@ -93,7 +93,12 @@ fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> std::io::
 
 /// One saturation point: `clients` closed-loop drivers for `window`.
 /// Returns (elapsed, ok_200, shed_429, errors).
-fn drive(addr: SocketAddr, path: &str, clients: usize, window: Duration) -> (Duration, u64, u64, u64) {
+fn drive(
+    addr: SocketAddr,
+    path: &str,
+    clients: usize,
+    window: Duration,
+) -> (Duration, u64, u64, u64) {
     let stop = AtomicBool::new(false);
     let ok = AtomicU64::new(0);
     let shed = AtomicU64::new(0);
@@ -167,15 +172,23 @@ pub fn http_benches(quick: bool) -> Table {
         let path = format!("/sessions/{session}/one-route");
         // Warm the forest cache so the sweep measures steady state.
         assert_eq!(
-            exchange(addr, "POST", &path, r#"{"tuples": [{"relation": "T6", "row": 0}]}"#)
-                .expect("warmup probe"),
+            exchange(
+                addr,
+                "POST",
+                &path,
+                r#"{"tuples": [{"relation": "T6", "row": 0}]}"#
+            )
+            .expect("warmup probe"),
             200
         );
 
         let (elapsed, ok, shed, errors) = drive(addr, &path, n, window);
         points.push((n, elapsed, ok, shed, errors));
 
-        assert_eq!(exchange(addr, "POST", "/shutdown", "").expect("shutdown"), 200);
+        assert_eq!(
+            exchange(addr, "POST", "/shutdown", "").expect("shutdown"),
+            200
+        );
         handle.join().expect("server exits");
     }
 
@@ -221,7 +234,10 @@ fn post_session(addr: SocketAddr, create: &str) -> u64 {
     let mut all = Vec::new();
     stream.read_to_end(&mut all).unwrap();
     let text = std::str::from_utf8(&all).expect("UTF-8 response");
-    assert!(text.starts_with("HTTP/1.1 201"), "session create failed: {text}");
+    assert!(
+        text.starts_with("HTTP/1.1 201"),
+        "session create failed: {text}"
+    );
     let body_at = text.find("\r\n\r\n").expect("complete response") + 4;
     parse(&text[body_at..])
         .expect("JSON body")

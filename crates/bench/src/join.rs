@@ -122,7 +122,10 @@ pub fn join_benches(quick: bool) -> Table {
     // M3), at two scales.
     let tpch_scales: &[f64] = if quick { &[0.002] } else { &[0.01, 0.03] };
     for &sf in tpch_scales {
-        let mut w = workload("tpch", relational_scenario(3, &TpchRows::scale(sf), 7).scenario);
+        let mut w = workload(
+            "tpch",
+            relational_scenario(3, &TpchRows::scale(sf), 7).scenario,
+        );
         w.name = format!("M3-sf{sf}");
         workloads.push(w);
     }
@@ -179,7 +182,10 @@ pub fn join_benches(quick: bool) -> Table {
             .filter(|w| w.generator != "random")
             .map(|w| vec![w])
             .collect();
-        let random: Vec<&Workload> = workloads.iter().filter(|w| w.generator == "random").collect();
+        let random: Vec<&Workload> = workloads
+            .iter()
+            .filter(|w| w.generator == "random")
+            .collect();
         named.push(random);
         named
     };
@@ -212,7 +218,10 @@ pub fn join_benches(quick: bool) -> Table {
             many => (
                 "random",
                 format!("{}-scenarios", many.len()),
-                many.iter().map(|w| w.mapping.tgd_ids().count()).sum::<usize>().to_string(),
+                many.iter()
+                    .map(|w| w.mapping.tgd_ids().count())
+                    .sum::<usize>()
+                    .to_string(),
             ),
         };
         out.push(vec![
@@ -241,7 +250,10 @@ mod tests {
         assert_eq!(table.rows.len(), 3);
         for row in &table.rows {
             assert_eq!(row.len(), 9);
-            assert!(row[3].parse::<u64>().unwrap() > 0, "workloads must enumerate matches");
+            assert!(
+                row[3].parse::<u64>().unwrap() > 0,
+                "workloads must enumerate matches"
+            );
             assert!(row[4].parse::<f64>().unwrap() >= 0.0);
             assert!(row[8].parse::<f64>().unwrap() > 0.0);
         }

@@ -25,19 +25,19 @@ pub mod micro;
 pub mod obs;
 pub mod parallel;
 pub mod persist;
+pub mod pipeline;
 pub mod sessions;
 pub mod table;
 
-pub use experiments::{
-    fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, table1, Sizing,
-};
 pub use edit::edit_benches;
+pub use experiments::{fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, table1, Sizing};
 pub use http::http_benches;
 pub use join::join_benches;
 pub use micro::micro_benches;
 pub use obs::obs_benches;
 pub use parallel::{parallel_benches, thread_counts};
 pub use persist::persist_benches;
+pub use pipeline::pipeline_benches;
 pub use sessions::session_benches;
 pub use table::Table;
 

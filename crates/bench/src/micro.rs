@@ -140,12 +140,7 @@ fn flat_micro(out: &mut Table) {
     }
 }
 
-fn routable_selection(
-    env: RouteEnv<'_>,
-    solution: &Instance,
-    n: usize,
-    seed: u64,
-) -> Vec<TupleId> {
+fn routable_selection(env: RouteEnv<'_>, solution: &Instance, n: usize, seed: u64) -> Vec<TupleId> {
     let rels: Vec<_> = env
         .mapping
         .target()
@@ -238,7 +233,13 @@ fn ablations_micro(out: &mut Table) {
         ] {
             let t = bench_median(1, 5, || {
                 let mut pool = sc.scenario.pool.clone();
-                chase(&sc.scenario.mapping, &sc.scenario.source, &mut pool, options).unwrap()
+                chase(
+                    &sc.scenario.mapping,
+                    &sc.scenario.source,
+                    &mut pool,
+                    options,
+                )
+                .unwrap()
             });
             out.push(row("ablation_chase_mode", name, t));
         }
@@ -277,7 +278,11 @@ fn ablations_micro(out: &mut Table) {
             out.push(row("ablation_composite_index", name, t));
         }
     }
-    for (label, sf) in [("sf_0.0005", 0.0005), ("sf_0.001", 0.001), ("sf_0.002", 0.002)] {
+    for (label, sf) in [
+        ("sf_0.0005", 0.0005),
+        ("sf_0.001", 0.001),
+        ("sf_0.002", 0.002),
+    ] {
         let sc = relational_scenario(1, &TpchRows::scale(sf), 36);
         let t = bench_median(1, 5, || {
             let mut pool = sc.scenario.pool.clone();

@@ -84,7 +84,13 @@ pub fn obs_benches(quick: bool) -> Table {
     let requests = if quick { 500 } else { 20_000 };
     let mut out = Table::new(
         "micro_obs",
-        &["case", "requests", "median_s", "ns_per_request", "overhead_pct"],
+        &[
+            "case",
+            "requests",
+            "median_s",
+            "ns_per_request",
+            "overhead_pct",
+        ],
     );
 
     // The slow-log case fires a warning per request; keep the benchmark's

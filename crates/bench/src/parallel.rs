@@ -139,18 +139,30 @@ pub fn parallel_benches(quick: bool) -> Table {
     for case in &cases {
         let chase_medians = sweep(&mut out, case, "chase", warmup, samples, |c, workers| {
             let mut pool = c.pool.clone();
-            chase_with_pool(&c.mapping, &c.source, &mut pool, ChaseOptions::fresh(), workers)
-                .unwrap()
-                .target
-                .total_tuples()
+            chase_with_pool(
+                &c.mapping,
+                &c.source,
+                &mut pool,
+                ChaseOptions::fresh(),
+                workers,
+            )
+            .unwrap()
+            .target
+            .total_tuples()
         });
-        let forest_medians =
-            sweep(&mut out, case, "all_routes", warmup, samples, |c, workers| {
+        let forest_medians = sweep(
+            &mut out,
+            case,
+            "all_routes",
+            warmup,
+            samples,
+            |c, workers| {
                 let env = RouteEnv::new(&c.mapping, &c.source, &c.solution);
                 compute_all_routes_with_pool(env, &c.selection, workers)
                     .order
                     .len()
-            });
+            },
+        );
         let combined: Vec<Duration> = chase_medians
             .iter()
             .zip(&forest_medians)

@@ -66,7 +66,8 @@ fn run_once(records: usize, batch: usize) -> (Duration, Duration, usize) {
 
     let started = Instant::now();
     for i in 0..records {
-        wal.append(&record(i), Durability::Buffered).expect("append");
+        wal.append(&record(i), Durability::Buffered)
+            .expect("append");
         if (i + 1).is_multiple_of(batch) {
             wal.flush().expect("flush");
         }

@@ -53,7 +53,10 @@ pub fn merges_affecting(log: &[EgdMerge], value: Value) -> Vec<&EgdMerge> {
 pub fn history_to_string(pool: &ValuePool, log: &[EgdMerge], value: Value) -> String {
     let merges = merges_affecting(log, value);
     if merges.is_empty() {
-        return format!("{} was never touched by an egd\n", pool.value_to_string(value));
+        return format!(
+            "{} was never touched by an egd\n",
+            pool.value_to_string(value)
+        );
     }
     let mut out = String::new();
     for m in merges {

@@ -7,7 +7,7 @@ use routes_model::{Instance, TupleId, Value, ValuePool, Var};
 use routes_pool::Pool;
 use routes_query::{
     anchored_plan, batch_all_matches, batch_matches_with_plan_into, plan_with_bound, satisfiable,
-    unify_atom, BatchOptions, Bindings, BindingBatch,
+    unify_atom, BatchOptions, BindingBatch, Bindings,
 };
 
 use crate::egd_log::{EgdLog, EgdMerge};
@@ -438,9 +438,9 @@ impl Engine<'_> {
             for term in &atom.terms {
                 values.push(match term {
                     routes_model::Term::Const(c) => *c,
-                    routes_model::Term::Var(v) => {
-                        b.get(*v).expect("all RHS vars bound after existential valuation")
-                    }
+                    routes_model::Term::Var(v) => b
+                        .get(*v)
+                        .expect("all RHS vars bound after existential valuation"),
                 });
             }
             let (tid, fresh) = self
@@ -483,12 +483,10 @@ impl Engine<'_> {
             for b in matches {
                 let vx = b.get(x).expect("egd vars occur in LHS");
                 let vy = b.get(y).expect("egd vars occur in LHS");
-                let merged = unifier
-                    .union(vx, vy)
-                    .map_err(|values| ChaseError::Failed {
-                        egd: egd.name().to_owned(),
-                        values,
-                    })?;
+                let merged = unifier.union(vx, vy).map_err(|values| ChaseError::Failed {
+                    egd: egd.name().to_owned(),
+                    values,
+                })?;
                 if merged {
                     self.egd_log.push(EgdMerge {
                         egd: egd.name().to_owned(),
@@ -519,10 +517,10 @@ impl Engine<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use routes_mapping::{parse_egd, parse_st_tgd, parse_target_tgd};
-    use routes_query::{EvalOptions, MatchIter};
     use routes_mapping::satisfy::is_solution;
+    use routes_mapping::{parse_egd, parse_st_tgd, parse_target_tgd};
     use routes_model::Schema;
+    use routes_query::{EvalOptions, MatchIter};
 
     fn simple_mapping() -> (SchemaMapping, ValuePool) {
         let mut s = Schema::new();
@@ -598,10 +596,8 @@ mod tests {
         let mut m = SchemaMapping::new(s.clone(), t.clone());
         m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "c: S(x,y) -> T(x,y)").unwrap())
             .unwrap();
-        m.add_target_tgd(
-            parse_target_tgd(&t, &mut pool, "tc: T(x,y) & T(y,z) -> T(x,z)").unwrap(),
-        )
-        .unwrap();
+        m.add_target_tgd(parse_target_tgd(&t, &mut pool, "tc: T(x,y) & T(y,z) -> T(x,z)").unwrap())
+            .unwrap();
         let mut i = Instance::new(m.source());
         let sr = m.source().rel_id("S").unwrap();
         for k in 0..5 {
@@ -631,8 +627,14 @@ mod tests {
         m.add_egd(parse_egd(&t, &mut pool, "key: T(x,y) & T(x,y2) -> y = y2").unwrap())
             .unwrap();
         let mut i = Instance::new(m.source());
-        i.insert_ok(m.source().rel_id("S").unwrap(), &[Value::Int(1), Value::Int(0)]);
-        i.insert_ok(m.source().rel_id("S2").unwrap(), &[Value::Int(1), Value::Int(9)]);
+        i.insert_ok(
+            m.source().rel_id("S").unwrap(),
+            &[Value::Int(1), Value::Int(0)],
+        );
+        i.insert_ok(
+            m.source().rel_id("S2").unwrap(),
+            &[Value::Int(1), Value::Int(9)],
+        );
         let r = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap();
         let tr = m.target().rel_id("T").unwrap();
         assert_eq!(r.target.rel_len(tr), 1);
@@ -656,11 +658,19 @@ mod tests {
             .unwrap();
         m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m2: S2(x,y) -> T(x,y)").unwrap())
             .unwrap();
-        m.add_egd(routes_mapping::parse_egd(&t, &mut pool, "key: T(x,y) & T(x,y2) -> y = y2").unwrap())
-            .unwrap();
+        m.add_egd(
+            routes_mapping::parse_egd(&t, &mut pool, "key: T(x,y) & T(x,y2) -> y = y2").unwrap(),
+        )
+        .unwrap();
         let mut i = Instance::new(m.source());
-        i.insert_ok(m.source().rel_id("S").unwrap(), &[Value::Int(1), Value::Int(0)]);
-        i.insert_ok(m.source().rel_id("S2").unwrap(), &[Value::Int(1), Value::Int(9)]);
+        i.insert_ok(
+            m.source().rel_id("S").unwrap(),
+            &[Value::Int(1), Value::Int(0)],
+        );
+        i.insert_ok(
+            m.source().rel_id("S2").unwrap(),
+            &[Value::Int(1), Value::Int(9)],
+        );
         let r = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap();
         assert_eq!(r.egd_log.len(), 1);
         let merge = &r.egd_log[0];
@@ -705,14 +715,10 @@ mod tests {
         let mut m = SchemaMapping::new(s.clone(), t.clone());
         m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "c: S(x,y) -> T(x,y)").unwrap())
             .unwrap();
-        m.add_target_tgd(
-            parse_target_tgd(&t, &mut pool, "tc: T(x,y) & T(y,z) -> T(x,z)").unwrap(),
-        )
-        .unwrap();
-        m.add_target_tgd(
-            parse_target_tgd(&t, &mut pool, "u: T(x,y) -> exists Z: U(x,Z)").unwrap(),
-        )
-        .unwrap();
+        m.add_target_tgd(parse_target_tgd(&t, &mut pool, "tc: T(x,y) & T(y,z) -> T(x,z)").unwrap())
+            .unwrap();
+        m.add_target_tgd(parse_target_tgd(&t, &mut pool, "u: T(x,y) -> exists Z: U(x,Z)").unwrap())
+            .unwrap();
         let mut i = Instance::new(m.source());
         let sr = m.source().rel_id("S").unwrap();
         for k in 0..40 {
@@ -767,7 +773,10 @@ mod tests {
             let mut out = Vec::new();
             for &row in &ap.rows {
                 let mut b = init.clone();
-                let tuple = i.tuple(TupleId { rel: anchor.rel, row });
+                let tuple = i.tuple(TupleId {
+                    rel: anchor.rel,
+                    row,
+                });
                 if !unify_atom(anchor, &tuple, &mut b) {
                     continue;
                 }
@@ -800,15 +809,9 @@ mod tests {
             let mut base_pool = pool.clone();
             let baseline = chase(&m, &i, &mut base_pool, opts).unwrap();
             let mut fed_pool = pool.clone();
-            let fed = chase_with_st_matches(
-                &m,
-                &i,
-                &mut fed_pool,
-                opts,
-                &Pool::sequential(),
-                &matches,
-            )
-            .unwrap();
+            let fed =
+                chase_with_st_matches(&m, &i, &mut fed_pool, opts, &Pool::sequential(), &matches)
+                    .unwrap();
             assert_eq!(baseline.stats(), fed.stats());
             assert_eq!(
                 dump(&baseline.target, &base_pool),
@@ -835,7 +838,10 @@ mod tests {
         )
         .unwrap();
         let mut i = Instance::new(m.source());
-        i.insert_ok(m.source().rel_id("S").unwrap(), &[Value::Int(1), Value::Int(2)]);
+        i.insert_ok(
+            m.source().rel_id("S").unwrap(),
+            &[Value::Int(1), Value::Int(2)],
+        );
         let opts = ChaseOptions {
             max_rounds: 20,
             ..ChaseOptions::fresh()

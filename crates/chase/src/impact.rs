@@ -272,11 +272,22 @@ mod tests {
         let mut s = Schema::new();
         s.rel(
             "Cards",
-            &["cardNo", "limit", "ssn", "name", "maidenName", "salary", "location"],
+            &[
+                "cardNo",
+                "limit",
+                "ssn",
+                "name",
+                "maidenName",
+                "salary",
+                "location",
+            ],
         );
         let mut t = Schema::new();
         t.rel("Accounts", &["accNo", "limit", "accHolder"]);
-        t.rel("Clients", &["ssn", "name", "maidenName", "income", "address"]);
+        t.rel(
+            "Clients",
+            &["ssn", "name", "maidenName", "income", "address"],
+        );
         let mut pool = ValuePool::new();
 
         let mut old_m = SchemaMapping::new(s.clone(), t.clone());
@@ -293,7 +304,9 @@ mod tests {
         new_m
             .add_st_tgd(
                 parse_st_tgd(
-                    &s, &t, &mut pool,
+                    &s,
+                    &t,
+                    &mut pool,
                     "m1: Cards(cn,l,s,n,m,sal,loc) -> Accounts(cn,l,s) & Clients(s,n,m,sal,loc)",
                 )
                 .unwrap(),
@@ -304,11 +317,18 @@ mod tests {
         let (jlong, smith, seattle) = (pool.str("J. Long"), pool.str("Smith"), pool.str("Seattle"));
         i.insert_ok(
             s.rel_id("Cards").unwrap(),
-            &[Value::Int(6689), Value::Int(15), Value::Int(434), jlong, smith, Value::Int(50), seattle],
+            &[
+                Value::Int(6689),
+                Value::Int(15),
+                Value::Int(434),
+                jlong,
+                smith,
+                Value::Int(50),
+                seattle,
+            ],
         );
 
-        let report =
-            mapping_impact(&old_m, &new_m, &i, &mut pool, ChaseOptions::fresh()).unwrap();
+        let report = mapping_impact(&old_m, &new_m, &i, &mut pool, ChaseOptions::fresh()).unwrap();
         assert!(!report.is_noop());
         // Accounts unchanged; the Clients tuple is replaced.
         assert_eq!(report.unchanged, 1);
@@ -413,8 +433,7 @@ mod tests {
         let mut i = Instance::new(&s);
         i.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(1)]);
         i.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(2)]);
-        let report =
-            mapping_impact(&old_m, &new_m, &i, &mut pool, ChaseOptions::fresh()).unwrap();
+        let report = mapping_impact(&old_m, &new_m, &i, &mut pool, ChaseOptions::fresh()).unwrap();
         assert_eq!(report.removed.len(), 2); // both U tuples gone
         assert!(report.added.is_empty());
         assert_eq!(report.unchanged, 2);

@@ -27,16 +27,16 @@
 
 pub mod egd_log;
 pub mod engine;
-pub mod impact;
 pub mod hom;
+pub mod impact;
 pub mod result;
 pub mod unify;
 
 pub use egd_log::{history_to_string, merges_affecting, EgdLog, EgdMerge};
 pub use engine::{chase, chase_with_pool, chase_with_st_matches, ChaseOptions, NullMode};
+pub use hom::find_homomorphism;
 pub use impact::{
     canon_value, impact_to_string, mapping_impact, solution_diff, target_row_diff, ImpactReport,
     RowDiff,
 };
-pub use hom::find_homomorphism;
 pub use result::{ChaseError, ChaseResult, ChaseStats};

@@ -131,7 +131,11 @@ mod tests {
             values: (Value::Int(1), Value::Int(2)),
         };
         assert!(e.to_string().contains("m6"));
-        assert!(ChaseError::RoundLimit { limit: 5 }.to_string().contains('5'));
-        assert!(ChaseError::TupleLimit { limit: 9 }.to_string().contains('9'));
+        assert!(ChaseError::RoundLimit { limit: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(ChaseError::TupleLimit { limit: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

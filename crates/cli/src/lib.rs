@@ -14,6 +14,9 @@ pub mod loader;
 pub mod prepare;
 pub mod repl;
 
-pub use loader::{load_scenario_str, LoadedScenario, LoaderError};
-pub use prepare::{prepare_scenario, prepare_scenario_with, PreparedScenario};
+pub use loader::{
+    is_pipeline_scenario, load_pipeline_str, load_scenario_str, LoadedPipeline, LoadedScenario,
+    LoaderError,
+};
+pub use prepare::{prepare_pipeline, prepare_scenario, prepare_scenario_with, PreparedScenario};
 pub use repl::Repl;

@@ -17,12 +17,47 @@
 //! Value syntax in data sections: integers are numeric literals, string
 //! constants are quoted, and **bare identifiers are labeled nulls** (`N1`,
 //! `A1` — exactly how the paper writes Figure 2's solution).
+//!
+//! ## Multi-stage pipeline scenarios
+//!
+//! A scenario file containing `stage <name>:` headers describes a **mapping
+//! pipeline** `S → T₁ → … → Tₙ` ([`load_pipeline_str`]). Each stage block
+//! declares its own `source schema:`, `target schema:`, and
+//! `dependencies:`; consecutive stages must compose (a stage's source
+//! schema is the previous stage's target schema). `source data:` is global
+//! and feeds the first stage. An optional `pipeline:` section holds
+//! per-session options — currently `core: on` to minimize every chased
+//! instance to its core before the next hop:
+//!
+//! ```text
+//! pipeline:
+//!   core: on
+//! stage clean:
+//!   source schema:
+//!     S(a, b)
+//!   target schema:
+//!     T(a, b)
+//!   dependencies:
+//!     m1: S(x, y) -> T(x, y)
+//! stage publish:
+//!   source schema:
+//!     T(a, b)
+//!   target schema:
+//!     U(a)
+//!   dependencies:
+//!     m2: T(x, y) -> U(x)
+//! source data:
+//!   S(1, 2)
+//! ```
 
 use std::fmt;
 
-use routes_mapping::{parse_dependency, MappingError, SchemaMapping};
+use routes_mapping::{
+    check_stage_compatibility, parse_dependency, parse_stage_header, MappingError, SchemaMapping,
+};
 use routes_model::{Instance, ModelError, Schema, Value, ValuePool};
 use routes_nested::{encode_instance, encode_schema, NestedInstance, NestedSchema};
+use routes_pipeline::{Pipeline, PipelineStage};
 
 /// A parsed scenario: mapping, source instance, and optional explicit
 /// target instance.
@@ -149,15 +184,16 @@ pub fn load_scenario_str(text: &str) -> Result<LoadedScenario, LoaderError> {
                     || line.starts_with('→')
                     || line.starts_with('&')
                     || line.starts_with('∧');
-                let prev_incomplete = dep_lines.last().is_some_and(|(_, prev): &(usize, String)| {
-                    let no_arrow = !prev.contains("->") && !prev.contains('→');
-                    no_arrow
-                        || prev.trim_end().ends_with('&')
-                        || prev.trim_end().ends_with('∧')
-                        || prev.trim_end().ends_with("->")
-                        || prev.trim_end().ends_with('→')
-                        || prev.trim_end().ends_with(',')
-                });
+                let prev_incomplete =
+                    dep_lines.last().is_some_and(|(_, prev): &(usize, String)| {
+                        let no_arrow = !prev.contains("->") && !prev.contains('→');
+                        no_arrow
+                            || prev.trim_end().ends_with('&')
+                            || prev.trim_end().ends_with('∧')
+                            || prev.trim_end().ends_with("->")
+                            || prev.trim_end().ends_with('→')
+                            || prev.trim_end().ends_with(',')
+                    });
                 match dep_lines.last_mut() {
                     Some((_, prev)) if starts_continuation || prev_incomplete => {
                         prev.push(' ');
@@ -241,6 +277,288 @@ pub fn load_scenario_str(text: &str) -> Result<LoadedScenario, LoaderError> {
         nested_source,
         nested_target,
     })
+}
+
+/// A parsed pipeline scenario: the validated stage chain and the first
+/// hop's source instance.
+#[derive(Debug)]
+pub struct LoadedPipeline {
+    /// The shared value pool.
+    pub pool: ValuePool,
+    /// The validated chain (carries the per-session core mode).
+    pub pipeline: Pipeline,
+    /// The source instance feeding the first stage.
+    pub source: Instance,
+}
+
+/// Whether scenario text uses the multi-stage pipeline syntax (a `stage
+/// <name>:` header or a `pipeline:` options section). Front-ends use this
+/// to pick [`load_pipeline_str`] over [`load_scenario_str`].
+pub fn is_pipeline_scenario(text: &str) -> bool {
+    text.lines().any(|raw| {
+        let line = strip_comment(raw).trim();
+        let lowered = line.to_ascii_lowercase();
+        lowered == "pipeline:"
+            || (lowered.starts_with("stage") && lowered.ends_with(':') && {
+                lowered
+                    .strip_prefix("stage")
+                    .is_some_and(|rest| rest.starts_with(char::is_whitespace))
+            })
+    })
+}
+
+/// One stage block under construction.
+struct RawStage {
+    line: usize,
+    name: String,
+    source_schema: Schema,
+    target_schema: Schema,
+    dep_lines: Vec<(usize, String)>,
+    saw_source_schema: bool,
+    saw_target_schema: bool,
+}
+
+/// Parse a multi-stage pipeline scenario from text (see the module docs for
+/// the syntax). Stage-chain violations — malformed headers, duplicate stage
+/// names, schema/arity mismatches between consecutive stages — surface as
+/// the typed [`MappingError`]s of `routes-mapping`, wrapped with the line
+/// number of the offending stage header.
+pub fn load_pipeline_str(text: &str) -> Result<LoadedPipeline, LoaderError> {
+    let mut pool = ValuePool::new();
+    let mut stages: Vec<RawStage> = Vec::new();
+    let mut source_rows: Vec<(usize, String)> = Vec::new();
+    let mut core_mode = false;
+    // What the current content lines belong to: a section of the current
+    // stage, the global data section, or the global options section.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    enum Where {
+        None,
+        StageBody,
+        StageSection(Section),
+        SourceData,
+        Options,
+    }
+    let mut at = Where::None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        let lowered = line.to_ascii_lowercase();
+        if lowered.starts_with("stage")
+            && lowered
+                .strip_prefix("stage")
+                .is_some_and(|rest| rest.starts_with(char::is_whitespace))
+        {
+            let name = parse_stage_header(&line).map_err(|source| LoaderError::Dependency {
+                line: line_no,
+                source,
+            })?;
+            if stages.iter().any(|s| s.name == name) {
+                return Err(LoaderError::Dependency {
+                    line: line_no,
+                    source: MappingError::DuplicateStage { stage: name },
+                });
+            }
+            stages.push(RawStage {
+                line: line_no,
+                name,
+                source_schema: Schema::new(),
+                target_schema: Schema::new(),
+                dep_lines: Vec::new(),
+                saw_source_schema: false,
+                saw_target_schema: false,
+            });
+            at = Where::StageBody;
+            continue;
+        }
+        if lowered == "pipeline:" {
+            at = Where::Options;
+            continue;
+        }
+        if let Some(section) = section_header(&line) {
+            at = match section {
+                Section::SourceData => Where::SourceData,
+                Section::SourceSchema | Section::TargetSchema | Section::Dependencies => {
+                    if !matches!(at, Where::StageBody | Where::StageSection(_)) {
+                        return Err(LoaderError::Structure {
+                            line: line_no,
+                            message: format!(
+                                "`{line}` must appear inside a `stage <name>:` block in a \
+                                 pipeline scenario"
+                            ),
+                        });
+                    }
+                    let stage = stages.last_mut().expect("inside a stage");
+                    match section {
+                        Section::SourceSchema => stage.saw_source_schema = true,
+                        Section::TargetSchema => stage.saw_target_schema = true,
+                        _ => {}
+                    }
+                    Where::StageSection(section)
+                }
+                _ => {
+                    return Err(LoaderError::Structure {
+                        line: line_no,
+                        message: format!("`{line}` is not supported in pipeline scenarios"),
+                    })
+                }
+            };
+            continue;
+        }
+        match at {
+            Where::None => {
+                return Err(LoaderError::Structure {
+                    line: line_no,
+                    message: format!("content before any section header: `{line}`"),
+                })
+            }
+            Where::StageBody => {
+                return Err(LoaderError::Structure {
+                    line: line_no,
+                    message: format!("content before any section header in stage: `{line}`"),
+                })
+            }
+            Where::Options => {
+                let (key, value) = line.split_once(':').ok_or_else(|| LoaderError::Structure {
+                    line: line_no,
+                    message: format!("expected `option: value`, found `{line}`"),
+                })?;
+                match (
+                    key.trim().to_ascii_lowercase().as_str(),
+                    value.trim().to_ascii_lowercase().as_str(),
+                ) {
+                    ("core" | "core mode", "on" | "true") => core_mode = true,
+                    ("core" | "core mode", "off" | "false") => core_mode = false,
+                    ("core" | "core mode", other) => {
+                        return Err(LoaderError::Structure {
+                            line: line_no,
+                            message: format!("`core` must be on or off, found `{other}`"),
+                        })
+                    }
+                    (other, _) => {
+                        return Err(LoaderError::Structure {
+                            line: line_no,
+                            message: format!("unknown pipeline option `{other}`"),
+                        })
+                    }
+                }
+            }
+            Where::SourceData => source_rows.push((line_no, line)),
+            Where::StageSection(section) => {
+                let stage = stages.last_mut().expect("inside a stage");
+                match section {
+                    Section::SourceSchema => {
+                        add_relation(&mut stage.source_schema, &line, line_no)?
+                    }
+                    Section::TargetSchema => {
+                        add_relation(&mut stage.target_schema, &line, line_no)?
+                    }
+                    Section::Dependencies => {
+                        push_dep_line(&mut stage.dep_lines, line, line_no);
+                    }
+                    _ => unreachable!("only stage-local sections reach here"),
+                }
+            }
+        }
+    }
+
+    if stages.is_empty() {
+        return Err(LoaderError::Structure {
+            line: 1,
+            message: "a pipeline scenario needs at least one `stage <name>:` block".into(),
+        });
+    }
+    for stage in &stages {
+        if !stage.saw_source_schema || !stage.saw_target_schema {
+            return Err(LoaderError::Structure {
+                line: stage.line,
+                message: format!(
+                    "stage `{}` needs both a `source schema:` and a `target schema:` section",
+                    stage.name
+                ),
+            });
+        }
+    }
+    for pair in stages.windows(2) {
+        check_stage_compatibility(
+            &pair[0].name,
+            &pair[0].target_schema,
+            &pair[1].name,
+            &pair[1].source_schema,
+        )
+        .map_err(|source| LoaderError::Dependency {
+            line: pair[1].line,
+            source,
+        })?;
+    }
+
+    let mut built: Vec<PipelineStage> = Vec::with_capacity(stages.len());
+    for stage in &stages {
+        let mut mapping =
+            SchemaMapping::new(stage.source_schema.clone(), stage.target_schema.clone());
+        for (line, text) in &stage.dep_lines {
+            let dep = parse_dependency(&stage.source_schema, &stage.target_schema, &mut pool, text)
+                .map_err(|source| LoaderError::Dependency {
+                    line: *line,
+                    source,
+                })?;
+            mapping
+                .add_dependency(dep)
+                .map_err(|source| LoaderError::Dependency {
+                    line: *line,
+                    source,
+                })?;
+        }
+        built.push(PipelineStage {
+            name: stage.name.clone(),
+            mapping,
+        });
+    }
+    let pipeline = Pipeline::new(built, core_mode).map_err(|e| LoaderError::Structure {
+        line: stages[0].line,
+        message: e.to_string(),
+    })?;
+
+    let first_schema = &stages[0].source_schema;
+    let mut source = Instance::new(first_schema);
+    for (line, text) in source_rows {
+        insert_row(&mut source, first_schema, &mut pool, &text, line)?;
+    }
+
+    Ok(LoadedPipeline {
+        pool,
+        pipeline,
+        source,
+    })
+}
+
+/// Dependency-section continuation logic, shared by the flat and pipeline
+/// loaders: a line continues the previous one when it starts with a
+/// connective or when the previous line is not yet a complete implication.
+fn push_dep_line(dep_lines: &mut Vec<(usize, String)>, line: String, line_no: usize) {
+    let starts_continuation = line.starts_with("->")
+        || line.starts_with('→')
+        || line.starts_with('&')
+        || line.starts_with('∧');
+    let prev_incomplete = dep_lines.last().is_some_and(|(_, prev): &(usize, String)| {
+        let no_arrow = !prev.contains("->") && !prev.contains('→');
+        no_arrow
+            || prev.trim_end().ends_with('&')
+            || prev.trim_end().ends_with('∧')
+            || prev.trim_end().ends_with("->")
+            || prev.trim_end().ends_with('→')
+            || prev.trim_end().ends_with(',')
+    });
+    match dep_lines.last_mut() {
+        Some((_, prev)) if starts_continuation || prev_incomplete => {
+            prev.push(' ');
+            prev.push_str(&line);
+        }
+        _ => dep_lines.push((line_no, line)),
+    }
 }
 
 /// Parse an indentation-nested schema section:
@@ -348,9 +666,7 @@ fn parse_nested_data(
             _ => {
                 return Err(LoaderError::Data {
                     line: *line_no,
-                    message: format!(
-                        "record `{name}` is nested under the wrong parent type"
-                    ),
+                    message: format!("record `{name}` is nested under the wrong parent type"),
                 })
             }
         };
@@ -483,7 +799,9 @@ fn parse_value(pool: &mut ValuePool, token: &str, line_no: usize) -> Result<Valu
         return Ok(Value::Int(n));
     }
     let bytes: Vec<char> = token.chars().collect();
-    if bytes.len() >= 2 && (bytes[0] == '\'' || bytes[0] == '"') && bytes[bytes.len() - 1] == bytes[0]
+    if bytes.len() >= 2
+        && (bytes[0] == '\'' || bytes[0] == '"')
+        && bytes[bytes.len() - 1] == bytes[0]
     {
         let inner: String = bytes[1..bytes.len() - 1].iter().collect();
         return Ok(pool.str(&inner));
@@ -531,7 +849,9 @@ target data:
         assert!(row[1].is_null());
         // Quoted '#' is not a comment.
         let s = loaded.mapping.source().rel_id("S").unwrap();
-        let row = loaded.source.tuple(routes_model::TupleId { rel: s, row: 1 });
+        let row = loaded
+            .source
+            .tuple(routes_model::TupleId { rel: s, row: 1 });
         assert_eq!(loaded.pool.value_to_string(row[1]), "a#b");
     }
 
@@ -544,9 +864,13 @@ target data:
 
     #[test]
     fn errors_carry_line_numbers() {
-        let bad_dep = "source schema:\n S(a)\ntarget schema:\n T(a)\ndependencies:\n m: Nope(x) -> T(x)\n";
+        let bad_dep =
+            "source schema:\n S(a)\ntarget schema:\n T(a)\ndependencies:\n m: Nope(x) -> T(x)\n";
         let err = load_scenario_str(bad_dep).unwrap_err();
-        assert!(matches!(err, LoaderError::Dependency { line: 6, .. }), "{err}");
+        assert!(
+            matches!(err, LoaderError::Dependency { line: 6, .. }),
+            "{err}"
+        );
 
         let bad_row = "source schema:\n S(a)\ntarget schema:\n T(a)\nsource data:\n S(1, 2)\n";
         let err = load_scenario_str(bad_row).unwrap_err();
@@ -566,5 +890,159 @@ target data:
         assert_eq!(loaded.mapping.st_tgds().len(), 1);
         assert_eq!(loaded.mapping.target_tgds().len(), 1);
         assert_eq!(loaded.mapping.egds().len(), 1);
+    }
+
+    const PIPELINE: &str = r#"
+# two-hop pipeline from the module docs
+pipeline:
+  core: on
+stage clean:
+  source schema:
+    S(a, b)
+  target schema:
+    T(a, b)
+  dependencies:
+    m1: S(x, y) -> T(x, y)
+stage publish:
+  source schema:
+    T(a, b)
+  target schema:
+    U(a)
+  dependencies:
+    m2: T(x, y) -> U(x)
+source data:
+  S(1, 2)
+  S(3, 4)
+"#;
+
+    #[test]
+    fn pipeline_scenarios_are_detected() {
+        assert!(is_pipeline_scenario(PIPELINE));
+        assert!(is_pipeline_scenario("stage one:\n"));
+        assert!(is_pipeline_scenario("pipeline:\n  core: off\n"));
+        // Flat scenarios are not pipelines, even with suggestive content.
+        assert!(!is_pipeline_scenario(SCENARIO));
+        assert!(!is_pipeline_scenario("source data:\n Stage(1)\n"));
+    }
+
+    #[test]
+    fn pipeline_round_trips() {
+        let loaded = load_pipeline_str(PIPELINE).unwrap();
+        assert_eq!(loaded.pipeline.hops(), 2);
+        assert!(loaded.pipeline.core_mode());
+        assert_eq!(loaded.pipeline.stages()[0].name, "clean");
+        assert_eq!(loaded.pipeline.stages()[1].name, "publish");
+        assert_eq!(loaded.source.total_tuples(), 2);
+    }
+
+    #[test]
+    fn pipeline_core_defaults_off() {
+        let text = PIPELINE.replace("pipeline:\n  core: on\n", "");
+        let loaded = load_pipeline_str(&text).unwrap();
+        assert!(!loaded.pipeline.core_mode());
+        let explicit = PIPELINE.replace("core: on", "core: off");
+        assert!(!load_pipeline_str(&explicit).unwrap().pipeline.core_mode());
+    }
+
+    #[test]
+    fn malformed_stage_header_is_a_typed_error() {
+        let text = PIPELINE.replace("stage publish:", "stage pub lish:");
+        let err = load_pipeline_str(&text).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LoaderError::Dependency {
+                    source: MappingError::MalformedStageHeader { .. },
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_stage_name_is_a_typed_error() {
+        let text = PIPELINE.replace("stage publish:", "stage clean:");
+        let err = load_pipeline_str(&text).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LoaderError::Dependency {
+                    line: 12,
+                    source: MappingError::DuplicateStage { .. },
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stage_arity_mismatch_is_a_typed_error() {
+        let text = PIPELINE.replace(
+            "    T(a, b)\n  target schema:\n    U(a)",
+            "    T(a)\n  target schema:\n    U(a)",
+        );
+        let err = load_pipeline_str(&text).unwrap_err();
+        match err {
+            LoaderError::Dependency {
+                line,
+                source:
+                    MappingError::StageSchemaMismatch {
+                        stage,
+                        previous,
+                        relation,
+                        ..
+                    },
+            } => {
+                assert_eq!(line, 12);
+                assert_eq!(stage, "publish");
+                assert_eq!(previous, "clean");
+                assert_eq!(relation, "T");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_rejects_flat_only_sections() {
+        let text = format!("{PIPELINE}target data:\n  U(1)\n");
+        let err = load_pipeline_str(&text).unwrap_err();
+        assert!(matches!(err, LoaderError::Structure { .. }), "{err}");
+
+        let loose = "source schema:\n  S(a)\nstage one:\n  target schema:\n    T(a)\n";
+        let err = load_pipeline_str(loose).unwrap_err();
+        assert!(
+            matches!(err, LoaderError::Structure { line: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn pipeline_needs_stages_and_complete_schemas() {
+        let err = load_pipeline_str("pipeline:\n  core: on\n").unwrap_err();
+        assert!(matches!(err, LoaderError::Structure { .. }));
+
+        let incomplete = "stage one:\n  source schema:\n    S(a)\n";
+        let err = load_pipeline_str(incomplete).unwrap_err();
+        assert!(
+            matches!(err, LoaderError::Structure { line: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn pipeline_rejects_unknown_options() {
+        let text = PIPELINE.replace("core: on", "shiny: on");
+        let err = load_pipeline_str(&text).unwrap_err();
+        assert!(matches!(err, LoaderError::Structure { .. }), "{err}");
+        let text = PIPELINE.replace("core: on", "core: maybe");
+        assert!(load_pipeline_str(&text).is_err());
+    }
+
+    #[test]
+    fn pipeline_dependency_continuations_work() {
+        let text = PIPELINE.replace("    m2: T(x, y) -> U(x)", "    m2: T(x, y)\n      -> U(x)");
+        let loaded = load_pipeline_str(&text).unwrap();
+        assert_eq!(loaded.pipeline.stages()[1].mapping.st_tgds().len(), 1);
     }
 }

@@ -13,7 +13,9 @@ use routes_mapping::{is_weakly_acyclic, SchemaMapping};
 use routes_model::{Instance, ValuePool};
 use routes_pool::Pool;
 
-use crate::loader::LoadedScenario;
+use routes_pipeline::{chase_pipeline, PipelineError, PreparedPipeline};
+
+use crate::loader::{LoadedPipeline, LoadedScenario};
 
 /// A scenario ready for route debugging: mapping, source, and a concrete
 /// solution `J` (supplied or chased), plus chase provenance. `Clone` lets
@@ -92,10 +94,47 @@ pub fn prepare_scenario_with(
     })
 }
 
+/// Chase a pipeline scenario stage by stage and package its final hop as a
+/// [`PreparedScenario`], so every single-mapping front-end feature (route
+/// probes, forests, metrics) works on the last hop unchanged, while the
+/// full [`PreparedPipeline`] remains available for stitched end-to-end
+/// routes.
+pub fn prepare_pipeline(
+    loaded: LoadedPipeline,
+    options: ChaseOptions,
+    workers: &Pool,
+) -> Result<(PreparedScenario, PreparedPipeline), PipelineError> {
+    let LoadedPipeline {
+        pool,
+        pipeline,
+        source,
+    } = loaded;
+    let prepared = chase_pipeline(pipeline, source, pool, options, workers)?;
+    let last = prepared.final_stage();
+    let mut stats = last.stats;
+    // Core mode shrinks the final instance after the chase ran; report the
+    // surviving tuple count, matching what probes will see.
+    stats.target_tuples = last.target.total_tuples();
+    let scenario = PreparedScenario {
+        pool: prepared.pool.clone(),
+        mapping: prepared.pipeline.stages()[prepared.hops() - 1]
+            .mapping
+            .clone(),
+        source: last.source.clone(),
+        target: last.target.clone(),
+        egd_log: last.egd_log.clone(),
+        chase_stats: Some(stats),
+        nested_target: None,
+        weakly_acyclic: prepared.weakly_acyclic,
+        chase_wall: Some(prepared.chase_wall),
+    };
+    Ok((scenario, prepared))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::loader::load_scenario_str;
+    use crate::loader::{load_pipeline_str, load_scenario_str};
 
     const WITH_TARGET: &str = "\
 source schema:
@@ -122,15 +161,47 @@ target data:
 
     #[test]
     fn missing_target_is_chased_with_stats() {
-        let text = WITH_TARGET
-            .split("target data:")
-            .next()
-            .unwrap();
+        let text = WITH_TARGET.split("target data:").next().unwrap();
         let loaded = load_scenario_str(text).unwrap();
         let prepared = prepare_scenario(loaded, ChaseOptions::fresh()).unwrap();
         let stats = prepared.chase_stats.expect("chase ran");
         assert_eq!(stats.target_tuples, 1);
         assert!(stats.rounds >= 1);
         assert_eq!(prepared.target.total_tuples(), 1);
+    }
+
+    const PIPELINE: &str = "\
+stage clean:
+  source schema:
+    S(a, b)
+  target schema:
+    T(a, b)
+  dependencies:
+    m1: S(x, y) -> T(x, y)
+stage publish:
+  source schema:
+    T(a, b)
+  target schema:
+    U(a)
+  dependencies:
+    m2: T(x, y) -> U(x)
+source data:
+  S(1, 2)
+  S(3, 4)
+";
+
+    #[test]
+    fn pipeline_prepares_both_views() {
+        let loaded = load_pipeline_str(PIPELINE).unwrap();
+        let (scenario, prepared) =
+            prepare_pipeline(loaded, ChaseOptions::fresh(), &Pool::sequential()).unwrap();
+        assert_eq!(prepared.hops(), 2);
+        // The flat view is the final hop: T → U.
+        assert!(scenario.mapping.source().rel_id("T").is_some());
+        assert_eq!(scenario.target.total_tuples(), 2);
+        let stats = scenario.chase_stats.expect("chase ran");
+        assert_eq!(stats.target_tuples, 2);
+        assert!(scenario.weakly_acyclic);
+        assert!(scenario.chase_wall.is_some());
     }
 }

@@ -6,8 +6,8 @@
 
 use std::fmt::Write as _;
 
-use routes_chase::{chase, ChaseOptions, EgdLog};
 use crate::prepare::prepare_scenario_with;
+use routes_chase::{chase, ChaseOptions, EgdLog};
 use routes_core::{
     alternative_routes, compute_all_routes, compute_one_route, compute_source_routes,
     enumerate_routes, is_minimal, minimize_route, route_to_string, step_to_string, stratify,
@@ -35,9 +35,12 @@ impl Repl {
     /// file did not supply one. The chase fans out over a worker pool sized
     /// from the environment (`ROUTES_THREADS` or the available parallelism).
     pub fn new(loaded: LoadedScenario) -> Result<Self, String> {
-        let prepared =
-            prepare_scenario_with(loaded, ChaseOptions::fresh(), &routes_pool::Pool::from_env())
-                .map_err(|e| format!("chase failed: {e}"))?;
+        let prepared = prepare_scenario_with(
+            loaded,
+            ChaseOptions::fresh(),
+            &routes_pool::Pool::from_env(),
+        )
+        .map_err(|e| format!("chase failed: {e}"))?;
         if !prepared.weakly_acyclic {
             eprintln!(
                 "warning: the target tgds are not weakly acyclic — the chase may not terminate"
@@ -120,8 +123,11 @@ impl Repl {
                 match compute_one_route(env, &tuples) {
                     Ok(route) => Ok(route_to_string(&self.pool, &env, &route)),
                     Err(e) => {
-                        let labels: Vec<String> =
-                            e.no_route.iter().map(|&t| self.target_label_of(t)).collect();
+                        let labels: Vec<String> = e
+                            .no_route
+                            .iter()
+                            .map(|&t| self.target_label_of(t))
+                            .collect();
                         Ok(format!("no route exists for {}\n", labels.join(", ")))
                     }
                 }
@@ -219,7 +225,11 @@ impl Repl {
                         "step {}: {}{}",
                         event.index + 1,
                         step_to_string(&self.pool, &env, &event.step),
-                        if event.hit_breakpoint { "   *** breakpoint" } else { "" }
+                        if event.hit_breakpoint {
+                            "   *** breakpoint"
+                        } else {
+                            ""
+                        }
                     );
                 }
                 let _ = writeln!(out, "watch: {} tuple(s) produced", session.watch().len());
@@ -243,7 +253,11 @@ impl Repl {
                     .map(|t| self.target_label_of(t))
                     .collect();
                 reached.sort();
-                let _ = writeln!(out, "reaches (within {depth} steps): {}", reached.join(", "));
+                let _ = writeln!(
+                    out,
+                    "reaches (within {depth} steps): {}",
+                    reached.join(", ")
+                );
                 Ok(out)
             }
             "history" => {
@@ -321,7 +335,9 @@ impl Repl {
                 Ok(routes_core::forest_to_dot(&self.pool, &env, &forest))
             }
             "impact" => {
-                let path = parts.get(1).ok_or("impact needs a scenario file with the edited mapping")?;
+                let path = parts
+                    .get(1)
+                    .ok_or("impact needs a scenario file with the edited mapping")?;
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| format!("cannot read {path}: {e}"))?;
                 self.impact_from_text(&text)
@@ -394,18 +410,32 @@ impl Repl {
             let _ = writeln!(
                 out,
                 "  {}",
-                tgd_to_string(&self.pool, self.mapping.source(), self.mapping.target(), tgd)
+                tgd_to_string(
+                    &self.pool,
+                    self.mapping.source(),
+                    self.mapping.target(),
+                    tgd
+                )
             );
         }
         for tgd in self.mapping.target_tgds() {
             let _ = writeln!(
                 out,
                 "  {}",
-                tgd_to_string(&self.pool, self.mapping.target(), self.mapping.target(), tgd)
+                tgd_to_string(
+                    &self.pool,
+                    self.mapping.target(),
+                    self.mapping.target(),
+                    tgd
+                )
             );
         }
         for egd in self.mapping.egds() {
-            let _ = writeln!(out, "  {}", egd_to_string(&self.pool, self.mapping.target(), egd));
+            let _ = writeln!(
+                out,
+                "  {}",
+                egd_to_string(&self.pool, self.mapping.target(), egd)
+            );
         }
         let render_data = |out: &mut String,
                            schema: &routes_model::Schema,
@@ -466,27 +496,51 @@ impl Repl {
             let _ = writeln!(
                 out,
                 "  {}",
-                tgd_to_string(&self.pool, self.mapping.source(), self.mapping.target(), tgd)
+                tgd_to_string(
+                    &self.pool,
+                    self.mapping.source(),
+                    self.mapping.target(),
+                    tgd
+                )
             );
         }
         for tgd in self.mapping.target_tgds() {
             let _ = writeln!(
                 out,
                 "  {}",
-                tgd_to_string(&self.pool, self.mapping.target(), self.mapping.target(), tgd)
+                tgd_to_string(
+                    &self.pool,
+                    self.mapping.target(),
+                    self.mapping.target(),
+                    tgd
+                )
             );
         }
         for egd in self.mapping.egds() {
-            let _ = writeln!(out, "  {}", egd_to_string(&self.pool, self.mapping.target(), egd));
+            let _ = writeln!(
+                out,
+                "  {}",
+                egd_to_string(&self.pool, self.mapping.target(), egd)
+            );
         }
         out
     }
 
     fn list(&self, source_side: bool, rel_filter: Option<&str>) -> String {
         let (schema, inst, labels, prefix) = if source_side {
-            (self.mapping.source(), &self.source, &self.source_labels, 's')
+            (
+                self.mapping.source(),
+                &self.source,
+                &self.source_labels,
+                's',
+            )
         } else {
-            (self.mapping.target(), &self.target, &self.target_labels, 't')
+            (
+                self.mapping.target(),
+                &self.target,
+                &self.target_labels,
+                't',
+            )
         };
         let filter = rel_filter.and_then(|name| schema.rel_id(name));
         let mut out = String::new();
@@ -574,7 +628,10 @@ mod tests {
         let strat = r.execute("strat t3").unwrap();
         assert!(strat.starts_with("rank 2"));
         let plan = r.execute("plan m2").unwrap();
-        assert!(plan.contains("scan") || plan.contains("index probe"), "{plan}");
+        assert!(
+            plan.contains("scan") || plan.contains("index probe"),
+            "{plan}"
+        );
         assert!(r.execute("plan nope").is_err());
         let why = r.execute("why t3").unwrap();
         assert!(why.contains("explore"));
@@ -632,7 +689,8 @@ mod tests {
 
     #[test]
     fn egd_history_through_chase() {
-        let text = "source schema:\n S(a, b)\n S2(a, b)\ntarget schema:\n T(a, b)\ndependencies:\n \
+        let text =
+            "source schema:\n S(a, b)\n S2(a, b)\ntarget schema:\n T(a, b)\ndependencies:\n \
                     m1: S(x, y) -> exists Z: T(x, Z)\n m2: S2(x, y) -> T(x, y)\n \
                     k: T(x, y) & T(x, z) -> y = z\nsource data:\n S(1, 0)\n S2(1, 9)\n";
         let mut r = Repl::new(load_scenario_str(text).unwrap()).unwrap();

@@ -105,7 +105,10 @@ fn nested_xml_scenario_loads_and_routes() {
     // The decoded XML view groups publications under their venues.
     let xml = repl.execute("xml").unwrap();
     assert!(xml.contains("<Venue name=\"VLDB\">"), "{xml}");
-    assert!(xml.contains("<Publication title=\"Peer Data Exchange\" year=\"2005\"/>"), "{xml}");
+    assert!(
+        xml.contains("<Publication title=\"Peer Data Exchange\" year=\"2005\"/>"),
+        "{xml}"
+    );
     // The vkey egd merged the per-paper venue nulls: exactly one VLDB node.
     assert_eq!(xml.matches("<Venue name=\"VLDB\">").count(), 1, "{xml}");
 }
@@ -135,7 +138,10 @@ fn scenario_roundtrips_through_save() {
         .unwrap_or_else(|e| panic!("saved scenario must reload: {e}\n{text}"));
     assert_eq!(reloaded.source.total_tuples(), 6);
     assert_eq!(
-        reloaded.target.as_ref().map(routes_model::Instance::total_tuples),
+        reloaded
+            .target
+            .as_ref()
+            .map(routes_model::Instance::total_tuples),
         Some(10)
     );
     assert_eq!(reloaded.mapping.st_tgds().len(), 3);

@@ -162,8 +162,8 @@ mod tests {
     use crate::testkit::example_3_5;
     use routes_chase::{chase, ChaseOptions};
     use routes_mapping::{parse_st_tgd, SchemaMapping};
-    use routes_model::{Instance, Schema, ValuePool};
     use routes_model::Value;
+    use routes_model::{Instance, Schema, ValuePool};
 
     fn t_of(m: &SchemaMapping, j: &Instance, rel: &str) -> TupleId {
         let r = m.target().rel_id(rel).unwrap();
@@ -241,7 +241,10 @@ mod tests {
         let forest = compute_all_routes(env, &all);
         let provable = forest.provable_set();
         for t in all {
-            assert!(provable.contains(&t), "chased tuple {t:?} must have a route");
+            assert!(
+                provable.contains(&t),
+                "chased tuple {t:?} must have a route"
+            );
         }
     }
 
@@ -278,13 +281,7 @@ mod tests {
         // Add σ9: S3(x) -> T5(x) and the source tuple S3(a): T5 gains a
         // second branch (the paper's leftmost dotted branch).
         let (mut m, mut i, j, mut pool) = example_3_5();
-        let s9 = parse_st_tgd(
-            m.source(),
-            m.target(),
-            &mut pool,
-            "s9: S3(x) -> T5(x)",
-        )
-        .unwrap();
+        let s9 = parse_st_tgd(m.source(), m.target(), &mut pool, "s9: S3(x) -> T5(x)").unwrap();
         m.add_st_tgd(s9).unwrap();
         let a = pool.str("a");
         i.insert_ok(m.source().rel_id("S3").unwrap(), &[a]);

@@ -106,7 +106,9 @@ mod tests {
             i.insert_ok(s.rel_id("S1").unwrap(), &[Value::Int(k)]);
             i.insert_ok(s.rel_id("S2").unwrap(), &[Value::Int(k)]);
         }
-        let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+        let j = chase(&m, &i, &mut pool, ChaseOptions::fresh())
+            .unwrap()
+            .target;
         let env = RouteEnv::new(&m, &i, &j);
         let all: Vec<_> = j.all_rows().collect();
         let forest = compute_all_routes(env, &all);
@@ -125,7 +127,10 @@ mod tests {
         let (m, i, j, _pool) = example_3_5();
         let env = RouteEnv::new(&m, &i, &j);
         let t7_rel = m.target().rel_id("T7").unwrap();
-        let t7 = routes_model::TupleId { rel: t7_rel, row: 0 };
+        let t7 = routes_model::TupleId {
+            rel: t7_rel,
+            row: 0,
+        };
         let forest = compute_all_routes(env, &[t7]);
         assert_eq!(count_routes(&forest, &[t7]), None);
     }

@@ -102,12 +102,7 @@ impl<'a> DebugSession<'a> {
             .collect();
         let tgd = self.env.mapping.tgd(step.tgd);
         let assignment = (0..tgd.var_count() as u32)
-            .map(|v| {
-                (
-                    tgd.var_name(Var(v)).to_owned(),
-                    step.hom[v as usize],
-                )
-            })
+            .map(|v| (tgd.var_name(Var(v)).to_owned(), step.hom[v as usize]))
             .collect();
         Some(StepEvent {
             index,
@@ -141,8 +136,8 @@ impl<'a> DebugSession<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testkit::example_3_5;
     use crate::one_route::compute_one_route;
+    use crate::testkit::example_3_5;
 
     #[test]
     fn stepping_replays_the_route() {

@@ -50,7 +50,11 @@ pub fn step_to_string(pool: &ValuePool, env: &RouteEnv<'_>, step: &SatisfactionS
 pub fn route_to_string(pool: &ValuePool, env: &RouteEnv<'_>, route: &Route) -> String {
     let mut out = String::new();
     for (i, step) in route.steps().iter().enumerate() {
-        out.push_str(&format!("  {}. {}\n", i + 1, step_to_string(pool, env, step)));
+        out.push_str(&format!(
+            "  {}. {}\n",
+            i + 1,
+            step_to_string(pool, env, step)
+        ));
     }
     out
 }
@@ -106,8 +110,8 @@ fn render_node(
 mod tests {
     use super::*;
     use crate::all_routes::compute_all_routes;
-    use crate::testkit::example_3_5;
     use crate::one_route::compute_one_route;
+    use crate::testkit::example_3_5;
 
     #[test]
     fn renders_route_and_forest() {

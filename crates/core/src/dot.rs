@@ -141,14 +141,17 @@ mod tests {
         let (m, i, j, pool) = example_3_5();
         let env = RouteEnv::new(&m, &i, &j);
         let t7_rel = m.target().rel_id("T7").unwrap();
-        let t7 = TupleId { rel: t7_rel, row: 0 };
+        let t7 = TupleId {
+            rel: t7_rel,
+            row: 0,
+        };
         let forest = compute_all_routes(env, &[t7]);
         let dot = forest_to_dot(&pool, &env, &forest);
         assert!(dot.starts_with("digraph route_forest {"));
         assert!(dot.trim_end().ends_with('}'));
         assert!(dot.contains("T7(a)"));
         assert!(dot.contains("lightgrey")); // source facts present
-        // Each explored tuple appears exactly once as a node label.
+                                            // Each explored tuple appears exactly once as a node label.
         assert_eq!(dot.matches("label=\"T4(a)\"").count(), 1);
         // Branch circles for σ3 and σ7 under T3.
         assert!(dot.contains("label=\"s3\""));
@@ -160,7 +163,10 @@ mod tests {
         let (m, i, j, pool) = example_3_5();
         let env = RouteEnv::new(&m, &i, &j);
         let t7_rel = m.target().rel_id("T7").unwrap();
-        let t7 = TupleId { rel: t7_rel, row: 0 };
+        let t7 = TupleId {
+            rel: t7_rel,
+            row: 0,
+        };
         let route = compute_one_route(env, &[t7]).unwrap();
         let dot = route_to_dot(&pool, &env, &route);
         assert!(dot.starts_with("digraph route {"));

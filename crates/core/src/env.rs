@@ -85,8 +85,7 @@ impl<'a> RouteEnv<'a> {
     /// `h(ψ) ⊄ J`.
     pub fn rhs_tuples(&self, id: TgdId, hom: &[Value]) -> Option<Vec<TupleId>> {
         let tgd = self.mapping.tgd(id);
-        let facts =
-            self.resolve_atom_images(tgd.rhs(), hom, self.target, Side::Target)?;
+        let facts = self.resolve_atom_images(tgd.rhs(), hom, self.target, Side::Target)?;
         Some(facts.into_iter().map(|f| f.id).collect())
     }
 

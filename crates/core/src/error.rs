@@ -39,17 +39,27 @@ impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RouteError::LhsNotInInstance { step } => {
-                write!(f, "step {step}: assignment does not map the LHS into its instance")
+                write!(
+                    f,
+                    "step {step}: assignment does not map the LHS into its instance"
+                )
             }
             RouteError::RhsNotInSolution { step } => {
-                write!(f, "step {step}: assignment does not map the RHS into the solution")
+                write!(
+                    f,
+                    "step {step}: assignment does not map the RHS into the solution"
+                )
             }
             RouteError::LhsTupleNotYetProduced { step, tuple } => write!(
                 f,
                 "step {step}: LHS tuple {tuple:?} has not been produced by an earlier step"
             ),
             RouteError::SelectionNotProduced { missing } => {
-                write!(f, "route does not produce {} selected tuple(s)", missing.len())
+                write!(
+                    f,
+                    "route does not produce {} selected tuple(s)",
+                    missing.len()
+                )
             }
             RouteError::Empty => write!(f, "a route must contain at least one step"),
         }

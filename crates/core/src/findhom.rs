@@ -20,8 +20,8 @@
 use routes_mapping::{Tgd, TgdId};
 use routes_model::{Fact, Instance, Value};
 use routes_query::{
-    batch_matches_with_plan, plan, plan_with_bound, unify_atom, BatchOptions, Bindings,
-    BindingBatch, MatchIter,
+    batch_matches_with_plan, plan, plan_with_bound, unify_atom, BatchOptions, BindingBatch,
+    Bindings, MatchIter,
 };
 
 use crate::env::RouteEnv;
@@ -172,8 +172,13 @@ impl<'a> FindHom<'a> {
             // same way `MatchIter::new` would plan for v1.
             let lhs_order = plan(self.lhs_instance, self.tgd.lhs(), &v1);
             let seeds = BindingBatch::seed(&v1);
-            let lhs_batch =
-                batch_matches_with_plan(self.lhs_instance, self.tgd.lhs(), &lhs_order, &seeds, &opts);
+            let lhs_batch = batch_matches_with_plan(
+                self.lhs_instance,
+                self.tgd.lhs(),
+                &lhs_order,
+                &seeds,
+                &opts,
+            );
             if lhs_batch.is_empty() {
                 continue;
             }
@@ -233,11 +238,22 @@ mod tests {
         let mut s = Schema::new();
         s.rel(
             "Cards",
-            &["cardNo", "limit", "ssn", "name", "maidenName", "salary", "location"],
+            &[
+                "cardNo",
+                "limit",
+                "ssn",
+                "name",
+                "maidenName",
+                "salary",
+                "location",
+            ],
         );
         let mut t = Schema::new();
         t.rel("Accounts", &["accNo", "limit", "accHolder"]);
-        t.rel("Clients", &["ssn", "name", "maidenName", "income", "address"]);
+        t.rel(
+            "Clients",
+            &["ssn", "name", "maidenName", "income", "address"],
+        );
         let mut pool = ValuePool::new();
         let mut m = SchemaMapping::new(s.clone(), t.clone());
         let m1 = m
@@ -256,14 +272,28 @@ mod tests {
         let (jlong, smith, seattle) = (pool.str("J. Long"), pool.str("Smith"), pool.str("Seattle"));
         i.insert_ok(
             cards,
-            &[Value::Int(6689), Value::Int(15), Value::Int(434), jlong, smith, Value::Int(50), seattle],
+            &[
+                Value::Int(6689),
+                Value::Int(15),
+                Value::Int(434),
+                jlong,
+                smith,
+                Value::Int(50),
+                seattle,
+            ],
         );
         let mut j = Instance::new(&t);
         let accounts = t.rel_id("Accounts").unwrap();
         let clients = t.rel_id("Clients").unwrap();
         let a1 = pool.named_null("A1");
-        j.insert_ok(accounts, &[Value::Int(6689), Value::Int(15), Value::Int(434)]);
-        j.insert_ok(clients, &[Value::Int(434), smith, smith, Value::Int(50), a1]);
+        j.insert_ok(
+            accounts,
+            &[Value::Int(6689), Value::Int(15), Value::Int(434)],
+        );
+        j.insert_ok(
+            clients,
+            &[Value::Int(434), smith, smith, Value::Int(50), a1],
+        );
         (m, i, j, pool, m1)
     }
 
@@ -272,9 +302,11 @@ mod tests {
         let (m, i, j, pool, m1) = fargo();
         let env = RouteEnv::new(&m, &i, &j);
         let accounts = m.target().rel_id("Accounts").unwrap();
-        let t1 = TupleId { rel: accounts, row: 0 };
-        let homs =
-            FindHom::new(env, m1, AnchorSide::Rhs, Fact::target(t1)).collect_dedup();
+        let t1 = TupleId {
+            rel: accounts,
+            row: 0,
+        };
+        let homs = FindHom::new(env, m1, AnchorSide::Rhs, Fact::target(t1)).collect_dedup();
         assert_eq!(homs.len(), 1);
         let tgd = m.tgd(m1);
         let h = &homs[0];
@@ -296,7 +328,10 @@ mod tests {
         let (m, i, j, _pool, m1) = fargo();
         let env = RouteEnv::new(&m, &i, &j);
         let clients = m.target().rel_id("Clients").unwrap();
-        let t5 = TupleId { rel: clients, row: 0 };
+        let t5 = TupleId {
+            rel: clients,
+            row: 0,
+        };
         let homs = FindHom::new(env, m1, AnchorSide::Rhs, Fact::target(t5)).collect_dedup();
         assert_eq!(homs.len(), 1);
     }
@@ -318,7 +353,10 @@ mod tests {
         let xid = m2.add_st_tgd(only_accounts).unwrap();
         let env = RouteEnv::new(&m2, &i, &j);
         let clients = m.target().rel_id("Clients").unwrap();
-        let t5 = TupleId { rel: clients, row: 0 };
+        let t5 = TupleId {
+            rel: clients,
+            row: 0,
+        };
         let homs = FindHom::new(env, xid, AnchorSide::Rhs, Fact::target(t5)).collect_dedup();
         assert!(homs.is_empty());
     }
@@ -370,8 +408,8 @@ mod tests {
             m2
         };
         let env2 = RouteEnv::new(&m2, &i, &j);
-        let homs = FindHom::new(env2, TgdId::St(0), AnchorSide::Rhs, Fact::target(t0))
-            .collect_dedup();
+        let homs =
+            FindHom::new(env2, TgdId::St(0), AnchorSide::Rhs, Fact::target(t0)).collect_dedup();
         // Anchoring T(x,Y) on T(1,10): Z free over {10, 20} → 2 homs;
         // anchoring T(x,Z) on T(1,10): Y free → 2 homs; dedup → 3 distinct
         // (Y=10,Z=10), (Y=10,Z=20), (Y=20,Z=10).
@@ -407,8 +445,7 @@ mod tests {
             while let Some(h) = lazy_fh.next_hom() {
                 lazy.push(h);
             }
-            let batched =
-                FindHom::new(env, TgdId::St(0), AnchorSide::Rhs, probe).collect_all();
+            let batched = FindHom::new(env, TgdId::St(0), AnchorSide::Rhs, probe).collect_all();
             assert_eq!(lazy, batched, "row {row}");
             assert!(!lazy.is_empty());
         }

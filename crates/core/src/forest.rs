@@ -84,9 +84,9 @@ impl RouteForest {
                 if provable.contains(&t) {
                     continue;
                 }
-                let ok = branches.iter().any(|b| {
-                    b.is_st() || b.target_children().all(|c| provable.contains(&c))
-                });
+                let ok = branches
+                    .iter()
+                    .any(|b| b.is_st() || b.target_children().all(|c| provable.contains(&c)));
                 if ok {
                     provable.insert(t);
                     changed = true;
@@ -144,9 +144,10 @@ mod tests {
             roots: vec![tid(0, 1), tid(0, 2)],
             ..Default::default()
         };
-        forest
-            .branches
-            .insert(tid(0, 0), vec![branch(TgdId::St(0), &[tid(9, 0)], &[tid(0, 0)])]);
+        forest.branches.insert(
+            tid(0, 0),
+            vec![branch(TgdId::St(0), &[tid(9, 0)], &[tid(0, 0)])],
+        );
         forest.branches.insert(
             tid(0, 1),
             vec![branch(TgdId::Target(0), &[tid(0, 0)], &[tid(0, 1)])],

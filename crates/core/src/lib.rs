@@ -42,10 +42,10 @@ pub mod route;
 pub mod source_routes;
 pub mod step;
 pub mod strat;
-pub mod trace;
-pub mod view;
 #[cfg(test)]
 pub(crate) mod testkit;
+pub mod trace;
+pub mod view;
 
 pub use all_routes::{compute_all_routes, compute_all_routes_with_pool};
 pub use count::count_routes;

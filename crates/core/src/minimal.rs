@@ -57,9 +57,9 @@ fn without(route: &Route, idx: usize) -> Route {
 mod tests {
     use super::*;
     use crate::all_routes::compute_all_routes;
-    use crate::testkit::example_3_5;
     use crate::print::enumerate_routes;
     use crate::strat::stratify;
+    use crate::testkit::example_3_5;
 
     #[test]
     fn minimizing_r3_yields_r1() {
@@ -79,6 +79,86 @@ mod tests {
         // Minimization does not change the stratified interpretation here
         // (R1 and R3 share it, per the paper).
         assert_eq!(stratify(&env, &r1), stratify(&env, r3));
+    }
+
+    /// Shared harness for the paper's Table-1 stand-ins: chase, probe a
+    /// handful of target tuples, and for each check that the minimized
+    /// route (a) stays valid and minimal, (b) is a sub-multiset of the
+    /// original route's steps, and (c) uses only `(σ, h)` pairs that the
+    /// all-routes forest also discovered — minimal-route output is
+    /// contained in all-routes output, never invented beside it.
+    fn assert_minimal_subset_of_all_routes(sc: &mut routes_gen::RealScenario, probes: usize) {
+        use std::collections::HashMap;
+
+        let solution = sc
+            .scenario
+            .solution_with(routes_chase::ChaseOptions::fresh())
+            .unwrap()
+            .target;
+        let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
+        let mut checked = 0;
+        for (rel, _) in env.mapping.target().iter() {
+            let Some(t) = solution.rel_rows(rel).next() else {
+                continue;
+            };
+            let forest = compute_all_routes(env, &[t]);
+            let Some(route) = enumerate_routes(env, &forest, &[t], 4).into_iter().next() else {
+                continue;
+            };
+            let minimal = minimize_route(&env, &route, &[t]);
+            assert!(is_minimal(&env, &minimal, &[t]));
+            minimal.validate(&env, &[t]).unwrap();
+            assert!(minimal.len() <= route.len());
+
+            // (b) sub-multiset of the original steps.
+            let mut budget: HashMap<_, usize> = HashMap::new();
+            for s in route.steps() {
+                *budget.entry(s.signature()).or_default() += 1;
+            }
+            for s in minimal.steps() {
+                let slot = budget
+                    .get_mut(&s.signature())
+                    .unwrap_or_else(|| panic!("minimized route invented step {:?}", s.signature()));
+                assert!(
+                    *slot > 0,
+                    "step {:?} used more often than given",
+                    s.signature()
+                );
+                *slot -= 1;
+            }
+
+            // (c) every surviving step is a branch of the all-routes forest.
+            for s in minimal.steps() {
+                let found = forest.order.iter().any(|&node| {
+                    forest
+                        .branches_of(node)
+                        .iter()
+                        .any(|b| (b.tgd, &b.hom[..]) == s.signature())
+                });
+                assert!(
+                    found,
+                    "step {:?} not in the all-routes forest",
+                    s.signature()
+                );
+            }
+            checked += 1;
+            if checked == probes {
+                break;
+            }
+        }
+        assert!(checked > 0, "scenario produced no checkable probes");
+    }
+
+    #[test]
+    fn minimal_routes_are_subsets_of_all_routes_on_dblp() {
+        let mut sc = routes_gen::dblp_scenario(0.01, 31);
+        assert_minimal_subset_of_all_routes(&mut sc, 5);
+    }
+
+    #[test]
+    fn minimal_routes_are_subsets_of_all_routes_on_mondial() {
+        let mut sc = routes_gen::mondial_scenario(0.01, 37);
+        assert_minimal_subset_of_all_routes(&mut sc, 5);
     }
 
     #[test]

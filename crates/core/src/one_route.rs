@@ -66,10 +66,7 @@ impl Default for OneRouteOptions {
 ///
 /// # Errors
 /// Returns the subset of `selected` that has no route.
-pub fn compute_one_route(
-    env: RouteEnv<'_>,
-    selected: &[TupleId],
-) -> Result<Route, OneRouteError> {
+pub fn compute_one_route(env: RouteEnv<'_>, selected: &[TupleId]) -> Result<Route, OneRouteError> {
     compute_one_route_with(env, selected, &OneRouteOptions::default())
 }
 
@@ -131,11 +128,7 @@ fn run(
 /// Each subsequent run bans the steps that previously witnessed the selected
 /// tuples, forcing a different explanation — exactly the interaction of
 /// Scenario 2, where the second route for `t4` reveals the missing join.
-pub fn alternative_routes(
-    env: RouteEnv<'_>,
-    selected: &[TupleId],
-    count: usize,
-) -> Vec<Route> {
+pub fn alternative_routes(env: RouteEnv<'_>, selected: &[TupleId], count: usize) -> Vec<Route> {
     let mut routes: Vec<Route> = Vec::new();
     let mut options = OneRouteOptions::default();
     let mut seen_step_sets: HashSet<Vec<SatisfactionStep>> = HashSet::new();
@@ -259,7 +252,10 @@ impl Finder<'_, '_> {
                 if self.options.banned.contains(&(tgd_id, hom.clone())) {
                     continue;
                 }
-                self.emit(TraceEvent::FoundHom { tuple: t, tgd: tgd_id });
+                self.emit(TraceEvent::FoundHom {
+                    tuple: t,
+                    tgd: tgd_id,
+                });
                 self.append_step(tgd_id, hom, t);
                 return;
             }
@@ -272,7 +268,10 @@ impl Finder<'_, '_> {
                 if self.options.banned.contains(&(tgd_id, hom.clone())) {
                     continue;
                 }
-                self.emit(TraceEvent::FoundHom { tuple: t, tgd: tgd_id });
+                self.emit(TraceEvent::FoundHom {
+                    tuple: t,
+                    tgd: tgd_id,
+                });
                 let lhs = self
                     .env
                     .lhs_facts(tgd_id, &hom)
@@ -481,20 +480,20 @@ mod tests {
     fn alternatives_differ_in_witnessing_steps() {
         // With σ9 and S3(a), T5 has two witnesses (σ5 chain and σ9 direct).
         let (mut m, mut i, j, mut pool) = example_3_5();
-        let s9 = routes_mapping::parse_st_tgd(
-            m.source(),
-            m.target(),
-            &mut pool,
-            "s9: S3(x) -> T5(x)",
-        )
-        .unwrap();
+        let s9 =
+            routes_mapping::parse_st_tgd(m.source(), m.target(), &mut pool, "s9: S3(x) -> T5(x)")
+                .unwrap();
         m.add_st_tgd(s9).unwrap();
         let a = pool.str("a");
         i.insert_ok(m.source().rel_id("S3").unwrap(), &[a]);
         let env = RouteEnv::new(&m, &i, &j);
         let t5 = t_of(&m, &j, "T5");
         let routes = alternative_routes(env, &[t5], 5);
-        assert!(routes.len() >= 2, "expected at least 2 routes, got {}", routes.len());
+        assert!(
+            routes.len() >= 2,
+            "expected at least 2 routes, got {}",
+            routes.len()
+        );
         for r in &routes {
             r.validate(&env, &[t5]).unwrap();
         }
@@ -506,7 +505,10 @@ mod tests {
             .collect();
         assert_eq!(first_names, ["s9"]);
         // The alternative must witness T5 differently (via σ5).
-        let second_uses_s5 = routes[1].steps().iter().any(|s| m.tgd(s.tgd).name() == "s5");
+        let second_uses_s5 = routes[1]
+            .steps()
+            .iter()
+            .any(|s| m.tgd(s.tgd).name() == "s5");
         assert!(second_uses_s5);
     }
 

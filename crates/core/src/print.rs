@@ -148,7 +148,8 @@ mod tests {
         // T5's own (σ7 under T3 under σ5 under T5)).
         assert!(!routes.is_empty());
         for r in &routes {
-            r.validate(&env, &[t7]).expect("NaivePrint routes are valid");
+            r.validate(&env, &[t7])
+                .expect("NaivePrint routes are valid");
         }
         // With deterministic branch order the unique printed route is the
         // paper's R3: σ2 σ3 σ4 σ2 σ3 σ4 σ1 σ5 σ8 σ6 (T4's sub-route, then
@@ -210,13 +211,9 @@ mod tests {
         // With σ9: S3(x) -> T5(x) and S3(a), T7 gains a second route (R2 of
         // the paper).
         let (mut m, mut i, j, mut pool) = example_3_5();
-        let s9 = routes_mapping::parse_st_tgd(
-            m.source(),
-            m.target(),
-            &mut pool,
-            "s9: S3(x) -> T5(x)",
-        )
-        .unwrap();
+        let s9 =
+            routes_mapping::parse_st_tgd(m.source(), m.target(), &mut pool, "s9: S3(x) -> T5(x)")
+                .unwrap();
         m.add_st_tgd(s9).unwrap();
         let a = pool.str("a");
         i.insert_ok(m.source().rel_id("S3").unwrap(), &[a]);
@@ -224,14 +221,18 @@ mod tests {
         let t7 = t_of(&m, &j, "T7");
         let forest = compute_all_routes(env, &[t7]);
         let routes = enumerate_routes(env, &forest, &[t7], 100);
-        assert!(routes.len() >= 2, "expected R1-like and R2-like routes, got {}", routes.len());
+        assert!(
+            routes.len() >= 2,
+            "expected R1-like and R2-like routes, got {}",
+            routes.len()
+        );
         for r in &routes {
             r.validate(&env, &[t7]).unwrap();
         }
         // At least one route bypasses T1 entirely (the paper's R2).
-        let s1_free = routes.iter().any(|r| {
-            r.steps().iter().all(|s| m.tgd(s.tgd).name() != "s1")
-        });
+        let s1_free = routes
+            .iter()
+            .any(|r| r.steps().iter().all(|s| m.tgd(s.tgd).name() != "s1"));
         assert!(s1_free, "some route should bypass σ1 via σ9");
     }
 }

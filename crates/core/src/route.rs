@@ -157,7 +157,10 @@ mod tests {
         // Using m2 first: its premise T(1) is in J but not yet produced.
         let route = Route::new(vec![SatisfactionStep::new(m2, vec![Value::Int(1)])]);
         let err = route.validate(&env, &[]).unwrap_err();
-        assert!(matches!(err, RouteError::LhsTupleNotYetProduced { step: 0, .. }));
+        assert!(matches!(
+            err,
+            RouteError::LhsTupleNotYetProduced { step: 0, .. }
+        ));
     }
 
     #[test]
@@ -176,7 +179,10 @@ mod tests {
     fn empty_route_is_invalid() {
         let (m, i, j, _pool) = setup();
         let env = RouteEnv::new(&m, &i, &j);
-        assert_eq!(Route::new(vec![]).validate(&env, &[]), Err(RouteError::Empty));
+        assert_eq!(
+            Route::new(vec![]).validate(&env, &[]),
+            Err(RouteError::Empty)
+        );
     }
 
     #[test]

@@ -77,8 +77,7 @@ pub fn compute_source_routes(
         ..ForwardForest::default()
     };
     let mut visited: HashSet<Fact> = HashSet::new();
-    let mut frontier: Vec<(Fact, usize)> =
-        forest.roots.iter().map(|&f| (f, 0)).collect();
+    let mut frontier: Vec<(Fact, usize)> = forest.roots.iter().map(|&f| (f, 0)).collect();
 
     while let Some((fact, depth)) = frontier.pop() {
         if depth >= max_depth || !visited.insert(fact) {

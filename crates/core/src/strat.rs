@@ -143,8 +143,8 @@ pub fn route_rank(env: &RouteEnv<'_>, route: &Route) -> usize {
 mod tests {
     use super::*;
     use crate::all_routes::compute_all_routes;
-    use crate::testkit::example_3_5;
     use crate::print::enumerate_routes;
+    use crate::testkit::example_3_5;
     use routes_mapping::SchemaMapping;
     use routes_model::Instance;
 

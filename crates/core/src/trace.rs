@@ -94,9 +94,8 @@ impl Trace {
     /// Render as indented text.
     pub fn to_text(&self, pool: &ValuePool, env: &RouteEnv<'_>) -> String {
         let mut out = String::new();
-        let tuple = |t: TupleId| {
-            routes_model::tuple_to_string(pool, env.mapping.target(), env.target, t)
-        };
+        let tuple =
+            |t: TupleId| routes_model::tuple_to_string(pool, env.mapping.target(), env.target, t);
         for event in &self.events {
             let line = match event {
                 TraceEvent::Explore(t) => format!("explore {}", tuple(*t)),
@@ -109,7 +108,11 @@ impl Trace {
                 TraceEvent::Append { tgd, .. } => {
                     format!("  append ({}, h) to G", env.mapping.tgd(*tgd).name())
                 }
-                TraceEvent::Park { tuple: t, tgd, missing } => format!(
+                TraceEvent::Park {
+                    tuple: t,
+                    tgd,
+                    missing,
+                } => format!(
                     "  park ({}, {}, h) in UNPROVEN; missing {} premise(s)",
                     tuple(*t),
                     env.mapping.tgd(*tgd).name(),
@@ -119,7 +122,11 @@ impl Trace {
                 TraceEvent::Resolved { tuple: t, appended } => format!(
                     "  infer: resolved parked triple for {} ({})",
                     tuple(*t),
-                    if *appended { "appended" } else { "stale, dropped" }
+                    if *appended {
+                        "appended"
+                    } else {
+                        "stale, dropped"
+                    }
                 ),
                 TraceEvent::Exhausted(t) => format!("  {} exhausted, still unproven", tuple(*t)),
             };

@@ -157,9 +157,8 @@ impl ForestView {
     /// Resolve a whole forest. Nodes appear in the forest's deterministic
     /// exploration order; branch children reference nodes by tuple.
     pub fn build(pool: &ValuePool, env: &RouteEnv<'_>, forest: &RouteForest) -> Self {
-        let resolve_branch = |b: &Branch| {
-            resolve_step(pool, env, b.tgd, &b.hom, &b.lhs_facts, &b.rhs_tuples)
-        };
+        let resolve_branch =
+            |b: &Branch| resolve_step(pool, env, b.tgd, &b.hom, &b.lhs_facts, &b.rhs_tuples);
         ForestView {
             roots: forest
                 .roots
@@ -198,9 +197,10 @@ mod tests {
         assert_eq!(view.steps.len(), route.len());
         let last = view.steps.last().unwrap();
         assert!(!last.tgd.is_empty());
-        assert!(last.hom.iter().all(|(name, value)| {
-            !name.is_empty() && !value.is_empty()
-        }));
+        assert!(last
+            .hom
+            .iter()
+            .all(|(name, value)| { !name.is_empty() && !value.is_empty() }));
         assert!(view
             .steps
             .iter()

@@ -85,8 +85,13 @@ pub fn flat_scenario(joins: usize, rows: &TpchRows, seed: u64) -> FlatScenario {
     );
     mapping
         .add_st_tgd(
-            parse_st_tgd(&src_encoded.schema, &dst_encoded.schema, &mut pool, &root_copy)
-                .expect("root copy parses"),
+            parse_st_tgd(
+                &src_encoded.schema,
+                &dst_encoded.schema,
+                &mut pool,
+                &root_copy,
+            )
+            .expect("root copy parses"),
         )
         .expect("root copy valid");
     let patterns = join_patterns(joins);
@@ -338,11 +343,7 @@ mod tests {
         ));
         // Every group's Root relation has the copied root.
         for g in 1..=GROUPS {
-            let root = sc
-                .dst_encoded
-                .schema
-                .rel_id(&format!("Root{g}"))
-                .unwrap();
+            let root = sc.dst_encoded.schema.rel_id(&format!("Root{g}")).unwrap();
             assert_eq!(result.target.rel_len(root), 1);
         }
         let picks = sc.select_from_group(&result.target, 2, 5, 1);
@@ -385,11 +386,7 @@ mod tests {
         assert_eq!(deep.len(), 3);
         assert!(deep.iter().all(|t| t.rel == sc.depth_rels[4]));
         // Decode the target back into a tree: structure intact.
-        let tree = routes_nested::decode_instance(
-            &sc.dst_nested,
-            &sc.dst_encoded,
-            &result.target,
-        );
+        let tree = routes_nested::decode_instance(&sc.dst_nested, &sc.dst_encoded, &result.target);
         assert_eq!(tree.roots().len(), rows.regions);
         assert_eq!(tree.len(), rows.total_nodes());
     }

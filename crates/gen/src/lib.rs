@@ -17,12 +17,16 @@
 //! * [`edits`] — seeded, replayable edit-op campaigns for the live-mutation
 //!   subsystem (`routes-incr`): valid-by-construction batches reused by the
 //!   differential tests and the `micro edit` bench.
+//! * [`pipeline`] — seeded multi-hop pipeline scenarios (`routes-pipeline`),
+//!   with an optional redundancy knob that gives core minimization null
+//!   rows to remove; reused by the differential gate and `micro pipeline`.
 //! * [`rng`] — the deterministic SplitMix64 generator every module above
 //!   draws from (the workspace builds offline, with no external crates).
 
 pub mod edits;
 pub mod hierarchy;
 pub mod paper;
+pub mod pipeline;
 pub mod random;
 pub mod real;
 pub mod relational;
@@ -33,6 +37,7 @@ pub mod tpch;
 pub use edits::{edit_campaign, sized_edit_campaign, EditCampaign};
 pub use hierarchy::{deep_scenario, flat_scenario, DeepScenario, FlatScenario};
 pub use paper::{fargo_scenario, toy_scenario_3_5, FargoScenario};
+pub use pipeline::{pipeline_scenario, PipelineScenario};
 pub use random::random_scenario;
 pub use real::{dblp_scenario, mondial_scenario, RealScenario};
 pub use relational::{relational_scenario, RelationalScenario, GROUPS};

@@ -34,14 +34,28 @@ pub fn fargo_scenario() -> FargoScenario {
     let mut s = Schema::new();
     let cards = s.rel(
         "Cards",
-        &["cardNo", "limit", "ssn", "name", "maidenName", "salary", "location"],
+        &[
+            "cardNo",
+            "limit",
+            "ssn",
+            "name",
+            "maidenName",
+            "salary",
+            "location",
+        ],
     );
     let supp = s.rel("SupplementaryCards", &["accNo", "ssn", "name", "address"]);
-    let fba = s.rel("FBAccounts", &["bankNo", "ssn", "name", "income", "address"]);
+    let fba = s.rel(
+        "FBAccounts",
+        &["bankNo", "ssn", "name", "income", "address"],
+    );
     let cc = s.rel("CreditCards", &["cardNo", "creditLimit", "custSSN"]);
     let mut t = Schema::new();
     let accounts = t.rel("Accounts", &["accNo", "limit", "accHolder"]);
-    let clients = t.rel("Clients", &["ssn", "name", "maidenName", "income", "address"]);
+    let clients = t.rel(
+        "Clients",
+        &["ssn", "name", "maidenName", "income", "address"],
+    );
 
     let mut mapping = SchemaMapping::new(s.clone(), t.clone());
     let st = [
@@ -105,10 +119,30 @@ pub fn fargo_scenario() -> FargoScenario {
         v(&mut pool, "40K"),
     );
     let mut i = Instance::new(&s);
-    let s1 = i.insert_ok(cards, &[Value::Int(6689), k15, Value::Int(434), jlong, smith, k50, seattle]);
-    let s2 = i.insert_ok(supp, &[Value::Int(6689), Value::Int(234), along, california]);
-    let s3 = i.insert_ok(fba, &[Value::Int(1001), Value::Int(234), along, k30, california]);
-    let s4 = i.insert_ok(fba, &[Value::Int(4341), Value::Int(153), cdon, k900, newyork]);
+    let s1 = i.insert_ok(
+        cards,
+        &[
+            Value::Int(6689),
+            k15,
+            Value::Int(434),
+            jlong,
+            smith,
+            k50,
+            seattle,
+        ],
+    );
+    let s2 = i.insert_ok(
+        supp,
+        &[Value::Int(6689), Value::Int(234), along, california],
+    );
+    let s3 = i.insert_ok(
+        fba,
+        &[Value::Int(1001), Value::Int(234), along, k30, california],
+    );
+    let s4 = i.insert_ok(
+        fba,
+        &[Value::Int(4341), Value::Int(153), cdon, k900, newyork],
+    );
     let s5 = i.insert_ok(cc, &[Value::Int(2252), k2, Value::Int(234)]);
     let s6 = i.insert_ok(cc, &[Value::Int(5539), k40, Value::Int(153)]);
 

@@ -1,0 +1,164 @@
+//! Seeded multi-hop pipeline scenarios for the `routes-pipeline` subsystem:
+//! differential tests and the `micro pipeline` bench.
+//!
+//! The generated chain has the same schema shape at every level — `Ak(a, b)`
+//! carrying pairs and `Bk(a)` carrying a projection — so any hop count
+//! chains correctly. With `redundancy` on, every hop gains an existential
+//! tgd *before* the copying tgd, so the deterministic Fresh chase
+//! materializes `Ak(x, N)` null rows that the copy rows subsume: core
+//! minimization then strictly shrinks every intermediate instance, which is
+//! exactly the workload the core-mode differential gate needs.
+
+use routes_mapping::{parse_dependency, SchemaMapping};
+use routes_model::{Instance, Schema, Value, ValuePool};
+use routes_pipeline::{Pipeline, PipelineStage};
+
+use crate::rng::Rng;
+
+/// A complete pipeline scenario: the validated chain and the instance that
+/// feeds its first hop.
+#[derive(Debug, Clone)]
+pub struct PipelineScenario {
+    /// Scenario name (used in benchmark output).
+    pub name: String,
+    /// Shared value pool.
+    pub pool: ValuePool,
+    /// The validated stage chain.
+    pub pipeline: Pipeline,
+    /// The source instance of the first hop.
+    pub source: Instance,
+}
+
+/// The schema at chain level `k`: `Ak(a, b)` and `Bk(a)`. Level 0 is the
+/// original source; level `k` is hop `k`'s target.
+fn level_schema(k: usize) -> Schema {
+    let mut s = Schema::new();
+    s.rel(&format!("A{k}"), &["a", "b"]);
+    s.rel(&format!("B{k}"), &["a"]);
+    s
+}
+
+/// Build a seeded `hops`-stage pipeline over `rows` source tuples. Fully
+/// deterministic for fixed arguments, so the same call with `core` flipped
+/// yields byte-identical stages and source — the property the differential
+/// gate relies on. With `redundancy`, each hop's chase output contains null
+/// rows the core can remove; without it, every chased instance is already a
+/// core.
+pub fn pipeline_scenario(
+    hops: usize,
+    rows: usize,
+    seed: u64,
+    redundancy: bool,
+    core: bool,
+) -> PipelineScenario {
+    assert!(hops >= 1, "a pipeline needs at least one hop");
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut pool = ValuePool::new();
+    let mut stages = Vec::with_capacity(hops);
+    for k in 1..=hops {
+        let src = level_schema(k - 1);
+        let dst = level_schema(k);
+        let mut mapping = SchemaMapping::new(src.clone(), dst.clone());
+        let p = k - 1;
+        let mut deps = Vec::new();
+        if redundancy {
+            // Fired before the copy below, this leaves subsumable null rows
+            // in the Fresh chase's output.
+            deps.push(format!("r{k}: A{p}(x, y) -> exists Z: A{k}(x, Z)"));
+        }
+        deps.push(format!("c{k}: A{p}(x, y) -> A{k}(x, y)"));
+        deps.push(format!("p{k}: A{p}(x, y) -> B{k}(x)"));
+        deps.push(format!("b{k}: B{p}(x) -> B{k}(x)"));
+        for dep in &deps {
+            let parsed =
+                parse_dependency(&src, &dst, &mut pool, dep).expect("generated dependencies parse");
+            mapping
+                .add_dependency(parsed)
+                .expect("generated dependencies are well-formed");
+        }
+        stages.push(PipelineStage {
+            name: format!("hop{k}"),
+            mapping,
+        });
+    }
+    let pipeline = Pipeline::new(stages, core).expect("generated chain is valid");
+
+    let source_schema = level_schema(0);
+    let a0 = source_schema.rel_id("A0").unwrap();
+    let b0 = source_schema.rel_id("B0").unwrap();
+    let mut source = Instance::new(&source_schema);
+    for _ in 0..rows {
+        let x = rng.gen_range(0..1_000) as i64;
+        let y = rng.gen_range(0..1_000) as i64;
+        source.insert_ok(a0, &[Value::Int(x), Value::Int(y)]);
+    }
+    for _ in 0..rows.div_ceil(4) {
+        let x = rng.gen_range(0..1_000) as i64;
+        source.insert_ok(b0, &[Value::Int(x)]);
+    }
+    PipelineScenario {
+        name: format!(
+            "pipeline-h{hops}-r{rows}-s{seed}{}{}",
+            if redundancy { "-red" } else { "" },
+            if core { "-core" } else { "" }
+        ),
+        pool,
+        pipeline,
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routes_chase::ChaseOptions;
+    use routes_pipeline::chase_pipeline;
+    use routes_pool::Pool;
+
+    #[test]
+    fn generated_pipelines_chase_end_to_end() {
+        let sc = pipeline_scenario(3, 8, 42, false, false);
+        assert_eq!(sc.pipeline.hops(), 3);
+        let prepared = chase_pipeline(
+            sc.pipeline,
+            sc.source,
+            sc.pool,
+            ChaseOptions::fresh(),
+            &Pool::sequential(),
+        )
+        .unwrap();
+        assert!(prepared.weakly_acyclic);
+        assert!(prepared.final_stage().target.total_tuples() > 0);
+        let (before, after) = prepared.core_shrink();
+        assert_eq!(before, after, "no redundancy, nothing to shrink");
+    }
+
+    #[test]
+    fn redundancy_gives_the_core_something_to_remove() {
+        let sc = pipeline_scenario(2, 6, 7, true, true);
+        let prepared = chase_pipeline(
+            sc.pipeline,
+            sc.source,
+            sc.pool,
+            ChaseOptions::fresh(),
+            &Pool::sequential(),
+        )
+        .unwrap();
+        let (before, after) = prepared.core_shrink();
+        assert!(after < before, "core must shrink: {before} -> {after}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_core_flag_neutral() {
+        let a = pipeline_scenario(2, 10, 99, true, false);
+        let b = pipeline_scenario(2, 10, 99, true, true);
+        assert_eq!(a.source.total_tuples(), b.source.total_tuples());
+        assert_eq!(a.pipeline.hops(), b.pipeline.hops());
+        assert!(!a.pipeline.core_mode());
+        assert!(b.pipeline.core_mode());
+        for (sa, sb) in a.pipeline.stages().iter().zip(b.pipeline.stages()) {
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(sa.mapping.st_tgds().len(), sb.mapping.st_tgds().len());
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! tgds may), which makes every dependency set weakly acyclic.
 
 use crate::rng::Rng;
-use routes_mapping::{Tgd, SchemaMapping};
+use routes_mapping::{SchemaMapping, Tgd};
 use routes_model::{Atom, Instance, RelId, Schema, Term, Value, ValuePool, Var};
 
 use crate::scenario::Scenario;
@@ -75,10 +75,10 @@ pub fn random_scenario(seed: u64) -> Scenario {
     // Random atoms over a small shared variable space.
     let var_names: Vec<String> = (0..4).map(|i| format!("v{i}")).collect();
     let rand_atoms = |rng: &mut Rng,
-                          rels: &[(RelId, usize)],
-                          count: usize,
-                          allow_fresh_vars: bool,
-                          used: &mut Vec<Var>|
+                      rels: &[(RelId, usize)],
+                      count: usize,
+                      allow_fresh_vars: bool,
+                      used: &mut Vec<Var>|
      -> Vec<Atom> {
         (0..count)
             .map(|_| {
@@ -152,8 +152,9 @@ pub fn random_scenario(seed: u64) -> Scenario {
     let mut source = Instance::new(&source_schema);
     for &(rel, arity) in &source_rels {
         for _ in 0..rng.gen_range(0..6usize) {
-            let values: Vec<Value> =
-                (0..arity).map(|_| Value::Int(rng.gen_range(0..3))).collect();
+            let values: Vec<Value> = (0..arity)
+                .map(|_| Value::Int(rng.gen_range(0..3)))
+                .collect();
             source.insert_ok(rel, &values);
         }
     }
@@ -176,12 +177,7 @@ mod tests {
     fn random_scenarios_chase_to_solutions() {
         for seed in 0..60 {
             let mut sc = random_scenario(seed);
-            let result = chase(
-                &sc.mapping,
-                &sc.source,
-                &mut sc.pool,
-                ChaseOptions::fresh(),
-            );
+            let result = chase(&sc.mapping, &sc.source, &mut sc.pool, ChaseOptions::fresh());
             let result = result.unwrap_or_else(|e| panic!("seed {seed}: chase failed: {e}"));
             assert!(
                 is_solution(&sc.mapping, &sc.source, &result.target),

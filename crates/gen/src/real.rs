@@ -106,12 +106,22 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
     let d1_article = dblp1.add_child(
         root1,
         "D1Article",
-        &["key", "title", "journal", "volume", "number", "year", "month", "pages", "ee"],
+        &[
+            "key", "title", "journal", "volume", "number", "year", "month", "pages", "ee",
+        ],
     );
     let d1_inproc = dblp1.add_child(
         root1,
         "D1Inproceedings",
-        &["key", "title", "booktitle", "year", "pages", "author", "crossref"],
+        &[
+            "key",
+            "title",
+            "booktitle",
+            "year",
+            "pages",
+            "author",
+            "crossref",
+        ],
     );
     let d1_book = dblp1.add_child(
         root1,
@@ -123,7 +133,11 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
         "D1Incollection",
         &["key", "title", "booktitle", "year", "pages", "publisher"],
     );
-    let d1_phd = dblp1.add_child(root1, "D1Phdthesis", &["key", "title", "school", "year", "author"]);
+    let d1_phd = dblp1.add_child(
+        root1,
+        "D1Phdthesis",
+        &["key", "title", "school", "year", "author"],
+    );
     let d1_masters = dblp1.add_child(
         root1,
         "D1Mastersthesis",
@@ -156,16 +170,50 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
     // --- Target: Amalgam1 (relational) ------------------------------------
     let mut target = Schema::new();
     for (name, attrs) in [
-        ("TArticle", vec!["id", "key", "title", "journal", "volume", "number", "year", "month", "pages"]),
-        ("TBook", vec!["id", "key", "title", "publisher", "isbn", "year"]),
-        ("TInCollection", vec!["id", "key", "title", "booktitle", "year", "pages", "publisher"]),
-        ("TInProceedings", vec!["id", "key", "title", "conf", "year", "pages"]),
+        (
+            "TArticle",
+            vec![
+                "id", "key", "title", "journal", "volume", "number", "year", "month", "pages",
+            ],
+        ),
+        (
+            "TBook",
+            vec!["id", "key", "title", "publisher", "isbn", "year"],
+        ),
+        (
+            "TInCollection",
+            vec![
+                "id",
+                "key",
+                "title",
+                "booktitle",
+                "year",
+                "pages",
+                "publisher",
+            ],
+        ),
+        (
+            "TInProceedings",
+            vec!["id", "key", "title", "conf", "year", "pages"],
+        ),
         ("TMisc", vec!["id", "key", "title", "howpublished", "year"]),
-        ("TManual", vec!["id", "key", "title", "organization", "year"]),
-        ("TMastersThesis", vec!["id", "key", "title", "school", "year"]),
+        (
+            "TManual",
+            vec!["id", "key", "title", "organization", "year"],
+        ),
+        (
+            "TMastersThesis",
+            vec!["id", "key", "title", "school", "year"],
+        ),
         ("TPhDThesis", vec!["id", "key", "title", "school", "year"]),
-        ("TProceedings", vec!["id", "key", "title", "conf", "publisher", "year", "isbn"]),
-        ("TTechReport", vec!["id", "key", "title", "institution", "number", "year"]),
+        (
+            "TProceedings",
+            vec!["id", "key", "title", "conf", "publisher", "year", "isbn"],
+        ),
+        (
+            "TTechReport",
+            vec!["id", "key", "title", "institution", "number", "year"],
+        ),
         ("TUnpublished", vec!["id", "key", "title", "note", "year"]),
         ("TWWW", vec!["id", "key", "title", "url", "year"]),
         ("TAuthor", vec!["aid", "name"]),
@@ -259,9 +307,17 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
             &dblp1,
             root,
             d1_article,
-            &[key, title, j, Value::Int((k % 40) as i64 + 1), Value::Int((k % 12) as i64 + 1),
-              Value::Int(1990 + (k % 16) as i64), Value::Int((k % 12) as i64 + 1),
-              Value::Int((k % 30) as i64 + 1), ee],
+            &[
+                key,
+                title,
+                j,
+                Value::Int((k % 40) as i64 + 1),
+                Value::Int((k % 12) as i64 + 1),
+                Value::Int(1990 + (k % 16) as i64),
+                Value::Int((k % 12) as i64 + 1),
+                Value::Int((k % 30) as i64 + 1),
+                ee,
+            ],
         );
     }
     for k in 0..rows.inproceedings {
@@ -274,7 +330,15 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
             &dblp1,
             root,
             d1_inproc,
-            &[key, title, bt, Value::Int(1990 + (k % 16) as i64), Value::Int((k % 20) as i64 + 1), a, cr],
+            &[
+                key,
+                title,
+                bt,
+                Value::Int(1990 + (k % 16) as i64),
+                Value::Int((k % 20) as i64 + 1),
+                a,
+                cr,
+            ],
         );
     }
     for k in 0..rows.book {
@@ -283,7 +347,12 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
         let p = pick(&mut rng, &publishers);
         let isbn = pool.str(&format!("0-000-{k:05}"));
         let a = pick(&mut rng, &authors);
-        tree1.add_child(&dblp1, root, d1_book, &[key, title, p, isbn, Value::Int(1985 + (k % 20) as i64), a]);
+        tree1.add_child(
+            &dblp1,
+            root,
+            d1_book,
+            &[key, title, p, isbn, Value::Int(1985 + (k % 20) as i64), a],
+        );
     }
     for k in 0..rows.incollection {
         let key = pool.str(&format!("books/ic{k}"));
@@ -294,7 +363,14 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
             &dblp1,
             root,
             d1_incoll,
-            &[key, title, bt, Value::Int(1990 + (k % 15) as i64), Value::Int((k % 25) as i64 + 1), p],
+            &[
+                key,
+                title,
+                bt,
+                Value::Int(1990 + (k % 15) as i64),
+                Value::Int((k % 25) as i64 + 1),
+                p,
+            ],
         );
     }
     for (ty, count, prefix) in [(d1_phd, rows.phd, "phd"), (d1_masters, rows.masters, "ms")] {
@@ -303,14 +379,24 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
             let title = pool.str(&format!("Thesis Title {prefix}{k}"));
             let school = pick(&mut rng, &schools);
             let a = pick(&mut rng, &authors);
-            tree1.add_child(&dblp1, root, ty, &[key, title, school, Value::Int(1995 + (k % 10) as i64), a]);
+            tree1.add_child(
+                &dblp1,
+                root,
+                ty,
+                &[key, title, school, Value::Int(1995 + (k % 10) as i64), a],
+            );
         }
     }
     for k in 0..rows.www {
         let key = pool.str(&format!("www/w{k}"));
         let title = pool.str(&format!("Web Page {k}"));
         let url = pool.str(&format!("http://example.org/{k}"));
-        tree1.add_child(&dblp1, root, d1_www, &[key, title, url, Value::Int(2000 + (k % 6) as i64)]);
+        tree1.add_child(
+            &dblp1,
+            root,
+            d1_www,
+            &[key, title, url, Value::Int(2000 + (k % 6) as i64)],
+        );
     }
     for k in 0..rows.proceedings {
         let key = pool.str(&format!("conf/cr{k}"));
@@ -318,12 +404,22 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
         let bt = pick(&mut rng, &venues);
         let p = pick(&mut rng, &publishers);
         let isbn = pool.str(&format!("1-111-{k:05}"));
-        tree1.add_child(&dblp1, root, d1_proc, &[key, title, bt, p, Value::Int(1990 + (k % 16) as i64), isbn]);
+        tree1.add_child(
+            &dblp1,
+            root,
+            d1_proc,
+            &[key, title, bt, p, Value::Int(1990 + (k % 16) as i64), isbn],
+        );
     }
     for k in 0..rows.authorship {
         let pubkey = pool.str(&format!("journals/a{}", k % rows.article.max(1)));
         let a = pick(&mut rng, &authors);
-        tree1.add_child(&dblp1, root, d1_authorship, &[pubkey, a, Value::Int((k % 5) as i64 + 1)]);
+        tree1.add_child(
+            &dblp1,
+            root,
+            d1_authorship,
+            &[pubkey, a, Value::Int((k % 5) as i64 + 1)],
+        );
     }
 
     let mut tree2 = NestedInstance::new();
@@ -362,8 +458,18 @@ pub fn dblp_scenario(scale: f64, seed: u64) -> RealScenario {
     let enc1_data = encode_instance(&dblp1, &enc1, &tree1);
     let enc2_data = encode_instance(&dblp2, &enc2, &tree2);
     let mut source = Instance::new(&source_schema);
-    copy_into(&enc1.schema, &enc1_data.instance, &source_schema, &mut source);
-    copy_into(&enc2.schema, &enc2_data.instance, &source_schema, &mut source);
+    copy_into(
+        &enc1.schema,
+        &enc1_data.instance,
+        &source_schema,
+        &mut source,
+    );
+    copy_into(
+        &enc2.schema,
+        &enc2_data.instance,
+        &source_schema,
+        &mut source,
+    );
 
     let stats = vec![
         SchemaStats {
@@ -438,9 +544,25 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
 
     // --- Source: Mondial1 (relational) ------------------------------------
     let mut source_schema = Schema::new();
-    let s_country = source_schema.rel("Country", &["code", "name", "capital", "area", "population"]);
-    let s_province = source_schema.rel("Province", &["name", "country", "capital", "area", "population"]);
-    let s_city = source_schema.rel("City", &["name", "country", "province", "population", "longitude", "latitude"]);
+    let s_country = source_schema.rel(
+        "Country",
+        &["code", "name", "capital", "area", "population"],
+    );
+    let s_province = source_schema.rel(
+        "Province",
+        &["name", "country", "capital", "area", "population"],
+    );
+    let s_city = source_schema.rel(
+        "City",
+        &[
+            "name",
+            "country",
+            "province",
+            "population",
+            "longitude",
+            "latitude",
+        ],
+    );
     let s_citypop = source_schema.rel("CityPop", &["city", "country", "year", "population"]);
     let s_language = source_schema.rel("Language", &["country", "name", "percentage"]);
     let s_religion = source_schema.rel("Religion", &["country", "name", "percentage"]);
@@ -460,20 +582,46 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
     // s-t tgds (the paper's mapping covers a subset too); they contribute
     // to the Table 1 element counts and give `findHom` realistic negative
     // search space.
-    let s_airport = source_schema.rel("Airport", &["iata", "name", "country", "city", "elevation", "gmtOffset"]);
-    let s_economy = source_schema.rel("Economy", &["country", "gdp", "agriculture", "industry", "services", "inflation"]);
-    let s_popdata = source_schema.rel("PopulationData", &["country", "year", "population", "growth"]);
+    let s_airport = source_schema.rel(
+        "Airport",
+        &["iata", "name", "country", "city", "elevation", "gmtOffset"],
+    );
+    let s_economy = source_schema.rel(
+        "Economy",
+        &[
+            "country",
+            "gdp",
+            "agriculture",
+            "industry",
+            "services",
+            "inflation",
+        ],
+    );
+    let s_popdata = source_schema.rel(
+        "PopulationData",
+        &["country", "year", "population", "growth"],
+    );
     let s_located = source_schema.rel("Located", &["city", "country", "river", "lake", "sea"]);
     let s_merges = source_schema.rel("MergesWith", &["sea1", "sea2"]);
     let s_islandin = source_schema.rel("IslandIn", &["island", "river", "lake", "sea"]);
-    let s_politics = source_schema.rel("Politics", &["country", "independence", "dependent", "government"]);
+    let s_politics = source_schema.rel(
+        "Politics",
+        &["country", "independence", "dependent", "government"],
+    );
     let s_riverthrough = source_schema.rel("RiverThrough", &["river", "lake"]);
     let s_springof = source_schema.rel("SpringOf", &["river", "country", "longitude", "latitude"]);
 
     // --- Target: Mondial2 (nested, depth 4) --------------------------------
     let mut dst_nested = NestedSchema::new();
-    let m_country = dst_nested.add_root("MCountry", &["code", "name", "capital", "area", "population"]);
-    let m_province = dst_nested.add_child(m_country, "MProvince", &["name", "capital", "area", "population"]);
+    let m_country = dst_nested.add_root(
+        "MCountry",
+        &["code", "name", "capital", "area", "population"],
+    );
+    let m_province = dst_nested.add_child(
+        m_country,
+        "MProvince",
+        &["name", "capital", "area", "population"],
+    );
     let m_city = dst_nested.add_child(m_province, "MCity", &["name", "longitude", "latitude"]);
     let _m_citypop = dst_nested.add_child(m_city, "MCityPop", &["year", "population"]);
     let _m_language = dst_nested.add_child(m_country, "MLanguage", &["name", "percentage"]);
@@ -492,11 +640,31 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
     // Record types of the real Mondial XML schema that the 13 s-t tgds do
     // not populate (kept for Table 1 schema-shape fidelity; their relations
     // stay empty in the solution).
-    let _m_economy = dst_nested.add_child(m_country, "MEconomy", &["gdp", "agriculture", "industry", "services", "inflation"]);
-    let _m_politics = dst_nested.add_child(m_country, "MPolitics", &["independence", "dependent", "government"]);
-    let _m_popgrowth = dst_nested.add_child(m_country, "MPopGrowth", &["year", "rate", "births", "deaths", "infantMortality"]);
-    let _m_airport = dst_nested.add_child(m_city, "MAirport", &["iata", "name", "elevation", "gmtOffset"]);
-    let _m_citycoord = dst_nested.add_child(m_city, "MCityCoord", &["longitude", "latitude", "elevation"]);
+    let _m_economy = dst_nested.add_child(
+        m_country,
+        "MEconomy",
+        &["gdp", "agriculture", "industry", "services", "inflation"],
+    );
+    let _m_politics = dst_nested.add_child(
+        m_country,
+        "MPolitics",
+        &["independence", "dependent", "government"],
+    );
+    let _m_popgrowth = dst_nested.add_child(
+        m_country,
+        "MPopGrowth",
+        &["year", "rate", "births", "deaths", "infantMortality"],
+    );
+    let _m_airport = dst_nested.add_child(
+        m_city,
+        "MAirport",
+        &["iata", "name", "elevation", "gmtOffset"],
+    );
+    let _m_citycoord = dst_nested.add_child(
+        m_city,
+        "MCityCoord",
+        &["longitude", "latitude", "elevation"],
+    );
     let _m_estuary = dst_nested.add_root("MEstuary", &["river", "longitude", "latitude"]);
     let _m_spring = dst_nested.add_root("MSpring", &["river", "longitude", "latitude"]);
     let _m_archipelago = dst_nested.add_root("MArchipelago", &["name", "area", "islands"]);
@@ -583,7 +751,9 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
     for text in tt {
         let tgd = parse_target_tgd(&target, &mut pool, text)
             .unwrap_or_else(|e| panic!("Mondial target tgd must parse: {e}\n{text}"));
-        mapping.add_target_tgd(tgd).expect("valid Mondial target tgd");
+        mapping
+            .add_target_tgd(tgd)
+            .expect("valid Mondial target tgd");
     }
     // Key egds on the nested entities (the paper's Scenario 2 suggests
     // exactly this: "enforce ssn as a key ... which can be expressed as
@@ -623,26 +793,49 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
         let cap = pool.str(&format!("Capital {k}"));
         source.insert_ok(
             s_country,
-            &[code, name, cap, Value::Int(rng.gen_range(1_000..2_000_000)), Value::Int(rng.gen_range(100_000..900_000_000))],
+            &[
+                code,
+                name,
+                cap,
+                Value::Int(rng.gen_range(1_000..2_000_000)),
+                Value::Int(rng.gen_range(100_000..900_000_000)),
+            ],
         );
         for p in 0..counts_provinces_per {
             let pn = pool.str(&format!("Prov {k}-{p}"));
             let pcap = pool.str(&format!("PCap {k}-{p}"));
             source.insert_ok(
                 s_province,
-                &[pn, code, pcap, Value::Int(rng.gen_range(100..90_000)), Value::Int(rng.gen_range(1_000..9_000_000))],
+                &[
+                    pn,
+                    code,
+                    pcap,
+                    Value::Int(rng.gen_range(100..90_000)),
+                    Value::Int(rng.gen_range(1_000..9_000_000)),
+                ],
             );
             for c in 0..counts_cities_per {
                 let cn = pool.str(&format!("City {k}-{p}-{c}"));
                 source.insert_ok(
                     s_city,
-                    &[cn, code, pn, Value::Int(rng.gen_range(1_000..9_000_000)),
-                      Value::Int(rng.gen_range(-180..180)), Value::Int(rng.gen_range(-90..90))],
+                    &[
+                        cn,
+                        code,
+                        pn,
+                        Value::Int(rng.gen_range(1_000..9_000_000)),
+                        Value::Int(rng.gen_range(-180..180)),
+                        Value::Int(rng.gen_range(-90..90)),
+                    ],
                 );
                 for y in 0..counts_pop_per {
                     source.insert_ok(
                         s_citypop,
-                        &[cn, code, Value::Int(1990 + 10 * y as i64), Value::Int(rng.gen_range(1_000..9_000_000))],
+                        &[
+                            cn,
+                            code,
+                            Value::Int(1990 + 10 * y as i64),
+                            Value::Int(rng.gen_range(1_000..9_000_000)),
+                        ],
                     );
                 }
             }
@@ -685,7 +878,10 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
         orgs.push(ab);
         let name = pool.str(&format!("Organization {k}"));
         let city = pool.str(&format!("City {}-0-0", k % counts_countries));
-        source.insert_ok(s_org, &[ab, name, city, Value::Int(1900 + (k % 100) as i64)]);
+        source.insert_ok(
+            s_org,
+            &[ab, name, city, Value::Int(1900 + (k % 100) as i64)],
+        );
     }
     let mtypes = ["member", "observer", "applicant"];
     for k in 0..counts_members {
@@ -717,21 +913,47 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
             let name = pool.str(&format!("Airport {k}"));
             let code = pick_code(&mut rng);
             let city = pool.str(&format!("City {}-0-0", k % counts_countries));
-            source.insert_ok(s_airport, &[iata, name, code, city,
-                Value::Int(rng.gen_range(0..4_000)), Value::Int(rng.gen_range(-11..13))]);
+            source.insert_ok(
+                s_airport,
+                &[
+                    iata,
+                    name,
+                    code,
+                    city,
+                    Value::Int(rng.gen_range(0..4_000)),
+                    Value::Int(rng.gen_range(-11..13)),
+                ],
+            );
         }
         for &code in &codes {
-            source.insert_ok(s_economy, &[code,
-                Value::Int(rng.gen_range(1_000..2_000_000)), Value::Int(rng.gen_range(1..60)),
-                Value::Int(rng.gen_range(1..60)), Value::Int(rng.gen_range(1..60)),
-                Value::Int(rng.gen_range(0..25))]);
+            source.insert_ok(
+                s_economy,
+                &[
+                    code,
+                    Value::Int(rng.gen_range(1_000..2_000_000)),
+                    Value::Int(rng.gen_range(1..60)),
+                    Value::Int(rng.gen_range(1..60)),
+                    Value::Int(rng.gen_range(1..60)),
+                    Value::Int(rng.gen_range(0..25)),
+                ],
+            );
             for y in [1990i64, 2000] {
-                source.insert_ok(s_popdata, &[code, Value::Int(y),
-                    Value::Int(rng.gen_range(100_000..900_000_000)), Value::Int(rng.gen_range(-2..5))]);
+                source.insert_ok(
+                    s_popdata,
+                    &[
+                        code,
+                        Value::Int(y),
+                        Value::Int(rng.gen_range(100_000..900_000_000)),
+                        Value::Int(rng.gen_range(-2..5)),
+                    ],
+                );
             }
             let gov = pool.str(govs[(code.is_constant() as usize + rng.gen_range(0..3usize)) % 3]);
             let dep = pool.str("none");
-            source.insert_ok(s_politics, &[code, Value::Int(1800 + rng.gen_range(0..200i64)), dep, gov]);
+            source.insert_ok(
+                s_politics,
+                &[code, Value::Int(1800 + rng.gen_range(0..200i64)), dep, gov],
+            );
         }
         for k in 0..counts_geo {
             let city = pool.str(&format!("City {}-0-0", k % counts_countries));
@@ -740,10 +962,20 @@ pub fn mondial_scenario(scale: f64, seed: u64) -> RealScenario {
             let lake = pool.str(&format!("Lake {}", k % counts_geo));
             let sea = pool.str(&format!("Sea {}", k % counts_geo));
             source.insert_ok(s_located, &[city, code, river, lake, sea]);
-            source.insert_ok(s_islandin, &[pool.str(&format!("Island {k}")), river, lake, sea]);
+            source.insert_ok(
+                s_islandin,
+                &[pool.str(&format!("Island {k}")), river, lake, sea],
+            );
             source.insert_ok(s_riverthrough, &[river, lake]);
-            source.insert_ok(s_springof, &[river, code,
-                Value::Int(rng.gen_range(-180..180)), Value::Int(rng.gen_range(-90..90))]);
+            source.insert_ok(
+                s_springof,
+                &[
+                    river,
+                    code,
+                    Value::Int(rng.gen_range(-180..180)),
+                    Value::Int(rng.gen_range(-90..90)),
+                ],
+            );
             if k + 1 < counts_geo {
                 let sea2 = pool.str(&format!("Sea {}", k + 1));
                 source.insert_ok(s_merges, &[sea, sea2]);
@@ -788,8 +1020,12 @@ mod tests {
 
     #[test]
     fn real_scenarios_are_weakly_acyclic() {
-        assert!(routes_mapping::is_weakly_acyclic(&dblp_scenario(0.02, 1).scenario.mapping));
-        assert!(routes_mapping::is_weakly_acyclic(&mondial_scenario(0.02, 1).scenario.mapping));
+        assert!(routes_mapping::is_weakly_acyclic(
+            &dblp_scenario(0.02, 1).scenario.mapping
+        ));
+        assert!(routes_mapping::is_weakly_acyclic(
+            &mondial_scenario(0.02, 1).scenario.mapping
+        ));
     }
 
     #[test]

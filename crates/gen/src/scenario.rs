@@ -57,10 +57,7 @@ pub fn random_tuples(
         for &rel in rels {
             let len = u64::from(inst.rel_len(rel));
             if k < len {
-                let id = TupleId {
-                    rel,
-                    row: k as u32,
-                };
+                let id = TupleId { rel, row: k as u32 };
                 if picked.insert(id) {
                     out.push(id);
                 }

@@ -79,7 +79,14 @@ pub fn table_attrs(base: &str) -> &'static [&'static str] {
         "Partsupp" => &["partkey", "suppkey", "availqty", "supplycost"],
         "Customer" => &["custkey", "cname", "nationkey", "cacctbal"],
         "Orders" => &["orderkey", "custkey", "totalprice", "odate"],
-        "Lineitem" => &["orderkey", "linenumber", "partkey", "suppkey", "quantity", "extendedprice"],
+        "Lineitem" => &[
+            "orderkey",
+            "linenumber",
+            "partkey",
+            "suppkey",
+            "quantity",
+            "extendedprice",
+        ],
         other => panic!("unknown TPC-H table `{other}`"),
     }
 }
@@ -106,8 +113,9 @@ pub fn populate(
     seed: u64,
 ) {
     let mut rng = Rng::seed_from_u64(seed);
-    let [region, nation, supplier, part, partsupp, customer, orders, lineitem] =
-        [rels[0], rels[1], rels[2], rels[3], rels[4], rels[5], rels[6], rels[7]];
+    let [region, nation, supplier, part, partsupp, customer, orders, lineitem] = [
+        rels[0], rels[1], rels[2], rels[3], rels[4], rels[5], rels[6], rels[7],
+    ];
     let int = Value::Int;
     let region_names = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 

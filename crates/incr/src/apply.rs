@@ -176,9 +176,7 @@ pub fn apply_batch(
                     .filter_map(|v| {
                         v.iter()
                             .zip(tgd.lhs())
-                            .map(|(&row, atom)| {
-                                sdiff.old_to_new[atom.rel.0 as usize][row as usize]
-                            })
+                            .map(|(&row, atom)| sdiff.old_to_new[atom.rel.0 as usize][row as usize])
                             .collect()
                     })
                     .collect();
@@ -192,10 +190,8 @@ pub fn apply_batch(
         };
         sort_to_plan_order(&source, tgd, &mut vectors);
         match_lists.push(vectors_to_bindings(&source, tgd, &vectors));
-        next.memos.insert(
-            tgd.name().to_owned(),
-            TgdMemo { sig, vectors },
-        );
+        next.memos
+            .insert(tgd.name().to_owned(), TgdMemo { sig, vectors });
     }
 
     let start = Instant::now();
@@ -349,10 +345,7 @@ source data:
             .unwrap();
             let fresh = prepare(&apply.text);
             assert_eq!(dump(&apply.scenario), dump(&fresh), "batch {k}");
-            assert_eq!(
-                apply.scenario.chase_stats, fresh.chase_stats,
-                "batch {k}"
-            );
+            assert_eq!(apply.scenario.chase_stats, fresh.chase_stats, "batch {k}");
             assert_eq!(
                 apply.scenario.pool.num_nulls(),
                 fresh.pool.num_nulls(),

@@ -169,7 +169,9 @@ fn canon_token(token: &str) -> Option<String> {
         return Some(format!("i:{n}"));
     }
     let chars: Vec<char> = token.chars().collect();
-    if chars.len() >= 2 && (chars[0] == '\'' || chars[0] == '"') && chars[chars.len() - 1] == chars[0]
+    if chars.len() >= 2
+        && (chars[0] == '\'' || chars[0] == '"')
+        && chars[chars.len() - 1] == chars[0]
     {
         let inner: String = chars[1..chars.len() - 1].iter().collect();
         return Some(format!("s:{inner}"));
@@ -243,15 +245,17 @@ fn dependency_units(s: &Scan) -> Vec<(String, Vec<usize>)> {
             || line.starts_with('→')
             || line.starts_with('&')
             || line.starts_with('∧');
-        let prev_incomplete = units.last().is_some_and(|(prev, _): &(String, Vec<usize>)| {
-            let no_arrow = !prev.contains("->") && !prev.contains('→');
-            no_arrow
-                || prev.trim_end().ends_with('&')
-                || prev.trim_end().ends_with('∧')
-                || prev.trim_end().ends_with("->")
-                || prev.trim_end().ends_with('→')
-                || prev.trim_end().ends_with(',')
-        });
+        let prev_incomplete = units
+            .last()
+            .is_some_and(|(prev, _): &(String, Vec<usize>)| {
+                let no_arrow = !prev.contains("->") && !prev.contains('→');
+                no_arrow
+                    || prev.trim_end().ends_with('&')
+                    || prev.trim_end().ends_with('∧')
+                    || prev.trim_end().ends_with("->")
+                    || prev.trim_end().ends_with('→')
+                    || prev.trim_end().ends_with(',')
+            });
         match units.last_mut() {
             Some((prev, idxs)) if starts_continuation || prev_incomplete => {
                 prev.push(' ');
@@ -357,8 +361,7 @@ pub fn apply_edits(text: &str, ops: &[EditOp]) -> Result<(String, LoadedScenario
     }
     let mut new_text = doc.join("\n");
     new_text.push('\n');
-    let loaded =
-        load_scenario_str(&new_text).map_err(|e| EditError::Invalid(e.to_string()))?;
+    let loaded = load_scenario_str(&new_text).map_err(|e| EditError::Invalid(e.to_string()))?;
     debug_assert!(loaded.target.is_none(), "target data rejected by scan");
     Ok((new_text, loaded))
 }
@@ -392,7 +395,9 @@ source data:
         let s = loaded.mapping.source().rel_id("S").unwrap();
         assert_eq!(loaded.source.rel_len(s), 3);
         // The new row is the last one.
-        let last = loaded.source.tuple(routes_model::TupleId { rel: s, row: 2 });
+        let last = loaded
+            .source
+            .tuple(routes_model::TupleId { rel: s, row: 2 });
         assert_eq!(last[0], routes_model::Value::Int(7));
     }
 
@@ -408,7 +413,9 @@ source data:
         let s = loaded.mapping.source().rel_id("S").unwrap();
         assert_eq!(loaded.source.rel_len(s), 1);
         // Row ids shift down: S(3, 4) is now row 0.
-        let first = loaded.source.tuple(routes_model::TupleId { rel: s, row: 0 });
+        let first = loaded
+            .source
+            .tuple(routes_model::TupleId { rel: s, row: 0 });
         assert_eq!(first[0], routes_model::Value::Int(3));
     }
 
@@ -470,8 +477,7 @@ dependencies:
 source data:
   S(1, 1)
 ";
-        let (edited, loaded) =
-            apply_edits(text, &[EditOp::DropTgd { name: "m1".into() }]).unwrap();
+        let (edited, loaded) = apply_edits(text, &[EditOp::DropTgd { name: "m1".into() }]).unwrap();
         assert_eq!(loaded.mapping.st_tgds().len(), 1);
         assert_eq!(loaded.mapping.st_tgds()[0].name(), "m2");
         assert!(!edited.contains("T(x, y)"));

@@ -64,9 +64,7 @@ pub fn forest_survives(
             && !apply.touched_tgt.contains(t)
             && !apply.seed_affected.contains(t)
     };
-    let src_ok = |t: &TupleId| {
-        t.row < new_source.rel_len(t.rel) && !apply.touched_src.contains(t)
-    };
+    let src_ok = |t: &TupleId| t.row < new_source.rel_len(t.rel) && !apply.touched_src.contains(t);
     if !forest.roots.iter().all(tgt_ok) {
         return false;
     }
@@ -169,10 +167,7 @@ source data:
     fn untouched_forest_survives_and_equals_fresh_recompute() {
         let old = prepare(BASE);
         let v = old.mapping.target().rel_id("V").unwrap();
-        let v7 = old
-            .target
-            .find(v, &[routes_model::Value::Int(7)])
-            .unwrap();
+        let v7 = old.target.find(v, &[routes_model::Value::Int(7)]).unwrap();
         let forest = forest_for(&old, &[v7]);
 
         // An edit far away from M/V: insert an S row.
@@ -208,7 +203,10 @@ source data:
         let t = old.mapping.target().rel_id("T").unwrap();
         let t02 = old
             .target
-            .find(t, &[routes_model::Value::Int(0), routes_model::Value::Int(2)])
+            .find(
+                t,
+                &[routes_model::Value::Int(0), routes_model::Value::Int(2)],
+            )
             .unwrap();
         let forest = forest_for(&old, &[t02]);
 
@@ -258,10 +256,7 @@ source data:
     fn forest_whose_node_gains_a_branch_dies() {
         let old = prepare(BASE);
         let v = old.mapping.target().rel_id("V").unwrap();
-        let v7 = old
-            .target
-            .find(v, &[routes_model::Value::Int(7)])
-            .unwrap();
+        let v7 = old.target.find(v, &[routes_model::Value::Int(7)]).unwrap();
         let forest = forest_for(&old, &[v7]);
         // Inserting S(0, 9) and S(9, 2) creates the new j-match
         // S(0,9) & S(9,2) -> T(0, 2): a second branch on the *existing*
@@ -269,7 +264,10 @@ source data:
         let t = old.mapping.target().rel_id("T").unwrap();
         let t02 = old
             .target
-            .find(t, &[routes_model::Value::Int(0), routes_model::Value::Int(2)])
+            .find(
+                t,
+                &[routes_model::Value::Int(0), routes_model::Value::Int(2)],
+            )
             .unwrap();
         let forest_t = forest_for(&old, &[t02]);
         let apply = apply_batch(

@@ -111,10 +111,7 @@ pub fn is_weakly_acyclic(mapping: &SchemaMapping) -> bool {
 pub fn weak_acyclicity_violations(mapping: &SchemaMapping) -> Vec<PositionEdge> {
     let edges = position_edges(mapping);
     // Collect the distinct positions and index them.
-    let mut positions: Vec<Position> = edges
-        .iter()
-        .flat_map(|e| [e.from, e.to])
-        .collect();
+    let mut positions: Vec<Position> = edges.iter().flat_map(|e| [e.from, e.to]).collect();
     positions.sort_unstable();
     positions.dedup();
     let index = |p: Position| positions.binary_search(&p).expect("collected above");
@@ -141,9 +138,7 @@ pub fn weak_acyclicity_violations(mapping: &SchemaMapping) -> Vec<PositionEdge> 
     // A special edge p ⇒ q is on a cycle iff q reaches p (or q == p).
     edges
         .into_iter()
-        .filter(|e| {
-            e.special && (e.to == e.from || reach[index(e.to) * n + index(e.from)])
-        })
+        .filter(|e| e.special && (e.to == e.from || reach[index(e.to) * n + index(e.from)]))
         .collect()
 }
 

@@ -4,7 +4,12 @@ use routes_model::{Atom, Schema, Term, ValuePool};
 
 use crate::dep::{Egd, Tgd};
 
-fn atom_to_string(pool: &ValuePool, schema: &Schema, atom: &Atom, var_name: impl Fn(u32) -> String) -> String {
+fn atom_to_string(
+    pool: &ValuePool,
+    schema: &Schema,
+    atom: &Atom,
+    var_name: impl Fn(u32) -> String,
+) -> String {
     let mut out = String::new();
     out.push_str(schema.relation(atom.rel).name());
     out.push('(');
@@ -31,7 +36,12 @@ fn atom_to_string(pool: &ValuePool, schema: &Schema, atom: &Atom, var_name: impl
 
 /// Render a tgd as `name: lhs -> exists e1, e2: rhs` (existential clause
 /// omitted when there are no existential variables).
-pub fn tgd_to_string(pool: &ValuePool, lhs_schema: &Schema, rhs_schema: &Schema, tgd: &Tgd) -> String {
+pub fn tgd_to_string(
+    pool: &ValuePool,
+    lhs_schema: &Schema,
+    rhs_schema: &Schema,
+    tgd: &Tgd,
+) -> String {
     let var_name = |i: u32| tgd.var_name(routes_model::Var(i)).to_owned();
     let lhs = tgd
         .lhs()

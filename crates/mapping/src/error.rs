@@ -65,6 +65,29 @@ pub enum MappingError {
         /// Byte offset in the input where the error was detected.
         offset: usize,
     },
+    /// A pipeline stage header is not of the form `stage <name>:`.
+    MalformedStageHeader {
+        /// The offending header text.
+        header: String,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// Two pipeline stages share a name.
+    DuplicateStage {
+        /// The repeated stage name.
+        stage: String,
+    },
+    /// A stage's source schema is not the previous stage's target schema.
+    StageSchemaMismatch {
+        /// The stage whose source schema is incompatible.
+        stage: String,
+        /// The stage it must consume from.
+        previous: String,
+        /// The offending relation name.
+        relation: String,
+        /// What is incompatible (missing, extra, or an arity difference).
+        detail: String,
+    },
 }
 
 impl fmt::Display for MappingError {
@@ -100,6 +123,22 @@ impl fmt::Display for MappingError {
             MappingError::Parse { message, offset } => {
                 write!(f, "parse error at byte {offset}: {message}")
             }
+            MappingError::MalformedStageHeader { header, message } => {
+                write!(f, "malformed stage header `{header}`: {message}")
+            }
+            MappingError::DuplicateStage { stage } => {
+                write!(f, "duplicate stage name `{stage}`")
+            }
+            MappingError::StageSchemaMismatch {
+                stage,
+                previous,
+                relation,
+                detail,
+            } => write!(
+                f,
+                "stage `{stage}` source schema does not match stage `{previous}` target \
+                 schema: relation `{relation}` {detail}"
+            ),
         }
     }
 }

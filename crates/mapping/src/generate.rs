@@ -82,10 +82,7 @@ fn association(schema: &Schema, fks: &[ForeignKey], anchor: RelId) -> Associatio
     let mut var_names: Vec<String> = Vec::new();
     let mut rels = BTreeSet::new();
 
-    let add_atom = |rel: RelId,
-                        preset: &HashMap<u32, Var>,
-                        var_names: &mut Vec<String>|
-     -> Atom {
+    let add_atom = |rel: RelId, preset: &HashMap<u32, Var>, var_names: &mut Vec<String>| -> Atom {
         let relation = schema.relation(rel);
         let terms = (0..relation.arity() as u32)
             .map(|col| {
@@ -246,10 +243,7 @@ pub fn generate_st_tgds(
                     // Existential (possibly shared through a target fk).
                     let v = *target_var.entry(tv).or_insert_with(|| {
                         let v = Var(var_names.len() as u32);
-                        var_names.push(format!(
-                            "E_{}",
-                            ta.var_names[tv.0 as usize].to_uppercase()
-                        ));
+                        var_names.push(format!("E_{}", ta.var_names[tv.0 as usize].to_uppercase()));
                         v
                     });
                     Term::Var(v)
@@ -280,7 +274,9 @@ pub fn fk_tgds(schema: &Schema, fks: &[ForeignKey]) -> Result<Vec<Tgd>, MappingE
                 child_rel.attrs().iter().map(|a| format!("c_{a}")).collect();
             let lhs = vec![Atom::new(
                 fk.child,
-                (0..child_rel.arity() as u32).map(|c| Term::Var(Var(c))).collect(),
+                (0..child_rel.arity() as u32)
+                    .map(|c| Term::Var(Var(c)))
+                    .collect(),
             )];
             let rhs_terms = (0..parent_rel.arity() as u32)
                 .map(|col| {
@@ -288,7 +284,10 @@ pub fn fk_tgds(schema: &Schema, fks: &[ForeignKey]) -> Result<Vec<Tgd>, MappingE
                         Term::Var(Var(fk.child_cols[pos]))
                     } else {
                         let v = Var(var_names.len() as u32);
-                        var_names.push(format!("P_{}", parent_rel.attrs()[col as usize].to_uppercase()));
+                        var_names.push(format!(
+                            "P_{}",
+                            parent_rel.attrs()[col as usize].to_uppercase()
+                        ));
                         Term::Var(v)
                     }
                 })
@@ -328,14 +327,28 @@ mod tests {
         let mut s = Schema::new();
         s.rel(
             "Cards",
-            &["cardNo", "limit", "ssn", "name", "maidenName", "salary", "location"],
+            &[
+                "cardNo",
+                "limit",
+                "ssn",
+                "name",
+                "maidenName",
+                "salary",
+                "location",
+            ],
         );
         s.rel("SupplementaryCards", &["accNo", "ssn", "name", "address"]);
-        s.rel("FBAccounts", &["bankNo", "ssn", "name", "income", "address"]);
+        s.rel(
+            "FBAccounts",
+            &["bankNo", "ssn", "name", "income", "address"],
+        );
         s.rel("CreditCards", &["cardNo", "creditLimit", "custSSN"]);
         let mut t = Schema::new();
         t.rel("Accounts", &["accNo", "limit", "accHolder"]);
-        t.rel("Clients", &["ssn", "name", "maidenName", "income", "address"]);
+        t.rel(
+            "Clients",
+            &["ssn", "name", "maidenName", "income", "address"],
+        );
         (s, t)
     }
 
@@ -362,7 +375,12 @@ mod tests {
             corr(s, t, ("Cards", "salary"), ("Clients", "income")),
             corr(s, t, ("SupplementaryCards", "ssn"), ("Clients", "ssn")),
             corr(s, t, ("SupplementaryCards", "name"), ("Clients", "name")),
-            corr(s, t, ("SupplementaryCards", "address"), ("Clients", "address")),
+            corr(
+                s,
+                t,
+                ("SupplementaryCards", "address"),
+                ("Clients", "address"),
+            ),
             corr(s, t, ("FBAccounts", "ssn"), ("Clients", "ssn")),
             corr(s, t, ("FBAccounts", "name"), ("Clients", "name")),
             corr(s, t, ("FBAccounts", "income"), ("Clients", "income")),
@@ -392,7 +410,10 @@ mod tests {
         let pool = ValuePool::new();
         let text = crate::display::tgd_to_string(&pool, &t, &t, &tgds[0]);
         // m4: Accounts(a, l, s) -> exists ...: Clients(s, ...).
-        assert!(text.contains("Accounts(c_accNo, c_limit, c_accHolder)"), "{text}");
+        assert!(
+            text.contains("Accounts(c_accNo, c_limit, c_accHolder)"),
+            "{text}"
+        );
         assert!(text.contains("Clients(c_accHolder,"), "{text}");
         assert_eq!(tgds[0].existential_vars().count(), 4);
     }
@@ -417,7 +438,10 @@ mod tests {
         // LHS mentions only SupplementaryCards; RHS only Clients.
         assert!(!m2_like.contains("FBAccounts"));
         assert!(m2_like.contains("-> exists"));
-        assert!(m2_like.contains("Clients(supplementarycards_ssn, supplementarycards_name,"), "{m2_like}");
+        assert!(
+            m2_like.contains("Clients(supplementarycards_ssn, supplementarycards_name,"),
+            "{m2_like}"
+        );
     }
 
     #[test]
@@ -439,8 +463,7 @@ mod tests {
             parent_cols: vec![1],
         };
         let tfk = target_fk(&t);
-        let tgds =
-            generate_st_tgds(&s, &t, &[f1, f2], std::slice::from_ref(&tfk), &corrs).unwrap();
+        let tgds = generate_st_tgds(&s, &t, &[f1, f2], std::slice::from_ref(&tfk), &corrs).unwrap();
         let pool = ValuePool::new();
         let texts: Vec<String> = tgds
             .iter()
@@ -475,12 +498,17 @@ mod tests {
         let m1 = tgds
             .iter()
             .map(|g| crate::display::tgd_to_string(&pool, &s, &t, g))
-            .find(|x| x.starts_with("gen") && x.contains("Cards(cards_cardNo") && x.contains("Accounts("))
+            .find(|x| {
+                x.starts_with("gen") && x.contains("Cards(cards_cardNo") && x.contains("Accounts(")
+            })
             .expect("a Cards → Accounts & Clients tgd");
         assert!(m1.contains("& Clients("), "{m1}");
         // The buggy correspondence propagates: Clients.name gets the
         // maidenName variable.
-        assert!(m1.contains("Clients(cards_ssn, cards_maidenName, cards_maidenName"), "{m1}");
+        assert!(
+            m1.contains("Clients(cards_ssn, cards_maidenName, cards_maidenName"),
+            "{m1}"
+        );
     }
 
     #[test]

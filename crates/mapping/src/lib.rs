@@ -27,5 +27,8 @@ pub use display::{egd_to_string, tgd_to_string};
 pub use error::MappingError;
 pub use generate::{fk_tgds, generate_mapping, generate_st_tgds, Correspondence, ForeignKey};
 pub use mapping::SchemaMapping;
-pub use parser::{parse_dependency, parse_egd, parse_st_tgd, parse_target_tgd};
+pub use parser::{
+    check_stage_compatibility, parse_dependency, parse_egd, parse_st_tgd, parse_stage_header,
+    parse_target_tgd, validate_stage_names,
+};
 pub use satisfy::{check_mapping, check_tgd, Violation};

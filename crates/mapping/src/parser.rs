@@ -388,7 +388,9 @@ impl RawDep {
                         }
                         break;
                     }
-                    other => return p.err(format!("expected existential variable, found {other:?}")),
+                    other => {
+                        return p.err(format!("expected existential variable, found {other:?}"))
+                    }
                 }
             }
         }
@@ -470,9 +472,9 @@ impl RawDep {
             }
         };
         let build = |atoms: &[RawAtom],
-                         schema: &Schema,
-                         schema_desc: &str,
-                         var_names: &mut Vec<String>|
+                     schema: &Schema,
+                     schema_desc: &str,
+                     var_names: &mut Vec<String>|
          -> Result<Vec<Atom>, MappingError> {
             atoms
                 .iter()
@@ -529,35 +531,131 @@ impl RawDep {
                 Var((var_names.len() - 1) as u32)
             }
         };
-        let lhs: Vec<Atom> = self
-            .lhs
-            .iter()
-            .map(|a| {
-                let rel =
-                    target
-                        .rel_id(&a.rel_name)
-                        .ok_or_else(|| MappingError::UnknownRelation {
+        let lhs: Vec<Atom> =
+            self.lhs
+                .iter()
+                .map(|a| {
+                    let rel = target.rel_id(&a.rel_name).ok_or_else(|| {
+                        MappingError::UnknownRelation {
                             dep: self.name.clone(),
                             relation: a.rel_name.clone(),
                             schema: "target".into(),
-                        })?;
-                let terms = a
-                    .terms
-                    .iter()
-                    .map(|t| match t {
-                        RawTerm::Var(v) => Term::Var(resolve_var(v, &mut var_names)),
-                        RawTerm::Const(c) => Term::Const(*c),
-                    })
-                    .collect();
-                Ok(Atom::new(rel, terms))
-            })
-            .collect::<Result<_, MappingError>>()?;
+                        }
+                    })?;
+                    let terms = a
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            RawTerm::Var(v) => Term::Var(resolve_var(v, &mut var_names)),
+                            RawTerm::Const(c) => Term::Const(*c),
+                        })
+                        .collect();
+                    Ok(Atom::new(rel, terms))
+                })
+                .collect::<Result<_, MappingError>>()?;
         let vx = resolve_var(x, &mut var_names);
         let vy = resolve_var(y, &mut var_names);
         let egd = Egd::new(self.name, lhs, (vx, vy), var_names)?;
         egd.validate(target)?;
         Ok(egd)
     }
+}
+
+/// Parse a pipeline stage header of the form `stage <name>:` (the
+/// multi-stage scenario syntax). The caller decides a line *is* a stage
+/// header (its first word is `stage`, case-insensitively); this function
+/// validates the shape and returns the stage name. The name must be a bare
+/// identifier — pipeline endpoints echo it back in JSON unescaped.
+pub fn parse_stage_header(line: &str) -> Result<String, MappingError> {
+    let malformed = |message: &str| MappingError::MalformedStageHeader {
+        header: line.to_owned(),
+        message: message.to_owned(),
+    };
+    let trimmed = line.trim();
+    let rest = trimmed
+        .strip_prefix("stage")
+        .or_else(|| trimmed.strip_prefix("Stage"))
+        .or_else(|| trimmed.strip_prefix("STAGE"))
+        .ok_or_else(|| malformed("expected the keyword `stage`"))?;
+    if !rest.starts_with(char::is_whitespace) {
+        return Err(malformed("expected whitespace after `stage`"));
+    }
+    let body = rest.trim();
+    let Some(name) = body.strip_suffix(':') else {
+        return Err(malformed("expected a trailing `:`"));
+    };
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(malformed("expected a stage name before `:`"));
+    }
+    let mut chars = name.chars();
+    let head_ok = chars.next().is_some_and(|c| c.is_alphabetic() || c == '_');
+    if !head_ok || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(malformed("stage name must be a bare identifier"));
+    }
+    Ok(name.to_owned())
+}
+
+/// Reject duplicate stage names in a pipeline chain (stage names key the
+/// per-stage blocks of stitched-route answers, so they must be unique).
+pub fn validate_stage_names<S: AsRef<str>>(names: &[S]) -> Result<(), MappingError> {
+    let mut seen = std::collections::HashSet::new();
+    for name in names {
+        if !seen.insert(name.as_ref()) {
+            return Err(MappingError::DuplicateStage {
+                stage: name.as_ref().to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check that consecutive pipeline stages compose: `next_source` (the
+/// source schema of stage `stage`) must declare exactly the relations of
+/// `prev_target` (the target schema of stage `previous`), with matching
+/// arities. Relation declaration *order* may differ — the pipeline runner
+/// rebinds instances by relation name.
+pub fn check_stage_compatibility(
+    previous: &str,
+    prev_target: &Schema,
+    stage: &str,
+    next_source: &Schema,
+) -> Result<(), MappingError> {
+    let mismatch = |relation: &str, detail: String| MappingError::StageSchemaMismatch {
+        stage: stage.to_owned(),
+        previous: previous.to_owned(),
+        relation: relation.to_owned(),
+        detail,
+    };
+    for (_, rel) in prev_target.iter() {
+        match next_source.rel_id(rel.name()) {
+            None => {
+                return Err(mismatch(
+                    rel.name(),
+                    "is missing from the source schema".into(),
+                ))
+            }
+            Some(id) => {
+                let got = next_source.relation(id).arity();
+                let expected = rel.arity();
+                if got != expected {
+                    return Err(mismatch(
+                        rel.name(),
+                        format!("has arity {expected} upstream but {got} here"),
+                    ));
+                }
+            }
+        }
+    }
+    for (_, rel) in next_source.iter() {
+        if prev_target.rel_id(rel.name()).is_none() {
+            return Err(mismatch(
+                rel.name(),
+                "does not exist in the upstream target schema".into(),
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -568,12 +666,23 @@ mod tests {
         let mut s = Schema::new();
         s.rel(
             "Cards",
-            &["cardNo", "limit", "ssn", "name", "maidenName", "salary", "location"],
+            &[
+                "cardNo",
+                "limit",
+                "ssn",
+                "name",
+                "maidenName",
+                "salary",
+                "location",
+            ],
         );
         s.rel("SupplementaryCards", &["accNo", "ssn", "name", "address"]);
         let mut t = Schema::new();
         t.rel("Accounts", &["accNo", "limit", "accHolder"]);
-        t.rel("Clients", &["ssn", "name", "maidenName", "income", "address"]);
+        t.rel(
+            "Clients",
+            &["ssn", "name", "maidenName", "income", "address"],
+        );
         (s, t)
     }
 
@@ -592,7 +701,10 @@ mod tests {
         assert_eq!(tgd.lhs().len(), 1);
         assert_eq!(tgd.rhs().len(), 2);
         assert_eq!(tgd.var_count(), 8);
-        let ex: Vec<_> = tgd.existential_vars().map(|v| tgd.var_name(v).to_owned()).collect();
+        let ex: Vec<_> = tgd
+            .existential_vars()
+            .map(|v| tgd.var_name(v).to_owned())
+            .collect();
         assert_eq!(ex, ["A"]);
         // Variable `m` is repeated in Clients(s, m, m, ...).
         let clients = &tgd.rhs()[1];
@@ -636,8 +748,13 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(tt, Dependency::TargetTgd(_)));
-        let egd = parse_dependency(&s, &t, &mut pool, "Accounts(a,l,s) & Accounts(b,l2,s) -> l = l2")
-            .unwrap();
+        let egd = parse_dependency(
+            &s,
+            &t,
+            &mut pool,
+            "Accounts(a,l,s) & Accounts(b,l2,s) -> l = l2",
+        )
+        .unwrap();
         assert!(matches!(egd, Dependency::Egd(_)));
     }
 
@@ -722,5 +839,87 @@ mod tests {
         )
         .unwrap();
         assert_eq!(tgd.rhs().len(), 1);
+    }
+
+    #[test]
+    fn stage_headers_parse() {
+        assert_eq!(parse_stage_header("stage clean:").unwrap(), "clean");
+        assert_eq!(parse_stage_header("  Stage  hop_2 :  ").unwrap(), "hop_2");
+    }
+
+    #[test]
+    fn malformed_stage_headers_are_typed_errors() {
+        for bad in [
+            "stage:",         // no name
+            "stage clean",    // no colon
+            "stage one two:", // not a bare identifier
+            "stage 2fast:",   // identifier must not start with a digit
+            "stages clean:",  // keyword must be exactly `stage`
+            "stage 'x':",     // quoted names rejected
+        ] {
+            let err = parse_stage_header(bad).unwrap_err();
+            assert!(
+                matches!(err, MappingError::MalformedStageHeader { ref header, .. } if header == bad),
+                "{bad} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_stage_names_are_typed_errors() {
+        assert!(validate_stage_names(&["clean", "publish"]).is_ok());
+        let err = validate_stage_names(&["clean", "publish", "clean"]).unwrap_err();
+        assert!(matches!(err, MappingError::DuplicateStage { ref stage } if stage == "clean"));
+    }
+
+    #[test]
+    fn stage_arity_mismatches_are_typed_errors() {
+        let mut prev = Schema::new();
+        prev.rel("T", &["a", "b"]);
+        prev.rel("U", &["a"]);
+
+        // Identical relations in a different declaration order are fine.
+        let mut next = Schema::new();
+        next.rel("U", &["a"]);
+        next.rel("T", &["a", "b"]);
+        check_stage_compatibility("one", &prev, "two", &next).unwrap();
+
+        // Arity drift is a typed error naming the relation and both stages.
+        let mut narrowed = Schema::new();
+        narrowed.rel("T", &["a"]);
+        narrowed.rel("U", &["a"]);
+        let err = check_stage_compatibility("one", &prev, "two", &narrowed).unwrap_err();
+        match err {
+            MappingError::StageSchemaMismatch {
+                stage,
+                previous,
+                relation,
+                detail,
+            } => {
+                assert_eq!((stage.as_str(), previous.as_str()), ("two", "one"));
+                assert_eq!(relation, "T");
+                assert!(
+                    detail.contains("arity 2") && detail.contains('1'),
+                    "{detail}"
+                );
+            }
+            other => panic!("expected StageSchemaMismatch, got {other}"),
+        }
+
+        // A missing relation and an extra relation are both rejected.
+        let mut missing = Schema::new();
+        missing.rel("T", &["a", "b"]);
+        assert!(matches!(
+            check_stage_compatibility("one", &prev, "two", &missing),
+            Err(MappingError::StageSchemaMismatch { ref relation, .. }) if relation == "U"
+        ));
+        let mut extra = Schema::new();
+        extra.rel("T", &["a", "b"]);
+        extra.rel("U", &["a"]);
+        extra.rel("V", &["a"]);
+        assert!(matches!(
+            check_stage_compatibility("one", &prev, "two", &extra),
+            Err(MappingError::StageSchemaMismatch { ref relation, .. }) if relation == "V"
+        ));
     }
 }

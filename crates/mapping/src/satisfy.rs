@@ -149,7 +149,10 @@ mod tests {
                 assert_eq!(dep, "m");
                 assert_eq!(
                     assignment,
-                    vec![("x".to_owned(), Value::Int(1)), ("y".to_owned(), Value::Int(2))]
+                    vec![
+                        ("x".to_owned(), Value::Int(1)),
+                        ("y".to_owned(), Value::Int(2))
+                    ]
                 );
             }
             other => panic!("expected tgd violation, got {other:?}"),
@@ -180,8 +183,16 @@ mod tests {
         assert!(check_egd(&egd, &j).is_none());
         j.insert_ok(tr, &[Value::Int(1), Value::Int(3)]);
         let v = check_egd(&egd, &j).unwrap();
-        assert!(matches!(v, Violation::Egd { values: (Value::Int(2), Value::Int(3)), .. }
-            | Violation::Egd { values: (Value::Int(3), Value::Int(2)), .. }));
+        assert!(matches!(
+            v,
+            Violation::Egd {
+                values: (Value::Int(2), Value::Int(3)),
+                ..
+            } | Violation::Egd {
+                values: (Value::Int(3), Value::Int(2)),
+                ..
+            }
+        ));
     }
 
     #[test]

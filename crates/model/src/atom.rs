@@ -90,7 +90,11 @@ mod tests {
     fn atom_vars_and_arity() {
         let a = Atom::new(
             RelId(0),
-            vec![Term::Var(Var(0)), Term::Const(Value::Int(7)), Term::Var(Var(2))],
+            vec![
+                Term::Var(Var(0)),
+                Term::Const(Value::Int(7)),
+                Term::Var(Var(2)),
+            ],
         );
         assert_eq!(a.arity(), 3);
         let vars: Vec<_> = a.vars().collect();

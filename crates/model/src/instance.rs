@@ -14,10 +14,10 @@
 //! contiguous slice, and [`Instance::value_at`] reads a single cell without
 //! materializing the row.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use crate::error::ModelError;
 use crate::schema::{RelId, Schema};
@@ -250,10 +250,7 @@ impl RelData {
         // The catch-up walks the column slice directly: one contiguous
         // vector, no per-row stride arithmetic.
         for row in idx.upto..len {
-            idx.map
-                .entry(col_data[row as usize])
-                .or_default()
-                .push(row);
+            idx.map.entry(col_data[row as usize]).or_default().push(row);
         }
         idx.upto = len;
     }
@@ -322,10 +319,7 @@ impl RelData {
         for row in idx.upto..len {
             key.clear();
             key.extend(cols.iter().map(|&c| self.value(row, c as usize)));
-            idx.map
-                .entry(key.as_slice().into())
-                .or_default()
-                .push(row);
+            idx.map.entry(key.as_slice().into()).or_default().push(row);
         }
         idx.upto = len;
     }
@@ -611,9 +605,10 @@ impl Instance {
                     .map(|col| col.capacity() * std::mem::size_of::<Value>())
                     .sum();
                 let dedup: usize = r
-                    .dedup.values().map(|rows| {
-                        std::mem::size_of::<u64>()
-                            + rows.capacity() * std::mem::size_of::<u32>()
+                    .dedup
+                    .values()
+                    .map(|rows| {
+                        std::mem::size_of::<u64>() + rows.capacity() * std::mem::size_of::<u32>()
                     })
                     .sum();
                 data + dedup

@@ -159,7 +159,10 @@ impl ValuePool {
 
     /// Display adaptor: `format!("{}", pool.display(v))` renders the value.
     pub fn display(&self, v: Value) -> DisplayValue<'_> {
-        DisplayValue { pool: self, value: v }
+        DisplayValue {
+            pool: self,
+            value: v,
+        }
     }
 }
 

@@ -39,7 +39,10 @@ pub fn encode_schema(nested: &NestedSchema) -> EncodedSchema {
         attrs.extend(ty.attrs().iter().map(String::as_str));
         rel_of_type.push(schema.rel(ty.name(), &attrs));
     }
-    EncodedSchema { schema, rel_of_type }
+    EncodedSchema {
+        schema,
+        rel_of_type,
+    }
 }
 
 /// A nested instance lowered to a flat instance, with identity maps.
@@ -305,9 +308,13 @@ mod tests {
         let mut mapping =
             routes_mapping::SchemaMapping::new(enc_src.schema.clone(), enc_dst.schema.clone());
         mapping.add_st_tgd(tgd).unwrap();
-        let result =
-            routes_chase::chase(&mapping, &enc.instance, &mut pool, routes_chase::ChaseOptions::skolem())
-                .unwrap();
+        let result = routes_chase::chase(
+            &mapping,
+            &enc.instance,
+            &mut pool,
+            routes_chase::ChaseOptions::skolem(),
+        )
+        .unwrap();
         assert_eq!(result.target.total_tuples(), 3);
         let back = decode_instance(&d, &enc_dst, &result.target);
         assert_eq!(back.len(), 3);

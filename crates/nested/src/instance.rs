@@ -55,7 +55,10 @@ impl NestedInstance {
     /// Panics if the value count does not match the type's attribute count.
     pub fn add_root(&mut self, schema: &NestedSchema, ty: NodeTypeId, values: &[Value]) -> NodeId {
         assert_eq!(values.len(), schema.node_type(ty).attrs().len());
-        assert!(schema.node_type(ty).parent().is_none(), "type is not a root");
+        assert!(
+            schema.node_type(ty).parent().is_none(),
+            "type is not a root"
+        );
         self.push(Node {
             ty,
             parent: None,

@@ -123,7 +123,10 @@ impl NestedSchema {
 
     /// Maximum nesting depth (Table 1's "Nest. depth").
     pub fn max_depth(&self) -> usize {
-        self.iter().map(|(id, _)| self.depth_of(id)).max().unwrap_or(0)
+        self.iter()
+            .map(|(id, _)| self.depth_of(id))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of atomic elements (Table 1's "Atomic elems"): the attribute

@@ -25,9 +25,7 @@ pub mod trace;
 pub use log::{log, set_level, set_sink, Level, Value, LOG_ENV};
 pub use prom::{escape_help, escape_label, PromText, PROMETHEUS_CONTENT_TYPE};
 pub use trace::{
-    current, current_trace_id, record_current, scoped, set_current, slow_threshold_from_env,
-    span, ScopedCtx,
-    Span, SpanRecord, TraceCtx, TraceId, TraceIdGen, Tracer, DEFAULT_SLOW_MS,
-    DEFAULT_TRACE_SPANS, MAX_TRACE_ID_LEN, SLOW_MS_ENV, TRACE_ENV, TRACE_SEED_ENV,
-    TRACE_SPANS_ENV,
+    current, current_trace_id, record_current, scoped, set_current, slow_threshold_from_env, span,
+    ScopedCtx, Span, SpanRecord, TraceCtx, TraceId, TraceIdGen, Tracer, DEFAULT_SLOW_MS,
+    DEFAULT_TRACE_SPANS, MAX_TRACE_ID_LEN, SLOW_MS_ENV, TRACE_ENV, TRACE_SEED_ENV, TRACE_SPANS_ENV,
 };

@@ -251,7 +251,13 @@ mod tests {
     fn levels_order_parse_and_render() {
         assert!(Level::Error < Level::Warn);
         assert!(Level::Debug < Level::Trace);
-        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace] {
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
             assert_eq!(Level::parse(l.as_str()), Some(l));
             assert_eq!(Level::parse(&l.as_str().to_uppercase()), Some(l));
         }

@@ -168,10 +168,18 @@ mod tests {
     #[test]
     fn families_samples_and_labels_render() {
         let mut w = PromText::new();
-        w.family("routes_requests_total", "counter", "Total \"requests\".\nSecond line.");
+        w.family(
+            "routes_requests_total",
+            "counter",
+            "Total \"requests\".\nSecond line.",
+        );
         w.sample("routes_requests_total", &[], 42);
         w.family("routes_shard_hits_total", "counter", "Per-shard hits.");
-        w.sample("routes_shard_hits_total", &[("shard", "0"), ("mode", "a\"b")], 7);
+        w.sample(
+            "routes_shard_hits_total",
+            &[("shard", "0"), ("mode", "a\"b")],
+            7,
+        );
         let text = w.finish();
         assert_eq!(
             text,
@@ -188,7 +196,13 @@ mod tests {
     fn histograms_render_cumulative_buckets_count_and_sum() {
         let mut w = PromText::new();
         w.family("routes_lat_us", "histogram", "Latency.");
-        w.histogram("routes_lat_us", &[("phase", "chase")], &[100, 500], &[3, 2, 1], Some(900));
+        w.histogram(
+            "routes_lat_us",
+            &[("phase", "chase")],
+            &[100, 500],
+            &[3, 2, 1],
+            Some(900),
+        );
         let text = w.finish();
         assert_eq!(
             text,

@@ -259,7 +259,12 @@ impl Tracer {
             .and_then(|v| v.trim().parse::<u64>().ok())
             .unwrap_or(0);
         let off = std::env::var(TRACE_ENV)
-            .map(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "off" | "false"))
+            .map(|v| {
+                matches!(
+                    v.trim().to_ascii_lowercase().as_str(),
+                    "0" | "off" | "false"
+                )
+            })
             .unwrap_or(false);
         let mut tracer = Tracer::new(capacity, seed);
         tracer.enabled = !off;
@@ -448,7 +453,10 @@ mod tests {
 
     #[test]
     fn client_ids_are_validated_and_stored_inline() {
-        assert_eq!(TraceId::parse("abc-DEF_0.9").unwrap().as_str(), "abc-DEF_0.9");
+        assert_eq!(
+            TraceId::parse("abc-DEF_0.9").unwrap().as_str(),
+            "abc-DEF_0.9"
+        );
         assert!(TraceId::parse("").is_none());
         assert!(TraceId::parse("has space").is_none());
         assert!(TraceId::parse("quote\"").is_none());

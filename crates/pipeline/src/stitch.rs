@@ -1,0 +1,250 @@
+//! End-to-end routes through a pipeline.
+//!
+//! A route for a tuple of the final target is stitched backwards: compute a
+//! route at the last hop (paper Figure 7 via `routes_core::compute_one_route`),
+//! collect the source-side facts its s-t steps consumed, translate them to
+//! the previous hop's target tuples (the two instances differ only in
+//! relation numbering), and recurse. The result shows, hop by hop, which
+//! tgd with which assignment produced every tuple on the way from the
+//! original source to the selected tuples.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use routes_core::{compute_one_route, OneRouteError, Route, RouteError};
+use routes_model::{Side, TupleId};
+
+use crate::{source_tuple_upstream, PreparedPipeline};
+
+/// One hop of a stitched route: the tuples this hop had to justify and the
+/// route that justifies them.
+#[derive(Debug, Clone)]
+pub struct StageRoute {
+    /// Hop index (0-based).
+    pub stage: usize,
+    /// The stage's name.
+    pub name: String,
+    /// The tuples of this hop's target the route must produce: the final
+    /// selection for the last hop, otherwise the upstream images of the
+    /// source facts consumed by the next hop's route.
+    pub selection: Vec<TupleId>,
+    /// A route for `selection` in this hop's `(source, target)` pair.
+    pub route: Route,
+}
+
+/// An end-to-end route: one [`StageRoute`] per hop, in hop order.
+#[derive(Debug, Clone)]
+pub struct StitchedRoute {
+    /// Per-hop routes, index 0 = first hop.
+    pub stages: Vec<StageRoute>,
+}
+
+impl StitchedRoute {
+    /// Total satisfaction steps across all hops.
+    pub fn total_steps(&self) -> usize {
+        self.stages.iter().map(|s| s.route.len()).sum()
+    }
+
+    /// Replay every hop's route against its `(source, target)` pair
+    /// (Definition 3.3 at each hop). This is the proof obligation of a
+    /// stitched route: each hop's selection is produced by its route, and
+    /// each hop's consumed source facts are exactly what the previous hop
+    /// justified.
+    pub fn validate(&self, prepared: &PreparedPipeline) -> Result<(), RouteError> {
+        for stage in &self.stages {
+            let env = prepared.stage_env(stage.stage);
+            stage.route.validate(&env, &stage.selection)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why stitching failed.
+#[derive(Debug)]
+pub enum StitchError {
+    /// The selection was empty.
+    EmptySelection,
+    /// A hop had no route for its selection (the tuple is not derivable —
+    /// exactly the debugging signal the paper's single-hop algorithms give).
+    NoRoute {
+        /// The failing hop's name.
+        stage: String,
+        /// The underlying one-route failure.
+        source: OneRouteError,
+    },
+}
+
+impl fmt::Display for StitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StitchError::EmptySelection => write!(f, "empty selection"),
+            StitchError::NoRoute { stage, source } => {
+                write!(f, "no route at stage `{stage}`: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StitchError {}
+
+/// Stitch an end-to-end route for `selection` (tuples of the final hop's
+/// target). Deterministic: `compute_one_route` is deterministic and the
+/// per-hop upstream selections are accumulated in sorted order.
+pub fn stitch_route(
+    prepared: &PreparedPipeline,
+    selection: &[TupleId],
+) -> Result<StitchedRoute, StitchError> {
+    if selection.is_empty() {
+        return Err(StitchError::EmptySelection);
+    }
+    let hops = prepared.hops();
+    let mut stages: Vec<StageRoute> = Vec::with_capacity(hops);
+    let mut sel: Vec<TupleId> = selection.to_vec();
+    for k in (0..hops).rev() {
+        let stage = &prepared.stages[k];
+        let env = prepared.stage_env(k);
+        let route = compute_one_route(env, &sel).map_err(|source| StitchError::NoRoute {
+            stage: stage.name.clone(),
+            source,
+        })?;
+        // The source facts this hop's route consumed become the previous
+        // hop's proof obligation.
+        let mut upstream: BTreeSet<TupleId> = BTreeSet::new();
+        for step in route.steps() {
+            if let Some(facts) = step.lhs_facts(&env) {
+                for fact in facts {
+                    if fact.side == Side::Source {
+                        upstream.insert(fact.id);
+                    }
+                }
+            }
+        }
+        stages.push(StageRoute {
+            stage: k,
+            name: stage.name.clone(),
+            selection: sel.clone(),
+            route,
+        });
+        if k > 0 {
+            let source_schema = prepared.pipeline.stages()[k].mapping.source();
+            let upstream_target = prepared.pipeline.stages()[k - 1].mapping.target();
+            sel = upstream
+                .into_iter()
+                .map(|id| source_tuple_upstream(source_schema, upstream_target, id))
+                .collect();
+            sel.sort_unstable();
+        }
+    }
+    stages.reverse();
+    Ok(StitchedRoute { stages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chase_pipeline, Pipeline, PipelineStage};
+    use routes_chase::ChaseOptions;
+    use routes_mapping::{parse_dependency, SchemaMapping};
+    use routes_model::{Instance, Schema, Value, ValuePool};
+    use routes_pool::Pool;
+
+    fn three_hop(core_mode: bool) -> crate::PreparedPipeline {
+        let mut s = Schema::new();
+        s.rel("S", &["a", "b"]);
+        let mut t1 = Schema::new();
+        t1.rel("T", &["a", "b"]);
+        let mut t2 = Schema::new();
+        t2.rel("U", &["a", "b"]);
+        t2.rel("V", &["a"]);
+        let mut t3 = Schema::new();
+        t3.rel("W", &["a"]);
+        let mut pool = ValuePool::new();
+        let mk = |name: &str, src: &Schema, dst: &Schema, deps: &[&str], pool: &mut ValuePool| {
+            let mut mapping = SchemaMapping::new(src.clone(), dst.clone());
+            for dep in deps {
+                mapping
+                    .add_dependency(parse_dependency(src, dst, pool, dep).unwrap())
+                    .unwrap();
+            }
+            PipelineStage {
+                name: name.to_owned(),
+                mapping,
+            }
+        };
+        let one = mk("one", &s, &t1, &["m1: S(x, y) -> T(x, y)"], &mut pool);
+        let two = mk(
+            "two",
+            &t1,
+            &t2,
+            &[
+                "m2: T(x, y) -> exists Z: U(x, Z)",
+                "m3: T(x, y) -> U(x, y)",
+                "m4: U(x, y) -> V(x)",
+            ],
+            &mut pool,
+        );
+        let three = mk("three", &t2, &t3, &["m5: V(x) -> W(x)"], &mut pool);
+        let pipeline = Pipeline::new(vec![one, two, three], core_mode).unwrap();
+        let mut source = Instance::new(&s);
+        source.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(1), Value::Int(2)]);
+        source.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(3), Value::Int(4)]);
+        chase_pipeline(
+            pipeline,
+            source,
+            pool,
+            ChaseOptions::fresh(),
+            &Pool::sequential(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stitches_through_three_hops() {
+        let prepared = three_hop(false);
+        let final_target = &prepared.final_stage().target;
+        let w = prepared.pipeline.stages()[2]
+            .mapping
+            .target()
+            .rel_id("W")
+            .unwrap();
+        let selected: Vec<TupleId> = final_target.rel_rows(w).collect();
+        assert!(!selected.is_empty());
+        let stitched = stitch_route(&prepared, &selected).unwrap();
+        assert_eq!(stitched.stages.len(), 3);
+        stitched.validate(&prepared).unwrap();
+        // Hop order is first-to-last and hop names carry through.
+        assert_eq!(stitched.stages[0].name, "one");
+        assert_eq!(stitched.stages[2].selection, selected);
+        assert!(stitched.total_steps() >= 3);
+    }
+
+    #[test]
+    fn core_mode_shrinks_and_still_stitches() {
+        let full = three_hop(false);
+        let cored = three_hop(true);
+        let (before, after) = cored.core_shrink();
+        assert!(after < before, "core must shrink: {before} -> {after}");
+        let (fb, fa) = full.core_shrink();
+        assert_eq!(fb, fa);
+        // Every final tuple of the minimized pipeline still has a stitched,
+        // replayable route.
+        let w = cored.pipeline.stages()[2]
+            .mapping
+            .target()
+            .rel_id("W")
+            .unwrap();
+        for id in cored.final_stage().target.rel_rows(w) {
+            let stitched = stitch_route(&cored, &[id]).unwrap();
+            stitched.validate(&cored).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_selection_is_rejected() {
+        let prepared = three_hop(false);
+        assert!(matches!(
+            stitch_route(&prepared, &[]),
+            Err(StitchError::EmptySelection)
+        ));
+    }
+}

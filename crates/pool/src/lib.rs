@@ -215,7 +215,11 @@ mod tests {
                         assert!(r.start <= r.end);
                         covered.extend(r.clone());
                     }
-                    assert_eq!(covered, (0..len).collect::<Vec<_>>(), "len={len} parts={parts}");
+                    assert_eq!(
+                        covered,
+                        (0..len).collect::<Vec<_>>(),
+                        "len={len} parts={parts}"
+                    );
                     assert!(ranges.len() <= parts.max(1));
                     if len > 0 {
                         // Every chunk except possibly the only one meets the
@@ -273,9 +277,8 @@ mod tests {
             .collect();
         for threads in [1usize, 2, 3, 8] {
             let pool = Pool::new(threads);
-            let flat = pool.par_flat_map_items(&items, 1, |&x| {
-                (0..x % 3).map(|j| x * 10 + j).collect()
-            });
+            let flat =
+                pool.par_flat_map_items(&items, 1, |&x| (0..x % 3).map(|j| x * 10 + j).collect());
             assert_eq!(flat, expect, "threads={threads}");
         }
     }
@@ -284,10 +287,13 @@ mod tests {
     fn min_chunk_keeps_short_inputs_inline() {
         let pool = Pool::new(8);
         let caller = std::thread::current().id();
-        let chunks = pool.par_map_chunks(100, 1000, |_, range| {
-            (std::thread::current().id(), range)
-        });
-        assert_eq!(chunks.len(), 1, "100 items under a 1000 min_chunk is one chunk");
+        let chunks =
+            pool.par_map_chunks(100, 1000, |_, range| (std::thread::current().id(), range));
+        assert_eq!(
+            chunks.len(),
+            1,
+            "100 items under a 1000 min_chunk is one chunk"
+        );
         assert_eq!(chunks[0].0, caller, "single chunk runs on the caller");
         assert_eq!(chunks[0].1, 0..100);
     }

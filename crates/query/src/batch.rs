@@ -223,8 +223,9 @@ fn compile<'a>(
                 let probed = key_cols[0];
                 checks.retain(|&(col, _)| col != probed);
             }
-            Access::Composite => checks
-                .retain(|&(_, ch)| matches!(ch, ColCheck::Gather(_) | ColCheck::EqualNew(_))),
+            Access::Composite => {
+                checks.retain(|&(_, ch)| matches!(ch, ColCheck::Gather(_) | ColCheck::EqualNew(_)))
+            }
             Access::Scan | Access::Ablation => {}
         }
         // A new variable that occurs once needs no gather slot: its value is
@@ -356,7 +357,16 @@ impl<'a> Stage<'a> {
                 let len = inst.rel_len(atom.rel);
                 rows_probed += u64::from(len) * range.len() as u64;
                 for row in range {
-                    emit_row(rel_cols, checks, out_srcs, new_vals, input, row, 0..len, out);
+                    emit_row(
+                        rel_cols,
+                        checks,
+                        out_srcs,
+                        new_vals,
+                        input,
+                        row,
+                        0..len,
+                        out,
+                    );
                 }
             }
             Access::Single => {
@@ -858,8 +868,7 @@ mod tests {
             // once from the shared bound set.
             expected.extend(all_matches(&inst, &atoms, init));
         }
-        let order =
-            crate::plan::plan_with_bound(&inst, &atoms, seeds.bound_vars().to_vec());
+        let order = crate::plan::plan_with_bound(&inst, &atoms, seeds.bound_vars().to_vec());
         for batch_size in [1, 2, 1024] {
             let opts = BatchOptions {
                 batch_size,

@@ -188,10 +188,7 @@ impl<'a> MatchIter<'a> {
     /// positions, bind unbound variables (recorded on the trail).
     fn try_row(&mut self, depth: usize, row: u32) -> bool {
         let atom = &self.atoms[self.order[depth]];
-        let id = TupleId {
-            rel: atom.rel,
-            row,
-        };
+        let id = TupleId { rel: atom.rel, row };
         for (col, term) in atom.terms.iter().enumerate() {
             let actual = self.inst.value_at(id, col);
             match term {

@@ -83,9 +83,7 @@ pub fn plan_to_string(
             .enumerate()
             .filter_map(|(col, term)| match term {
                 Term::Const(_) => Some(format!("#{col}=const")),
-                Term::Var(v) if bound.contains(v) => {
-                    Some(format!("#{col}={}", var_name(*v)))
-                }
+                Term::Var(v) if bound.contains(v) => Some(format!("#{col}={}", var_name(*v))),
                 Term::Var(_) => None,
             })
             .collect();
@@ -94,13 +92,7 @@ pub fn plan_to_string(
             1 => format!("index probe on {}", bound_cols[0]),
             _ => format!("index probe on [{}]", bound_cols.join(", ")),
         };
-        let _ = writeln!(
-            out,
-            "  {}. {:<16} {}",
-            step + 1,
-            rel_name(atom.rel),
-            access
-        );
+        let _ = writeln!(out, "  {}. {:<16} {}", step + 1, rel_name(atom.rel), access);
         for v in atom.vars() {
             if !bound.contains(&v) {
                 bound.push(v);
@@ -191,8 +183,14 @@ mod tests {
         );
         // Small scans first (1 row), Big then probes on the bound v0.
         let lines: Vec<&str> = text.lines().collect();
-        assert!(lines[0].contains("Small") && lines[0].contains("scan (1 rows)"), "{text}");
-        assert!(lines[1].contains("Big") && lines[1].contains("index probe on #0=v0"), "{text}");
+        assert!(
+            lines[0].contains("Small") && lines[0].contains("scan (1 rows)"),
+            "{text}"
+        );
+        assert!(
+            lines[1].contains("Big") && lines[1].contains("index probe on #0=v0"),
+            "{text}"
+        );
     }
 
     #[test]

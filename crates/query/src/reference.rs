@@ -31,10 +31,7 @@ fn recurse(
     }
     let atom = &atoms[depth];
     for row in 0..inst.rel_len(atom.rel) {
-        let values = inst.tuple(TupleId {
-            rel: atom.rel,
-            row,
-        });
+        let values = inst.tuple(TupleId { rel: atom.rel, row });
         let mut bound_here = Vec::new();
         let mut ok = true;
         for (col, term) in atom.terms.iter().enumerate() {

@@ -112,10 +112,10 @@ fn planned_evaluator_matches_naive_reference() {
         let mut rng = Rng::seed_from_u64(0xD1FF + case);
         let scenario = random_scenario(&mut rng);
         let (inst, atoms, init) = build(&scenario);
-        let fast: HashSet<Bindings> =
-            all_matches(&inst, &atoms, init.clone()).into_iter().collect();
-        let slow: HashSet<Bindings> =
-            all_matches_naive(&inst, &atoms, init).into_iter().collect();
+        let fast: HashSet<Bindings> = all_matches(&inst, &atoms, init.clone())
+            .into_iter()
+            .collect();
+        let slow: HashSet<Bindings> = all_matches_naive(&inst, &atoms, init).into_iter().collect();
         assert_eq!(fast, slow, "case {case}: {scenario:?}");
     }
 }
@@ -136,8 +136,7 @@ fn composite_index_path_matches_naive_reference() {
         while let Some(b) = it.next_match() {
             fast.insert(b.clone());
         }
-        let slow: HashSet<Bindings> =
-            all_matches_naive(&inst, &atoms, init).into_iter().collect();
+        let slow: HashSet<Bindings> = all_matches_naive(&inst, &atoms, init).into_iter().collect();
         assert_eq!(fast, slow, "case {case}: {scenario:?}");
     }
 }

@@ -46,7 +46,10 @@ fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> 
     }
     let mut body = String::new();
     reader.read_to_string(&mut body).unwrap();
-    (status, routes_server::json::parse(&body).expect("JSON body"))
+    (
+        status,
+        routes_server::json::parse(&body).expect("JSON body"),
+    )
 }
 
 fn main() {
@@ -57,8 +60,10 @@ fn main() {
     let create = Json::obj([("scenario", Json::from(SCENARIO))]).encode();
     let (status, reply) = request(addr, "POST", "/sessions", &create);
     let id = reply.get("session").unwrap().as_u64().unwrap();
-    println!("POST /sessions -> {status}: session {id}, chase {}",
-        reply.get("chase").unwrap().encode());
+    println!(
+        "POST /sessions -> {status}: session {id}, chase {}",
+        reply.get("chase").unwrap().encode()
+    );
 
     let probe = r#"{"tuples": [{"relation": "History", "row": 0}]}"#;
     let (status, reply) = request(addr, "POST", &format!("/sessions/{id}/one-route"), probe);
@@ -79,7 +84,8 @@ fn main() {
         );
     }
 
-    let all = r#"{"tuples": [{"relation": "Person", "row": 0}, {"relation": "History", "row": 0}]}"#;
+    let all =
+        r#"{"tuples": [{"relation": "Person", "row": 0}, {"relation": "History", "row": 0}]}"#;
     let (_, first) = request(addr, "POST", &format!("/sessions/{id}/all-routes"), all);
     let (_, second) = request(addr, "POST", &format!("/sessions/{id}/all-routes"), all);
     println!(

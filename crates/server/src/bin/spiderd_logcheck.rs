@@ -54,6 +54,9 @@ fn main() {
 }
 
 fn fail(lineno: usize, line: &str, why: &str) -> ! {
-    eprintln!("error: stderr line {} is not a structured log line ({why}): {line}", lineno + 1);
+    eprintln!(
+        "error: stderr line {} is not a structured log line ({why}): {line}",
+        lineno + 1
+    );
     std::process::exit(1);
 }

@@ -174,7 +174,9 @@ fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, ParseError> {
     while matches!(line.last(), Some(b'\n' | b'\r')) {
         line.pop();
     }
-    String::from_utf8(line).map(Some).map_err(|_| ParseError::Malformed("non-UTF-8 header"))
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| ParseError::Malformed("non-UTF-8 header"))
 }
 
 /// Parse one request from the stream. `Err(ParseError::Eof)` signals a
@@ -183,8 +185,12 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
     let request_line = read_line(reader)?.ok_or(ParseError::Eof)?;
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or("").to_owned();
-    let target = parts.next().ok_or(ParseError::Malformed("missing request target"))?;
-    let version = parts.next().ok_or(ParseError::Malformed("missing HTTP version"))?;
+    let target = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing HTTP version"))?;
     if parts.next().is_some() {
         return Err(ParseError::Malformed("extra tokens in request line"));
     }
@@ -354,10 +360,9 @@ mod tests {
 
     #[test]
     fn parses_a_post_with_body() {
-        let req = parse_bytes(
-            b"POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
-        )
-        .unwrap();
+        let req =
+            parse_bytes(b"POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+                .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/sessions");
         assert_eq!(req.body, b"abcd");
@@ -376,10 +381,9 @@ mod tests {
 
     #[test]
     fn query_params_parse_first_match() {
-        let req = parse_bytes(
-            b"GET /trace?format=prometheus&trace_id=ab.c-1&flag HTTP/1.1\r\n\r\n",
-        )
-        .unwrap();
+        let req =
+            parse_bytes(b"GET /trace?format=prometheus&trace_id=ab.c-1&flag HTTP/1.1\r\n\r\n")
+                .unwrap();
         assert_eq!(req.query_param("format"), Some("prometheus"));
         assert_eq!(req.query_param("trace_id"), Some("ab.c-1"));
         assert_eq!(req.query_param("flag"), Some(""));
@@ -398,8 +402,14 @@ mod tests {
             (b"get /x HTTP/1.1\r\n\r\n", "lowercase method"),
             (b"GET x HTTP/1.1\r\n\r\n", "non-origin-form target"),
             (b"GET /x HTTP/1.1 junk\r\n\r\n", "extra tokens"),
-            (b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n", "header without colon"),
-            (b"GET /x HTTP/1.1\r\nContent-Length: two\r\n\r\n", "bad length"),
+            (
+                b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+                "header without colon",
+            ),
+            (
+                b"GET /x HTTP/1.1\r\nContent-Length: two\r\n\r\n",
+                "bad length",
+            ),
             (
                 b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
                 "chunked",
@@ -421,7 +431,10 @@ mod tests {
     #[test]
     fn oversized_inputs_are_rejected() {
         // Oversized declared body.
-        let big = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let big = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         assert!(matches!(
             parse_bytes(big.as_bytes()),
             Err(ParseError::TooLarge("body too large"))
@@ -521,7 +534,9 @@ mod tests {
     #[test]
     fn response_serializes_with_length() {
         let mut out = Vec::new();
-        Response::json(200, "{}".into()).write_to(&mut out, true).unwrap();
+        Response::json(200, "{}".into())
+            .write_to(&mut out, true)
+            .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 2\r\n"));

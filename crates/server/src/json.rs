@@ -62,12 +62,7 @@ impl Json {
 
     /// Build an object from pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
-        )
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
     /// Encode as compact JSON text.
@@ -346,9 +341,8 @@ impl Parser<'_> {
                                 if self.bytes[self.pos..].starts_with(b"\\u") {
                                     self.pos += 2;
                                     let lo = self.hex4()?;
-                                    let combined = 0x10000
-                                        + ((hi - 0xD800) << 10)
-                                        + lo.wrapping_sub(0xDC00);
+                                    let combined =
+                                        0x10000 + ((hi - 0xD800) << 10) + lo.wrapping_sub(0xDC00);
                                     char::from_u32(combined).unwrap_or('\u{FFFD}')
                                 } else {
                                     '\u{FFFD}'
@@ -367,10 +361,7 @@ impl Parser<'_> {
                     // is always a valid boundary walk).
                     let start = self.pos;
                     self.pos += 1;
-                    while self
-                        .peek()
-                        .is_some_and(|b| (b & 0xC0) == 0x80)
-                    {
+                    while self.peek().is_some_and(|b| (b & 0xC0) == 0x80) {
                         self.pos += 1;
                     }
                     out.push_str(
@@ -433,7 +424,10 @@ mod tests {
         let text = r#"{"a": [1, 2.5, -3], "b": {"nested": true}, "s": "x\"y\n", "n": null}"#;
         let v = parse(text).unwrap();
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
-        assert_eq!(v.get("b").unwrap().get("nested").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.get("b").unwrap().get("nested").unwrap().as_bool(),
+            Some(true)
+        );
         assert_eq!(v.get("s").unwrap().as_str(), Some("x\"y\n"));
         assert_eq!(v.get("n"), Some(&Json::Null));
         // Encode → parse is identity.
@@ -452,7 +446,15 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1 2", "{\"a\":}", "nulll",
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":}",
+            "nulll",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }

@@ -126,6 +126,18 @@ pub struct Metrics {
     pub edit_ops_applied: AtomicU64,
     pub edit_forests_kept: AtomicU64,
     pub edit_forests_invalidated: AtomicU64,
+    /// Multi-stage pipeline sessions created (subset of `sessions_created`).
+    pub pipeline_sessions_created: AtomicU64,
+    /// Stage chases run while creating pipeline sessions (hops summed).
+    pub pipeline_stage_chases: AtomicU64,
+    /// Core minimization passes run (one per hop when core mode is on).
+    pub pipeline_core_runs: AtomicU64,
+    /// Tuples removed by core minimization, summed over hops and sessions.
+    pub pipeline_core_tuples_removed: AtomicU64,
+    /// Stitched end-to-end routes answered.
+    pub pipeline_stitched_routes: AtomicU64,
+    /// Per-hop routes inside answered stitched routes (hops summed).
+    pub pipeline_stitched_hops: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     phases: [PhaseStats; Phase::ALL.len()],
 }
@@ -269,6 +281,12 @@ impl Metrics {
             edit_ops_applied: AtomicU64::new(0),
             edit_forests_kept: AtomicU64::new(0),
             edit_forests_invalidated: AtomicU64::new(0),
+            pipeline_sessions_created: AtomicU64::new(0),
+            pipeline_stage_chases: AtomicU64::new(0),
+            pipeline_core_runs: AtomicU64::new(0),
+            pipeline_core_tuples_removed: AtomicU64::new(0),
+            pipeline_stitched_routes: AtomicU64::new(0),
+            pipeline_stitched_hops: AtomicU64::new(0),
             latency: Default::default(),
             phases: Default::default(),
         }
@@ -357,19 +375,40 @@ impl Metrics {
             ("version", Json::from(env!("CARGO_PKG_VERSION"))),
             ("uptime_seconds", Json::from(self.uptime_seconds())),
             ("threads", Json::from(threads)),
-            ("requests_total", Json::from(self.requests_total.load(Relaxed))),
-            ("responses_2xx", Json::from(self.responses_2xx.load(Relaxed))),
-            ("responses_4xx", Json::from(self.responses_4xx.load(Relaxed))),
-            ("responses_5xx", Json::from(self.responses_5xx.load(Relaxed))),
+            (
+                "requests_total",
+                Json::from(self.requests_total.load(Relaxed)),
+            ),
+            (
+                "responses_2xx",
+                Json::from(self.responses_2xx.load(Relaxed)),
+            ),
+            (
+                "responses_4xx",
+                Json::from(self.responses_4xx.load(Relaxed)),
+            ),
+            (
+                "responses_5xx",
+                Json::from(self.responses_5xx.load(Relaxed)),
+            ),
             ("bad_requests", Json::from(self.bad_requests.load(Relaxed))),
             (
                 "connections_accepted",
                 Json::from(self.connections_accepted.load(Relaxed)),
             ),
             ("live_sessions", Json::from(live_sessions)),
-            ("sessions_created", Json::from(self.sessions_created.load(Relaxed))),
-            ("sessions_deleted", Json::from(self.sessions_deleted.load(Relaxed))),
-            ("sessions_evicted", Json::from(self.sessions_evicted.load(Relaxed))),
+            (
+                "sessions_created",
+                Json::from(self.sessions_created.load(Relaxed)),
+            ),
+            (
+                "sessions_deleted",
+                Json::from(self.sessions_deleted.load(Relaxed)),
+            ),
+            (
+                "sessions_evicted",
+                Json::from(self.sessions_evicted.load(Relaxed)),
+            ),
             (
                 "one_routes_computed",
                 Json::from(self.one_routes_computed.load(Relaxed)),
@@ -378,7 +417,10 @@ impl Metrics {
                 "all_routes_computed",
                 Json::from(self.all_routes_computed.load(Relaxed)),
             ),
-            ("forest_cache_hits", Json::from(self.forest_cache_hits.load(Relaxed))),
+            (
+                "forest_cache_hits",
+                Json::from(self.forest_cache_hits.load(Relaxed)),
+            ),
             (
                 "forest_cache_misses",
                 Json::from(self.forest_cache_misses.load(Relaxed)),
@@ -388,11 +430,46 @@ impl Metrics {
                 Json::obj([
                     ("applied", Json::from(self.edits_applied.load(Relaxed))),
                     ("rejected", Json::from(self.edits_rejected.load(Relaxed))),
-                    ("ops_applied", Json::from(self.edit_ops_applied.load(Relaxed))),
-                    ("forests_kept", Json::from(self.edit_forests_kept.load(Relaxed))),
+                    (
+                        "ops_applied",
+                        Json::from(self.edit_ops_applied.load(Relaxed)),
+                    ),
+                    (
+                        "forests_kept",
+                        Json::from(self.edit_forests_kept.load(Relaxed)),
+                    ),
                     (
                         "forests_invalidated",
                         Json::from(self.edit_forests_invalidated.load(Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "pipeline",
+                Json::obj([
+                    (
+                        "sessions_created",
+                        Json::from(self.pipeline_sessions_created.load(Relaxed)),
+                    ),
+                    (
+                        "stage_chases",
+                        Json::from(self.pipeline_stage_chases.load(Relaxed)),
+                    ),
+                    (
+                        "core_runs",
+                        Json::from(self.pipeline_core_runs.load(Relaxed)),
+                    ),
+                    (
+                        "core_tuples_removed",
+                        Json::from(self.pipeline_core_tuples_removed.load(Relaxed)),
+                    ),
+                    (
+                        "stitched_routes",
+                        Json::from(self.pipeline_stitched_routes.load(Relaxed)),
+                    ),
+                    (
+                        "stitched_hops",
+                        Json::from(self.pipeline_stitched_hops.load(Relaxed)),
                     ),
                 ]),
             ),
@@ -407,9 +484,15 @@ impl Metrics {
                         "queue_depth",
                         Json::from(self.admission_queue_depth.load(Relaxed)),
                     ),
-                    ("admitted", Json::from(self.admission_admitted.load(Relaxed))),
+                    (
+                        "admitted",
+                        Json::from(self.admission_admitted.load(Relaxed)),
+                    ),
                     ("shed", Json::from(self.admission_shed.load(Relaxed))),
-                    ("timeouts", Json::from(self.admission_timeouts.load(Relaxed))),
+                    (
+                        "timeouts",
+                        Json::from(self.admission_timeouts.load(Relaxed)),
+                    ),
                     ("reaped", Json::from(self.admission_reaped.load(Relaxed))),
                     (
                         "queue_wait_us",
@@ -437,26 +520,70 @@ impl Metrics {
         use routes_obs::PromText;
         let mut w = PromText::new();
 
-        w.family("routes_build_info", "gauge", "Build metadata; the value is always 1.");
-        w.sample("routes_build_info", &[("version", env!("CARGO_PKG_VERSION"))], 1);
-        w.family("routes_uptime_seconds", "gauge", "Seconds since the serving process started.");
+        w.family(
+            "routes_build_info",
+            "gauge",
+            "Build metadata; the value is always 1.",
+        );
+        w.sample(
+            "routes_build_info",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+            1,
+        );
+        w.family(
+            "routes_uptime_seconds",
+            "gauge",
+            "Seconds since the serving process started.",
+        );
         w.sample("routes_uptime_seconds", &[], self.uptime_seconds());
-        w.family("routes_threads", "gauge", "Worker pool width for parallel chase and forest construction.");
+        w.family(
+            "routes_threads",
+            "gauge",
+            "Worker pool width for parallel chase and forest construction.",
+        );
         w.sample("routes_threads", &[], threads as u64);
 
-        w.family("routes_requests_total", "counter", "Requests handled (any status).");
-        w.sample("routes_requests_total", &[], self.requests_total.load(Relaxed));
-        w.family("routes_responses_total", "counter", "Responses by status class.");
+        w.family(
+            "routes_requests_total",
+            "counter",
+            "Requests handled (any status).",
+        );
+        w.sample(
+            "routes_requests_total",
+            &[],
+            self.requests_total.load(Relaxed),
+        );
+        w.family(
+            "routes_responses_total",
+            "counter",
+            "Responses by status class.",
+        );
         for (class, counter) in [
             ("2xx", &self.responses_2xx),
             ("4xx", &self.responses_4xx),
             ("5xx", &self.responses_5xx),
         ] {
-            w.sample("routes_responses_total", &[("class", class)], counter.load(Relaxed));
+            w.sample(
+                "routes_responses_total",
+                &[("class", class)],
+                counter.load(Relaxed),
+            );
         }
-        w.family("routes_bad_requests_total", "counter", "Requests rejected before dispatch (parse errors, limits).");
-        w.sample("routes_bad_requests_total", &[], self.bad_requests.load(Relaxed));
-        w.family("routes_connections_accepted_total", "counter", "TCP connections accepted.");
+        w.family(
+            "routes_bad_requests_total",
+            "counter",
+            "Requests rejected before dispatch (parse errors, limits).",
+        );
+        w.sample(
+            "routes_bad_requests_total",
+            &[],
+            self.bad_requests.load(Relaxed),
+        );
+        w.family(
+            "routes_connections_accepted_total",
+            "counter",
+            "TCP connections accepted.",
+        );
         w.sample(
             "routes_connections_accepted_total",
             &[],
@@ -521,12 +648,28 @@ impl Metrics {
             None,
         );
 
-        w.family("routes_live_sessions", "gauge", "Sessions currently resident in the store.");
+        w.family(
+            "routes_live_sessions",
+            "gauge",
+            "Sessions currently resident in the store.",
+        );
         w.sample("routes_live_sessions", &[], store.live() as u64);
         for (name, help, counter) in [
-            ("routes_sessions_created_total", "Sessions created.", &self.sessions_created),
-            ("routes_sessions_deleted_total", "Sessions deleted by clients.", &self.sessions_deleted),
-            ("routes_sessions_evicted_total", "Sessions evicted at capacity.", &self.sessions_evicted),
+            (
+                "routes_sessions_created_total",
+                "Sessions created.",
+                &self.sessions_created,
+            ),
+            (
+                "routes_sessions_deleted_total",
+                "Sessions deleted by clients.",
+                &self.sessions_deleted,
+            ),
+            (
+                "routes_sessions_evicted_total",
+                "Sessions evicted at capacity.",
+                &self.sessions_evicted,
+            ),
             (
                 "routes_one_routes_computed_total",
                 "ComputeOneRoute invocations.",
@@ -577,6 +720,42 @@ impl Metrics {
             w.sample(name, &[], counter.load(Relaxed));
         }
 
+        for (name, help, counter) in [
+            (
+                "routes_pipeline_sessions_created_total",
+                "Multi-stage pipeline sessions created.",
+                &self.pipeline_sessions_created,
+            ),
+            (
+                "routes_pipeline_stage_chases_total",
+                "Stage chases run while creating pipeline sessions.",
+                &self.pipeline_stage_chases,
+            ),
+            (
+                "routes_pipeline_core_runs_total",
+                "Core minimization passes run on chased stage instances.",
+                &self.pipeline_core_runs,
+            ),
+            (
+                "routes_pipeline_core_tuples_removed_total",
+                "Tuples removed by core minimization.",
+                &self.pipeline_core_tuples_removed,
+            ),
+            (
+                "routes_pipeline_stitched_routes_total",
+                "Stitched end-to-end routes answered.",
+                &self.pipeline_stitched_routes,
+            ),
+            (
+                "routes_pipeline_stitched_hops_total",
+                "Per-hop routes inside answered stitched routes.",
+                &self.pipeline_stitched_hops,
+            ),
+        ] {
+            w.family(name, "counter", help);
+            w.sample(name, &[], counter.load(Relaxed));
+        }
+
         for (name, help, value) in [
             (
                 "routes_join_batches_total",
@@ -614,7 +793,13 @@ impl Metrics {
             "histogram",
             "Whole-request latency in microseconds.",
         );
-        w.histogram("routes_request_latency_us", &[], &LATENCY_BUCKETS_US, &latency, None);
+        w.histogram(
+            "routes_request_latency_us",
+            &[],
+            &LATENCY_BUCKETS_US,
+            &latency,
+            None,
+        );
         w.family(
             "routes_phase_latency_us",
             "histogram",
@@ -631,16 +816,48 @@ impl Metrics {
             );
         }
 
-        w.family("routes_session_store_capacity", "gauge", "Session-store capacity (sessions).");
+        w.family(
+            "routes_session_store_capacity",
+            "gauge",
+            "Session-store capacity (sessions).",
+        );
         w.sample("routes_session_store_capacity", &[], store.capacity as u64);
-        w.family("routes_session_store_shards", "gauge", "Session-store shard count.");
-        w.sample("routes_session_store_shards", &[], store.shards.len() as u64);
+        w.family(
+            "routes_session_store_shards",
+            "gauge",
+            "Session-store shard count.",
+        );
+        w.sample(
+            "routes_session_store_shards",
+            &[],
+            store.shards.len() as u64,
+        );
         for (name, help, value) in [
-            ("routes_session_store_hits_total", "Store-wide lookup hits.", store.hits()),
-            ("routes_session_store_misses_total", "Store-wide lookup misses.", store.misses()),
-            ("routes_session_store_inserts_total", "Store-wide inserts.", store.inserts()),
-            ("routes_session_store_removes_total", "Store-wide removes.", store.removes()),
-            ("routes_session_store_evictions_total", "Store-wide evictions.", store.evictions()),
+            (
+                "routes_session_store_hits_total",
+                "Store-wide lookup hits.",
+                store.hits(),
+            ),
+            (
+                "routes_session_store_misses_total",
+                "Store-wide lookup misses.",
+                store.misses(),
+            ),
+            (
+                "routes_session_store_inserts_total",
+                "Store-wide inserts.",
+                store.inserts(),
+            ),
+            (
+                "routes_session_store_removes_total",
+                "Store-wide removes.",
+                store.removes(),
+            ),
+            (
+                "routes_session_store_evictions_total",
+                "Store-wide evictions.",
+                store.evictions(),
+            ),
             (
                 "routes_session_store_evict_scan_steps_total",
                 "Entries examined while hunting eviction victims.",
@@ -656,7 +873,11 @@ impl Metrics {
             w.sample(name, &[], value);
         }
 
-        w.family("routes_session_shard_sessions", "gauge", "Sessions resident per shard.");
+        w.family(
+            "routes_session_shard_sessions",
+            "gauge",
+            "Sessions resident per shard.",
+        );
         let shard_labels: Vec<String> = (0..store.shards.len()).map(|i| i.to_string()).collect();
         for (i, shard) in store.shards.iter().enumerate() {
             w.sample(
@@ -665,7 +886,11 @@ impl Metrics {
                 shard.sessions as u64,
             );
         }
-        w.family("routes_session_shard_capacity", "gauge", "Per-shard session capacity.");
+        w.family(
+            "routes_session_shard_capacity",
+            "gauge",
+            "Per-shard session capacity.",
+        );
         for (i, shard) in store.shards.iter().enumerate() {
             w.sample(
                 "routes_session_shard_capacity",
@@ -675,11 +900,31 @@ impl Metrics {
         }
         type ShardField = fn(&ShardSnapshot) -> u64;
         let shard_counters: [(&str, &str, ShardField); 8] = [
-            ("routes_session_shard_hits_total", "Per-shard lookup hits.", |s| s.hits),
-            ("routes_session_shard_misses_total", "Per-shard lookup misses.", |s| s.misses),
-            ("routes_session_shard_inserts_total", "Per-shard inserts.", |s| s.inserts),
-            ("routes_session_shard_removes_total", "Per-shard removes.", |s| s.removes),
-            ("routes_session_shard_evictions_total", "Per-shard evictions.", |s| s.evictions),
+            (
+                "routes_session_shard_hits_total",
+                "Per-shard lookup hits.",
+                |s| s.hits,
+            ),
+            (
+                "routes_session_shard_misses_total",
+                "Per-shard lookup misses.",
+                |s| s.misses,
+            ),
+            (
+                "routes_session_shard_inserts_total",
+                "Per-shard inserts.",
+                |s| s.inserts,
+            ),
+            (
+                "routes_session_shard_removes_total",
+                "Per-shard removes.",
+                |s| s.removes,
+            ),
+            (
+                "routes_session_shard_evictions_total",
+                "Per-shard evictions.",
+                |s| s.evictions,
+            ),
             (
                 "routes_session_shard_demotions_total",
                 "Segmented-LRU demotions from protected to probation.",
@@ -723,18 +968,34 @@ impl Metrics {
         }
 
         if let Some(p) = persist {
-            w.family("routes_wal_generation", "gauge", "Current WAL generation number.");
+            w.family(
+                "routes_wal_generation",
+                "gauge",
+                "Current WAL generation number.",
+            );
             w.sample("routes_wal_generation", &[], p.wal_gen);
             for (name, help, value) in [
-                ("routes_wal_appends_total", "WAL records appended.", p.wal_appends),
+                (
+                    "routes_wal_appends_total",
+                    "WAL records appended.",
+                    p.wal_appends,
+                ),
                 ("routes_wal_bytes_total", "WAL bytes written.", p.wal_bytes),
-                ("routes_fsync_batches_total", "Group-commit fsync batches.", p.fsync_batches),
+                (
+                    "routes_fsync_batches_total",
+                    "Group-commit fsync batches.",
+                    p.fsync_batches,
+                ),
                 (
                     "routes_fsync_records_total",
                     "WAL records made durable by fsync batches.",
                     p.fsync_records,
                 ),
-                ("routes_snapshots_written_total", "Checkpoint snapshots written.", p.snapshots_written),
+                (
+                    "routes_snapshots_written_total",
+                    "Checkpoint snapshots written.",
+                    p.snapshots_written,
+                ),
             ] {
                 w.family(name, "counter", help);
                 w.sample(name, &[], value);
@@ -773,7 +1034,11 @@ impl Metrics {
                 "Sessions restored during the last recovery.",
             );
             w.sample("routes_wal_restored_sessions", &[], p.restored_sessions);
-            w.family("routes_recovery_us", "gauge", "Wall time of the last recovery in microseconds.");
+            w.family(
+                "routes_recovery_us",
+                "gauge",
+                "Wall time of the last recovery in microseconds.",
+            );
             w.sample("routes_recovery_us", &[], p.recovery_us);
         }
 
@@ -808,7 +1073,10 @@ mod tests {
         assert_eq!(snapshot.get("threads").unwrap().as_u64(), Some(2));
         let hist = snapshot.get("latency_us").unwrap().as_array().unwrap();
         assert_eq!(hist.len(), LATENCY_BUCKETS_US.len() + 1);
-        let total: u64 = hist.iter().map(|b| b.get("count").unwrap().as_u64().unwrap()).sum();
+        let total: u64 = hist
+            .iter()
+            .map(|b| b.get("count").unwrap().as_u64().unwrap())
+            .sum();
         assert_eq!(total, 4);
         // The 5 s response falls in the unbounded bucket.
         assert_eq!(hist.last().unwrap().get("count").unwrap().as_u64(), Some(1));
@@ -823,9 +1091,8 @@ mod tests {
 
         let text = "source schema:\n  S(a)\ntarget schema:\n  T(a)\n\
                     dependencies:\n  m: S(x) -> T(x)\nsource data:\n  S(1)\n";
-        let scenario = || {
-            prepare_scenario(load_scenario_str(text).unwrap(), ChaseOptions::fresh()).unwrap()
-        };
+        let scenario =
+            || prepare_scenario(load_scenario_str(text).unwrap(), ChaseOptions::fresh()).unwrap();
         let store = SessionStore::with_shards(4, 2);
         let workers = Pool::sequential();
         let (a, _) = store.insert(scenario(), &workers);

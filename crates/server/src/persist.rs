@@ -34,11 +34,14 @@ use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use routes_chase::ChaseOptions;
-use routes_cli::{load_scenario_str, prepare_scenario_with, PreparedScenario};
+use routes_cli::{
+    is_pipeline_scenario, load_pipeline_str, load_scenario_str, prepare_pipeline,
+    prepare_scenario_with,
+};
 use routes_pool::Pool;
 use routes_store::{ChaseMode, Durability, PersistMetrics, Record, StoreDir, Wal};
 
-use crate::session::SessionStore;
+use crate::session::{PreparedSession, SessionStore};
 
 /// Environment variable naming the data directory (`--data-dir` wins).
 pub const DATA_DIR_ENV: &str = "ROUTES_DATA_DIR";
@@ -77,15 +80,23 @@ pub struct Persistence {
 
 /// Re-prepare a persisted `(text, chase-mode)` pair: the deterministic
 /// chase reproduces the solution `J` exactly, so nothing else was stored.
+/// Pipeline scenarios re-chase the full stage chain (core mode rides in
+/// the text's `pipeline:` section, so no extra codec state is needed).
 /// `None` (text no longer loads/chases — impossible without version skew)
 /// drops the session rather than failing recovery.
-fn reprepare(text: &str, chase: ChaseMode, pool: &Pool) -> Option<PreparedScenario> {
+fn reprepare(text: &str, chase: ChaseMode, pool: &Pool) -> Option<PreparedSession> {
     let options = match chase {
         ChaseMode::Fresh => ChaseOptions::fresh(),
         ChaseMode::Skolem => ChaseOptions::skolem(),
     };
+    if is_pipeline_scenario(text) {
+        let loaded = load_pipeline_str(text).ok()?;
+        let (scenario, pipeline) = prepare_pipeline(loaded, options, pool).ok()?;
+        return Some((scenario, Some(Arc::new(pipeline))));
+    }
     let loaded = load_scenario_str(text).ok()?;
-    prepare_scenario_with(loaded, options, pool).ok()
+    let scenario = prepare_scenario_with(loaded, options, pool).ok()?;
+    Some((scenario, None))
 }
 
 impl Persistence {
@@ -119,9 +130,10 @@ impl Persistence {
         metrics
             .restored_sessions
             .store(report.restored_sessions as u64, Relaxed);
-        metrics
-            .recovery_us
-            .store(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64, Relaxed);
+        metrics.recovery_us.store(
+            started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            Relaxed,
+        );
         Ok((
             Persistence {
                 dir,
@@ -161,7 +173,9 @@ impl Persistence {
         let mut wal = self.wal.write().unwrap_or_else(|e| e.into_inner());
         let state = store.persist_state(pool);
         let new_gen = self.metrics.wal_gen.load(Relaxed) + 1;
-        *wal = self.dir.checkpoint(&state, new_gen, Arc::clone(&self.metrics))?;
+        *wal = self
+            .dir
+            .checkpoint(&state, new_gen, Arc::clone(&self.metrics))?;
         Ok(())
     }
 
@@ -202,10 +216,9 @@ mod tests {
         // First life: create two sessions, touch one, delete the other.
         {
             let store = SessionStore::with_shards(8, 2);
-            let (persist, report) =
-                Persistence::open(tmp.path(), &store, &workers).expect("open");
+            let (persist, report) = Persistence::open(tmp.path(), &store, &workers).expect("open");
             assert_eq!(report.restored_sessions, 0);
-            let prepared = reprepare(SCENARIO, ChaseMode::Fresh, &workers).expect("prepare");
+            let (prepared, _) = reprepare(SCENARIO, ChaseMode::Fresh, &workers).expect("prepare");
             let origin = crate::session::SessionOrigin {
                 chase: ChaseMode::Fresh,
                 text: Arc::from(SCENARIO),
@@ -254,7 +267,7 @@ mod tests {
         {
             let store = SessionStore::with_shards(8, 4);
             let (persist, _) = Persistence::open(tmp.path(), &store, &workers).expect("open");
-            let prepared = reprepare(SCENARIO, ChaseMode::Skolem, &workers).expect("prepare");
+            let (prepared, _) = reprepare(SCENARIO, ChaseMode::Skolem, &workers).expect("prepare");
             let origin = crate::session::SessionOrigin {
                 chase: ChaseMode::Skolem,
                 text: Arc::from(SCENARIO),

@@ -34,9 +34,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use routes_chase::{ChaseOptions, ChaseStats};
-use routes_cli::{load_scenario_str, prepare_scenario_with};
+use routes_cli::{
+    is_pipeline_scenario, load_pipeline_str, load_scenario_str, prepare_pipeline,
+    prepare_scenario_with,
+};
 use routes_core::{compute_one_route, ForestView, RouteForest, RouteView, StepView, TupleRef};
 use routes_model::TupleId;
+use routes_pipeline::{stitch_route, StitchError};
 use routes_pool::Pool;
 
 use routes_store::{ChaseMode, Durability, EditOp, Record};
@@ -82,11 +86,7 @@ impl App {
 
     /// [`App::with_store`] plus an (already-recovered) persistence handle;
     /// tracing and the slow-request threshold come from the environment.
-    pub fn with_persistence(
-        store: SessionStore,
-        pool: Pool,
-        persist: Option<Persistence>,
-    ) -> Self {
+    pub fn with_persistence(store: SessionStore, pool: Pool, persist: Option<Persistence>) -> Self {
         App::with_observability(
             store,
             pool,
@@ -171,7 +171,10 @@ impl App {
                 &[
                     ("method", routes_obs::Value::from(req.method.as_str())),
                     ("path", routes_obs::Value::from(req.path.as_str())),
-                    ("status", routes_obs::Value::from(u64::from(response.status))),
+                    (
+                        "status",
+                        routes_obs::Value::from(u64::from(response.status)),
+                    ),
                     ("elapsed_us", routes_obs::Value::from(elapsed_us)),
                     (
                         "threshold_ms",
@@ -188,7 +191,10 @@ impl App {
                 &[
                     ("method", routes_obs::Value::from(req.method.as_str())),
                     ("path", routes_obs::Value::from(req.path.as_str())),
-                    ("status", routes_obs::Value::from(u64::from(response.status))),
+                    (
+                        "status",
+                        routes_obs::Value::from(u64::from(response.status)),
+                    ),
                     ("elapsed_us", routes_obs::Value::from(elapsed_us)),
                 ],
             );
@@ -211,6 +217,9 @@ impl App {
             ("POST", ["sessions", id, "all-routes"]) => {
                 self.with_session(id, |s| self.all_routes(&s, req))
             }
+            ("POST", ["sessions", id, "stitched-route"]) => {
+                self.with_session(id, |s| self.stitched_route(&s, req))
+            }
             ("GET", ["metrics"]) => self.metrics_response(req),
             ("GET", ["healthz"]) => {
                 // Liveness probe: touches no session-store shard lock and no
@@ -228,11 +237,14 @@ impl App {
             ("GET", ["trace"]) => self.trace_dump(req),
             ("POST", ["shutdown"]) => {
                 self.shutdown.store(true, Relaxed);
-                Response::json(200, Json::obj([("shutting_down", Json::Bool(true))]).encode())
+                Response::json(
+                    200,
+                    Json::obj([("shutting_down", Json::Bool(true))]).encode(),
+                )
             }
             (_, ["sessions"]) => method_not_allowed("POST"),
             (_, ["sessions", _]) => method_not_allowed("GET, DELETE"),
-            (_, ["sessions", _, "edit" | "one-route" | "all-routes"]) => {
+            (_, ["sessions", _, "edit" | "one-route" | "all-routes" | "stitched-route"]) => {
                 method_not_allowed("POST")
             }
             (_, ["metrics"]) | (_, ["healthz"]) | (_, ["trace"]) => method_not_allowed("GET"),
@@ -261,17 +273,10 @@ impl App {
         let persist = self.persist.as_ref().map(|p| p.metrics.snapshot());
         let join = routes_model::joinstats::snapshot();
         if prometheus {
-            let text = self.metrics.to_prometheus(
-                &store,
-                persist.as_ref(),
-                &join,
-                self.pool.threads(),
-            );
-            Response::with_content_type(
-                200,
-                text.into_bytes(),
-                routes_obs::PROMETHEUS_CONTENT_TYPE,
-            )
+            let text =
+                self.metrics
+                    .to_prometheus(&store, persist.as_ref(), &join, self.pool.threads());
+            Response::with_content_type(200, text.into_bytes(), routes_obs::PROMETHEUS_CONTENT_TYPE)
         } else {
             Response::json(
                 200,
@@ -353,6 +358,9 @@ impl App {
             ChaseMode::Fresh => ChaseOptions::fresh(),
             ChaseMode::Skolem => ChaseOptions::skolem(),
         };
+        if is_pipeline_scenario(text) {
+            return self.create_pipeline_session(text, chase_mode, options);
+        }
         let loaded = match load_scenario_str(text) {
             Ok(l) => l,
             Err(e) => return Response::error(422, &format!("scenario does not load: {e}")),
@@ -409,6 +417,182 @@ impl App {
             ])
             .encode(),
         )
+    }
+
+    /// The pipeline arm of `POST /sessions`: chase the stage chain (core
+    /// minimization per hop when the text asked for it), store the final
+    /// hop as the session's flat view, and keep the full chain for
+    /// stitched end-to-end routes. Load and chase failures answer 422
+    /// exactly like the flat path; the WAL record is unchanged (`(text,
+    /// chase)` replays the whole chain, core mode included).
+    fn create_pipeline_session(
+        &self,
+        text: &str,
+        chase_mode: ChaseMode,
+        options: ChaseOptions,
+    ) -> Response {
+        let loaded = match load_pipeline_str(text) {
+            Ok(l) => l,
+            Err(e) => return Response::error(422, &format!("scenario does not load: {e}")),
+        };
+        let (scenario, pipeline) = {
+            let _span = routes_obs::span("chase");
+            match prepare_pipeline(loaded, options, &self.pool) {
+                Ok(p) => p,
+                Err(e) => return Response::error(422, &format!("chase failed: {e}")),
+            }
+        };
+        self.metrics.record_phase(Phase::Chase, pipeline.chase_wall);
+        let hops = pipeline.hops();
+        let core_mode = pipeline.pipeline.core_mode();
+        let (core_before, core_after) = pipeline.core_shrink();
+        let stage_names: Vec<Json> = pipeline
+            .stages
+            .iter()
+            .map(|s| Json::from(s.name.as_str()))
+            .collect();
+        let weakly_acyclic = pipeline.weakly_acyclic;
+        let stats = scenario.chase_stats;
+        let source_tuples = scenario.source.total_tuples();
+        let target_tuples = scenario.target.total_tuples();
+        let origin = SessionOrigin {
+            chase: chase_mode,
+            text: std::sync::Arc::from(text),
+        };
+        let (id, evicted) =
+            self.store
+                .insert_prepared(scenario, Some(Arc::new(pipeline)), origin, &self.pool);
+        for &gone in &evicted {
+            self.log_relaxed(Record::Evict { id: gone });
+        }
+        if let Err(e) = self.log_synced(Record::Create {
+            id,
+            chase: chase_mode,
+            scenario: text.to_owned(),
+        }) {
+            self.store.remove(id);
+            return Response::error(500, &format!("session not persisted: {e}"));
+        }
+        self.metrics.sessions_created.fetch_add(1, Relaxed);
+        self.metrics
+            .sessions_evicted
+            .fetch_add(evicted.len() as u64, Relaxed);
+        self.metrics.pipeline_sessions_created.fetch_add(1, Relaxed);
+        self.metrics
+            .pipeline_stage_chases
+            .fetch_add(hops as u64, Relaxed);
+        if core_mode {
+            self.metrics
+                .pipeline_core_runs
+                .fetch_add(hops as u64, Relaxed);
+            self.metrics
+                .pipeline_core_tuples_removed
+                .fetch_add((core_before - core_after) as u64, Relaxed);
+        }
+        Response::json(
+            201,
+            Json::obj([
+                ("session", Json::from(id)),
+                ("source_tuples", Json::from(source_tuples)),
+                ("target_tuples", Json::from(target_tuples)),
+                ("weakly_acyclic", Json::from(weakly_acyclic)),
+                ("chase", stats.map_or(Json::Null, |s| chase_stats_json(&s))),
+                (
+                    "pipeline",
+                    Json::obj([
+                        ("hops", Json::from(hops)),
+                        ("stages", Json::Array(stage_names)),
+                        ("core", Json::from(core_mode)),
+                        ("core_tuples_before", Json::from(core_before)),
+                        ("core_tuples_after", Json::from(core_after)),
+                    ]),
+                ),
+                (
+                    "evicted",
+                    Json::Array(evicted.into_iter().map(Json::from).collect()),
+                ),
+            ])
+            .encode(),
+        )
+    }
+
+    /// `POST /sessions/{id}/stitched-route`: an end-to-end route for
+    /// tuples of the final hop's target, hop by hop from the original
+    /// source. 409 on non-pipeline sessions. Every answered route is
+    /// replayed per-hop (Definition 3.3 at each stage) before the client
+    /// sees it, exactly like `one-route`.
+    fn stitched_route(&self, session: &Session, req: &Request) -> Response {
+        let Some(pipeline) = session.pipeline() else {
+            return Response::error(409, "session is not a pipeline (no stages to stitch)");
+        };
+        let selected = match parse_selection(session, req) {
+            Ok(sel) => sel,
+            Err(resp) => return resp,
+        };
+        let route_start = Instant::now();
+        let route_span = routes_obs::span("route");
+        let stitched = match stitch_route(pipeline, &selected) {
+            Ok(s) => s,
+            Err(StitchError::EmptySelection) => {
+                return Response::error(422, "select at least one tuple")
+            }
+            Err(StitchError::NoRoute { stage, source }) => {
+                drop(route_span);
+                self.metrics
+                    .record_phase(Phase::Route, route_start.elapsed());
+                // Like one-route's no_route: an unroutable tuple is a
+                // debugging answer, not a client error.
+                return Response::json(
+                    200,
+                    Json::obj([
+                        ("found", Json::Bool(false)),
+                        ("stage", Json::from(stage.as_str())),
+                        ("no_route", Json::from(source.to_string())),
+                    ])
+                    .encode(),
+                );
+            }
+        };
+        if let Err(e) = stitched.validate(pipeline) {
+            return Response::error(500, &format!("stitched route failed replay: {e}"));
+        }
+        drop(route_span);
+        self.metrics
+            .record_phase(Phase::Route, route_start.elapsed());
+        self.metrics.pipeline_stitched_routes.fetch_add(1, Relaxed);
+        self.metrics
+            .pipeline_stitched_hops
+            .fetch_add(stitched.stages.len() as u64, Relaxed);
+        let print_start = Instant::now();
+        let _print_span = routes_obs::span("print");
+        let stages: Vec<Json> = stitched
+            .stages
+            .iter()
+            .map(|stage| {
+                let env = pipeline.stage_env(stage.stage);
+                let view = RouteView::build(&pipeline.pool, &env, &stage.route);
+                Json::obj([
+                    ("stage", Json::from(stage.stage)),
+                    ("name", Json::from(stage.name.as_str())),
+                    ("selection", Json::from(stage.selection.len())),
+                    ("steps", Json::Array(route_steps_json(&view))),
+                ])
+            })
+            .collect();
+        let response = Response::json(
+            200,
+            Json::obj([
+                ("found", Json::Bool(true)),
+                ("validated", Json::Bool(true)),
+                ("hops", Json::from(stitched.stages.len())),
+                ("total_steps", Json::from(stitched.total_steps())),
+                ("stages", Json::Array(stages)),
+            ])
+            .encode(),
+        );
+        self.metrics
+            .record_phase(Phase::Print, print_start.elapsed());
+        response
     }
 
     fn delete_session(&self, id: &str) -> Response {
@@ -475,6 +659,12 @@ impl App {
             // no canonical scenario text to edit.
             return Response::error(409, "session has no scenario text to edit");
         };
+        if session.pipeline().is_some() {
+            // The delta-chase edits one mapping; re-deriving every later
+            // hop of a chain is a full re-create, not an edit.
+            self.metrics.edits_rejected.fetch_add(1, Relaxed);
+            return Response::error(409, "pipeline sessions do not support edits");
+        }
         let options = match origin.chase {
             ChaseMode::Fresh => ChaseOptions::fresh(),
             ChaseMode::Skolem => ChaseOptions::skolem(),
@@ -526,13 +716,8 @@ impl App {
         let (memo_hits, memo_misses) = (apply.memo_hits, apply.memo_misses);
         let mapping_changed = apply.mapping_changed;
         let (source_inserted, source_deleted) = (apply.source_inserted, apply.source_deleted);
-        let replacement = Arc::new(session.edited(
-            apply.scenario,
-            new_origin,
-            new_seq,
-            apply.state,
-            survivors,
-        ));
+        let replacement =
+            Arc::new(session.edited(apply.scenario, new_origin, new_seq, apply.state, survivors));
         if !self.store.replace(id, replacement) {
             // A concurrent DELETE (or eviction) won while we were chasing.
             return Response::error(404, "no such session");
@@ -633,7 +818,8 @@ impl App {
                     }
                 };
                 drop(route_span);
-                self.metrics.record_phase(Phase::Route, route_start.elapsed());
+                self.metrics
+                    .record_phase(Phase::Route, route_start.elapsed());
                 let print_start = Instant::now();
                 let print_span = routes_obs::span("print");
                 let view = RouteView::build(&session.scenario.pool, &env, &route);
@@ -643,20 +829,19 @@ impl App {
                         ("found", Json::Bool(true)),
                         ("validated", Json::Bool(true)),
                         ("produced_tuples", Json::from(produced.len())),
-                        (
-                            "steps",
-                            Json::Array(route_steps_json(&view)),
-                        ),
+                        ("steps", Json::Array(route_steps_json(&view))),
                     ])
                     .encode(),
                 );
                 drop(print_span);
-                self.metrics.record_phase(Phase::Print, print_start.elapsed());
+                self.metrics
+                    .record_phase(Phase::Print, print_start.elapsed());
                 response
             }
             Err(e) => {
                 drop(route_span);
-                self.metrics.record_phase(Phase::Route, route_start.elapsed());
+                self.metrics
+                    .record_phase(Phase::Route, route_start.elapsed());
                 // "No route" is a debugging *answer* (the paper's unroutable
                 // tuples), not a client error.
                 let pool = &session.scenario.pool;
@@ -747,9 +932,7 @@ impl App {
                                     ("tuple", tuple_ref_json(&n.tuple)),
                                     (
                                         "branches",
-                                        Json::Array(
-                                            n.branches.iter().map(step_json).collect(),
-                                        ),
+                                        Json::Array(n.branches.iter().map(step_json).collect()),
                                     ),
                                 ])
                             })
@@ -759,7 +942,8 @@ impl App {
             ])
             .encode(),
         );
-        self.metrics.record_phase(Phase::Print, print_start.elapsed());
+        self.metrics
+            .record_phase(Phase::Print, print_start.elapsed());
         response
     }
 }

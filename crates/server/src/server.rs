@@ -438,7 +438,11 @@ fn shed(pending: Pending, app: &Arc<App>, limits: &Limits) {
     response.set_header("retry-after", retry_secs.to_string());
     response.set_header("x-trace-id", ctx.id().as_str().to_owned());
     app.metrics.record_response(429, Duration::ZERO);
-    ctx.record("admission_shed", pending.enqueued, pending.enqueued.elapsed());
+    ctx.record(
+        "admission_shed",
+        pending.enqueued,
+        pending.enqueued.elapsed(),
+    );
     routes_obs::log(
         routes_obs::Level::Debug,
         "admission_shed",
@@ -602,7 +606,10 @@ fn serve_connection(stream: TcpStream, app: &Arc<App>, limits: &Limits) {
                         (
                             "deadline_ms",
                             routes_obs::Value::from(
-                                limits.request_deadline.as_millis().min(u128::from(u64::MAX))
+                                limits
+                                    .request_deadline
+                                    .as_millis()
+                                    .min(u128::from(u64::MAX))
                                     as u64,
                             ),
                         ),

@@ -73,8 +73,11 @@ use routes_cli::PreparedScenario;
 use routes_core::{RouteEnv, RouteForest};
 use routes_incr::IncrState;
 use routes_model::{RelId, TupleId};
+use routes_pipeline::PreparedPipeline;
 use routes_pool::Pool;
-use routes_store::{ChaseMode, PersistedEntry, PersistedShard, Record, SelectionKey, SnapshotState};
+use routes_store::{
+    ChaseMode, PersistedEntry, PersistedShard, Record, SelectionKey, SnapshotState,
+};
 
 /// Environment variable overriding the shard count (default: the
 /// machine's available parallelism, clamped to `max_sessions`).
@@ -100,10 +103,20 @@ pub struct SessionOrigin {
     pub text: Arc<str>,
 }
 
+/// What the restore/replay `prepare` callback rebuilds from a persisted
+/// scenario text: the flat (final-hop) view every single-mapping endpoint
+/// serves, plus the full chased pipeline when the text used the
+/// multi-stage syntax. Core mode rides in the scenario text, so `(text,
+/// chase)` stays a complete recipe for pipeline sessions too.
+pub type PreparedSession = (PreparedScenario, Option<Arc<PreparedPipeline>>);
+
 /// One loaded scenario with its chased (or supplied) solution.
 pub struct Session {
     pub id: u64,
     pub scenario: PreparedScenario,
+    /// The full stage chain, for pipeline scenarios; `scenario` is then
+    /// the final hop's `(M, I, J)` view of the same chase.
+    pipeline: Option<Arc<PreparedPipeline>>,
     /// The compact representation this session can be rebuilt from;
     /// `None` for sessions injected directly by tests and benchmarks
     /// (those are invisible to snapshots).
@@ -128,12 +141,14 @@ impl Session {
     fn with_origin(
         id: u64,
         scenario: PreparedScenario,
+        pipeline: Option<Arc<PreparedPipeline>>,
         origin: Option<SessionOrigin>,
         edit_seq: u64,
     ) -> Self {
         Session {
             id,
             scenario,
+            pipeline,
             origin,
             edit_seq,
             incr: IncrState::default(),
@@ -156,6 +171,9 @@ impl Session {
         Session {
             id: self.id,
             scenario,
+            // Edits are rejected on pipeline sessions (the mutation API
+            // speaks the flat syntax), so an edited incarnation is flat.
+            pipeline: None,
             origin: Some(origin),
             edit_seq,
             incr,
@@ -168,6 +186,11 @@ impl Session {
     /// it was created through the persistable path.
     pub fn origin(&self) -> Option<&SessionOrigin> {
         self.origin.as_ref()
+    }
+
+    /// The full stage chain, for pipeline sessions.
+    pub fn pipeline(&self) -> Option<&Arc<PreparedPipeline>> {
+        self.pipeline.as_ref()
     }
 
     /// How many edit batches this incarnation reflects.
@@ -260,7 +283,9 @@ impl Session {
     /// panicked while holding the lock (e.g. a route computation bug
     /// caught by the connection-level `catch_unwind`) cannot leave a
     /// half-written cache behind, and the surviving workers keep serving.
-    fn lock_forest_cache(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<TupleId>, Arc<RouteForest>>> {
+    fn lock_forest_cache(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<Vec<TupleId>, Arc<RouteForest>>> {
         self.forest_cache
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -439,7 +464,10 @@ impl Shard {
         // the stats measurement (`record_current`), keeping the traced
         // hot path free of extra clock reads.
         let start = Instant::now();
-        let guard = self.inner.read().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let guard = self
+            .inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let wait = start.elapsed();
         self.stats.read_wait.record(wait);
         routes_obs::record_current("session_lock_read", start, wait);
@@ -706,9 +734,7 @@ impl SessionStore {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
-            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
     }
 
     /// The number of shards.
@@ -732,7 +758,7 @@ impl SessionStore {
     /// any sessions evicted to stay under the bound. The eviction scan
     /// fans out per shard over `workers`.
     pub fn insert(&self, scenario: PreparedScenario, workers: &Pool) -> (u64, Vec<u64>) {
-        self.insert_session(scenario, None, workers)
+        self.insert_session(scenario, None, None, workers)
     }
 
     /// [`SessionStore::insert`] with the compact origin the session can
@@ -744,17 +770,30 @@ impl SessionStore {
         origin: SessionOrigin,
         workers: &Pool,
     ) -> (u64, Vec<u64>) {
-        self.insert_session(scenario, Some(origin), workers)
+        self.insert_session(scenario, None, Some(origin), workers)
+    }
+
+    /// [`SessionStore::insert_with_origin`] carrying the full prepared
+    /// pipeline alongside the flat final-hop view (pipeline creations).
+    pub fn insert_prepared(
+        &self,
+        scenario: PreparedScenario,
+        pipeline: Option<Arc<PreparedPipeline>>,
+        origin: SessionOrigin,
+        workers: &Pool,
+    ) -> (u64, Vec<u64>) {
+        self.insert_session(scenario, pipeline, Some(origin), workers)
     }
 
     fn insert_session(
         &self,
         scenario: PreparedScenario,
+        pipeline: Option<Arc<PreparedPipeline>>,
         origin: Option<SessionOrigin>,
         workers: &Pool,
     ) -> (u64, Vec<u64>) {
         let id = self.next_id.fetch_add(1, Relaxed);
-        let session = Arc::new(Session::with_origin(id, scenario, origin, 0));
+        let session = Arc::new(Session::with_origin(id, scenario, pipeline, origin, 0));
         let shard = &self.shards[self.shard_of(id)];
         shard.insert(id, session);
         let evicted = if shard.occupancy.load(Relaxed) > shard.capacity {
@@ -901,7 +940,7 @@ impl SessionStore {
         &self,
         state: &SnapshotState,
         workers: &Pool,
-        prepare: &(dyn Fn(&str, ChaseMode) -> Option<PreparedScenario> + Sync),
+        prepare: &(dyn Fn(&str, ChaseMode) -> Option<PreparedSession> + Sync),
     ) -> usize {
         self.next_id.fetch_max(state.next_id, Relaxed);
         if state.shards.len() == self.shards.len() {
@@ -924,13 +963,15 @@ impl SessionStore {
                 }
             }
         }
-        let prepared: Vec<Option<PreparedScenario>> = workers
-            .par_map_items(&state.entries, 1, |entry| {
+        let prepared: Vec<Option<PreparedSession>> =
+            workers.par_map_items(&state.entries, 1, |entry| {
                 prepare(&entry.scenario, entry.chase)
             });
         let mut restored = 0usize;
-        for (entry, scenario) in state.entries.iter().zip(prepared) {
-            let Some(scenario) = scenario else { continue };
+        for (entry, prepared) in state.entries.iter().zip(prepared) {
+            let Some((scenario, pipeline)) = prepared else {
+                continue;
+            };
             let origin = SessionOrigin {
                 chase: entry.chase,
                 text: Arc::from(entry.scenario.as_str()),
@@ -938,6 +979,7 @@ impl SessionStore {
             let session = Arc::new(Session::with_origin(
                 entry.id,
                 scenario,
+                pipeline,
                 Some(origin),
                 entry.edit_seq,
             ));
@@ -967,17 +1009,21 @@ impl SessionStore {
         &self,
         records: &[Record],
         workers: &Pool,
-        prepare: &(dyn Fn(&str, ChaseMode) -> Option<PreparedScenario> + Sync),
+        prepare: &(dyn Fn(&str, ChaseMode) -> Option<PreparedSession> + Sync),
     ) -> usize {
         let mut applied = 0usize;
         for record in records {
             match record {
-                Record::Create { id, chase, scenario } => {
+                Record::Create {
+                    id,
+                    chase,
+                    scenario,
+                } => {
                     let shard = &self.shards[self.shard_of(*id)];
                     if shard.read_locked().gone_set.contains(id) {
                         continue;
                     }
-                    let Some(prep) = prepare(scenario, *chase) else {
+                    let Some((prep, pipeline)) = prepare(scenario, *chase) else {
                         continue;
                     };
                     // Keep the id counter ahead of every replayed id even
@@ -989,7 +1035,7 @@ impl SessionStore {
                         text: Arc::from(scenario.as_str()),
                     };
                     let session =
-                        Arc::new(Session::with_origin(*id, prep, Some(origin), 0));
+                        Arc::new(Session::with_origin(*id, prep, pipeline, Some(origin), 0));
                     let stamp = Entry::next_stamp(&shard.clock);
                     let mut inner = shard.write_locked();
                     inner.sessions.insert(*id, Entry::new(session, stamp));
@@ -1051,11 +1097,15 @@ impl SessionStore {
                     if *seq <= session.edit_seq {
                         continue;
                     }
-                    let Some(origin) = session.origin() else { continue };
+                    let Some(origin) = session.origin() else {
+                        continue;
+                    };
                     let Ok((text, _)) = routes_incr::apply_edits(&origin.text, ops) else {
                         continue;
                     };
-                    let Some(prep) = prepare(&text, origin.chase) else {
+                    // Edits only exist for flat sessions, so the replayed
+                    // incarnation never carries a pipeline.
+                    let Some((prep, _)) = prepare(&text, origin.chase) else {
                         continue;
                     };
                     let new_origin = SessionOrigin {
@@ -1087,7 +1137,10 @@ impl SessionStore {
         for key in keys {
             let tuples: Vec<TupleId> = key
                 .iter()
-                .map(|&(rel, row)| TupleId { rel: RelId(rel), row })
+                .map(|&(rel, row)| TupleId {
+                    rel: RelId(rel),
+                    row,
+                })
                 .collect();
             let valid = tuples.iter().all(|t| {
                 (t.rel.0 as usize) < target.num_relations() && t.row < target.rel_len(t.rel)
@@ -1153,7 +1206,11 @@ mod tests {
         let store = SessionStore::with_shards(1, 1);
         let (a, _) = store.insert(scenario(1), &seq());
         assert_eq!(store.remove(a), Removal::Removed);
-        assert_eq!(store.remove(a), Removal::Missing, "second delete is a no-op");
+        assert_eq!(
+            store.remove(a),
+            Removal::Missing,
+            "second delete is a no-op"
+        );
         assert!(store.is_empty());
         assert!(
             matches!(store.get(a), SessionLookup::Missing),
@@ -1282,9 +1339,7 @@ mod tests {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
-            });
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get));
         let store = SessionStore::new(64);
         assert_eq!(store.shard_count(), expected.clamp(1, 64));
     }

@@ -123,6 +123,12 @@ fn exposition_matches_the_golden_file() {
     m.edit_ops_applied.store(9, Relaxed);
     m.edit_forests_kept.store(4, Relaxed);
     m.edit_forests_invalidated.store(2, Relaxed);
+    m.pipeline_sessions_created.store(2, Relaxed);
+    m.pipeline_stage_chases.store(5, Relaxed);
+    m.pipeline_core_runs.store(3, Relaxed);
+    m.pipeline_core_tuples_removed.store(7, Relaxed);
+    m.pipeline_stitched_routes.store(4, Relaxed);
+    m.pipeline_stitched_hops.store(10, Relaxed);
 
     let text = m.to_prometheus(&fixed_store(), Some(&fixed_persist()), &fixed_join(), 4);
     // Uptime is the only wall-clock-dependent sample; normalize it so the
@@ -261,7 +267,10 @@ fn reconcile(json: &Json, check: &mut PromCheck) {
     for (key, value) in obj_fields(json) {
         match key.as_str() {
             "version" => check.eat(
-                &format!("routes_build_info{{version=\"{}\"}}", value.as_str().unwrap()),
+                &format!(
+                    "routes_build_info{{version=\"{}\"}}",
+                    value.as_str().unwrap()
+                ),
                 1,
             ),
             "uptime_seconds" => check.eat("routes_uptime_seconds", as_u64(value)),
@@ -325,12 +334,32 @@ fn reconcile(json: &Json, check: &mut PromCheck) {
                     }
                 }
             }
-            "latency_us" => check.eat_histogram(
-                "routes_request_latency_us",
-                "",
-                value,
-                &LATENCY_BUCKETS_US,
-            ),
+            "pipeline" => {
+                for (pipe_key, v) in obj_fields(value) {
+                    match pipe_key.as_str() {
+                        "sessions_created" => {
+                            check.eat("routes_pipeline_sessions_created_total", as_u64(v));
+                        }
+                        "stage_chases" => {
+                            check.eat("routes_pipeline_stage_chases_total", as_u64(v));
+                        }
+                        "core_runs" => check.eat("routes_pipeline_core_runs_total", as_u64(v)),
+                        "core_tuples_removed" => {
+                            check.eat("routes_pipeline_core_tuples_removed_total", as_u64(v));
+                        }
+                        "stitched_routes" => {
+                            check.eat("routes_pipeline_stitched_routes_total", as_u64(v));
+                        }
+                        "stitched_hops" => {
+                            check.eat("routes_pipeline_stitched_hops_total", as_u64(v));
+                        }
+                        other => panic!("unknown pipeline field `{other}`"),
+                    }
+                }
+            }
+            "latency_us" => {
+                check.eat_histogram("routes_request_latency_us", "", value, &LATENCY_BUCKETS_US)
+            }
             "phases" => {
                 for (phase, stats) in obj_fields(value) {
                     let labels = format!("phase=\"{phase}\"");
@@ -394,9 +423,8 @@ fn reconcile_store(json: &Json, check: &mut PromCheck) {
                 for (i, shard) in value.as_array().unwrap().iter().enumerate() {
                     let labels = format!("shard=\"{i}\"");
                     for (shard_key, v) in obj_fields(shard) {
-                        let gauge = |suffix: &str| {
-                            format!("routes_session_shard_{suffix}{{{labels}}}")
-                        };
+                        let gauge =
+                            |suffix: &str| format!("routes_session_shard_{suffix}{{{labels}}}");
                         let counter = |suffix: &str| {
                             format!("routes_session_shard_{suffix}_total{{{labels}}}")
                         };
@@ -446,12 +474,9 @@ fn reconcile_persist(json: &Json, check: &mut PromCheck) {
             }
             "fsync_batches" => check.eat("routes_fsync_batches_total", as_u64(value)),
             "fsync_records" => check.eat("routes_fsync_records_total", as_u64(value)),
-            "fsync_latency_us" => check.eat_histogram(
-                "routes_fsync_latency_us",
-                "",
-                value,
-                &FSYNC_BUCKETS_US,
-            ),
+            "fsync_latency_us" => {
+                check.eat_histogram("routes_fsync_latency_us", "", value, &FSYNC_BUCKETS_US)
+            }
             "snapshots_written" => check.eat("routes_snapshots_written_total", as_u64(value)),
             "replayed_records" => check.eat("routes_wal_replayed_records", as_u64(value)),
             "restored_sessions" => check.eat("routes_wal_restored_sessions", as_u64(value)),
@@ -479,7 +504,9 @@ fn raw_request(
     body: Option<&str>,
 ) -> (u16, Vec<(String, String)>, String) {
     let stream = TcpStream::connect(addr).expect("connect");
-    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
     let mut writer = stream.try_clone().unwrap();
     let body = body.unwrap_or("");
     let mut head = format!(
@@ -515,7 +542,10 @@ fn raw_request(
 }
 
 fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
 }
 
 #[test]
@@ -617,7 +647,9 @@ fn text_and_json_expositions_reconcile_exactly_under_live_traffic() {
         let json = app
             .metrics
             .to_json_with_store(&store, persist.as_ref(), &join, threads);
-        let text = app.metrics.to_prometheus(&store, persist.as_ref(), &join, threads);
+        let text = app
+            .metrics
+            .to_prometheus(&store, persist.as_ref(), &join, threads);
         let json_uptime = as_u64(json.get("uptime_seconds").unwrap());
         let text_uptime = text
             .lines()
@@ -640,7 +672,10 @@ fn text_and_json_expositions_reconcile_exactly_under_live_traffic() {
     );
 
     // Sanity: the traffic actually exercised the interesting families.
-    assert!(as_u64(json.get("sessions_evicted").unwrap()) >= 1, "wanted evictions");
+    assert!(
+        as_u64(json.get("sessions_evicted").unwrap()) >= 1,
+        "wanted evictions"
+    );
     // hits: second pre-edit all-routes + the post-edit surviving-forest hit.
     assert_eq!(as_u64(json.get("forest_cache_hits").unwrap()), 2);
     assert_eq!(as_u64(json.get("forest_cache_misses").unwrap()), 1);
@@ -668,15 +703,16 @@ fn text_and_json_expositions_reconcile_exactly_under_live_traffic() {
     );
 
     // Negotiation over the live socket.
-    let (status, headers, body) =
-        raw_request(addr, "GET", "/metrics?format=prometheus", &[], None);
+    let (status, headers, body) = raw_request(addr, "GET", "/metrics?format=prometheus", &[], None);
     assert_eq!(status, 200);
     assert_eq!(
         header(&headers, "content-type"),
         Some("text/plain; version=0.0.4")
     );
     assert!(body.contains("# TYPE routes_requests_total counter"));
-    assert!(body.contains("routes_session_shard_lock_wait_us_bucket{shard=\"1\",mode=\"write\",le=\"+Inf\"}"));
+    assert!(body.contains(
+        "routes_session_shard_lock_wait_us_bucket{shard=\"1\",mode=\"write\",le=\"+Inf\"}"
+    ));
 
     let (status, headers, _) = raw_request(
         addr,

@@ -66,7 +66,10 @@ impl Client {
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body).unwrap();
         let text = String::from_utf8(body).unwrap();
-        (status, parse(&text).unwrap_or_else(|e| panic!("bad JSON {text:?}: {e}")))
+        (
+            status,
+            parse(&text).unwrap_or_else(|e| panic!("bad JSON {text:?}: {e}")),
+        )
     }
 }
 
@@ -132,11 +135,7 @@ fn validate_served_route(tag: i64, steps: &[Json], selected_relation: &str, sele
             })
             .collect(),
     );
-    let rel = prepared
-        .mapping
-        .target()
-        .rel_id(selected_relation)
-        .unwrap();
+    let rel = prepared.mapping.target().rel_id(selected_relation).unwrap();
     let selected = [routes_model::TupleId {
         rel,
         row: selected_row,
@@ -211,7 +210,9 @@ fn read_one_response(stream: &mut TcpStream) -> RawResponse {
             return response;
         }
         let mut chunk = [0u8; 1024];
-        let n = stream.read(&mut chunk).expect("read while awaiting response");
+        let n = stream
+            .read(&mut chunk)
+            .expect("read while awaiting response");
         assert!(n > 0, "EOF before a complete response (got {buf:?})");
         buf.extend_from_slice(&chunk[..n]);
     }
@@ -279,7 +280,12 @@ fn deadline_mid_body_yields_exactly_one_408_then_eof() {
     assert_eq!(response.status, 408);
     assert_eq!(response.header("connection"), Some("close"));
     let body = parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
-    assert!(body.get("error").unwrap().as_str().unwrap().contains("deadline"));
+    assert!(body
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("deadline"));
 
     // A back-to-back second request after the 408 must not be consumed
     // as the missing body or produce a second response — framing is
@@ -287,8 +293,8 @@ fn deadline_mid_body_yields_exactly_one_408_then_eof() {
     let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
     let mut extra = [0u8; 256];
     match stream.read(&mut extra) {
-        Ok(0) => {}      // clean EOF at the response boundary
-        Err(_) => {}     // reset after our late write — still no bytes
+        Ok(0) => {}  // clean EOF at the response boundary
+        Err(_) => {} // reset after our late write — still no bytes
         Ok(n) => panic!("unexpected bytes after the 408: {:?}", &extra[..n]),
     }
     shutdown(addr, handle);
@@ -305,7 +311,8 @@ fn shed_connection_answers_pipelined_requests_with_exactly_one_429() {
     // Pin the single worker with a request stalled mid-headers...
     let mut pin = TcpStream::connect(addr).expect("connect");
     pin.set_read_timeout(Some(Duration::from_secs(15))).unwrap();
-    pin.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n").unwrap();
+    pin.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n")
+        .unwrap();
     std::thread::sleep(Duration::from_millis(300));
     // ...and fill the one-slot queue with a parked complete request.
     let mut parked = TcpStream::connect(addr).expect("connect");
@@ -322,7 +329,8 @@ fn shed_connection_answers_pipelined_requests_with_exactly_one_429() {
     // requests sent afterwards must not smear a second response (or
     // partial bytes) onto the wire.
     let mut shed = TcpStream::connect(addr).expect("connect");
-    shed.set_read_timeout(Some(Duration::from_secs(15))).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(15)))
+        .unwrap();
     let response = read_one_response(&mut shed);
     assert_eq!(response.status, 429);
     assert_eq!(response.header("connection"), Some("close"));
@@ -336,8 +344,8 @@ fn shed_connection_answers_pipelined_requests_with_exactly_one_429() {
     );
     let mut extra = [0u8; 256];
     match shed.read(&mut extra) {
-        Ok(0) => {}      // clean EOF at the response boundary
-        Err(_) => {}     // reset after our late write — still no bytes
+        Ok(0) => {}  // clean EOF at the response boundary
+        Err(_) => {} // reset after our late write — still no bytes
         Ok(n) => panic!("unexpected bytes after the 429: {:?}", &extra[..n]),
     }
 
@@ -398,16 +406,25 @@ fn concurrent_clients_probe_validate_and_clean_up() {
                 // All routes, twice: the repeat must hit the forest cache.
                 let select_both =
                     r#"{"tuples": [{"relation": "U", "row": 0}, {"relation": "T", "row": 0}]}"#;
-                let (status, first) =
-                    c.request("POST", &format!("/sessions/{id}/all-routes"), Some(select_both));
+                let (status, first) = c.request(
+                    "POST",
+                    &format!("/sessions/{id}/all-routes"),
+                    Some(select_both),
+                );
                 assert_eq!(status, 200);
                 assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
-                assert_eq!(first.get("all_roots_provable").unwrap().as_bool(), Some(true));
+                assert_eq!(
+                    first.get("all_roots_provable").unwrap().as_bool(),
+                    Some(true)
+                );
                 // Same set, permuted order.
                 let permuted =
                     r#"{"tuples": [{"relation": "T", "row": 0}, {"relation": "U", "row": 0}]}"#;
-                let (status, second) =
-                    c.request("POST", &format!("/sessions/{id}/all-routes"), Some(permuted));
+                let (status, second) = c.request(
+                    "POST",
+                    &format!("/sessions/{id}/all-routes"),
+                    Some(permuted),
+                );
                 assert_eq!(status, 200);
                 assert_eq!(second.get("cached").unwrap().as_bool(), Some(true));
                 assert_eq!(
@@ -534,7 +551,12 @@ fn bad_inputs_get_four_xx_not_hangs() {
         Some(r#"{"scenario": "source schema:\n  S(a\n"}"#),
     );
     assert_eq!(status, 422, "loader errors surface as unprocessable");
-    assert!(body.get("error").unwrap().as_str().unwrap().contains("load"));
+    assert!(body
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("load"));
     let (status, _) = c.request("GET", "/sessions/99", None);
     assert_eq!(status, 404);
     let (status, _) = c.request("GET", "/sessions/banana", None);
@@ -548,11 +570,16 @@ fn bad_inputs_get_four_xx_not_hangs() {
     for (what, bad) in [
         ("no tuples field", "{}"),
         ("empty selection", r#"{"tuples": []}"#),
-        ("unknown relation", r#"{"tuples": [{"relation": "Z", "row": 0}]}"#),
-        ("row out of range", r#"{"tuples": [{"relation": "U", "row": 99}]}"#),
+        (
+            "unknown relation",
+            r#"{"tuples": [{"relation": "Z", "row": 0}]}"#,
+        ),
+        (
+            "row out of range",
+            r#"{"tuples": [{"relation": "U", "row": 99}]}"#,
+        ),
     ] {
-        let (status, _) =
-            c.request("POST", &format!("/sessions/{id}/one-route"), Some(bad));
+        let (status, _) = c.request("POST", &format!("/sessions/{id}/one-route"), Some(bad));
         assert_eq!(status, 422, "{what}");
     }
 
@@ -670,7 +697,10 @@ fn over_capacity_churn_reconciles_per_shard_eviction_metrics() {
     let mut c = Client::connect(addr);
     let (status, m1) = c.request("GET", "/metrics", None);
     assert_eq!(status, 200);
-    assert_eq!(m1.get("sessions_created").unwrap().as_u64(), Some(total_creates));
+    assert_eq!(
+        m1.get("sessions_created").unwrap().as_u64(),
+        Some(total_creates)
+    );
     assert_eq!(
         m1.get("sessions_evicted").unwrap().as_u64(),
         Some(evicted.len() as u64)
@@ -716,5 +746,196 @@ fn over_capacity_churn_reconciles_per_shard_eviction_metrics() {
     assert_eq!(delta("hits"), 0, "no evicted id was served");
     assert_eq!(delta("evictions"), 0, "probing evicts nothing");
 
+    shutdown(addr, handle);
+}
+
+/// A two-hop pipeline scenario. The second hop has a redundant
+/// existential tgd, so with `core: on` the chase's `U(x, Z)` null rows are
+/// subsumed by the `U(x, y)` constant rows and the core strictly shrinks.
+fn pipeline_text(core: bool) -> String {
+    let options = if core {
+        "\npipeline:\n  core: on\n"
+    } else {
+        ""
+    };
+    format!(
+        "stage clean:\n\
+        \x20 source schema:\n    S(a, b)\n\
+        \x20 target schema:\n    T(a, b)\n\
+        \x20 dependencies:\n    m1: S(x, y) -> T(x, y)\n\
+        stage publish:\n\
+        \x20 source schema:\n    T(a, b)\n\
+        \x20 target schema:\n    U(a, b)\n\
+        \x20 dependencies:\n\
+        \x20   m2: T(x, y) -> exists Z: U(x, Z)\n\
+        \x20   m3: T(x, y) -> U(x, y)\n\
+        source data:\n  S(1, 2)\n  S(3, 4)\n{options}"
+    )
+}
+
+#[test]
+fn pipeline_sessions_stitch_routes_and_reject_edits() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        max_sessions: 4,
+        session_shards: 2,
+        read_timeout: Duration::from_secs(30),
+        data_dir: None,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+
+    // Core mode on: the chase makes 4 U-rows per the two tgds, the core
+    // keeps only the 2 constant rows.
+    let create = format!("{{\"scenario\": {}}}", json_escape(&pipeline_text(true)));
+    let (status, reply) = c.request("POST", "/sessions", Some(&create));
+    assert_eq!(status, 201, "{reply:?}");
+    let id = reply.get("session").unwrap().as_u64().unwrap();
+    let pipe = reply
+        .get("pipeline")
+        .expect("pipeline block in create reply");
+    assert_eq!(pipe.get("hops").unwrap().as_u64(), Some(2));
+    assert_eq!(pipe.get("core").unwrap().as_bool(), Some(true));
+    let stages = pipe.get("stages").unwrap().as_array().unwrap();
+    assert_eq!(stages.len(), 2);
+    assert_eq!(stages[0].as_str(), Some("clean"));
+    assert_eq!(stages[1].as_str(), Some("publish"));
+    let before = pipe.get("core_tuples_before").unwrap().as_u64().unwrap();
+    let after = pipe.get("core_tuples_after").unwrap().as_u64().unwrap();
+    assert!(after < before, "core must shrink: {before} -> {after}");
+    assert_eq!(
+        reply.get("target_tuples").unwrap().as_u64(),
+        Some(2),
+        "the final hop serves the minimized instance"
+    );
+
+    // The flat view (final hop) answers the single-mapping surface.
+    let (status, summary) = c.request("GET", &format!("/sessions/{id}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        summary.get("target").unwrap().get("U").unwrap().as_u64(),
+        Some(2)
+    );
+    let (status, one) = c.request(
+        "POST",
+        &format!("/sessions/{id}/one-route"),
+        Some(r#"{"tuples": [{"relation": "U", "row": 0}]}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(one.get("found").unwrap().as_bool(), Some(true));
+
+    // A stitched route crosses both hops and is replay-validated.
+    let (status, stitched) = c.request(
+        "POST",
+        &format!("/sessions/{id}/stitched-route"),
+        Some(r#"{"tuples": [{"relation": "U", "row": 0}, {"relation": "U", "row": 1}]}"#),
+    );
+    assert_eq!(status, 200, "{stitched:?}");
+    assert_eq!(stitched.get("found").unwrap().as_bool(), Some(true));
+    assert_eq!(stitched.get("validated").unwrap().as_bool(), Some(true));
+    assert_eq!(stitched.get("hops").unwrap().as_u64(), Some(2));
+    let hops = stitched.get("stages").unwrap().as_array().unwrap();
+    assert_eq!(hops.len(), 2);
+    assert_eq!(hops[0].get("name").unwrap().as_str(), Some("clean"));
+    assert_eq!(hops[1].get("name").unwrap().as_str(), Some("publish"));
+    for hop in hops {
+        assert!(
+            !hop.get("steps").unwrap().as_array().unwrap().is_empty(),
+            "every hop contributes satisfaction steps"
+        );
+    }
+    let total = stitched.get("total_steps").unwrap().as_u64().unwrap();
+    assert!(total >= 2, "at least one step per hop, got {total}");
+
+    // Pipeline sessions are immutable: edits answer 409.
+    let (status, _) = c.request(
+        "POST",
+        &format!("/sessions/{id}/edit"),
+        Some(r#"{"ops": [{"op": "insert_tuple", "line": "S(9, 9)"}]}"#),
+    );
+    assert_eq!(status, 409, "pipeline sessions reject edits");
+
+    // Stitched-route on a flat session answers 409 the other way around.
+    let flat = format!("{{\"scenario\": {}}}", json_escape(&scenario_text(1)));
+    let (status, reply) = c.request("POST", "/sessions", Some(&flat));
+    assert_eq!(status, 201);
+    assert!(
+        reply.get("pipeline").is_none(),
+        "flat creates carry no pipeline block"
+    );
+    let flat_id = reply.get("session").unwrap().as_u64().unwrap();
+    let (status, _) = c.request(
+        "POST",
+        &format!("/sessions/{flat_id}/stitched-route"),
+        Some(r#"{"tuples": [{"relation": "U", "row": 0}]}"#),
+    );
+    assert_eq!(status, 409, "flat sessions have no stages to stitch");
+
+    let (status, m) = c.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let pm = m.get("pipeline").unwrap();
+    assert_eq!(pm.get("sessions_created").unwrap().as_u64(), Some(1));
+    assert_eq!(pm.get("stage_chases").unwrap().as_u64(), Some(2));
+    assert_eq!(pm.get("core_runs").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        pm.get("core_tuples_removed").unwrap().as_u64(),
+        Some(before - after)
+    );
+    assert_eq!(pm.get("stitched_routes").unwrap().as_u64(), Some(1));
+    assert_eq!(pm.get("stitched_hops").unwrap().as_u64(), Some(2));
+
+    shutdown(addr, handle);
+}
+
+/// Pipeline sessions persist as `(text, chase-mode)` like flat ones; a
+/// restart re-chases the whole chain (core mode included) and the stitched
+/// answer is byte-identical to the pre-restart one.
+#[test]
+fn pipeline_sessions_survive_a_restart() {
+    let tmp = routes_store::testutil::TempDir::new("svc-pipeline-restart");
+    let config = || ServerConfig {
+        threads: 2,
+        max_sessions: 4,
+        session_shards: 2,
+        read_timeout: Duration::from_secs(30),
+        data_dir: Some(tmp.path().to_path_buf()),
+        ..ServerConfig::default()
+    };
+    let probe = r#"{"tuples": [{"relation": "U", "row": 1}]}"#;
+    let (id, first) = {
+        let (addr, handle) = start(config());
+        let mut c = Client::connect(addr);
+        let create = format!("{{\"scenario\": {}}}", json_escape(&pipeline_text(true)));
+        let (status, reply) = c.request("POST", "/sessions", Some(&create));
+        assert_eq!(status, 201);
+        let id = reply.get("session").unwrap().as_u64().unwrap();
+        let (status, stitched) = c.request(
+            "POST",
+            &format!("/sessions/{id}/stitched-route"),
+            Some(probe),
+        );
+        assert_eq!(status, 200);
+        shutdown(addr, handle);
+        (id, stitched)
+    };
+    let (addr, handle) = start(config());
+    let mut c = Client::connect(addr);
+    let (status, again) = c.request(
+        "POST",
+        &format!("/sessions/{id}/stitched-route"),
+        Some(probe),
+    );
+    assert_eq!(status, 200, "recovered pipeline session answers probes");
+    assert_eq!(
+        again.encode(),
+        first.encode(),
+        "re-chasing the chain after recovery reproduces the stitched route"
+    );
+    let (status, _) = c.request(
+        "POST",
+        &format!("/sessions/{id}/edit"),
+        Some(r#"{"ops": [{"op": "insert_tuple", "line": "S(9, 9)"}]}"#),
+    );
+    assert_eq!(status, 409, "recovery restores the edit rejection too");
     shutdown(addr, handle);
 }

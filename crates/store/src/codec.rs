@@ -360,7 +360,11 @@ impl<'a> Reader<'a> {
 pub fn encode_record_payload(record: &Record) -> Vec<u8> {
     let mut w = Writer::new();
     match record {
-        Record::Create { id, chase, scenario } => {
+        Record::Create {
+            id,
+            chase,
+            scenario,
+        } => {
             w.u8(TAG_CREATE);
             w.u64(*id);
             w.u8(chase.to_u8());
@@ -403,7 +407,11 @@ pub fn decode_record_payload(payload: &[u8]) -> Result<Record, CodecError> {
             let id = r.u64()?;
             let chase = ChaseMode::from_u8(r.u8()?)?;
             let scenario = r.str()?;
-            Record::Create { id, chase, scenario }
+            Record::Create {
+                id,
+                chase,
+                scenario,
+            }
         }
         TAG_TOUCH => Record::Touch { id: r.u64()? },
         TAG_DELETE => Record::Delete { id: r.u64()? },
@@ -697,7 +705,10 @@ mod tests {
             // Trailing garbage is rejected.
             let mut padded = payload.clone();
             padded.push(0);
-            assert_eq!(decode_record_payload(&padded), Err(CodecError::TrailingBytes));
+            assert_eq!(
+                decode_record_payload(&padded),
+                Err(CodecError::TrailingBytes)
+            );
         }
         // An unknown tag is rejected.
         assert_eq!(decode_record_payload(&[99]), Err(CodecError::BadTag(99)));
@@ -724,10 +735,7 @@ mod tests {
 
     #[test]
     fn frame_reader_stops_at_first_damage_and_keeps_the_prefix() {
-        let payloads: Vec<Vec<u8>> = sample_records()
-            .iter()
-            .map(encode_record_payload)
-            .collect();
+        let payloads: Vec<Vec<u8>> = sample_records().iter().map(encode_record_payload).collect();
         let mut buf = Vec::new();
         for p in &payloads {
             buf.extend_from_slice(&frame(p));

@@ -110,9 +110,15 @@ mod tests {
         assert_eq!(snap.wal_appends, 9);
         assert_eq!(snap.fsync_latency_us.len(), FSYNC_BUCKETS_US.len() + 1);
         assert_eq!(snap.fsync_latency_us.iter().sum::<u64>(), 3);
-        assert_eq!(snap.fsync_latency_us[0], 1, "40 µs lands in the first bucket");
         assert_eq!(
-            *snap.fsync_latency_us.last().expect("histogram is non-empty"),
+            snap.fsync_latency_us[0], 1,
+            "40 µs lands in the first bucket"
+        );
+        assert_eq!(
+            *snap
+                .fsync_latency_us
+                .last()
+                .expect("histogram is non-empty"),
             1,
             "1 s lands in the unbounded bucket"
         );

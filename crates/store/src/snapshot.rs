@@ -81,7 +81,11 @@ impl Recovery {
     pub fn summary(&self) -> String {
         format!(
             "snapshot={} wal_gen={} replayed={} stop={}",
-            if self.snapshot_loaded { "loaded" } else { "none" },
+            if self.snapshot_loaded {
+                "loaded"
+            } else {
+                "none"
+            },
             self.wal_gen,
             self.records.len(),
             self.stop,
@@ -163,10 +167,7 @@ impl StoreDir {
         if bytes.len() < HEADER_LEN as usize || bytes[..8] != WAL_HEADER {
             // A log without its full header is a torn creation: nothing in
             // it was ever acknowledged.
-            return Ok((
-                Vec::new(),
-                FrameStop::TruncatedTail { offset: 0 },
-            ));
+            return Ok((Vec::new(), FrameStop::TruncatedTail { offset: 0 }));
         }
         let (frames, mut stop) = read_frames(&bytes[HEADER_LEN as usize..], HEADER_LEN);
         let mut records = Vec::with_capacity(frames.len());

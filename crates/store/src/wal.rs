@@ -132,7 +132,9 @@ impl Wal {
         shared.appended += 1;
         let lsn = shared.appended;
         self.metrics.wal_appends.fetch_add(1, Relaxed);
-        self.metrics.wal_bytes.fetch_add(bytes.len() as u64, Relaxed);
+        self.metrics
+            .wal_bytes
+            .fetch_add(bytes.len() as u64, Relaxed);
         self.metrics
             .wal_records_since_checkpoint
             .fetch_add(1, Relaxed);
@@ -239,8 +241,8 @@ mod tests {
     fn synced_appends_are_on_disk_and_replayable_in_order() {
         let tmp = TempDir::new("wal-synced");
         let metrics = Arc::new(PersistMetrics::new());
-        let wal = Wal::create(tmp.path().join("wal-0.log"), Arc::clone(&metrics))
-            .expect("create wal");
+        let wal =
+            Wal::create(tmp.path().join("wal-0.log"), Arc::clone(&metrics)).expect("create wal");
         for id in 1..=5 {
             wal.append(&record(id), Durability::Synced).expect("append");
         }
@@ -264,8 +266,8 @@ mod tests {
     fn buffered_appends_become_durable_on_flush() {
         let tmp = TempDir::new("wal-buffered");
         let metrics = Arc::new(PersistMetrics::new());
-        let wal = Wal::create(tmp.path().join("wal-0.log"), Arc::clone(&metrics))
-            .expect("create wal");
+        let wal =
+            Wal::create(tmp.path().join("wal-0.log"), Arc::clone(&metrics)).expect("create wal");
         for id in 1..=4 {
             wal.append(&Record::Touch { id }, Durability::Buffered)
                 .expect("append");
@@ -287,8 +289,8 @@ mod tests {
     fn concurrent_durable_appends_group_commit_into_few_batches() {
         let tmp = TempDir::new("wal-group");
         let metrics = Arc::new(PersistMetrics::new());
-        let wal = Wal::create(tmp.path().join("wal-0.log"), Arc::clone(&metrics))
-            .expect("create wal");
+        let wal =
+            Wal::create(tmp.path().join("wal-0.log"), Arc::clone(&metrics)).expect("create wal");
         const THREADS: u64 = 8;
         const PER_THREAD: u64 = 25;
         std::thread::scope(|s| {

@@ -30,12 +30,18 @@ fn main() {
     println!("(breakpoint set on m5)\n");
 
     // Peek before executing anything — like viewing the next source line.
-    println!("next> {}\n", session.peek(pool).expect("route is non-empty"));
+    println!(
+        "next> {}\n",
+        session.peek(pool).expect("route is non-empty")
+    );
 
     let event = session
         .run_to_breakpoint()
         .expect("m5 occurs on this route");
-    println!("*** breakpoint hit at step {} (tgd m5) ***", event.index + 1);
+    println!(
+        "*** breakpoint hit at step {} (tgd m5) ***",
+        event.index + 1
+    );
     println!("assignment:");
     for (name, value) in &event.assignment {
         println!("    {name} -> {}", pool.value_to_string(*value));

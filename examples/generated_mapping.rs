@@ -61,14 +61,29 @@ fn main() {
         // (no Cards.location → Clients.address: bug 2, the missing arrow)
         corr(&s, &t, ("SupplementaryCards", "ssn"), ("Clients", "ssn")),
         corr(&s, &t, ("SupplementaryCards", "name"), ("Clients", "name")),
-        corr(&s, &t, ("SupplementaryCards", "address"), ("Clients", "address")),
+        corr(
+            &s,
+            &t,
+            ("SupplementaryCards", "address"),
+            ("Clients", "address"),
+        ),
         corr(&s, &t, ("FBAccounts", "ssn"), ("Clients", "ssn")),
         corr(&s, &t, ("FBAccounts", "name"), ("Clients", "name")),
         corr(&s, &t, ("FBAccounts", "income"), ("Clients", "income")),
         corr(&s, &t, ("FBAccounts", "address"), ("Clients", "address")),
         corr(&s, &t, ("CreditCards", "cardNo"), ("Accounts", "accNo")),
-        corr(&s, &t, ("CreditCards", "creditLimit"), ("Accounts", "limit")),
-        corr(&s, &t, ("CreditCards", "custSSN"), ("Accounts", "accHolder")),
+        corr(
+            &s,
+            &t,
+            ("CreditCards", "creditLimit"),
+            ("Accounts", "limit"),
+        ),
+        corr(
+            &s,
+            &t,
+            ("CreditCards", "custSSN"),
+            ("Accounts", "accHolder"),
+        ),
     ];
     // Bug 3: f1 (SupplementaryCards.accNo → Cards.cardNo) is not declared,
     // and neither is f2 — so no source joins are generated.
@@ -95,8 +110,15 @@ fn main() {
         .find(|&id| j.tuple(id)[0] == Value::Int(434))
         .expect("client 434 exists");
     let vals = j.tuple(suspicious);
-    println!("\nprobing {}:", routes_model::tuple_to_string(&pool, &t, &j, suspicious));
-    assert_eq!(pool.value_to_string(vals[1]), "Smith", "name = maiden name (bug 1)");
+    println!(
+        "\nprobing {}:",
+        routes_model::tuple_to_string(&pool, &t, &j, suspicious)
+    );
+    assert_eq!(
+        pool.value_to_string(vals[1]),
+        "Smith",
+        "name = maiden name (bug 1)"
+    );
     assert!(vals[4].is_null(), "address is a null (bug 2)");
     let route = compute_one_route(env, &[suspicious]).unwrap();
     print!("{}", route_to_string(&pool, &env, &route));
@@ -155,8 +177,14 @@ fn main() {
         .any(|x| x.contains("CreditCards(") && x.contains("& FBAccounts(")));
 
     println!("\n=== impact of the regeneration ===\n");
-    let report = mapping_impact(&generated, &regenerated, source, &mut pool, ChaseOptions::fresh())
-        .expect("both chases succeed");
+    let report = mapping_impact(
+        &generated,
+        &regenerated,
+        source,
+        &mut pool,
+        ChaseOptions::fresh(),
+    )
+    .expect("both chases succeed");
     print!("{}", impact_to_string(&pool, &t, &report, 30));
     assert!(!report.is_noop());
 

@@ -14,7 +14,8 @@ use routes_mapping::satisfy::is_solution;
 
 const M1_FIXED: &str =
     "m1: Cards(cn, l, s, n, m, sal, loc) -> Accounts(cn, l, s) & Clients(s, n, m, sal, loc)";
-const M2_FIXED: &str = "m2: Cards(cn, l, s1, n1, m, sal, loc) & SupplementaryCards(cn, s2, n2, a) -> \
+const M2_FIXED: &str =
+    "m2: Cards(cn, l, s1, n1, m, sal, loc) & SupplementaryCards(cn, s2, n2, a) -> \
      exists M, I: Clients(s2, n2, M, I, a) & Accounts(cn, l, s2)";
 const M3_FIXED: &str = "m3: FBAccounts(bn, cs, n, i, a) & CreditCards(cn, cl, cs) -> \
      exists M: Accounts(cn, cl, cs) & Clients(cs, n, M, i, a)";
@@ -82,7 +83,12 @@ fn main() {
     println!("\n=== step 2: all three fixes (m1', m2', m3') with egd m6 ===\n");
     let fully_fixed_with_m6 =
         build_mapping(&s, &t, &mut pool, &[M1_FIXED, M2_FIXED, M3_FIXED], &[M6]);
-    match routes_chase::chase(&fully_fixed_with_m6, source, &mut pool, ChaseOptions::fresh()) {
+    match routes_chase::chase(
+        &fully_fixed_with_m6,
+        source,
+        &mut pool,
+        ChaseOptions::fresh(),
+    ) {
         Err(ChaseError::Failed { egd, .. }) => {
             println!(
                 "chase FAILED on egd `{egd}`: after m2', supplementary holder 234 keeps the\n\
@@ -106,8 +112,13 @@ fn main() {
         "k3: Clients(s, n, m, i, a) & Clients(s, n2, m2, i2, a2) -> i = i2",
         "k4: Clients(s, n, m, i, a) & Clients(s, n2, m2, i2, a2) -> a = a2",
     ];
-    let final_mapping =
-        build_mapping(&s, &t, &mut pool, &[M1_FIXED, M2_FIXED, M3_FIXED], &key_egds);
+    let final_mapping = build_mapping(
+        &s,
+        &t,
+        &mut pool,
+        &[M1_FIXED, M2_FIXED, M3_FIXED],
+        &key_egds,
+    );
     let result = routes_chase::chase(&final_mapping, source, &mut pool, ChaseOptions::fresh())
         .expect("the key egds are consistent on this data");
     assert!(is_solution(&final_mapping, source, &result.target));
@@ -121,7 +132,10 @@ fn main() {
     let mut shown = std::collections::HashSet::new();
     for merge in &result.egd_log {
         if shown.insert(merge.resolved) {
-            print!("{}", history_to_string(&pool, &result.egd_log, merge.resolved));
+            print!(
+                "{}",
+                history_to_string(&pool, &result.egd_log, merge.resolved)
+            );
         }
     }
 
@@ -134,7 +148,11 @@ fn main() {
         .map(|id| result.target.tuple(id))
         .filter(|vals| vals[0] == Value::Int(234))
         .collect();
-    assert_eq!(along_rows.len(), 1, "key egds collapse holder 234 to one row");
+    assert_eq!(
+        along_rows.len(),
+        1,
+        "key egds collapse holder 234 to one row"
+    );
     assert_eq!(pool.value_to_string(along_rows[0][3]), "30K");
     println!(
         "\nholder 234 now has a single Clients row with income 30K — the key egds\n\

@@ -76,7 +76,8 @@ fn main() {
             minimal.len(),
             route_rank(&env, r)
         );
-        r.validate(&env, &[probe]).expect("NaivePrint routes are valid");
+        r.validate(&env, &[probe])
+            .expect("NaivePrint routes are valid");
     }
     let ratio = all_time.as_secs_f64() / one_time.as_secs_f64().max(1e-9);
     if ratio > 1.0 {

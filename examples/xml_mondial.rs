@@ -83,11 +83,7 @@ fn main() {
         .expect("chase succeeds")
         .target;
     let nested_schema = tiny.nested_target.as_ref().expect("Mondial2 is nested");
-    let nested = decode_instance(
-        nested_schema,
-        &encode_schema(nested_schema),
-        &tiny_solution,
-    );
+    let nested = decode_instance(nested_schema, &encode_schema(nested_schema), &tiny_solution);
     let xml = to_xmlish(nested_schema, &nested, &tiny.scenario.pool);
     let head: String = xml.lines().take(12).collect::<Vec<_>>().join("\n");
     println!("\nfirst lines of the decoded XML target:\n{head}\n...");

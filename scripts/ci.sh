@@ -5,6 +5,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release --workspace --offline
 cargo test -q --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -63,6 +64,17 @@ cargo run --release --offline -p routes-bench --bin repro -- micro sessions --qu
 # WAL fsync-batch bench smoke: append throughput and recovery time per
 # group-commit batch size (writes bench_results/micro_persist.csv).
 cargo run --release --offline -p routes-bench --bin repro -- micro persist --quick
+
+# Pipeline gate: stage-by-stage chase + route stitching byte-identical at
+# every worker count, core-mode routes replay end to end, and the core
+# session's all-routes output matches the unminimized session on
+# surviving tuples.
+ROUTES_THREADS=2 cargo test -q --offline --test pipeline_routes
+ROUTES_THREADS=8 cargo test -q --offline --test pipeline_routes
+
+# Pipeline bench smoke: stitched-route latency per hop count and core
+# shrink ratio (writes bench_results/micro_pipeline.csv).
+cargo run --release --offline -p routes-bench --bin repro -- micro pipeline --quick
 
 # Admission-control gate: the HTTP saturation/abuse battery (slow-loris
 # reap + concurrent service, deterministic burst shedding with exact

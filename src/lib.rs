@@ -67,8 +67,8 @@ pub mod prelude {
     pub use routes_core::{
         alternative_routes, compute_all_routes, compute_one_route, compute_one_route_with,
         compute_source_routes, enumerate_routes, is_minimal, minimize_route, route_rank,
-        route_to_string, step_to_string, stratify, DebugSession, OneRouteOptions, Route,
-        RouteEnv, RouteForest, SatisfactionStep,
+        route_to_string, step_to_string, stratify, DebugSession, OneRouteOptions, Route, RouteEnv,
+        RouteForest, SatisfactionStep,
     };
     pub use routes_mapping::{
         parse_dependency, parse_egd, parse_st_tgd, parse_target_tgd, Dependency, Egd,
@@ -78,8 +78,8 @@ pub mod prelude {
         Atom, Fact, Instance, RelId, Schema, Side, Term, TupleId, Value, ValuePool, Var,
     };
     pub use routes_nested::{
-        copy_tree_tgd, decode_instance, encode_instance, encode_schema, to_xmlish,
-        NestedInstance, NestedSchema,
+        copy_tree_tgd, decode_instance, encode_instance, encode_schema, to_xmlish, NestedInstance,
+        NestedSchema,
     };
 }
 

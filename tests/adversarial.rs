@@ -15,15 +15,15 @@ fn constants_in_tgds_flow_through_routes() {
     t.rel("Premium", &["no", "tier"]);
     let mut pool = ValuePool::new();
     let mut m = SchemaMapping::new(s.clone(), t.clone());
-    m.add_st_tgd(
-        parse_st_tgd(&s, &t, &mut pool, "m: Card(x, 100) -> Premium(x, 'gold')").unwrap(),
-    )
-    .unwrap();
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m: Card(x, 100) -> Premium(x, 'gold')").unwrap())
+        .unwrap();
     let mut i = Instance::new(&s);
     let card = s.rel_id("Card").unwrap();
     i.insert_ok(card, &[Value::Int(1), Value::Int(100)]);
     i.insert_ok(card, &[Value::Int(2), Value::Int(50)]); // filtered out
-    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh())
+        .unwrap()
+        .target;
     assert_eq!(j.total_tuples(), 1);
     let env = RouteEnv::new(&m, &i, &j);
     let probe = j.all_rows().next().unwrap();
@@ -44,8 +44,13 @@ fn self_join_tgds() {
     let mut pool = ValuePool::new();
     let mut m = SchemaMapping::new(s.clone(), t.clone());
     m.add_st_tgd(
-        parse_st_tgd(&s, &t, &mut pool, "sib: Parent(p, x) & Parent(p, y) -> Sibling(x, y)")
-            .unwrap(),
+        parse_st_tgd(
+            &s,
+            &t,
+            &mut pool,
+            "sib: Parent(p, x) & Parent(p, y) -> Sibling(x, y)",
+        )
+        .unwrap(),
     )
     .unwrap();
     let mut i = Instance::new(&s);
@@ -53,7 +58,9 @@ fn self_join_tgds() {
     i.insert_ok(parent, &[Value::Int(1), Value::Int(10)]);
     i.insert_ok(parent, &[Value::Int(1), Value::Int(11)]);
     i.insert_ok(parent, &[Value::Int(2), Value::Int(20)]);
-    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh())
+        .unwrap()
+        .target;
     // Pairs including reflexive: (10,10),(10,11),(11,10),(11,11),(20,20).
     assert_eq!(j.total_tuples(), 5);
     let env = RouteEnv::new(&m, &i, &j);
@@ -100,15 +107,15 @@ fn unicode_values_and_identifiers() {
     t.rel("Ciudad", &["name", "land"]);
     let mut pool = ValuePool::new();
     let mut m = SchemaMapping::new(s.clone(), t.clone());
-    m.add_st_tgd(
-        parse_st_tgd(&s, &t, &mut pool, "übertrag: Stadt(x, y) → Ciudad(x, y)").unwrap(),
-    )
-    .unwrap();
+    m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "übertrag: Stadt(x, y) → Ciudad(x, y)").unwrap())
+        .unwrap();
     let mut i = Instance::new(&s);
     let köln = pool.str("Köln");
     let de = pool.str("Deutschland 🇩🇪");
     i.insert_ok(s.rel_id("Stadt").unwrap(), &[köln, de]);
-    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh())
+        .unwrap()
+        .target;
     let env = RouteEnv::new(&m, &i, &j);
     let probe = j.all_rows().next().unwrap();
     let route = compute_one_route(env, &[probe]).unwrap();
@@ -134,7 +141,13 @@ fn wide_tuples_and_long_chains() {
     let mut pool = ValuePool::new();
     let mut m = SchemaMapping::new(s.clone(), t.clone());
     m.add_st_tgd(
-        parse_st_tgd(&s, &t, &mut pool, &format!("c0: W0({varlist}) -> W1({varlist})")).unwrap(),
+        parse_st_tgd(
+            &s,
+            &t,
+            &mut pool,
+            &format!("c0: W0({varlist}) -> W1({varlist})"),
+        )
+        .unwrap(),
     )
     .unwrap();
     for k in 1..10 {
@@ -154,7 +167,9 @@ fn wide_tuples_and_long_chains() {
         let values: Vec<Value> = (0..24).map(|c| Value::Int(row * 100 + c)).collect();
         i.insert_ok(w0, &values);
     }
-    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh())
+        .unwrap()
+        .target;
     assert_eq!(j.total_tuples(), 50);
     assert!(is_solution(&m, &i, &j));
     let env = RouteEnv::new(&m, &i, &j);
@@ -177,7 +192,9 @@ fn empty_source_and_vacuous_mappings() {
     m.add_st_tgd(parse_st_tgd(&s, &t, &mut pool, "m: S(x) -> T(x)").unwrap())
         .unwrap();
     let i = Instance::new(&s);
-    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh())
+        .unwrap()
+        .target;
     assert!(j.is_empty());
     let env = RouteEnv::new(&m, &i, &j);
     let forest = compute_all_routes(env, &[]);
@@ -209,7 +226,9 @@ fn negative_integers_and_large_values() {
     let sr = s.rel_id("S").unwrap();
     i.insert_ok(sr, &[Value::Int(i64::MAX), Value::Int(-42)]);
     i.insert_ok(sr, &[Value::Int(i64::MIN), Value::Int(7)]);
-    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh())
+        .unwrap()
+        .target;
     assert_eq!(j.total_tuples(), 1);
     let env = RouteEnv::new(&m, &i, &j);
     let probe = j.all_rows().next().unwrap();
@@ -236,7 +255,9 @@ fn alternatives_for_multi_tuple_selections() {
     i.insert_ok(s.rel_id("S2").unwrap(), &[Value::Int(1)]);
     i.insert_ok(s.rel_id("S1").unwrap(), &[Value::Int(2)]);
     i.insert_ok(s.rel_id("S2").unwrap(), &[Value::Int(2)]);
-    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh())
+        .unwrap()
+        .target;
     let selection: Vec<TupleId> = j.all_rows().collect();
     assert_eq!(selection.len(), 2);
     let routes = alternative_routes(RouteEnv::new(&m, &i, &j), &selection, 5);

@@ -29,8 +29,14 @@ fn fresh_chase_results_are_universal_across_chase_variants() {
         let Ok(skolem) = chase(&sc.mapping, &sc.source, &mut sc.pool, skolem_opts) else {
             continue;
         };
-        assert!(is_solution(&sc.mapping, &sc.source, &fresh.target), "seed {seed}");
-        assert!(is_solution(&sc.mapping, &sc.source, &skolem.target), "seed {seed}");
+        assert!(
+            is_solution(&sc.mapping, &sc.source, &fresh.target),
+            "seed {seed}"
+        );
+        assert!(
+            is_solution(&sc.mapping, &sc.source, &skolem.target),
+            "seed {seed}"
+        );
         // Universality: the Fresh result maps homomorphically into the
         // Skolem result (which is just another solution).
         if fresh.target.total_tuples() <= 12 {
@@ -58,7 +64,9 @@ fn universal_solution_maps_into_a_padded_solution() {
         .unwrap();
     let mut i = Instance::new(&s);
     i.insert_ok(s.rel_id("S").unwrap(), &[Value::Int(1)]);
-    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap().target;
+    let j = chase(&m, &i, &mut pool, ChaseOptions::fresh())
+        .unwrap()
+        .target;
 
     let mut padded = Instance::new(&t);
     let tr = t.rel_id("T").unwrap();
@@ -68,7 +76,9 @@ fn universal_solution_maps_into_a_padded_solution() {
     let hom = find_homomorphism(&j, &padded).expect("universal solution maps into any solution");
     // The invented null must land on 99.
     let null = j.tuple(j.all_rows().next().unwrap())[1];
-    let Value::Null(nid) = null else { panic!("chase invents a null") };
+    let Value::Null(nid) = null else {
+        panic!("chase invents a null")
+    };
     assert_eq!(hom[&nid], Value::Int(99));
 }
 

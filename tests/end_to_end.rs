@@ -13,7 +13,11 @@ fn relational_scenarios_all_join_counts() {
     for joins in 0..=3 {
         let mut sc = relational_scenario(joins, &TpchRows::scale(0.0003), 17);
         let solution = sc.scenario.solution().unwrap().target;
-        assert!(is_solution(&sc.scenario.mapping, &sc.scenario.source, &solution));
+        assert!(is_solution(
+            &sc.scenario.mapping,
+            &sc.scenario.source,
+            &solution
+        ));
         let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
         for group in [1usize, 3, 6] {
             let selection = sc.select_from_group(&solution, group, 3, 99);
@@ -51,7 +55,11 @@ fn relational_forest_and_enumeration() {
 fn flat_hierarchy_routes_in_both_findhom_modes() {
     let mut sc = flat_scenario(1, &TpchRows::scale(0.0002), 19);
     let solution = sc.scenario.solution().unwrap().target;
-    assert!(is_solution(&sc.scenario.mapping, &sc.scenario.source, &solution));
+    assert!(is_solution(
+        &sc.scenario.mapping,
+        &sc.scenario.source,
+        &solution
+    ));
     let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
     let selection = sc.select_from_group(&solution, 2, 4, 3);
     let lazy = compute_one_route(env, &selection).unwrap();
@@ -88,7 +96,11 @@ fn deep_hierarchy_routes_at_every_depth() {
         // One copying tgd: at most one step per selected element (fewer when
         // two elements share a root-to-leaf path and one step proves both).
         assert!(route.len() <= selection.len(), "depth {depth}");
-        assert_eq!(route_rank(&env, &route), 1, "depth {depth}: all steps are s-t");
+        assert_eq!(
+            route_rank(&env, &route),
+            1,
+            "depth {depth}: all steps are s-t"
+        );
     }
 }
 
@@ -100,7 +112,11 @@ fn dblp_scenario_routes_and_source_side() {
         .solution_with(ChaseOptions::fresh())
         .unwrap()
         .target;
-    assert!(is_solution(&sc.scenario.mapping, &sc.scenario.source, &solution));
+    assert!(is_solution(
+        &sc.scenario.mapping,
+        &sc.scenario.source,
+        &solution
+    ));
     let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
 
     // Probe a junction tuple: TInProcPublished rows always have routes.
@@ -128,7 +144,11 @@ fn mondial_scenario_routes_with_egds_applied() {
     // The key egds actually fired (nulls merged at least once).
     assert!(result.egd_rewrites >= 1, "key egds should merge nulls");
     let solution = result.target;
-    assert!(is_solution(&sc.scenario.mapping, &sc.scenario.source, &solution));
+    assert!(is_solution(
+        &sc.scenario.mapping,
+        &sc.scenario.source,
+        &solution
+    ));
     let env = RouteEnv::new(&sc.scenario.mapping, &sc.scenario.source, &solution);
 
     // Each country appears exactly once (the egds deduplicated them).

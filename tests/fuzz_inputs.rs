@@ -52,8 +52,8 @@ fn arbitrary_unicode(rng: &mut Rng, max: usize) -> String {
 /// past the tokenizer). Mirrors the original strategy's 2:2:1:1:1 weights.
 fn parserish(rng: &mut Rng) -> String {
     const TOKENS: &[char] = &[
-        'S', 'T', 'a', 'b', '(', ')', ',', '&', '>', ':', '=', '#', '\'', '0', '1', '2', '3',
-        '4', '5', '6', '7', '8', '9', ' ', '-',
+        'S', 'T', 'a', 'b', '(', ')', ',', '&', '>', ':', '=', '#', '\'', '0', '1', '2', '3', '4',
+        '5', '6', '7', '8', '9', ' ', '-',
     ];
     match rng.gen_range(0..7usize) {
         0 | 1 => printable(rng, 60),

@@ -122,8 +122,7 @@ fn generated_mappings_are_sound_end_to_end() {
         );
         let env = RouteEnv::new(&mapping, &i, &result.target);
         for probe in result.target.all_rows().take(12) {
-            let route =
-                compute_one_route(env, &[probe]).expect("chased tuples always have routes");
+            let route = compute_one_route(env, &[probe]).expect("chased tuples always have routes");
             route.validate(&env, &[probe]).unwrap();
         }
     }

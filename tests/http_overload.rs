@@ -79,7 +79,9 @@ fn read_one_response(stream: &mut TcpStream) -> RawResponse {
             return response;
         }
         let mut chunk = [0u8; 1024];
-        let n = stream.read(&mut chunk).expect("read while awaiting response");
+        let n = stream
+            .read(&mut chunk)
+            .expect("read while awaiting response");
         assert!(n > 0, "EOF before a complete response (got {buf:?})");
         buf.extend_from_slice(&chunk[..n]);
     }
@@ -159,7 +161,9 @@ fn slow_loris_is_reaped_while_normal_clients_are_served() {
             .set_read_timeout(Some(Duration::from_secs(10)))
             .unwrap();
         let mut all = Vec::new();
-        stream.read_to_end(&mut all).expect("read the reap response");
+        stream
+            .read_to_end(&mut all)
+            .expect("read the reap response");
         (started.elapsed(), all)
     });
 
@@ -204,7 +208,8 @@ fn burst_beyond_capacity_sheds_429_and_counters_reconcile_exactly() {
     // Pin the single worker with a request stalled mid-headers...
     let mut pin = TcpStream::connect(addr).expect("connect");
     pin.set_read_timeout(Some(Duration::from_secs(15))).unwrap();
-    pin.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n").unwrap();
+    pin.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n")
+        .unwrap();
     std::thread::sleep(Duration::from_millis(300));
     // ...and fill the one-slot queue with a parked complete request.
     let mut parked = TcpStream::connect(addr).expect("connect");
@@ -277,7 +282,8 @@ fn graceful_drain_finishes_in_flight_closes_idle_and_refuses_new() {
 
     // B: a keep-alive client that completes one request, then idles.
     let mut idle = TcpStream::connect(addr).expect("connect");
-    idle.set_read_timeout(Some(Duration::from_secs(15))).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(15)))
+        .unwrap();
     idle.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
         .unwrap();
     let response = read_one_response(&mut idle);
@@ -309,12 +315,18 @@ fn graceful_drain_finishes_in_flight_closes_idle_and_refuses_new() {
     assert_eq!(response.status, 200);
     let mut rest = Vec::new();
     inflight.read_to_end(&mut rest).unwrap();
-    assert!(rest.is_empty(), "no bytes after the final response: {rest:?}");
+    assert!(
+        rest.is_empty(),
+        "no bytes after the final response: {rest:?}"
+    );
 
     // B's idle keep-alive is closed with a clean EOF, not a reset.
     let mut rest = Vec::new();
     idle.read_to_end(&mut rest).unwrap();
-    assert!(rest.is_empty(), "idle keep-alive got bytes at drain: {rest:?}");
+    assert!(
+        rest.is_empty(),
+        "idle keep-alive got bytes at drain: {rest:?}"
+    );
 
     // Once drained, the listener is gone: new connections are refused.
     handle.join().expect("server exits");

@@ -46,7 +46,12 @@ fn dump_instance(schema: &Schema, inst: &Instance, values: &ValuePool) -> String
     for (rel, relation) in schema.iter() {
         for (t, row) in inst.rel_tuples(rel) {
             let vs: Vec<String> = row.iter().map(|&v| values.value_to_string(v)).collect();
-            out.push_str(&format!("{}[{}]({})\n", relation.name(), t.row, vs.join(", ")));
+            out.push_str(&format!(
+                "{}[{}]({})\n",
+                relation.name(),
+                t.row,
+                vs.join(", ")
+            ));
         }
     }
     out
@@ -113,8 +118,15 @@ fn campaign_matches_full_rechase_at_every_prefix() {
             .collect();
         let mut kept_total = 0usize;
         for (k, ops) in campaign.batches.iter().enumerate() {
-            let apply = apply_batch(&text, &scenario, &state, ops, ChaseOptions::fresh(), &workers)
-                .unwrap_or_else(|e| panic!("threads {threads} batch {k}: {e}"));
+            let apply = apply_batch(
+                &text,
+                &scenario,
+                &state,
+                ops,
+                ChaseOptions::fresh(),
+                &workers,
+            )
+            .unwrap_or_else(|e| panic!("threads {threads} batch {k}: {e}"));
             let fresh = prepare(&apply.text, &workers);
 
             // The incremental instance is byte-identical to the re-chase.
@@ -142,7 +154,9 @@ fn campaign_matches_full_rechase_at_every_prefix() {
             let keep = surviving_selections(cache.iter(), &apply, &scenario.pool);
             let mut next_cache: HashMap<Vec<TupleId>, RouteForest> = HashMap::new();
             for sel in keep {
-                let survivor = cache.remove(&sel).expect("kept selections come from the cache");
+                let survivor = cache
+                    .remove(&sel)
+                    .expect("kept selections come from the cache");
                 let recomputed = forest_for(&fresh, &sel);
                 assert_eq!(
                     dump_forest(&survivor, &apply.scenario.pool),
@@ -213,8 +227,15 @@ fn insert_only_edits_keep_existing_tuple_ids_stable() {
     for (k, ops) in batches.iter().enumerate() {
         let before_source = tuples_by_id(scenario.mapping.source(), &scenario.source);
         let before_target = tuples_by_id(scenario.mapping.target(), &scenario.target);
-        let apply = apply_batch(&text, &scenario, &state, ops, ChaseOptions::fresh(), &workers)
-            .unwrap_or_else(|e| panic!("batch {k}: {e}"));
+        let apply = apply_batch(
+            &text,
+            &scenario,
+            &state,
+            ops,
+            ChaseOptions::fresh(),
+            &workers,
+        )
+        .unwrap_or_else(|e| panic!("batch {k}: {e}"));
         for (id, values) in &before_source {
             assert_eq!(
                 &apply.scenario.source.tuple(*id),
@@ -263,8 +284,15 @@ fn edit_batch_index_build_work_is_bounded_by_instance_size() {
     let mut scenario = prepare(&text, &workers);
     let mut state = IncrState::default();
     for (k, ops) in campaign.batches.iter().enumerate() {
-        let apply = apply_batch(&text, &scenario, &state, ops, ChaseOptions::fresh(), &workers)
-            .unwrap_or_else(|e| panic!("batch {k}: {e}"));
+        let apply = apply_batch(
+            &text,
+            &scenario,
+            &state,
+            ops,
+            ChaseOptions::fresh(),
+            &workers,
+        )
+        .unwrap_or_else(|e| panic!("batch {k}: {e}"));
         let source_rows: u64 = apply
             .scenario
             .mapping
@@ -383,7 +411,13 @@ fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
 /// cache-status flag), for cross-session equality checks.
 fn answer_of(body: &Json) -> String {
     let mut parts = Vec::new();
-    for field in ["num_nodes", "num_branches", "all_roots_provable", "roots", "nodes"] {
+    for field in [
+        "num_nodes",
+        "num_branches",
+        "all_roots_provable",
+        "roots",
+        "nodes",
+    ] {
         parts.push(format!(
             "{field}={}",
             body.get(field)
@@ -480,8 +514,11 @@ fn edit_endpoint_maintains_forests_and_matches_a_fresh_session() {
     let (status, _, body) = c.request("POST", "/sessions", Some(&create_body(final_text)));
     assert_eq!(status, 201);
     let twin = body.get("session").unwrap().as_u64().unwrap();
-    let (status, _, twin_answer) =
-        c.request("POST", &format!("/sessions/{twin}/all-routes"), Some(select));
+    let (status, _, twin_answer) = c.request(
+        "POST",
+        &format!("/sessions/{twin}/all-routes"),
+        Some(select),
+    );
     assert_eq!(status, 200);
     assert_eq!(
         answer_of(&edited_answer),
@@ -558,8 +595,7 @@ fn restart_replays_edit_records_to_the_same_state() {
     // continue the edit sequence at 3.
     let (addr, handle) = start(config_with_dir(tmp.path()));
     let mut c = Client::connect(addr);
-    let (status, _, after) =
-        c.request("POST", &format!("/sessions/{id}/all-routes"), Some(select));
+    let (status, _, after) = c.request("POST", &format!("/sessions/{id}/all-routes"), Some(select));
     assert_eq!(status, 200, "replayed session must be live: {after:?}");
     assert_eq!(
         answer_of(&before),

@@ -111,9 +111,14 @@ fn copy_tgd_through_chase_preserves_trees() {
             let tgd = parse_st_tgd(&enc_src.schema, &enc_dst.schema, &mut pool, &text).unwrap();
             mapping.add_st_tgd(tgd).unwrap();
         }
-        let solution = chase(&mapping, &encoded.instance, &mut pool, ChaseOptions::skolem())
-            .unwrap()
-            .target;
+        let solution = chase(
+            &mapping,
+            &encoded.instance,
+            &mut pool,
+            ChaseOptions::skolem(),
+        )
+        .unwrap()
+        .target;
         assert_eq!(solution.total_tuples(), inst.len(), "case {case}");
         let back = decode_instance(&dst, &enc_dst, &solution);
         assert_eq!(back.len(), inst.len(), "case {case}");

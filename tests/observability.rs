@@ -30,7 +30,9 @@ fn raw_request(
     body: Option<&str>,
 ) -> (u16, Vec<(String, String)>, String) {
     let stream = TcpStream::connect(addr).expect("connect");
-    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
     let mut writer = stream.try_clone().unwrap();
     let body = body.unwrap_or("");
     let mut head = format!(
@@ -66,7 +68,10 @@ fn raw_request(
 }
 
 fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
 }
 
 fn start(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<()>) {
@@ -100,13 +105,8 @@ fn trace_ids_are_echoed_minted_and_unique_across_concurrent_clients() {
             for i in 0..8 {
                 if c % 2 == 0 {
                     let supplied = format!("client-{c}-req-{i}");
-                    let (status, headers, _) = raw_request(
-                        addr,
-                        "GET",
-                        "/healthz",
-                        &[("X-Trace-Id", &supplied)],
-                        None,
-                    );
+                    let (status, headers, _) =
+                        raw_request(addr, "GET", "/healthz", &[("X-Trace-Id", &supplied)], None);
                     assert_eq!(status, 200);
                     assert_eq!(header(&headers, "x-trace-id"), Some(supplied.as_str()));
 
@@ -129,10 +129,13 @@ fn trace_ids_are_echoed_minted_and_unique_across_concurrent_clients() {
                 } else {
                     let (status, headers, _) = raw_request(addr, "GET", "/healthz", &[], None);
                     assert_eq!(status, 200);
-                    let id = header(&headers, "x-trace-id").expect("minted id").to_owned();
+                    let id = header(&headers, "x-trace-id")
+                        .expect("minted id")
+                        .to_owned();
                     assert_eq!(id.len(), 16, "minted ids are 16 hex chars: {id:?}");
                     assert!(
-                        id.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()),
+                        id.bytes()
+                            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()),
                         "minted ids are lowercase hex: {id:?}"
                     );
                     minted.lock().unwrap().push(id);
@@ -156,7 +159,10 @@ fn trace_ids_are_echoed_minted_and_unique_across_concurrent_clients() {
     let body = parse(&body).unwrap();
     assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
     assert!(body.get("version").and_then(|v| v.as_str()).is_some());
-    assert!(body.get("uptime_seconds").and_then(|v| v.as_u64()).is_some());
+    assert!(body
+        .get("uptime_seconds")
+        .and_then(|v| v.as_u64())
+        .is_some());
 
     shutdown(addr, handle);
 }
@@ -206,7 +212,13 @@ fn trace_dump_shows_child_spans_whose_durations_sum_within_the_request() {
         .iter()
         .map(|s| s.get("name").unwrap().as_str().unwrap())
         .collect();
-    for expected in ["request", "chase", "session_lock_write", "wal_append", "wal_fsync"] {
+    for expected in [
+        "request",
+        "chase",
+        "session_lock_write",
+        "wal_append",
+        "wal_fsync",
+    ] {
         assert!(
             names.contains(&expected),
             "expected a {expected:?} span for a durable create, got {names:?}"
@@ -280,7 +292,10 @@ fn slow_request_warning_fires_above_the_threshold() {
         })
         .unwrap_or_else(|| panic!("no slow_request warning for {trace_id:?} in:\n{captured}"));
     assert_eq!(warning.get("level").and_then(|v| v.as_str()), Some("warn"));
-    assert_eq!(warning.get("path").and_then(|v| v.as_str()), Some("/healthz"));
+    assert_eq!(
+        warning.get("path").and_then(|v| v.as_str()),
+        Some("/healthz")
+    );
     assert_eq!(warning.get("status").and_then(|v| v.as_u64()), Some(200));
     assert!(warning.get("elapsed_us").and_then(|v| v.as_u64()).is_some());
 }

@@ -37,8 +37,15 @@ fn naive_print_produces_r3_and_minimization_recovers_r1() {
     assert_eq!(routes.len(), 1);
     let r3 = &routes[0];
     // R3: σ2 σ3 σ4 σ2 σ3 σ4 σ1 σ5 σ8 σ6.
-    let names: Vec<&str> = r3.steps().iter().map(|s| env.mapping.tgd(s.tgd).name()).collect();
-    assert_eq!(names, ["s2", "s3", "s4", "s2", "s3", "s4", "s1", "s5", "s8", "s6"]);
+    let names: Vec<&str> = r3
+        .steps()
+        .iter()
+        .map(|s| env.mapping.tgd(s.tgd).name())
+        .collect();
+    assert_eq!(
+        names,
+        ["s2", "s3", "s4", "s2", "s3", "s4", "s1", "s5", "s8", "s6"]
+    );
     r3.validate(&env, &[t7]).unwrap();
 
     // R1 = minimal version: σ2 σ3 σ4 σ1 σ5 σ8 σ6 (7 steps, minimal).

@@ -117,7 +117,10 @@ fn scenario_3_route_for_t2_is_m2_then_m5_through_t6() {
     assert_eq!(names, ["m2", "m5"]);
     // The m2 step witnesses t6 from s2; the m5 step uses t6 as its premise.
     let first = &route.steps()[0];
-    assert_eq!(first.lhs_facts(&env).unwrap(), vec![Fact::source(fargo.s[1])]);
+    assert_eq!(
+        first.lhs_facts(&env).unwrap(),
+        vec![Fact::source(fargo.s[1])]
+    );
     assert_eq!(first.rhs_tuples(&env).unwrap(), vec![t6]);
     let second = &route.steps()[1];
     assert_eq!(second.lhs_facts(&env).unwrap(), vec![Fact::target(t6)]);
@@ -160,7 +163,9 @@ fn source_side_routes_identify_exporting_tgds() {
     let forward = compute_source_routes(env, &[fargo.s[5]], 3);
     let branches = &forward.branches[&Fact::source(fargo.s[5])];
     assert_eq!(branches.len(), 2);
-    assert!(branches.iter().all(|b| env.mapping.tgd(b.tgd).name() == "m3"));
+    assert!(branches
+        .iter()
+        .all(|b| env.mapping.tgd(b.tgd).name() == "m3"));
 }
 
 #[test]

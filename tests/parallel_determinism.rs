@@ -68,7 +68,10 @@ trait HomDump {
 
 impl HomDump for routes_core::Branch {
     fn iter_hom(&self, values: &ValuePool) -> Vec<String> {
-        self.hom.iter().map(|&v| values.value_to_string(v)).collect()
+        self.hom
+            .iter()
+            .map(|&v| values.value_to_string(v))
+            .collect()
     }
 }
 

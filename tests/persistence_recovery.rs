@@ -89,7 +89,10 @@ impl Client {
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body).unwrap();
         let text = String::from_utf8(body).unwrap();
-        (status, parse(&text).unwrap_or_else(|e| panic!("bad JSON {text:?}: {e}")))
+        (
+            status,
+            parse(&text).unwrap_or_else(|e| panic!("bad JSON {text:?}: {e}")),
+        )
     }
 }
 
@@ -106,7 +109,10 @@ fn scenario_text(tag: i64) -> String {
 }
 
 fn create_body(tag: i64) -> String {
-    format!("{{\"scenario\": {}}}", Json::from(scenario_text(tag).as_str()).encode())
+    format!(
+        "{{\"scenario\": {}}}",
+        Json::from(scenario_text(tag).as_str()).encode()
+    )
 }
 
 fn config_with_dir(dir: &Path, max_sessions: usize) -> ServerConfig {
@@ -158,14 +164,20 @@ fn restart_restores_live_evicted_and_deleted_sessions() {
             gone.push(victim);
         }
     }
-    assert!(!gone.is_empty(), "capacity {CAPACITY} with {CREATES} creates must evict");
+    assert!(
+        !gone.is_empty(),
+        "capacity {CAPACITY} with {CREATES} creates must evict"
+    );
 
     // Warm the forest cache of the freshest session (certainly live) so
     // the restart can prove the memo was replayed.
     let warmed = *live.last().unwrap();
     let select = r#"{"tuples": [{"relation": "U", "row": 0}, {"relation": "T", "row": 1}]}"#;
-    let (status, body) =
-        c.request("POST", &format!("/sessions/{warmed}/all-routes"), Some(select));
+    let (status, body) = c.request(
+        "POST",
+        &format!("/sessions/{warmed}/all-routes"),
+        Some(select),
+    );
     assert_eq!(status, 200, "{body:?}");
     assert_eq!(body.get("cached").unwrap().as_bool(), Some(false));
     let branches = body.get("num_branches").unwrap().as_u64();
@@ -194,23 +206,48 @@ fn restart_restores_live_evicted_and_deleted_sessions() {
     // The warmed forest was replayed: the same selection (permuted) is a
     // cache hit with the same branch count.
     let permuted = r#"{"tuples": [{"relation": "T", "row": 1}, {"relation": "U", "row": 0}]}"#;
-    let (status, body) =
-        c.request("POST", &format!("/sessions/{warmed}/all-routes"), Some(permuted));
+    let (status, body) = c.request(
+        "POST",
+        &format!("/sessions/{warmed}/all-routes"),
+        Some(permuted),
+    );
     assert_eq!(status, 200, "{body:?}");
-    assert_eq!(body.get("cached").unwrap().as_bool(), Some(true), "forest memo replayed");
+    assert_eq!(
+        body.get("cached").unwrap().as_bool(),
+        Some(true),
+        "forest memo replayed"
+    );
     assert_eq!(body.get("num_branches").unwrap().as_u64(), branches);
 
     // Metrics accounting: the persistence block counts exactly the
     // restored population, and the store agrees shard by shard.
     let (status, m) = c.request("GET", "/metrics", None);
     assert_eq!(status, 200);
-    assert!(m.get("version").unwrap().as_str().is_some_and(|v| !v.is_empty()));
+    assert!(m
+        .get("version")
+        .unwrap()
+        .as_str()
+        .is_some_and(|v| !v.is_empty()));
     assert!(m.get("uptime_seconds").unwrap().as_u64().is_some());
-    assert_eq!(m.get("live_sessions").unwrap().as_u64(), Some(live.len() as u64));
-    let p = m.get("persistence").expect("persistence block when --data-dir is set");
-    assert_eq!(p.get("restored_sessions").unwrap().as_u64(), Some(live.len() as u64));
-    assert!(p.get("replayed_records").unwrap().as_u64().unwrap() > 0, "boot replayed the WAL");
-    assert!(p.get("wal_gen").unwrap().as_u64().unwrap() >= 2, "each boot rotates a generation");
+    assert_eq!(
+        m.get("live_sessions").unwrap().as_u64(),
+        Some(live.len() as u64)
+    );
+    let p = m
+        .get("persistence")
+        .expect("persistence block when --data-dir is set");
+    assert_eq!(
+        p.get("restored_sessions").unwrap().as_u64(),
+        Some(live.len() as u64)
+    );
+    assert!(
+        p.get("replayed_records").unwrap().as_u64().unwrap() > 0,
+        "boot replayed the WAL"
+    );
+    assert!(
+        p.get("wal_gen").unwrap().as_u64().unwrap() >= 2,
+        "each boot rotates a generation"
+    );
     let shard_total: u64 = m
         .get("session_store")
         .unwrap()
@@ -221,7 +258,11 @@ fn restart_restores_live_evicted_and_deleted_sessions() {
         .iter()
         .map(|s| s.get("sessions").unwrap().as_u64().unwrap())
         .sum();
-    assert_eq!(shard_total, live.len() as u64, "shard occupancy matches restored sessions");
+    assert_eq!(
+        shard_total,
+        live.len() as u64,
+        "shard occupancy matches restored sessions"
+    );
     shutdown(addr, handle);
 }
 

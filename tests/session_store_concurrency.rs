@@ -135,7 +135,10 @@ fn lockstep_accounting_is_byte_identical_across_shard_counts() {
         }
     }
 
-    let lines: Vec<String> = stores.iter().map(|s| s.snapshot().accounting_line()).collect();
+    let lines: Vec<String> = stores
+        .iter()
+        .map(|s| s.snapshot().accounting_line())
+        .collect();
     for (shards, (store, line)) in SHARD_COUNTS.iter().zip(stores.iter().zip(&lines)) {
         assert_eq!(store.len(), CAPACITY, "{shards}-shard store saturated");
         assert_eq!(

@@ -24,7 +24,9 @@ fn chased(seed: u64) -> Option<(routes_gen::Scenario, Instance)> {
 fn forward_branches_are_valid_steps_containing_the_probe() {
     let mut branches_checked = 0;
     for seed in 0..120 {
-        let Some((sc, j)) = chased(seed) else { continue };
+        let Some((sc, j)) = chased(seed) else {
+            continue;
+        };
         let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
         let sources: Vec<TupleId> = sc.source.all_rows().collect();
         if sources.is_empty() {
@@ -48,13 +50,18 @@ fn forward_branches_are_valid_steps_containing_the_probe() {
             }
         }
     }
-    assert!(branches_checked > 200, "enough branches checked: {branches_checked}");
+    assert!(
+        branches_checked > 200,
+        "enough branches checked: {branches_checked}"
+    );
 }
 
 #[test]
 fn one_step_forward_reachability_matches_backward_witnessing() {
     for seed in 0..80 {
-        let Some((sc, j)) = chased(seed) else { continue };
+        let Some((sc, j)) = chased(seed) else {
+            continue;
+        };
         let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
         let sources: Vec<TupleId> = sc.source.all_rows().collect();
         if sources.is_empty() || j.is_empty() {
@@ -67,9 +74,10 @@ fn one_step_forward_reachability_matches_backward_witnessing() {
                 // Backward: the target's forest must contain an s-t branch
                 // whose premises include s.
                 let backward = compute_all_routes(env, &[target]);
-                let witnessed = backward.branches_of(target).iter().any(|b| {
-                    b.is_st() && b.lhs_facts.contains(&Fact::source(s))
-                });
+                let witnessed = backward
+                    .branches_of(target)
+                    .iter()
+                    .any(|b| b.is_st() && b.lhs_facts.contains(&Fact::source(s)));
                 assert!(
                     witnessed,
                     "seed {seed}: {target:?} reached forward from {s:?} but no backward \
@@ -83,7 +91,9 @@ fn one_step_forward_reachability_matches_backward_witnessing() {
 #[test]
 fn one_route_from_source_premises_include_the_source() {
     for seed in 0..80 {
-        let Some((sc, j)) = chased(seed) else { continue };
+        let Some((sc, j)) = chased(seed) else {
+            continue;
+        };
         let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
         for s in sc.source.all_rows() {
             if let Some(route) = routes_core::source_routes::one_route_from_source(env, s) {

@@ -38,7 +38,9 @@ fn theorem_3_10_one_route_completeness_and_cross_validation() {
     let mut scenarios = 0;
     let mut tuples_checked = 0;
     for seed in 0..200 {
-        let Some((sc, j)) = chased(seed) else { continue };
+        let Some((sc, j)) = chased(seed) else {
+            continue;
+        };
         scenarios += 1;
         let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
         let all: Vec<TupleId> = j.all_rows().collect();
@@ -87,7 +89,10 @@ fn theorem_3_10_one_route_completeness_and_cross_validation() {
         }
     }
     assert!(scenarios > 100, "enough scenarios exercised: {scenarios}");
-    assert!(tuples_checked > 500, "enough tuples exercised: {tuples_checked}");
+    assert!(
+        tuples_checked > 500,
+        "enough tuples exercised: {tuples_checked}"
+    );
 }
 
 /// All satisfaction-step candidates `(σ, h)` valid with respect to `(I, J)`,
@@ -146,7 +151,9 @@ fn theorem_3_7_minimal_routes_appear_in_naive_print() {
     let mut verified_routes = 0;
     let mut scenarios = 0;
     for seed in 0..400 {
-        let Some((sc, j)) = chased(seed) else { continue };
+        let Some((sc, j)) = chased(seed) else {
+            continue;
+        };
         if j.total_tuples() == 0 || j.total_tuples() > 6 {
             continue;
         }
@@ -207,13 +214,18 @@ fn theorem_3_7_minimal_routes_appear_in_naive_print() {
         }
     }
     assert!(scenarios >= 20, "enough small scenarios found: {scenarios}");
-    assert!(verified_routes >= 50, "enough minimal routes verified: {verified_routes}");
+    assert!(
+        verified_routes >= 50,
+        "enough minimal routes verified: {verified_routes}"
+    );
 }
 
 #[test]
 fn naive_print_routes_are_always_valid() {
     for seed in 0..100 {
-        let Some((sc, j)) = chased(seed) else { continue };
+        let Some((sc, j)) = chased(seed) else {
+            continue;
+        };
         let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
         let all: Vec<TupleId> = j.all_rows().collect();
         if all.is_empty() {
@@ -235,7 +247,9 @@ fn forests_and_routes_stay_polynomial() {
     // is bounded by (#tuples × #tgds × #homs-per-pair) and routes never
     // exceed the forest's step budget.
     for seed in 0..100 {
-        let Some((sc, j)) = chased(seed) else { continue };
+        let Some((sc, j)) = chased(seed) else {
+            continue;
+        };
         let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
         let all: Vec<TupleId> = j.all_rows().collect();
         if all.is_empty() {
@@ -263,7 +277,9 @@ fn exact_count_matches_enumeration_when_acyclic() {
     use routes_core::count_routes;
     let mut checked = 0;
     for seed in 0..150 {
-        let Some((sc, j)) = chased(seed) else { continue };
+        let Some((sc, j)) = chased(seed) else {
+            continue;
+        };
         let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
         let all: Vec<TupleId> = j.all_rows().collect();
         if all.is_empty() || all.len() > 6 {
@@ -290,7 +306,9 @@ fn exact_count_matches_enumeration_when_acyclic() {
 #[test]
 fn minimize_route_always_reaches_a_minimal_route() {
     for seed in 0..100 {
-        let Some((sc, j)) = chased(seed) else { continue };
+        let Some((sc, j)) = chased(seed) else {
+            continue;
+        };
         let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
         let all: Vec<TupleId> = j.all_rows().collect();
         if all.is_empty() {
@@ -309,9 +327,13 @@ fn minimize_route_always_reaches_a_minimal_route() {
 #[test]
 fn alternative_routes_are_distinct_and_valid() {
     for seed in 0..60 {
-        let Some((sc, j)) = chased(seed) else { continue };
+        let Some((sc, j)) = chased(seed) else {
+            continue;
+        };
         let env = RouteEnv::new(&sc.mapping, &sc.source, &j);
-        let Some(t) = j.all_rows().next() else { continue };
+        let Some(t) = j.all_rows().next() else {
+            continue;
+        };
         let routes = alternative_routes(env, &[t], 4);
         let mut seen = HashSet::new();
         for route in &routes {
