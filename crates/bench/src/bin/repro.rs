@@ -11,6 +11,7 @@
 //! repro micro join [--quick]
 //! repro micro http [--quick]
 //! repro micro pipeline [--quick]
+//! repro micro prof [--quick]
 //! ```
 //!
 //! `--factor` scales the paper-equivalent instance sizes (default 0.1; use
@@ -44,7 +45,7 @@ use std::path::Path;
 use routes_bench::{
     edit_benches, fig10a, fig10b, fig10c, fig10d, fig11, flat_hierarchy, http_benches,
     join_benches, micro_benches, obs_benches, parallel_benches, persist_benches, pipeline_benches,
-    session_benches, table1, Sizing, Table,
+    prof_benches, session_benches, table1, Sizing, Table,
 };
 
 fn main() {
@@ -78,6 +79,7 @@ fn main() {
         [a, b] if a == "micro" && b == "join" => "micro-join".to_owned(),
         [a, b] if a == "micro" && b == "http" => "micro-http".to_owned(),
         [a, b] if a == "micro" && b == "pipeline" => "micro-pipeline".to_owned(),
+        [a, b] if a == "micro" && b == "prof" => "micro-prof".to_owned(),
         _ => usage("too many experiment names"),
     };
 
@@ -226,6 +228,16 @@ fn main() {
         emit(&name, vec![t]);
         ran = true;
     }
+    if which == "micro-prof" {
+        eprintln!(
+            "running self-profiler micro-benchmarks{} ...",
+            if quick { " (quick)" } else { "" }
+        );
+        let t = prof_benches(quick);
+        let name = t.title.clone();
+        emit(&name, vec![t]);
+        ran = true;
+    }
     if !ran {
         usage(&format!("unknown experiment `{which}`"));
     }
@@ -242,7 +254,8 @@ fn usage(msg: &str) -> ! {
          \u{20}      repro micro edit [--quick]\n\
          \u{20}      repro micro join [--quick]\n\
          \u{20}      repro micro http [--quick]\n\
-         \u{20}      repro micro pipeline [--quick]"
+         \u{20}      repro micro pipeline [--quick]\n\
+         \u{20}      repro micro prof [--quick]"
     );
     std::process::exit(2);
 }

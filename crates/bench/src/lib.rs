@@ -26,6 +26,7 @@ pub mod obs;
 pub mod parallel;
 pub mod persist;
 pub mod pipeline;
+pub mod prof;
 pub mod sessions;
 pub mod table;
 
@@ -38,6 +39,7 @@ pub use obs::obs_benches;
 pub use parallel::{parallel_benches, thread_counts};
 pub use persist::persist_benches;
 pub use pipeline::pipeline_benches;
+pub use prof::prof_benches;
 pub use sessions::session_benches;
 pub use table::Table;
 

@@ -1,0 +1,199 @@
+//! Self-profiler micro-benchmark: per-tgd chase attribution plus the
+//! sampler's request-path overhead.
+//!
+//! Run via the `repro` binary: `repro micro prof [--quick]` prints the
+//! table and writes `bench_results/micro_prof.csv`. The table mixes two
+//! row kinds (blank cells where a column does not apply):
+//!
+//! * `attribution` rows — one per dependency of a two-layer chase
+//!   (s-t tgds feeding target tgds): rows matched, tuples fired, and
+//!   the wall time the engine spent applying that dependency.
+//! * `sampler_off` / `sampler_on` rows — the `get-session` hot path
+//!   through [`App::handle_traced`] with the profiler idle versus a
+//!   live ticker sampling every worker stack. The acceptance bar
+//!   (ISSUE 10) is sampler-on overhead ≤ 5% over sampler-off.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use routes_chase::ChaseOptions;
+use routes_cli::{load_scenario_str, prepare_scenario};
+use routes_pool::Pool;
+use routes_server::http::Request;
+use routes_server::{App, SessionStore};
+
+use crate::{secs, Table};
+
+/// Relation pairs in the benchmark scenario.
+const RELATIONS: usize = 4;
+/// Rows per source relation.
+const ROWS: usize = 48;
+
+/// Sampler frequency for the overhead case: fast enough that samples
+/// actually land during each batch, far below the clamp.
+const SAMPLER_HZ: u32 = 97;
+
+/// A two-layer scenario: every `S{r}` copies into `T{r}` via an s-t tgd,
+/// and every `T{r}` feeds a target tgd into `U{r}` — so the attribution
+/// table carries both `st=true` and `st=false` rows with real work.
+fn scenario_text() -> String {
+    let mut source = String::from("source schema:\n");
+    let mut target = String::from("target schema:\n");
+    let mut deps = String::from("dependencies:\n");
+    let mut data = String::from("source data:\n");
+    for r in 0..RELATIONS {
+        source.push_str(&format!("  S{r}(a, b)\n"));
+        target.push_str(&format!("  T{r}(a, b)\n  U{r}(a, b)\n"));
+        deps.push_str(&format!("  m{r}: S{r}(x, y) -> T{r}(x, y)\n"));
+        deps.push_str(&format!("  t{r}: T{r}(x, y) -> U{r}(x, y)\n"));
+        for row in 0..ROWS {
+            data.push_str(&format!("  S{r}({}, {})\n", row, row + 1));
+        }
+    }
+    format!("{source}{target}{deps}{data}")
+}
+
+fn app_with_session() -> (App, u64) {
+    let prepared = prepare_scenario(
+        load_scenario_str(&scenario_text()).unwrap(),
+        ChaseOptions::fresh(),
+    )
+    .unwrap();
+    let pool = Pool::sequential();
+    let store = SessionStore::with_shards(4, 1);
+    let (id, _) = store.insert(prepared, &pool);
+    let app = App::with_observability(
+        store,
+        Pool::sequential(),
+        None,
+        Arc::new(routes_obs::Tracer::new(4096, 0)),
+        Duration::from_millis(500),
+    );
+    (app, id)
+}
+
+fn get_request(id: u64) -> Request {
+    Request {
+        method: "GET".to_owned(),
+        path: format!("/sessions/{id}"),
+        query: String::new(),
+        headers: Vec::new(),
+        body: Vec::new(),
+        keep_alive: true,
+    }
+}
+
+/// One timed batch: `requests` traced get-session requests; returns the
+/// number of 200s (kept so the work cannot be optimized away).
+fn drive(app: &App, req: &Request, requests: usize) -> usize {
+    (0..requests)
+        .filter(|_| app.handle_traced(req).status == 200)
+        .count()
+}
+
+/// Run the profiler sweep. `quick` shrinks batch sizes and samples for
+/// CI smoke runs.
+pub fn prof_benches(quick: bool) -> Table {
+    let (warmup, samples) = if quick { (1, 3) } else { (2, 15) };
+    let requests = if quick { 500 } else { 20_000 };
+    let mut out = Table::new(
+        "micro_prof",
+        &[
+            "case",
+            "tgd",
+            "st",
+            "matches",
+            "fired",
+            "wall_us",
+            "requests",
+            "median_s",
+            "ns_per_request",
+            "overhead_pct",
+        ],
+    );
+
+    // Part 1: per-tgd attribution from one sequential chase.
+    let attributed = prepare_scenario(
+        load_scenario_str(&scenario_text()).unwrap(),
+        ChaseOptions::fresh(),
+    )
+    .unwrap();
+    let stats = attributed
+        .chase_stats
+        .as_ref()
+        .expect("a chased scenario carries stats");
+    assert_eq!(
+        stats.per_tgd.iter().map(|t| t.fired).sum::<u64>(),
+        stats.tuples_created as u64,
+        "per-tgd fired counts must account for every created tuple"
+    );
+    for t in &stats.per_tgd {
+        out.push(vec![
+            "attribution".to_owned(),
+            t.name.clone(),
+            t.st.to_string(),
+            t.matches.to_string(),
+            t.fired.to_string(),
+            t.wall_us.to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+
+    // Part 2: sampler on/off overhead, interleaved round-robin so clock
+    // drift and noisy neighbors bias both cases equally.
+    let (app, id) = app_with_session();
+    let req = get_request(id);
+    // Cases alternate within each round: (off, on). The sampler lives
+    // only for the "on" batch — starting it enables the frame hooks,
+    // stopping it disables them, exactly like the server lifecycle.
+    let mut timings: [Vec<Duration>; 2] = [Vec::new(), Vec::new()];
+    for round in 0..warmup + samples {
+        for on in [false, true] {
+            let sampler = if on {
+                Some(routes_obs::start_sampler(SAMPLER_HZ).expect("sampler starts"))
+            } else {
+                None
+            };
+            let start = std::time::Instant::now();
+            assert_eq!(drive(&app, &req, requests), requests);
+            let elapsed = start.elapsed();
+            if let Some(sampler) = sampler {
+                sampler.stop();
+            }
+            if round >= warmup {
+                timings[usize::from(on)].push(elapsed);
+            }
+        }
+    }
+    routes_obs::reset_samples();
+
+    let mut baseline_ns: Option<f64> = None;
+    for (name, times) in ["sampler_off", "sampler_on"].into_iter().zip(&mut timings) {
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let per_request_ns = median.as_nanos() as f64 / requests as f64;
+        let overhead = match baseline_ns {
+            None => {
+                baseline_ns = Some(per_request_ns);
+                0.0
+            }
+            Some(base) => 100.0 * (per_request_ns - base) / base,
+        };
+        out.push(vec![
+            name.to_owned(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            requests.to_string(),
+            secs(median),
+            format!("{per_request_ns:.0}"),
+            format!("{overhead:.2}"),
+        ]);
+    }
+    out
+}

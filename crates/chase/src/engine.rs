@@ -1,6 +1,7 @@
 //! The chase engine.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use routes_mapping::{SchemaMapping, Tgd};
 use routes_model::{Instance, TupleId, Value, ValuePool, Var};
@@ -11,7 +12,7 @@ use routes_query::{
 };
 
 use crate::egd_log::{EgdLog, EgdMerge};
-use crate::result::{ChaseError, ChaseResult};
+use crate::result::{ChaseError, ChaseResult, TgdStats};
 use crate::unify::ValueUnifier;
 
 /// How existential variables receive values when a tgd fires.
@@ -95,6 +96,9 @@ struct Engine<'a> {
     /// [`Engine::collect_st_matches`] order). When set, the source joins
     /// are skipped entirely and these bindings fire instead.
     st_matches: Option<&'a [Vec<Bindings>]>,
+    /// Per-dependency attribution accumulators: s-t tgds first, then
+    /// target tgds, in mapping order.
+    tgd_stats: Vec<TgdStats>,
 }
 
 /// Run the chase of `(source, ∅)` with the mapping's dependencies.
@@ -182,6 +186,17 @@ fn run_engine(
         egd_rewrites: 0,
         egd_log: EgdLog::new(),
         st_matches,
+        tgd_stats: mapping
+            .st_tgds()
+            .iter()
+            .map(|tgd| TgdStats::new(tgd.name(), true))
+            .chain(
+                mapping
+                    .target_tgds()
+                    .iter()
+                    .map(|tgd| TgdStats::new(tgd.name(), false)),
+            )
+            .collect(),
     };
     engine.run()?;
     Ok(ChaseResult {
@@ -190,6 +205,7 @@ fn run_engine(
         tuples_created: engine.tuples_created,
         egd_rewrites: engine.egd_rewrites,
         egd_log: engine.egd_log,
+        per_tgd: engine.tgd_stats,
     })
 }
 
@@ -235,10 +251,16 @@ impl Engine<'_> {
     fn apply_st_tgds(&mut self) -> Result<Vec<TupleId>, ChaseError> {
         let mut inserted = Vec::new();
         for ti in 0..self.mapping.st_tgds().len() {
+            let started = Instant::now();
             let pending = self.collect_st_matches(ti);
+            self.tgd_stats[ti].matches += pending.len() as u64;
+            let before = inserted.len();
             for b in pending {
                 self.fire(true, ti as u32, b, &mut inserted)?;
             }
+            let stat = &mut self.tgd_stats[ti];
+            stat.fired += (inserted.len() - before) as u64;
+            stat.wall_us += started.elapsed().as_micros() as u64;
         }
         Ok(inserted)
     }
@@ -301,14 +323,21 @@ impl Engine<'_> {
     /// pool; firing stays sequential.
     fn apply_target_tgds(&mut self, delta: &[TupleId]) -> Result<Vec<TupleId>, ChaseError> {
         let mut inserted = Vec::new();
+        let st_count = self.mapping.st_tgds().len();
         for ti in 0..self.mapping.target_tgds().len() {
+            let started = Instant::now();
             // Collect matches first (MatchIter borrows target immutably),
             // then fire. Firing within a round sees the round-start target,
             // which matches the round semantics of the chase.
             let pending = self.collect_target_matches(ti, delta);
+            self.tgd_stats[st_count + ti].matches += pending.len() as u64;
+            let before = inserted.len();
             for b in pending {
                 self.fire(false, ti as u32, b, &mut inserted)?;
             }
+            let stat = &mut self.tgd_stats[st_count + ti];
+            stat.fired += (inserted.len() - before) as u64;
+            stat.wall_us += started.elapsed().as_micros() as u64;
         }
         Ok(inserted)
     }
@@ -574,6 +603,25 @@ mod tests {
         // m2 has universal vars x, y; two different y values give two
         // different Skolem nulls even though x is equal.
         assert_eq!(r.target.rel_len(u), 2);
+    }
+
+    #[test]
+    fn per_tgd_attribution_accounts_for_every_tuple() {
+        let (m, mut pool) = simple_mapping();
+        let i = src(&m, &[(1, 2), (3, 4)]);
+        let r = chase(&m, &i, &mut pool, ChaseOptions::fresh()).unwrap();
+        assert_eq!(r.per_tgd.len(), 2);
+        assert_eq!(r.per_tgd[0].name, "m1");
+        assert!(r.per_tgd[0].st);
+        assert_eq!(r.per_tgd[0].matches, 2);
+        assert_eq!(r.per_tgd[0].fired, 2);
+        assert_eq!(r.per_tgd[1].name, "m2");
+        assert!(!r.per_tgd[1].st);
+        assert_eq!(r.per_tgd[1].matches, 2);
+        assert_eq!(r.per_tgd[1].fired, 2);
+        // Every created tuple is attributed to exactly one dependency.
+        let fired: u64 = r.per_tgd.iter().map(|t| t.fired).sum();
+        assert_eq!(fired as usize, r.tuples_created);
     }
 
     #[test]

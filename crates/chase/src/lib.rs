@@ -39,4 +39,4 @@ pub use impact::{
     canon_value, impact_to_string, mapping_impact, solution_diff, target_row_diff, ImpactReport,
     RowDiff,
 };
-pub use result::{ChaseError, ChaseResult, ChaseStats};
+pub use result::{ChaseError, ChaseResult, ChaseStats, TgdStats};

@@ -21,11 +21,61 @@ pub struct ChaseResult {
     /// Every value merge egds performed, in order (egd provenance — see
     /// [`crate::egd_log`]).
     pub egd_log: EgdLog,
+    /// Per-dependency attribution, s-t tgds first then target tgds, in
+    /// mapping order.
+    pub per_tgd: Vec<TgdStats>,
+}
+
+/// Per-dependency chase attribution: how much work one tgd caused.
+///
+/// The counters (`matches`, `fired`) are deterministic — identical at
+/// every worker count and across sampler on/off runs — so they take part
+/// in equality. `wall_us` is a measurement, not a result; it is
+/// deliberately **excluded** from `PartialEq` so the engine's
+/// `sequential.stats() == parallel.stats()` determinism contract keeps
+/// holding.
+#[derive(Debug, Clone, Eq)]
+pub struct TgdStats {
+    /// The dependency's display name (e.g. `m1`).
+    pub name: String,
+    /// Whether this is an s-t tgd (`false`: target tgd).
+    pub st: bool,
+    /// LHS matches enumerated across all rounds (before the fire-side
+    /// satisfiability check in Fresh mode).
+    pub matches: u64,
+    /// Distinct target tuples this tgd's firings inserted.
+    pub fired: u64,
+    /// Wall time spent matching and firing this tgd, in microseconds.
+    /// Excluded from equality (see type docs).
+    pub wall_us: u64,
+}
+
+impl PartialEq for TgdStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.st == other.st
+            && self.matches == other.matches
+            && self.fired == other.fired
+    }
+}
+
+impl TgdStats {
+    /// A zeroed accumulator for one dependency.
+    pub fn new(name: &str, st: bool) -> TgdStats {
+        TgdStats {
+            name: name.to_owned(),
+            st,
+            matches: 0,
+            fired: 0,
+            wall_us: 0,
+        }
+    }
 }
 
 /// Plain-data summary of a chase run, detached from the instances it
-/// produced — cheap to copy, store alongside a session, or serialize.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// produced — cheap to clone, store alongside a session, or serialize.
+/// Equality ignores the per-tgd wall times (see [`TgdStats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChaseStats {
     /// Number of tgd rounds executed.
     pub rounds: usize,
@@ -37,6 +87,9 @@ pub struct ChaseStats {
     pub egd_merges: usize,
     /// Tuples in the final target instance `J`.
     pub target_tuples: usize,
+    /// Per-dependency attribution, s-t tgds first then target tgds, in
+    /// mapping order.
+    pub per_tgd: Vec<TgdStats>,
 }
 
 impl ChaseResult {
@@ -48,6 +101,7 @@ impl ChaseResult {
             egd_rewrites: self.egd_rewrites,
             egd_merges: self.egd_log.len(),
             target_tuples: self.target.total_tuples(),
+            per_tgd: self.per_tgd.clone(),
         }
     }
 }
@@ -115,6 +169,7 @@ mod tests {
             tuples_created: 5,
             egd_rewrites: 1,
             egd_log: Vec::new(),
+            per_tgd: vec![TgdStats::new("m1", true)],
         };
         let stats = result.stats();
         assert_eq!(stats.rounds, 3);
@@ -122,6 +177,20 @@ mod tests {
         assert_eq!(stats.egd_rewrites, 1);
         assert_eq!(stats.egd_merges, 0);
         assert_eq!(stats.target_tuples, 2);
+        assert_eq!(stats.per_tgd.len(), 1);
+    }
+
+    #[test]
+    fn tgd_stats_equality_ignores_wall_time() {
+        let mut a = TgdStats::new("m1", true);
+        a.matches = 4;
+        a.fired = 2;
+        a.wall_us = 1_000;
+        let mut b = a.clone();
+        b.wall_us = 999_999;
+        assert_eq!(a, b);
+        b.fired = 3;
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -111,7 +111,7 @@ pub fn prepare_pipeline(
     } = loaded;
     let prepared = chase_pipeline(pipeline, source, pool, options, workers)?;
     let last = prepared.final_stage();
-    let mut stats = last.stats;
+    let mut stats = last.stats.clone();
     // Core mode shrinks the final instance after the chase ran; report the
     // surviving tuple count, matching what probes will see.
     stats.target_tuples = last.target.total_tuples();

@@ -11,18 +11,28 @@
 //!   `routes-pool` workers, and a fixed-capacity preallocated ring buffer
 //!   of completed spans (`GET /trace` serves it).
 //! * [`prom`] — Prometheus text-format exposition helpers (`# HELP` /
-//!   `# TYPE` families, label escaping, cumulative histogram buckets) for
-//!   `GET /metrics?format=prometheus`.
+//!   `# TYPE` families, label escaping, cumulative histogram buckets,
+//!   bucket exemplars) for `GET /metrics?format=prometheus`.
+//! * [`profile`] — a sampling wall-clock self-profiler: a ticker thread
+//!   snapshots every worker's open-span stack into flamegraph-collapsed
+//!   counts (`GET /profile` serves them). Off by default; off ⇒ every
+//!   hook is a single relaxed atomic load.
 //!
 //! This crate sits below `routes-pool`, `routes-store`, and
 //! `routes-server` in the dependency graph and depends on nothing, so any
 //! layer can emit spans and logs without cycles.
 
 pub mod log;
+pub mod profile;
 pub mod prom;
 pub mod trace;
 
 pub use log::{log, set_level, set_sink, Level, Value, LOG_ENV};
+pub use profile::{
+    adopt_frames, collect as profile_collect, manual_profile, profile_frame, profile_hz_from_env,
+    profiler_enabled, reset_samples, sample_once, snapshot_frames, start_sampler, AdoptedFrames,
+    FrameGuard, ProfileSnapshot, Sampler, MAX_PROFILE_HZ, PROFILE_HZ_ENV,
+};
 pub use prom::{escape_help, escape_label, PromText, PROMETHEUS_CONTENT_TYPE};
 pub use trace::{
     current, current_trace_id, record_current, scoped, set_current, slow_threshold_from_env, span,

@@ -114,6 +114,53 @@ impl PromText {
         self.out.push('\n');
     }
 
+    /// [`PromText::histogram`] with an optional latency exemplar per
+    /// bucket: `exemplars[i]`, when present, annotates bucket `i`'s line
+    /// OpenMetrics-style — `… 7 # {trace_id="abc"} 1234` — linking the
+    /// bucket to the trace of its slowest recent occupant (the exemplar
+    /// value is that occupant's duration in µs). Scrapers that predate
+    /// exemplars treat everything after `#` as a comment, so the lines
+    /// stay parseable either way.
+    pub fn histogram_with_exemplars(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+        counts: &[u64],
+        sum: Option<u64>,
+        exemplars: &[Option<(String, u64)>],
+    ) {
+        debug_assert_eq!(counts.len(), bounds.len() + 1);
+        debug_assert_eq!(exemplars.len(), counts.len());
+        let mut cumulative = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            cumulative += count;
+            let le = bounds
+                .get(i)
+                .map_or_else(|| "+Inf".to_owned(), |b| b.to_string());
+            self.push_series(&format!("{name}_bucket"), labels, Some(("le", &le)));
+            self.out.push(' ');
+            self.out.push_str(&cumulative.to_string());
+            if let Some((trace, dur_us)) = exemplars[i].as_ref() {
+                self.out.push_str(" # {trace_id=\"");
+                self.out.push_str(&escape_label(trace));
+                self.out.push_str("\"} ");
+                self.out.push_str(&dur_us.to_string());
+            }
+            self.out.push('\n');
+        }
+        if let Some(sum) = sum {
+            self.push_series(&format!("{name}_sum"), labels, None);
+            self.out.push(' ');
+            self.out.push_str(&sum.to_string());
+            self.out.push('\n');
+        }
+        self.push_series(&format!("{name}_count"), labels, None);
+        self.out.push(' ');
+        self.out.push_str(&cumulative.to_string());
+        self.out.push('\n');
+    }
+
     fn push_series(&mut self, name: &str, labels: &[(&str, &str)], extra: Option<(&str, &str)>) {
         self.out.push_str(name);
         let total = labels.len() + usize::from(extra.is_some());
@@ -190,6 +237,34 @@ mod tests {
              # TYPE routes_shard_hits_total counter\n\
              routes_shard_hits_total{shard=\"0\",mode=\"a\\\"b\"} 7\n"
         );
+    }
+
+    #[test]
+    fn exemplar_trace_ids_are_escaped_on_bucket_lines() {
+        let mut w = PromText::new();
+        w.family("routes_lat_us", "histogram", "Latency.");
+        // A hostile "trace id" with every escapable character; real ids
+        // are [A-Za-z0-9._-] but the renderer must not rely on that.
+        w.histogram_with_exemplars(
+            "routes_lat_us",
+            &[],
+            &[100],
+            &[2, 1],
+            None,
+            &[Some(("a\"b\\c\nd".to_owned(), 42)), None],
+        );
+        let text = w.finish();
+        assert!(
+            text.contains(
+                "routes_lat_us_bucket{le=\"100\"} 2 # {trace_id=\"a\\\"b\\\\c\\nd\"} 42\n"
+            ),
+            "exemplar escaped: {text}"
+        );
+        assert!(
+            text.contains("routes_lat_us_bucket{le=\"+Inf\"} 3\n"),
+            "bucket without exemplar has no annotation: {text}"
+        );
+        assert!(text.contains("routes_lat_us_count 3\n"));
     }
 
     #[test]

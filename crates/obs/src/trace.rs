@@ -191,13 +191,22 @@ impl Ring {
         self.filled = (self.filled + 1).min(self.capacity);
     }
 
-    fn recent(&self) -> Vec<SpanRecord> {
-        let mut out = Vec::with_capacity(self.filled);
-        let oldest = (self.next + self.capacity - self.filled) % self.capacity;
-        for i in 0..self.filled {
+    /// The most recent `min(limit, filled)` records in chronological
+    /// (oldest-first) order. Copies only what it returns — `GET /trace`
+    /// with a small `?limit=` no longer clones the whole ring under the
+    /// mutex.
+    fn recent_limited(&self, limit: usize) -> Vec<SpanRecord> {
+        let take = limit.min(self.filled);
+        let mut out = Vec::with_capacity(take);
+        let oldest = (self.next + self.capacity - take) % self.capacity;
+        for i in 0..take {
             out.push(self.slots[(oldest + i) % self.capacity]);
         }
         out
+    }
+
+    fn recent(&self) -> Vec<SpanRecord> {
+        self.recent_limited(self.filled)
     }
 }
 
@@ -321,6 +330,33 @@ impl Tracer {
     pub fn recent(&self) -> Vec<SpanRecord> {
         self.ring.lock().unwrap_or_else(|e| e.into_inner()).recent()
     }
+
+    /// The most recent `limit` completed spans, oldest first. Copies at
+    /// most `limit` records under the ring mutex.
+    pub fn recent_limited(&self, limit: usize) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .recent_limited(limit)
+    }
+
+    /// Sum the in-ring durations of `names[i]`-named spans belonging to
+    /// `trace`, returning one total (µs) per name. One pass under the
+    /// ring mutex with no cloning — cheap enough for the slow-request
+    /// log path.
+    pub fn phase_totals_us(&self, trace: TraceId, names: &[&'static str]) -> Vec<u64> {
+        let mut totals = vec![0u64; names.len()];
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in ring.slots.iter().take(ring.filled.min(ring.capacity)) {
+            if slot.trace != trace {
+                continue;
+            }
+            if let Some(i) = names.iter().position(|&n| n == slot.name) {
+                totals[i] = totals[i].saturating_add(slot.dur_us);
+            }
+        }
+        totals
+    }
 }
 
 /// One request's trace identity: the tracer plus the request's ID.
@@ -401,10 +437,13 @@ impl Drop for ScopedCtx {
 
 /// An in-flight span guard: records into the current context's ring on
 /// drop. Inert (no clock read, no context clone) when no context is
-/// installed or its tracer is disabled.
+/// installed or its tracer is disabled. When the sampling profiler is
+/// on, the span's name is also held on the thread's frame stack for the
+/// guard's lifetime, independent of whether tracing records it.
 pub struct Span {
     active: Option<(TraceCtx, Instant)>,
     name: &'static str,
+    frame_pushed: bool,
 }
 
 /// Open a span named `name` under the thread's current trace context.
@@ -416,7 +455,12 @@ pub fn span(name: &'static str) -> Span {
             _ => None,
         }
     });
-    Span { active, name }
+    let frame_pushed = crate::profile::push_frame(name);
+    Span {
+        active,
+        name,
+        frame_pushed,
+    }
 }
 
 impl Span {
@@ -428,6 +472,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.frame_pushed {
+            crate::profile::pop_frame();
+        }
         if let Some((ctx, start)) = self.active.take() {
             ctx.record(self.name, start, start.elapsed());
         }

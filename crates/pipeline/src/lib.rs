@@ -146,6 +146,12 @@ pub struct StageSolution {
     pub tuples_before_core: usize,
     /// Tuples the core removed (0 when core mode is off).
     pub core_removed: usize,
+    /// Wall time of this hop's chase, in microseconds. A measurement, not
+    /// part of the deterministic result — never compare it across runs.
+    pub chase_us: u64,
+    /// Wall time of this hop's core minimization, in microseconds (0 when
+    /// core mode is off).
+    pub core_us: u64,
 }
 
 /// A fully chased pipeline: every intermediate instance materialized, ready
@@ -258,20 +264,27 @@ pub fn chase_pipeline(
                 &SchemaRef(stage.mapping.source()),
             );
         }
+        let chase_started = Instant::now();
         let result = chase_with_pool(&stage.mapping, &current, &mut pool, options, workers)
             .map_err(|source| PipelineError::Chase {
                 stage: stage.name.clone(),
                 source,
             })?;
+        let chase_us = chase_started.elapsed().as_micros() as u64;
         let stats = result.stats();
         let before = result.target.total_tuples();
-        let (target, core_removed) = if pipeline.core_mode() {
+        let (target, core_removed, core_us) = if pipeline.core_mode() {
+            let core_started = Instant::now();
             let frozen = core::frozen_nulls(&current);
             let outcome = core_minimize(stage.mapping.target(), &result.target, &frozen);
             let removed = outcome.removed;
-            (outcome.instance, removed)
+            (
+                outcome.instance,
+                removed,
+                core_started.elapsed().as_micros() as u64,
+            )
         } else {
-            (result.target, 0)
+            (result.target, 0, 0)
         };
         let next = target.clone();
         stages.push(StageSolution {
@@ -282,6 +295,8 @@ pub fn chase_pipeline(
             egd_log: result.egd_log,
             tuples_before_core: before,
             core_removed,
+            chase_us,
+            core_us,
         });
         current = next;
     }

@@ -105,15 +105,20 @@ impl Pool {
                 let f = &f;
                 // Carry the caller's trace context onto the workers so
                 // spans opened inside a parallel region land under the
-                // request that spawned them.
+                // request that spawned them; likewise the caller's open
+                // profiler frames, so sampled worker stacks attribute to
+                // the request path that spawned them.
                 let trace = routes_obs::current();
+                let frames = routes_obs::snapshot_frames();
                 let mut rest = chunks.clone().into_iter().enumerate().skip(1);
                 let handles: Vec<_> = rest
                     .by_ref()
                     .map(|(k, range)| {
                         let trace = trace.clone();
+                        let frames = frames.clone();
                         s.spawn(move || {
                             let _scope = routes_obs::scoped(trace);
+                            let _frames = routes_obs::adopt_frames(frames);
                             f(k, range)
                         })
                     })

@@ -313,6 +313,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            406 => "Not Acceptable",
             408 => "Request Timeout",
             409 => "Conflict",
             410 => "Gone",

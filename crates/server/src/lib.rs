@@ -13,13 +13,20 @@
 //!   per-session memoized route-forest cache.
 //! * [`router`] — the REST surface: `POST /sessions`, one-route /
 //!   all-routes probes, summaries, `GET /metrics` (JSON or Prometheus
-//!   text), `GET /healthz`, `GET /trace`, `POST /shutdown`. Every request
+//!   text), `GET /healthz`, `GET /trace`, `GET /profile` (self-profiler
+//!   scrape: JSON or flamegraph-collapsed text), per-session
+//!   `GET /sessions/{id}/profile` (per-tgd chase attribution, per-hop
+//!   pipeline timings), `POST /shutdown`. Every request
 //!   runs under a `routes-obs` trace context: the response echoes
 //!   `X-Trace-Id`, error bodies carry `trace_id`, and instrumented seams
 //!   (chase, forest, route, print, shard locks, WAL append/fsync,
 //!   checkpoint) record spans into the tracer's ring.
-//! * [`metrics`] — atomic counters plus a request-latency histogram,
-//!   rendered as JSON and as Prometheus text exposition.
+//! * [`metrics`] — atomic counters plus a request-latency histogram
+//!   (with per-bucket trace-id exemplars), rendered as JSON and as
+//!   Prometheus text exposition.
+//! * [`window`] — a ring of one-second slots giving the last N seconds
+//!   of traffic as live rps, error rate, and interpolated p50/p90/p99
+//!   (the `window` block of `/metrics`).
 //! * [`persist`] — optional durability (`--data-dir`): WAL appends on
 //!   every session mutation, periodic snapshot + log-compaction
 //!   checkpoints, snapshot-then-log crash recovery (via `routes-store`).
@@ -41,6 +48,7 @@ pub mod persist;
 pub mod router;
 pub mod server;
 pub mod session;
+pub mod window;
 
 pub use json::Json;
 pub use persist::{Persistence, RecoveryReport, CHECKPOINT_RECORDS_ENV, DATA_DIR_ENV};

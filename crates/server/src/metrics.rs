@@ -5,6 +5,7 @@
 //! increments). `GET /metrics` renders a snapshot.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use routes_model::JoinSnapshot;
@@ -12,6 +13,7 @@ use routes_store::{PersistSnapshot, FSYNC_BUCKETS_US};
 
 use crate::json::Json;
 use crate::session::{ShardSnapshot, StoreSnapshot, LOCK_WAIT_BUCKETS_US};
+use crate::window::{window_seconds_from_env, WindowRing, WindowSnapshot};
 
 /// Upper bounds (µs) of the request-latency histogram buckets; the last
 /// bucket is unbounded.
@@ -140,7 +142,26 @@ pub struct Metrics {
     pub pipeline_stitched_hops: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     phases: [PhaseStats; Phase::ALL.len()],
+    /// Rolling one-second traffic windows (live rps / error rate / tail
+    /// latency; `ROUTES_WINDOW_SECONDS` sizes the ring).
+    window: WindowRing,
+    /// Per-latency-bucket exemplar: the trace id and duration of the
+    /// slowest recent request that landed in the bucket, linking a
+    /// `/metrics` scrape to `GET /trace?trace_id=` evidence.
+    exemplars: [Mutex<Option<Exemplar>>; LATENCY_BUCKETS_US.len() + 1],
 }
+
+/// One retained bucket occupant; see [`Metrics::exemplars`].
+struct Exemplar {
+    trace: String,
+    dur_us: u64,
+    at: Instant,
+}
+
+/// How long a bucket exemplar stays authoritative: after this, any new
+/// occupant replaces it even if faster, so exemplars keep pointing at
+/// traces the ring buffer still holds.
+const EXEMPLAR_TTL: Duration = Duration::from_secs(10);
 
 fn bucket_of(us: u64) -> usize {
     LATENCY_BUCKETS_US
@@ -241,6 +262,46 @@ pub fn persist_json(p: &PersistSnapshot) -> Json {
     ])
 }
 
+/// Render a window snapshot (`/metrics` embeds this as `window`). All
+/// integer-valued: rates milli-scaled, quantiles in µs (see
+/// [`WindowSnapshot`]).
+pub fn window_json(w: &WindowSnapshot) -> Json {
+    Json::obj([
+        ("seconds", Json::from(w.seconds)),
+        ("requests", Json::from(w.requests)),
+        ("errors", Json::from(w.errors)),
+        ("rps_milli", Json::from(w.rps_milli)),
+        ("error_rate_milli", Json::from(w.error_rate_milli)),
+        ("p50_us", Json::from(w.p50_us)),
+        ("p90_us", Json::from(w.p90_us)),
+        ("p99_us", Json::from(w.p99_us)),
+    ])
+}
+
+/// Render the occupied latency-bucket exemplars as
+/// `[{le_us, trace_id, dur_us}, ...]` (`/metrics` embeds this as
+/// `exemplars`; same `(trace, duration)` pairs the Prometheus rendering
+/// annotates its bucket lines with).
+fn exemplars_json(exemplars: &[Option<(String, u64)>]) -> Json {
+    Json::Array(
+        exemplars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|(trace, dur)| (i, trace, dur)))
+            .map(|(i, trace, &dur)| {
+                let le = LATENCY_BUCKETS_US
+                    .get(i)
+                    .map_or_else(|| "inf".to_owned(), |b| b.to_string());
+                Json::obj([
+                    ("le_us", Json::from(le)),
+                    ("trace_id", Json::from(trace.as_str())),
+                    ("dur_us", Json::from(dur)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 /// Render the vectorized-join counters (`/metrics` embeds this as `join`).
 pub fn join_json(j: &JoinSnapshot) -> Json {
     Json::obj([
@@ -289,6 +350,8 @@ impl Metrics {
             pipeline_stitched_hops: AtomicU64::new(0),
             latency: Default::default(),
             phases: Default::default(),
+            window: WindowRing::new(window_seconds_from_env()),
+            exemplars: Default::default(),
         }
     }
 
@@ -298,7 +361,9 @@ impl Metrics {
     }
 
     /// Count one handled request with its response status and latency.
-    pub fn record_response(&self, status: u16, latency: Duration) {
+    /// `trace`, when the tracer minted one, becomes the request's latency
+    /// bucket exemplar if it is the slowest recent occupant.
+    pub fn record_response(&self, status: u16, latency: Duration, trace: Option<&str>) {
         self.requests_total.fetch_add(1, Relaxed);
         match status {
             200..=299 => &self.responses_2xx,
@@ -307,7 +372,46 @@ impl Metrics {
         }
         .fetch_add(1, Relaxed);
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.latency[bucket_of(us)].fetch_add(1, Relaxed);
+        let bucket = bucket_of(us);
+        self.latency[bucket].fetch_add(1, Relaxed);
+        self.window.record(status, us);
+        if let Some(trace) = trace {
+            // Never block the request path on a scrape holding the lock:
+            // on contention the exemplar is simply not updated (the next
+            // slow request in this bucket will be).
+            if let Ok(mut slot) = self.exemplars[bucket].try_lock() {
+                let replace = match slot.as_ref() {
+                    None => true,
+                    Some(e) => us >= e.dur_us || e.at.elapsed() > EXEMPLAR_TTL,
+                };
+                if replace {
+                    *slot = Some(Exemplar {
+                        trace: trace.to_owned(),
+                        dur_us: us,
+                        at: Instant::now(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Aggregated view over the rolling traffic window.
+    pub fn window(&self) -> WindowSnapshot {
+        self.window.snapshot()
+    }
+
+    /// Current latency-bucket exemplars: `(trace_id, dur_us)` per bucket
+    /// (one entry per bound plus the unbounded tail), `None` where no
+    /// traced request has landed yet.
+    pub fn exemplars(&self) -> Vec<Option<(String, u64)>> {
+        self.exemplars
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .ok()
+                    .and_then(|e| e.as_ref().map(|e| (e.trace.clone(), e.dur_us)))
+            })
+            .collect()
     }
 
     /// Record one sample of a work phase's wall time.
@@ -501,6 +605,8 @@ impl Metrics {
                 ]),
             ),
             ("latency_us", hist),
+            ("exemplars", exemplars_json(&self.exemplars())),
+            ("window", window_json(&self.window())),
             ("phases", phases),
         ])
     }
@@ -793,13 +899,61 @@ impl Metrics {
             "histogram",
             "Whole-request latency in microseconds.",
         );
-        w.histogram(
+        w.histogram_with_exemplars(
             "routes_request_latency_us",
             &[],
             &LATENCY_BUCKETS_US,
             &latency,
             None,
+            &self.exemplars(),
         );
+
+        let window = self.window();
+        for (name, help, value) in [
+            (
+                "routes_window_seconds",
+                "Length of the rolling traffic window, in seconds.",
+                window.seconds as u64,
+            ),
+            (
+                "routes_window_requests",
+                "Requests recorded in the rolling window.",
+                window.requests,
+            ),
+            (
+                "routes_window_errors",
+                "5xx responses recorded in the rolling window.",
+                window.errors,
+            ),
+            (
+                "routes_window_rps_milli",
+                "Requests per second over the window, times 1000.",
+                window.rps_milli,
+            ),
+            (
+                "routes_window_error_rate_milli",
+                "Errors per request over the window, times 1000.",
+                window.error_rate_milli,
+            ),
+            (
+                "routes_window_latency_p50_us",
+                "Interpolated p50 request latency over the window, in microseconds.",
+                window.p50_us,
+            ),
+            (
+                "routes_window_latency_p90_us",
+                "Interpolated p90 request latency over the window, in microseconds.",
+                window.p90_us,
+            ),
+            (
+                "routes_window_latency_p99_us",
+                "Interpolated p99 request latency over the window, in microseconds.",
+                window.p99_us,
+            ),
+        ] {
+            w.family(name, "gauge", help);
+            w.sample(name, &[], value);
+        }
         w.family(
             "routes_phase_latency_us",
             "histogram",
@@ -1053,10 +1207,10 @@ mod tests {
     #[test]
     fn responses_land_in_class_and_latency_buckets() {
         let m = Metrics::new();
-        m.record_response(200, Duration::from_micros(50));
-        m.record_response(201, Duration::from_micros(400));
-        m.record_response(404, Duration::from_millis(2));
-        m.record_response(500, Duration::from_secs(5));
+        m.record_response(200, Duration::from_micros(50), None);
+        m.record_response(201, Duration::from_micros(400), None);
+        m.record_response(404, Duration::from_millis(2), None);
+        m.record_response(500, Duration::from_secs(5), None);
         assert_eq!(m.requests_total.load(Relaxed), 4);
         assert_eq!(m.responses_2xx.load(Relaxed), 2);
         assert_eq!(m.responses_4xx.load(Relaxed), 1);
@@ -1080,6 +1234,76 @@ mod tests {
         assert_eq!(total, 4);
         // The 5 s response falls in the unbounded bucket.
         assert_eq!(hist.last().unwrap().get("count").unwrap().as_u64(), Some(1));
+        // The rolling window saw the same four requests, one of them 5xx.
+        let window = snapshot.get("window").unwrap();
+        assert_eq!(window.get("requests").unwrap().as_u64(), Some(4));
+        assert_eq!(window.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(window.get("error_rate_milli").unwrap().as_u64(), Some(250));
+        // No traced request yet: the exemplar list is empty.
+        let exemplars = snapshot.get("exemplars").unwrap().as_array().unwrap();
+        assert!(exemplars.is_empty());
+    }
+
+    #[test]
+    fn traced_requests_become_bucket_exemplars() {
+        let m = Metrics::new();
+        m.record_response(200, Duration::from_micros(40), Some("fast"));
+        // Slower occupant of the same bucket replaces the exemplar…
+        m.record_response(200, Duration::from_micros(80), Some("slow"));
+        // …a faster one does not.
+        m.record_response(200, Duration::from_micros(60), Some("mid"));
+        // A different bucket keeps its own exemplar.
+        m.record_response(500, Duration::from_micros(300), Some("err"));
+        let exemplars = m.exemplars();
+        assert_eq!(exemplars[0], Some(("slow".to_owned(), 80)));
+        assert_eq!(exemplars[1], Some(("err".to_owned(), 300)));
+        assert!(exemplars[2..].iter().all(|e| e.is_none()));
+        let json = m.to_json(0, 1);
+        let rendered = json.get("exemplars").unwrap().as_array().unwrap();
+        assert_eq!(rendered.len(), 2);
+        assert_eq!(rendered[0].get("trace_id").unwrap().as_str(), Some("slow"));
+        assert_eq!(rendered[0].get("le_us").unwrap().as_str(), Some("100"));
+        assert_eq!(rendered[0].get("dur_us").unwrap().as_u64(), Some(80));
+    }
+
+    #[test]
+    fn empty_window_renders_zero_gauges_at_boot() {
+        use crate::session::SessionStore;
+
+        let m = Metrics::new();
+        let store = SessionStore::with_shards(1, 1);
+        let text = m.to_prometheus(&store.snapshot(), None, &JoinSnapshot::default(), 1);
+        for gauge in [
+            "routes_window_requests 0",
+            "routes_window_errors 0",
+            "routes_window_rps_milli 0",
+            "routes_window_error_rate_milli 0",
+            "routes_window_latency_p50_us 0",
+            "routes_window_latency_p90_us 0",
+            "routes_window_latency_p99_us 0",
+        ] {
+            assert!(text.contains(gauge), "missing `{gauge}` in:\n{text}");
+        }
+        assert!(text.contains(&format!(
+            "routes_window_seconds {}",
+            crate::window::DEFAULT_WINDOW_SECONDS
+        )));
+    }
+
+    #[test]
+    fn prometheus_buckets_carry_the_exemplar_annotation() {
+        use crate::session::SessionStore;
+
+        let m = Metrics::new();
+        m.record_response(200, Duration::from_micros(70), Some("abc123"));
+        let store = SessionStore::with_shards(1, 1);
+        let text = m.to_prometheus(&store.snapshot(), None, &JoinSnapshot::default(), 1);
+        assert!(
+            text.contains(
+                "routes_request_latency_us_bucket{le=\"100\"} 1 # {trace_id=\"abc123\"} 70"
+            ),
+            "exemplar annotation missing in:\n{text}"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use routes_chase::{ChaseOptions, ChaseStats};
+use routes_chase::{ChaseOptions, ChaseStats, TgdStats};
 use routes_cli::{
     is_pipeline_scenario, load_pipeline_str, load_scenario_str, prepare_pipeline,
     prepare_scenario_with,
@@ -157,14 +157,23 @@ impl App {
     pub fn handle_traced(&self, req: &Request) -> Response {
         let ctx = self.tracer.begin(req.header("x-trace-id"));
         let _scope = routes_obs::scoped(Some(ctx.clone()));
+        // Root frame for the sampling profiler: every in-request span
+        // (chase, route, print, …) collapses under `request;…`.
+        let _frame = routes_obs::profile_frame("request");
         let started = Instant::now();
         let mut response = catch_unwind(AssertUnwindSafe(|| self.handle(req)))
             .unwrap_or_else(|_| Response::error(500, "handler panicked"));
         let elapsed = started.elapsed();
         ctx.record("request", started, elapsed);
-        self.metrics.record_response(response.status, elapsed);
+        self.metrics
+            .record_response(response.status, elapsed, Some(ctx.id().as_str()));
         let elapsed_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
         if elapsed >= self.slow {
+            // Per-phase breakdown from the spans this request already
+            // recorded: one ring pass, no extra clocks on the fast path.
+            let phases = self
+                .tracer
+                .phase_totals_us(ctx.id(), &["chase", "forest", "route", "print", "edit"]);
             routes_obs::log(
                 routes_obs::Level::Warn,
                 "slow_request",
@@ -182,6 +191,11 @@ impl App {
                             self.slow.as_millis().min(u128::from(u64::MAX)) as u64
                         ),
                     ),
+                    ("chase_us", routes_obs::Value::from(phases[0])),
+                    ("forest_us", routes_obs::Value::from(phases[1])),
+                    ("route_us", routes_obs::Value::from(phases[2])),
+                    ("print_us", routes_obs::Value::from(phases[3])),
+                    ("edit_us", routes_obs::Value::from(phases[4])),
                 ],
             );
         } else {
@@ -221,15 +235,25 @@ impl App {
                 self.with_session(id, |s| self.stitched_route(&s, req))
             }
             ("GET", ["metrics"]) => self.metrics_response(req),
+            ("GET", ["profile"]) => self.profile_response(req),
+            ("GET", ["sessions", id, "profile"]) => {
+                self.with_session(id, |s| self.session_profile(&s))
+            }
             ("GET", ["healthz"]) => {
                 // Liveness probe: touches no session-store shard lock and no
-                // WAL state — it must answer even when those are contended.
+                // WAL state — atomics only, it must answer even when those
+                // are contended.
+                let wal_gen = self
+                    .persist
+                    .as_ref()
+                    .map_or(Json::Null, |p| Json::from(p.metrics.wal_gen.load(Relaxed)));
                 Response::json(
                     200,
                     Json::obj([
                         ("ok", Json::Bool(true)),
                         ("version", Json::from(env!("CARGO_PKG_VERSION"))),
                         ("uptime_seconds", Json::from(self.metrics.uptime_seconds())),
+                        ("wal_gen", wal_gen),
                     ])
                     .encode(),
                 )
@@ -247,7 +271,10 @@ impl App {
             (_, ["sessions", _, "edit" | "one-route" | "all-routes" | "stitched-route"]) => {
                 method_not_allowed("POST")
             }
-            (_, ["metrics"]) | (_, ["healthz"]) | (_, ["trace"]) => method_not_allowed("GET"),
+            (_, ["sessions", _, "profile"]) => method_not_allowed("GET"),
+            (_, ["metrics"]) | (_, ["healthz"]) | (_, ["trace"]) | (_, ["profile"]) => {
+                method_not_allowed("GET")
+            }
             (_, ["shutdown"]) => method_not_allowed("POST"),
             _ => Response::error(404, "no such resource"),
         }
@@ -288,7 +315,8 @@ impl App {
     }
 
     /// `GET /trace`: recent completed spans, oldest first, optionally
-    /// filtered to one trace via `?trace_id=`.
+    /// filtered to one trace via `?trace_id=` and capped via `?limit=N`
+    /// (at most `N` records, oldest first, copied under one mutex hold).
     fn trace_dump(&self, req: &Request) -> Response {
         let filter = req.query_param("trace_id");
         if let Some(f) = filter {
@@ -296,9 +324,16 @@ impl App {
                 return Response::error(400, "malformed trace_id filter");
             }
         }
-        let spans: Vec<Json> = self
-            .tracer
-            .recent()
+        let recent = match req.query_param("limit") {
+            None => self.tracer.recent(),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) => self.tracer.recent_limited(n),
+                Err(_) => {
+                    return Response::error(400, "malformed limit (must be a non-negative integer)")
+                }
+            },
+        };
+        let spans: Vec<Json> = recent
             .iter()
             .filter(|s| filter.is_none_or(|f| s.trace.as_str() == f))
             .map(|s| {
@@ -318,6 +353,118 @@ impl App {
                 ("spans", Json::Array(spans)),
             ])
             .encode(),
+        )
+    }
+
+    /// `GET /profile`: the self-profiler's collapsed stacks, as JSON
+    /// (default) or flamegraph-collapsed text. `?format=json|collapsed`
+    /// overrides `Accept` negotiation; `?delta=true` scrapes only the
+    /// samples since the previous delta scrape.
+    fn profile_response(&self, req: &Request) -> Response {
+        let collapsed = match req.query_param("format") {
+            Some("collapsed") => true,
+            Some("json") => false,
+            Some(other) => {
+                return Response::error(
+                    400,
+                    &format!("unknown profile format `{other}` (json, collapsed)"),
+                )
+            }
+            None => match req.header("accept") {
+                None => false,
+                Some(accept) => {
+                    if accept.contains("application/json") || accept.contains("*/*") {
+                        false
+                    } else if accept.contains("text/plain") {
+                        true
+                    } else {
+                        return Response::error(
+                            406,
+                            "profile is served as application/json or text/plain",
+                        );
+                    }
+                }
+            },
+        };
+        let delta = match req.query_param("delta") {
+            Some("true") => true,
+            None | Some("false") => false,
+            Some(other) => {
+                return Response::error(
+                    400,
+                    &format!("`delta` must be true or false, got `{other}`"),
+                )
+            }
+        };
+        let snap = routes_obs::profile_collect(delta);
+        if collapsed {
+            return Response::with_content_type(
+                200,
+                snap.collapsed().into_bytes(),
+                "text/plain; charset=utf-8",
+            );
+        }
+        Response::json(
+            200,
+            Json::obj([
+                ("enabled", Json::Bool(snap.enabled)),
+                ("hz", Json::from(u64::from(snap.hz))),
+                ("ticks", Json::from(snap.ticks)),
+                ("total_samples", Json::from(snap.total_samples())),
+                ("phases", profile_phases_json(&snap.stacks)),
+                ("tree", profile_tree_json(&snap.stacks)),
+            ])
+            .encode(),
+        )
+    }
+
+    /// `GET /sessions/{id}/profile`: per-tgd chase attribution for this
+    /// session's materialization, plus per-hop chase/core timings for
+    /// pipeline sessions.
+    fn session_profile(&self, session: &Session) -> Response {
+        let chase = match session.chase_stats() {
+            Some(stats) => Json::obj([
+                ("stats", chase_stats_json(&stats)),
+                (
+                    "per_tgd",
+                    Json::Array(stats.per_tgd.iter().map(tgd_stats_json).collect()),
+                ),
+            ]),
+            None => Json::Null,
+        };
+        let pipeline = match session.pipeline() {
+            Some(prepared) => Json::Array(
+                prepared
+                    .stages
+                    .iter()
+                    .enumerate()
+                    .map(|(k, stage)| {
+                        Json::obj([
+                            ("stage", Json::from(k as u64)),
+                            ("name", Json::from(stage.name.as_str())),
+                            ("chase_us", Json::from(stage.chase_us)),
+                            ("core_us", Json::from(stage.core_us)),
+                            (
+                                "tuples_before_core",
+                                Json::from(stage.tuples_before_core as u64),
+                            ),
+                            ("core_removed", Json::from(stage.core_removed as u64)),
+                            ("stats", chase_stats_json(&stage.stats)),
+                            (
+                                "per_tgd",
+                                Json::Array(
+                                    stage.stats.per_tgd.iter().map(tgd_stats_json).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+            None => Json::Null,
+        };
+        Response::json(
+            200,
+            Json::obj([("chase", chase), ("pipeline", pipeline)]).encode(),
         )
     }
 
@@ -376,7 +523,7 @@ impl App {
             self.metrics.record_phase(Phase::Chase, wall);
         }
         let weakly_acyclic = prepared.weakly_acyclic;
-        let stats = prepared.chase_stats;
+        let stats = prepared.chase_stats.clone();
         let source_tuples = prepared.source.total_tuples();
         let target_tuples = prepared.target.total_tuples();
         let origin = SessionOrigin {
@@ -452,7 +599,7 @@ impl App {
             .map(|s| Json::from(s.name.as_str()))
             .collect();
         let weakly_acyclic = pipeline.weakly_acyclic;
-        let stats = scenario.chase_stats;
+        let stats = scenario.chase_stats.clone();
         let source_tuples = scenario.source.total_tuples();
         let target_tuples = scenario.target.total_tuples();
         let origin = SessionOrigin {
@@ -710,7 +857,7 @@ impl App {
             text: Arc::from(apply.text.as_str()),
         };
         let chase_wall = apply.scenario.chase_wall;
-        let stats = apply.scenario.chase_stats;
+        let stats = apply.scenario.chase_stats.clone();
         let source_tuples = apply.scenario.source.total_tuples();
         let target_tuples = apply.scenario.target.total_tuples();
         let (memo_hits, memo_misses) = (apply.memo_hits, apply.memo_misses);
@@ -1072,6 +1219,73 @@ fn chase_stats_json(stats: &ChaseStats) -> Json {
         ("egd_merges", Json::from(stats.egd_merges)),
         ("target_tuples", Json::from(stats.target_tuples)),
     ])
+}
+
+fn tgd_stats_json(t: &TgdStats) -> Json {
+    Json::obj([
+        ("name", Json::from(t.name.as_str())),
+        ("st", Json::Bool(t.st)),
+        ("matches", Json::from(t.matches)),
+        ("fired", Json::from(t.fired)),
+        ("wall_us", Json::from(t.wall_us)),
+    ])
+}
+
+/// Inclusive sample totals per frame name: a stack `request;chase` counts
+/// its samples toward both `request` and `chase`, so a phase's total is
+/// directly comparable to that phase's span histogram share.
+fn profile_phases_json(stacks: &[(String, u64)]) -> Json {
+    let mut totals: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for (key, count) in stacks {
+        let mut seen: Vec<&str> = Vec::new();
+        for frame in key.split(';') {
+            // A frame recursing within one stack still counts once.
+            if !seen.contains(&frame) {
+                seen.push(frame);
+                *totals.entry(frame).or_insert(0) += count;
+            }
+        }
+    }
+    Json::Object(
+        totals
+            .into_iter()
+            .map(|(name, n)| (name.to_owned(), Json::from(n)))
+            .collect(),
+    )
+}
+
+/// The collapsed stacks as a weighted call tree: each node carries its
+/// inclusive sample count; children are sorted by name (deterministic
+/// output for the same stack set).
+fn profile_tree_json(stacks: &[(String, u64)]) -> Json {
+    #[derive(Default)]
+    struct Node<'a> {
+        samples: u64,
+        children: std::collections::BTreeMap<&'a str, Node<'a>>,
+    }
+    fn render(children: &std::collections::BTreeMap<&str, Node<'_>>) -> Json {
+        Json::Array(
+            children
+                .iter()
+                .map(|(name, node)| {
+                    Json::obj([
+                        ("name", Json::from(*name)),
+                        ("samples", Json::from(node.samples)),
+                        ("children", render(&node.children)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+    let mut root = Node::default();
+    for (key, count) in stacks {
+        let mut node = &mut root;
+        for frame in key.split(';') {
+            node = node.children.entry(frame).or_default();
+            node.samples += count;
+        }
+    }
+    render(&root.children)
 }
 
 fn tuple_ref_json(t: &TupleRef) -> Json {

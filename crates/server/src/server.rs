@@ -102,6 +102,10 @@ pub struct ServerConfig {
     /// Slow-request warning threshold; `None` means "from
     /// `ROUTES_SLOW_MS`" (default 500 ms).
     pub slow_request: Option<Duration>,
+    /// Self-profiler sampling frequency in Hz; `None` means "from
+    /// `ROUTES_PROFILE_HZ`" (default 0 = off — off means zero clock
+    /// reads and zero frame pushes on the request path).
+    pub profile_hz: Option<u32>,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +122,7 @@ impl Default for ServerConfig {
             tracing: true,
             trace_capacity: 0,
             slow_request: None,
+            profile_hz: None,
         }
     }
 }
@@ -158,6 +163,15 @@ impl ServerConfig {
                 .map(Duration::from_secs)
                 .unwrap_or(DEFAULT_RETRY_AFTER)
         })
+    }
+
+    /// [`ServerConfig::profile_hz`] with the `None` = env-or-default rule
+    /// applied (clamped to [`routes_obs::MAX_PROFILE_HZ`]).
+    pub fn resolved_profile_hz(&self) -> u32 {
+        self.profile_hz
+            .map_or_else(routes_obs::profile_hz_from_env, |hz| {
+                hz.min(routes_obs::MAX_PROFILE_HZ)
+            })
     }
 }
 
@@ -335,6 +349,10 @@ impl Server {
             .admission_queue_capacity
             .store(capacity as u64, Relaxed);
         let admission = Arc::new(Admission::new(capacity));
+        // Start the self-profiler's ticker before the workers exist so
+        // every worker thread registers its frames under a live sampler;
+        // 0 Hz means no ticker and the frame hooks stay disabled.
+        let sampler = routes_obs::start_sampler(config.resolved_profile_hz());
 
         let mut workers = Vec::with_capacity(threads);
         for k in 0..threads {
@@ -372,6 +390,9 @@ impl Server {
         }
         if let Some(m) = maintenance {
             let _ = m.join();
+        }
+        if let Some(sampler) = sampler {
+            sampler.stop();
         }
         if let Some(p) = app.persistence() {
             p.flush()?;
@@ -437,7 +458,7 @@ fn shed(pending: Pending, app: &Arc<App>, limits: &Limits) {
     let retry_secs = limits.retry_after.as_secs().max(1);
     response.set_header("retry-after", retry_secs.to_string());
     response.set_header("x-trace-id", ctx.id().as_str().to_owned());
-    app.metrics.record_response(429, Duration::ZERO);
+    app.metrics.record_response(429, Duration::ZERO, None);
     ctx.record(
         "admission_shed",
         pending.enqueued,
@@ -591,7 +612,7 @@ fn serve_connection(stream: TcpStream, app: &Arc<App>, limits: &Limits) {
                 let _scope = routes_obs::scoped(Some(ctx.clone()));
                 let mut response = Response::error(408, "request deadline exceeded");
                 response.set_header("x-trace-id", ctx.id().as_str().to_owned());
-                app.metrics.record_response(408, armed.elapsed());
+                app.metrics.record_response(408, armed.elapsed(), None);
                 ctx.record("request_timeout", armed, armed.elapsed());
                 routes_obs::log(
                     routes_obs::Level::Warn,
@@ -636,7 +657,8 @@ fn serve_connection(stream: TcpStream, app: &Arc<App>, limits: &Limits) {
                     ParseError::Eof | ParseError::Timeout | ParseError::Io(_) => unreachable!(),
                 };
                 response.set_header("x-trace-id", ctx.id().as_str().to_owned());
-                app.metrics.record_response(response.status, Duration::ZERO);
+                app.metrics
+                    .record_response(response.status, Duration::ZERO, None);
                 let _ = writer.set_write_timeout(Some(WRITE_GRACE));
                 let _ = response.write_to(&mut writer, false);
                 return;

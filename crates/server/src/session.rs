@@ -229,7 +229,7 @@ impl Session {
 
     /// Chase statistics, if a chase materialized the solution.
     pub fn chase_stats(&self) -> Option<ChaseStats> {
-        self.scenario.chase_stats
+        self.scenario.chase_stats.clone()
     }
 
     /// Look up or compute the forest for a selection, fanning branch

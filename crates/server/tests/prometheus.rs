@@ -90,10 +90,10 @@ fn fixed_join() -> JoinSnapshot {
 #[test]
 fn exposition_matches_the_golden_file() {
     let m = Metrics::new();
-    m.record_response(200, Duration::from_micros(80));
-    m.record_response(201, Duration::from_micros(600));
-    m.record_response(404, Duration::from_millis(2));
-    m.record_response(500, Duration::from_secs(2));
+    m.record_response(200, Duration::from_micros(80), Some("gold01"));
+    m.record_response(201, Duration::from_micros(600), None);
+    m.record_response(404, Duration::from_millis(2), None);
+    m.record_response(500, Duration::from_secs(2), None);
     m.record_phase(Phase::Chase, Duration::from_micros(90));
     m.record_phase(Phase::Chase, Duration::from_micros(450));
     m.record_phase(Phase::Forest, Duration::from_millis(3));
@@ -158,10 +158,14 @@ fn exposition_matches_the_golden_file() {
     );
 }
 
-/// Parse an exposition into `series-with-labels -> value`, checking `#
-/// HELP` precedes `# TYPE` and every sample's base name was announced.
-fn parse_prom(text: &str) -> HashMap<String, u64> {
+/// Parse an exposition into `series-with-labels -> value` plus
+/// `series -> (exemplar trace_id, exemplar value)` for bucket lines
+/// carrying an OpenMetrics-style ` # {trace_id="…"} N` annotation,
+/// checking `# HELP` precedes `# TYPE` and every sample's base name was
+/// announced.
+fn parse_prom(text: &str) -> (HashMap<String, u64>, HashMap<String, (String, u64)>) {
     let mut series = HashMap::new();
+    let mut exemplars = HashMap::new();
     let mut announced: Vec<String> = Vec::new();
     let mut pending_help: Option<String> = None;
     for line in text.lines() {
@@ -187,7 +191,12 @@ fn parse_prom(text: &str) -> HashMap<String, u64> {
             continue;
         }
         assert!(!line.starts_with('#'), "unexpected comment {line:?}");
-        let (key, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+        // Split off an exemplar annotation before the value parse.
+        let (sample, exemplar) = match line.split_once(" # ") {
+            Some((sample, rest)) => (sample, Some(rest)),
+            None => (line, None),
+        };
+        let (key, value) = sample.rsplit_once(' ').unwrap_or_else(|| {
             panic!("sample line without value: {line:?}");
         });
         let base = key.split('{').next().unwrap();
@@ -198,14 +207,26 @@ fn parse_prom(text: &str) -> HashMap<String, u64> {
                 || base == format!("{name}_sum")
         });
         assert!(family, "sample {base} has no announced family");
+        if let Some(rest) = exemplar {
+            let (labels, ex_value) = rest.rsplit_once(' ').unwrap();
+            let trace = labels
+                .strip_prefix("{trace_id=\"")
+                .and_then(|l| l.strip_suffix("\"}"))
+                .unwrap_or_else(|| panic!("malformed exemplar labels in {line:?}"));
+            exemplars.insert(
+                key.to_owned(),
+                (trace.to_owned(), ex_value.parse::<u64>().unwrap()),
+            );
+        }
         let prior = series.insert(key.to_owned(), value.parse::<u64>().unwrap());
         assert!(prior.is_none(), "duplicate series {key}");
     }
-    series
+    (series, exemplars)
 }
 
 struct PromCheck {
     series: HashMap<String, u64>,
+    exemplars: HashMap<String, (String, u64)>,
 }
 
 impl PromCheck {
@@ -359,6 +380,41 @@ fn reconcile(json: &Json, check: &mut PromCheck) {
             }
             "latency_us" => {
                 check.eat_histogram("routes_request_latency_us", "", value, &LATENCY_BUCKETS_US)
+            }
+            "window" => {
+                for (win_key, v) in obj_fields(value) {
+                    match win_key.as_str() {
+                        "seconds" => check.eat("routes_window_seconds", as_u64(v)),
+                        "requests" => check.eat("routes_window_requests", as_u64(v)),
+                        "errors" => check.eat("routes_window_errors", as_u64(v)),
+                        "rps_milli" => check.eat("routes_window_rps_milli", as_u64(v)),
+                        "error_rate_milli" => {
+                            check.eat("routes_window_error_rate_milli", as_u64(v));
+                        }
+                        "p50_us" => check.eat("routes_window_latency_p50_us", as_u64(v)),
+                        "p90_us" => check.eat("routes_window_latency_p90_us", as_u64(v)),
+                        "p99_us" => check.eat("routes_window_latency_p99_us", as_u64(v)),
+                        other => panic!("unknown window field `{other}`"),
+                    }
+                }
+            }
+            "exemplars" => {
+                // Each JSON exemplar must match the text annotation on the
+                // same latency bucket: trace id and duration agree.
+                for entry in value.as_array().expect("exemplars is an array") {
+                    let le = entry.get("le_us").unwrap().as_str().unwrap();
+                    let trace = entry.get("trace_id").unwrap().as_str().unwrap();
+                    let dur = as_u64(entry.get("dur_us").unwrap());
+                    let prom_le = if le == "inf" { "+Inf" } else { le };
+                    let key = format!("routes_request_latency_us_bucket{{le=\"{prom_le}\"}}");
+                    match check.exemplars.remove(&key) {
+                        Some((text_trace, text_dur)) => {
+                            assert_eq!(text_trace, trace, "exemplar trace drifted on {key}");
+                            assert_eq!(text_dur, dur, "exemplar duration drifted on {key}");
+                        }
+                        None => panic!("JSON exemplar on {key} missing from the text form"),
+                    }
+                }
             }
             "phases" => {
                 for (phase, stats) in obj_fields(value) {
@@ -661,14 +717,18 @@ fn text_and_json_expositions_reconcile_exactly_under_live_traffic() {
             break (json, text);
         }
     };
-    let mut check = PromCheck {
-        series: parse_prom(&text),
-    };
+    let (series, exemplars) = parse_prom(&text);
+    let mut check = PromCheck { series, exemplars };
     reconcile(&json, &mut check);
     assert!(
         check.series.is_empty(),
         "exposition has series the JSON never produced: {:?}",
         check.series.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        check.exemplars.is_empty(),
+        "text exemplars the JSON never produced: {:?}",
+        check.exemplars.keys().collect::<Vec<_>>()
     );
 
     // Sanity: the traffic actually exercised the interesting families.
@@ -736,7 +796,164 @@ fn text_and_json_expositions_reconcile_exactly_under_live_traffic() {
     assert_eq!(status, 400);
     assert!(body.contains("unknown metrics format"));
 
+    // Exemplar → trace round-trip: every latency exemplar's trace id is
+    // accepted by the trace endpoint (spans, when still in the ring, all
+    // belong to it), and `?limit=` caps and validates the dump.
+    let exemplar_entries = json.get("exemplars").unwrap().as_array().unwrap();
+    assert!(
+        !exemplar_entries.is_empty(),
+        "live traffic must leave latency exemplars"
+    );
+    for entry in exemplar_entries {
+        let trace = entry.get("trace_id").unwrap().as_str().unwrap();
+        let (status, _, body) =
+            raw_request(addr, "GET", &format!("/trace?trace_id={trace}"), &[], None);
+        assert_eq!(status, 200);
+        for span in parse(&body)
+            .unwrap()
+            .get("spans")
+            .unwrap()
+            .as_array()
+            .unwrap()
+        {
+            assert_eq!(span.get("trace_id").unwrap().as_str().unwrap(), trace);
+        }
+    }
+    let (status, _, body) = raw_request(addr, "GET", "/trace?limit=2", &[], None);
+    assert_eq!(status, 200);
+    assert!(
+        parse(&body)
+            .unwrap()
+            .get("spans")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .len()
+            <= 2,
+        "limit caps the span dump"
+    );
+    let (status, _, body) = raw_request(addr, "GET", "/trace?limit=nope", &[], None);
+    assert_eq!(status, 400);
+    assert!(body.contains("malformed limit"));
+
     let (status, _, _) = raw_request(addr, "POST", "/shutdown", &[], None);
     assert_eq!(status, 200);
     handle.join().expect("server exits");
+}
+
+/// An in-process app for the `/profile` endpoint (the profiler's state is
+/// process-global; no sockets needed).
+fn bare_app() -> routes_server::App {
+    routes_server::App::with_observability(
+        routes_server::SessionStore::with_shards(4, 1),
+        routes_pool::Pool::sequential(),
+        None,
+        std::sync::Arc::new(routes_obs::Tracer::disabled()),
+        Duration::from_millis(500),
+    )
+}
+
+fn get(path: &str, query: &str, accept: Option<&str>) -> routes_server::http::Request {
+    routes_server::http::Request {
+        method: "GET".to_owned(),
+        path: path.to_owned(),
+        query: query.to_owned(),
+        headers: accept
+            .map(|a| ("accept".to_owned(), a.to_owned()))
+            .into_iter()
+            .collect(),
+        body: Vec::new(),
+        keep_alive: false,
+    }
+}
+
+#[test]
+fn profile_endpoint_negotiates_content_types() {
+    let app = bare_app();
+
+    // Default (no Accept) and */* serve JSON.
+    let resp = app.handle_traced(&get("/profile", "", None));
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.content_type, "application/json");
+    let json = parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert!(json.get("enabled").is_some());
+    let resp = app.handle_traced(&get("/profile", "", Some("*/*")));
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.content_type, "application/json");
+
+    // text/plain negotiates the flamegraph-collapsed form; `?format=`
+    // overrides negotiation in both directions.
+    let resp = app.handle_traced(&get("/profile", "", Some("text/plain")));
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.content_type, "text/plain; charset=utf-8");
+    let resp = app.handle_traced(&get(
+        "/profile",
+        "format=collapsed",
+        Some("application/json"),
+    ));
+    assert_eq!(resp.content_type, "text/plain; charset=utf-8");
+    let resp = app.handle_traced(&get("/profile", "format=json", Some("text/plain")));
+    assert_eq!(resp.content_type, "application/json");
+
+    // An Accept the endpoint cannot satisfy is 406; a bogus format or
+    // delta value is the caller's error.
+    let resp = app.handle_traced(&get("/profile", "", Some("application/xml")));
+    assert_eq!(resp.status, 406);
+    let resp = app.handle_traced(&get("/profile", "format=svg", None));
+    assert_eq!(resp.status, 400);
+    let resp = app.handle_traced(&get("/profile", "delta=maybe", None));
+    assert_eq!(resp.status, 400);
+
+    // Only GET is served.
+    let mut post = get("/profile", "", None);
+    post.method = "POST".to_owned();
+    let resp = app.handle_traced(&post);
+    assert_eq!(resp.status, 405);
+}
+
+#[test]
+fn profile_samples_render_as_phases_and_a_weighted_tree() {
+    let app = bare_app();
+
+    // Deterministic samples: open a request→chase frame stack by hand and
+    // tick the sampler five times (no ticker thread involved).
+    let _on = routes_obs::manual_profile();
+    {
+        let _request = routes_obs::profile_frame("profreq");
+        let _chase = routes_obs::profile_frame("profchase");
+        for _ in 0..5 {
+            routes_obs::sample_once();
+        }
+    }
+
+    let resp = app.handle_traced(&get("/profile", "", None));
+    assert_eq!(resp.status, 200);
+    let json = parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    // Inclusive per-phase totals: the parent frame covers its child.
+    let phases = json.get("phases").unwrap();
+    assert!(as_u64(phases.get("profreq").unwrap()) >= 5);
+    assert!(as_u64(phases.get("profchase").unwrap()) >= 5);
+    // The tree nests profchase under profreq with the same weight.
+    let tree = json.get("tree").unwrap().as_array().unwrap();
+    let node = tree
+        .iter()
+        .find(|n| n.get("name").unwrap().as_str() == Some("profreq"))
+        .expect("profreq root in tree");
+    let child = node
+        .get("children")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|n| n.get("name").unwrap().as_str() == Some("profchase"))
+        .expect("profchase nested under profreq");
+    assert!(as_u64(child.get("samples").unwrap()) >= 5);
+
+    // The collapsed form carries the same stack as `a;b N` lines.
+    let resp = app.handle_traced(&get("/profile", "format=collapsed", None));
+    let text = String::from_utf8(resp.body).unwrap();
+    assert!(
+        text.lines().any(|l| l.starts_with("profreq;profchase ")),
+        "collapsed output missing the sampled stack: {text:?}"
+    );
 }

@@ -96,6 +96,16 @@ ROUTES_SESSION_SHARDS=8 cargo test -q --offline --test observability
 # Tracing-overhead bench smoke (writes bench_results/micro_obs.csv).
 cargo run --release --offline -p routes-bench --bin repro -- micro obs --quick
 
+# Self-profiler gate: the chase must be byte-identical (stats, per-tgd
+# attribution, target instance) with the sampler on and off, at 2 and 8
+# worker threads.
+ROUTES_THREADS=2 cargo test -q --offline --test profiler
+ROUTES_THREADS=8 cargo test -q --offline --test profiler
+
+# Self-profiler bench smoke: per-tgd chase attribution plus sampler
+# on/off request-path overhead (writes bench_results/micro_prof.csv).
+cargo run --release --offline -p routes-bench --bin repro -- micro prof --quick
+
 # Structured-logging gate: boot a real spiderd, shut it down over the
 # socket, and require every stderr line to be a parseable JSON log record
 # (at least one: the "listening" event).

@@ -83,9 +83,26 @@ fn dump_pipeline(p: &PreparedPipeline) -> String {
     let mut out = String::new();
     for (k, stage) in p.stages.iter().enumerate() {
         let mapping = &p.pipeline.stages()[k].mapping;
+        // Render the deterministic stats fields only: per-tgd wall times are
+        // measurements and legitimately differ between runs.
+        let per_tgd: Vec<String> = stage
+            .stats
+            .per_tgd
+            .iter()
+            .map(|t| format!("{}:{}m/{}f", t.name, t.matches, t.fired))
+            .collect();
         out.push_str(&format!(
-            "== stage {k} {} before_core={} removed={} stats={:?}\n",
-            stage.name, stage.tuples_before_core, stage.core_removed, stage.stats
+            "== stage {k} {} before_core={} removed={} rounds={} created={} \
+             rewrites={} merges={} target={} per_tgd=[{}]\n",
+            stage.name,
+            stage.tuples_before_core,
+            stage.core_removed,
+            stage.stats.rounds,
+            stage.stats.tuples_created,
+            stage.stats.egd_rewrites,
+            stage.stats.egd_merges,
+            stage.stats.target_tuples,
+            per_tgd.join(" ")
         ));
         out.push_str(&dump_instance(mapping.source(), &stage.source, &p.pool));
         out.push_str("--\n");

@@ -1,0 +1,101 @@
+//! Determinism of the chase under the sampling self-profiler (tier-1
+//! extension of `parallel_determinism`).
+//!
+//! The profiler's deterministic-overhead discipline: with the sampler off
+//! the engine takes zero extra clock reads, and with it on the only
+//! effects are thread-local frame pushes and a ticker thread reading
+//! them — nothing feeds back into the chase. These tests pin that: a
+//! parallel chase run under a live sampler must produce a byte-identical
+//! target instance and identical stats (including the per-tgd
+//! attribution counters) to the same chase with the profiler idle, at
+//! every worker count.
+
+use routes_chase::{chase_with_pool, ChaseOptions, ChaseResult};
+use routes_gen::random_scenario;
+use routes_model::{Instance, Schema, ValuePool};
+use routes_pool::Pool;
+
+const SEEDS: [u64; 3] = [7, 11, 42];
+const POOL_SIZES: [usize; 2] = [2, 8];
+
+/// Canonical rendering of a target instance (see `parallel_determinism`).
+fn dump_instance(schema: &Schema, inst: &Instance, values: &ValuePool) -> String {
+    let mut out = String::new();
+    for (rel, relation) in schema.iter() {
+        for (t, row) in inst.rel_tuples(rel) {
+            out.push_str(relation.name());
+            out.push_str(&format!("[{}](", t.row));
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&values.value_to_string(*v));
+            }
+            out.push_str(")\n");
+        }
+    }
+    out
+}
+
+fn chase_once(seed: u64, workers: &Pool) -> (ChaseResult, String) {
+    let mut sc = random_scenario(seed);
+    let result = chase_with_pool(
+        &sc.mapping,
+        &sc.source,
+        &mut sc.pool,
+        ChaseOptions::fresh(),
+        workers,
+    )
+    .unwrap_or_else(|e| panic!("seed {seed}: chase failed: {e}"));
+    let dump = dump_instance(sc.mapping.target(), &result.target, &sc.pool);
+    (result, dump)
+}
+
+#[test]
+fn chase_is_byte_identical_with_the_sampler_on_and_off() {
+    for threads in POOL_SIZES {
+        for seed in SEEDS {
+            let workers = Pool::new(threads);
+            let (off_result, off_dump) = chase_once(seed, &workers);
+
+            // A live ticker at a frequency high enough to land samples
+            // during the chase; stopping disables the hooks again.
+            let sampler = routes_obs::start_sampler(500).expect("sampler starts");
+            let (on_result, on_dump) = chase_once(seed, &workers);
+            sampler.stop();
+
+            assert_eq!(
+                on_result.stats(),
+                off_result.stats(),
+                "seed {seed}: sampler changed chase stats at {threads} threads"
+            );
+            assert_eq!(
+                on_result.stats().per_tgd,
+                off_result.stats().per_tgd,
+                "seed {seed}: sampler changed per-tgd attribution at {threads} threads"
+            );
+            assert_eq!(
+                on_dump, off_dump,
+                "seed {seed}: sampler changed the target instance at {threads} threads"
+            );
+        }
+    }
+    routes_obs::reset_samples();
+}
+
+/// The attribution counters themselves are part of the determinism
+/// contract: sequential and parallel runs agree tgd by tgd.
+#[test]
+fn per_tgd_attribution_is_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let (baseline, _) = chase_once(seed, &Pool::new(1));
+        for threads in POOL_SIZES {
+            let (result, _) = chase_once(seed, &Pool::new(threads));
+            assert_eq!(
+                result.stats().per_tgd,
+                baseline.stats().per_tgd,
+                "seed {seed}: per-tgd rows diverge at {threads} threads"
+            );
+        }
+    }
+}
